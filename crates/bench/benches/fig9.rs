@@ -1,0 +1,92 @@
+//! FIG. 9 — accuracy of correlation tracking vs sampling rate.
+//!
+//! Methodology (Section IV.A.2): 16 threads per application; start from the coarsest
+//! rate and halve the gap every step (512X → … → 1X on our 8-byte-word heap; the
+//! paper's 1024X with 4-byte words is the same full-sampling bound). For each rate
+//! the cumulative TCM is compared against
+//!
+//! * the **full-sampling** map → *absolute* accuracy, and
+//! * the **next finer rate's** map → *relative* accuracy,
+//!
+//! under both distance metrics (`E_ABS`, `E_EUC`). The paper's findings to reproduce:
+//! ABS accuracy is higher and more stable than EUC; relative tracks absolute; almost
+//! every rate stays ≥ 95% accurate.
+
+use jessy_bench::{rate_ladder, run_tracked_tcm, scale, TextTable};
+use jessy_core::{accuracy_abs, accuracy_euc, ProfilerConfig, SamplingRate, Tcm};
+use jessy_workloads::WorkloadKind;
+
+/// When `JESSY_CSV_DIR` is set, dump each workload's accuracy series (and the
+/// full-sampling TCM) there as CSV for external plotting.
+fn csv_dir() -> Option<std::path::PathBuf> {
+    std::env::var("JESSY_CSV_DIR").ok().map(Into::into)
+}
+
+fn main() {
+    let scale = scale();
+    println!("FIG. 9. ACCURACY OF CORRELATION TRACKING WITH ADAPTIVE OBJECT SAMPLING");
+    println!("(16 threads on 8 nodes; accuracy = 1 - E; scale: {scale:?})\n");
+
+    for kind in WorkloadKind::ALL {
+        println!("== ({}) ==", kind.name());
+        let ladder = rate_ladder(512);
+        let mut tcms: Vec<(String, Tcm)> = Vec::new();
+        for rate in &ladder {
+            let (_, tcm) =
+                run_tracked_tcm(kind, scale, 8, 16, ProfilerConfig::tracking_at(*rate));
+            tcms.push((rate.label(), tcm));
+        }
+        let (_, full) = run_tracked_tcm(
+            kind,
+            scale,
+            8,
+            16,
+            ProfilerConfig::tracking_at(SamplingRate::Full),
+        );
+
+        let mut t = TextTable::new(&[
+            "Rate",
+            "Absolute/ABS",
+            "Relative/ABS",
+            "Absolute/EUC",
+            "Relative/EUC",
+        ]);
+        let mut abs_accs = Vec::new();
+        for (i, (label, tcm)) in tcms.iter().enumerate() {
+            // Relative reference: the next finer rate (the last one refines to full).
+            let finer = if i + 1 < tcms.len() {
+                &tcms[i + 1].1
+            } else {
+                &full
+            };
+            let a_abs = accuracy_abs(tcm, &full);
+            abs_accs.push(a_abs);
+            t.row(&[
+                label.clone(),
+                format!("{:.1}%", a_abs * 100.0),
+                format!("{:.1}%", accuracy_abs(tcm, finer) * 100.0),
+                format!("{:.1}%", accuracy_euc(tcm, &full) * 100.0),
+                format!("{:.1}%", accuracy_euc(tcm, finer) * 100.0),
+            ]);
+        }
+        println!("{}", t.render());
+        if let Some(dir) = csv_dir() {
+            let _ = std::fs::create_dir_all(&dir);
+            let mut csv = String::from("rate,absolute_abs\n");
+            for ((label, _), acc) in tcms.iter().zip(&abs_accs) {
+                csv.push_str(&format!("{label},{acc}\n"));
+            }
+            let base = dir.join(format!("fig9_{}", kind.name().to_lowercase().replace('-', "_")));
+            let _ = std::fs::write(base.with_extension("csv"), csv);
+            let _ = std::fs::write(base.with_extension("tcm.csv"), full.to_csv());
+            println!("(CSV written under {})", dir.display());
+        }
+        let min = abs_accs.iter().cloned().fold(1.0f64, f64::min);
+        let avg = abs_accs.iter().sum::<f64>() / abs_accs.len() as f64;
+        println!(
+            "absolute/ABS: min {:.1}%, mean {:.1}%  (paper: almost all rates >= 95%)\n",
+            min * 100.0,
+            avg * 100.0
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! TABLE I — application benchmark characteristics.
+//!
+//! The paper's Table I is descriptive; we regenerate it with *measured* columns
+//! alongside: objects allocated, measured dominant object size, accesses, and
+//! intervals per run, from a short profiled run of each workload.
+
+use jessy_bench::{run_tracked, scale, Scale, TextTable};
+use jessy_core::{ProfilerConfig, SamplingRate};
+use jessy_workloads::{WorkloadKind, WorkloadPreset};
+
+fn main() {
+    let scale = scale();
+    let preset = match scale {
+        Scale::Paper => WorkloadPreset::Paper,
+        Scale::Small => WorkloadPreset::Small,
+    };
+    println!("TABLE I. APPLICATION BENCHMARK CHARACTERISTICS  (scale: {scale:?})\n");
+
+    let mut t = TextTable::new(&[
+        "Benchmark",
+        "Data set",
+        "Rounds",
+        "Granularity",
+        "Object size (paper)",
+        "objects",
+        "accesses",
+        "intervals",
+    ]);
+    for kind in WorkloadKind::ALL {
+        let report = run_tracked(
+            kind,
+            scale,
+            8,
+            8,
+            ProfilerConfig::tracking_at(SamplingRate::NX(1)),
+        );
+        let objects = report
+            .master
+            .as_ref()
+            .map(|m| m.objects_organized)
+            .unwrap_or(0);
+        t.row(&[
+            kind.name().to_string(),
+            kind.data_set(preset),
+            kind.rounds(preset).to_string(),
+            kind.granularity().to_string(),
+            kind.object_size().to_string(),
+            objects.to_string(),
+            report.proto.accesses.to_string(),
+            report.profiler.intervals_closed.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(\"objects\" = distinct shared objects the correlation analyzer organized)");
+}

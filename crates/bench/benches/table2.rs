@@ -1,0 +1,52 @@
+//! TABLE II — CPU overhead of OAL collection.
+//!
+//! Methodology (Section IV.A.1, O1): a single thread per application, OAL transfer
+//! over the network disabled, so the measured execution-time increase isolates the
+//! CPU cost of generating OALs (state checks, correlation faults, log appends,
+//! interval arming) at sampling rates 1X, 4X, 16X and full. Cells the rate ladder
+//! cannot distinguish from full sampling are N/A exactly as in the paper (SOR's rows
+//! exceed the page size; see `rate_is_na`).
+
+use jessy_bench::{rate_is_na, run_tracked, scale, TextTable};
+use jessy_core::{ProfilerConfig, SamplingRate};
+use jessy_workloads::WorkloadKind;
+
+fn main() {
+    let scale = scale();
+    println!("TABLE II. OVERHEAD OF OAL COLLECTION  (scale: {scale:?})");
+    println!("(single thread, OAL transfer disabled; simulated execution time, ms)\n");
+
+    let rates = [
+        SamplingRate::NX(1),
+        SamplingRate::NX(4),
+        SamplingRate::NX(16),
+        SamplingRate::Full,
+    ];
+    let mut t = TextTable::new(&["Benchmark", "No Tracking", "1X", "4X", "16X", "Full"]);
+
+    for kind in WorkloadKind::ALL {
+        let base = run_tracked(kind, scale, 1, 1, ProfilerConfig::disabled());
+        let base_ms = base.sim_exec_ms();
+        let mut cells = vec![kind.name().to_string(), format!("{base_ms:.0}")];
+        for rate in rates {
+            if rate_is_na(kind, rate) {
+                cells.push("N/A".to_string());
+                continue;
+            }
+            let mut config = ProfilerConfig::tracking_at(rate);
+            config.send_oals = false; // collect only (O1)
+            let run = run_tracked(kind, scale, 1, 1, config);
+            cells.push(format!(
+                "{:.0} ({:+.2}%)",
+                run.sim_exec_ms(),
+                run.overhead_pct(&base)
+            ));
+        }
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+    println!("paper (8-node testbed, wall clock): SOR 24250 → 24360 (0.45%) at full;");
+    println!("Barnes-Hut 53250 → 53844 (1.12%) at full; Water-Spatial 29461 → 29717 (0.87%).");
+    println!("expected shape: overhead below ~2% everywhere, growing with rate and");
+    println!("with sharing fineness (Barnes-Hut > Water-Spatial).");
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the regenerated tables.
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of string slices.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let n = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..n {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = cells[i]
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                    .unwrap_or(false);
+                if numeric && i > 0 {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(&cells[i]);
+                } else {
+                    out.push_str(&cells[i]);
+                    out.push_str(&" ".repeat(pad));
+                }
+            }
+            out.trim_end().to_string()
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a milliseconds value like the paper's tables: `"53844"` or `"52636"`.
+pub fn ms(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Format a percentage delta like the paper: `"(1.12%)"`, `"(-0.67%)"`.
+pub fn pct(v: f64) -> String {
+    format!("({v:.2}%)")
+}
+
+/// Format a value-with-overhead cell: `"53844 (1.12%)"`.
+pub fn ms_pct(v: f64, p: f64) -> String {
+    format!("{} {}", ms(v), pct(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(&["Benchmark", "Time"]);
+        t.row_strs(&["SOR", "24250"]);
+        t.row_strs(&["Barnes-Hut", "53250"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Benchmark"));
+        assert!(lines[2].starts_with("SOR"));
+        // Numbers right-aligned in their column.
+        assert!(lines[2].ends_with("24250"));
+        assert!(lines[3].ends_with("53250"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        TextTable::new(&["a", "b"]).row_strs(&["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(24250.4), "24250");
+        assert_eq!(pct(-0.666), "(-0.67%)");
+        assert_eq!(ms_pct(100.0, 1.0), "100 (1.00%)");
+    }
+}

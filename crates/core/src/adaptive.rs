@@ -1,0 +1,222 @@
+//! The adaptive sampling-rate controller (Section II.B.1–II.B.2).
+//!
+//! *"The basic approach to reaching an optimal sampling rate is to begin with a rough
+//! sampling rate, increase it stepwise (by shortening the sampling gap) and compare the
+//! distance between the successive correlation matrices. If their distance is small
+//! enough (converge to be within some predefined threshold), we stop at the underlying
+//! sampling gap."*
+//!
+//! The controller runs at the central coordinator: after each TCM round it compares
+//! every class's round map against the same class's previous round map using the
+//! **relative** `E_ABS` distance (Fig. 9 shows relative accuracy tracks absolute
+//! accuracy well enough to steer by). A class whose distance exceeds the threshold is
+//! stepped one rate finer; a converged class is frozen. Rate changes trigger a
+//! **resampling walk** over all existing objects of the class — re-deriving each
+//! sampled tag from its sequence number under the new gap — "to prevent those objects
+//! sampled at previous rates from accumulating" (the paper measures this walk at
+//! ≤ 0.1 % of CPU time; we charge it to the initiating clock).
+
+use std::collections::{HashMap, HashSet};
+
+use jessy_gos::{ClassId, Gos};
+use jessy_net::ClockHandle;
+
+use crate::accuracy::e_abs;
+use crate::sampling::{ClassGapState, GapTable};
+use crate::tcm::Tcm;
+
+/// A rate-change decision for one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateChange {
+    /// The class whose rate changed.
+    pub class: ClassId,
+    /// Its new sampling state.
+    pub new_state: ClassGapState,
+    /// The relative distance that triggered the change.
+    pub relative_distance: f64,
+}
+
+/// Stepwise per-class rate refinement driven by relative accuracy.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    threshold: f64,
+    prev_round: HashMap<ClassId, Tcm>,
+    converged: HashSet<ClassId>,
+}
+
+impl AdaptiveController {
+    /// Controller converging when the relative `E_ABS` distance between successive
+    /// rounds drops to `threshold` or below.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        AdaptiveController {
+            threshold,
+            prev_round: HashMap::new(),
+            converged: HashSet::new(),
+        }
+    }
+
+    /// Feed one round's per-class maps; returns the classes to step finer.
+    ///
+    /// The first round for a class only records a baseline (there is nothing to
+    /// compare against yet). A class at full sampling can never be refined further and
+    /// is marked converged.
+    pub fn on_round(
+        &mut self,
+        round_per_class: &HashMap<ClassId, Tcm>,
+        gaps: &GapTable,
+    ) -> Vec<RateChange> {
+        let mut changes = Vec::new();
+        let mut classes: Vec<&ClassId> = round_per_class.keys().collect();
+        classes.sort_unstable(); // deterministic decision order
+        for class in classes {
+            let cur = &round_per_class[class];
+            if !self.converged.contains(class) {
+                if let Some(prev) = self.prev_round.get(class) {
+                    let d = e_abs(cur, prev);
+                    if d <= self.threshold {
+                        self.converged.insert(*class);
+                    } else if gaps.state(*class).real_gap <= 1 {
+                        self.converged.insert(*class); // already at full sampling
+                    } else {
+                        let new_state = gaps.step_up(*class);
+                        changes.push(RateChange {
+                            class: *class,
+                            new_state,
+                            relative_distance: d,
+                        });
+                    }
+                }
+            }
+            self.prev_round.insert(*class, cur.clone());
+        }
+        changes
+    }
+
+    /// Has this class converged?
+    pub fn is_converged(&self, class: ClassId) -> bool {
+        self.converged.contains(&class)
+    }
+
+    /// Number of converged classes.
+    pub fn converged_count(&self) -> usize {
+        self.converged.len()
+    }
+}
+
+/// Execute the resampling walk for `class` after a rate change: every existing object
+/// of the class re-derives its sampled tag from its sequence number under the new gap.
+/// Returns the number of objects visited; their cost is charged to `clock`.
+pub fn apply_rate_change(gos: &Gos, gaps: &GapTable, class: ClassId, clock: &ClockHandle) -> usize {
+    let mut visited = 0usize;
+    gos.for_each_object_of_class(class, |core| {
+        let len_elems = if core.is_array {
+            let unit_words = gaps.state(class).unit_bytes as u32 / 8;
+            core.len_words / unit_words.max(1)
+        } else {
+            1
+        };
+        core.set_sampled(gaps.decide_sampled(class, core.elem_seq0, len_elems));
+        visited += 1;
+    });
+    clock.spend(gos.costs().resample_ns_per_obj * visited as u64);
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::SamplingRate;
+    use jessy_net::ThreadId;
+
+    fn round(class: ClassId, v: f64) -> HashMap<ClassId, Tcm> {
+        let mut t = Tcm::new(2);
+        t.add_pair(ThreadId(0), ThreadId(1), v);
+        HashMap::from([(class, t)])
+    }
+
+    fn gaps_with(class: ClassId, unit: usize, rate: SamplingRate) -> GapTable {
+        let g = GapTable::new(4096);
+        g.register_class(class, unit, rate);
+        g
+    }
+
+    #[test]
+    fn first_round_only_baselines() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1));
+        let mut ctl = AdaptiveController::new(0.05);
+        assert!(ctl.on_round(&round(class, 100.0), &gaps).is_empty());
+        assert!(!ctl.is_converged(class));
+    }
+
+    #[test]
+    fn unstable_rounds_step_rate_up_until_converged() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1));
+        let mut ctl = AdaptiveController::new(0.05);
+        ctl.on_round(&round(class, 100.0), &gaps);
+        // 50% off → step up.
+        let changes = ctl.on_round(&round(class, 150.0), &gaps);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].class, class);
+        assert_eq!(changes[0].new_state.rate, SamplingRate::NX(2));
+        assert!(changes[0].relative_distance > 0.05);
+        // Within threshold → converge, no more changes ever.
+        let changes = ctl.on_round(&round(class, 151.0), &gaps);
+        assert!(changes.is_empty());
+        assert!(ctl.is_converged(class));
+        let changes = ctl.on_round(&round(class, 9999.0), &gaps);
+        assert!(changes.is_empty(), "converged classes are frozen");
+    }
+
+    #[test]
+    fn full_sampling_classes_converge_by_exhaustion() {
+        let class = ClassId(0);
+        // A 16 KB class: gap is 1 even at 1X — nothing to refine.
+        let gaps = gaps_with(class, 16384, SamplingRate::NX(1));
+        let mut ctl = AdaptiveController::new(0.01);
+        ctl.on_round(&round(class, 10.0), &gaps);
+        let changes = ctl.on_round(&round(class, 20.0), &gaps);
+        assert!(changes.is_empty());
+        assert!(ctl.is_converged(class));
+    }
+
+    #[test]
+    fn apply_rate_change_retags_objects() {
+        use jessy_gos::{CostModel, GosConfig};
+        use jessy_net::{ClockBoard, LatencyModel, NodeId};
+
+        let gos = Gos::new(GosConfig {
+            n_nodes: 1,
+            n_threads: 4,
+            latency: LatencyModel::free(),
+            costs: CostModel::pentium4_2ghz(),
+            prefetch_depth: 0,
+            consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+        });
+        let clock = ClockBoard::new(1).handle(ThreadId(0));
+        let class = gos.classes().register_scalar("Body", 8); // 64 B
+        let gaps = GapTable::new(4096);
+        gaps.register_class(class, 64, SamplingRate::NX(1)); // gap 67
+
+        let mut objs = Vec::new();
+        for _ in 0..200 {
+            objs.push(gos.alloc_scalar(NodeId(0), class, &clock, None));
+        }
+        // Initial tagging at allocation time (what the runtime does).
+        for o in &objs {
+            o.set_sampled(gaps.decide_sampled(class, o.elem_seq0, 1));
+        }
+        let before: usize = objs.iter().filter(|o| o.is_sampled()).count();
+        assert_eq!(before, 3, "seq 0, 67, 134 under gap 67");
+
+        gaps.set_rate(class, SamplingRate::NX(4)); // gap 17
+        let t0 = clock.now();
+        let visited = apply_rate_change(&gos, &gaps, class, &clock);
+        assert_eq!(visited, 200);
+        assert!(clock.now() > t0, "walk cost charged");
+        let after: usize = objs.iter().filter(|o| o.is_sampled()).count();
+        assert_eq!(after, 200usize.div_ceil(17), "multiples of 17 in [0,200)");
+    }
+}

@@ -1,0 +1,166 @@
+//! Profiler configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sampling::SamplingRate;
+
+/// Configuration of the stack-sampling subsystem (Section III.B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackSamplingConfig {
+    /// Timer gap between samples, in simulated nanoseconds (the paper evaluates
+    /// 4 ms and 16 ms).
+    pub gap_ns: u64,
+    /// Lazy frame extraction (capture raw on first visit, extract on second) versus
+    /// immediate extraction — the two columns of Table V.
+    pub lazy_extraction: bool,
+}
+
+impl Default for StackSamplingConfig {
+    fn default() -> Self {
+        StackSamplingConfig {
+            gap_ns: 16_000_000,
+            lazy_extraction: true,
+        }
+    }
+}
+
+/// How often sticky-set footprinting re-arms tracking within an interval (Table V's
+/// "Nonstop" vs "Timer-based (100ms)" columns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FootprintMode {
+    /// Re-arm a sampled object immediately after every logged access: exact access
+    /// frequencies, maximal overhead.
+    Nonstop,
+    /// Re-arm in rounds separated by at least this many simulated nanoseconds.
+    Timer(u64),
+}
+
+/// Configuration of sticky-set footprinting (Section III.A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FootprintConfig {
+    /// Probing cadence.
+    pub mode: FootprintMode,
+    /// Lower bound on the object sampling gap used for footprinting (the paper puts
+    /// "a lower bound on object sampling gap" to bound repeated-tracking overhead).
+    pub min_gap: u64,
+}
+
+impl Default for FootprintConfig {
+    fn default() -> Self {
+        FootprintConfig {
+            mode: FootprintMode::Timer(100_000_000), // 100 ms
+            min_gap: 1,
+        }
+    }
+}
+
+/// Top-level profiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// Page size `SP` used by the `nX` rate notation (4 KB in the paper).
+    pub page_size: u32,
+    /// Initial per-class sampling rate.
+    pub initial_rate: SamplingRate,
+    /// Enable correlation tracking (OAL generation via false-invalid arming).
+    pub track_correlation: bool,
+    /// Ship OALs to the central coordinator (Table II isolates CPU cost by disabling
+    /// this; Table III enables it).
+    pub send_oals: bool,
+    /// Ground-truth mode: log *every* access (deduplicated per interval) at full
+    /// payload size — the "log inserted at every object access" simulation behind
+    /// Fig. 1(a). Overrides sampling.
+    pub full_trace: bool,
+    /// Convergence threshold on the relative `E_ABS` distance for the adaptive rate
+    /// controller; `None` pins rates at `initial_rate`.
+    pub adaptive_threshold: Option<f64>,
+    /// How many closed intervals the analyzer folds into one TCM round.
+    pub intervals_per_round: u32,
+    /// Keep the raw OAL stream at the master (memory-heavy; used by the page-grain
+    /// baseline analysis and by Fig. 1-style offline comparisons).
+    pub record_oals: bool,
+    /// Exponential decay of the cumulative TCM per round (`None` = never forget).
+    /// A windowed map follows workloads whose sharing patterns change over time.
+    pub tcm_decay: Option<f64>,
+    /// Stack sampling, if enabled.
+    pub stack: Option<StackSamplingConfig>,
+    /// Sticky-set footprinting, if enabled.
+    pub footprint: Option<FootprintConfig>,
+    /// Landmark tolerance `t` (> 1) of sticky-set resolution (Section III.A.3).
+    pub tolerance_t: f64,
+}
+
+impl ProfilerConfig {
+    /// Everything off — the "No Correl. Tracking" baseline columns.
+    pub fn disabled() -> Self {
+        ProfilerConfig {
+            page_size: 4096,
+            initial_rate: SamplingRate::Full,
+            track_correlation: false,
+            send_oals: false,
+            full_trace: false,
+            adaptive_threshold: None,
+            intervals_per_round: 1,
+            record_oals: false,
+            tcm_decay: None,
+            stack: None,
+            footprint: None,
+            tolerance_t: 2.0,
+        }
+    }
+
+    /// Correlation tracking at a fixed rate with OAL transfer (Table III columns).
+    pub fn tracking_at(rate: SamplingRate) -> Self {
+        ProfilerConfig {
+            initial_rate: rate,
+            track_correlation: true,
+            send_oals: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Ground-truth full-trace profiling (the inherent pattern of Fig. 1a).
+    pub fn ground_truth() -> Self {
+        ProfilerConfig {
+            track_correlation: true,
+            send_oals: true,
+            full_trace: true,
+            ..Self::disabled()
+        }
+    }
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig::tracking_at(SamplingRate::NX(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_switches() {
+        let off = ProfilerConfig::disabled();
+        assert!(!off.track_correlation && !off.send_oals && !off.full_trace);
+
+        let track = ProfilerConfig::tracking_at(SamplingRate::NX(4));
+        assert!(track.track_correlation && track.send_oals);
+        assert_eq!(track.initial_rate, SamplingRate::NX(4));
+
+        let truth = ProfilerConfig::ground_truth();
+        assert!(truth.full_trace && truth.track_correlation);
+    }
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = ProfilerConfig::default();
+        assert_eq!(c.page_size, 4096);
+        assert_eq!(StackSamplingConfig::default().gap_ns, 16_000_000);
+        match FootprintConfig::default().mode {
+            FootprintMode::Timer(ns) => assert_eq!(ns, 100_000_000),
+            _ => panic!("default footprint mode should be the 100 ms timer"),
+        }
+        assert!(c.tolerance_t > 1.0);
+    }
+}

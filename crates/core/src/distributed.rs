@@ -1,0 +1,249 @@
+//! Distributed TCM deduction (Section V).
+//!
+//! The paper flags the central coordinator's `O(M·N²)` map construction as a
+//! scalability bottleneck and asks for *"distributed algorithms for deducing
+//! correlation maps in a more scalable way"*. The key observation: the TCM is a **sum
+//! of per-object contributions** — object `o` shared by thread set `S` adds
+//! `bytes(o)` to every pair in `S×S`, independently of every other object. Sharding
+//! objects across `K` reducers therefore partitions the work *exactly*:
+//!
+//! 1. each thread splits its OAL by `shard(obj) = obj mod K` and sends each slice to
+//!    the responsible reducer (same total wire bytes as the centralized scheme);
+//! 2. each reducer runs the ordinary per-object reorganization + pair accrual over
+//!    its `M/K` objects;
+//! 3. partial maps merge by matrix addition at round close.
+//!
+//! [`ShardedTcmReducer`] implements the scheme; its result is bit-identical to the
+//! centralized [`crate::TcmBuilder`] (asserted by tests), and the `distributed_tcm`
+//! bench measures the speedup with reducers on real OS threads.
+
+use serde::{Deserialize, Serialize};
+
+use jessy_gos::ObjectId;
+
+use crate::oal::{Oal, OalEntry};
+use crate::tcm::{Tcm, TcmBuilder};
+
+/// The reducer shard responsible for an object.
+#[inline]
+pub fn shard_of(obj: ObjectId, n_shards: usize) -> usize {
+    obj.index() % n_shards
+}
+
+/// Split one OAL into per-shard slices (empty slices elided).
+pub fn split_oal(oal: &Oal, n_shards: usize) -> Vec<(usize, Oal)> {
+    let mut per_shard: Vec<Vec<OalEntry>> = vec![Vec::new(); n_shards];
+    for e in &oal.entries {
+        per_shard[shard_of(e.obj, n_shards)].push(*e);
+    }
+    per_shard
+        .into_iter()
+        .enumerate()
+        .filter(|(_, entries)| !entries.is_empty())
+        .map(|(shard, entries)| {
+            (
+                shard,
+                Oal {
+                    thread: oal.thread,
+                    interval: oal.interval,
+                    entries,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Statistics of one reduction round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceStats {
+    /// Objects organized, summed over shards.
+    pub objects: usize,
+    /// The largest single shard's object count (the critical path).
+    pub max_shard_objects: usize,
+}
+
+/// An object-sharded TCM reducer: `K` independent builders plus a merge.
+#[derive(Debug)]
+pub struct ShardedTcmReducer {
+    shards: Vec<TcmBuilder>,
+    n_threads: usize,
+}
+
+impl ShardedTcmReducer {
+    /// Reducer with `n_shards` shards over `n_threads` threads.
+    pub fn new(n_shards: usize, n_threads: usize) -> Self {
+        assert!(n_shards > 0);
+        ShardedTcmReducer {
+            shards: (0..n_shards).map(|_| TcmBuilder::new(n_threads)).collect(),
+            n_threads,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ingest one OAL, routing each entry to its shard.
+    pub fn ingest(&mut self, oal: &Oal) {
+        for (shard, slice) in split_oal(oal, self.shards.len()) {
+            self.shards[shard].ingest(&slice);
+        }
+    }
+
+    /// Close the round on every shard (what the parallel reducers do independently).
+    pub fn close_round(&mut self) -> ReduceStats {
+        let mut stats = ReduceStats::default();
+        for shard in &mut self.shards {
+            let summary = shard.close_round();
+            stats.objects += summary.objects;
+            stats.max_shard_objects = stats.max_shard_objects.max(summary.objects);
+        }
+        stats
+    }
+
+    /// Merge the shard maps into the global TCM (matrix addition).
+    pub fn reduce(&self) -> Tcm {
+        let mut out = Tcm::new(self.n_threads);
+        for shard in &self.shards {
+            out.merge(shard.tcm());
+        }
+        out
+    }
+
+    /// Direct access to a shard's builder (parallel drivers move these to threads).
+    pub fn into_shards(self) -> Vec<TcmBuilder> {
+        self.shards
+    }
+
+    /// Rebuild a reducer from independently-processed shard builders.
+    pub fn from_shards(shards: Vec<TcmBuilder>, n_threads: usize) -> Self {
+        assert!(!shards.is_empty());
+        ShardedTcmReducer { shards, n_threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jessy_gos::ClassId;
+    use jessy_net::ThreadId;
+
+    fn oal(thread: u32, objs: &[(u32, u64)]) -> Oal {
+        Oal {
+            thread: ThreadId(thread),
+            interval: 0,
+            entries: objs
+                .iter()
+                .map(|&(o, b)| OalEntry {
+                    obj: ObjectId(o),
+                    class: ClassId(0),
+                    bytes: b,
+                })
+                .collect(),
+        }
+    }
+
+    fn workload() -> Vec<Oal> {
+        // 6 threads sharing a spread of objects.
+        (0..6u32)
+            .flat_map(|t| {
+                vec![
+                    oal(t, &[(t, 64), (t + 1, 64), ((t * 7) % 20, 128)]),
+                    oal(t, &[(19 - t, 32), (t % 3, 8)]),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_equals_centralized_exactly() {
+        let oals = workload();
+        let mut central = TcmBuilder::new(6);
+        for o in &oals {
+            central.ingest(o);
+        }
+        central.close_round();
+
+        for n_shards in [1usize, 2, 3, 7, 16] {
+            let mut sharded = ShardedTcmReducer::new(n_shards, 6);
+            for o in &oals {
+                sharded.ingest(o);
+            }
+            sharded.close_round();
+            assert_eq!(
+                sharded.reduce().raw(),
+                central.tcm().raw(),
+                "mismatch at {n_shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn split_oal_partitions_entries_exactly() {
+        let o = oal(2, &[(0, 1), (1, 2), (2, 3), (3, 4), (7, 5)]);
+        let slices = split_oal(&o, 3);
+        let total: usize = slices.iter().map(|(_, s)| s.entries.len()).sum();
+        assert_eq!(total, 5);
+        for (shard, slice) in &slices {
+            for e in &slice.entries {
+                assert_eq!(shard_of(e.obj, 3), *shard);
+                assert_eq!(slice.thread, ThreadId(2));
+            }
+        }
+        // Wire bytes are conserved up to the per-slice context headers.
+        let orig = o.wire_bytes();
+        let split: usize = slices.iter().map(|(_, s)| s.wire_bytes()).sum();
+        assert!(split >= orig && split <= orig + slices.len() * 16);
+    }
+
+    #[test]
+    fn rounds_close_per_shard_and_stats_add_up() {
+        let mut r = ShardedTcmReducer::new(4, 6);
+        for o in workload() {
+            r.ingest(&o);
+        }
+        let stats = r.close_round();
+        assert!(stats.objects > 0);
+        assert!(stats.max_shard_objects <= stats.objects);
+        assert!(
+            stats.max_shard_objects * 4 >= stats.objects,
+            "shards roughly balanced: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_reduction_on_real_threads_matches() {
+        let oals = workload();
+        let mut central = TcmBuilder::new(6);
+        for o in &oals {
+            central.ingest(o);
+        }
+        central.close_round();
+
+        // Pre-split the stream, process each shard on its own OS thread.
+        let n_shards = 4;
+        let mut per_shard: Vec<Vec<Oal>> = vec![Vec::new(); n_shards];
+        for o in &oals {
+            for (shard, slice) in split_oal(o, n_shards) {
+                per_shard[shard].push(slice);
+            }
+        }
+        let handles: Vec<_> = per_shard
+            .into_iter()
+            .map(|slices| {
+                std::thread::spawn(move || {
+                    let mut b = TcmBuilder::new(6);
+                    for s in &slices {
+                        b.ingest(s);
+                    }
+                    b.close_round();
+                    b
+                })
+            })
+            .collect();
+        let shards: Vec<TcmBuilder> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let reducer = ShardedTcmReducer::from_shards(shards, 6);
+        assert_eq!(reducer.reduce().raw(), central.tcm().raw());
+    }
+}

@@ -1,0 +1,97 @@
+//! Object Access Lists (Section II.A).
+//!
+//! Per thread and per HLRC interval, the profiler accumulates one [`Oal`]: the sampled
+//! objects the thread (fault-)accessed, each with its gap-scaled amortized size. On
+//! interval close the OAL is packed "along with the interval context ... into a jumbo
+//! message to be sent to the central coordinator", piggybacked on lock/barrier traffic
+//! when possible — we account it as asynchronous `OalBatch` traffic.
+
+use serde::{Deserialize, Serialize};
+
+use jessy_gos::{ClassId, ObjectId};
+use jessy_net::ThreadId;
+
+/// Wire bytes per OAL entry (object id + size, as in the paper).
+pub const OAL_ENTRY_BYTES: usize = 8;
+/// Wire bytes of the per-interval context (thread id, interval id, start/end PCs).
+pub const OAL_CONTEXT_BYTES: usize = 16;
+
+/// One logged access: a sampled object and its scaled amortized size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OalEntry {
+    /// The accessed object.
+    pub obj: ObjectId,
+    /// Its class (the analyzer builds per-class sub-maps for the adaptive controller).
+    pub class: ClassId,
+    /// Gap-scaled amortized bytes (see `sampling` module docs on unbiasedness).
+    pub bytes: u64,
+}
+
+/// One thread-interval's object access list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Oal {
+    /// The logging thread.
+    pub thread: ThreadId,
+    /// The thread's interval counter value.
+    pub interval: u64,
+    /// Logged accesses (at most one per object thanks to the at-most-once property).
+    pub entries: Vec<OalEntry>,
+}
+
+impl Oal {
+    /// Serialized size on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        OAL_CONTEXT_BYTES + self.entries.len() * OAL_ENTRY_BYTES
+    }
+
+    /// Total scaled bytes logged in this interval.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oal() -> Oal {
+        Oal {
+            thread: ThreadId(3),
+            interval: 9,
+            entries: vec![
+                OalEntry {
+                    obj: ObjectId(1),
+                    class: ClassId(0),
+                    bytes: 64,
+                },
+                OalEntry {
+                    obj: ObjectId(2),
+                    class: ClassId(0),
+                    bytes: 128,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn wire_bytes_count_context_and_entries() {
+        assert_eq!(oal().wire_bytes(), 16 + 2 * 8);
+        let empty = Oal {
+            thread: ThreadId(0),
+            interval: 0,
+            entries: vec![],
+        };
+        assert_eq!(empty.wire_bytes(), 16);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn total_bytes_sums_entries() {
+        assert_eq!(oal().total_bytes(), 192);
+    }
+}

@@ -1,0 +1,283 @@
+//! Partial Calling Context Tree (PCCT) profiling — the related-work contrast.
+//!
+//! The paper positions its stack sampling against Whaley's portable JVM profiler
+//! (Java Grande 2000, the paper's reference 30): *"information from dynamic profiling is
+//! only used to build a Partial Calling Context Tree (PCCT) … Such profiling only
+//! needs function caller and callee's addresses. On the other hand, in order to
+//! locate stack invariant references, we must extract and inspect each thread's frame
+//! content, which is more heavyweight."*
+//!
+//! We implement the PCCT over the same simulated stacks so the contrast is
+//! quantifiable on this substrate: a PCCT sample reads only the method-id chain
+//! (cheap, per frame), while the sticky-set sampler extracts and compares slots. Both
+//! share the timer discipline; the `micro` bench compares their per-sample costs.
+
+use std::collections::HashMap;
+
+use jessy_gos::CostModel;
+use jessy_net::{ClockHandle, SimNanos};
+use jessy_stack::{JavaStack, MethodId};
+
+/// One calling-context node: a method reached through a specific chain of callers.
+#[derive(Debug, Clone)]
+pub struct PcctNode {
+    /// The method at this context.
+    pub method: MethodId,
+    /// Samples whose stack TOP was exactly this context (exclusive count).
+    pub self_samples: u64,
+    /// Samples whose stack passed through this context (inclusive count).
+    pub total_samples: u64,
+    children: HashMap<MethodId, usize>,
+}
+
+/// A calling-context tree built from periodic stack samples.
+#[derive(Debug, Default)]
+pub struct Pcct {
+    nodes: Vec<PcctNode>,
+    roots: HashMap<MethodId, usize>,
+    samples: u64,
+}
+
+impl Pcct {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample: the bottom-up chain of method ids currently on the stack.
+    pub fn record(&mut self, path: impl IntoIterator<Item = MethodId>) {
+        let mut cursor: Option<usize> = None;
+        let mut any = false;
+        for method in path {
+            any = true;
+            let idx = match cursor {
+                None => *self.roots.entry(method).or_insert_with(|| {
+                    self.nodes.push(PcctNode {
+                        method,
+                        self_samples: 0,
+                        total_samples: 0,
+                        children: HashMap::new(),
+                    });
+                    self.nodes.len() - 1
+                }),
+                Some(parent) => {
+                    if let Some(&c) = self.nodes[parent].children.get(&method) {
+                        c
+                    } else {
+                        self.nodes.push(PcctNode {
+                            method,
+                            self_samples: 0,
+                            total_samples: 0,
+                            children: HashMap::new(),
+                        });
+                        let c = self.nodes.len() - 1;
+                        self.nodes[parent].children.insert(method, c);
+                        c
+                    }
+                }
+            };
+            self.nodes[idx].total_samples += 1;
+            cursor = Some(idx);
+        }
+        if let Some(leaf) = cursor {
+            self.nodes[leaf].self_samples += 1;
+        }
+        if any {
+            self.samples += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Distinct calling contexts discovered.
+    pub fn contexts(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The hottest calling contexts: full caller chains ranked by exclusive samples.
+    pub fn hot_contexts(&self, k: usize) -> Vec<(Vec<MethodId>, u64)> {
+        // Reconstruct each node's path by walking from every root.
+        let mut out: Vec<(Vec<MethodId>, u64)> = Vec::new();
+        let mut stack: Vec<(usize, Vec<MethodId>)> = self
+            .roots
+            .values()
+            .map(|&i| (i, vec![self.nodes[i].method]))
+            .collect();
+        while let Some((idx, path)) = stack.pop() {
+            let node = &self.nodes[idx];
+            if node.self_samples > 0 {
+                out.push((path.clone(), node.self_samples));
+            }
+            for &child in node.children.values() {
+                let mut p = path.clone();
+                p.push(self.nodes[child].method);
+                stack.push((child, p));
+            }
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// Inclusive sample count of a method summed over all of its contexts.
+    pub fn method_total(&self, method: MethodId) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.method == method)
+            .map(|n| n.total_samples)
+            .sum()
+    }
+}
+
+/// Timer-driven PCCT sampler — Whaley-style lightweight profiling over the same stack.
+#[derive(Debug)]
+pub struct PcctSampler {
+    gap_ns: u64,
+    last: Option<SimNanos>,
+    pcct: Pcct,
+}
+
+impl PcctSampler {
+    /// Sampler firing every `gap_ns` simulated nanoseconds.
+    pub fn new(gap_ns: u64) -> Self {
+        PcctSampler {
+            gap_ns,
+            last: None,
+            pcct: Pcct::new(),
+        }
+    }
+
+    /// Timer check; a PCCT sample only reads the method id of each frame — no slot
+    /// extraction, no comparison — so the charged cost is per-frame, tiny.
+    pub fn maybe_sample(&mut self, stack: &JavaStack, clock: &ClockHandle, costs: &CostModel) -> bool {
+        let now = clock.now();
+        if let Some(last) = self.last {
+            if now.saturating_sub(last) < self.gap_ns {
+                return false;
+            }
+        }
+        self.last = Some(now);
+        self.sample(stack, clock, costs);
+        true
+    }
+
+    /// Unconditionally take one sample.
+    pub fn sample(&mut self, stack: &JavaStack, clock: &ClockHandle, costs: &CostModel) {
+        clock.spend(costs.stack_sample_entry_ns);
+        // Reading caller/callee addresses: ~one probe-slot cost per frame.
+        clock.spend(costs.frame_probe_slot_ns * stack.depth() as u64);
+        self.pcct.record(stack.frames().map(|f| f.method()));
+    }
+
+    /// The tree built so far.
+    pub fn pcct(&self) -> &Pcct {
+        &self.pcct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jessy_net::{ClockBoard, ThreadId};
+
+    fn m(i: u32) -> MethodId {
+        MethodId(i)
+    }
+
+    #[test]
+    fn records_paths_and_counts() {
+        let mut p = Pcct::new();
+        p.record([m(0), m(1), m(2)]); // main → a → b
+        p.record([m(0), m(1), m(2)]);
+        p.record([m(0), m(1)]); // main → a
+        p.record([m(0), m(3)]); // main → c
+        assert_eq!(p.samples(), 4);
+        assert_eq!(p.contexts(), 4, "main, a, b, c");
+        assert_eq!(p.method_total(m(0)), 4, "every sample passes through main");
+        assert_eq!(p.method_total(m(1)), 3);
+        assert_eq!(p.method_total(m(2)), 2);
+        let hot = p.hot_contexts(10);
+        assert_eq!(hot[0].0, vec![m(0), m(1), m(2)]);
+        assert_eq!(hot[0].1, 2);
+    }
+
+    #[test]
+    fn same_method_in_different_contexts_is_distinct() {
+        let mut p = Pcct::new();
+        p.record([m(0), m(9)]); // main → util
+        p.record([m(1), m(9)]); // other → util
+        assert_eq!(p.contexts(), 4, "util appears twice, once per caller");
+        assert_eq!(p.method_total(m(9)), 2, "but totals aggregate");
+    }
+
+    #[test]
+    fn empty_sample_is_ignored() {
+        let mut p = Pcct::new();
+        p.record(std::iter::empty());
+        assert_eq!(p.samples(), 0);
+        assert_eq!(p.contexts(), 0);
+    }
+
+    #[test]
+    fn sampler_is_timer_gated_and_cheap() {
+        let board = ClockBoard::new(1);
+        let clock = board.handle(ThreadId(0));
+        let costs = CostModel::free();
+        let mut stack = JavaStack::new();
+        stack.push_raw(m(0), 4);
+        stack.push_raw(m(1), 4);
+
+        let mut s = PcctSampler::new(1000);
+        assert!(s.maybe_sample(&stack, &clock, &costs));
+        assert!(!s.maybe_sample(&stack, &clock, &costs));
+        clock.spend(1000);
+        assert!(s.maybe_sample(&stack, &clock, &costs));
+        assert_eq!(s.pcct().samples(), 2);
+        assert_eq!(s.pcct().hot_contexts(1)[0].0, vec![m(0), m(1)]);
+    }
+
+    #[test]
+    fn pcct_sampling_is_cheaper_than_invariant_mining() {
+        // The paper's quantitative point: PCCT needs only method ids; invariant mining
+        // extracts frame contents.
+        use crate::config::StackSamplingConfig;
+        use crate::stack_sampling::StackSampler;
+        use jessy_gos::ObjectId;
+        use jessy_stack::Slot;
+
+        let costs = CostModel::pentium4_2ghz();
+        let build_stack = || {
+            let mut st = JavaStack::new();
+            for d in 0..8 {
+                st.push_raw(m(d), 12);
+                st.set_local(0, Slot::Ref(ObjectId(d)));
+            }
+            st
+        };
+
+        let board = ClockBoard::new(2);
+        let c_pcct = board.handle(ThreadId(0));
+        let c_inv = board.handle(ThreadId(1));
+
+        let stack_a = build_stack();
+        let mut pcct = PcctSampler::new(0);
+        let mut stack_b = build_stack();
+        let mut inv = StackSampler::new(StackSamplingConfig {
+            gap_ns: 0,
+            lazy_extraction: false, // immediate: the extraction-heavy configuration
+        });
+        for _ in 0..10 {
+            pcct.sample(&stack_a, &c_pcct, &costs);
+            inv.sample(&mut stack_b, &c_inv, &costs);
+        }
+        assert!(
+            c_pcct.now() < c_inv.now(),
+            "PCCT {} vs invariant mining {}",
+            c_pcct.now(),
+            c_inv.now()
+        );
+    }
+}

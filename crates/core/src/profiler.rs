@@ -1,0 +1,508 @@
+//! The per-thread profiling facade.
+//!
+//! The runtime owns one [`ThreadProfiler`] per application thread and drives it at
+//! three points, mirroring where JESSICA2's hooks live:
+//!
+//! * **after every GOS access** ([`ThreadProfiler::on_access`]) — log correlation
+//!   faults (and first touches) of sampled objects into the interval's OAL, feed
+//!   sticky-set footprinting, and re-arm probe traps (nonstop or timer cadence);
+//! * **at every synchronization point** ([`ThreadProfiler::close_interval`] then, after
+//!   the sync completes, [`ThreadProfiler::open_interval`]) — emit the interval's OAL
+//!   for shipment to the coordinator and arm false-invalid traps on the objects the
+//!   thread accessed last interval (Section II.A);
+//! * **opportunistically** ([`ThreadProfiler::maybe_stack_sample`]) — timer-gated stack
+//!   sampling (Section III.B).
+//!
+//! Shared, cross-thread state (the gap table the coordinator retunes, global counters)
+//! lives in [`ProfilerShared`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use jessy_gos::{AccessOutcome, ClassId, Gos, ObjectCore, ObjectId};
+use jessy_net::{ClockHandle, ThreadId};
+use jessy_stack::JavaStack;
+
+use crate::config::{FootprintMode, ProfilerConfig};
+use crate::oal::{Oal, OalEntry};
+use crate::sampling::GapTable;
+use crate::stack_sampling::{StackInvariant, StackSampler};
+use crate::sticky::footprint::{FootprintSnapshot, FootprintTracker};
+use crate::sticky::resolution::{resolve_sticky_set, Resolution};
+
+/// Global profiling counters (all threads).
+#[derive(Debug, Default)]
+pub struct ProfilerStats {
+    intervals_closed: AtomicU64,
+    oal_entries: AtomicU64,
+    fi_armed: AtomicU64,
+    footprint_rearms: AtomicU64,
+}
+
+/// A point-in-time copy of [`ProfilerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfilerStatsSnapshot {
+    /// Intervals closed across all threads.
+    pub intervals_closed: u64,
+    /// OAL entries logged.
+    pub oal_entries: u64,
+    /// False-invalid traps armed at interval opens.
+    pub fi_armed: u64,
+    /// Extra traps armed by footprint probing.
+    pub footprint_rearms: u64,
+}
+
+impl ProfilerStats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> ProfilerStatsSnapshot {
+        ProfilerStatsSnapshot {
+            intervals_closed: self.intervals_closed.load(Ordering::Relaxed),
+            oal_entries: self.oal_entries.load(Ordering::Relaxed),
+            fi_armed: self.fi_armed.load(Ordering::Relaxed),
+            footprint_rearms: self.footprint_rearms.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Profiler state shared by all threads: configuration, the per-class gap table and
+/// global counters.
+#[derive(Debug)]
+pub struct ProfilerShared {
+    config: ProfilerConfig,
+    gaps: GapTable,
+    stats: ProfilerStats,
+}
+
+impl ProfilerShared {
+    /// Build the shared state.
+    pub fn new(config: ProfilerConfig) -> Arc<Self> {
+        Arc::new(ProfilerShared {
+            config,
+            gaps: GapTable::new(config.page_size),
+            stats: ProfilerStats::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProfilerConfig {
+        &self.config
+    }
+
+    /// The shared gap table (the adaptive controller mutates it).
+    pub fn gaps(&self) -> &GapTable {
+        &self.gaps
+    }
+
+    /// Global counters.
+    pub fn stats(&self) -> &ProfilerStats {
+        &self.stats
+    }
+
+    /// Register a class for sampling at the configured initial rate.
+    pub fn register_class(&self, class: ClassId, unit_bytes: usize) {
+        self.gaps
+            .register_class(class, unit_bytes, self.config.initial_rate);
+    }
+
+    /// Tag a freshly allocated object's sampled bit from its sequence number(s).
+    pub fn tag_new_object(&self, core: &ObjectCore) {
+        let len_elems = if core.is_array {
+            let unit_words = (self.gaps.state(core.class).unit_bytes / 8).max(1) as u32;
+            core.len_words / unit_words
+        } else {
+            1
+        };
+        core.set_sampled(self.gaps.decide_sampled(core.class, core.elem_seq0, len_elems));
+    }
+}
+
+/// Per-thread profiler.
+#[derive(Debug)]
+pub struct ThreadProfiler {
+    shared: Arc<ProfilerShared>,
+    thread: ThreadId,
+    interval: u64,
+    oal_entries: Vec<OalEntry>,
+    logged_this_interval: HashSet<ObjectId>,
+    accessed_sampled: Vec<ObjectId>,
+    last_accessed: Vec<ObjectId>,
+    footprint: Option<FootprintTracker>,
+    stack_sampler: Option<StackSampler>,
+    last_footprint: FootprintSnapshot,
+}
+
+impl ThreadProfiler {
+    /// Profiler for `thread`.
+    pub fn new(shared: Arc<ProfilerShared>, thread: ThreadId) -> Self {
+        let footprint = shared.config.footprint.map(FootprintTracker::new);
+        let stack_sampler = shared.config.stack.map(StackSampler::new);
+        ThreadProfiler {
+            shared,
+            thread,
+            interval: 0,
+            oal_entries: Vec::new(),
+            logged_this_interval: HashSet::new(),
+            accessed_sampled: Vec::new(),
+            last_accessed: Vec::new(),
+            footprint,
+            stack_sampler,
+            last_footprint: FootprintSnapshot::default(),
+        }
+    }
+
+    /// The owning thread.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Shared state.
+    pub fn shared(&self) -> &Arc<ProfilerShared> {
+        &self.shared
+    }
+
+    /// Current interval number.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Hook called after every GOS access with its [`AccessOutcome`].
+    pub fn on_access(&mut self, gos: &Gos, out: &AccessOutcome, clock: &ClockHandle) {
+        let config = &self.shared.config;
+        let costs = gos.costs();
+
+        if config.full_trace {
+            // Ground truth: log every access once per interval at full payload size.
+            if config.track_correlation && self.logged_this_interval.insert(out.obj) {
+                clock.spend(costs.log_append_ns);
+                self.shared.stats.oal_entries.fetch_add(1, Ordering::Relaxed);
+                self.oal_entries.push(OalEntry {
+                    obj: out.obj,
+                    class: out.class,
+                    bytes: out.payload_bytes as u64,
+                });
+                self.accessed_sampled.push(out.obj);
+            }
+            return;
+        }
+
+        if !out.loggable() || !out.sampled {
+            return;
+        }
+        let scaled = self
+            .shared
+            .gaps
+            .scaled_bytes(out.class, out.elem_seq0, out.len_elems);
+
+        if self.logged_this_interval.insert(out.obj) {
+            self.accessed_sampled.push(out.obj);
+            if config.track_correlation {
+                clock.spend(costs.log_append_ns);
+                self.shared.stats.oal_entries.fetch_add(1, Ordering::Relaxed);
+                self.oal_entries.push(OalEntry {
+                    obj: out.obj,
+                    class: out.class,
+                    bytes: scaled,
+                });
+            }
+        }
+
+        if let Some(fp) = &mut self.footprint {
+            fp.on_logged_access(out.obj, out.class, scaled);
+            if matches!(fp.config().mode, FootprintMode::Nonstop) {
+                // Exact frequency counting: the object must fault on its next access.
+                let armed = gos.set_false_invalid(self.thread, [out.obj]);
+                self.shared
+                    .stats
+                    .footprint_rearms
+                    .fetch_add(armed as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Timer-gated footprint probe: when due, re-arm traps on every object hit so far
+    /// this interval so the next probe round can recount them. Call this from the
+    /// runtime's access wrapper (it is cheap when not due).
+    pub fn maybe_footprint_probe(&mut self, gos: &Gos, clock: &ClockHandle) {
+        let Some(fp) = &mut self.footprint else {
+            return;
+        };
+        if !fp.should_probe(clock.now()) {
+            return;
+        }
+        fp.start_round(clock.now());
+        let objs = fp.hit_objects();
+        if !objs.is_empty() {
+            let armed = gos.set_false_invalid(self.thread, objs);
+            self.shared
+                .stats
+                .footprint_rearms
+                .fetch_add(armed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Timer-gated stack sample (Section III.B). Returns whether a sample was taken.
+    pub fn maybe_stack_sample(
+        &mut self,
+        gos: &Gos,
+        stack: &mut JavaStack,
+        clock: &ClockHandle,
+    ) -> bool {
+        match &mut self.stack_sampler {
+            Some(s) => s.maybe_sample(stack, clock, gos.costs()),
+            None => false,
+        }
+    }
+
+    /// Close the current interval (called right *before* the release part of a sync
+    /// operation): emits the interval's OAL (if correlation tracking is on) and folds
+    /// the footprint snapshot (if footprinting is on).
+    pub fn close_interval(&mut self) -> Option<Oal> {
+        self.shared
+            .stats
+            .intervals_closed
+            .fetch_add(1, Ordering::Relaxed);
+        self.last_accessed = std::mem::take(&mut self.accessed_sampled);
+        self.logged_this_interval.clear();
+        if let Some(fp) = &mut self.footprint {
+            self.last_footprint = fp.close_interval();
+        }
+        let entries = std::mem::take(&mut self.oal_entries);
+        let oal = Oal {
+            thread: self.thread,
+            interval: self.interval,
+            entries,
+        };
+        self.interval += 1;
+        // Even empty OALs are emitted: the interval context tells the coordinator the
+        // thread's interval stream is complete up to here, which is what lets it close
+        // TCM rounds deterministically by interval number rather than arrival order.
+        if self.shared.config.track_correlation {
+            Some(oal)
+        } else {
+            None
+        }
+    }
+
+    /// Open the next interval (called right *after* the acquire part of a sync
+    /// operation): arm false-invalid traps on the objects accessed last interval.
+    pub fn open_interval(&mut self, gos: &Gos) {
+        let config = &self.shared.config;
+        if !(config.track_correlation || config.footprint.is_some()) || config.full_trace {
+            // Full-trace mode logs on every access; no arming needed.
+            return;
+        }
+        if self.last_accessed.is_empty() {
+            return;
+        }
+        let armed = gos.set_false_invalid(self.thread, self.last_accessed.iter().copied());
+        self.shared
+            .stats
+            .fi_armed
+            .fetch_add(armed as u64, Ordering::Relaxed);
+    }
+
+    /// Stack invariants discovered so far (topmost first).
+    pub fn invariants(&self) -> Vec<StackInvariant> {
+        self.stack_sampler
+            .as_ref()
+            .map(|s| s.invariants())
+            .unwrap_or_default()
+    }
+
+    /// The stack sampler's counters, if enabled.
+    pub fn stack_stats(&self) -> Option<crate::stack_sampling::StackSamplerStats> {
+        self.stack_sampler.as_ref().map(|s| s.stats())
+    }
+
+    /// Average per-class sticky footprint over closed intervals (Table IV).
+    pub fn average_footprint(&self) -> HashMap<ClassId, f64> {
+        self.footprint
+            .as_ref()
+            .map(|f| f.average_footprint())
+            .unwrap_or_default()
+    }
+
+    /// The most recently closed interval's footprint snapshot.
+    pub fn last_footprint(&self) -> &FootprintSnapshot {
+        &self.last_footprint
+    }
+
+    /// Resolve this thread's sticky set for a migration: stack invariants (topmost
+    /// first) as roots, the averaged footprint as the per-class budget.
+    pub fn resolve_sticky(&self, gos: &Gos, clock: &ClockHandle) -> Resolution {
+        let roots: Vec<ObjectId> = self.invariants().iter().map(|i| i.obj).collect();
+        let budget: HashMap<ClassId, u64> = self
+            .average_footprint()
+            .into_iter()
+            .map(|(c, b)| (c, b.round() as u64))
+            .collect();
+        resolve_sticky_set(
+            gos,
+            self.shared.gaps(),
+            &roots,
+            &budget,
+            self.shared.config.tolerance_t,
+            clock,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FootprintConfig, StackSamplingConfig};
+    use crate::sampling::SamplingRate;
+    use jessy_gos::{CostModel, GosConfig};
+    use jessy_net::{ClockBoard, LatencyModel, NodeId};
+
+    fn gos1() -> (Gos, ClockHandle) {
+        let g = Gos::new(GosConfig {
+            n_nodes: 1,
+            n_threads: 1,
+            latency: LatencyModel::free(),
+            costs: CostModel::free(),
+            prefetch_depth: 0,
+            consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+        });
+        (g, ClockBoard::new(1).handle(ThreadId(0)))
+    }
+
+    #[test]
+    fn first_touch_then_interval_arming_keeps_logging() {
+        let (gos, clock) = gos1();
+        let shared = ProfilerShared::new(ProfilerConfig::tracking_at(SamplingRate::Full));
+        let class = gos.classes().register_scalar("X", 2);
+        shared.register_class(class, 16);
+        let mut prof = ThreadProfiler::new(Arc::clone(&shared), ThreadId(0));
+        let node = NodeId(0);
+
+        let core = gos.alloc_scalar(node, class, &clock, None);
+        shared.tag_new_object(&core);
+        assert!(core.is_sampled(), "full sampling tags everything");
+
+        // Interval 0: the home-resident first touch is loggable.
+        let (_, out) = gos.read(node, core.id, &clock, |_| {});
+        assert!(out.first_touch && !out.faulted());
+        prof.on_access(&gos, &out, &clock);
+        // Repeat access: hit, not logged again.
+        let (_, out) = gos.read(node, core.id, &clock, |_| {});
+        assert!(!out.loggable());
+        prof.on_access(&gos, &out, &clock);
+        let oal = prof.close_interval().expect("first touch logged");
+        assert_eq!(oal.entries.len(), 1);
+        assert_eq!(oal.entries[0].bytes, 16, "scaled = payload at gap 1");
+
+        // Interval 1: open_interval arms the trap; access logs again.
+        prof.open_interval(&gos);
+        assert_eq!(shared.stats().snapshot().fi_armed, 1);
+        let (_, out) = gos.read(node, core.id, &clock, |_| {});
+        assert!(out.false_invalid, "trap armed by open_interval");
+        prof.on_access(&gos, &out, &clock);
+        let oal = prof.close_interval().unwrap();
+        assert_eq!(oal.interval, 1);
+        assert_eq!(oal.entries.len(), 1);
+        assert_eq!(shared.stats().snapshot().oal_entries, 2);
+    }
+
+    #[test]
+    fn unsampled_objects_are_never_logged() {
+        let (gos, clock) = gos1();
+        // 64-byte class at 1X → gap 67: seq 1 is unsampled.
+        let shared = ProfilerShared::new(ProfilerConfig::tracking_at(SamplingRate::NX(1)));
+        let class = gos.classes().register_scalar("Body", 8);
+        shared.register_class(class, 64);
+        let mut prof = ThreadProfiler::new(Arc::clone(&shared), ThreadId(0));
+        let node = NodeId(0);
+        let a = gos.alloc_scalar(node, class, &clock, None); // seq 0: sampled
+        let b = gos.alloc_scalar(node, class, &clock, None); // seq 1: not
+        shared.tag_new_object(&a);
+        shared.tag_new_object(&b);
+        assert!(a.is_sampled() && !b.is_sampled());
+
+        for id in [a.id, b.id] {
+            let (_, out) = gos.read(node, id, &clock, |_| {});
+            assert!(out.first_touch);
+            prof.on_access(&gos, &out, &clock);
+        }
+        let oal = prof.close_interval().unwrap();
+        assert_eq!(oal.entries.len(), 1);
+        assert_eq!(oal.entries[0].obj, a.id);
+        assert_eq!(oal.entries[0].bytes, 64 * 67, "scaled by the gap");
+    }
+
+    #[test]
+    fn full_trace_logs_every_object_without_arming() {
+        let (gos, clock) = gos1();
+        let shared = ProfilerShared::new(ProfilerConfig::ground_truth());
+        let class = gos.classes().register_scalar("X", 1);
+        shared.register_class(class, 8);
+        let mut prof = ThreadProfiler::new(Arc::clone(&shared), ThreadId(0));
+        let node = NodeId(0);
+        let a = gos.alloc_scalar(node, class, &clock, None);
+        let b = gos.alloc_scalar(node, class, &clock, None);
+        for id in [a.id, b.id, a.id] {
+            let (_, out) = gos.read(node, id, &clock, |_| {});
+            prof.on_access(&gos, &out, &clock);
+        }
+        let oal = prof.close_interval().unwrap();
+        assert_eq!(oal.entries.len(), 2, "deduplicated per interval");
+        assert!(oal.entries.iter().all(|e| e.bytes == 8));
+
+        // Next interval logs the same objects again without any arming.
+        prof.open_interval(&gos);
+        let (_, out) = gos.read(node, a.id, &clock, |_| {});
+        assert!(!out.faulted(), "no traps in full-trace mode");
+        prof.on_access(&gos, &out, &clock);
+        assert_eq!(prof.close_interval().unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn nonstop_footprint_rearms_and_counts_frequency() {
+        let (gos, clock) = gos1();
+        let mut config = ProfilerConfig::tracking_at(SamplingRate::Full);
+        config.footprint = Some(FootprintConfig {
+            mode: FootprintMode::Nonstop,
+            min_gap: 1,
+        });
+        let shared = ProfilerShared::new(config);
+        let class = gos.classes().register_scalar("X", 1);
+        shared.register_class(class, 8);
+        let mut prof = ThreadProfiler::new(Arc::clone(&shared), ThreadId(0));
+        let node = NodeId(0);
+        let core = gos.alloc_scalar(node, class, &clock, None);
+        shared.tag_new_object(&core);
+
+        // Every access faults: first touch, then nonstop re-arming.
+        for i in 0..4 {
+            let (_, out) = gos.read(node, core.id, &clock, |_| {});
+            assert!(out.loggable(), "access {i} must trap");
+            prof.on_access(&gos, &out, &clock);
+        }
+        prof.close_interval();
+        assert_eq!(prof.last_footprint().sticky_objects, 1);
+        assert_eq!(shared.stats().snapshot().footprint_rearms, 4);
+    }
+
+    #[test]
+    fn stack_sampling_integration() {
+        let (gos, clock) = gos1();
+        let mut config = ProfilerConfig::disabled();
+        config.stack = Some(StackSamplingConfig {
+            gap_ns: 0,
+            lazy_extraction: true,
+        });
+        let shared = ProfilerShared::new(config);
+        let mut prof = ThreadProfiler::new(shared, ThreadId(0));
+        let mut stack = JavaStack::new();
+        stack.push_raw(jessy_stack::MethodId(0), 2);
+        stack.set_local(0, jessy_stack::Slot::Ref(ObjectId(4)));
+        assert!(prof.maybe_stack_sample(&gos, &mut stack, &clock));
+        clock.spend(1);
+        assert!(prof.maybe_stack_sample(&gos, &mut stack, &clock));
+        assert_eq!(prof.invariants().len(), 1);
+        assert!(prof.stack_stats().unwrap().samples == 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Adaptive object sampling (Section II.B).
+//!
+//! ## Rates and gaps
+//!
+//! The paper expresses sampling rates relative to the page size: rate `nX` means
+//! "sample `n` objects per 4 KB page of instances", so a class of instance (or array
+//! element) size `s` gets a **nominal gap** of `SP / (s·n)`, rounded to the nearest
+//! prime (`jessy_gos::prime`) to defeat cyclic allocation patterns. Once the nominal
+//! gap reaches 1 the class is at **full sampling** and cannot be refined further.
+//!
+//! ## The sampled decision
+//!
+//! A scalar instance with per-class sequence number `q` is sampled iff `q ≡ 0 (mod
+//! gap)`. An array whose elements carry consecutive sequence numbers `q₀ … q₀+L-1` is
+//! sampled iff *any* element's number is divisible — and the number of logically
+//! sampled elements is exactly the count of such multiples (Section II.B.3, Fig. 3b).
+//!
+//! ## Amortization and unbiasedness
+//!
+//! When a sampled array is accessed, the paper logs the **amortized size** `sampled
+//! elements × element size` instead of the full array size, keeping large arrays from
+//! skewing the correlation map. We additionally scale every logged size by the class
+//! gap when accruing the TCM, making the estimator Horvitz–Thompson unbiased:
+//!
+//! * scalar: sampled with probability `1/gap`, contributes `s · gap` → expectation `s`;
+//! * array `L ≥ gap`: always sampled, contributes `≈ (L/gap)·e·gap = L·e` (its size);
+//! * array `L < gap`: sampled with probability `L/gap`, contributes `e · gap` →
+//!   expectation `L·e`.
+//!
+//! Without this scaling, coarse rates would shrink the whole map by `≈ gap` and the
+//! paper's ≥95 % accuracies would be unreachable; with it they fall out naturally.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use jessy_gos::prime::nearest_prime;
+use jessy_gos::ClassId;
+
+/// A page-relative sampling rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplingRate {
+    /// `n` samples per page worth of instances (`nX` in the paper).
+    NX(u32),
+    /// Every object sampled.
+    Full,
+}
+
+impl SamplingRate {
+    /// The nominal gap for a class of `unit_bytes`-sized instances/elements under page
+    /// size `page_size`: `SP / (s·n)`, clamped to at least 1.
+    pub fn nominal_gap(self, unit_bytes: usize, page_size: u32) -> u64 {
+        match self {
+            SamplingRate::Full => 1,
+            SamplingRate::NX(n) => {
+                assert!(n > 0, "0X is not a rate");
+                let denom = unit_bytes as u64 * n as u64;
+                (page_size as u64 / denom.max(1)).max(1)
+            }
+        }
+    }
+
+    /// The next finer rate on the ladder (1X → 2X → 4X → … → Full). Stepping a rate
+    /// whose gap is already 1 for the given class yields `Full`.
+    pub fn step_up(self, unit_bytes: usize, page_size: u32) -> SamplingRate {
+        match self {
+            SamplingRate::Full => SamplingRate::Full,
+            SamplingRate::NX(n) => {
+                let next = SamplingRate::NX(n.saturating_mul(2));
+                if next.nominal_gap(unit_bytes, page_size) <= 1 {
+                    SamplingRate::Full
+                } else {
+                    next
+                }
+            }
+        }
+    }
+
+    /// Human-readable label ("4X", "full").
+    pub fn label(self) -> String {
+        match self {
+            SamplingRate::NX(n) => format!("{n}X"),
+            SamplingRate::Full => "full".to_string(),
+        }
+    }
+}
+
+/// Count of multiples of `gap` in `[start, start + len)` — the logically sampled
+/// element count of Fig. 3(b).
+pub fn multiples_in(start: u64, len: u64, gap: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    if gap <= 1 {
+        return len;
+    }
+    let hi = (start + len - 1) / gap + 1;
+    let lo = if start == 0 { 0 } else { (start - 1) / gap + 1 };
+    hi - lo
+}
+
+/// Per-class sampling state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassGapState {
+    /// The class's instance/element size in bytes (the `s` of the gap formula).
+    pub unit_bytes: usize,
+    /// Current rate on the ladder.
+    pub rate: SamplingRate,
+    /// Nominal (power-of-two-ish) gap.
+    pub nominal_gap: u64,
+    /// Real (prime) gap actually used for the divisibility test.
+    pub real_gap: u64,
+}
+
+/// The shared table of per-class sampling gaps. Threads consult it on every
+/// allocation; the adaptive controller updates it on rate changes.
+///
+/// ```
+/// use jessy_core::sampling::GapTable;
+/// use jessy_core::SamplingRate;
+/// use jessy_gos::ClassId;
+///
+/// let gaps = GapTable::new(4096);
+/// let body = ClassId(0);
+/// gaps.register_class(body, 64, SamplingRate::NX(1)); // 64-byte class at 1X
+/// assert_eq!(gaps.state(body).nominal_gap, 64);
+/// assert_eq!(gaps.gap(body), 67, "nearest prime");
+/// assert!(gaps.decide_sampled(body, 134, 1)); // 134 = 2 * 67
+/// // The gap-scaled estimate is unbiased: size * gap when sampled.
+/// assert_eq!(gaps.scaled_bytes(body, 134, 1), 64 * 67);
+/// ```
+#[derive(Debug)]
+pub struct GapTable {
+    page_size: u32,
+    states: RwLock<Vec<Option<ClassGapState>>>,
+}
+
+impl GapTable {
+    /// Empty table for the given page size.
+    pub fn new(page_size: u32) -> Self {
+        GapTable {
+            page_size,
+            states: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The page size `SP`.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Register a class with its unit size and initial rate.
+    pub fn register_class(&self, class: ClassId, unit_bytes: usize, rate: SamplingRate) {
+        let nominal = rate.nominal_gap(unit_bytes, self.page_size);
+        let state = ClassGapState {
+            unit_bytes,
+            rate,
+            nominal_gap: nominal,
+            real_gap: nearest_prime(nominal),
+        };
+        let mut states = self.states.write();
+        if states.len() <= class.index() {
+            states.resize(class.index() + 1, None);
+        }
+        states[class.index()] = Some(state);
+    }
+
+    /// Current state of a class.
+    ///
+    /// # Panics
+    /// If the class was never registered.
+    pub fn state(&self, class: ClassId) -> ClassGapState {
+        self.states
+            .read()
+            .get(class.index())
+            .copied()
+            .flatten()
+            .expect("class not registered with GapTable")
+    }
+
+    /// Current real (prime) gap of a class.
+    pub fn gap(&self, class: ClassId) -> u64 {
+        self.state(class).real_gap
+    }
+
+    /// Set a class's rate, recomputing gaps. Returns the new state.
+    pub fn set_rate(&self, class: ClassId, rate: SamplingRate) -> ClassGapState {
+        let mut states = self.states.write();
+        let slot = states[class.index()]
+            .as_mut()
+            .expect("class not registered with GapTable");
+        slot.rate = rate;
+        slot.nominal_gap = rate.nominal_gap(slot.unit_bytes, self.page_size);
+        slot.real_gap = nearest_prime(slot.nominal_gap);
+        *slot
+    }
+
+    /// Step a class one rate finer. Returns the new state.
+    pub fn step_up(&self, class: ClassId) -> ClassGapState {
+        let cur = self.state(class);
+        let next = cur.rate.step_up(cur.unit_bytes, self.page_size);
+        self.set_rate(class, next)
+    }
+
+    /// Is an object (scalar: `len_elems == 1`) with first sequence number `seq0`
+    /// sampled under the class's current gap?
+    pub fn decide_sampled(&self, class: ClassId, seq0: u64, len_elems: u32) -> bool {
+        multiples_in(seq0, len_elems as u64, self.gap(class)) > 0
+    }
+
+    /// Logically sampled element count of an array (scalars: 0 or 1).
+    pub fn sampled_elems(&self, class: ClassId, seq0: u64, len_elems: u32) -> u64 {
+        multiples_in(seq0, len_elems as u64, self.gap(class))
+    }
+
+    /// The amortized logged size of Section II.B.3: sampled elements × unit size.
+    pub fn amortized_bytes(&self, class: ClassId, seq0: u64, len_elems: u32) -> u64 {
+        let st = self.state(class);
+        multiples_in(seq0, len_elems as u64, st.real_gap) * st.unit_bytes as u64
+    }
+
+    /// The gap-scaled (Horvitz–Thompson) contribution used when accruing the TCM.
+    pub fn scaled_bytes(&self, class: ClassId, seq0: u64, len_elems: u32) -> u64 {
+        let st = self.state(class);
+        multiples_in(seq0, len_elems as u64, st.real_gap) * st.unit_bytes as u64 * st.real_gap
+    }
+
+    /// All registered classes.
+    pub fn classes(&self) -> Vec<ClassId> {
+        self.states
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| ClassId(i as u16)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_gap_follows_the_formula() {
+        // Body-like class: 64 bytes. 1X on 4 KB pages → gap 64.
+        assert_eq!(SamplingRate::NX(1).nominal_gap(64, 4096), 64);
+        assert_eq!(SamplingRate::NX(4).nominal_gap(64, 4096), 16);
+        assert_eq!(SamplingRate::NX(64).nominal_gap(64, 4096), 1, "64X is full for 64 B");
+        assert_eq!(SamplingRate::Full.nominal_gap(64, 4096), 1);
+        // 8-byte array elements: 1X → 512.
+        assert_eq!(SamplingRate::NX(1).nominal_gap(8, 4096), 512);
+        // Objects larger than a page: always gap 1 (the SOR effect).
+        assert_eq!(SamplingRate::NX(1).nominal_gap(16384, 4096), 1);
+    }
+
+    #[test]
+    fn step_up_reaches_full_and_sticks() {
+        let mut r = SamplingRate::NX(1);
+        let mut steps = 0;
+        while r != SamplingRate::Full {
+            r = r.step_up(8, 4096);
+            steps += 1;
+            assert!(steps < 64, "ladder must terminate");
+        }
+        // 8-byte units: 1X(512) → 2X(256) → ... → 512X(1)=Full: 9 steps.
+        assert_eq!(steps, 9);
+        assert_eq!(SamplingRate::Full.step_up(8, 4096), SamplingRate::Full);
+    }
+
+    #[test]
+    fn multiples_in_counts_exactly() {
+        assert_eq!(multiples_in(0, 1, 5), 1, "0 is a multiple");
+        assert_eq!(multiples_in(1, 4, 5), 0, "[1,5) has none");
+        assert_eq!(multiples_in(3, 5, 5), 1, "[3,8) has 5");
+        assert_eq!(multiples_in(10, 11, 5), 3, "[10,21): 10,15,20");
+        assert_eq!(multiples_in(7, 0, 5), 0, "empty range");
+        assert_eq!(multiples_in(7, 3, 1), 3, "gap 1 samples everything");
+        // Brute-force cross-check.
+        for start in 0..40u64 {
+            for len in 0..30u64 {
+                for gap in 1..12u64 {
+                    let brute = (start..start + len).filter(|x| x % gap == 0).count() as u64;
+                    assert_eq!(
+                        multiples_in(start, len, gap),
+                        brute,
+                        "start={start} len={len} gap={gap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_table_register_and_decide() {
+        let t = GapTable::new(4096);
+        let c = ClassId(0);
+        t.register_class(c, 64, SamplingRate::NX(1));
+        let st = t.state(c);
+        assert_eq!(st.nominal_gap, 64);
+        assert_eq!(st.real_gap, 67, "nearest prime to 64 is 67 (upward tie)");
+        assert!(t.decide_sampled(c, 0, 1));
+        assert!(!t.decide_sampled(c, 1, 1));
+        assert!(t.decide_sampled(c, 67, 1));
+        assert!(t.decide_sampled(c, 60, 10), "array straddling a multiple");
+    }
+
+    #[test]
+    fn scaled_bytes_are_horvitz_thompson() {
+        let t = GapTable::new(4096);
+        let c = ClassId(0);
+        t.register_class(c, 8, SamplingRate::NX(1)); // gap 509 (prime near 512)
+        assert_eq!(t.state(c).real_gap, 509);
+        // A 2048-element array: 5 multiples of 509 in [0, 2048) → amortized 40 bytes,
+        // scaled 40*509 ≈ the array's true 16 KB size.
+        assert_eq!(t.sampled_elems(c, 0, 2048), 5);
+        assert_eq!(t.amortized_bytes(c, 0, 2048), 40);
+        let scaled = t.scaled_bytes(c, 0, 2048) as f64;
+        let truth = 2048.0 * 8.0;
+        assert!((scaled - truth).abs() / truth < 0.25, "scaled={scaled} truth={truth}");
+    }
+
+    #[test]
+    fn unbiasedness_over_a_population_of_small_arrays() {
+        // Expected scaled contribution across many consecutive small arrays must match
+        // the true total byte volume closely (the estimator is exactly unbiased over
+        // full gap-cycles).
+        let t = GapTable::new(4096);
+        let c = ClassId(0);
+        t.register_class(c, 8, SamplingRate::NX(8)); // nominal 64 → prime 67
+        let gap = t.state(c).real_gap;
+        assert_eq!(gap, 67);
+        let mut seq = 0u64;
+        let mut scaled_total = 0u64;
+        let mut true_total = 0u64;
+        // Mixed lengths, many cycles of the gap.
+        for i in 0..4_000u64 {
+            let len = 1 + (i % 13) as u32;
+            scaled_total += t.scaled_bytes(c, seq, len);
+            true_total += len as u64 * 8;
+            seq += len as u64;
+        }
+        let err = (scaled_total as f64 - true_total as f64).abs() / true_total as f64;
+        assert!(err < 0.02, "estimator bias {err} too large");
+    }
+
+    #[test]
+    fn set_rate_and_step_up_update_gaps() {
+        let t = GapTable::new(4096);
+        let c = ClassId(3);
+        t.register_class(c, 64, SamplingRate::NX(1));
+        assert_eq!(t.gap(c), 67);
+        t.step_up(c);
+        assert_eq!(t.state(c).rate, SamplingRate::NX(2));
+        assert_eq!(t.state(c).nominal_gap, 32);
+        assert_eq!(t.gap(c), 31);
+        t.set_rate(c, SamplingRate::Full);
+        assert_eq!(t.gap(c), 1);
+        assert_eq!(t.classes(), vec![c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_class_panics() {
+        let t = GapTable::new(4096);
+        t.gap(ClassId(0));
+    }
+}

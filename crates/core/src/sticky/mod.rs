@@ -1,0 +1,19 @@
+//! Sticky-set profiling (Section III).
+//!
+//! The **sticky set** of a migrant thread is the set of objects that were accessed
+//! before the migration *and* will be accessed again after it within the same HLRC
+//! interval — exactly the objects whose remote re-faults constitute the hidden,
+//! indirect cost of a thread migration. It is estimated by a two-way strategy:
+//!
+//! * [`footprint`] — repeated object sampling within an interval yields per-class
+//!   **footprints** (bytes of frequently-accessed sampled objects): how *much* of each
+//!   class is sticky;
+//! * [`resolution`] — stack-invariant references (from [`crate::stack_sampling`])
+//!   provide the entry points, and a graph walk guided by sampled **landmark** objects
+//!   selects *which* objects to prefetch until the footprints are met.
+
+pub mod footprint;
+pub mod resolution;
+
+pub use footprint::{FootprintSnapshot, FootprintTracker};
+pub use resolution::{resolve_sticky_set, Resolution};

@@ -1,0 +1,450 @@
+//! The Thread Correlation Map (Section II.A).
+//!
+//! An N×N symmetric histogram: entry *(i, j)* accumulates the bytes of objects threads
+//! *i* and *j* accessed in common. The central coordinator builds it from OALs in two
+//! steps, exactly as the paper costs them: reorganizing per-thread lists into
+//! per-object thread lists (`O(M·N)`), then accruing every pair (`O(M·N²)`).
+//!
+//! A [`TcmBuilder`] ingests OALs continuously; [`TcmBuilder::close_round`] folds the
+//! per-object organization of the round into the map and clears it. Accumulating in
+//! rounds (one round = `intervals_per_round` closed intervals) is what lets the
+//! adaptive controller compare "successive correlation matrices".
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use jessy_gos::{ClassId, ObjectId};
+use jessy_net::ThreadId;
+
+use crate::oal::Oal;
+
+/// A symmetric N×N correlation map with a zero diagonal.
+///
+/// ```
+/// use jessy_core::Tcm;
+/// use jessy_net::ThreadId;
+///
+/// let mut tcm = Tcm::new(3);
+/// tcm.add_pair(ThreadId(0), ThreadId(2), 4096.0);
+/// assert_eq!(tcm.at(ThreadId(2), ThreadId(0)), 4096.0); // symmetric
+/// assert_eq!(tcm.at(ThreadId(1), ThreadId(1)), 0.0);    // zero diagonal
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tcm {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Tcm {
+    /// Zeroed map for `n` threads.
+    pub fn new(n: usize) -> Self {
+        Tcm {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of threads.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Shared volume between threads `i` and `j`.
+    #[inline]
+    pub fn at(&self, i: ThreadId, j: ThreadId) -> f64 {
+        self.data[i.index() * self.n + j.index()]
+    }
+
+    /// Accrue `bytes` to the (i, j) pair (both triangle halves; no-op for i == j).
+    pub fn add_pair(&mut self, i: ThreadId, j: ThreadId, bytes: f64) {
+        if i == j {
+            return;
+        }
+        self.data[i.index() * self.n + j.index()] += bytes;
+        self.data[j.index() * self.n + i.index()] += bytes;
+    }
+
+    /// Merge another map into this one.
+    pub fn merge(&mut self, other: &Tcm) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all entries (2× the total pairwise shared volume).
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Scale every entry (normalization for cross-run comparisons).
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Raw row-major data (for distance metrics and heatmaps).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The map as rows (for rendering).
+    pub fn rows(&self) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|i| self.data[i * self.n..(i + 1) * self.n].to_vec())
+            .collect()
+    }
+
+    /// Serialize as CSV (header `t0,t1,…`, one row per thread) for external plotting
+    /// of the Fig. 1 / Fig. 9 data.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &(0..self.n)
+                .map(|i| format!("t{i}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in self.rows() {
+            out.push_str(
+                &row.iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render an ASCII heatmap (darker glyph = more sharing), for the Fig. 1-style
+    /// examples.
+    pub fn ascii_heatmap(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.data.iter().cloned().fold(0.0f64, f64::max);
+        let mut out = String::with_capacity(self.n * (self.n + 1));
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let v = self.data[i * self.n + j];
+                let idx = if max <= 0.0 {
+                    0
+                } else {
+                    (((v / max) * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+                };
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct ObjAccum {
+    bytes: f64,
+    threads: Vec<ThreadId>,
+}
+
+/// What one [`TcmBuilder::close_round`] produced.
+#[derive(Debug, Clone)]
+pub struct RoundSummary {
+    /// Distinct objects organized this round (the `M` of the `O(M·N²)` cost).
+    pub objects: usize,
+    /// This round's own correlation map.
+    pub tcm: Tcm,
+    /// This round's per-class maps (input to the adaptive controller).
+    pub per_class: HashMap<ClassId, Tcm>,
+}
+
+/// Builds a [`Tcm`] (and per-class sub-maps) from a stream of OALs.
+#[derive(Debug)]
+pub struct TcmBuilder {
+    n_threads: usize,
+    tcm: Tcm,
+    per_class: HashMap<ClassId, Tcm>,
+    round_objects: HashMap<ObjectId, (ClassId, ObjAccum)>,
+    intervals_ingested: u64,
+    rounds_closed: u64,
+    decay: f64,
+}
+
+impl TcmBuilder {
+    /// Builder for `n_threads` threads.
+    pub fn new(n_threads: usize) -> Self {
+        TcmBuilder {
+            n_threads,
+            tcm: Tcm::new(n_threads),
+            per_class: HashMap::new(),
+            round_objects: HashMap::new(),
+            intervals_ingested: 0,
+            rounds_closed: 0,
+            decay: 1.0,
+        }
+    }
+
+    /// Exponentially decay the cumulative map at every round close (`1.0` = never
+    /// forget, the default). A windowed map tracks *current* sharing, which is what a
+    /// dynamic balancer should steer by when "sharing patterns could change
+    /// dynamically" (the paper's motivating case for adaptivity).
+    pub fn set_decay(&mut self, decay: f64) {
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0, 1]");
+        self.decay = decay;
+    }
+
+    /// Ingest one OAL: the `O(M·N)` reorganization step.
+    pub fn ingest(&mut self, oal: &Oal) {
+        self.intervals_ingested += 1;
+        for e in &oal.entries {
+            let (_, accum) = self
+                .round_objects
+                .entry(e.obj)
+                .or_insert_with(|| (e.class, ObjAccum::default()));
+            accum.bytes = accum.bytes.max(e.bytes as f64);
+            if !accum.threads.contains(&oal.thread) {
+                accum.threads.push(oal.thread);
+            }
+        }
+    }
+
+    /// Fold the round's per-object lists into the map: the `O(M·N²)` accrual step.
+    ///
+    /// Returns the round's own (non-cumulative) maps — the "successive correlation
+    /// matrices" the adaptive controller compares — plus the object count.
+    pub fn close_round(&mut self) -> RoundSummary {
+        let objects = std::mem::take(&mut self.round_objects);
+        let m = objects.len();
+        let mut round_tcm = Tcm::new(self.n_threads);
+        let mut round_per_class: HashMap<ClassId, Tcm> = HashMap::new();
+        for (_obj, (class, accum)) in objects {
+            if accum.threads.len() < 2 {
+                continue;
+            }
+            let class_tcm = round_per_class
+                .entry(class)
+                .or_insert_with(|| Tcm::new(self.n_threads));
+            for a in 0..accum.threads.len() {
+                for b in (a + 1)..accum.threads.len() {
+                    round_tcm.add_pair(accum.threads[a], accum.threads[b], accum.bytes);
+                    class_tcm.add_pair(accum.threads[a], accum.threads[b], accum.bytes);
+                }
+            }
+        }
+        if self.decay < 1.0 {
+            self.tcm.scale(self.decay);
+            for map in self.per_class.values_mut() {
+                map.scale(self.decay);
+            }
+        }
+        self.tcm.merge(&round_tcm);
+        for (class, map) in &round_per_class {
+            self.per_class
+                .entry(*class)
+                .or_insert_with(|| Tcm::new(self.n_threads))
+                .merge(map);
+        }
+        self.rounds_closed += 1;
+        RoundSummary {
+            objects: m,
+            tcm: round_tcm,
+            per_class: round_per_class,
+        }
+    }
+
+    /// The accumulated global map.
+    pub fn tcm(&self) -> &Tcm {
+        &self.tcm
+    }
+
+    /// The accumulated per-class maps.
+    pub fn per_class(&self) -> &HashMap<ClassId, Tcm> {
+        &self.per_class
+    }
+
+    /// Intervals ingested so far.
+    pub fn intervals_ingested(&self) -> u64 {
+        self.intervals_ingested
+    }
+
+    /// Rounds closed so far.
+    pub fn rounds_closed(&self) -> u64 {
+        self.rounds_closed
+    }
+
+    /// Objects pending in the current (unclosed) round.
+    pub fn pending_objects(&self) -> usize {
+        self.round_objects.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oal::OalEntry;
+
+    fn entry(obj: u32, bytes: u64) -> OalEntry {
+        OalEntry {
+            obj: ObjectId(obj),
+            class: ClassId(0),
+            bytes,
+        }
+    }
+
+    fn oal(thread: u32, entries: Vec<OalEntry>) -> Oal {
+        Oal {
+            thread: ThreadId(thread),
+            interval: 0,
+            entries,
+        }
+    }
+
+    #[test]
+    fn tcm_is_symmetric_with_zero_diagonal() {
+        let mut t = Tcm::new(3);
+        t.add_pair(ThreadId(0), ThreadId(2), 10.0);
+        t.add_pair(ThreadId(1), ThreadId(1), 99.0);
+        assert_eq!(t.at(ThreadId(0), ThreadId(2)), 10.0);
+        assert_eq!(t.at(ThreadId(2), ThreadId(0)), 10.0);
+        assert_eq!(t.at(ThreadId(1), ThreadId(1)), 0.0, "diagonal stays zero");
+        assert_eq!(t.total(), 20.0);
+    }
+
+    #[test]
+    fn builder_accrues_common_objects_only() {
+        let mut b = TcmBuilder::new(3);
+        // Threads 0 and 1 share object 7; thread 2 touches only object 8.
+        b.ingest(&oal(0, vec![entry(7, 100), entry(8, 50)]));
+        b.ingest(&oal(1, vec![entry(7, 100)]));
+        b.ingest(&oal(2, vec![entry(9, 64)]));
+        assert_eq!(b.pending_objects(), 3);
+        let summary = b.close_round();
+        assert_eq!(summary.objects, 3);
+        assert_eq!(
+            summary.tcm.at(ThreadId(0), ThreadId(1)),
+            100.0,
+            "round map matches cumulative map after one round"
+        );
+        let t = b.tcm();
+        assert_eq!(t.at(ThreadId(0), ThreadId(1)), 100.0);
+        assert_eq!(t.at(ThreadId(0), ThreadId(2)), 0.0);
+        assert_eq!(t.at(ThreadId(1), ThreadId(2)), 0.0);
+    }
+
+    #[test]
+    fn decayed_builder_forgets_old_rounds() {
+        let mut b = TcmBuilder::new(2);
+        b.set_decay(0.5);
+        // Round 1: heavy sharing. Rounds 2-4: none.
+        b.ingest(&oal(0, vec![entry(1, 80)]));
+        b.ingest(&oal(1, vec![entry(1, 80)]));
+        b.close_round();
+        assert_eq!(b.tcm().at(ThreadId(0), ThreadId(1)), 80.0);
+        for _ in 0..3 {
+            b.close_round();
+        }
+        assert_eq!(b.tcm().at(ThreadId(0), ThreadId(1)), 10.0, "80 * 0.5^3");
+        // New sharing dominates the faded history.
+        b.ingest(&oal(0, vec![entry(2, 40)]));
+        b.ingest(&oal(1, vec![entry(2, 40)]));
+        b.close_round();
+        assert_eq!(b.tcm().at(ThreadId(0), ThreadId(1)), 45.0, "80*0.5^4 + 40");
+    }
+
+    #[test]
+    fn repeated_intervals_accumulate_across_rounds() {
+        let mut b = TcmBuilder::new(2);
+        for _ in 0..3 {
+            b.ingest(&oal(0, vec![entry(1, 10)]));
+            b.ingest(&oal(1, vec![entry(1, 10)]));
+            b.close_round();
+        }
+        assert_eq!(b.tcm().at(ThreadId(0), ThreadId(1)), 30.0);
+        assert_eq!(b.rounds_closed(), 3);
+        assert_eq!(b.intervals_ingested(), 6);
+    }
+
+    #[test]
+    fn three_way_sharing_hits_all_pairs() {
+        let mut b = TcmBuilder::new(3);
+        for t in 0..3 {
+            b.ingest(&oal(t, vec![entry(5, 8)]));
+        }
+        b.close_round();
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let expect = if i == j { 0.0 } else { 8.0 };
+                assert_eq!(b.tcm().at(ThreadId(i), ThreadId(j)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn per_class_submaps_split_contributions() {
+        let mut b = TcmBuilder::new(2);
+        let c1 = OalEntry {
+            obj: ObjectId(1),
+            class: ClassId(1),
+            bytes: 10,
+        };
+        let c2 = OalEntry {
+            obj: ObjectId(2),
+            class: ClassId(2),
+            bytes: 20,
+        };
+        b.ingest(&oal(0, vec![c1, c2]));
+        b.ingest(&oal(1, vec![c1, c2]));
+        b.close_round();
+        assert_eq!(b.tcm().at(ThreadId(0), ThreadId(1)), 30.0);
+        assert_eq!(b.per_class()[&ClassId(1)].at(ThreadId(0), ThreadId(1)), 10.0);
+        assert_eq!(b.per_class()[&ClassId(2)].at(ThreadId(0), ThreadId(1)), 20.0);
+    }
+
+    #[test]
+    fn ingest_order_does_not_matter() {
+        // TCM(OALs) must be permutation-invariant within a round.
+        let oals = vec![
+            oal(0, vec![entry(1, 4), entry(2, 8)]),
+            oal(1, vec![entry(2, 8)]),
+            oal(2, vec![entry(1, 4), entry(2, 8)]),
+        ];
+        let mut fwd = TcmBuilder::new(3);
+        for o in &oals {
+            fwd.ingest(o);
+        }
+        fwd.close_round();
+        let mut rev = TcmBuilder::new(3);
+        for o in oals.iter().rev() {
+            rev.ingest(o);
+        }
+        rev.close_round();
+        assert_eq!(fwd.tcm().raw(), rev.tcm().raw());
+    }
+
+    #[test]
+    fn csv_round_trips_through_parsing() {
+        let mut t = Tcm::new(3);
+        t.add_pair(ThreadId(0), ThreadId(2), 12.5);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "t0,t1,t2");
+        let cell: f64 = lines[1].split(',').nth(2).unwrap().parse().unwrap();
+        assert_eq!(cell, 12.5);
+        let diag: f64 = lines[2].split(',').nth(1).unwrap().parse().unwrap();
+        assert_eq!(diag, 0.0);
+    }
+
+    #[test]
+    fn ascii_heatmap_shape() {
+        let mut t = Tcm::new(2);
+        t.add_pair(ThreadId(0), ThreadId(1), 5.0);
+        let art = t.ascii_heatmap();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.len() == 2));
+        assert_eq!(lines[0].as_bytes()[0], b' ', "zero diagonal renders blank");
+        assert_eq!(lines[0].as_bytes()[1], b'@', "max renders darkest");
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-thread heaps: cache copies and access-state entries.
+//!
+//! JESSICA2 replicates shared objects "as cache copies in the local heap of the
+//! current thread" (Section II.A) — so the coherence and tracking unit is the
+//! *thread*, not the node. Each thread keeps, per object it has ever touched, an
+//! [`AccessEntry`]: the 2-bit access state (the inlined-check target), the separately
+//! stored real state, the cache payload and twin, and the version of the home copy the
+//! cache was faulted from. Entries are created lazily on first access — including for
+//! objects homed at the thread's own node, where the entry carries no payload (the
+//! home copy lives in [`crate::object::ObjectCore`]) but still provides the state bits
+//! the profiler's false-invalid arming needs (Section II.A).
+//!
+//! Per-thread caching is also what gives the profiler its *per-thread* at-most-once
+//! fault property: each thread's first access to an object in an interval faults (real
+//! or false-invalid) in its own heap, regardless of what other threads on the node did.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+use jessy_net::ThreadId;
+
+use crate::object::{AccessState, ObjectId, RealState};
+
+/// One thread's view of one object.
+#[derive(Debug)]
+pub struct AccessEntry {
+    /// The 2-bit header state checked on every access.
+    pub state: AccessState,
+    /// The real consistency status (false-invalid cancels back to this).
+    pub real: RealState,
+    /// Cache payload; `None` when the object is homed at the thread's node.
+    pub data: Option<Vec<f64>>,
+    /// Twin created before the first write of the current interval.
+    pub twin: Option<Vec<f64>>,
+    /// Version of the home copy this cache was last synchronized with.
+    pub cached_version: u64,
+    /// Written since the last release flush.
+    pub dirty: bool,
+}
+
+impl AccessEntry {
+    /// Entry for an object homed at the thread's current node.
+    pub fn home_resident() -> Self {
+        AccessEntry {
+            state: AccessState::Home,
+            real: RealState::HomeResident,
+            data: None,
+            twin: None,
+            cached_version: 0,
+            dirty: false,
+        }
+    }
+
+    /// Entry for a remote object not yet faulted in.
+    pub fn absent() -> Self {
+        AccessEntry {
+            state: AccessState::Invalid,
+            real: RealState::CacheInvalid,
+            data: None,
+            twin: None,
+            cached_version: 0,
+            dirty: false,
+        }
+    }
+
+    /// Cancel a false-invalid trap back to the real state (Section II.A).
+    pub fn cancel_false_invalid(&mut self) {
+        if self.state == AccessState::FalseInvalid {
+            self.state = self.real.to_access_state();
+        }
+    }
+}
+
+/// One thread's lazily grown table of access entries, indexed by [`ObjectId`].
+#[derive(Debug)]
+pub struct ThreadSpace {
+    thread: ThreadId,
+    entries: RwLock<Vec<Option<Arc<Mutex<AccessEntry>>>>>,
+}
+
+impl ThreadSpace {
+    /// Empty space for `thread`.
+    pub fn new(thread: ThreadId) -> Self {
+        ThreadSpace {
+            thread,
+            entries: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The owning thread.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The entry for `obj`, if this thread has ever touched it.
+    pub fn entry(&self, obj: ObjectId) -> Option<Arc<Mutex<AccessEntry>>> {
+        self.entries.read().get(obj.index()).cloned().flatten()
+    }
+
+    /// The entry for `obj`, creating it with `init` if absent.
+    pub fn entry_or_insert(
+        &self,
+        obj: ObjectId,
+        init: impl FnOnce() -> AccessEntry,
+    ) -> Arc<Mutex<AccessEntry>> {
+        if let Some(e) = self.entry(obj) {
+            return e;
+        }
+        let mut entries = self.entries.write();
+        if entries.len() <= obj.index() {
+            entries.resize_with(obj.index() + 1, || None);
+        }
+        entries[obj.index()]
+            .get_or_insert_with(|| Arc::new(Mutex::new(init())))
+            .clone()
+    }
+
+    /// Visit every populated entry (notice application, diagnostics).
+    pub fn for_each_entry(&self, mut f: impl FnMut(ObjectId, &Arc<Mutex<AccessEntry>>)) {
+        let entries = self.entries.read();
+        for (i, slot) in entries.iter().enumerate() {
+            if let Some(e) = slot {
+                f(ObjectId(i as u32), e);
+            }
+        }
+    }
+
+    /// Drop every entry — the thread landed on a new node (migration) and starts with
+    /// a fresh local heap.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+
+    /// Number of populated entries.
+    pub fn populated(&self) -> usize {
+        self.entries.read().iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_entry_creation() {
+        let ts = ThreadSpace::new(ThreadId(0));
+        assert!(ts.entry(ObjectId(3)).is_none());
+        let e = ts.entry_or_insert(ObjectId(3), AccessEntry::absent);
+        assert_eq!(e.lock().state, AccessState::Invalid);
+        assert!(ts.entry(ObjectId(3)).is_some());
+        assert_eq!(ts.populated(), 1);
+        // Second call returns the same entry, not a fresh one.
+        e.lock().cached_version = 42;
+        let e2 = ts.entry_or_insert(ObjectId(3), AccessEntry::absent);
+        assert_eq!(e2.lock().cached_version, 42);
+    }
+
+    #[test]
+    fn home_resident_entry_shape() {
+        let e = AccessEntry::home_resident();
+        assert_eq!(e.state, AccessState::Home);
+        assert_eq!(e.real, RealState::HomeResident);
+        assert!(e.data.is_none() && e.twin.is_none() && !e.dirty);
+    }
+
+    #[test]
+    fn cancel_false_invalid_restores_real() {
+        let mut e = AccessEntry::home_resident();
+        e.state = AccessState::FalseInvalid;
+        e.cancel_false_invalid();
+        assert_eq!(e.state, AccessState::Home);
+
+        let mut e = AccessEntry::absent();
+        e.real = RealState::CacheValid;
+        e.state = AccessState::FalseInvalid;
+        e.cancel_false_invalid();
+        assert_eq!(e.state, AccessState::Valid);
+
+        // No-op when not false-invalid.
+        let mut e = AccessEntry::absent();
+        e.cancel_false_invalid();
+        assert_eq!(e.state, AccessState::Invalid);
+    }
+
+    #[test]
+    fn for_each_entry_visits_only_populated() {
+        let ts = ThreadSpace::new(ThreadId(1));
+        ts.entry_or_insert(ObjectId(0), AccessEntry::absent);
+        ts.entry_or_insert(ObjectId(5), AccessEntry::absent);
+        let mut seen = Vec::new();
+        ts.for_each_entry(|id, _| seen.push(id));
+        assert_eq!(seen, vec![ObjectId(0), ObjectId(5)]);
+    }
+
+    #[test]
+    fn clear_empties_the_space() {
+        let ts = ThreadSpace::new(ThreadId(0));
+        ts.entry_or_insert(ObjectId(1), AccessEntry::absent);
+        ts.entry_or_insert(ObjectId(2), AccessEntry::home_resident);
+        assert_eq!(ts.populated(), 2);
+        ts.clear();
+        assert_eq!(ts.populated(), 0);
+        assert!(ts.entry(ObjectId(1)).is_none());
+    }
+
+    #[test]
+    fn concurrent_entry_or_insert_returns_one_entry() {
+        use std::sync::Arc as StdArc;
+        let ts = StdArc::new(ThreadSpace::new(ThreadId(0)));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ts = StdArc::clone(&ts);
+                std::thread::spawn(move || {
+                    let e = ts.entry_or_insert(ObjectId(9), AccessEntry::absent);
+                    StdArc::as_ptr(&e) as usize
+                })
+            })
+            .collect();
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all threads must see one entry");
+        assert_eq!(ts.populated(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Objects and their headers.
+//!
+//! The paper stores, in every object header: a 2-bit access state (including the
+//! profiler-armed *false-invalid* value), the *real* state in a separate field, a
+//! half-word per-class **sequence number** (Section II.B.1), and a **sampled** tag.
+//! [`ObjectCore`] is our equivalent of the home copy plus the globally-visible header
+//! bits; per-node cache state lives in [`crate::heap`].
+//!
+//! Payloads are vectors of `f64` words: every workload object (SOR row, Barnes-Hut
+//! body, water molecule) is a fixed layout of doubles, which keeps twin/diff word-level
+//! like the real system while staying allocation-friendly.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+
+use jessy_net::NodeId;
+
+use crate::class::ClassId;
+
+/// Bytes of an object header as charged on the wire (id + class + length + state).
+pub const OBJ_HEADER_BYTES: usize = 16;
+
+/// Globally unique object identifier (dense index into the global object table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Raw index into the global object table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// The 2-bit access state stored in the object header of a node's copy.
+///
+/// `FalseInvalid` is the profiler-armed state of Section II.A: the copy is actually
+/// usable (its real status is kept separately) but the next access must trap into the
+/// GOS service routine so the access can be logged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessState {
+    /// The copy is the home copy; access always succeeds.
+    Home,
+    /// A valid cache copy.
+    Valid,
+    /// An invalid (or absent) cache copy; access faults to the home node.
+    Invalid,
+    /// Profiler-armed fake invalid state; access traps for logging only.
+    FalseInvalid,
+}
+
+/// The *real* consistency status, stored separately so [`AccessState::FalseInvalid`]
+/// can be cancelled back to it (Section II.A: "maintain object consistency according
+/// to its real state").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RealState {
+    /// This node is the object's home.
+    HomeResident,
+    /// Valid cache copy present.
+    CacheValid,
+    /// Cache copy stale or absent.
+    CacheInvalid,
+}
+
+impl RealState {
+    /// The access state corresponding to this real state (used when cancelling a
+    /// false-invalid trap).
+    #[inline]
+    pub fn to_access_state(self) -> AccessState {
+        match self {
+            RealState::HomeResident => AccessState::Home,
+            RealState::CacheValid => AccessState::Valid,
+            RealState::CacheInvalid => AccessState::Invalid,
+        }
+    }
+}
+
+/// The globally shared part of an object: identity, header bits and the home copy.
+#[derive(Debug)]
+pub struct ObjectCore {
+    /// Global id.
+    pub id: ObjectId,
+    /// The object's class.
+    pub class: ClassId,
+    home: AtomicU16,
+    /// Payload length in 8-byte words. For arrays this is the element count times the
+    /// per-element word width; for scalars it is the class's fixed size.
+    pub len_words: u32,
+    /// Sequence number of the object (scalar classes) or of the first array element
+    /// (array classes); later elements are `elem_seq0 + index` (Section II.B.3).
+    pub elem_seq0: u64,
+    /// Whether this is an array instance (per-element sampling applies).
+    pub is_array: bool,
+    sampled: AtomicBool,
+    version: AtomicU64,
+    home_data: Mutex<Vec<f64>>,
+    refs: Mutex<Vec<ObjectId>>,
+}
+
+impl ObjectCore {
+    /// Create a home copy with a zeroed payload.
+    pub fn new(
+        id: ObjectId,
+        class: ClassId,
+        home: NodeId,
+        len_words: u32,
+        elem_seq0: u64,
+        is_array: bool,
+        sampled: bool,
+    ) -> Self {
+        ObjectCore {
+            id,
+            class,
+            home: AtomicU16::new(home.0),
+            len_words,
+            elem_seq0,
+            is_array,
+            sampled: AtomicBool::new(sampled),
+            version: AtomicU64::new(0),
+            home_data: Mutex::new(vec![0.0; len_words as usize]),
+            refs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The object's outgoing reference fields — the connectivity graph that sticky-set
+    /// resolution (Section III.A.3) and connectivity-based prefetching traverse.
+    /// Reference fields are maintained by the application alongside the data payload
+    /// (a Java object's pointer fields vs. its primitive fields).
+    pub fn refs(&self) -> Vec<ObjectId> {
+        self.refs.lock().clone()
+    }
+
+    /// Append an outgoing reference.
+    pub fn add_ref(&self, target: ObjectId) {
+        self.refs.lock().push(target);
+    }
+
+    /// Replace the outgoing reference list.
+    pub fn set_refs(&self, targets: Vec<ObjectId>) {
+        *self.refs.lock() = targets;
+    }
+
+    /// The object's current home node. Homes start at the allocating node and can be
+    /// relocated by [`ObjectCore::set_home`] (the home-migration optimization the
+    /// paper's experiments run with).
+    #[inline]
+    pub fn home(&self) -> NodeId {
+        NodeId(self.home.load(Ordering::Acquire))
+    }
+
+    /// Relocate the home (home migration; the caller accounts the transfer and posts
+    /// the invalidating write notice).
+    #[inline]
+    pub fn set_home(&self, home: NodeId) {
+        self.home.store(home.0, Ordering::Release);
+    }
+
+    /// Payload size in bytes (what an object fault moves, excluding headers).
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.len_words as usize * 8
+    }
+
+    /// Is the object currently tagged as sampled?
+    #[inline]
+    pub fn is_sampled(&self) -> bool {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// (Re)tag the object as sampled/unsampled — used at allocation and during
+    /// resampling walks after a rate change (Section II.B.2).
+    #[inline]
+    pub fn set_sampled(&self, sampled: bool) {
+        self.sampled.store(sampled, Ordering::Relaxed);
+    }
+
+    /// Current home-copy version (bumped on every applied write interval).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Bump the home version, returning the new value.
+    #[inline]
+    pub fn bump_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Run `f` over the home copy's payload (shared lock discipline: always acquire the
+    /// per-node cache-entry lock *before* this one).
+    pub fn with_home_data<R>(&self, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+        f(&mut self.home_data.lock())
+    }
+
+    /// Clone the home payload (an object fault's data transfer).
+    pub fn snapshot_home(&self) -> Vec<f64> {
+        self.home_data.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> ObjectCore {
+        ObjectCore::new(ObjectId(7), ClassId(1), NodeId(2), 4, 100, false, true)
+    }
+
+    #[test]
+    fn header_fields_and_sizes() {
+        let o = core();
+        assert_eq!(o.payload_bytes(), 32);
+        assert!(o.is_sampled());
+        o.set_sampled(false);
+        assert!(!o.is_sampled());
+        assert_eq!(o.id.to_string(), "o7");
+    }
+
+    #[test]
+    fn version_bumps_monotonically() {
+        let o = core();
+        assert_eq!(o.version(), 0);
+        assert_eq!(o.bump_version(), 1);
+        assert_eq!(o.bump_version(), 2);
+        assert_eq!(o.version(), 2);
+    }
+
+    #[test]
+    fn home_data_roundtrip() {
+        let o = core();
+        o.with_home_data(|d| d[2] = 3.5);
+        assert_eq!(o.snapshot_home(), vec![0.0, 0.0, 3.5, 0.0]);
+    }
+
+    #[test]
+    fn reference_fields_form_a_graph() {
+        let o = core();
+        assert!(o.refs().is_empty());
+        o.add_ref(ObjectId(1));
+        o.add_ref(ObjectId(2));
+        assert_eq!(o.refs(), vec![ObjectId(1), ObjectId(2)]);
+        o.set_refs(vec![ObjectId(9)]);
+        assert_eq!(o.refs(), vec![ObjectId(9)]);
+    }
+
+    #[test]
+    fn false_invalid_cancels_to_real_state() {
+        assert_eq!(RealState::HomeResident.to_access_state(), AccessState::Home);
+        assert_eq!(RealState::CacheValid.to_access_state(), AccessState::Valid);
+        assert_eq!(RealState::CacheInvalid.to_access_state(), AccessState::Invalid);
+    }
+}

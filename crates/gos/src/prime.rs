@@ -1,0 +1,114 @@
+//! Prime-number sampling gaps.
+//!
+//! Section II.B.1: *"Each class has a nominal sampling gap typically in powers of 2 and
+//! we will find a prime number nearest to the nominal to be the real sampling gap. For
+//! example, 31, 67 and 127 would be chosen as the real sampling gaps for nominal
+//! sampling gaps of 32, 64 and 128 respectively. Using prime numbers is necessary ...
+//! to avoid non-uniform sampling due to potential cyclic allocation behaviors."*
+//!
+//! The paper's three examples pin down the tie-breaking rule: 64 is equidistant from 61
+//! and 67 and the paper picks 67, while 32 picks 31 — i.e. for each distance `d` the
+//! candidate `n + d` is tried before `n - d`.
+
+/// Deterministic primality test for `u64` (trial division; gaps are small, ≤ ~2²⁰).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n.is_multiple_of(3) {
+        return n == 3;
+    }
+    let mut i = 5u64;
+    while i * i <= n {
+        if n.is_multiple_of(i) || n.is_multiple_of(i + 2) {
+            return false;
+        }
+        i += 6;
+    }
+    true
+}
+
+/// The *real* sampling gap for a nominal gap: the nearest prime, trying upward first on
+/// ties (matching the paper's 32→31, 64→67, 128→127 examples).
+///
+/// Nominal gaps of 0 or 1 mean *full sampling* and are returned unchanged as 1.
+///
+/// ```
+/// use jessy_gos::prime::nearest_prime;
+/// assert_eq!(nearest_prime(32), 31);
+/// assert_eq!(nearest_prime(64), 67); // equidistant: the paper picks upward
+/// assert_eq!(nearest_prime(128), 127);
+/// ```
+pub fn nearest_prime(nominal: u64) -> u64 {
+    if nominal <= 1 {
+        return 1;
+    }
+    if nominal == 2 {
+        return 2;
+    }
+    for d in 0.. {
+        if is_prime(nominal + d) {
+            return nominal + d;
+        }
+        if nominal > d && is_prime(nominal - d) {
+            return nominal - d;
+        }
+    }
+    unreachable!("primes are unbounded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(nearest_prime(32), 31);
+        assert_eq!(nearest_prime(64), 67);
+        assert_eq!(nearest_prime(128), 127);
+    }
+
+    #[test]
+    fn small_and_degenerate_gaps() {
+        assert_eq!(nearest_prime(0), 1, "full sampling stays full");
+        assert_eq!(nearest_prime(1), 1);
+        assert_eq!(nearest_prime(2), 2);
+        assert_eq!(nearest_prime(3), 3);
+        assert_eq!(nearest_prime(4), 5, "upward tie-break: |4-5| = |4-3|");
+        assert_eq!(nearest_prime(8), 7);
+        assert_eq!(nearest_prime(16), 17);
+    }
+
+    #[test]
+    fn power_of_two_ladder_is_strictly_increasing() {
+        // The adaptive controller halves/doubles nominal gaps along the power-of-two
+        // ladder; the real (prime) gaps must stay strictly ordered for the rate ladder
+        // to be meaningful.
+        let reals: Vec<u64> = (0..=20).map(|k| nearest_prime(1 << k)).collect();
+        for w in reals.windows(2) {
+            assert!(w[0] < w[1], "ladder not increasing: {reals:?}");
+        }
+    }
+
+    #[test]
+    fn is_prime_basics() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+        assert!(is_prime(1_048_573)); // prime near 2^20
+        assert!(!is_prime(1_048_575));
+    }
+
+    #[test]
+    fn nearest_prime_result_is_always_prime_or_one() {
+        for n in 0..5_000u64 {
+            let p = nearest_prime(n);
+            assert!(p == 1 || is_prime(p), "nearest_prime({n}) = {p}");
+        }
+    }
+}

@@ -1,0 +1,934 @@
+//! The Global Object Space protocol engine.
+//!
+//! [`Gos`] ties together the class registry, the global object table, per-thread heaps
+//! (cache copies live "in the local heap of the current thread", Section II.A), the
+//! notice board, locks and the barrier into the home-based lazy release consistency
+//! protocol the paper's profiling techniques instrument:
+//!
+//! * **Access check** — every [`Gos::read`]/[`Gos::write`] models the JIT-inlined 2-bit
+//!   state check. `Home`/`Valid` states proceed at check cost; `Invalid` faults the
+//!   object from its home (an accounted `ObjFetch`/`ObjData` round trip);
+//!   `FalseInvalid` traps into the service routine, is cancelled back to the real
+//!   state, and is reported in the returned [`AccessOutcome`] so the profiler can log
+//!   the access.
+//! * **Release** — [`Gos::flush_thread`] diffs the thread's dirty cache copies against
+//!   their twins, ships the diffs home (batched per home node), bumps home versions
+//!   and posts write notices. Called from `lock_release` and `barrier_wait`.
+//! * **Acquire** — [`Gos::lock_acquire`]/[`Gos::barrier_wait`] apply all pending write
+//!   notices, invalidating the thread's stale cache copies.
+//!
+//! The per-thread at-most-once property falls out: within one interval a (thread,
+//! object) pair faults at most once, so logging on faults is cheap — exactly what
+//! Section II.A exploits, with [`Gos::set_false_invalid`] re-arming traps per interval.
+//!
+//! The acting thread is identified by the [`ClockHandle`] passed to every operation
+//! (one clock per thread); the node it currently runs on is passed explicitly because
+//! thread migration changes it.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jessy_net::{ClockHandle, Fabric, LatencyModel, MsgClass, NetworkStats, NodeId, ThreadId};
+
+use crate::class::{ClassId, ClassRegistry};
+use crate::costs::CostModel;
+use crate::heap::{AccessEntry, ThreadSpace};
+use crate::object::{AccessState, ObjectCore, ObjectId, RealState, OBJ_HEADER_BYTES};
+use crate::sync::{LockId, LockTable, NoticeBoard, SimBarrier, WriteNotice, NOTICE_BYTES};
+use crate::twin::Diff;
+
+/// Fixed wire size of small control requests (lock/fetch/barrier bodies).
+const CTRL_BYTES: usize = 16;
+
+/// Which consistency discipline scopes the write notices — the two interval-based
+/// relaxed models the paper names (Section III: "our definition is specific to relaxed
+/// memory models like LRC and ScC, which have the concept of intervals and the
+/// at-most-once property").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsistencyModel {
+    /// Home-based LRC with a single global notice history: a lock acquire applies
+    /// *all* pending notices (conservative; what the main experiments run).
+    GlobalHlrc,
+    /// Scope consistency (Iftode et al., SPAA'96): notices produced inside a lock's
+    /// critical section attach to that lock; an acquire applies only that lock's
+    /// history (barriers remain global). Fewer invalidations, weaker visibility.
+    Scoped,
+}
+
+/// Configuration of a [`Gos`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct GosConfig {
+    /// Number of cluster nodes.
+    pub n_nodes: usize,
+    /// Number of application threads (per-thread heaps and notice cursors).
+    pub n_threads: usize,
+    /// Network cost model.
+    pub latency: LatencyModel,
+    /// CPU cost model.
+    pub costs: CostModel,
+    /// Connectivity-based object prefetching: on a real fault, objects reachable
+    /// within this many reference hops ride along on the reply (0 disables — the
+    /// "path-analytic object prefetching" optimization the paper's evaluation runs
+    /// with; the path analysis itself is the companion ISPAN'09 paper).
+    pub prefetch_depth: u32,
+    /// Notice-scoping discipline (LRC-style global history vs scope consistency).
+    pub consistency: ConsistencyModel,
+}
+
+impl Default for GosConfig {
+    fn default() -> Self {
+        GosConfig {
+            n_nodes: 8,
+            n_threads: 8,
+            latency: LatencyModel::fast_ethernet(),
+            costs: CostModel::pentium4_2ghz(),
+            prefetch_depth: 0,
+            consistency: ConsistencyModel::GlobalHlrc,
+        }
+    }
+}
+
+/// Whether an access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Read access bytecode (getfield / aload etc.).
+    Read,
+    /// Write access bytecode (putfield / astore etc.).
+    Write,
+}
+
+/// Everything the profiler needs to know about one access, returned by
+/// [`Gos::read`]/[`Gos::write`]. The GOS itself never logs — decoupling the substrate
+/// from the contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// The object accessed.
+    pub obj: ObjectId,
+    /// Its class.
+    pub class: ClassId,
+    /// Its home node.
+    pub home: NodeId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The object's sampled tag at access time.
+    pub sampled: bool,
+    /// The access trapped on a profiler-armed false-invalid state.
+    pub false_invalid: bool,
+    /// The access took a real fault (cold or invalidated cache).
+    pub real_fault: bool,
+    /// This is the thread's first-ever touch of the object (its access entry was just
+    /// created). For objects homed at the thread's node this is the only trap the
+    /// first interval gets — the profiler logs it like a correlation fault, after
+    /// which normal interval arming takes over.
+    pub first_touch: bool,
+    /// Payload bytes fetched from the home (0 on hits).
+    pub fetched_bytes: usize,
+    /// Full payload size in bytes.
+    pub payload_bytes: usize,
+    /// Array instance? (per-element sampling applies)
+    pub is_array: bool,
+    /// Sequence number of the object / first array element.
+    pub elem_seq0: u64,
+    /// Element count (1 for scalars).
+    pub len_elems: u32,
+    /// Per-instance (scalar) or per-element (array) size in bytes.
+    pub unit_bytes: u32,
+}
+
+impl AccessOutcome {
+    /// Did this access trap into the GOS service routine at all?
+    #[inline]
+    pub fn faulted(&self) -> bool {
+        self.false_invalid || self.real_fault
+    }
+
+    /// Should the profiler consider logging this access? (Any service-routine entry:
+    /// fault, correlation fault, or first touch.)
+    #[inline]
+    pub fn loggable(&self) -> bool {
+        self.false_invalid || self.real_fault || self.first_touch
+    }
+}
+
+/// Aggregate protocol event counters (diagnostics and benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolCounters {
+    /// Real object faults served (cold misses + invalidations).
+    pub real_faults: u64,
+    /// False-invalid traps served (correlation faults, Section II.A).
+    pub false_invalid_faults: u64,
+    /// Total accesses checked.
+    pub accesses: u64,
+    /// Diffs shipped home.
+    pub diffs_flushed: u64,
+    /// Write notices applied (cache invalidations checked).
+    pub notices_applied: u64,
+    /// Object homes relocated.
+    pub home_migrations: u64,
+    /// Objects moved by connectivity prefetching (riding on fault replies).
+    pub objects_prefetched: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    real_faults: AtomicU64,
+    false_invalid_faults: AtomicU64,
+    accesses: AtomicU64,
+    diffs_flushed: AtomicU64,
+    notices_applied: AtomicU64,
+    home_migrations: AtomicU64,
+    objects_prefetched: AtomicU64,
+}
+
+/// The Global Object Space.
+pub struct Gos {
+    config: GosConfig,
+    classes: ClassRegistry,
+    fabric: Fabric,
+    objects: RwLock<Vec<Arc<ObjectCore>>>,
+    by_class: RwLock<Vec<Vec<ObjectId>>>,
+    spaces: Vec<ThreadSpace>,
+    dirty: Vec<parking_lot::Mutex<Vec<ObjectId>>>,
+    notices: NoticeBoard,
+    lock_boards: RwLock<Vec<Arc<NoticeBoard>>>,
+    locks: LockTable,
+    barrier: SimBarrier,
+    counters: Counters,
+}
+
+impl Gos {
+    /// Build a GOS for `config.n_nodes` nodes and `config.n_threads` threads.
+    pub fn new(config: GosConfig) -> Self {
+        assert!(config.n_nodes > 0 && config.n_threads > 0);
+        Gos {
+            config,
+            classes: ClassRegistry::new(),
+            fabric: Fabric::new(config.n_nodes, config.latency),
+            objects: RwLock::new(Vec::new()),
+            by_class: RwLock::new(Vec::new()),
+            spaces: (0..config.n_threads)
+                .map(|i| ThreadSpace::new(ThreadId(i as u32)))
+                .collect(),
+            dirty: (0..config.n_threads)
+                .map(|_| parking_lot::Mutex::new(Vec::new()))
+                .collect(),
+            notices: NoticeBoard::new(config.n_threads),
+            lock_boards: RwLock::new(Vec::new()),
+            locks: LockTable::new(),
+            barrier: SimBarrier::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GosConfig {
+        &self.config
+    }
+
+    /// The class registry.
+    pub fn classes(&self) -> &ClassRegistry {
+        &self.classes
+    }
+
+    /// The CPU cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.config.costs
+    }
+
+    /// The simulated interconnect (for traffic snapshots).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Snapshot of network traffic so far.
+    pub fn net_stats(&self) -> NetworkStats {
+        self.fabric.stats()
+    }
+
+    /// Traffic counters of one directed link (diagnostics).
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> jessy_net::fabric::LinkStats {
+        self.fabric.link(from, to)
+    }
+
+    /// Snapshot of protocol event counters.
+    pub fn proto_counters(&self) -> ProtocolCounters {
+        ProtocolCounters {
+            real_faults: self.counters.real_faults.load(Ordering::Relaxed),
+            false_invalid_faults: self.counters.false_invalid_faults.load(Ordering::Relaxed),
+            accesses: self.counters.accesses.load(Ordering::Relaxed),
+            diffs_flushed: self.counters.diffs_flushed.load(Ordering::Relaxed),
+            notices_applied: self.counters.notices_applied.load(Ordering::Relaxed),
+            home_migrations: self.counters.home_migrations.load(Ordering::Relaxed),
+            objects_prefetched: self.counters.objects_prefetched.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------ allocation
+
+    /// Allocate a scalar instance of `class` homed at `node`, optionally initializing
+    /// its payload. Draws one per-class sequence number. The sampled tag starts
+    /// `false`; the profiler decides and calls [`ObjectCore::set_sampled`].
+    pub fn alloc_scalar(
+        &self,
+        node: NodeId,
+        class: ClassId,
+        clock: &ClockHandle,
+        init: Option<&[f64]>,
+    ) -> Arc<ObjectCore> {
+        let info = self.classes.info(class);
+        assert!(!info.is_array, "use alloc_array for array classes");
+        let seq = self.classes.draw_seq(class, 1);
+        self.alloc_inner(node, class, info.unit_words, seq, false, clock, init)
+    }
+
+    /// Allocate an array of `len_elems` elements of `class` homed at `node`. Draws
+    /// `len_elems` consecutive sequence numbers (Section II.B.3).
+    pub fn alloc_array(
+        &self,
+        node: NodeId,
+        class: ClassId,
+        len_elems: u32,
+        clock: &ClockHandle,
+        init: Option<&[f64]>,
+    ) -> Arc<ObjectCore> {
+        assert!(len_elems > 0, "zero-length arrays not supported");
+        let info = self.classes.info(class);
+        assert!(info.is_array, "use alloc_scalar for scalar classes");
+        let seq0 = self.classes.draw_seq(class, len_elems as u64);
+        let words = info.unit_words * len_elems;
+        self.alloc_inner(node, class, words, seq0, true, clock, init)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_inner(
+        &self,
+        node: NodeId,
+        class: ClassId,
+        len_words: u32,
+        seq0: u64,
+        is_array: bool,
+        clock: &ClockHandle,
+        init: Option<&[f64]>,
+    ) -> Arc<ObjectCore> {
+        self.assert_node(node);
+        clock.spend(self.config.costs.alloc_ns);
+        let mut objects = self.objects.write();
+        let id = ObjectId(objects.len() as u32);
+        let core = Arc::new(ObjectCore::new(id, class, node, len_words, seq0, is_array, false));
+        if let Some(init) = init {
+            core.with_home_data(|d| {
+                assert_eq!(init.len(), d.len(), "init length mismatch for {id}");
+                d.copy_from_slice(init);
+            });
+        }
+        objects.push(Arc::clone(&core));
+        drop(objects);
+        let mut by_class = self.by_class.write();
+        if by_class.len() <= class.index() {
+            by_class.resize_with(class.index() + 1, Vec::new);
+        }
+        by_class[class.index()].push(id);
+        core
+    }
+
+    /// Look up an object by id.
+    pub fn object(&self, id: ObjectId) -> Arc<ObjectCore> {
+        self.objects.read()[id.index()].clone()
+    }
+
+    /// Number of objects ever allocated.
+    pub fn n_objects(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Visit every object of `class` (resampling walks after a rate change).
+    pub fn for_each_object_of_class(&self, class: ClassId, mut f: impl FnMut(&Arc<ObjectCore>)) {
+        let ids: Vec<ObjectId> = match self.by_class.read().get(class.index()) {
+            Some(v) => v.clone(),
+            None => return,
+        };
+        let objects = self.objects.read();
+        for id in ids {
+            f(&objects[id.index()]);
+        }
+    }
+
+    /// Visit every object.
+    pub fn for_each_object(&self, mut f: impl FnMut(&Arc<ObjectCore>)) {
+        let objects = self.objects.read();
+        for core in objects.iter() {
+            f(core);
+        }
+    }
+
+    // ------------------------------------------------------------------ access path
+
+    /// Read access by the clock's thread running on `node`: runs `f` over the
+    /// (possibly freshly faulted) payload.
+    pub fn read<R>(
+        &self,
+        node: NodeId,
+        obj: ObjectId,
+        clock: &ClockHandle,
+        f: impl FnOnce(&[f64]) -> R,
+    ) -> (R, AccessOutcome) {
+        self.access(node, obj, AccessKind::Read, clock, |data| f(data))
+    }
+
+    /// Write access: runs `f` over the mutable payload; creates the twin on the first
+    /// write of the interval and marks the entry dirty for the next flush.
+    pub fn write<R>(
+        &self,
+        node: NodeId,
+        obj: ObjectId,
+        clock: &ClockHandle,
+        f: impl FnOnce(&mut [f64]) -> R,
+    ) -> (R, AccessOutcome) {
+        self.access(node, obj, AccessKind::Write, clock, |data| f(data))
+    }
+
+    fn access<R>(
+        &self,
+        node: NodeId,
+        obj: ObjectId,
+        kind: AccessKind,
+        clock: &ClockHandle,
+        f: impl FnOnce(&mut [f64]) -> R,
+    ) -> (R, AccessOutcome) {
+        self.assert_node(node);
+        let thread = clock.thread();
+        let costs = &self.config.costs;
+        clock.spend(costs.access_check_ns);
+        self.counters.accesses.fetch_add(1, Ordering::Relaxed);
+
+        let core = self.object(obj);
+        let info = self.classes.info(core.class);
+        let len_elems = if core.is_array {
+            core.len_words / info.unit_words
+        } else {
+            1
+        };
+        let mut outcome = AccessOutcome {
+            obj,
+            class: core.class,
+            home: core.home(),
+            kind,
+            sampled: core.is_sampled(),
+            false_invalid: false,
+            real_fault: false,
+            first_touch: false,
+            fetched_bytes: 0,
+            payload_bytes: core.payload_bytes(),
+            is_array: core.is_array,
+            elem_seq0: core.elem_seq0,
+            len_elems,
+            unit_bytes: info.unit_words * 8,
+        };
+
+        let space = &self.spaces[thread.index()];
+        let entry = match space.entry(obj) {
+            Some(e) => e,
+            None => {
+                outcome.first_touch = true;
+                space.entry_or_insert(obj, || {
+                    if core.home() == node {
+                        AccessEntry::home_resident()
+                    } else {
+                        AccessEntry::absent()
+                    }
+                })
+            }
+        };
+        let mut e = entry.lock();
+
+        if outcome.first_touch && e.real == RealState::HomeResident {
+            // First touch of a home-resident object enters the service routine once
+            // (entry initialization + the logging opportunity).
+            clock.spend(costs.fault_service_ns);
+        }
+
+        if e.state == AccessState::FalseInvalid {
+            // Correlation fault: enter the service routine, cancel back to real state.
+            outcome.false_invalid = true;
+            clock.spend(costs.fault_service_ns);
+            self.counters.false_invalid_faults.fetch_add(1, Ordering::Relaxed);
+            e.cancel_false_invalid();
+        }
+
+        if e.state == AccessState::Invalid {
+            // Real object fault: fetch the latest copy from home.
+            outcome.real_fault = true;
+            clock.spend(costs.fault_service_ns);
+            self.counters.real_faults.fetch_add(1, Ordering::Relaxed);
+            let bytes = core.payload_bytes();
+            self.fabric.charge_round_trip(
+                node,
+                core.home(),
+                MsgClass::ObjFetch,
+                CTRL_BYTES,
+                MsgClass::ObjData,
+                bytes + OBJ_HEADER_BYTES,
+                clock,
+            );
+            let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
+            e.data = Some(data);
+            e.cached_version = version;
+            e.state = AccessState::Valid;
+            e.real = RealState::CacheValid;
+            outcome.fetched_bytes = bytes;
+            if self.config.prefetch_depth > 0 {
+                // Connectivity prefetch: same-home objects within `prefetch_depth`
+                // reference hops ride along on the reply. Must not touch `e`'s lock
+                // again — the helper takes only other objects' entries.
+                drop(e);
+                self.connectivity_prefetch(thread, node, &core, clock);
+                e = entry.lock();
+            }
+        }
+
+        let result = match e.real {
+            RealState::HomeResident => {
+                if kind == AccessKind::Write && !e.dirty {
+                    e.dirty = true;
+                    self.dirty[thread.index()].lock().push(obj);
+                }
+                core.with_home_data(|d| f(d))
+            }
+            RealState::CacheValid => {
+                if kind == AccessKind::Write {
+                    if e.twin.is_none() {
+                        let data = e.data.as_ref().expect("valid cache without data");
+                        clock.spend(costs.twin_ns(data.len()));
+                        e.twin = Some(data.clone());
+                    }
+                    if !e.dirty {
+                        e.dirty = true;
+                        self.dirty[thread.index()].lock().push(obj);
+                    }
+                }
+                f(e.data.as_mut().expect("valid cache without data"))
+            }
+            RealState::CacheInvalid => unreachable!("fault path must have validated the cache"),
+        };
+        (result, outcome)
+    }
+
+    /// Walk `root`'s reference neighbourhood (up to `prefetch_depth` hops) and install
+    /// cache copies of same-home objects the thread does not already hold. The extra
+    /// payload is accounted as a batched `Prefetch` message from the home.
+    fn connectivity_prefetch(
+        &self,
+        thread: ThreadId,
+        node: NodeId,
+        root: &Arc<ObjectCore>,
+        clock: &ClockHandle,
+    ) {
+        let home = root.home();
+        let mut frontier = root.refs();
+        let mut bytes = 0usize;
+        let mut moved = 0u64;
+        for _hop in 0..self.config.prefetch_depth {
+            let mut next = Vec::new();
+            for obj in frontier.drain(..) {
+                let core = self.object(obj);
+                if core.home() != home || home == node {
+                    continue; // cross-home neighbours are not on this reply path
+                }
+                let entry = self.spaces[thread.index()].entry_or_insert(obj, AccessEntry::absent);
+                let mut pe = entry.lock();
+                if pe.real == RealState::CacheValid || pe.real == RealState::HomeResident {
+                    continue;
+                }
+                let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
+                pe.data = Some(data);
+                pe.cached_version = version;
+                pe.state = AccessState::Valid;
+                pe.real = RealState::CacheValid;
+                bytes += core.payload_bytes() + OBJ_HEADER_BYTES;
+                moved += 1;
+                next.extend(core.refs());
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        if bytes > 0 {
+            self.fabric.send(home, node, MsgClass::Prefetch, bytes, clock);
+            self.counters.objects_prefetched.fetch_add(moved, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------ profiling hooks
+
+    /// Arm false-invalid traps on `objs` in `thread`'s heap (interval-open,
+    /// Section II.A). Only entries whose real state holds usable data are armed; an
+    /// already-invalid cache will take a real fault (and be loggable) anyway. Returns
+    /// how many traps were armed.
+    pub fn set_false_invalid(
+        &self,
+        thread: ThreadId,
+        objs: impl IntoIterator<Item = ObjectId>,
+    ) -> usize {
+        let mut armed = 0;
+        for obj in objs {
+            if let Some(entry) = self.spaces[thread.index()].entry(obj) {
+                let mut e = entry.lock();
+                match e.real {
+                    RealState::HomeResident | RealState::CacheValid => {
+                        e.state = AccessState::FalseInvalid;
+                        armed += 1;
+                    }
+                    RealState::CacheInvalid => {}
+                }
+            }
+        }
+        armed
+    }
+
+    /// The access state of `obj` as seen by `thread` (tests/diagnostics).
+    pub fn access_state(&self, thread: ThreadId, obj: ObjectId) -> Option<AccessState> {
+        self.spaces[thread.index()].entry(obj).map(|e| e.lock().state)
+    }
+
+    // ------------------------------------------------------------------ release/acquire
+
+    /// Flush every dirty copy of the clock's thread: diff against twins, ship diffs
+    /// home from `node` (one batched `DiffUpdate` per home node), bump versions and
+    /// post write notices (to the global history — barrier/release semantics).
+    /// Returns the number of objects flushed.
+    pub fn flush_thread(&self, node: NodeId, clock: &ClockHandle) -> usize {
+        self.flush_thread_scoped(node, clock, None)
+    }
+
+    fn flush_thread_scoped(
+        &self,
+        node: NodeId,
+        clock: &ClockHandle,
+        scope: Option<LockId>,
+    ) -> usize {
+        self.assert_node(node);
+        let thread = clock.thread();
+        let dirty: Vec<ObjectId> = std::mem::take(&mut *self.dirty[thread.index()].lock());
+        if dirty.is_empty() {
+            return 0;
+        }
+        let costs = &self.config.costs;
+        let mut notices = Vec::new();
+        let mut per_home: Vec<usize> = vec![0; self.config.n_nodes];
+        let mut flushed = 0;
+
+        for obj in dirty {
+            let entry = match self.spaces[thread.index()].entry(obj) {
+                Some(e) => e,
+                None => continue, // cleared by a migration
+            };
+            let mut e = entry.lock();
+            if !e.dirty {
+                continue;
+            }
+            e.dirty = false;
+            let core = self.object(obj);
+            match e.real {
+                RealState::HomeResident => {
+                    let v = core.bump_version();
+                    notices.push(WriteNotice { obj, version: v });
+                    flushed += 1;
+                }
+                RealState::CacheValid => {
+                    let twin = e.twin.take().expect("dirty cache without twin");
+                    let data = e.data.as_ref().expect("dirty cache without data");
+                    clock.spend(costs.diff_ns(data.len()));
+                    let diff = Diff::compute(&twin, data);
+                    if !diff.is_empty() {
+                        clock.spend(costs.apply_ns(diff.changed_words()));
+                        core.with_home_data(|d| diff.apply(d));
+                        let v = core.bump_version();
+                        e.cached_version = v;
+                        notices.push(WriteNotice { obj, version: v });
+                        per_home[core.home().index()] += diff.wire_bytes() + 8;
+                        self.counters.diffs_flushed.fetch_add(1, Ordering::Relaxed);
+                        flushed += 1;
+                    }
+                }
+                RealState::CacheInvalid => {
+                    // Invalidated (and force-flushed) by a concurrent notice application.
+                }
+            }
+        }
+
+        for (home, bytes) in per_home.iter().enumerate() {
+            if *bytes > 0 {
+                self.fabric
+                    .send(node, NodeId(home as u16), MsgClass::DiffUpdate, *bytes, clock);
+            }
+        }
+        match (self.config.consistency, scope) {
+            (ConsistencyModel::Scoped, Some(lock)) => {
+                // Scope consistency: the critical section's writes attach to its lock.
+                self.lock_boards.read()[lock.index()].post(notices);
+            }
+            _ => self.notices.post(notices),
+        }
+        flushed
+    }
+
+    /// Apply every pending write notice for the clock's thread, invalidating stale
+    /// caches. A dirty copy hit by a notice is force-flushed (from `node`) first so no
+    /// writes are lost. Returns the number of notices processed.
+    pub fn apply_notices(&self, node: NodeId, clock: &ClockHandle) -> usize {
+        let board = &self.notices;
+        self.apply_notices_from(board, node, clock)
+    }
+
+    fn apply_notices_from(&self, board: &NoticeBoard, node: NodeId, clock: &ClockHandle) -> usize {
+        self.assert_node(node);
+        let thread = clock.thread();
+        let costs = &self.config.costs;
+        let new = board.take_new(thread.index());
+        let count = new.len();
+        if count == 0 {
+            return 0;
+        }
+        clock.spend(costs.notice_apply_ns * count as u64);
+        self.counters
+            .notices_applied
+            .fetch_add(count as u64, Ordering::Relaxed);
+        let mut follow_up = Vec::new();
+        for notice in new {
+            let entry = match self.spaces[thread.index()].entry(notice.obj) {
+                Some(e) => e,
+                None => continue,
+            };
+            let mut e = entry.lock();
+            if e.real == RealState::HomeResident && self.object(notice.obj).home() != node {
+                // The home migrated away from under this thread: its entry becomes an
+                // ordinary (invalid) cache entry and the next access faults normally.
+                e.state = AccessState::Invalid;
+                e.real = RealState::CacheInvalid;
+                e.data = None;
+                e.twin = None;
+                e.dirty = false;
+                continue;
+            }
+            if e.real != RealState::CacheValid || e.cached_version >= notice.version {
+                continue;
+            }
+            if e.dirty {
+                // Unflushed writes race with the invalidation: flush before dropping.
+                e.dirty = false;
+                let core = self.object(notice.obj);
+                if let Some(twin) = e.twin.take() {
+                    let data = e.data.as_ref().expect("dirty cache without data");
+                    clock.spend(costs.diff_ns(data.len()));
+                    let diff = Diff::compute(&twin, data);
+                    if !diff.is_empty() {
+                        clock.spend(costs.apply_ns(diff.changed_words()));
+                        core.with_home_data(|d| diff.apply(d));
+                        let v = core.bump_version();
+                        follow_up.push(WriteNotice {
+                            obj: notice.obj,
+                            version: v,
+                        });
+                        self.fabric.send(
+                            node,
+                            core.home(),
+                            MsgClass::DiffUpdate,
+                            diff.wire_bytes() + 8,
+                            clock,
+                        );
+                        self.counters.diffs_flushed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            e.state = AccessState::Invalid;
+            e.real = RealState::CacheInvalid;
+            e.data = None;
+            e.twin = None;
+        }
+        self.notices.post(follow_up);
+        count
+    }
+
+    // ------------------------------------------------------------------ sync API
+
+    /// Register a distributed lock. The manager node is `id % n_nodes`.
+    pub fn register_lock(&self) -> LockId {
+        let id = self.locks.register();
+        self.lock_boards
+            .write()
+            .push(Arc::new(NoticeBoard::new(self.config.n_threads)));
+        id
+    }
+
+    fn lock_manager(&self, id: LockId) -> NodeId {
+        NodeId((id.index() % self.config.n_nodes) as u16)
+    }
+
+    /// Acquire a distributed lock from `node`: round trip to the manager, inherit the
+    /// previous holder's simulated release time, then apply pending write notices
+    /// (piggybacked on the grant). Returns the number of notices applied.
+    pub fn lock_acquire(&self, id: LockId, node: NodeId, clock: &ClockHandle) -> usize {
+        self.assert_node(node);
+        clock.spend(self.config.costs.lock_local_ns);
+        let prev_release = self.locks.get(id).acquire();
+        clock.raise_to(prev_release);
+        let applied = match self.config.consistency {
+            ConsistencyModel::GlobalHlrc => self.apply_notices(node, clock),
+            ConsistencyModel::Scoped => {
+                let board = self.lock_boards.read()[id.index()].clone();
+                self.apply_notices_from(&board, node, clock)
+            }
+        };
+        let manager = self.lock_manager(id);
+        self.fabric.charge_round_trip(
+            node,
+            manager,
+            MsgClass::LockAcquire,
+            CTRL_BYTES,
+            MsgClass::LockGrant,
+            CTRL_BYTES + NOTICE_BYTES * applied,
+            clock,
+        );
+        applied
+    }
+
+    /// Release a distributed lock from `node`: flush the thread's dirty copies (the
+    /// interval ends here), notify the manager, record the simulated release time.
+    pub fn lock_release(&self, id: LockId, node: NodeId, clock: &ClockHandle) {
+        self.assert_node(node);
+        self.flush_thread_scoped(node, clock, Some(id));
+        clock.spend(self.config.costs.lock_local_ns);
+        let manager = self.lock_manager(id);
+        self.fabric
+            .send(node, manager, MsgClass::LockRelease, CTRL_BYTES, clock);
+        self.locks.get(id).release(clock.now());
+    }
+
+    /// Enter the global barrier as one of `parties` participants: flush (release
+    /// semantics), synchronize real threads and simulated clocks, apply notices
+    /// (acquire semantics). Returns the number of notices applied.
+    pub fn barrier_wait(&self, node: NodeId, parties: usize, clock: &ClockHandle) -> usize {
+        self.assert_node(node);
+        self.flush_thread(node, clock);
+        self.fabric
+            .send(node, NodeId::MASTER, MsgClass::BarrierEnter, CTRL_BYTES, clock);
+        let hdr = MsgClass::BarrierRelease.header_bytes();
+        let extra =
+            self.config.costs.barrier_local_ns + self.config.latency.one_way_ns(CTRL_BYTES + hdr);
+        let release_sim = self.barrier.wait(parties, clock.now(), extra);
+        clock.raise_to(release_sim);
+        let applied = self.apply_notices(node, clock);
+        // The release broadcast carries the notices this thread just applied.
+        self.fabric.account_async(
+            NodeId::MASTER,
+            node,
+            MsgClass::BarrierRelease,
+            CTRL_BYTES + NOTICE_BYTES * applied,
+        );
+        applied
+    }
+
+    // ------------------------------------------------------------------ home migration
+
+    /// Relocate `obj`'s home to `dest` (the object home-migration optimization the
+    /// paper's evaluation runs with; see also its Section II: "Relocating home of one
+    /// object for locality of one thread may sacrifice locality of other threads").
+    ///
+    /// The home payload transfer is accounted (`ObjData` old-home → new-home) and a
+    /// write notice is posted so every cached copy revalidates against the new home.
+    /// Threads holding a stale home-resident view are repaired when they next apply
+    /// notices. Returns `false` if the home was already `dest`.
+    pub fn migrate_home(&self, obj: ObjectId, dest: NodeId, clock: &ClockHandle) -> bool {
+        self.assert_node(dest);
+        let core = self.object(obj);
+        let old = core.home();
+        if old == dest {
+            return false;
+        }
+        self.fabric.send(
+            old,
+            dest,
+            MsgClass::ObjData,
+            core.payload_bytes() + OBJ_HEADER_BYTES,
+            clock,
+        );
+        core.set_home(dest);
+        let v = core.bump_version();
+        self.notices.post([WriteNotice { obj, version: v }]);
+        self.counters.home_migrations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    // ------------------------------------------------------------------ migration support
+
+    /// Prefetch `objs` into the clock's thread's heap at `node` (the sticky-set
+    /// prefetch accompanying a migration, Section III). Objects homed at `node` or
+    /// already valid are skipped. Data is accounted as batched `Prefetch` messages,
+    /// one per home node, charged to `clock`. Returns the payload bytes moved.
+    pub fn prefetch_into(
+        &self,
+        node: NodeId,
+        objs: impl IntoIterator<Item = ObjectId>,
+        clock: &ClockHandle,
+    ) -> usize {
+        self.assert_node(node);
+        let thread = clock.thread();
+        let mut per_home: Vec<usize> = vec![0; self.config.n_nodes];
+        for obj in objs {
+            let core = self.object(obj);
+            if core.home() == node {
+                continue;
+            }
+            let entry = self.spaces[thread.index()].entry_or_insert(obj, AccessEntry::absent);
+            let mut e = entry.lock();
+            if e.real == RealState::CacheValid {
+                continue;
+            }
+            let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
+            e.data = Some(data);
+            e.cached_version = version;
+            e.state = AccessState::Valid;
+            e.real = RealState::CacheValid;
+            per_home[core.home().index()] += core.payload_bytes() + OBJ_HEADER_BYTES;
+        }
+        let mut total = 0;
+        for (home, bytes) in per_home.iter().enumerate() {
+            if *bytes > 0 {
+                total += *bytes;
+                self.fabric
+                    .send(NodeId(home as u16), node, MsgClass::Prefetch, *bytes, clock);
+            }
+        }
+        total
+    }
+
+    /// Drop the clock's thread's entire local heap (it migrated to a new node and its
+    /// cache copies stayed behind). Unflushed writes are flushed from `from_node`
+    /// first so nothing is lost.
+    pub fn drop_thread_cache(&self, from_node: NodeId, clock: &ClockHandle) {
+        self.flush_thread(from_node, clock);
+        self.spaces[clock.thread().index()].clear();
+    }
+
+    fn assert_node(&self, n: NodeId) {
+        assert!(
+            n.index() < self.config.n_nodes,
+            "node {n} out of range ({} nodes)",
+            self.config.n_nodes
+        );
+    }
+}
+
+impl std::fmt::Debug for Gos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gos")
+            .field("n_nodes", &self.config.n_nodes)
+            .field("n_threads", &self.config.n_threads)
+            .field("objects", &self.n_objects())
+            .field("classes", &self.classes.len())
+            .finish()
+    }
+}

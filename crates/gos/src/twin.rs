@@ -1,0 +1,164 @@
+//! Twin/diff machinery of home-based LRC.
+//!
+//! Before the first write to a cached object in an interval, the node clones the
+//! payload (the **twin**). At release time the current payload is compared word-by-word
+//! against the twin and only the changed words — the **diff** — travel to the home
+//! node. The diff is run-length encoded as `(start, values…)` runs, which is what
+//! HLRC implementations ship and what we account on the wire.
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous run of changed words.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffRun {
+    /// Word index of the first changed word.
+    pub start: u32,
+    /// The new values.
+    pub values: Vec<f64>,
+}
+
+/// A word-level diff of an object payload against its twin.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Diff {
+    /// Changed runs in increasing `start` order, non-adjacent.
+    pub runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Compute the diff of `current` against `twin`.
+    ///
+    /// # Panics
+    /// If the lengths differ (twins are exact clones).
+    pub fn compute(twin: &[f64], current: &[f64]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/current length mismatch");
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < current.len() {
+            // NaN-safe inequality on the bit pattern: a write of NaN is still a write.
+            if twin[i].to_bits() != current[i].to_bits() {
+                let start = i;
+                while i < current.len() && twin[i].to_bits() != current[i].to_bits() {
+                    i += 1;
+                }
+                runs.push(DiffRun {
+                    start: start as u32,
+                    values: current[start..i].to_vec(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Apply this diff onto `target` (the home copy).
+    ///
+    /// # Panics
+    /// If a run falls outside `target`.
+    pub fn apply(&self, target: &mut [f64]) {
+        for run in &self.runs {
+            let start = run.start as usize;
+            let end = start + run.values.len();
+            assert!(end <= target.len(), "diff run out of bounds");
+            target[start..end].copy_from_slice(&run.values);
+        }
+    }
+
+    /// Number of changed words.
+    pub fn changed_words(&self) -> usize {
+        self.runs.iter().map(|r| r.values.len()).sum()
+    }
+
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Encoded size on the wire: per-run header (start + length, 8 bytes) plus the
+    /// changed words.
+    pub fn wire_bytes(&self) -> usize {
+        self.runs.len() * 8 + self.changed_words() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_diff_for_identical_payloads() {
+        let a = vec![1.0, 2.0, 3.0];
+        let d = Diff::compute(&a, &a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.changed_words(), 0);
+        assert_eq!(d.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn runs_are_coalesced() {
+        let twin = vec![0.0; 8];
+        let mut cur = twin.clone();
+        cur[1] = 1.0;
+        cur[2] = 2.0;
+        cur[5] = 5.0;
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.runs[0].start, 1);
+        assert_eq!(d.runs[0].values, vec![1.0, 2.0]);
+        assert_eq!(d.runs[1].start, 5);
+        assert_eq!(d.changed_words(), 3);
+        assert_eq!(d.wire_bytes(), 2 * 8 + 3 * 8);
+    }
+
+    #[test]
+    fn apply_reconstructs_current() {
+        let twin = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut cur = twin.clone();
+        cur[0] = -1.0;
+        cur[4] = 9.0;
+        let d = Diff::compute(&twin, &cur);
+        let mut home = twin.clone();
+        d.apply(&mut home);
+        assert_eq!(home, cur);
+    }
+
+    #[test]
+    fn nan_writes_are_detected() {
+        let twin = vec![0.0];
+        let cur = vec![f64::NAN];
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.changed_words(), 1);
+        let mut home = vec![0.0];
+        d.apply(&mut home);
+        assert!(home[0].is_nan());
+    }
+
+    #[test]
+    fn negative_zero_is_a_write() {
+        // 0.0 == -0.0 under PartialEq, but the bit patterns differ; the diff must be
+        // bit-exact or the home copy would silently diverge from the writer's view.
+        let twin = vec![0.0];
+        let cur = vec![-0.0];
+        let d = Diff::compute(&twin, &cur);
+        assert_eq!(d.changed_words(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = Diff::compute(&[0.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn apply_out_of_bounds_panics() {
+        let d = Diff {
+            runs: vec![DiffRun {
+                start: 3,
+                values: vec![1.0, 2.0],
+            }],
+        };
+        let mut target = vec![0.0; 4];
+        d.apply(&mut target);
+    }
+}

@@ -1,0 +1,216 @@
+//! Concurrency stress tests for the protocol engine: many real threads hammering
+//! shared objects through locks and barriers, checking coherence and clock sanity.
+
+use std::sync::Arc;
+
+use jessy_gos::{CostModel, Gos, GosConfig};
+use jessy_net::{ClockBoard, LatencyModel, NodeId, ThreadId};
+
+fn cluster(n_nodes: usize, n_threads: usize) -> (Arc<Gos>, Arc<ClockBoard>) {
+    let g = Gos::new(GosConfig {
+        n_nodes,
+        n_threads,
+        latency: LatencyModel::free(),
+        costs: CostModel::free(),
+            prefetch_depth: 0,
+        consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+    });
+    (Arc::new(g), ClockBoard::new(n_threads))
+}
+
+#[test]
+fn lock_protected_counter_is_exact_across_nodes() {
+    let (g, board) = cluster(4, 8);
+    let class = g.classes().register_scalar("Counter", 1);
+    let init_clock = board.handle(ThreadId(0));
+    let obj = g.alloc_scalar(NodeId(0), class, &init_clock, None).id;
+    let lock = g.register_lock();
+
+    const PER_THREAD: usize = 200;
+    let handles: Vec<_> = (0..8u32)
+        .map(|t| {
+            let g = Arc::clone(&g);
+            let clock = board.handle(ThreadId(t));
+            std::thread::spawn(move || {
+                let node = NodeId((t % 4) as u16);
+                for _ in 0..PER_THREAD {
+                    g.lock_acquire(lock, node, &clock);
+                    g.write(node, obj, &clock, |d| d[0] += 1.0);
+                    g.lock_release(lock, node, &clock);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Reader must observe every increment after a final acquire.
+    let clock = board.handle(ThreadId(0));
+    g.lock_acquire(lock, NodeId(1), &clock);
+    let (v, _) = g.read(NodeId(1), obj, &clock, |d| d[0]);
+    g.lock_release(lock, NodeId(1), &clock);
+    assert_eq!(v, (8 * PER_THREAD) as f64, "increments lost under contention");
+}
+
+#[test]
+fn barrier_phased_writers_never_lose_updates() {
+    // Classic ping-pong: each phase, every thread adds its id to the next thread's
+    // object. After R phases, object sums are exact.
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 50;
+    let (g, board) = cluster(3, THREADS);
+    let class = g.classes().register_scalar("Slot", 1);
+    let init_clock = board.handle(ThreadId(0));
+    let objs: Vec<_> = (0..THREADS)
+        .map(|i| {
+            g.alloc_scalar(NodeId((i % 3) as u16), class, &init_clock, None)
+                .id
+        })
+        .collect();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let g = Arc::clone(&g);
+            let clock = board.handle(ThreadId(t as u32));
+            let objs = objs.clone();
+            std::thread::spawn(move || {
+                let node = NodeId((t % 3) as u16);
+                for round in 0..ROUNDS {
+                    // Each object has exactly one writer per phase.
+                    let target = objs[(t + round) % THREADS];
+                    g.write(node, target, &clock, |d| d[0] += (t + 1) as f64);
+                    g.barrier_wait(node, THREADS, &clock);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every object was written once per phase by a rotating writer: the total across
+    // objects is ROUNDS * sum(t+1).
+    let total: f64 = objs
+        .iter()
+        .map(|&o| g.object(o).snapshot_home()[0])
+        .sum();
+    assert_eq!(total, (ROUNDS * (1 + 2 + 3 + 4 + 5 + 6)) as f64);
+}
+
+#[test]
+fn clocks_are_monotone_through_sync_storms() {
+    let (g, board) = cluster(2, 4);
+    let class = g.classes().register_scalar("X", 1);
+    let init_clock = board.handle(ThreadId(0));
+    let obj = g.alloc_scalar(NodeId(0), class, &init_clock, None).id;
+    let lock = g.register_lock();
+
+    let handles: Vec<_> = (0..4u32)
+        .map(|t| {
+            let g = Arc::clone(&g);
+            let clock = board.handle(ThreadId(t));
+            std::thread::spawn(move || {
+                let node = NodeId((t % 2) as u16);
+                let mut last = 0u64;
+                for i in 0..100 {
+                    if i % 3 == 0 {
+                        g.lock_acquire(lock, node, &clock);
+                        g.write(node, obj, &clock, |d| d[0] += 1.0);
+                        g.lock_release(lock, node, &clock);
+                    } else {
+                        g.read(node, obj, &clock, |_| {});
+                    }
+                    clock.spend(10);
+                    g.barrier_wait(node, 4, &clock);
+                    let now = clock.now();
+                    assert!(now >= last, "clock went backwards: {now} < {last}");
+                    last = now;
+                }
+                last
+            })
+        })
+        .collect();
+    let finals: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // All clocks equal after the final barrier.
+    assert!(finals.windows(2).all(|w| w[0] == w[1]), "{finals:?}");
+}
+
+#[test]
+fn resampling_walk_races_with_access_safely() {
+    // One thread flips sampled tags over the whole class while others access: no
+    // panics, and the final tags match the last decision.
+    let (g, board) = cluster(2, 4);
+    let class = g.classes().register_scalar("X", 1);
+    let init_clock = board.handle(ThreadId(0));
+    let objs: Vec<_> = (0..500)
+        .map(|i| {
+            g.alloc_scalar(NodeId((i % 2) as u16), class, &init_clock, None)
+                .id
+        })
+        .collect();
+
+    let flipper = {
+        let g = Arc::clone(&g);
+        std::thread::spawn(move || {
+            for round in 0..50 {
+                g.for_each_object_of_class(class, |core| {
+                    core.set_sampled(round % 2 == 0);
+                });
+            }
+        })
+    };
+    let readers: Vec<_> = (1..4u32)
+        .map(|t| {
+            let g = Arc::clone(&g);
+            let clock = board.handle(ThreadId(t));
+            let objs = objs.clone();
+            std::thread::spawn(move || {
+                for &o in &objs {
+                    g.read(NodeId((t % 2) as u16), o, &clock, |_| {});
+                }
+            })
+        })
+        .collect();
+    flipper.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    // Last flip round was 49 (odd) → everything unsampled.
+    let mut sampled = 0;
+    g.for_each_object_of_class(class, |core| {
+        if core.is_sampled() {
+            sampled += 1;
+        }
+    });
+    assert_eq!(sampled, 0);
+}
+
+#[test]
+fn interleaved_prefetch_and_invalidation() {
+    let (g, board) = cluster(2, 2);
+    let class = g.classes().register_scalar("X", 2);
+    let c0 = board.handle(ThreadId(0));
+    let c1 = board.handle(ThreadId(1));
+    let objs: Vec<_> = (0..50)
+        .map(|_| g.alloc_scalar(NodeId(0), class, &c0, None).id)
+        .collect();
+
+    // Thread 1 prefetches everything to node 1; thread 0 concurrently writes and
+    // flushes. Afterwards, applying notices and re-reading yields the latest values.
+    let writer = {
+        let g = Arc::clone(&g);
+        let objs = objs.clone();
+        std::thread::spawn(move || {
+            for &o in &objs {
+                g.write(NodeId(0), o, &c0, |d| d[0] = 7.0);
+            }
+            g.flush_thread(NodeId(0), &c0);
+        })
+    };
+    g.prefetch_into(NodeId(1), objs.iter().copied(), &c1);
+    writer.join().unwrap();
+    g.apply_notices(NodeId(1), &c1);
+    for &o in &objs {
+        let (v, _) = g.read(NodeId(1), o, &c1, |d| d[0]);
+        assert_eq!(v, 7.0, "stale value survived prefetch/invalidate race on {o}");
+    }
+}

@@ -1,0 +1,255 @@
+//! The simulated interconnect.
+//!
+//! A [`Fabric`] joins `n_nodes` logical nodes. Sending a message does two things:
+//!
+//! 1. **Accounting** — the (class, bytes) pair is added to the global ledger and to
+//!    per-link counters, so benchmarks can report exact traffic volumes (Table III).
+//! 2. **Time charging** — the sender's simulated clock is advanced by the
+//!    [`LatencyModel`] cost. For synchronous request/response pairs (an object fault
+//!    round-trip, a lock acquire) use [`Fabric::charge_round_trip`], which charges both
+//!    directions at once; the actual data movement happens through shared memory in the
+//!    caller (the simulation is in-process).
+//!
+//! Local (same-node) "messages" are free and unaccounted, like intra-JVM accesses in
+//! the real system.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{ClockHandle, SimNanos};
+use crate::ids::NodeId;
+use crate::latency::LatencyModel;
+use crate::message::MsgClass;
+use crate::stats::NetworkStats;
+
+/// Per-link (ordered node pair) traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages sent over the link.
+    pub messages: u64,
+    /// Bytes sent over the link.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct FabricLedger {
+    global: NetworkStats,
+    links: Vec<LinkStats>, // n_nodes * n_nodes, row = from
+}
+
+/// The simulated cluster interconnect: pure accounting plus a latency model.
+#[derive(Debug)]
+pub struct Fabric {
+    n_nodes: usize,
+    latency: LatencyModel,
+    ledger: Mutex<FabricLedger>,
+}
+
+impl Fabric {
+    /// Create a fabric joining `n_nodes` nodes under the given latency model.
+    pub fn new(n_nodes: usize, latency: LatencyModel) -> Self {
+        assert!(n_nodes > 0, "fabric needs at least one node");
+        Fabric {
+            n_nodes,
+            latency,
+            ledger: Mutex::new(FabricLedger {
+                global: NetworkStats::new(),
+                links: vec![LinkStats::default(); n_nodes * n_nodes],
+            }),
+        }
+    }
+
+    /// Number of nodes joined by this fabric.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    fn account(&self, from: NodeId, to: NodeId, class: MsgClass, total_bytes: u64) {
+        let mut ledger = self.ledger.lock();
+        ledger.global.record(class, total_bytes);
+        let idx = from.index() * self.n_nodes + to.index();
+        let link = &mut ledger.links[idx];
+        link.messages += 1;
+        link.bytes += total_bytes;
+    }
+
+    /// Send a one-way message of `payload_bytes` from `from` to `to`.
+    ///
+    /// Returns the simulated one-way cost charged to `clock` (zero if `from == to`).
+    pub fn send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: MsgClass,
+        payload_bytes: usize,
+        clock: &ClockHandle,
+    ) -> SimNanos {
+        if from == to {
+            return 0;
+        }
+        self.assert_node(from);
+        self.assert_node(to);
+        let total = payload_bytes + class.header_bytes();
+        self.account(from, to, class, total as u64);
+        let cost = self.latency.one_way_ns(total);
+        clock.spend(cost);
+        cost
+    }
+
+    /// Charge a synchronous request/response round trip: a `req_class` message of
+    /// `req_bytes` from `from` to `to`, answered by a `resp_class` message of
+    /// `resp_bytes`. Both legs are accounted; the full round trip is charged to the
+    /// requester's clock. Returns the total simulated cost (zero if `from == to`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn charge_round_trip(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        req_class: MsgClass,
+        req_bytes: usize,
+        resp_class: MsgClass,
+        resp_bytes: usize,
+        clock: &ClockHandle,
+    ) -> SimNanos {
+        if from == to {
+            return 0;
+        }
+        self.assert_node(from);
+        self.assert_node(to);
+        let req_total = req_bytes + req_class.header_bytes();
+        let resp_total = resp_bytes + resp_class.header_bytes();
+        self.account(from, to, req_class, req_total as u64);
+        self.account(to, from, resp_class, resp_total as u64);
+        let cost = self.latency.round_trip_ns(req_total, resp_total);
+        clock.spend(cost);
+        cost
+    }
+
+    /// Account a message without charging any clock — used for asynchronous traffic
+    /// whose latency is hidden (e.g. OAL batches piggybacked on lock/barrier messages,
+    /// Section II.A of the paper).
+    pub fn account_async(&self, from: NodeId, to: NodeId, class: MsgClass, payload_bytes: usize) {
+        if from == to {
+            return;
+        }
+        self.assert_node(from);
+        self.assert_node(to);
+        let total = payload_bytes + class.header_bytes();
+        self.account(from, to, class, total as u64);
+    }
+
+    /// Snapshot of the global per-class ledger.
+    pub fn stats(&self) -> NetworkStats {
+        self.ledger.lock().global.clone()
+    }
+
+    /// Traffic counters of the directed link `from -> to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.assert_node(from);
+        self.assert_node(to);
+        self.ledger.lock().links[from.index() * self.n_nodes + to.index()]
+    }
+
+    /// Reset all counters (between benchmark repetitions).
+    pub fn reset(&self) {
+        let mut ledger = self.ledger.lock();
+        ledger.global = NetworkStats::new();
+        ledger.links.fill(LinkStats::default());
+    }
+
+    fn assert_node(&self, n: NodeId) {
+        assert!(
+            n.index() < self.n_nodes,
+            "node {n} out of range (fabric has {} nodes)",
+            self.n_nodes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockBoard;
+    use crate::ids::ThreadId;
+
+    fn clock() -> ClockHandle {
+        ClockBoard::new(1).handle(ThreadId(0))
+    }
+
+    #[test]
+    fn send_accounts_and_charges() {
+        let f = Fabric::new(2, LatencyModel {
+            base_ns: 100,
+            ns_per_byte: 1.0,
+        });
+        let c = clock();
+        let cost = f.send(NodeId(0), NodeId(1), MsgClass::ObjFetch, 22, &c);
+        let total = 22 + MsgClass::ObjFetch.header_bytes();
+        assert_eq!(cost, 100 + total as u64);
+        assert_eq!(c.now(), cost);
+        let stats = f.stats();
+        assert_eq!(stats.class(MsgClass::ObjFetch).messages, 1);
+        assert_eq!(stats.class(MsgClass::ObjFetch).bytes, total as u64);
+        assert_eq!(f.link(NodeId(0), NodeId(1)).messages, 1);
+        assert_eq!(f.link(NodeId(1), NodeId(0)).messages, 0);
+    }
+
+    #[test]
+    fn local_send_is_free() {
+        let f = Fabric::new(2, LatencyModel::fast_ethernet());
+        let c = clock();
+        assert_eq!(f.send(NodeId(1), NodeId(1), MsgClass::ObjData, 4096, &c), 0);
+        assert_eq!(c.now(), 0);
+        assert_eq!(f.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn round_trip_accounts_both_legs() {
+        let f = Fabric::new(3, LatencyModel::free());
+        let c = clock();
+        f.charge_round_trip(
+            NodeId(0),
+            NodeId(2),
+            MsgClass::ObjFetch,
+            16,
+            MsgClass::ObjData,
+            1024,
+            &c,
+        );
+        let s = f.stats();
+        assert_eq!(s.class(MsgClass::ObjFetch).messages, 1);
+        assert_eq!(s.class(MsgClass::ObjData).messages, 1);
+        assert_eq!(f.link(NodeId(0), NodeId(2)).messages, 1);
+        assert_eq!(f.link(NodeId(2), NodeId(0)).messages, 1);
+    }
+
+    #[test]
+    fn async_accounting_does_not_touch_clock() {
+        let f = Fabric::new(2, LatencyModel::fast_ethernet());
+        f.account_async(NodeId(1), NodeId(0), MsgClass::OalBatch, 5_000);
+        assert_eq!(f.stats().oal_bytes(), 5_000 + MsgClass::OalBatch.header_bytes() as u64);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let f = Fabric::new(2, LatencyModel::free());
+        let c = clock();
+        f.send(NodeId(0), NodeId(1), MsgClass::DiffUpdate, 10, &c);
+        f.reset();
+        assert_eq!(f.stats().total_bytes(), 0);
+        assert_eq!(f.link(NodeId(0), NodeId(1)).bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_node_panics() {
+        let f = Fabric::new(2, LatencyModel::free());
+        let c = clock();
+        f.send(NodeId(0), NodeId(7), MsgClass::ObjFetch, 0, &c);
+    }
+}

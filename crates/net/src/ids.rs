@@ -1,0 +1,72 @@
+//! Cluster-wide identifiers.
+//!
+//! Newtype wrappers keep node and thread indices from being confused with each other
+//! or with raw `usize` arithmetic in the protocol code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one node (one "worker JVM" in the paper's Fig. 2) of the simulated
+/// cluster. Node 0 additionally hosts the master-JVM roles (correlation analyzer,
+/// barrier manager, global load balancer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node hosting master-JVM services.
+    pub const MASTER: NodeId = NodeId(0);
+
+    /// Raw index, for indexing per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies one application (Java) thread, globally unique across the cluster.
+///
+/// The thread correlation map (TCM) is indexed by pairs of `ThreadId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// Raw index, for indexing the TCM and per-thread tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let n = NodeId(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.to_string(), "n3");
+        assert_eq!(NodeId::MASTER, NodeId(0));
+    }
+
+    #[test]
+    fn thread_id_ordering_matches_index() {
+        let a = ThreadId(1);
+        let b = ThreadId(9);
+        assert!(a < b);
+        assert_eq!(b.index(), 9);
+        assert_eq!(b.to_string(), "t9");
+    }
+}

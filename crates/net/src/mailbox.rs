@@ -1,0 +1,137 @@
+//! Asynchronous typed mailboxes.
+//!
+//! OAL batches flow from worker nodes to the master's correlation-computing daemon
+//! asynchronously (the paper piggybacks them on lock/barrier requests). A
+//! [`Mailbox<T>`] is an unbounded MPSC channel plus the identity of its owner; byte
+//! accounting is done by the sender against the [`crate::Fabric`] separately, because
+//! only the caller knows the serialized size of `T`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::ids::NodeId;
+
+/// A message together with its origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<T> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Payload.
+    pub body: T,
+}
+
+/// An unbounded typed mailbox owned by one node (usually the master).
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    owner: NodeId,
+    tx: Sender<Envelope<T>>,
+    rx: Receiver<Envelope<T>>,
+}
+
+impl<T> Mailbox<T> {
+    /// Create a mailbox owned by `owner`.
+    pub fn new(owner: NodeId) -> Self {
+        let (tx, rx) = unbounded();
+        Mailbox { owner, tx, rx }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// A cheap cloneable sender for remote nodes.
+    pub fn sender(&self) -> MailboxSender<T> {
+        MailboxSender {
+            owner: self.owner,
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Drain every currently queued envelope.
+    pub fn drain(&self) -> Vec<Envelope<T>> {
+        let mut out = Vec::new();
+        while let Ok(env) = self.rx.try_recv() {
+            out.push(env);
+        }
+        out
+    }
+
+    /// Number of queued envelopes.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True if no envelopes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// Sending half of a [`Mailbox`].
+#[derive(Debug, Clone)]
+pub struct MailboxSender<T> {
+    owner: NodeId,
+    tx: Sender<Envelope<T>>,
+}
+
+impl<T> MailboxSender<T> {
+    /// The destination (owner) node of the mailbox.
+    pub fn destination(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Post a message. Returns `false` if the mailbox was dropped.
+    pub fn post(&self, from: NodeId, body: T) -> bool {
+        self.tx.send(Envelope { from, body }).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_drain_preserves_order() {
+        let mb: Mailbox<u32> = Mailbox::new(NodeId::MASTER);
+        let s = mb.sender();
+        assert!(s.post(NodeId(1), 10));
+        assert!(s.post(NodeId(2), 20));
+        assert_eq!(mb.len(), 2);
+        let drained = mb.drain();
+        assert_eq!(
+            drained,
+            vec![
+                Envelope { from: NodeId(1), body: 10 },
+                Envelope { from: NodeId(2), body: 20 }
+            ]
+        );
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn post_after_drop_reports_failure() {
+        let mb: Mailbox<u8> = Mailbox::new(NodeId(0));
+        let s = mb.sender();
+        drop(mb);
+        assert!(!s.post(NodeId(1), 1));
+    }
+
+    #[test]
+    fn senders_work_across_threads() {
+        let mb: Mailbox<usize> = Mailbox::new(NodeId(0));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let s = mb.sender();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        s.post(NodeId(i as u16), i * 100 + j);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mb.drain().len(), 400);
+    }
+}

@@ -1,0 +1,81 @@
+//! D-CVM-style overhead model.
+//!
+//! Active correlation tracking in page-based systems (Thitikamol & Keleher, ICDCS'99)
+//! arms tracking by write-protecting pages: every first access per page per interval
+//! takes a **memory-protection fault** — a kernel trap, signal delivery and `mprotect`
+//! flip, microseconds on the paper's hardware — where the object-grain design pays an
+//! inlined 2-bit check plus a user-level service routine (nanoseconds). The paper's
+//! related-work section notes D-CVM additionally had to disable preemptive scheduling.
+//!
+//! This module quantifies that gap so the ablation bench can reproduce the paper's
+//! claim that porting page-grain active tracking to fine-grained sharing "soars to an
+//! intolerable level".
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of one page-grain correlation fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageFaultModel {
+    /// Nanoseconds per protection fault (trap + signal + mprotect + log).
+    pub fault_ns: u64,
+}
+
+impl PageFaultModel {
+    /// Era-appropriate default: ~8 µs per protection fault on a 2 GHz P4 Linux box.
+    pub fn pentium4_2ghz() -> Self {
+        PageFaultModel { fault_ns: 8_000 }
+    }
+
+    /// Total tracking cost for `page_touches` first-accesses.
+    pub fn tracking_ns(&self, page_touches: u64) -> u64 {
+        self.fault_ns * page_touches
+    }
+
+    /// How many times more expensive page-grain tracking is than object-grain
+    /// tracking that served `object_faults` correlation faults at `object_fault_ns`
+    /// each. Returns `f64::INFINITY` when the object side is free.
+    pub fn slowdown_vs_object_grain(
+        &self,
+        page_touches: u64,
+        object_faults: u64,
+        object_fault_ns: u64,
+    ) -> f64 {
+        let obj = (object_faults * object_fault_ns) as f64;
+        if obj == 0.0 {
+            return f64::INFINITY;
+        }
+        self.tracking_ns(page_touches) as f64 / obj
+    }
+}
+
+impl Default for PageFaultModel {
+    fn default() -> Self {
+        PageFaultModel::pentium4_2ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracking_cost_scales_with_touches() {
+        let m = PageFaultModel { fault_ns: 1000 };
+        assert_eq!(m.tracking_ns(0), 0);
+        assert_eq!(m.tracking_ns(500), 500_000);
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let m = PageFaultModel { fault_ns: 8_000 };
+        // Same event count: the ratio is just fault_ns / service_ns.
+        let s = m.slowdown_vs_object_grain(1000, 1000, 400);
+        assert!((s - 20.0).abs() < 1e-9);
+        assert!(m.slowdown_vs_object_grain(1, 0, 400).is_infinite());
+    }
+
+    #[test]
+    fn era_default_is_microseconds() {
+        assert!(PageFaultModel::default().fault_ns >= 1_000);
+    }
+}

@@ -1,0 +1,131 @@
+//! Virtual address layout of the object population.
+//!
+//! Page-based DSM systems track sharing at the granularity of the virtual-memory page
+//! an object happens to land on. We reproduce a bump allocator: objects are laid out
+//! in allocation order (= [`ObjectId`] order, since the GOS assigns dense ids), each
+//! preceded by its header, 8-byte aligned. An object's *page span* is every 4 KB page
+//! it overlaps.
+
+use jessy_gos::object::OBJ_HEADER_BYTES;
+use jessy_gos::{Gos, ObjectId};
+
+/// The page size of the baseline (and of the paper's testbed).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Address spans of every object, in allocation order.
+#[derive(Debug, Clone)]
+pub struct PageLayout {
+    /// `(start, end)` byte addresses per object (end exclusive, header included).
+    spans: Vec<(u64, u64)>,
+}
+
+impl PageLayout {
+    /// Lay out every object currently allocated in `gos`.
+    pub fn from_gos(gos: &Gos) -> Self {
+        let mut spans = Vec::with_capacity(gos.n_objects());
+        let mut cursor = 0u64;
+        gos.for_each_object(|core| {
+            let size = (OBJ_HEADER_BYTES + core.payload_bytes()) as u64;
+            let size = size.div_ceil(8) * 8; // 8-byte alignment
+            spans.push((cursor, cursor + size));
+            cursor += size;
+        });
+        PageLayout { spans }
+    }
+
+    /// Build from explicit sizes (tests).
+    pub fn from_sizes(sizes: &[u64]) -> Self {
+        let mut spans = Vec::with_capacity(sizes.len());
+        let mut cursor = 0u64;
+        for &s in sizes {
+            let s = s.div_ceil(8) * 8;
+            spans.push((cursor, cursor + s));
+            cursor += s;
+        }
+        PageLayout { spans }
+    }
+
+    /// Number of laid-out objects.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if nothing was laid out.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The object's byte span.
+    pub fn span(&self, obj: ObjectId) -> (u64, u64) {
+        self.spans[obj.index()]
+    }
+
+    /// The pages the object overlaps (inclusive page ids).
+    pub fn pages_of(&self, obj: ObjectId) -> std::ops::RangeInclusive<u64> {
+        let (start, end) = self.span(obj);
+        let last = if end > start { end - 1 } else { start };
+        (start / PAGE_SIZE)..=(last / PAGE_SIZE)
+    }
+
+    /// Total pages spanned by the whole population.
+    pub fn total_pages(&self) -> u64 {
+        match self.spans.last() {
+            Some(&(_, end)) if end > 0 => (end - 1) / PAGE_SIZE + 1,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_layout_is_contiguous_and_aligned() {
+        let l = PageLayout::from_sizes(&[100, 20, 4096]);
+        assert_eq!(l.span(ObjectId(0)), (0, 104), "100 → 104 aligned");
+        assert_eq!(l.span(ObjectId(1)), (104, 128));
+        assert_eq!(l.span(ObjectId(2)), (128, 128 + 4096));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn small_objects_share_a_page() {
+        let l = PageLayout::from_sizes(&[64, 64, 64]);
+        assert_eq!(l.pages_of(ObjectId(0)), 0..=0);
+        assert_eq!(l.pages_of(ObjectId(2)), 0..=0);
+        assert_eq!(l.total_pages(), 1);
+    }
+
+    #[test]
+    fn large_objects_span_pages() {
+        let l = PageLayout::from_sizes(&[4000, 10000]);
+        assert_eq!(l.pages_of(ObjectId(0)), 0..=0);
+        // Object 1: bytes 4000..14000 → pages 0..=3.
+        assert_eq!(l.pages_of(ObjectId(1)), 0..=3);
+        assert_eq!(l.total_pages(), 4);
+    }
+
+    #[test]
+    fn layout_matches_gos_population() {
+        use jessy_gos::{CostModel, GosConfig};
+        use jessy_net::{ClockBoard, LatencyModel, NodeId, ThreadId};
+        let gos = Gos::new(GosConfig {
+            n_nodes: 1,
+            n_threads: 1,
+            latency: LatencyModel::free(),
+            costs: CostModel::free(),
+            prefetch_depth: 0,
+            consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+        });
+        let clock = ClockBoard::new(1).handle(ThreadId(0));
+        let c = gos.classes().register_scalar("X", 8); // 64 B payload + 16 header
+        for _ in 0..3 {
+            gos.alloc_scalar(NodeId(0), c, &clock, None);
+        }
+        let l = PageLayout::from_gos(&gos);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.span(ObjectId(0)), (0, 80));
+        assert_eq!(l.span(ObjectId(1)), (80, 160));
+    }
+}

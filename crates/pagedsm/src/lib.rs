@@ -1,0 +1,27 @@
+//! # jessy-pagedsm — the page-based DSM baseline
+//!
+//! The paper motivates fine-grained tracking with Fig. 1: page-based active
+//! correlation tracking (D-CVM style) "can only reveal the *induced* sharing pattern
+//! rather than the application's inherent pattern after the effect of false-sharing".
+//! This crate reproduces that baseline over the same object population:
+//!
+//! * [`layout`] places objects in a flat virtual address space exactly as a bump
+//!   allocator would (allocation order, headers included), mapping each object to the
+//!   4 KB page range it spans;
+//! * [`induced`] rebuilds the thread correlation map at *page* granularity from a
+//!   recorded OAL stream: a page shared by two threads in an interval contributes a
+//!   full page of "correlation", however little of it each thread actually touched —
+//!   the false-sharing blur of Fig. 1(b);
+//! * [`dcvm`] models the overhead side of the comparison: page-grain active tracking
+//!   needs a memory-protection fault (microseconds) per page per interval, versus the
+//!   inlined 2-bit check + service routine of the object-grain design.
+
+
+#![warn(missing_docs)]
+pub mod dcvm;
+pub mod induced;
+pub mod layout;
+
+pub use dcvm::PageFaultModel;
+pub use induced::InducedTcmBuilder;
+pub use layout::{PageLayout, PAGE_SIZE};

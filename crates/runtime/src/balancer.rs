@@ -1,0 +1,214 @@
+//! Correlation-driven thread placement.
+//!
+//! The paper's profiles exist to feed "effective thread-to-core placement and dynamic
+//! load balancing"; the policy itself is named future work (Section V). We implement
+//! the natural baseline the paper gestures at: a **balanced greedy partitioner** over
+//! the thread correlation map — collocate highly correlated threads subject to a
+//! per-node capacity (overloading a node "causes adverse slowdown, shadowing the
+//! locality benefit", Section II) — plus the marginal-gain query a dynamic balancer
+//! uses to pick profitable migrations against the sticky-set cost model.
+
+use serde::{Deserialize, Serialize};
+
+use jessy_core::Tcm;
+use jessy_net::{NodeId, ThreadId};
+
+/// A planned placement and its quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Thread → node assignment.
+    pub placement: Vec<NodeId>,
+    /// Fraction of total correlation mass that is intra-node (0..=1).
+    pub intra_fraction: f64,
+}
+
+/// Correlation-driven placement planning.
+#[derive(Debug, Default)]
+pub struct LoadBalancer;
+
+impl LoadBalancer {
+    /// New balancer.
+    pub fn new() -> Self {
+        LoadBalancer
+    }
+
+    /// Plan a balanced placement of `tcm.n()` threads onto `n_nodes` nodes
+    /// (capacity = ⌈N/K⌉ threads per node). Pair-greedy: thread pairs are processed in
+    /// descending correlation order; an unplaced pair opens on the least-loaded node,
+    /// a half-placed pair joins its partner when capacity allows. Deterministic.
+    pub fn plan(&self, tcm: &Tcm, n_nodes: usize) -> PlacementPlan {
+        assert!(n_nodes > 0);
+        let n = tcm.n();
+        let cap = n.div_ceil(n_nodes);
+        let mut placement: Vec<Option<NodeId>> = vec![None; n];
+        let mut load = vec![0usize; n_nodes];
+
+        let least_loaded = |load: &[usize], need: usize| -> Option<usize> {
+            (0..load.len())
+                .filter(|&k| load[k] + need <= cap)
+                .min_by_key(|&k| (load[k], k))
+        };
+        let place = |placement: &mut Vec<Option<NodeId>>, load: &mut Vec<usize>, t: usize, node: usize| {
+            placement[t] = Some(NodeId(node as u16));
+            load[node] += 1;
+        };
+
+        // Pairs by descending correlation (ties by indices for determinism).
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = tcm.at(ThreadId(i as u32), ThreadId(j as u32));
+                if v > 0.0 {
+                    pairs.push((i, j, v));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then((a.0, a.1).cmp(&(b.0, b.1))));
+
+        for (i, j, _) in pairs {
+            match (placement[i], placement[j]) {
+                (None, None) => {
+                    if let Some(node) = least_loaded(&load, 2) {
+                        place(&mut placement, &mut load, i, node);
+                        place(&mut placement, &mut load, j, node);
+                    }
+                }
+                (Some(node), None) if load[node.index()] < cap => {
+                    place(&mut placement, &mut load, j, node.index());
+                }
+                (None, Some(node)) if load[node.index()] < cap => {
+                    place(&mut placement, &mut load, i, node.index());
+                }
+                _ => {}
+            }
+        }
+        // Leftovers (uncorrelated or capacity-blocked) go to the lightest nodes.
+        for t in 0..n {
+            if placement[t].is_none() {
+                let node = least_loaded(&load, 1).expect("total capacity covers all threads");
+                place(&mut placement, &mut load, t, node);
+            }
+        }
+
+        let placement: Vec<NodeId> = placement.into_iter().map(|p| p.unwrap()).collect();
+        let intra_fraction = self.intra_fraction(tcm, &placement);
+        PlacementPlan {
+            placement,
+            intra_fraction,
+        }
+    }
+
+    /// Fraction of total correlation mass between threads on the same node.
+    pub fn intra_fraction(&self, tcm: &Tcm, placement: &[NodeId]) -> f64 {
+        assert_eq!(placement.len(), tcm.n());
+        let mut intra = 0.0;
+        let mut total = 0.0;
+        for i in 0..tcm.n() {
+            for j in (i + 1)..tcm.n() {
+                let v = tcm.at(ThreadId(i as u32), ThreadId(j as u32));
+                total += v;
+                if placement[i] == placement[j] {
+                    intra += v;
+                }
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            intra / total
+        }
+    }
+
+    /// Marginal change in intra-node correlation if `thread` moved to `dest` — the
+    /// *gain* side of the migration-profitability test (the *cost* side is the
+    /// sticky-set footprint).
+    pub fn migration_gain(&self, tcm: &Tcm, placement: &[NodeId], thread: ThreadId, dest: NodeId) -> f64 {
+        assert_eq!(placement.len(), tcm.n());
+        let src = placement[thread.index()];
+        if src == dest {
+            return 0.0;
+        }
+        let mut gain = 0.0;
+        for (u, &node) in placement.iter().enumerate() {
+            if u == thread.index() {
+                continue;
+            }
+            let v = tcm.at(thread, ThreadId(u as u32));
+            if node == dest {
+                gain += v;
+            } else if node == src {
+                gain -= v;
+            }
+        }
+        gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two cliques of two threads each: {0,1} and {2,3} heavily correlated.
+    fn clique_tcm() -> Tcm {
+        let mut t = Tcm::new(4);
+        t.add_pair(ThreadId(0), ThreadId(1), 100.0);
+        t.add_pair(ThreadId(2), ThreadId(3), 100.0);
+        t.add_pair(ThreadId(0), ThreadId(2), 1.0);
+        t
+    }
+
+    #[test]
+    fn plan_collocates_cliques() {
+        let plan = LoadBalancer::new().plan(&clique_tcm(), 2);
+        assert_eq!(plan.placement[0], plan.placement[1], "clique A together");
+        assert_eq!(plan.placement[2], plan.placement[3], "clique B together");
+        assert_ne!(plan.placement[0], plan.placement[2], "capacity splits them");
+        assert!(plan.intra_fraction > 0.99, "{}", plan.intra_fraction);
+    }
+
+    #[test]
+    fn plan_respects_capacity() {
+        // Everything correlated with everything: capacity must still split 4 over 2.
+        let mut t = Tcm::new(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                t.add_pair(ThreadId(i), ThreadId(j), 10.0);
+            }
+        }
+        let plan = LoadBalancer::new().plan(&t, 2);
+        let on0 = plan.placement.iter().filter(|n| n.0 == 0).count();
+        assert_eq!(on0, 2);
+    }
+
+    #[test]
+    fn migration_gain_matches_intra_delta() {
+        let tcm = clique_tcm();
+        let lb = LoadBalancer::new();
+        // Bad placement: split both cliques.
+        let placement = vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)];
+        let before = lb.intra_fraction(&tcm, &placement);
+        let gain = lb.migration_gain(&tcm, &placement, ThreadId(1), NodeId(0));
+        assert!(gain > 0.0, "reuniting clique A is profitable");
+        let mut after_placement = placement.clone();
+        after_placement[1] = NodeId(0);
+        let after = lb.intra_fraction(&tcm, &after_placement);
+        assert!(after > before);
+        // The absolute gain equals the intra-mass delta.
+        let total: f64 = 100.0 + 100.0 + 1.0;
+        assert!(((after - before) * total - gain).abs() < 1e-9);
+        assert_eq!(lb.migration_gain(&tcm, &placement, ThreadId(1), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn empty_tcm_plans_anything_balanced() {
+        let plan = LoadBalancer::new().plan(&Tcm::new(6), 3);
+        for node in 0..3u16 {
+            assert_eq!(
+                plan.placement.iter().filter(|n| n.0 == node).count(),
+                2,
+                "balanced"
+            );
+        }
+        assert_eq!(plan.intra_fraction, 0.0);
+    }
+}

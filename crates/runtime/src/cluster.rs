@@ -1,0 +1,423 @@
+//! Cluster construction and execution.
+//!
+//! A [`Cluster`] is the whole simulated DJVM: the GOS, the clock board, the shared
+//! profiler state, the master daemon and a thread→node placement. Usage:
+//!
+//! ```
+//! use jessy_runtime::Cluster;
+//! use jessy_core::ProfilerConfig;
+//!
+//! let mut cluster = Cluster::builder()
+//!     .nodes(2)
+//!     .threads(4)
+//!     .profiler(ProfilerConfig::default())
+//!     .build();
+//! // Set up classes and shared data from the init context…
+//! let class = cluster.init(|ctx| {
+//!     let c = ctx.register_scalar_class("Counter", 1);
+//!     for node in 0..2 {
+//!         ctx.alloc_scalar_at(jessy_net::NodeId(node), c);
+//!     }
+//!     c
+//! });
+//! // …then run one closure per application thread.
+//! cluster.run(move |jt| {
+//!     jt.read(jessy_gos::ObjectId(jt.thread_id().0 % 2), |_| {});
+//!     jt.barrier();
+//! });
+//! let report = cluster.report();
+//! assert_eq!(report.n_threads, 4);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use jessy_core::{Oal, ProfilerConfig, ProfilerShared, ThreadProfiler};
+use jessy_gos::protocol::ConsistencyModel;
+use jessy_gos::{ClassId, CostModel, Gos, GosConfig, LockId, ObjectCore, ObjectId};
+use jessy_net::mailbox::MailboxSender;
+use jessy_net::{ClockBoard, ClockHandle, LatencyModel, Mailbox, NodeId, ThreadId};
+use jessy_stack::{MethodId, MethodRegistry};
+
+use crate::dynamic::RebalanceConfig;
+use crate::master::{MasterDaemon, MasterOutput};
+use crate::metrics::RunReport;
+use crate::migration::MigrationReport;
+use crate::thread::JThread;
+
+/// State shared by every thread of the cluster.
+pub struct ClusterShared {
+    /// The Global Object Space.
+    pub gos: Gos,
+    /// Simulated clocks: indices `0..n_threads` are application threads; index
+    /// `n_threads` is the master/init clock.
+    pub board: Arc<ClockBoard>,
+    /// Shared profiler state (gap table, counters).
+    pub prof: Arc<ProfilerShared>,
+    /// Method layouts for Java stacks.
+    pub methods: MethodRegistry,
+    /// Sender half of the master's OAL mailbox.
+    pub oal_tx: MailboxSender<Oal>,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Number of application threads.
+    pub n_threads: usize,
+    /// Current thread→node placement (updated by migrations).
+    pub placement: RwLock<Vec<NodeId>>,
+    /// Per-thread migration directives issued by the dynamic balancer; each thread
+    /// honours its slot at its next barrier (a safe point) and clears it.
+    pub directives: RwLock<Vec<Option<NodeId>>>,
+    /// Dynamic-rebalancing configuration, if enabled.
+    pub rebalance: Option<RebalanceConfig>,
+    /// Log of every thread migration performed during the run.
+    pub migration_log: parking_lot::Mutex<Vec<MigrationReport>>,
+    /// Latest per-thread sticky-set footprint totals (bytes), published at interval
+    /// close when footprinting is on — the *cost* side of the balancer's
+    /// migration-profitability test.
+    pub footprints: RwLock<Vec<f64>>,
+    /// Set when application threads have all finished (stops the master daemon).
+    pub done: AtomicBool,
+}
+
+impl ClusterShared {
+    /// The master/init clock handle.
+    pub fn master_clock(&self) -> ClockHandle {
+        self.board.handle(ThreadId(self.n_threads as u32))
+    }
+
+    /// Current node of a thread.
+    pub fn node_of(&self, thread: ThreadId) -> NodeId {
+        self.placement.read()[thread.index()]
+    }
+}
+
+/// Builder for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    n_nodes: usize,
+    n_threads: usize,
+    latency: LatencyModel,
+    costs: CostModel,
+    profiler: ProfilerConfig,
+    placement: Option<Vec<NodeId>>,
+    rebalance: Option<RebalanceConfig>,
+    prefetch_depth: u32,
+    consistency: ConsistencyModel,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            n_nodes: 8,
+            n_threads: 8,
+            latency: LatencyModel::fast_ethernet(),
+            costs: CostModel::pentium4_2ghz(),
+            profiler: ProfilerConfig::disabled(),
+            placement: None,
+            rebalance: None,
+            prefetch_depth: 0,
+            consistency: ConsistencyModel::GlobalHlrc,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of nodes (default 8, the paper's testbed).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.n_nodes = n;
+        self
+    }
+
+    /// Number of application threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.n_threads = n;
+        self
+    }
+
+    /// Network model (default Fast Ethernet).
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// CPU cost model (default 2 GHz Pentium 4).
+    pub fn costs(mut self, c: CostModel) -> Self {
+        self.costs = c;
+        self
+    }
+
+    /// Profiler configuration (default: everything off).
+    pub fn profiler(mut self, p: ProfilerConfig) -> Self {
+        self.profiler = p;
+        self
+    }
+
+    /// Explicit initial thread→node placement (default: block distribution, matching
+    /// how SPLASH-2 style workloads are usually laid out: thread i on node
+    /// i·K/N).
+    pub fn placement(mut self, p: Vec<NodeId>) -> Self {
+        self.placement = Some(p);
+        self
+    }
+
+    /// Connectivity-based object prefetching depth (0 disables; the paper's runs have
+    /// "optimizations of object prefetching and home migration … enabled").
+    pub fn prefetch_depth(mut self, depth: u32) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Notice-scoping discipline: LRC-style global history (default) or scope
+    /// consistency (per-lock notice histories, as in ScC).
+    pub fn consistency(mut self, c: ConsistencyModel) -> Self {
+        self.consistency = c;
+        self
+    }
+
+    /// Enable the dynamic load balancer: after the configured number of TCM rounds the
+    /// master plans a placement from the recovered correlation map and issues
+    /// per-thread migration directives, honoured at the threads' next barriers.
+    /// Requires a profiler configuration with correlation tracking on.
+    pub fn rebalance(mut self, r: RebalanceConfig) -> Self {
+        self.rebalance = Some(r);
+        self
+    }
+
+    /// Build the cluster.
+    pub fn build(self) -> Cluster {
+        assert!(self.n_nodes > 0 && self.n_threads > 0);
+        let placement = self.placement.unwrap_or_else(|| {
+            // Block placement: contiguous groups of threads per node.
+            (0..self.n_threads)
+                .map(|t| NodeId((t * self.n_nodes / self.n_threads) as u16))
+                .collect()
+        });
+        assert_eq!(placement.len(), self.n_threads);
+        assert!(placement.iter().all(|n| n.index() < self.n_nodes));
+
+        let gos = Gos::new(GosConfig {
+            n_nodes: self.n_nodes,
+            n_threads: self.n_threads,
+            latency: self.latency,
+            costs: self.costs,
+            prefetch_depth: self.prefetch_depth,
+            consistency: self.consistency,
+        });
+        let board = ClockBoard::new(self.n_threads + 1);
+        let mailbox = Mailbox::new(NodeId::MASTER);
+        let shared = Arc::new(ClusterShared {
+            gos,
+            board,
+            prof: ProfilerShared::new(self.profiler),
+            methods: MethodRegistry::new(),
+            oal_tx: mailbox.sender(),
+            n_nodes: self.n_nodes,
+            n_threads: self.n_threads,
+            placement: RwLock::new(placement),
+            directives: RwLock::new(vec![None; self.n_threads]),
+            rebalance: self.rebalance,
+            migration_log: parking_lot::Mutex::new(Vec::new()),
+            footprints: RwLock::new(vec![0.0; self.n_threads]),
+            done: AtomicBool::new(false),
+        });
+        Cluster {
+            shared,
+            mailbox: Some(mailbox),
+            master_out: None,
+            run_wall_ns: 0,
+        }
+    }
+}
+
+/// Context for pre-run setup: class registration and shared-data allocation with
+/// explicit home placement. Costs are charged to the master clock and excluded from
+/// the run's execution time (clocks reset when the run starts).
+pub struct InitCtx<'a> {
+    shared: &'a ClusterShared,
+    clock: ClockHandle,
+}
+
+impl InitCtx<'_> {
+    /// Register a scalar class of `words` 8-byte words (also registers it for
+    /// sampling at the configured initial rate).
+    pub fn register_scalar_class(&self, name: &str, words: u32) -> ClassId {
+        let class = self.shared.gos.classes().register_scalar(name, words);
+        self.shared.prof.register_class(class, words.max(1) as usize * 8);
+        class
+    }
+
+    /// Register an array class of `elem_words` words per element.
+    pub fn register_array_class(&self, name: &str, elem_words: u32) -> ClassId {
+        let class = self.shared.gos.classes().register_array(name, elem_words);
+        self.shared
+            .prof
+            .register_class(class, elem_words.max(1) as usize * 8);
+        class
+    }
+
+    /// Register a method layout for Java stacks.
+    pub fn register_method(&self, name: &str, n_slots: usize) -> MethodId {
+        self.shared.methods.register(name, n_slots)
+    }
+
+    /// Allocate a zeroed scalar instance homed at `node`.
+    pub fn alloc_scalar_at(&self, node: NodeId, class: ClassId) -> Arc<ObjectCore> {
+        let core = self.shared.gos.alloc_scalar(node, class, &self.clock, None);
+        self.shared.prof.tag_new_object(&core);
+        core
+    }
+
+    /// Allocate an initialized scalar instance homed at `node`.
+    pub fn alloc_scalar_init(&self, node: NodeId, class: ClassId, init: &[f64]) -> Arc<ObjectCore> {
+        let core = self
+            .shared
+            .gos
+            .alloc_scalar(node, class, &self.clock, Some(init));
+        self.shared.prof.tag_new_object(&core);
+        core
+    }
+
+    /// Allocate a zeroed array of `len_elems` elements homed at `node`.
+    pub fn alloc_array_at(&self, node: NodeId, class: ClassId, len_elems: u32) -> Arc<ObjectCore> {
+        let core = self
+            .shared
+            .gos
+            .alloc_array(node, class, len_elems, &self.clock, None);
+        self.shared.prof.tag_new_object(&core);
+        core
+    }
+
+    /// Allocate an initialized array homed at `node`.
+    pub fn alloc_array_init(
+        &self,
+        node: NodeId,
+        class: ClassId,
+        init: &[f64],
+    ) -> Arc<ObjectCore> {
+        let core =
+            self.shared
+                .gos
+                .alloc_array(node, class, init.len() as u32, &self.clock, Some(init));
+        self.shared.prof.tag_new_object(&core);
+        core
+    }
+
+    /// Register a distributed lock.
+    pub fn register_lock(&self) -> LockId {
+        self.shared.gos.register_lock()
+    }
+
+    /// Add a reference edge `from → to` in the object graph.
+    pub fn add_ref(&self, from: ObjectId, to: ObjectId) {
+        self.shared.gos.object(from).add_ref(to);
+    }
+
+    /// Direct access to the GOS (advanced setup).
+    pub fn gos(&self) -> &Gos {
+        &self.shared.gos
+    }
+}
+
+/// A simulated DJVM cluster.
+pub struct Cluster {
+    shared: Arc<ClusterShared>,
+    mailbox: Option<Mailbox<Oal>>,
+    master_out: Option<MasterOutput>,
+    run_wall_ns: u64,
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Shared state (for advanced inspection).
+    pub fn shared(&self) -> &Arc<ClusterShared> {
+        &self.shared
+    }
+
+    /// Run setup code with an [`InitCtx`].
+    pub fn init<R>(&self, f: impl FnOnce(&mut InitCtx<'_>) -> R) -> R {
+        let mut ctx = InitCtx {
+            shared: &self.shared,
+            clock: self.shared.master_clock(),
+        };
+        f(&mut ctx)
+    }
+
+    /// Run `body` once per application thread (each on its own OS thread), with the
+    /// master daemon pumping OALs concurrently. Clocks are reset first, so the
+    /// reported simulated execution time covers exactly this parallel phase.
+    ///
+    /// # Panics
+    /// If called twice, or if any application thread panics.
+    pub fn run<F>(&mut self, body: F)
+    where
+        F: Fn(&mut JThread) + Send + Sync + 'static,
+    {
+        let mailbox = self.mailbox.take().expect("Cluster::run may only be called once");
+        self.shared.board.reset();
+        self.shared.done.store(false, Ordering::Release);
+
+        let wall_start = Instant::now();
+        let master = MasterDaemon::spawn(Arc::clone(&self.shared), mailbox);
+
+        let body = Arc::new(body);
+        let workers: Vec<_> = (0..self.shared.n_threads)
+            .map(|t| {
+                let shared = Arc::clone(&self.shared);
+                let body = Arc::clone(&body);
+                std::thread::Builder::new()
+                    .name(format!("jthread-{t}"))
+                    .spawn(move || {
+                        let thread = ThreadId(t as u32);
+                        let mut jt = JThread::new(shared, thread);
+                        body(&mut jt);
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let mut panicked = Vec::new();
+        for (t, w) in workers.into_iter().enumerate() {
+            if w.join().is_err() {
+                panicked.push(t);
+            }
+        }
+        self.shared.done.store(true, Ordering::Release);
+        self.master_out = Some(master.join());
+        self.run_wall_ns = wall_start.elapsed().as_nanos() as u64;
+        assert!(panicked.is_empty(), "application threads panicked: {panicked:?}");
+    }
+
+    /// The master daemon's output (TCM, rounds, rate changes) — available after
+    /// [`Cluster::run`].
+    pub fn master_output(&self) -> Option<&MasterOutput> {
+        self.master_out.as_ref()
+    }
+
+    /// Build the run report.
+    pub fn report(&self) -> RunReport {
+        RunReport::gather(
+            &self.shared,
+            self.master_out.as_ref(),
+            self.run_wall_ns,
+        )
+    }
+
+    /// Per-thread profiler handle for one-off (non-`run`) driving in tests: builds a
+    /// fresh [`JThread`] on the calling thread.
+    pub fn adopt_thread(&self, thread: ThreadId) -> JThread {
+        JThread::new(Arc::clone(&self.shared), thread)
+    }
+}
+
+/// Convenience: a fresh `ThreadProfiler` for `thread` against this cluster's shared
+/// profiler state.
+pub fn thread_profiler(shared: &Arc<ClusterShared>, thread: ThreadId) -> ThreadProfiler {
+    ThreadProfiler::new(Arc::clone(&shared.prof), thread)
+}

@@ -1,0 +1,186 @@
+//! Dynamic load balancing — closing the loop the paper opens.
+//!
+//! Section V: *"Our future work is to formulate an advanced load balancing policy that
+//! utilizes the correlation maps and sticky sets gathered…"*. This module is that
+//! policy's skeleton, built from the pieces the paper provides:
+//!
+//! * the master watches the TCM accumulate; after [`RebalanceConfig::after_rounds`]
+//!   rounds it plans a balanced placement with the [`crate::LoadBalancer`];
+//! * threads whose planned node differs from their current one get a **migration
+//!   directive**; a directive is priced first — the correlation *gain* (marginal
+//!   intra-node mass) must clear [`RebalanceConfig::min_gain_bytes`], the paper's
+//!   guard against thrashing ("employing localized thread placement strategies may …
+//!   cause threads to thrash between nodes");
+//! * each thread checks its directive at its next barrier (a safe point, where the
+//!   real JESSICA2 migrates too) and relocates, optionally prefetching its resolved
+//!   sticky set so the indirect cost is paid up front instead of as post-migration
+//!   faults.
+
+use serde::{Deserialize, Serialize};
+
+use jessy_net::{NodeId, ThreadId};
+
+use crate::balancer::LoadBalancer;
+use crate::cluster::ClusterShared;
+use jessy_core::Tcm;
+
+/// Configuration of the dynamic balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceConfig {
+    /// Plan once this many TCM rounds have closed.
+    pub after_rounds: u64,
+    /// Prefetch each migrant's resolved sticky set along with its context.
+    pub with_prefetch: bool,
+    /// Minimum correlation gain (bytes/round of new intra-node mass) for a directive
+    /// to be issued — the anti-thrashing guard.
+    pub min_gain_bytes: f64,
+    /// How many future rounds a migration's gain is credited for when weighed against
+    /// its one-time sticky-set cost: migrate iff
+    /// `gain × horizon ≥ sticky-footprint bytes` (the paper's profitability test).
+    pub gain_horizon_rounds: f64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            after_rounds: 4,
+            with_prefetch: true,
+            min_gain_bytes: 1.0,
+            gain_horizon_rounds: 10.0,
+        }
+    }
+}
+
+/// One directive the planner issued.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedMigration {
+    /// The thread to move.
+    pub thread: ThreadId,
+    /// Where it was when the plan was made.
+    pub from: NodeId,
+    /// Where it should go.
+    pub to: NodeId,
+    /// The correlation gain that justified it.
+    pub gain_bytes: f64,
+    /// The sticky-set cost it was weighed against.
+    pub sticky_cost_bytes: f64,
+}
+
+/// Plan against the current placement and post directives. Returns what was issued.
+/// Called by the master daemon once `after_rounds` rounds have closed.
+pub fn plan_and_post(shared: &ClusterShared, tcm: &Tcm, config: &RebalanceConfig) -> Vec<PlannedMigration> {
+    let lb = LoadBalancer::new();
+    let current = shared.placement.read().clone();
+    let plan = lb.plan(tcm, shared.n_nodes);
+    let mut issued = Vec::new();
+    let mut directives = shared.directives.write();
+    for t in 0..shared.n_threads {
+        let thread = ThreadId(t as u32);
+        let dest = plan.placement[t];
+        if dest == current[t] {
+            continue;
+        }
+        let gain = lb.migration_gain(tcm, &current, thread, dest);
+        if gain < config.min_gain_bytes {
+            continue;
+        }
+        // The paper's profitability test: the one-time sticky-set transfer must be
+        // amortized by the per-round correlation gain within the horizon.
+        let sticky_cost = shared.footprints.read()[t];
+        if gain * config.gain_horizon_rounds < sticky_cost {
+            continue;
+        }
+        directives[t] = Some(dest);
+        issued.push(PlannedMigration {
+            thread,
+            from: current[t],
+            to: dest,
+            gain_bytes: gain,
+            sticky_cost_bytes: sticky_cost,
+        });
+    }
+    issued
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use jessy_core::ProfilerConfig;
+
+    #[test]
+    fn plan_and_post_respects_min_gain() {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .threads(4)
+            .placement(vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)])
+            .profiler(ProfilerConfig::disabled())
+            .build();
+        let shared = cluster.shared();
+
+        // Threads 0&1 correlate strongly; 2&3 weakly.
+        let mut tcm = Tcm::new(4);
+        tcm.add_pair(ThreadId(0), ThreadId(1), 1000.0);
+        tcm.add_pair(ThreadId(2), ThreadId(3), 0.5);
+
+        let strict = RebalanceConfig {
+            after_rounds: 1,
+            with_prefetch: false,
+            min_gain_bytes: 10.0,
+            gain_horizon_rounds: 1e18,
+        };
+        let issued = plan_and_post(shared, &tcm, &strict);
+        // Reuniting 0&1 clears the bar; reuniting 2&3 (gain 0.5) does not.
+        assert!(!issued.is_empty());
+        assert!(issued.iter().all(|m| m.gain_bytes >= 10.0));
+        let directives = shared.directives.read();
+        let posted = directives.iter().filter(|d| d.is_some()).count();
+        assert_eq!(posted, issued.len());
+    }
+
+    #[test]
+    fn sticky_cost_vetoes_marginal_migrations() {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .threads(4)
+            .placement(vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)])
+            .profiler(ProfilerConfig::disabled())
+            .build();
+        let shared = cluster.shared();
+        let mut tcm = Tcm::new(4);
+        tcm.add_pair(ThreadId(0), ThreadId(1), 100.0);
+
+        // Every thread carries a huge sticky footprint: the one-time transfer cannot
+        // be amortized within the horizon.
+        *shared.footprints.write() = vec![1e9; 4];
+        let cfg = RebalanceConfig {
+            after_rounds: 1,
+            with_prefetch: false,
+            min_gain_bytes: 1.0,
+            gain_horizon_rounds: 2.0, // gain 100 × 2 « 1e9
+        };
+        assert!(plan_and_post(shared, &tcm, &cfg).is_empty());
+
+        // With light footprints the same plan goes through.
+        *shared.footprints.write() = vec![50.0; 4];
+        shared.directives.write().iter_mut().for_each(|d| *d = None);
+        let issued = plan_and_post(shared, &tcm, &cfg);
+        assert!(!issued.is_empty());
+        assert!(issued.iter().all(|m| m.sticky_cost_bytes == 50.0));
+    }
+
+    #[test]
+    fn no_directives_for_an_already_good_placement() {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .threads(4)
+            .placement(vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)])
+            .profiler(ProfilerConfig::disabled())
+            .build();
+        let mut tcm = Tcm::new(4);
+        tcm.add_pair(ThreadId(0), ThreadId(1), 100.0);
+        tcm.add_pair(ThreadId(2), ThreadId(3), 100.0);
+        let issued = plan_and_post(cluster.shared(), &tcm, &RebalanceConfig::default());
+        assert!(issued.is_empty(), "{issued:?}");
+    }
+}

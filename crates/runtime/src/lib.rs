@@ -1,0 +1,36 @@
+//! # jessy-runtime — the distributed JVM runtime
+//!
+//! Ties the substrates together into the system of the paper's Fig. 2: a cluster of
+//! worker nodes each hosting application threads over the Global Object Space, plus a
+//! master node running the correlation-computing daemon, the adaptive rate controller
+//! and the global load balancer.
+//!
+//! * [`cluster`] — building and running a simulated cluster; each application (Java)
+//!   thread is an OS thread holding a [`thread::JThread`] handle.
+//! * [`thread`] — the application-facing API: allocation, read/write barriers,
+//!   locks/barriers (interval boundaries), stack frames, compute charging.
+//! * [`master`] — the coordinator daemon: ingests OAL batches, builds the TCM in
+//!   rounds, steers per-class sampling rates, broadcasts rate changes and triggers
+//!   resampling walks.
+//! * [`migration`] — the thread migration engine with optional sticky-set prefetching,
+//!   plus the induced-cost measurement used to validate the cost model.
+//! * [`balancer`] — correlation-driven thread placement (the paper's stated purpose
+//!   for the profiles; Section V future work, built here as the X1 extension).
+//! * [`metrics`] — the run report every benchmark table reads.
+
+
+#![warn(missing_docs)]
+pub mod balancer;
+pub mod cluster;
+pub mod dynamic;
+pub mod master;
+pub mod metrics;
+pub mod migration;
+pub mod thread;
+
+pub use balancer::LoadBalancer;
+pub use cluster::{Cluster, ClusterBuilder, InitCtx};
+pub use dynamic::{PlannedMigration, RebalanceConfig};
+pub use metrics::RunReport;
+pub use migration::MigrationReport;
+pub use thread::JThread;

@@ -1,0 +1,241 @@
+//! The master JVM's correlation-computing daemon (Fig. 2).
+//!
+//! Runs on its own OS thread for the duration of a cluster run: drains OAL batches
+//! from the mailbox and groups them into TCM rounds **by interval number** — round
+//! `r` covers intervals `[r·ipr, (r+1)·ipr)` of every thread, and closes once every
+//! thread's interval stream has passed the round's end (threads emit even empty OALs
+//! so the watermark is well-defined). Grouping by interval instead of arrival order
+//! keeps the correlation map deterministic under thread scheduling: a pair of threads
+//! touching an object in the same interval always lands in the same round.
+//!
+//! After each round the [`AdaptiveController`] compares successive per-class maps and
+//! applies rate changes — updating the shared gap table, broadcasting `RateChange`
+//! notices (accounted) and executing the resampling walks.
+//!
+//! The daemon measures its *real* CPU time spent building TCM rounds; Table III's
+//! "TCM Computing Time" column reads this, because in our reproduction the TCM
+//! construction is a real computation (the paper likewise ran it on a dedicated
+//! machine so it would not distort execution times).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use jessy_core::adaptive::apply_rate_change;
+use jessy_core::{AdaptiveController, Oal, Tcm, TcmBuilder};
+use jessy_net::{Mailbox, MsgClass, NodeId};
+
+use crate::cluster::ClusterShared;
+use crate::dynamic::{plan_and_post, PlannedMigration};
+
+/// One applied rate change, for the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedRateChange {
+    /// Round in which the change was decided.
+    pub round: u64,
+    /// The class name.
+    pub class_name: String,
+    /// New rate label ("4X", "full").
+    pub new_rate: String,
+    /// The relative distance that triggered it.
+    pub relative_distance: f64,
+    /// Objects re-tagged by the resampling walk.
+    pub resampled_objects: usize,
+}
+
+/// Everything the master produced during a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MasterOutput {
+    /// The cumulative thread correlation map.
+    pub tcm: Tcm,
+    /// OAL batches ingested (including empty interval contexts).
+    pub oals_ingested: u64,
+    /// TCM rounds closed.
+    pub rounds: u64,
+    /// Distinct objects organized over all rounds (Σ per-round `M`).
+    pub objects_organized: u64,
+    /// Real nanoseconds spent ingesting OALs and building TCM rounds.
+    pub tcm_build_real_ns: u64,
+    /// Rate changes applied by the adaptive controller.
+    pub rate_changes: Vec<AppliedRateChange>,
+    /// Migration directives issued by the dynamic balancer, if enabled.
+    pub planned_migrations: Vec<PlannedMigration>,
+    /// The raw OAL stream, when `ProfilerConfig::record_oals` was set.
+    pub oal_log: Vec<Oal>,
+}
+
+pub(crate) struct MasterDaemon {
+    handle: std::thread::JoinHandle<MasterOutput>,
+}
+
+impl MasterDaemon {
+    pub(crate) fn spawn(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> Self {
+        let handle = std::thread::Builder::new()
+            .name("jessy-master".into())
+            .spawn(move || run_daemon(shared, mailbox))
+            .expect("spawn master daemon");
+        MasterDaemon { handle }
+    }
+
+    pub(crate) fn join(self) -> MasterOutput {
+        self.handle.join().expect("master daemon panicked")
+    }
+}
+
+struct Daemon {
+    shared: Arc<ClusterShared>,
+    builder: TcmBuilder,
+    controller: Option<AdaptiveController>,
+    /// Round id → buffered OALs of its interval range.
+    buckets: BTreeMap<u64, Vec<Oal>>,
+    /// Per-thread watermark: 1 + highest interval id seen.
+    watermark: Vec<u64>,
+    /// Intervals per round.
+    ipr: u64,
+    /// Next round to close (rounds close strictly in order).
+    next_round: u64,
+    oals: u64,
+    objects_organized: u64,
+    build_ns: u64,
+    rate_changes: Vec<AppliedRateChange>,
+    planned_migrations: Vec<PlannedMigration>,
+    rebalanced: bool,
+    oal_log: Vec<Oal>,
+    record_oals: bool,
+}
+
+impl Daemon {
+    fn ingest(&mut self, oal: Oal) {
+        self.oals += 1;
+        let t = oal.thread.index();
+        self.watermark[t] = self.watermark[t].max(oal.interval + 1);
+        let round = oal.interval / self.ipr;
+        if self.record_oals {
+            self.oal_log.push(oal.clone());
+        }
+        if !oal.is_empty() {
+            self.buckets.entry(round).or_default().push(oal);
+        }
+        self.drain_ready_rounds();
+    }
+
+    /// Close every round whose interval range every thread has passed.
+    fn drain_ready_rounds(&mut self) {
+        let min_watermark = self.watermark.iter().copied().min().unwrap_or(0);
+        while (self.next_round + 1) * self.ipr <= min_watermark {
+            self.close_round(self.next_round);
+            self.next_round += 1;
+        }
+    }
+
+    fn close_round(&mut self, round: u64) {
+        let oals = self.buckets.remove(&round).unwrap_or_default();
+        let t0 = Instant::now();
+        for oal in &oals {
+            self.builder.ingest(oal);
+        }
+        let summary = self.builder.close_round();
+        self.build_ns += t0.elapsed().as_nanos() as u64;
+        self.objects_organized += summary.objects as u64;
+
+        if let Some(ctl) = &mut self.controller {
+            let clock = self.shared.master_clock();
+            let changes = ctl.on_round(&summary.per_class, self.shared.prof.gaps());
+            for ch in changes {
+                // Broadcast the change notice to every worker node (accounted) and
+                // run the resampling walk.
+                for n in 0..self.shared.n_nodes {
+                    self.shared.gos.fabric().account_async(
+                        NodeId::MASTER,
+                        NodeId(n as u16),
+                        MsgClass::RateChange,
+                        16,
+                    );
+                }
+                let visited =
+                    apply_rate_change(&self.shared.gos, self.shared.prof.gaps(), ch.class, &clock);
+                self.rate_changes.push(AppliedRateChange {
+                    round: self.builder.rounds_closed(),
+                    class_name: self.shared.gos.classes().info(ch.class).name,
+                    new_rate: ch.new_state.rate.label(),
+                    relative_distance: ch.relative_distance,
+                    resampled_objects: visited,
+                });
+            }
+        }
+
+        // Dynamic balancing: plan once enough rounds have closed (Section V's policy,
+        // built on the profiles).
+        if let Some(cfg) = self.shared.rebalance {
+            if !self.rebalanced && self.builder.rounds_closed() >= cfg.after_rounds {
+                self.rebalanced = true;
+                self.planned_migrations = plan_and_post(&self.shared, self.builder.tcm(), &cfg);
+            }
+        }
+    }
+
+    /// Flush every buffered round in order (run finished; no more OALs will arrive).
+    fn flush_all(&mut self) {
+        let remaining: Vec<u64> = self.buckets.keys().copied().collect();
+        for round in remaining {
+            self.close_round(round);
+        }
+    }
+}
+
+fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput {
+    let config = *shared.prof.config();
+    let mut builder = TcmBuilder::new(shared.n_threads);
+    if let Some(decay) = config.tcm_decay {
+        builder.set_decay(decay);
+    }
+    let mut daemon = Daemon {
+        builder,
+        controller: config.adaptive_threshold.map(AdaptiveController::new),
+        buckets: BTreeMap::new(),
+        watermark: vec![0; shared.n_threads],
+        ipr: (config.intervals_per_round as u64).max(1),
+        next_round: 0,
+        oals: 0,
+        objects_organized: 0,
+        build_ns: 0,
+        rate_changes: Vec::new(),
+        planned_migrations: Vec::new(),
+        rebalanced: false,
+        oal_log: Vec::new(),
+        record_oals: config.record_oals,
+        shared: Arc::clone(&shared),
+    };
+
+    loop {
+        let batch = mailbox.drain();
+        if batch.is_empty() {
+            if shared.done.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        for env in batch {
+            daemon.ingest(env.body);
+        }
+    }
+    for env in mailbox.drain() {
+        daemon.ingest(env.body);
+    }
+    daemon.flush_all();
+
+    MasterOutput {
+        tcm: daemon.builder.tcm().clone(),
+        oals_ingested: daemon.oals,
+        rounds: daemon.builder.rounds_closed(),
+        objects_organized: daemon.objects_organized,
+        tcm_build_real_ns: daemon.build_ns,
+        rate_changes: daemon.rate_changes,
+        planned_migrations: daemon.planned_migrations,
+        oal_log: daemon.oal_log,
+    }
+}

@@ -1,0 +1,114 @@
+//! Run reports — what every benchmark table reads.
+
+use serde::{Deserialize, Serialize};
+
+use jessy_core::profiler::ProfilerStatsSnapshot;
+use jessy_gos::protocol::ProtocolCounters;
+use jessy_net::{NetworkStats, SimNanos, ThreadId};
+
+use crate::cluster::ClusterShared;
+use crate::master::MasterOutput;
+
+/// Everything measured over one cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Nodes in the cluster.
+    pub n_nodes: usize,
+    /// Application threads.
+    pub n_threads: usize,
+    /// Simulated execution time: the maximum application-thread clock.
+    pub sim_exec_ns: SimNanos,
+    /// Per-thread simulated times.
+    pub per_thread_ns: Vec<SimNanos>,
+    /// Real wall-clock time of the run (host-dependent; used for sanity only).
+    pub wall_ns: u64,
+    /// Network traffic ledger.
+    pub net: NetworkStats,
+    /// Protocol event counters.
+    pub proto: ProtocolCounters,
+    /// Profiler counters.
+    pub profiler: ProfilerStatsSnapshot,
+    /// Master daemon output, when a run happened.
+    pub master: Option<MasterOutput>,
+}
+
+impl RunReport {
+    pub(crate) fn gather(
+        shared: &ClusterShared,
+        master: Option<&MasterOutput>,
+        wall_ns: u64,
+    ) -> RunReport {
+        let per_thread_ns: Vec<SimNanos> = (0..shared.n_threads)
+            .map(|t| shared.board.read(ThreadId(t as u32)))
+            .collect();
+        RunReport {
+            n_nodes: shared.n_nodes,
+            n_threads: shared.n_threads,
+            sim_exec_ns: per_thread_ns.iter().copied().max().unwrap_or(0),
+            per_thread_ns,
+            wall_ns,
+            net: shared.gos.net_stats(),
+            proto: shared.gos.proto_counters(),
+            profiler: shared.prof.stats().snapshot(),
+            master: master.cloned(),
+        }
+    }
+
+    /// Simulated execution time in milliseconds (the unit of the paper's tables).
+    pub fn sim_exec_ms(&self) -> f64 {
+        self.sim_exec_ns as f64 / 1e6
+    }
+
+    /// GOS (coherence) traffic in KB — Table III's "GOS Message Volume".
+    pub fn gos_kb(&self) -> f64 {
+        self.net.gos_bytes() as f64 / 1024.0
+    }
+
+    /// OAL (profiling) traffic in KB — Table III's "OAL Message Volume".
+    pub fn oal_kb(&self) -> f64 {
+        self.net.oal_bytes() as f64 / 1024.0
+    }
+
+    /// Percentage execution-time overhead of this run relative to a baseline.
+    pub fn overhead_pct(&self, baseline: &RunReport) -> f64 {
+        if baseline.sim_exec_ns == 0 {
+            return 0.0;
+        }
+        (self.sim_exec_ns as f64 - baseline.sim_exec_ns as f64) / baseline.sim_exec_ns as f64
+            * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(sim_ns: u64) -> RunReport {
+        RunReport {
+            n_nodes: 1,
+            n_threads: 1,
+            sim_exec_ns: sim_ns,
+            per_thread_ns: vec![sim_ns],
+            wall_ns: 0,
+            net: NetworkStats::new(),
+            proto: ProtocolCounters::default(),
+            profiler: ProfilerStatsSnapshot::default(),
+            master: None,
+        }
+    }
+
+    #[test]
+    fn overhead_pct_is_relative() {
+        let base = report(1_000_000);
+        let with = report(1_050_000);
+        assert!((with.overhead_pct(&base) - 5.0).abs() < 1e-9);
+        assert_eq!(with.overhead_pct(&report(0)), 0.0, "degenerate baseline");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = report(24_250_000_000);
+        assert!((r.sim_exec_ms() - 24_250.0).abs() < 1e-9);
+        assert_eq!(r.gos_kb(), 0.0);
+    }
+}

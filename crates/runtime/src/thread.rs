@@ -1,0 +1,280 @@
+//! The application-facing thread handle.
+//!
+//! A [`JThread`] is what workload code programs against — the equivalent of running
+//! Java bytecode on one JESSICA2 thread. Every read/write goes through the GOS access
+//! check (and from there to the profiler hooks); locks and barriers delimit HLRC
+//! intervals; stack frames are maintained so the stack sampler has something real to
+//! mine; `migrate_to` invokes the migration engine.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use jessy_core::sticky::resolution::Resolution;
+use jessy_core::ThreadProfiler;
+use jessy_gos::{ClassId, Gos, LockId, ObjectCore, ObjectId};
+use jessy_net::{ClockHandle, MsgClass, NodeId, ThreadId};
+use jessy_stack::{JavaStack, MethodId, Slot};
+
+use crate::cluster::ClusterShared;
+use crate::migration::MigrationReport;
+
+/// One application thread's runtime handle.
+pub struct JThread {
+    shared: Arc<ClusterShared>,
+    thread: ThreadId,
+    node: NodeId,
+    clock: ClockHandle,
+    profiler: ThreadProfiler,
+    stack: JavaStack,
+}
+
+impl JThread {
+    /// Build the handle for `thread` (placed per the cluster's placement table).
+    pub fn new(shared: Arc<ClusterShared>, thread: ThreadId) -> Self {
+        let node = shared.node_of(thread);
+        let clock = shared.board.handle(thread);
+        let profiler = ThreadProfiler::new(Arc::clone(&shared.prof), thread);
+        JThread {
+            shared,
+            thread,
+            node,
+            clock,
+            profiler,
+            stack: JavaStack::new(),
+        }
+    }
+
+    /// This thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The node currently hosting this thread.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
+    }
+
+    /// The GOS.
+    pub fn gos(&self) -> &Gos {
+        &self.shared.gos
+    }
+
+    /// The thread's profiler (for reading invariants/footprints in examples/tests).
+    pub fn profiler(&self) -> &ThreadProfiler {
+        &self.profiler
+    }
+
+    /// Cluster-shared state.
+    pub fn shared(&self) -> &Arc<ClusterShared> {
+        &self.shared
+    }
+
+    fn post_access(&mut self, out: &jessy_gos::AccessOutcome) {
+        self.profiler
+            .on_access(&self.shared.gos, out, &self.clock);
+        self.profiler
+            .maybe_footprint_probe(&self.shared.gos, &self.clock);
+        self.profiler
+            .maybe_stack_sample(&self.shared.gos, &mut self.stack, &self.clock);
+    }
+
+    /// Read access: run `f` over the object's payload.
+    pub fn read<R>(&mut self, obj: ObjectId, f: impl FnOnce(&[f64]) -> R) -> R {
+        let (r, out) = self.shared.gos.read(self.node, obj, &self.clock, f);
+        self.post_access(&out);
+        r
+    }
+
+    /// Write access: run `f` over the mutable payload.
+    pub fn write<R>(&mut self, obj: ObjectId, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        let (r, out) = self.shared.gos.write(self.node, obj, &self.clock, f);
+        self.post_access(&out);
+        r
+    }
+
+    /// Charge `units` of application compute to the simulated clock.
+    pub fn compute(&self, units: u64) {
+        self.clock
+            .spend(units * self.shared.gos.costs().compute_unit_ns);
+    }
+
+    /// Allocate a zeroed scalar at this thread's node.
+    pub fn alloc_scalar(&self, class: ClassId) -> Arc<ObjectCore> {
+        let core = self
+            .shared
+            .gos
+            .alloc_scalar(self.node, class, &self.clock, None);
+        self.shared.prof.tag_new_object(&core);
+        core
+    }
+
+    /// Allocate a zeroed array at this thread's node.
+    pub fn alloc_array(&self, class: ClassId, len_elems: u32) -> Arc<ObjectCore> {
+        let core = self
+            .shared
+            .gos
+            .alloc_array(self.node, class, len_elems, &self.clock, None);
+        self.shared.prof.tag_new_object(&core);
+        core
+    }
+
+    /// Add a reference edge in the object graph.
+    pub fn add_ref(&self, from: ObjectId, to: ObjectId) {
+        self.shared.gos.object(from).add_ref(to);
+    }
+
+    // ------------------------------------------------------------------ sync points
+
+    fn close_and_ship_oal(&mut self) {
+        if self.shared.prof.config().footprint.is_some() {
+            // Publish the averaged sticky footprint so the balancer can price a
+            // migration of this thread (Section III.A: "a load balancing policy that
+            // weighs the gain ... against the messaging cost proportional to such a
+            // footprint").
+            let total: f64 = self.profiler.average_footprint().values().sum();
+            self.shared.footprints.write()[self.thread.index()] = total;
+        }
+        if let Some(oal) = self.profiler.close_interval() {
+            if self.shared.prof.config().send_oals {
+                // The jumbo OAL message piggybacks on the sync message already headed
+                // to the master (Section II.A), so the sender pays only the transmit
+                // occupancy of the extra bytes, not another base latency.
+                let fabric = self.shared.gos.fabric();
+                fabric.account_async(self.node, NodeId::MASTER, MsgClass::OalBatch, oal.wire_bytes());
+                if self.node != NodeId::MASTER {
+                    let bytes = oal.wire_bytes() + MsgClass::OalBatch.header_bytes();
+                    self.clock
+                        .spend((bytes as f64 * fabric.latency_model().ns_per_byte) as u64);
+                }
+                self.shared.oal_tx.post(self.node, oal);
+            }
+        }
+    }
+
+    /// Enter the global barrier (an interval boundary: the current interval closes,
+    /// its OAL ships, and the next interval opens with false-invalid traps armed).
+    /// Barriers are also the safe points where dynamic-balancer migration directives
+    /// are honoured.
+    pub fn barrier(&mut self) {
+        self.close_and_ship_oal();
+        self.shared
+            .gos
+            .barrier_wait(self.node, self.shared.n_threads, &self.clock);
+        self.profiler.open_interval(&self.shared.gos);
+        self.honour_directive();
+    }
+
+    fn honour_directive(&mut self) {
+        let Some(rebalance) = self.shared.rebalance else {
+            return;
+        };
+        let directive = self.shared.directives.read()[self.thread.index()];
+        if let Some(dest) = directive {
+            self.shared.directives.write()[self.thread.index()] = None;
+            if dest != self.node {
+                let report = self.migrate_to(dest, rebalance.with_prefetch);
+                self.shared.migration_log.lock().push(report);
+            }
+        }
+    }
+
+    /// Acquire a distributed lock (interval boundary).
+    pub fn lock(&mut self, lock: LockId) {
+        self.close_and_ship_oal();
+        self.shared.gos.lock_acquire(lock, self.node, &self.clock);
+        self.profiler.open_interval(&self.shared.gos);
+    }
+
+    /// Release a distributed lock (interval boundary).
+    pub fn unlock(&mut self, lock: LockId) {
+        self.close_and_ship_oal();
+        self.shared.gos.lock_release(lock, self.node, &self.clock);
+        self.profiler.open_interval(&self.shared.gos);
+    }
+
+    // ------------------------------------------------------------------ Java stack
+
+    /// Push a stack frame (method call).
+    pub fn push_frame(&mut self, method: MethodId) {
+        self.stack.push(method, &self.shared.methods);
+    }
+
+    /// Pop the top frame (method return).
+    pub fn pop_frame(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Store an object reference into a slot of the current frame.
+    pub fn set_local_ref(&mut self, slot: usize, obj: ObjectId) {
+        self.stack.set_local(slot, Slot::Ref(obj));
+    }
+
+    /// Store a primitive into a slot of the current frame.
+    pub fn set_local_prim(&mut self, slot: usize, v: u64) {
+        self.stack.set_local(slot, Slot::Prim(v));
+    }
+
+    /// The Java stack (diagnostics).
+    pub fn stack(&self) -> &JavaStack {
+        &self.stack
+    }
+
+    // ------------------------------------------------------------------ migration
+
+    /// Migrate this thread to `dest`, optionally prefetching its resolved sticky set
+    /// along with the context (Section III). Returns what moved.
+    pub fn migrate_to(&mut self, dest: NodeId, with_prefetch: bool) -> MigrationReport {
+        let src = self.node;
+        let t0 = self.clock.now();
+        let ctx_bytes = self.stack.context_bytes();
+        self.shared
+            .gos
+            .fabric()
+            .send(src, dest, MsgClass::MigrationCtx, ctx_bytes, &self.clock);
+
+        // Resolve the sticky set BEFORE dropping the thread-local heap (the resolver
+        // reads the sampled landmarks, not the caches, but the profiler state is tied
+        // to the pre-migration interval).
+        let resolved = if with_prefetch && src != dest {
+            Some(self.profiler.resolve_sticky(&self.shared.gos, &self.clock))
+        } else {
+            None
+        };
+
+        // The thread-local heap stays behind: flush pending writes and drop it.
+        self.shared.gos.drop_thread_cache(src, &self.clock);
+
+        let mut resolution: Option<Resolution> = None;
+        let mut prefetch_bytes = 0usize;
+        let mut prefetched_objects = 0usize;
+        if let Some(res) = resolved {
+            prefetched_objects = res.selected.len();
+            prefetch_bytes =
+                self.shared
+                    .gos
+                    .prefetch_into(dest, res.selected.iter().copied(), &self.clock);
+            resolution = Some(res);
+        }
+
+        self.node = dest;
+        self.shared.placement.write()[self.thread.index()] = dest;
+        // Keep the daemon's view fresh even if it doesn't read placement directly.
+        self.shared.done.load(Ordering::Relaxed);
+
+        MigrationReport {
+            thread: self.thread,
+            from: src,
+            to: dest,
+            ctx_bytes,
+            prefetched_objects,
+            prefetch_bytes,
+            sim_cost_ns: self.clock.now() - t0,
+            resolution,
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Frames and slots.
+
+use jessy_gos::ObjectId;
+
+use crate::method::MethodId;
+
+/// One stack slot: what a Java frame word can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// A valid object reference (the GC-pointer check of Fig. 8 is implicit here).
+    Ref(ObjectId),
+    /// A primitive value (int/float/… — opaque to the profiler).
+    Prim(u64),
+    /// Uninitialized / dead slot.
+    Empty,
+}
+
+impl Slot {
+    /// The object reference, if this slot holds one.
+    #[inline]
+    pub fn as_ref_obj(&self) -> Option<ObjectId> {
+        match self {
+            Slot::Ref(o) => Some(*o),
+            _ => None,
+        }
+    }
+}
+
+/// One Java frame: a method, its slots, the JIT-cleared visited flag, and a unique
+/// incarnation id distinguishing this push from any other frame ever pushed.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    method: MethodId,
+    incarnation: u64,
+    visited: bool,
+    slots: Vec<Slot>,
+}
+
+impl Frame {
+    /// Build a fresh frame (all slots [`Slot::Empty`], visited flag cleared — the
+    /// method-prologue behaviour the paper patches into the JIT).
+    pub fn new(method: MethodId, n_slots: usize, incarnation: u64) -> Self {
+        Frame {
+            method,
+            incarnation,
+            visited: false,
+            slots: vec![Slot::Empty; n_slots],
+        }
+    }
+
+    /// The method this frame executes.
+    #[inline]
+    pub fn method(&self) -> MethodId {
+        self.method
+    }
+
+    /// Unique id of this frame incarnation.
+    #[inline]
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Has the stack sampler already visited this frame since it was pushed?
+    #[inline]
+    pub fn visited(&self) -> bool {
+        self.visited
+    }
+
+    /// Set/clear the visited flag (sampler bookkeeping).
+    #[inline]
+    pub fn set_visited(&mut self, v: bool) {
+        self.visited = v;
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read a slot.
+    #[inline]
+    pub fn slot(&self, i: usize) -> Slot {
+        self.slots[i]
+    }
+
+    /// Write a slot (the program storing an arg/local).
+    #[inline]
+    pub fn set_slot(&mut self, i: usize, v: Slot) {
+        self.slots[i] = v;
+    }
+
+    /// All slots (for raw sample capture).
+    #[inline]
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Bytes this frame occupies in a migrated thread context (8 bytes per slot plus a
+    /// 16-byte frame header) — the *direct* migration cost of Section III.
+    #[inline]
+    pub fn context_bytes(&self) -> usize {
+        self.slots.len() * 8 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_frame_is_unvisited_and_empty() {
+        let f = Frame::new(MethodId(0), 3, 7);
+        assert!(!f.visited());
+        assert_eq!(f.n_slots(), 3);
+        assert_eq!(f.incarnation(), 7);
+        assert!(f.slots().iter().all(|s| *s == Slot::Empty));
+        assert_eq!(f.context_bytes(), 3 * 8 + 16);
+    }
+
+    #[test]
+    fn slot_accessors() {
+        let mut f = Frame::new(MethodId(1), 2, 0);
+        f.set_slot(0, Slot::Ref(ObjectId(9)));
+        f.set_slot(1, Slot::Prim(42));
+        assert_eq!(f.slot(0).as_ref_obj(), Some(ObjectId(9)));
+        assert_eq!(f.slot(1).as_ref_obj(), None);
+        assert_eq!(f.slot(1), Slot::Prim(42));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slot_panics() {
+        let f = Frame::new(MethodId(0), 1, 0);
+        let _ = f.slot(5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # jessy-stack — simulated Java thread stacks
+//!
+//! Section III.B of the paper samples a thread's Java stack to discover
+//! **stack-invariant references** — slots that keep pointing at the same object across
+//! samples and therefore mark the entry points of the thread's sticky set. The real
+//! system walks Kaffe's native x86 frames (`%EBP`/`%EIP`), consults the method's slot
+//! layout and asks the GC whether a slot holds a valid object pointer. We reproduce the
+//! same *information structure* directly:
+//!
+//! * a [`MethodRegistry`] plays the role of Java's reflection system (method → slot
+//!   layout, `GET-METHOD-BY-PC` in the paper's Fig. 8);
+//! * a [`Frame`] holds typed [`Slot`]s (reference / primitive / empty), so "is this a
+//!   valid object pointer" is a constructor-enforced fact instead of a GC query;
+//! * every frame carries the **visited flag** that the paper's hacked JIT clears in
+//!   each method prologue ([`JavaStack::push`] clears it), enabling the two-phase scan;
+//! * frames also carry a unique **incarnation id** so tests can prove that a
+//!   pop-then-push at the same depth is treated as a fresh frame.
+//!
+//! The stack is owned by its thread; the sampler (crate `jessy-core`) runs *on* the
+//! thread at timer boundaries, exactly like the paper's sampling-enabled phases.
+
+
+#![warn(missing_docs)]
+pub mod frame;
+pub mod method;
+pub mod stack;
+
+pub use frame::{Frame, Slot};
+pub use method::{MethodId, MethodRegistry};
+pub use stack::JavaStack;

@@ -1,0 +1,100 @@
+//! Method descriptors — the stand-in for Java's reflection system.
+//!
+//! The paper's frame-content extraction (Fig. 8, line 21) finds a frame's method by
+//! native PC and asks for its layout ("slots"). Here a [`MethodId`] directly keys the
+//! registry and the layout is just the slot count; slot *types* are dynamic (a slot
+//! holds whatever the program last stored, as on a real Java frame where the verifier's
+//! static types are erased at runtime).
+
+use parking_lot::RwLock;
+use std::fmt;
+
+/// Identifies a registered method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+impl MethodId {
+    /// Raw index into the registry.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MethodInfo {
+    name: String,
+    n_slots: usize,
+}
+
+/// Registry of methods and their frame layouts.
+#[derive(Debug, Default)]
+pub struct MethodRegistry {
+    methods: RwLock<Vec<MethodInfo>>,
+}
+
+impl MethodRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a method whose frames have `n_slots` slots (args + locals).
+    pub fn register(&self, name: &str, n_slots: usize) -> MethodId {
+        let mut methods = self.methods.write();
+        methods.push(MethodInfo {
+            name: name.to_string(),
+            n_slots,
+        });
+        MethodId((methods.len() - 1) as u32)
+    }
+
+    /// The method's name.
+    pub fn name(&self, id: MethodId) -> String {
+        self.methods.read()[id.index()].name.clone()
+    }
+
+    /// The method's frame slot count (its "layout").
+    pub fn n_slots(&self, id: MethodId) -> usize {
+        self.methods.read()[id.index()].n_slots
+    }
+
+    /// Number of registered methods.
+    pub fn len(&self) -> usize {
+        self.methods.read().len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_query() {
+        let reg = MethodRegistry::new();
+        let main = reg.register("main", 4);
+        let step = reg.register("simulateStep", 9);
+        assert_eq!(reg.name(main), "main");
+        assert_eq!(reg.n_slots(step), 9);
+        assert_eq!(reg.len(), 2);
+        assert_ne!(main, step);
+    }
+
+    #[test]
+    fn zero_slot_methods_are_allowed() {
+        let reg = MethodRegistry::new();
+        let m = reg.register("noop", 0);
+        assert_eq!(reg.n_slots(m), 0);
+    }
+}

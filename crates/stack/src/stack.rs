@@ -1,0 +1,167 @@
+//! The per-thread Java stack.
+
+use crate::frame::{Frame, Slot};
+use crate::method::{MethodId, MethodRegistry};
+
+/// A thread's Java stack: frames indexed 0 = bottom (`main`-like), `depth()-1` = top.
+#[derive(Debug, Default)]
+pub struct JavaStack {
+    frames: Vec<Frame>,
+    next_incarnation: u64,
+}
+
+impl JavaStack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push a frame for `method` (its prologue clears the visited flag — that is,
+    /// fresh frames are born unvisited). Returns the frame's incarnation id.
+    pub fn push(&mut self, method: MethodId, registry: &MethodRegistry) -> u64 {
+        let inc = self.next_incarnation;
+        self.next_incarnation += 1;
+        self.frames
+            .push(Frame::new(method, registry.n_slots(method), inc));
+        inc
+    }
+
+    /// Push a frame with an explicit slot count (tests / synthetic stacks).
+    pub fn push_raw(&mut self, method: MethodId, n_slots: usize) -> u64 {
+        let inc = self.next_incarnation;
+        self.next_incarnation += 1;
+        self.frames.push(Frame::new(method, n_slots, inc));
+        inc
+    }
+
+    /// Pop the top frame (method return).
+    ///
+    /// # Panics
+    /// If the stack is empty.
+    pub fn pop(&mut self) -> Frame {
+        self.frames.pop().expect("pop on empty stack")
+    }
+
+    /// Current depth.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no frames are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frame at `depth_from_bottom` (0 = bottom).
+    #[inline]
+    pub fn frame(&self, depth_from_bottom: usize) -> &Frame {
+        &self.frames[depth_from_bottom]
+    }
+
+    /// Mutable frame at `depth_from_bottom`.
+    #[inline]
+    pub fn frame_mut(&mut self, depth_from_bottom: usize) -> &mut Frame {
+        &mut self.frames[depth_from_bottom]
+    }
+
+    /// The top frame (current method), if any.
+    #[inline]
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// Mutable top frame.
+    #[inline]
+    pub fn top_mut(&mut self) -> Option<&mut Frame> {
+        self.frames.last_mut()
+    }
+
+    /// Convenience: store into a slot of the top frame.
+    pub fn set_local(&mut self, slot: usize, v: Slot) {
+        self.top_mut().expect("no frame").set_slot(slot, v);
+    }
+
+    /// Total context bytes (the direct thread-migration payload of Section III).
+    pub fn context_bytes(&self) -> usize {
+        self.frames.iter().map(|f| f.context_bytes()).sum()
+    }
+
+    /// Iterate frames bottom-up.
+    pub fn frames(&self) -> impl Iterator<Item = &Frame> {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jessy_gos::ObjectId;
+
+    fn registry() -> (MethodRegistry, MethodId, MethodId) {
+        let reg = MethodRegistry::new();
+        let main = reg.register("main", 4);
+        let work = reg.register("work", 2);
+        (reg, main, work)
+    }
+
+    #[test]
+    fn push_pop_and_depth() {
+        let (reg, main, work) = registry();
+        let mut s = JavaStack::new();
+        assert!(s.is_empty());
+        s.push(main, &reg);
+        s.push(work, &reg);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.top().unwrap().method(), work);
+        assert_eq!(s.frame(0).method(), main);
+        let popped = s.pop();
+        assert_eq!(popped.method(), work);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn incarnations_are_unique_across_push_pop_cycles() {
+        let (reg, main, work) = registry();
+        let mut s = JavaStack::new();
+        s.push(main, &reg);
+        let a = s.push(work, &reg);
+        // Mark visited, pop, push again at the same depth.
+        s.top_mut().unwrap().set_visited(true);
+        s.pop();
+        let b = s.push(work, &reg);
+        assert_ne!(a, b, "re-pushed frame is a new incarnation");
+        assert!(
+            !s.top().unwrap().visited(),
+            "prologue must clear the visited flag"
+        );
+    }
+
+    #[test]
+    fn set_local_targets_top_frame() {
+        let (reg, main, work) = registry();
+        let mut s = JavaStack::new();
+        s.push(main, &reg);
+        s.set_local(0, Slot::Ref(ObjectId(1)));
+        s.push(work, &reg);
+        s.set_local(0, Slot::Ref(ObjectId(2)));
+        assert_eq!(s.frame(0).slot(0).as_ref_obj(), Some(ObjectId(1)));
+        assert_eq!(s.frame(1).slot(0).as_ref_obj(), Some(ObjectId(2)));
+    }
+
+    #[test]
+    fn context_bytes_sum_frames() {
+        let (reg, main, work) = registry();
+        let mut s = JavaStack::new();
+        s.push(main, &reg); // 4 slots
+        s.push(work, &reg); // 2 slots
+        assert_eq!(s.context_bytes(), (4 * 8 + 16) + (2 * 8 + 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "pop on empty stack")]
+    fn pop_empty_panics() {
+        JavaStack::new().pop();
+    }
+}

@@ -1,0 +1,32 @@
+//! # jessy-workloads — the paper's application benchmarks
+//!
+//! Rust ports of the three SPLASH-2-derived programs of Table I, written against the
+//! `jessy-runtime` [`jessy_runtime::JThread`] API so every shared-data access flows
+//! through the GOS (and from there through the profiler):
+//!
+//! | Benchmark | Data set | Rounds | Granularity | Object size |
+//! |-----------|----------|--------|-------------|-------------|
+//! | SOR | 2K × 2K | 10 | coarse | each row ≥ several KB |
+//! | Barnes-Hut | 4K bodies | 5 | fine | each body < 100 bytes |
+//! | Water-Spatial | 512 molecules | 5 | medium | each molecule ≈ 512 bytes |
+//!
+//! Each module exposes a `Config`, a `setup` (class registration + distributed
+//! allocation from the cluster's [`jessy_runtime::InitCtx`]), a `thread_body` (what
+//! each application thread runs), and a `run_on` convenience driving a whole cluster.
+//! [`presets`] carries the paper-scale parameters plus scaled-down variants for tests
+//! and quick benches.
+//!
+//! The workloads maintain real Java-like stack frames (roots in locals) so stack
+//! sampling has genuine material, and real object-graph references (matrix → rows,
+//! octree cells → children, boxes → molecules) so sticky-set resolution has a graph
+//! to walk.
+
+
+#![warn(missing_docs)]
+pub mod barnes_hut;
+pub mod lu;
+pub mod presets;
+pub mod sor;
+pub mod water;
+
+pub use presets::{WorkloadKind, WorkloadPreset};

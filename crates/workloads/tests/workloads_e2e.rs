@@ -1,0 +1,304 @@
+//! End-to-end workload tests: numerical correctness against sequential references and
+//! the sharing structures the paper's evaluation relies on.
+
+use jessy_core::{accuracy_abs, ProfilerConfig, SamplingRate};
+use jessy_gos::CostModel;
+use jessy_net::{LatencyModel, NodeId, ThreadId};
+use jessy_runtime::Cluster;
+use jessy_workloads::{barnes_hut, sor, water};
+
+fn fast_cluster(nodes: usize, threads: usize, profiler: ProfilerConfig) -> Cluster {
+    Cluster::builder()
+        .nodes(nodes)
+        .threads(threads)
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(profiler)
+        .build()
+}
+
+#[test]
+fn sor_parallel_matches_sequential_reference() {
+    let cfg = sor::SorConfig::small();
+    let mut cluster = fast_cluster(2, 4, ProfilerConfig::disabled());
+    let handles = cluster.init(|ctx| sor::setup(ctx, &cfg, 4, 2));
+    let h = std::sync::Arc::new(handles.clone());
+    let c = cfg;
+    cluster.run(move |jt| sor::thread_body(jt, &c, &h));
+
+    let reference = sor::reference(&cfg);
+    let ref_sum: f64 = reference.iter().flatten().sum();
+    let mut reader = cluster.adopt_thread(ThreadId(0));
+    let sum = sor::checksum(&mut reader, &handles);
+    assert!(
+        (sum - ref_sum).abs() < 1e-9 * ref_sum.abs().max(1.0),
+        "parallel {sum} vs sequential {ref_sum}"
+    );
+    // Spot-check a full row, not just the checksum.
+    let row5 = reader.read(handles.rows[5], |d| d.to_vec());
+    for (j, (&a, &b)) in row5.iter().zip(&reference[5]).enumerate() {
+        assert!((a - b).abs() < 1e-12, "row 5 col {j}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn sor_sharing_is_near_neighbour() {
+    // 4 threads: the TCM must connect only adjacent threads (boundary rows).
+    let cfg = sor::SorConfig::small();
+    let mut cluster = fast_cluster(2, 4, ProfilerConfig::tracking_at(SamplingRate::NX(1)));
+    let report = {
+        let handles = cluster.init(|ctx| sor::setup(ctx, &cfg, 4, 2));
+        let h = std::sync::Arc::new(handles);
+        let c = cfg;
+        cluster.run(move |jt| sor::thread_body(jt, &c, &h));
+        cluster.report()
+    };
+    let tcm = &report.master.as_ref().unwrap().tcm;
+    for i in 0..4u32 {
+        for j in (i + 1)..4 {
+            let v = tcm.at(ThreadId(i), ThreadId(j));
+            if j == i + 1 {
+                assert!(v > 0.0, "adjacent threads {i},{j} must share boundary rows");
+            } else {
+                assert_eq!(v, 0.0, "non-adjacent threads {i},{j} share nothing");
+            }
+        }
+    }
+    // Boundary-row sharing is symmetric along the chain.
+    let a = tcm.at(ThreadId(0), ThreadId(1));
+    let b = tcm.at(ThreadId(1), ThreadId(2));
+    assert!((a - b).abs() / a < 0.5, "chain links comparable: {a} vs {b}");
+}
+
+#[test]
+fn barnes_hut_two_galaxies_show_block_structure() {
+    // 8 threads, threads 0-3 simulate galaxy A, 4-7 galaxy B: intra-galaxy
+    // correlation must dominate cross-galaxy correlation (the Fig. 1 claim).
+    let cfg = barnes_hut::BhConfig::small();
+    let mut cluster = fast_cluster(2, 8, ProfilerConfig::ground_truth());
+    let report = {
+        let handles = cluster.init(|ctx| barnes_hut::setup(ctx, &cfg, 8, 2));
+        let h = std::sync::Arc::new(handles);
+        let c = cfg;
+        cluster.run(move |jt| barnes_hut::thread_body(jt, &c, &h));
+        cluster.report()
+    };
+    let tcm = &report.master.as_ref().unwrap().tcm;
+    // Exclude thread 0 (the tree builder touches everything).
+    let mut intra = 0.0;
+    let mut cross = 0.0;
+    let mut intra_n = 0;
+    let mut cross_n = 0;
+    for i in 1..8u32 {
+        for j in (i + 1)..8 {
+            let v = tcm.at(ThreadId(i), ThreadId(j));
+            if (i < 4) == (j < 4) {
+                intra += v;
+                intra_n += 1;
+            } else {
+                cross += v;
+                cross_n += 1;
+            }
+        }
+    }
+    let intra_avg = intra / intra_n as f64;
+    let cross_avg = cross / cross_n as f64;
+    assert!(
+        intra_avg > 1.5 * cross_avg,
+        "intra-galaxy {intra_avg} must dominate cross-galaxy {cross_avg}"
+    );
+}
+
+#[test]
+fn barnes_hut_stays_numerically_sane() {
+    let cfg = barnes_hut::BhConfig::small();
+    let mut cluster = fast_cluster(2, 4, ProfilerConfig::disabled());
+    let handles = cluster.init(|ctx| barnes_hut::setup(ctx, &cfg, 4, 2));
+    let h = std::sync::Arc::new(handles.clone());
+    let c = cfg;
+    cluster.run(move |jt| barnes_hut::thread_body(jt, &c, &h));
+    let mut reader = cluster.adopt_thread(ThreadId(0));
+    let p = barnes_hut::total_momentum(&mut reader, &handles);
+    assert!(p.iter().all(|v| v.is_finite()), "momentum diverged: {p:?}");
+    // Bodies must have actually moved.
+    let moved = reader.read(handles.bodies[0], |d| d[4].abs() + d[5].abs() + d[6].abs());
+    assert!(moved > 0.0, "body 0 never accelerated");
+}
+
+#[test]
+fn barnes_hut_sampled_map_tracks_ground_truth() {
+    // The headline property on a real workload: the sampled (1X) TCM approximates the
+    // full-trace TCM. Thread 0 is excluded (tree building dominates it).
+    let run = |config: ProfilerConfig| {
+        let cfg = barnes_hut::BhConfig::small();
+        let mut cluster = fast_cluster(2, 4, config);
+        let handles = cluster.init(|ctx| barnes_hut::setup(ctx, &cfg, 4, 2));
+        let h = std::sync::Arc::new(handles);
+        cluster.run(move |jt| barnes_hut::thread_body(jt, &cfg, &h));
+        cluster.report().master.unwrap().tcm
+    };
+    // NX(32) puts the 64-byte Body/Cell classes at gap 2 (every other object) — on
+    // this scaled-down population coarser rates leave too few sampled objects for a
+    // tight estimate (Fig. 9's ≥95% figures use the full 4K-body run; the fig9 bench
+    // reproduces them). Here we only pin down that the estimator tracks the truth.
+    let truth = run(ProfilerConfig::ground_truth());
+    let sampled = run(ProfilerConfig::tracking_at(SamplingRate::NX(32)));
+    assert!(truth.total() > 0.0);
+    let acc = accuracy_abs(&sampled, &truth);
+    assert!(acc > 0.7, "sampled TCM too far from truth: {acc}");
+}
+
+#[test]
+fn water_conserves_population_and_stays_in_domain() {
+    let cfg = water::WaterConfig::small();
+    let mut cluster = fast_cluster(2, 2, ProfilerConfig::disabled());
+    let handles = cluster.init(|ctx| water::setup(ctx, &cfg, 2, 2));
+    let h = std::sync::Arc::new(handles.clone());
+    let c = cfg;
+    cluster.run(move |jt| water::thread_body(jt, &c, &h));
+
+    let mut reader = cluster.adopt_thread(ThreadId(0));
+    // Every molecule is inside the reflecting walls.
+    let side = cfg.side();
+    for &m in &handles.molecules {
+        let p = reader.read(m, |d| [d[0], d[1], d[2]]);
+        for v in p {
+            assert!((0.0..=side).contains(&v), "molecule escaped: {v}");
+        }
+    }
+    // Box membership still covers every molecule exactly once.
+    let mut seen = vec![0u32; cfg.n_molecules];
+    for &b in &handles.boxes {
+        let members = reader.read(b, |d| {
+            let count = d[0] as usize;
+            d[1..1 + count].iter().map(|&m| m as usize).collect::<Vec<_>>()
+        });
+        for m in members {
+            seen[m] += 1;
+        }
+    }
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "membership broken: {:?}",
+        seen.iter().enumerate().filter(|(_, &c)| c != 1).collect::<Vec<_>>()
+    );
+    let ke = water::kinetic_energy(&mut reader, &handles);
+    assert!(ke.is_finite() && ke > 0.0, "kinetic energy {ke}");
+}
+
+#[test]
+fn water_exercises_distributed_locks() {
+    let cfg = water::WaterConfig::small();
+    let mut cluster = fast_cluster(2, 2, ProfilerConfig::disabled());
+    let handles = cluster.init(|ctx| water::setup(ctx, &cfg, 2, 2));
+    let h = std::sync::Arc::new(handles);
+    let c = cfg;
+    cluster.run(move |jt| water::thread_body(jt, &c, &h));
+    let report = cluster.report();
+    // Rebinding moved at least one molecule → lock traffic exists.
+    let locks = report.net.class(jessy_net::MsgClass::LockAcquire).messages
+        + report.net.class(jessy_net::MsgClass::LockRelease).messages;
+    assert!(locks > 0, "no lock traffic: molecules never crossed boxes?");
+}
+
+#[test]
+fn workload_homes_follow_block_placement() {
+    // Row/body/molecule homes must be distributed, not piled on node 0 — otherwise
+    // every table's traffic numbers would be bogus.
+    let cfg = sor::SorConfig::small();
+    let cluster = fast_cluster(4, 4, ProfilerConfig::disabled());
+    let handles = cluster.init(|ctx| sor::setup(ctx, &cfg, 4, 4));
+    let homes: Vec<NodeId> = handles
+        .rows
+        .iter()
+        .map(|&r| cluster.shared().gos.object(r).home())
+        .collect();
+    for node in 0..4u16 {
+        assert!(
+            homes.iter().any(|h| h.0 == node),
+            "node {node} homes no rows"
+        );
+    }
+    // Block distribution: homes are non-decreasing over row index.
+    assert!(homes.windows(2).all(|w| w[0] <= w[1]), "{homes:?}");
+}
+
+#[test]
+fn lu_parallel_matches_sequential_reference_exactly() {
+    use jessy_workloads::lu::{self, LuConfig};
+    let cfg = LuConfig::small();
+    let mut cluster = fast_cluster(2, 4, ProfilerConfig::disabled());
+    let handles = cluster.init(|ctx| lu::setup(ctx, &cfg, 4, 2));
+    let h = std::sync::Arc::new(handles.clone());
+    cluster.run(move |jt| lu::thread_body(jt, &cfg, &h));
+
+    let reference = lu::reference(&cfg);
+    let mut reader = cluster.adopt_thread(ThreadId(0));
+    for (idx, (obj, ref_block)) in handles.blocks.iter().zip(&reference).enumerate() {
+        let got = reader.read(*obj, |d| d.to_vec());
+        for (e, (&a, &b)) in got.iter().zip(ref_block).enumerate() {
+            assert_eq!(a, b, "block {idx} elem {e}: {a} vs {b} (must be bit-identical)");
+        }
+    }
+}
+
+#[test]
+fn lu_sharing_decays_across_the_run() {
+    // LU's wavefront sharing shrinks every step — the "dynamically changing sharing
+    // pattern" case. Check the diagonal-block fan-out exists in the TCM: the owner of
+    // block (0,0) correlates with many threads.
+    use jessy_workloads::lu::{self, LuConfig};
+    let cfg = LuConfig::small();
+    let mut cluster = fast_cluster(2, 4, ProfilerConfig::ground_truth());
+    let handles = cluster.init(|ctx| lu::setup(ctx, &cfg, 4, 2));
+    let h = std::sync::Arc::new(handles);
+    cluster.run(move |jt| lu::thread_body(jt, &cfg, &h));
+    let tcm = cluster.master_output().unwrap().tcm.clone();
+    assert!(tcm.total() > 0.0);
+    // Every thread pair shares at least the diagonal blocks' wavefront.
+    for i in 0..4u32 {
+        for j in (i + 1)..4 {
+            assert!(
+                tcm.at(ThreadId(i), ThreadId(j)) > 0.0,
+                "LU couples all owners: pair ({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn water_membership_survives_box_overflow_pressure() {
+    // 100 fast molecules over a 2×2×2 grid (capacity 62/box): moves toward full boxes
+    // must be cancelled, never dropping a molecule from the membership.
+    let cfg = water::WaterConfig {
+        n_molecules: 100,
+        k: 2,
+        rounds: 6,
+        box_len: 1.0,
+        cutoff: 0.9,
+        dt: 0.01,
+        init_speed: 120.0,
+        seed: 3,
+    };
+    let mut cluster = fast_cluster(2, 2, ProfilerConfig::disabled());
+    let handles = cluster.init(|ctx| water::setup(ctx, &cfg, 2, 2));
+    let h = std::sync::Arc::new(handles.clone());
+    cluster.run(move |jt| water::thread_body(jt, &cfg, &h));
+
+    let mut reader = cluster.adopt_thread(ThreadId(0));
+    let mut seen = vec![0u32; cfg.n_molecules];
+    for &b in &handles.boxes {
+        let members = reader.read(b, |d| {
+            let count = d[0] as usize;
+            d[1..1 + count].iter().map(|&m| m as usize).collect::<Vec<_>>()
+        });
+        for m in members {
+            seen[m] += 1;
+        }
+    }
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "molecules lost/duplicated under overflow pressure: {:?}",
+        seen.iter().enumerate().filter(|(_, &c)| c != 1).take(5).collect::<Vec<_>>()
+    );
+}

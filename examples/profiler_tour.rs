@@ -1,0 +1,150 @@
+//! The full profiler suite on one run — a guided tour.
+//!
+//! Runs Barnes-Hut with *everything* enabled: adaptive correlation tracking,
+//! sticky-set footprinting, stack sampling, dynamic rebalancing, connectivity
+//! prefetching — then prints every artifact the profiling stack produces: the TCM and
+//! its heatmap, adaptive rate decisions, balancer directives, per-class sticky
+//! footprints, stack invariants, and the home-effect analysis of the recorded OAL
+//! stream.
+//!
+//! ```text
+//! cargo run --release --example profiler_tour
+//! ```
+
+use jessy::core::HomeAwareAnalyzer;
+use jessy::prelude::*;
+use jessy::workloads::barnes_hut::{self, BhConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    let n_nodes = 4;
+    let n_threads = 8;
+    let cfg = BhConfig {
+        n_bodies: 1024,
+        rounds: 4,
+        ..BhConfig::paper()
+    };
+
+    let mut config = ProfilerConfig::tracking_at(SamplingRate::NX(1));
+    config.adaptive_threshold = Some(0.05);
+    config.intervals_per_round = 2;
+    config.record_oals = true;
+    config.footprint = Some(FootprintConfig {
+        mode: FootprintMode::Nonstop,
+        min_gap: 1,
+    });
+    config.stack = Some(StackSamplingConfig {
+        gap_ns: 1_000_000,
+        lazy_extraction: true,
+    });
+
+    let mut cluster = Cluster::builder()
+        .nodes(n_nodes)
+        .threads(n_threads)
+        .placement((0..n_threads).map(|t| NodeId((t % n_nodes) as u16)).collect())
+        .prefetch_depth(1)
+        .profiler(config)
+        .rebalance(jessy::runtime::RebalanceConfig {
+            after_rounds: 3,
+            ..Default::default()
+        })
+        .build();
+
+    println!(
+        "Barnes-Hut: {} bodies, {} rounds, {} threads on {} nodes (scattered start)",
+        cfg.n_bodies, cfg.rounds, n_threads, n_nodes
+    );
+    println!("profiler: adaptive 1X tracking + nonstop footprinting + 1ms stack sampling");
+    println!("runtime : dynamic rebalancing after 3 rounds + depth-1 prefetching\n");
+
+    let handles = Arc::new(cluster.init(|ctx| barnes_hut::setup(ctx, &cfg, n_threads, n_nodes)));
+    type PerThread = (HashMap<jessy::gos::ClassId, f64>, usize);
+    let observations: Arc<Mutex<Vec<PerThread>>> = Arc::new(Mutex::new(Vec::new()));
+    let obs = Arc::clone(&observations);
+    let h = Arc::clone(&handles);
+    cluster.run(move |jt| {
+        barnes_hut::thread_body(jt, &cfg, &h);
+        obs.lock()
+            .push((jt.profiler().average_footprint(), jt.profiler().invariants().len()));
+    });
+
+    let report = cluster.report();
+    let master = report.master.as_ref().unwrap();
+    let shared = cluster.shared();
+
+    println!("== execution ==");
+    println!("simulated time   : {:>9.1} ms", report.sim_exec_ms());
+    println!("object faults    : {:>9}", report.proto.real_faults);
+    println!("corr. faults     : {:>9}", report.proto.false_invalid_faults);
+    println!("prefetched objs  : {:>9}", report.proto.objects_prefetched);
+    println!("OAL / GOS traffic: {:>8.2}%", report.net.oal_over_gos() * 100.0);
+
+    println!("\n== adaptive controller ==");
+    if master.rate_changes.is_empty() {
+        println!("(all classes converged at their initial rates)");
+    }
+    for ch in &master.rate_changes {
+        println!(
+            "round {:>2}: {:<6} -> {:<5} (relative distance {:.3})",
+            ch.round, ch.class_name, ch.new_rate, ch.relative_distance
+        );
+    }
+    println!("final gaps:");
+    for class in shared.prof.gaps().classes() {
+        let st = shared.prof.gaps().state(class);
+        println!(
+            "  {:<6} rate {:<5} real gap {:>4}",
+            shared.gos.classes().info(class).name,
+            st.rate.label(),
+            st.real_gap
+        );
+    }
+
+    println!("\n== dynamic balancer ==");
+    for m in &master.planned_migrations {
+        println!(
+            "{} {} -> {}: gain {:>9.0} B/round vs sticky cost {:>9.0} B",
+            m.thread, m.from, m.to, m.gain_bytes, m.sticky_cost_bytes
+        );
+    }
+    let migrations = shared.migration_log.lock();
+    println!(
+        "executed {} migrations moving {} KB of context+sticky prefetch",
+        migrations.len(),
+        migrations.iter().map(|m| m.total_bytes()).sum::<usize>() / 1024
+    );
+    drop(migrations);
+
+    println!("\n== sticky sets & stacks (per-thread averages) ==");
+    let per_thread = observations.lock();
+    for (t, (fp, invariants)) in per_thread.iter().enumerate() {
+        let total: f64 = fp.values().sum();
+        println!(
+            "t{t}: footprint {:>8.0} B over {} classes, {} stack invariants",
+            total,
+            fp.len(),
+            invariants
+        );
+    }
+    drop(per_thread);
+
+    println!("\n== home-effect analysis of the recorded OAL stream ==");
+    let placement: Vec<NodeId> = (0..n_threads as u32)
+        .map(|t| shared.node_of(ThreadId(t)))
+        .collect();
+    let mut analyzer = HomeAwareAnalyzer::new(n_nodes, n_threads);
+    for oal in &master.oal_log {
+        analyzer.ingest(oal, &placement);
+    }
+    let home = analyzer.build(&shared.gos, &placement);
+    println!(
+        "stranded volume: {:.1}% of pair-shared bytes; {} re-homing candidates",
+        home.stranded_fraction() * 100.0,
+        home.recommendations.len()
+    );
+
+    println!("\n== thread correlation map ==");
+    print!("{}", master.tcm.ascii_heatmap());
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run a workload on a simulated DJVM cluster with correlation tracking
+//! on, and inspect what the profiler recovered.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use jessy::prelude::*;
+use jessy::workloads::sor::{self, SorConfig};
+
+fn main() {
+    // An 4-node cluster running 8 application threads, profiling at rate 1X.
+    let mut cluster = Cluster::builder()
+        .nodes(4)
+        .threads(8)
+        .profiler(ProfilerConfig::tracking_at(SamplingRate::NX(1)))
+        .build();
+
+    // SOR at a demo-friendly size (use SorConfig::paper() for the 2K × 2K run).
+    let cfg = SorConfig {
+        n: 256,
+        m: 256,
+        rounds: 6,
+        omega: 1.25,
+    };
+    println!("running SOR {}x{} for {} rounds on 4 nodes / 8 threads…", cfg.n, cfg.m, cfg.rounds);
+    let report = sor::run_on(&mut cluster, cfg);
+
+    println!("\n== execution ==");
+    println!("simulated execution time : {:>10.2} ms", report.sim_exec_ms());
+    println!("real wall-clock          : {:>10.2} ms", report.wall_ns as f64 / 1e6);
+    println!("object faults            : {:>10}", report.proto.real_faults);
+    println!("correlation faults       : {:>10}", report.proto.false_invalid_faults);
+    println!("diffs flushed            : {:>10}", report.proto.diffs_flushed);
+
+    println!("\n== traffic ==");
+    println!("GOS (coherence) volume   : {:>10.1} KB", report.gos_kb());
+    println!("OAL (profiling) volume   : {:>10.1} KB", report.oal_kb());
+    println!(
+        "profiling overhead       : {:>10.2} % of GOS volume",
+        report.net.oal_over_gos() * 100.0
+    );
+
+    let master = report.master.as_ref().expect("profiling was on");
+    println!("\n== profiling ==");
+    println!("OAL batches ingested     : {:>10}", master.oals_ingested);
+    println!("TCM rounds               : {:>10}", master.rounds);
+    println!(
+        "TCM build (real)         : {:>10.2} ms",
+        master.tcm_build_real_ns as f64 / 1e6
+    );
+
+    println!("\nthread correlation map (bytes shared per thread pair):");
+    for (i, row) in master.tcm.rows().iter().enumerate() {
+        print!("  t{i}: ");
+        for v in row {
+            print!("{:>9.0} ", v);
+        }
+        println!();
+    }
+    println!("\nheatmap (darker = more sharing — note the near-neighbour band of SOR):");
+    print!("{}", master.tcm.ascii_heatmap());
+}

@@ -1,0 +1,325 @@
+//! `jessy-cli` — run the simulated DJVM with the profiler from the command line.
+//!
+//! ```text
+//! jessy-cli run --workload bh --nodes 8 --threads 16 --rate 4x
+//! jessy-cli run --workload sor --scale small --rate full --json
+//! jessy-cli run --workload water --adaptive 0.05 --rebalance 4
+//! jessy-cli heatmap --workload bh --threads 16
+//! jessy-cli info
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (the workspace's crate policy);
+//! see `parse_args` below.
+
+use std::process::ExitCode;
+
+use jessy::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    command: Command,
+    workload: WorkloadKind,
+    nodes: usize,
+    threads: usize,
+    rate: RateOpt,
+    scale: WorkloadPreset,
+    adaptive: Option<f64>,
+    rebalance: Option<u64>,
+    prefetch_depth: u32,
+    json: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Command {
+    Run,
+    Heatmap,
+    Info,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RateOpt {
+    Off,
+    Nx(u32),
+    Full,
+    Trace,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: Command::Run,
+            workload: WorkloadKind::Sor,
+            nodes: 8,
+            threads: 8,
+            rate: RateOpt::Nx(1),
+            scale: WorkloadPreset::Small,
+            adaptive: None,
+            rebalance: None,
+            prefetch_depth: 0,
+            json: false,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Err("missing command (run | heatmap | info)".into());
+    };
+    opts.command = match cmd.as_str() {
+        "run" => Command::Run,
+        "heatmap" => Command::Heatmap,
+        "info" => Command::Info,
+        other => return Err(format!("unknown command {other:?} (run | heatmap | info)")),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => {
+                opts.workload = match value(flag)?.to_lowercase().as_str() {
+                    "sor" => WorkloadKind::Sor,
+                    "bh" | "barnes-hut" | "barneshut" => WorkloadKind::BarnesHut,
+                    "water" | "water-spatial" => WorkloadKind::WaterSpatial,
+                    "lu" => WorkloadKind::Lu,
+                    other => return Err(format!("unknown workload {other:?}")),
+                }
+            }
+            "--nodes" | "-n" => {
+                opts.nodes = value(flag)?.parse().map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--threads" | "-t" => {
+                opts.threads = value(flag)?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--rate" | "-r" => {
+                let v = value(flag)?.to_lowercase();
+                opts.rate = match v.as_str() {
+                    "off" | "none" => RateOpt::Off,
+                    "full" => RateOpt::Full,
+                    "trace" | "ground-truth" => RateOpt::Trace,
+                    other => {
+                        let n = other
+                            .strip_suffix('x')
+                            .and_then(|n| n.parse::<u32>().ok())
+                            .ok_or_else(|| format!("bad rate {other:?} (e.g. 4x, full, off)"))?;
+                        RateOpt::Nx(n)
+                    }
+                }
+            }
+            "--scale" | "-s" => {
+                opts.scale = match value(flag)?.to_lowercase().as_str() {
+                    "paper" => WorkloadPreset::Paper,
+                    "small" => WorkloadPreset::Small,
+                    other => return Err(format!("unknown scale {other:?} (paper | small)")),
+                }
+            }
+            "--adaptive" => {
+                opts.adaptive =
+                    Some(value(flag)?.parse().map_err(|e| format!("--adaptive: {e}"))?)
+            }
+            "--rebalance" => {
+                opts.rebalance =
+                    Some(value(flag)?.parse().map_err(|e| format!("--rebalance: {e}"))?)
+            }
+            "--prefetch-depth" => {
+                opts.prefetch_depth = value(flag)?
+                    .parse()
+                    .map_err(|e| format!("--prefetch-depth: {e}"))?
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if opts.nodes == 0 || opts.threads == 0 {
+        return Err("--nodes and --threads must be positive".into());
+    }
+    if opts.rebalance.is_some() && matches!(opts.rate, RateOpt::Off) {
+        return Err("--rebalance needs correlation tracking (pick a --rate)".into());
+    }
+    Ok(opts)
+}
+
+fn profiler_config(opts: &Options) -> ProfilerConfig {
+    let mut config = match opts.rate {
+        RateOpt::Off => ProfilerConfig::disabled(),
+        RateOpt::Nx(n) => ProfilerConfig::tracking_at(SamplingRate::NX(n)),
+        RateOpt::Full => ProfilerConfig::tracking_at(SamplingRate::Full),
+        RateOpt::Trace => ProfilerConfig::ground_truth(),
+    };
+    config.adaptive_threshold = opts.adaptive;
+    config
+}
+
+fn build_cluster(opts: &Options) -> Cluster {
+    let mut builder = Cluster::builder()
+        .nodes(opts.nodes)
+        .threads(opts.threads)
+        .prefetch_depth(opts.prefetch_depth)
+        .profiler(profiler_config(opts));
+    if let Some(rounds) = opts.rebalance {
+        builder = builder.rebalance(jessy::runtime::RebalanceConfig {
+            after_rounds: rounds,
+            ..Default::default()
+        });
+    }
+    builder.build()
+}
+
+fn cmd_info() {
+    println!("workload presets (Table I):");
+    for kind in WorkloadKind::ALL {
+        for preset in [WorkloadPreset::Paper, WorkloadPreset::Small] {
+            println!(
+                "  {:<13} {:<6} {:>14}  rounds {:>2}  {:<7}  {}",
+                kind.name(),
+                format!("{preset:?}").to_lowercase(),
+                kind.data_set(preset),
+                kind.rounds(preset),
+                kind.granularity(),
+                kind.object_size()
+            );
+        }
+    }
+}
+
+fn cmd_run(opts: &Options) {
+    let mut cluster = build_cluster(opts);
+    eprintln!(
+        "running {} ({:?}) on {} nodes / {} threads, rate {:?}…",
+        opts.workload.name(),
+        opts.scale,
+        opts.nodes,
+        opts.threads,
+        opts.rate
+    );
+    let report = opts.workload.run_on(&mut cluster, opts.scale);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        return;
+    }
+    println!("simulated execution : {:>12.2} ms", report.sim_exec_ms());
+    println!("wall clock          : {:>12.2} ms", report.wall_ns as f64 / 1e6);
+    println!("accesses            : {:>12}", report.proto.accesses);
+    println!("object faults       : {:>12}", report.proto.real_faults);
+    println!("correlation faults  : {:>12}", report.proto.false_invalid_faults);
+    println!("objects prefetched  : {:>12}", report.proto.objects_prefetched);
+    println!("GOS volume          : {:>12.1} KB", report.gos_kb());
+    println!("OAL volume          : {:>12.1} KB ({:.2}% of GOS)", report.oal_kb(), report.net.oal_over_gos() * 100.0);
+    if let Some(master) = &report.master {
+        println!("TCM rounds          : {:>12}", master.rounds);
+        println!("TCM build (real)    : {:>12.2} ms", master.tcm_build_real_ns as f64 / 1e6);
+        for ch in &master.rate_changes {
+            println!(
+                "  rate change: {} -> {} (round {}, distance {:.3})",
+                ch.class_name, ch.new_rate, ch.round, ch.relative_distance
+            );
+        }
+        for m in &master.planned_migrations {
+            println!(
+                "  planned migration: {} {} -> {} (gain {:.0} B)",
+                m.thread, m.from, m.to, m.gain_bytes
+            );
+        }
+        println!("\nthread correlation map:");
+        print!("{}", master.tcm.ascii_heatmap());
+    }
+}
+
+fn cmd_heatmap(opts: &Options) {
+    let mut config = ProfilerConfig::ground_truth();
+    config.record_oals = true;
+    let mut cluster = Cluster::builder()
+        .nodes(opts.nodes)
+        .threads(opts.threads)
+        .profiler(config)
+        .build();
+    let report = opts.workload.run_on(&mut cluster, opts.scale);
+    let master = report.master.as_ref().expect("tracking on");
+    println!("inherent (object-grain) correlation map:");
+    print!("{}", master.tcm.ascii_heatmap());
+    let layout = jessy::pagedsm::PageLayout::from_gos(&cluster.shared().gos);
+    let mut induced = jessy::pagedsm::InducedTcmBuilder::new(opts.threads);
+    for oal in &master.oal_log {
+        induced.ingest(oal, &layout);
+    }
+    println!("\ninduced (page-grain) correlation map:");
+    print!("{}", induced.build().ascii_heatmap());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => {
+            match opts.command {
+                Command::Info => cmd_info(),
+                Command::Run => cmd_run(&opts),
+                Command::Heatmap => cmd_heatmap(&opts),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage: jessy-cli <run|heatmap|info> [--workload sor|bh|water]");
+            eprintln!("       [--nodes N] [--threads T] [--rate off|1x|4x|full|trace]");
+            eprintln!("       [--scale paper|small] [--adaptive THRESHOLD]");
+            eprintln!("       [--rebalance ROUNDS] [--prefetch-depth D] [--json]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let o = parse_args(&args(
+            "run -w bh -n 4 -t 16 -r 4x --scale paper --adaptive 0.05 --rebalance 3 --prefetch-depth 2 --json",
+        ))
+        .unwrap();
+        assert_eq!(o.command, Command::Run);
+        assert_eq!(o.workload, WorkloadKind::BarnesHut);
+        assert_eq!(o.nodes, 4);
+        assert_eq!(o.threads, 16);
+        assert_eq!(o.rate, RateOpt::Nx(4));
+        assert_eq!(o.scale, WorkloadPreset::Paper);
+        assert_eq!(o.adaptive, Some(0.05));
+        assert_eq!(o.rebalance, Some(3));
+        assert_eq!(o.prefetch_depth, 2);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let o = parse_args(&args("run")).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn rate_spellings() {
+        assert_eq!(parse_args(&args("run -r off")).unwrap().rate, RateOpt::Off);
+        assert_eq!(parse_args(&args("run -r full")).unwrap().rate, RateOpt::Full);
+        assert_eq!(parse_args(&args("run -r trace")).unwrap().rate, RateOpt::Trace);
+        assert_eq!(parse_args(&args("run -r 512x")).unwrap().rate, RateOpt::Nx(512));
+        assert!(parse_args(&args("run -r banana")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args("fly")).is_err());
+        assert!(parse_args(&args("run --nodes 0")).is_err());
+        assert!(parse_args(&args("run --workload")).is_err(), "missing value");
+        assert!(parse_args(&args("run --rebalance 2 --rate off")).is_err());
+    }
+}

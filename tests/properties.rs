@@ -1,0 +1,478 @@
+//! Property-based tests over the core invariants (proptest).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use jessy::core::oal::{Oal, OalEntry};
+use jessy::core::sampling::{multiples_in, GapTable};
+use jessy::core::sticky::resolution::resolve_sticky_set;
+use jessy::core::stack_sampling::StackSampler;
+use jessy::core::{accuracy_abs, e_abs, e_euc, SamplingRate, StackSamplingConfig, Tcm, TcmBuilder};
+use jessy::gos::prime::{is_prime, nearest_prime};
+use jessy::gos::twin::Diff;
+use jessy::gos::{ClassId, CostModel, Gos, GosConfig, ObjectId};
+use jessy::net::{ClockBoard, LatencyModel, NodeId, ThreadId};
+use jessy::runtime::LoadBalancer;
+use jessy::stack::{JavaStack, MethodId, Slot};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---------------------------------------------------------------- primes & gaps
+
+    #[test]
+    fn nearest_prime_is_prime_and_closest(n in 2u64..1_000_000) {
+        let p = nearest_prime(n);
+        prop_assert!(is_prime(p));
+        let d = p.abs_diff(n);
+        // No prime strictly closer; at equal distance the upward one wins.
+        for q in n.saturating_sub(d)..=(n + d) {
+            if is_prime(q) {
+                prop_assert!(q.abs_diff(n) >= d, "prime {q} closer to {n} than {p}");
+                if q.abs_diff(n) == d {
+                    prop_assert!(p >= n || q == p, "tie must break upward: {n} -> {p}, rival {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiples_in_matches_brute_force(start in 0u64..10_000, len in 0u64..500, gap in 1u64..600) {
+        let brute = (start..start + len).filter(|x| x % gap == 0).count() as u64;
+        prop_assert_eq!(multiples_in(start, len, gap), brute);
+    }
+
+    #[test]
+    fn scaled_bytes_estimator_is_unbiased_over_cycles(
+        unit_bytes in prop::sample::select(vec![8usize, 64, 512]),
+        rate_n in prop::sample::select(vec![1u32, 2, 4, 8]),
+        lens in prop::collection::vec(1u32..32, 500..1500),
+    ) {
+        let gaps = GapTable::new(4096);
+        let class = ClassId(0);
+        gaps.register_class(class, unit_bytes, SamplingRate::NX(rate_n));
+        let mut seq = 0u64;
+        let mut scaled = 0u64;
+        let mut truth = 0u64;
+        for len in &lens {
+            scaled += gaps.scaled_bytes(class, seq, *len);
+            truth += *len as u64 * unit_bytes as u64;
+            seq += *len as u64;
+        }
+        // Exactly unbiased over full gap cycles; allow the partial-cycle remainder.
+        let gap = gaps.state(class).real_gap;
+        let slack = gap as f64 * unit_bytes as f64 * 32.0 / truth as f64;
+        let err = (scaled as f64 - truth as f64).abs() / truth as f64;
+        prop_assert!(err <= slack + 0.05, "bias {err} (slack {slack}) at gap {gap}");
+    }
+
+    // ---------------------------------------------------------------- twin/diff
+
+    #[test]
+    fn diff_roundtrip_reconstructs_any_mutation(
+        base in prop::collection::vec(-1e6f64..1e6, 1..200),
+        writes in prop::collection::vec((0usize..200, -1e6f64..1e6), 0..50),
+    ) {
+        let twin = base.clone();
+        let mut current = base.clone();
+        for (idx, v) in &writes {
+            if *idx < current.len() {
+                current[*idx] = *v;
+            }
+        }
+        let diff = Diff::compute(&twin, &current);
+        let mut home = twin.clone();
+        diff.apply(&mut home);
+        prop_assert_eq!(home, current);
+        prop_assert!(diff.changed_words() <= writes.len());
+    }
+
+    #[test]
+    fn diff_wire_bytes_never_exceed_full_payload_much(
+        base in prop::collection::vec(0f64..10.0, 1..128),
+    ) {
+        // Worst case (everything changed): one run, 8 bytes overhead.
+        let changed: Vec<f64> = base.iter().map(|v| v + 1.0).collect();
+        let diff = Diff::compute(&base, &changed);
+        prop_assert!(diff.wire_bytes() <= base.len() * 8 + 8);
+    }
+
+    // ---------------------------------------------------------------- TCM & metrics
+
+    #[test]
+    fn tcm_builder_is_permutation_invariant(
+        accesses in prop::collection::vec((0u32..6, 0u32..20, 1u64..1000), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let to_oals = |acc: &[(u32, u32, u64)]| -> Vec<Oal> {
+            acc.iter()
+                .map(|(t, o, b)| Oal {
+                    thread: ThreadId(*t),
+                    interval: 0,
+                    entries: vec![OalEntry { obj: ObjectId(*o), class: ClassId(0), bytes: *b }],
+                })
+                .collect()
+        };
+        let mut fwd = TcmBuilder::new(6);
+        for oal in to_oals(&accesses) {
+            fwd.ingest(&oal);
+        }
+        fwd.close_round();
+
+        // Deterministic shuffle from the seed.
+        let mut shuffled = accesses.clone();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut rev = TcmBuilder::new(6);
+        for oal in to_oals(&shuffled) {
+            rev.ingest(&oal);
+        }
+        rev.close_round();
+        prop_assert_eq!(fwd.tcm().raw(), rev.tcm().raw());
+    }
+
+    #[test]
+    fn distance_metrics_behave_like_distances(
+        pairs in prop::collection::vec((0u32..5, 0u32..5, 0f64..1e6), 1..20),
+        scale in 0.1f64..3.0,
+    ) {
+        let mut a = Tcm::new(5);
+        for (i, j, v) in &pairs {
+            a.add_pair(ThreadId(*i), ThreadId(*j), *v);
+        }
+        // Identity.
+        prop_assert!(e_abs(&a, &a).abs() < 1e-12);
+        prop_assert!(e_euc(&a, &a).abs() < 1e-12);
+        if a.total() > 0.0 {
+            // Pure rescaling: both metrics equal |1 - scale|.
+            let mut b = a.clone();
+            b.scale(scale);
+            prop_assert!((e_abs(&b, &a) - (scale - 1.0).abs()).abs() < 1e-9);
+            prop_assert!((e_euc(&b, &a) - (scale - 1.0).abs()).abs() < 1e-9);
+            // Accuracy is clamped into [0, 1].
+            let acc = accuracy_abs(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    // ---------------------------------------------------------------- balancer
+
+    #[test]
+    fn balancer_plan_is_balanced_and_deterministic(
+        pairs in prop::collection::vec((0u32..8, 0u32..8, 1f64..1e6), 0..24),
+        n_nodes in 1usize..5,
+    ) {
+        let mut tcm = Tcm::new(8);
+        for (i, j, v) in &pairs {
+            tcm.add_pair(ThreadId(*i), ThreadId(*j), *v);
+        }
+        let lb = LoadBalancer::new();
+        let plan = lb.plan(&tcm, n_nodes);
+        prop_assert_eq!(plan.placement.len(), 8);
+        let cap = 8usize.div_ceil(n_nodes);
+        for node in 0..n_nodes {
+            let load = plan.placement.iter().filter(|p| p.index() == node).count();
+            prop_assert!(load <= cap, "node {node} overloaded: {load} > {cap}");
+        }
+        prop_assert!((0.0..=1.0).contains(&plan.intra_fraction));
+        // Determinism.
+        let plan2 = lb.plan(&tcm, n_nodes);
+        prop_assert_eq!(plan.placement, plan2.placement);
+    }
+
+    // ---------------------------------------------------------------- sticky resolution
+
+    #[test]
+    fn resolution_selects_unique_objects_and_respects_budget(
+        n in 2usize..40,
+        extra_edges in prop::collection::vec((0usize..40, 0usize..40), 0..30),
+        budget_bytes in 0u64..4000,
+    ) {
+        let gos = Gos::new(GosConfig {
+            n_nodes: 1,
+            n_threads: 1,
+            latency: LatencyModel::free(),
+            costs: CostModel::free(),
+            prefetch_depth: 0,
+            consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+        });
+        let clock = ClockBoard::new(1).handle(ThreadId(0));
+        let class = gos.classes().register_scalar("N", 2);
+        let gaps = GapTable::new(4096);
+        gaps.register_class(class, 16, SamplingRate::Full);
+        let ids: Vec<ObjectId> = (0..n)
+            .map(|_| {
+                let c = gos.alloc_scalar(NodeId(0), class, &clock, None);
+                c.set_sampled(true);
+                c.id
+            })
+            .collect();
+        for w in ids.windows(2) {
+            gos.object(w[0]).add_ref(w[1]);
+        }
+        for (a, b) in &extra_edges {
+            if *a < n && *b < n {
+                gos.object(ids[*a]).add_ref(ids[*b]);
+            }
+        }
+        let budget = HashMap::from([(class, budget_bytes)]);
+        let res = resolve_sticky_set(&gos, &gaps, &ids[..1], &budget, 2.0, &clock);
+        // Uniqueness.
+        let mut seen = res.selected.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), res.selected.len(), "duplicates selected");
+        // Budget semantics (everything sampled at gap 1 → scaled == payload bytes).
+        let collected = res.collected.get(&class).copied().unwrap_or(0);
+        if res.budget_met && budget_bytes > 0 {
+            prop_assert!(collected >= budget_bytes);
+            // Stops as soon as satisfied: no more than one object's overshoot.
+            prop_assert!(collected < budget_bytes + 16);
+        }
+        prop_assert_eq!(res.total_bytes, res.selected.len() as u64 * 16);
+    }
+}
+
+// ---------------------------------------------------------------- stack sampler
+
+// Random stack operations; after a sample, force-compare every frame by popping one
+// frame per sample — every reported invariant for the then-top frame must match its
+// live slot content.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stack_sampler_invariants_are_sound(
+        ops in prop::collection::vec(0u8..4, 1..80),
+        refs in prop::collection::vec(0u32..50, 80),
+    ) {
+        let board = ClockBoard::new(1);
+        let clock = board.handle(ThreadId(0));
+        let costs = CostModel::free();
+        let mut stack = JavaStack::new();
+        let mut sampler = StackSampler::new(StackSamplingConfig { gap_ns: 0, lazy_extraction: true });
+        stack.push_raw(MethodId(0), 3);
+
+        for (k, op) in ops.iter().enumerate() {
+            match op {
+                0 => { stack.push_raw(MethodId(1), 3); }
+                1 => if stack.depth() > 1 { stack.pop(); },
+                2 => {
+                    let slot = k % 3;
+                    stack.set_local(slot, Slot::Ref(ObjectId(refs[k % refs.len()])));
+                }
+                _ => sampler.sample(&mut stack, &clock, &costs),
+            }
+        }
+
+        // Drain: sample + pop until empty; at each step the first-visited (top) frame
+        // was just compared, so its invariants must match live content.
+        while stack.depth() > 0 {
+            sampler.sample(&mut stack, &clock, &costs);
+            let top_depth = stack.depth() - 1;
+            for inv in sampler.invariants() {
+                if inv.depth == top_depth {
+                    let live = stack.frame(top_depth).slot(inv.slot).as_ref_obj();
+                    prop_assert_eq!(live, Some(inv.obj),
+                        "stale invariant at depth {} slot {}", inv.depth, inv.slot);
+                }
+            }
+            stack.pop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- distributed TCM
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_reduction_is_exact_for_any_stream(
+        accesses in prop::collection::vec((0u32..8, 0u32..64, 1u64..500), 1..120),
+        n_shards in 1usize..9,
+    ) {
+        use jessy::core::distributed::ShardedTcmReducer;
+        let oals: Vec<jessy::core::Oal> = accesses
+            .iter()
+            .map(|(t, o, b)| jessy::core::Oal {
+                thread: ThreadId(*t),
+                interval: 0,
+                entries: vec![jessy::core::OalEntry {
+                    obj: ObjectId(*o),
+                    class: ClassId(0),
+                    bytes: *b,
+                }],
+            })
+            .collect();
+        let mut central = TcmBuilder::new(8);
+        for o in &oals {
+            central.ingest(o);
+        }
+        central.close_round();
+        let mut sharded = ShardedTcmReducer::new(n_shards, 8);
+        for o in &oals {
+            sharded.ingest(o);
+        }
+        sharded.close_round();
+        let reduced = sharded.reduce();
+        prop_assert_eq!(reduced.raw(), central.tcm().raw());
+    }
+
+    // ------------------------------------------------------------ LU numerics
+
+    #[test]
+    fn lu_reference_reconstructs_random_diagonally_dominant_matrices(seed in 0u64..500) {
+        use jessy::workloads::lu::{reference, LuConfig};
+        // The entry function is seed-independent, but sweep block/size combos.
+        let combos = [(16usize, 4usize), (16, 8), (32, 8), (24, 8)];
+        let (n, block) = combos[(seed % combos.len() as u64) as usize];
+        let cfg = LuConfig { n, block };
+        let nb = cfg.nb();
+        let blocks = reference(&cfg);
+        // Spot-check reconstruction at a few pseudo-random coordinates.
+        let b = cfg.block;
+        let entry = |bi: usize, bj: usize, e: usize| blocks[bi * nb + bj][e];
+        let mut state = seed.wrapping_add(7);
+        for _ in 0..16 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (state >> 33) as usize % n;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let c = (state >> 33) as usize % n;
+            let mut dot = 0.0;
+            for k in 0..=r.min(c) {
+                // L is unit lower triangular, U upper; both packed into the blocks.
+                let l = if k == r {
+                    1.0
+                } else {
+                    entry(r / b, k / b, (r % b) * b + k % b)
+                };
+                let u = entry(k / b, c / b, (k % b) * b + c % b);
+                dot += l * u;
+            }
+            let orig = if r == c {
+                cfg.n as f64 + 1.0
+            } else {
+                ((r * 31 + c * 17) % 13) as f64 / 13.0
+            };
+            prop_assert!(
+                (dot - orig).abs() < 1e-7 * (1.0 + orig.abs()),
+                "A[{}][{}]: {} vs {}", r, c, dot, orig
+            );
+        }
+    }
+
+    // ------------------------------------------------------------ PCCT
+
+    #[test]
+    fn pcct_totals_are_consistent(paths in prop::collection::vec(prop::collection::vec(0u32..6, 1..6), 1..50)) {
+        use jessy::core::Pcct;
+        use jessy::stack::MethodId;
+        let mut p = Pcct::new();
+        for path in &paths {
+            p.record(path.iter().map(|&m| MethodId(m)));
+        }
+        prop_assert_eq!(p.samples(), paths.len() as u64);
+        // Sum of exclusive counts over hot contexts equals total samples.
+        let hot = p.hot_contexts(usize::MAX);
+        let total: u64 = hot.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, paths.len() as u64);
+        // Every path's first method appears with inclusive count >= its occurrences
+        // as a root.
+        for path in &paths {
+            prop_assert!(p.method_total(MethodId(path[0])) >= 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- profiler state machine
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drive a single-thread profiler with random access/sync sequences and check the
+    /// paper's core invariants: OAL entries are unique per interval (at-most-once),
+    /// only sampled objects are logged, and every logged size is the gap-scaled
+    /// amortized size.
+    #[test]
+    fn profiler_oals_respect_at_most_once_and_sampling(
+        ops in prop::collection::vec((0u8..4, 0usize..12), 10..150),
+    ) {
+        use jessy::core::{ProfilerConfig, ProfilerShared, ThreadProfiler};
+        let gos = Gos::new(GosConfig {
+            n_nodes: 1,
+            n_threads: 1,
+            latency: LatencyModel::free(),
+            costs: CostModel::free(),
+            prefetch_depth: 0,
+            consistency: jessy::gos::protocol::ConsistencyModel::GlobalHlrc,
+        });
+        let clock = ClockBoard::new(1).handle(ThreadId(0));
+        // 64-byte class at 8X → gap 8 → prime 7: objects 0 and 7 sampled.
+        let shared = ProfilerShared::new(ProfilerConfig::tracking_at(
+            jessy::core::SamplingRate::NX(8),
+        ));
+        let class = gos.classes().register_scalar("Body", 8);
+        shared.register_class(class, 64);
+        let gap = shared.gaps().gap(class);
+        let objs: Vec<_> = (0..12)
+            .map(|_| {
+                let core = gos.alloc_scalar(NodeId(0), class, &clock, None);
+                shared.tag_new_object(&core);
+                core
+            })
+            .collect();
+        let mut prof = ThreadProfiler::new(std::sync::Arc::clone(&shared), ThreadId(0));
+
+        let mut oals = Vec::new();
+        for (op, idx) in &ops {
+            match op {
+                0 | 1 => {
+                    // Read or write the chosen object.
+                    let id = objs[*idx].id;
+                    let out = if *op == 0 {
+                        gos.read(NodeId(0), id, &clock, |_| {}).1
+                    } else {
+                        gos.write(NodeId(0), id, &clock, |d| d[0] += 1.0).1
+                    };
+                    prof.on_access(&gos, &out, &clock);
+                }
+                _ => {
+                    // Sync point: close + flush + open.
+                    if let Some(oal) = prof.close_interval() {
+                        oals.push(oal);
+                    }
+                    gos.flush_thread(NodeId(0), &clock);
+                    gos.apply_notices(NodeId(0), &clock);
+                    prof.open_interval(&gos);
+                }
+            }
+        }
+        if let Some(oal) = prof.close_interval() {
+            oals.push(oal);
+        }
+
+        for oal in &oals {
+            // At-most-once per interval.
+            let mut ids: Vec<_> = oal.entries.iter().map(|e| e.obj).collect();
+            ids.sort_unstable();
+            let len_before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), len_before, "duplicate OAL entry in an interval");
+            for e in &oal.entries {
+                let core = gos.object(e.obj);
+                prop_assert!(core.is_sampled(), "unsampled object {} logged", e.obj);
+                prop_assert_eq!(e.bytes, 64 * gap, "gap-scaled amortized size");
+            }
+        }
+        // Interval ids are strictly increasing.
+        for w in oals.windows(2) {
+            prop_assert!(w[0].interval < w[1].interval);
+        }
+    }
+}
