@@ -1,0 +1,105 @@
+//! Chaos sweep — TCM robustness under lossy OAL delivery.
+//!
+//! The correlation rounds of Section II.B assume the coordinator eventually sees
+//! every per-interval OAL. This bench measures what a *lossy* fabric does to the
+//! recovered map: a seeded `FaultPlan` drops a growing fraction of OAL batches, the
+//! master closes rounds by deadline with partial coverage, and the adaptive
+//! controller skips steering below the coverage floor. The headline column is the
+//! relative accuracy (`1 − E_ABS`) of each lossy map against the zero-fault run of
+//! the identical workload — the paper's own metric for "how wrong is this profile".
+
+use std::sync::Arc;
+
+use jessy_bench::TextTable;
+use jessy_core::{accuracy_abs, ProfilerConfig, SamplingRate, Tcm};
+use jessy_gos::{CostModel, ObjectId};
+use jessy_net::{FaultPlan, LatencyModel, NodeId};
+use jessy_runtime::{Cluster, MasterOutput};
+
+const THREADS: usize = 8;
+const NODES: usize = 4;
+const BARRIERS: usize = 60;
+
+/// One full cluster run at the given OAL drop rate; `None` disables fault injection
+/// entirely (the baseline build path, not just a zero plan).
+fn run(oal_drop: Option<f64>) -> (MasterOutput, jessy_net::FaultStats) {
+    let mut config = ProfilerConfig::tracking_at(SamplingRate::Full);
+    config.intervals_per_round = 2;
+    config.adaptive_threshold = Some(0.05);
+    config.round_deadline_intervals = Some(4);
+    config.min_round_coverage = 0.9;
+    let mut builder = Cluster::builder()
+        .nodes(NODES)
+        .threads(THREADS)
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(config);
+    if let Some(p) = oal_drop {
+        builder = builder.faults(FaultPlan {
+            oal_drop: p,
+            ..FaultPlan::default()
+        });
+    }
+    let mut cluster = builder.build();
+    // Neighbour-sharing workload: thread t shares object t with thread t+1, so the
+    // true map is a banded matrix the lossy runs get compared against.
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("S", 8);
+        (0..THREADS)
+            .map(|k| ctx.alloc_scalar_at(NodeId((k % NODES) as u16), class).id)
+            .collect::<Vec<ObjectId>>()
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        let t = jt.thread_id().index();
+        for _ in 0..BARRIERS {
+            jt.read(objs[t], |_| {});
+            jt.read(objs[(t + 1) % THREADS], |_| {});
+            jt.barrier();
+        }
+    });
+    let master = cluster.master_output().expect("master ran").clone();
+    let faults = cluster.report().net.faults;
+    (master, faults)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    println!("X3. CHAOS SWEEP (TCM accuracy vs OAL drop rate)\n");
+    let (baseline, _) = run(None);
+    let truth: &Tcm = &baseline.tcm;
+    let mut t = TextTable::new(&[
+        "oal drop",
+        "dropped",
+        "rounds",
+        "deadline",
+        "mean cover",
+        "late",
+        "skipped",
+        "rel acc",
+    ]);
+    for &p in &[0.0, 0.05, 0.10, 0.20, 0.40] {
+        let (m, faults) = run(Some(p));
+        t.row(&[
+            format!("{:.0}%", p * 100.0),
+            faults.dropped.to_string(),
+            m.rounds.to_string(),
+            m.deadline_rounds.to_string(),
+            format!("{:.3}", mean(&m.round_coverage)),
+            m.late_oals.to_string(),
+            m.skipped_rate_changes.len().to_string(),
+            format!("{:.4}", accuracy_abs(&m.tcm, truth)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("every run completes (deadline rounds close around the losses); accuracy");
+    println!("degrades smoothly with the drop rate because each surviving OAL still");
+    println!("lands in the cumulative map, and low-coverage rounds stop steering the");
+    println!("sampling rates instead of steering them on a partial view.");
+}

@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the profiling primitives.
+//! Micro-benchmarks of the profiling primitives.
+//!
+//! Criterion-free (the workspace builds offline): each benchmark is timed with a
+//! simple calibrated loop and reported as ns/iter. Pass a substring argument to run
+//! a subset, e.g. `cargo bench --bench micro -- tcm`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
-use jessy_core::sampling::GapTable;
 use jessy_core::oal::{Oal, OalEntry};
+use jessy_core::sampling::GapTable;
 use jessy_core::stack_sampling::StackSampler;
 use jessy_core::{SamplingRate, StackSamplingConfig, TcmBuilder};
 use jessy_gos::prime::nearest_prime;
@@ -12,136 +17,77 @@ use jessy_gos::{ClassId, CostModel, Gos, GosConfig, ObjectId};
 use jessy_net::{ClockBoard, LatencyModel, NodeId, ThreadId};
 use jessy_stack::{JavaStack, MethodId, Slot};
 
-fn bench_sampling_decision(c: &mut Criterion) {
-    let gaps = GapTable::new(4096);
-    gaps.register_class(ClassId(0), 64, SamplingRate::NX(1));
-    c.bench_function("sampling/decide_sampled", |b| {
-        let mut seq = 0u64;
-        b.iter(|| {
-            seq += 1;
-            black_box(gaps.decide_sampled(ClassId(0), black_box(seq), 1))
-        })
-    });
-    c.bench_function("sampling/scaled_bytes_array", |b| {
-        let mut seq = 0u64;
-        b.iter(|| {
-            seq += 97;
-            black_box(gaps.scaled_bytes(ClassId(0), black_box(seq), 2048))
-        })
-    });
-}
-
-fn bench_nearest_prime(c: &mut Criterion) {
-    c.bench_function("sampling/nearest_prime_2^16", |b| {
-        b.iter(|| black_box(nearest_prime(black_box(65536))))
-    });
-}
-
-fn bench_tcm_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tcm/build_round");
-    for &(m, n) in &[(1_000usize, 16usize), (10_000, 16), (10_000, 64)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("M{m}_N{n}")),
-            &(m, n),
-            |b, &(m, n)| {
-                // Each object shared by 2 threads.
-                let oals: Vec<Oal> = (0..n as u32)
-                    .map(|t| Oal {
-                        thread: ThreadId(t),
-                        interval: 0,
-                        entries: (0..m)
-                            .filter(|o| (o % n) as u32 == t || ((o + 1) % n) as u32 == t)
-                            .map(|o| OalEntry {
-                                obj: ObjectId(o as u32),
-                                class: ClassId(0),
-                                bytes: 64,
-                            })
-                            .collect(),
-                    })
-                    .collect();
-                b.iter(|| {
-                    let mut builder = TcmBuilder::new(n);
-                    for oal in &oals {
-                        builder.ingest(oal);
-                    }
-                    black_box(builder.close_round().objects)
-                })
-            },
-        );
+/// Time `f` with enough iterations to fill ~50 ms and print ns/iter.
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
     }
-    group.finish();
-}
-
-fn bench_stack_sampling(c: &mut Criterion) {
-    let costs = CostModel::free();
-    let mut group = c.benchmark_group("stack/sample");
-    for lazy in [true, false] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(if lazy { "lazy" } else { "immediate" }),
-            &lazy,
-            |b, &lazy| {
-                let board = ClockBoard::new(1);
-                let clock = board.handle(ThreadId(0));
-                let mut stack = JavaStack::new();
-                for d in 0..16 {
-                    stack.push_raw(MethodId(d), 8);
-                    stack.set_local(0, Slot::Ref(ObjectId(d)));
-                }
-                let mut sampler = StackSampler::new(StackSamplingConfig {
-                    gap_ns: 0,
-                    lazy_extraction: lazy,
-                });
-                b.iter(|| {
-                    // Churn one temporary frame per sample, like a running program.
-                    stack.push_raw(MethodId(99), 8);
-                    sampler.sample(&mut stack, &clock, &costs);
-                    stack.pop();
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_twin_diff(c: &mut Criterion) {
-    let twin: Vec<f64> = (0..2048).map(|i| i as f64).collect();
-    let mut current = twin.clone();
-    for i in (0..2048).step_by(37) {
-        current[i] += 1.0;
-    }
-    c.bench_function("gos/diff_2048_words_sparse", |b| {
-        b.iter(|| black_box(Diff::compute(black_box(&twin), black_box(&current))))
-    });
-    let diff = Diff::compute(&twin, &current);
-    c.bench_function("gos/diff_apply", |b| {
-        let mut target = twin.clone();
-        b.iter(|| {
-            diff.apply(&mut target);
-            black_box(target[0])
-        })
-    });
-}
-
-fn bench_pcct_vs_invariants(c: &mut Criterion) {
-    // The related-work contrast: Whaley-style PCCT sampling (method ids only) vs
-    // sticky-set invariant mining (frame content extraction + probing).
-    use jessy_core::pcct::PcctSampler;
-    let costs = CostModel::free();
-    let mut group = c.benchmark_group("stack/pcct_vs_invariants");
-    group.bench_function("pcct_sample", |b| {
-        let board = ClockBoard::new(1);
-        let clock = board.handle(ThreadId(0));
-        let mut stack = JavaStack::new();
-        for d in 0..16 {
-            stack.push_raw(MethodId(d), 8);
+    // Calibrate the iteration count.
+    let mut iters = 8u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
         }
-        let mut sampler = PcctSampler::new(0);
-        b.iter(|| {
-            sampler.sample(&stack, &clock, &costs);
-            black_box(sampler.pcct().samples())
-        })
+        let elapsed = t0.elapsed();
+        if elapsed.as_millis() >= 50 || iters >= 1 << 30 {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<40} {ns:>12.1} ns/iter   ({iters} iters)");
+            return;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let filter = filter.as_str();
+
+    {
+        let gaps = GapTable::new(4096);
+        gaps.register_class(ClassId(0), 64, SamplingRate::NX(1));
+        let mut seq = 0u64;
+        bench(filter, "sampling/decide_sampled", || {
+            seq += 1;
+            black_box(gaps.decide_sampled(ClassId(0), black_box(seq), 1));
+        });
+        let mut seq = 0u64;
+        bench(filter, "sampling/scaled_bytes_array", || {
+            seq += 97;
+            black_box(gaps.scaled_bytes(ClassId(0), black_box(seq), 2048));
+        });
+    }
+
+    bench(filter, "sampling/nearest_prime_2^16", || {
+        black_box(nearest_prime(black_box(65536)));
     });
-    group.bench_function("invariant_sample", |b| {
+
+    for &(m, n) in &[(1_000usize, 16usize), (10_000, 16), (10_000, 64)] {
+        // Each object shared by 2 threads.
+        let oals: Vec<Oal> = (0..n as u32)
+            .map(|t| Oal {
+                thread: ThreadId(t),
+                interval: 0,
+                entries: (0..m)
+                    .filter(|o| (o % n) as u32 == t || ((o + 1) % n) as u32 == t)
+                    .map(|o| OalEntry {
+                        obj: ObjectId(o as u32),
+                        class: ClassId(0),
+                        bytes: 64,
+                    })
+                    .collect(),
+            })
+            .collect();
+        bench(filter, &format!("tcm/build_round/M{m}_N{n}"), || {
+            let mut builder = TcmBuilder::new(n);
+            for oal in &oals {
+                builder.ingest(oal);
+            }
+            black_box(builder.close_round().objects);
+        });
+    }
+
+    for lazy in [true, false] {
         let board = ClockBoard::new(1);
         let clock = board.handle(ThreadId(0));
         let mut stack = JavaStack::new();
@@ -151,48 +97,86 @@ fn bench_pcct_vs_invariants(c: &mut Criterion) {
         }
         let mut sampler = StackSampler::new(StackSamplingConfig {
             gap_ns: 0,
+            lazy_extraction: lazy,
+        });
+        let label = if lazy { "lazy" } else { "immediate" };
+        bench(filter, &format!("stack/sample/{label}"), || {
+            // Churn one temporary frame per sample, like a running program.
+            stack.push_raw(MethodId(99), 8);
+            sampler.sample(&mut stack, &clock, &CostModel::free());
+            stack.pop();
+        });
+    }
+
+    {
+        // The related-work contrast: Whaley-style PCCT sampling (method ids only) vs
+        // sticky-set invariant mining (frame content extraction + probing).
+        use jessy_core::pcct::PcctSampler;
+        let costs = CostModel::free();
+        let board = ClockBoard::new(1);
+        let clock = board.handle(ThreadId(0));
+        let mut stack = JavaStack::new();
+        for d in 0..16 {
+            stack.push_raw(MethodId(d), 8);
+        }
+        let mut sampler = PcctSampler::new(0);
+        bench(filter, "stack/pcct_sample", || {
+            sampler.sample(&stack, &clock, &costs);
+            black_box(sampler.pcct().samples());
+        });
+
+        let mut stack = JavaStack::new();
+        for d in 0..16 {
+            stack.push_raw(MethodId(d), 8);
+            stack.set_local(0, Slot::Ref(ObjectId(d)));
+        }
+        let mut sampler = StackSampler::new(StackSamplingConfig {
+            gap_ns: 0,
             lazy_extraction: true,
         });
-        b.iter(|| {
+        bench(filter, "stack/invariant_sample", || {
             stack.push_raw(MethodId(99), 8);
             sampler.sample(&mut stack, &clock, &costs);
             stack.pop();
-            black_box(sampler.live_samples())
-        })
-    });
-    group.finish();
-}
+            black_box(sampler.live_samples());
+        });
+    }
 
-fn bench_access_path(c: &mut Criterion) {
-    let gos = Gos::new(GosConfig {
-        n_nodes: 2,
-        n_threads: 1,
-        latency: LatencyModel::free(),
-        costs: CostModel::free(),
-        prefetch_depth: 0,
-        consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-    });
-    let board = ClockBoard::new(1);
-    let clock = board.handle(ThreadId(0));
-    let class = gos.classes().register_scalar("X", 8);
-    let obj = gos.alloc_scalar(NodeId(0), class, &clock, None);
-    gos.read(NodeId(0), obj.id, &clock, |_| {});
-    c.bench_function("gos/access_check_hit", |b| {
-        b.iter(|| {
+    {
+        let twin: Vec<f64> = (0..2048).map(|i| i as f64).collect();
+        let mut current = twin.clone();
+        for i in (0..2048).step_by(37) {
+            current[i] += 1.0;
+        }
+        bench(filter, "gos/diff_2048_words_sparse", || {
+            black_box(Diff::compute(black_box(&twin), black_box(&current)));
+        });
+        let diff = Diff::compute(&twin, &current);
+        let mut target = twin.clone();
+        bench(filter, "gos/diff_apply", || {
+            diff.apply(&mut target);
+            black_box(target[0]);
+        });
+    }
+
+    {
+        let gos = Gos::new(GosConfig {
+            n_nodes: 2,
+            n_threads: 1,
+            latency: LatencyModel::free(),
+            costs: CostModel::free(),
+            prefetch_depth: 0,
+            consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
+        });
+        let board = ClockBoard::new(1);
+        let clock = board.handle(ThreadId(0));
+        let class = gos.classes().register_scalar("X", 8);
+        let obj = gos.alloc_scalar(NodeId(0), class, &clock, None);
+        gos.read(NodeId(0), obj.id, &clock, |_| {});
+        bench(filter, "gos/access_check_hit", || {
             let (v, _) = gos.read(NodeId(0), obj.id, &clock, |d| d[0]);
-            black_box(v)
-        })
-    });
+            black_box(v);
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_sampling_decision,
-    bench_nearest_prime,
-    bench_tcm_build,
-    bench_stack_sampling,
-    bench_pcct_vs_invariants,
-    bench_twin_diff,
-    bench_access_path
-);
-criterion_main!(benches);

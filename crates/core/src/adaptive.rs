@@ -36,10 +36,27 @@ pub struct RateChange {
     pub relative_distance: f64,
 }
 
+/// What the controller did with one round, given its OAL coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundOutcome {
+    /// The round was trusted; these classes step finer (possibly none).
+    Applied(Vec<RateChange>),
+    /// The round's coverage fell below the configured floor: the baselines were left
+    /// untouched and no rates changed. A lossy round compared against a clean
+    /// baseline would look artificially different and trigger spurious refinement.
+    SkippedLowCoverage {
+        /// Fraction of expected (thread, interval) OALs that actually arrived.
+        coverage: f64,
+        /// The floor the round failed to meet.
+        min_coverage: f64,
+    },
+}
+
 /// Stepwise per-class rate refinement driven by relative accuracy.
 #[derive(Debug)]
 pub struct AdaptiveController {
     threshold: f64,
+    min_coverage: f64,
     prev_round: HashMap<ClassId, Tcm>,
     converged: HashSet<ClassId>,
 }
@@ -51,9 +68,23 @@ impl AdaptiveController {
         assert!(threshold > 0.0, "threshold must be positive");
         AdaptiveController {
             threshold,
+            min_coverage: 0.0,
             prev_round: HashMap::new(),
             converged: HashSet::new(),
         }
+    }
+
+    /// Require at least this OAL coverage before a round may steer rates (see
+    /// [`AdaptiveController::on_round_with_coverage`]). Probabilities outside
+    /// `[0, 1]` are clamped.
+    pub fn with_min_coverage(mut self, min_coverage: f64) -> Self {
+        self.min_coverage = min_coverage.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The coverage floor in force.
+    pub fn min_coverage(&self) -> f64 {
+        self.min_coverage
     }
 
     /// Feed one round's per-class maps; returns the classes to step finer.
@@ -91,6 +122,26 @@ impl AdaptiveController {
             self.prev_round.insert(*class, cur.clone());
         }
         changes
+    }
+
+    /// Gate [`AdaptiveController::on_round`] on the round's OAL coverage: a round
+    /// below the floor is skipped wholesale — baselines are not updated, no class
+    /// converges or steps — so the controller only ever reasons about rounds it can
+    /// trust. Under heavy loss the profiler thus degrades to a fixed-rate profiler
+    /// instead of thrashing rates on phantom workload shifts.
+    pub fn on_round_with_coverage(
+        &mut self,
+        round_per_class: &HashMap<ClassId, Tcm>,
+        gaps: &GapTable,
+        coverage: f64,
+    ) -> RoundOutcome {
+        if coverage < self.min_coverage {
+            return RoundOutcome::SkippedLowCoverage {
+                coverage,
+                min_coverage: self.min_coverage,
+            };
+        }
+        RoundOutcome::Applied(self.on_round(round_per_class, gaps))
     }
 
     /// Has this class converged?
@@ -183,6 +234,46 @@ mod tests {
     }
 
     #[test]
+    fn low_coverage_rounds_neither_steer_nor_baseline() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1));
+        let mut ctl = AdaptiveController::new(0.05).with_min_coverage(0.9);
+        // Clean baseline round.
+        assert_eq!(
+            ctl.on_round_with_coverage(&round(class, 100.0), &gaps, 1.0),
+            RoundOutcome::Applied(vec![])
+        );
+        // Lossy round: skipped, baseline untouched.
+        match ctl.on_round_with_coverage(&round(class, 500.0), &gaps, 0.5) {
+            RoundOutcome::SkippedLowCoverage { coverage, min_coverage } => {
+                assert_eq!(coverage, 0.5);
+                assert_eq!(min_coverage, 0.9);
+            }
+            other => panic!("expected skip, got {other:?}"),
+        }
+        // The next trusted round compares against the clean baseline (100, not 500):
+        // 1% off converges instead of stepping the rate on a phantom shift.
+        assert_eq!(
+            ctl.on_round_with_coverage(&round(class, 101.0), &gaps, 1.0),
+            RoundOutcome::Applied(vec![])
+        );
+        assert!(ctl.is_converged(class));
+    }
+
+    #[test]
+    fn zero_floor_gates_nothing() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1));
+        let mut ctl = AdaptiveController::new(0.05);
+        assert_eq!(ctl.min_coverage(), 0.0);
+        // Even a zero-coverage round is applied when no floor is configured.
+        assert!(matches!(
+            ctl.on_round_with_coverage(&round(class, 100.0), &gaps, 0.0),
+            RoundOutcome::Applied(_)
+        ));
+    }
+
+    #[test]
     fn apply_rate_change_retags_objects() {
         use jessy_gos::{CostModel, GosConfig};
         use jessy_net::{ClockBoard, LatencyModel, NodeId};
@@ -194,6 +285,7 @@ mod tests {
             costs: CostModel::pentium4_2ghz(),
             prefetch_depth: 0,
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         let class = gos.classes().register_scalar("Body", 8); // 64 B

@@ -87,6 +87,16 @@ pub struct ProfilerConfig {
     pub footprint: Option<FootprintConfig>,
     /// Landmark tolerance `t` (> 1) of sticky-set resolution (Section III.A.3).
     pub tolerance_t: f64,
+    /// Deadline-based TCM round close for lossy networks: round `r` closes as soon as
+    /// the fastest thread's interval watermark reaches `(r+1)·intervals_per_round`
+    /// plus this many grace intervals, even if slower (or dead) threads never report.
+    /// `None` keeps the fault-free wait-for-all-watermarks behavior.
+    pub round_deadline_intervals: Option<u64>,
+    /// Minimum fraction of expected (thread, interval) OALs a round must have
+    /// received for the adaptive controller to act on it; rounds below the threshold
+    /// still fold into the TCM but skip rate adaptation (a lossy round would look
+    /// artificially different from its predecessor and trigger spurious refinement).
+    pub min_round_coverage: f64,
 }
 
 impl ProfilerConfig {
@@ -105,6 +115,8 @@ impl ProfilerConfig {
             stack: None,
             footprint: None,
             tolerance_t: 2.0,
+            round_deadline_intervals: None,
+            min_round_coverage: 0.0,
         }
     }
 

@@ -366,6 +366,7 @@ mod tests {
             costs: CostModel::free(),
             prefetch_depth: 0,
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         (g, ClockBoard::new(1).handle(ThreadId(0)))
     }

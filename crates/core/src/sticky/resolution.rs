@@ -140,6 +140,7 @@ mod tests {
             costs: CostModel::pentium4_2ghz(),
             prefetch_depth: 0,
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         let class = gos.classes().register_scalar("Node", 1);

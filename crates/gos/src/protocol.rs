@@ -30,7 +30,10 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use jessy_net::{ClockHandle, Fabric, LatencyModel, MsgClass, NetworkStats, NodeId, ThreadId};
+use jessy_net::{
+    ClockHandle, Fabric, FaultPlan, LatencyModel, MsgClass, NetError, NetworkStats, NodeId,
+    ThreadId,
+};
 
 use crate::class::{ClassId, ClassRegistry};
 use crate::costs::CostModel;
@@ -58,7 +61,7 @@ pub enum ConsistencyModel {
 }
 
 /// Configuration of a [`Gos`] instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GosConfig {
     /// Number of cluster nodes.
     pub n_nodes: usize,
@@ -75,6 +78,9 @@ pub struct GosConfig {
     pub prefetch_depth: u32,
     /// Notice-scoping discipline (LRC-style global history vs scope consistency).
     pub consistency: ConsistencyModel,
+    /// Chaos schedule for the interconnect; `None` (and a plan with all
+    /// probabilities zero) runs the fabric fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for GosConfig {
@@ -86,6 +92,7 @@ impl Default for GosConfig {
             costs: CostModel::pentium4_2ghz(),
             prefetch_depth: 0,
             consistency: ConsistencyModel::GlobalHlrc,
+            faults: None,
         }
     }
 }
@@ -200,12 +207,24 @@ pub struct Gos {
 
 impl Gos {
     /// Build a GOS for `config.n_nodes` nodes and `config.n_threads` threads.
+    ///
+    /// Panics on an invalid topology or fault plan; use [`Gos::try_new`] to handle
+    /// those as typed errors.
     pub fn new(config: GosConfig) -> Self {
-        assert!(config.n_nodes > 0 && config.n_threads > 0);
-        Gos {
-            config,
+        Self::try_new(config).expect("invalid GOS configuration")
+    }
+
+    /// Build a GOS, surfacing an empty cluster or an invalid fault plan as a
+    /// [`NetError`] instead of a panic.
+    pub fn try_new(config: GosConfig) -> Result<Self, NetError> {
+        assert!(config.n_threads > 0, "GOS needs at least one thread");
+        let fabric = match &config.faults {
+            Some(plan) => Fabric::with_faults(config.n_nodes, config.latency, plan.clone())?,
+            None => Fabric::new(config.n_nodes, config.latency)?,
+        };
+        Ok(Gos {
             classes: ClassRegistry::new(),
-            fabric: Fabric::new(config.n_nodes, config.latency),
+            fabric,
             objects: RwLock::new(Vec::new()),
             by_class: RwLock::new(Vec::new()),
             spaces: (0..config.n_threads)
@@ -219,7 +238,8 @@ impl Gos {
             locks: LockTable::new(),
             barrier: SimBarrier::new(),
             counters: Counters::default(),
-        }
+            config,
+        })
     }
 
     /// The configuration in force.

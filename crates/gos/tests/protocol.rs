@@ -16,6 +16,7 @@ fn gos(n: usize) -> (Gos, Vec<ClockHandle>) {
         costs: CostModel::free(),
             prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
     });
     let board = ClockBoard::new(n);
     let clocks = (0..n).map(|i| board.handle(ThreadId(i as u32))).collect();
@@ -64,6 +65,7 @@ fn caches_are_per_thread_even_on_one_node() {
         costs: CostModel::free(),
             prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
     });
     let board = ClockBoard::new(2);
     let c0 = board.handle(ThreadId(0));
@@ -229,6 +231,7 @@ fn barrier_synchronizes_clocks_and_data() {
         costs: CostModel::free(),
             prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
     }));
     let board = ClockBoard::new(4);
     let class = g.classes().register_array("double[]", 1);
@@ -381,6 +384,7 @@ fn simulated_costs_accumulate_on_the_clock() {
         costs: CostModel::pentium4_2ghz(),
             prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
     });
     let board = ClockBoard::new(2);
     let c0 = board.handle(ThreadId(0));
@@ -464,6 +468,7 @@ fn connectivity_prefetch_rides_on_faults() {
         costs: CostModel::free(),
         prefetch_depth: 2,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
     });
     let board = ClockBoard::new(2);
     let c0 = board.handle(ThreadId(0));
@@ -498,6 +503,7 @@ fn connectivity_prefetch_skips_cross_home_neighbours() {
         costs: CostModel::free(),
         prefetch_depth: 3,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
     });
     let board = ClockBoard::new(3);
     let c0 = board.handle(ThreadId(0));

@@ -12,6 +12,7 @@ fn gos(n: usize, consistency: ConsistencyModel) -> (Gos, Vec<ClockHandle>) {
         costs: CostModel::free(),
         prefetch_depth: 0,
         consistency,
+        faults: None,
     });
     let board = ClockBoard::new(n);
     let clocks = (0..n).map(|i| board.handle(ThreadId(i as u32))).collect();

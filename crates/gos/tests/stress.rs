@@ -14,6 +14,7 @@ fn cluster(n_nodes: usize, n_threads: usize) -> (Arc<Gos>, Arc<ClockBoard>) {
         costs: CostModel::free(),
             prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
     });
     (Arc::new(g), ClockBoard::new(n_threads))
 }

@@ -12,11 +12,22 @@
 //!
 //! Local (same-node) "messages" are free and unaccounted, like intra-JVM accesses in
 //! the real system.
+//!
+//! A fabric built with [`Fabric::with_faults`] additionally consults a
+//! [`FaultInjector`] on every send: one-way messages may be dropped (still accounted —
+//! the wire carried them — but the receiver never sees them), duplicated (accounted
+//! and charged twice) or hit with a latency spike; synchronous round trips never lose
+//! their reply — a drop there manifests as a timeout-plus-retransmission penalty, so
+//! the lock-step protocol stays live under any drop rate.
+
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::clock::{ClockHandle, SimNanos};
+use crate::error::NetError;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::ids::NodeId;
 use crate::latency::LatencyModel;
 use crate::message::MsgClass;
@@ -43,20 +54,36 @@ pub struct Fabric {
     n_nodes: usize,
     latency: LatencyModel,
     ledger: Mutex<FabricLedger>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Fabric {
     /// Create a fabric joining `n_nodes` nodes under the given latency model.
-    pub fn new(n_nodes: usize, latency: LatencyModel) -> Self {
-        assert!(n_nodes > 0, "fabric needs at least one node");
-        Fabric {
+    pub fn new(n_nodes: usize, latency: LatencyModel) -> Result<Self, NetError> {
+        if n_nodes == 0 {
+            return Err(NetError::EmptyFabric);
+        }
+        Ok(Fabric {
             n_nodes,
             latency,
             ledger: Mutex::new(FabricLedger {
                 global: NetworkStats::new(),
                 links: vec![LinkStats::default(); n_nodes * n_nodes],
             }),
-        }
+            injector: None,
+        })
+    }
+
+    /// Create a fabric that injects faults according to `plan`. A plan with all
+    /// probabilities zero behaves bit-identically to [`Fabric::new`].
+    pub fn with_faults(
+        n_nodes: usize,
+        latency: LatencyModel,
+        plan: FaultPlan,
+    ) -> Result<Self, NetError> {
+        let mut fabric = Fabric::new(n_nodes, latency)?;
+        fabric.injector = Some(Arc::new(FaultInjector::new(plan)?));
+        Ok(fabric)
     }
 
     /// Number of nodes joined by this fabric.
@@ -67,6 +94,12 @@ impl Fabric {
     /// The latency model in force.
     pub fn latency_model(&self) -> LatencyModel {
         self.latency
+    }
+
+    /// The fault injector, if this fabric was built with one. Share it with
+    /// [`crate::Mailbox::sender_with_faults`] so mailbox traffic obeys the same plan.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 
     fn account(&self, from: NodeId, to: NodeId, class: MsgClass, total_bytes: u64) {
@@ -81,6 +114,9 @@ impl Fabric {
     /// Send a one-way message of `payload_bytes` from `from` to `to`.
     ///
     /// Returns the simulated one-way cost charged to `clock` (zero if `from == to`).
+    /// Under a fault plan, a dropped message is still accounted and charged (the wire
+    /// carried it; only the receiver misses it), a duplicate is accounted and charged
+    /// twice, and a delay spike adds to the charge.
     pub fn send(
         &self,
         from: NodeId,
@@ -96,7 +132,15 @@ impl Fabric {
         self.assert_node(to);
         let total = payload_bytes + class.header_bytes();
         self.account(from, to, class, total as u64);
-        let cost = self.latency.one_way_ns(total);
+        let mut cost = self.latency.one_way_ns(total);
+        if let Some(inj) = &self.injector {
+            let d = inj.decide(from, to, class);
+            if d.duplicated {
+                self.account(from, to, class, total as u64);
+                cost += self.latency.one_way_ns(total);
+            }
+            cost += d.extra_delay_ns;
+        }
         clock.spend(cost);
         cost
     }
@@ -105,6 +149,10 @@ impl Fabric {
     /// `req_bytes` from `from` to `to`, answered by a `resp_class` message of
     /// `resp_bytes`. Both legs are accounted; the full round trip is charged to the
     /// requester's clock. Returns the total simulated cost (zero if `from == to`).
+    ///
+    /// Under a fault plan a dropped request does not stall the protocol: the requester
+    /// pays a timeout (the plan's delay spike) plus a second request transmission and
+    /// the trip completes — counted in [`crate::fault::FaultStats::retransmits`].
     #[allow(clippy::too_many_arguments)]
     pub fn charge_round_trip(
         &self,
@@ -125,14 +173,27 @@ impl Fabric {
         let resp_total = resp_bytes + resp_class.header_bytes();
         self.account(from, to, req_class, req_total as u64);
         self.account(to, from, resp_class, resp_total as u64);
-        let cost = self.latency.round_trip_ns(req_total, resp_total);
+        let mut cost = self.latency.round_trip_ns(req_total, resp_total);
+        if let Some(inj) = &self.injector {
+            let d = inj.decide_sync(from, to, req_class);
+            if d.dropped {
+                // Timeout, then retransmit the request leg.
+                self.account(from, to, req_class, req_total as u64);
+                cost += inj.plan().delay_spike_ns + self.latency.one_way_ns(req_total);
+            } else if d.duplicated {
+                // Spurious duplicate request; the home dedupes, the wire still paid.
+                self.account(from, to, req_class, req_total as u64);
+            }
+            cost += d.extra_delay_ns;
+        }
         clock.spend(cost);
         cost
     }
 
     /// Account a message without charging any clock — used for asynchronous traffic
     /// whose latency is hidden (e.g. OAL batches piggybacked on lock/barrier messages,
-    /// Section II.A of the paper).
+    /// Section II.A of the paper). Fault decisions for such traffic are made at the
+    /// delivery point (the mailbox), not here, so a message is never judged twice.
     pub fn account_async(&self, from: NodeId, to: NodeId, class: MsgClass, payload_bytes: usize) {
         if from == to {
             return;
@@ -143,9 +204,13 @@ impl Fabric {
         self.account(from, to, class, total as u64);
     }
 
-    /// Snapshot of the global per-class ledger.
+    /// Snapshot of the global per-class ledger, including injected-fault counters.
     pub fn stats(&self) -> NetworkStats {
-        self.ledger.lock().global.clone()
+        let mut s = self.ledger.lock().global.clone();
+        if let Some(inj) = &self.injector {
+            s.faults = inj.stats();
+        }
+        s
     }
 
     /// Traffic counters of the directed link `from -> to`.
@@ -160,6 +225,9 @@ impl Fabric {
         let mut ledger = self.ledger.lock();
         ledger.global = NetworkStats::new();
         ledger.links.fill(LinkStats::default());
+        if let Some(inj) = &self.injector {
+            inj.reset();
+        }
     }
 
     fn assert_node(&self, n: NodeId) {
@@ -186,7 +254,8 @@ mod tests {
         let f = Fabric::new(2, LatencyModel {
             base_ns: 100,
             ns_per_byte: 1.0,
-        });
+        })
+        .unwrap();
         let c = clock();
         let cost = f.send(NodeId(0), NodeId(1), MsgClass::ObjFetch, 22, &c);
         let total = 22 + MsgClass::ObjFetch.header_bytes();
@@ -201,7 +270,7 @@ mod tests {
 
     #[test]
     fn local_send_is_free() {
-        let f = Fabric::new(2, LatencyModel::fast_ethernet());
+        let f = Fabric::new(2, LatencyModel::fast_ethernet()).unwrap();
         let c = clock();
         assert_eq!(f.send(NodeId(1), NodeId(1), MsgClass::ObjData, 4096, &c), 0);
         assert_eq!(c.now(), 0);
@@ -210,7 +279,7 @@ mod tests {
 
     #[test]
     fn round_trip_accounts_both_legs() {
-        let f = Fabric::new(3, LatencyModel::free());
+        let f = Fabric::new(3, LatencyModel::free()).unwrap();
         let c = clock();
         f.charge_round_trip(
             NodeId(0),
@@ -230,14 +299,14 @@ mod tests {
 
     #[test]
     fn async_accounting_does_not_touch_clock() {
-        let f = Fabric::new(2, LatencyModel::fast_ethernet());
+        let f = Fabric::new(2, LatencyModel::fast_ethernet()).unwrap();
         f.account_async(NodeId(1), NodeId(0), MsgClass::OalBatch, 5_000);
         assert_eq!(f.stats().oal_bytes(), 5_000 + MsgClass::OalBatch.header_bytes() as u64);
     }
 
     #[test]
     fn reset_clears_everything() {
-        let f = Fabric::new(2, LatencyModel::free());
+        let f = Fabric::new(2, LatencyModel::free()).unwrap();
         let c = clock();
         f.send(NodeId(0), NodeId(1), MsgClass::DiffUpdate, 10, &c);
         f.reset();
@@ -246,10 +315,100 @@ mod tests {
     }
 
     #[test]
+    fn zero_nodes_is_a_typed_error() {
+        assert_eq!(
+            Fabric::new(0, LatencyModel::free()).err(),
+            Some(NetError::EmptyFabric)
+        );
+        assert!(Fabric::with_faults(0, LatencyModel::free(), FaultPlan::default()).is_err());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn unknown_node_panics() {
-        let f = Fabric::new(2, LatencyModel::free());
+        let f = Fabric::new(2, LatencyModel::free()).unwrap();
         let c = clock();
         f.send(NodeId(0), NodeId(7), MsgClass::ObjFetch, 0, &c);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical() {
+        let lat = LatencyModel::fast_ethernet();
+        let plain = Fabric::new(2, lat).unwrap();
+        let faulty = Fabric::with_faults(2, lat, FaultPlan::default()).unwrap();
+        let (c1, c2) = (clock(), clock());
+        for (f, c) in [(&plain, &c1), (&faulty, &c2)] {
+            f.send(NodeId(0), NodeId(1), MsgClass::DiffUpdate, 321, c);
+            f.charge_round_trip(NodeId(1), NodeId(0), MsgClass::ObjFetch, 16, MsgClass::ObjData, 4096, c);
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+        assert_eq!(c1.now(), c2.now());
+        assert!(faulty.stats().faults.is_zero());
+    }
+
+    #[test]
+    fn dropped_round_trip_pays_a_retransmission() {
+        let lat = LatencyModel {
+            base_ns: 100,
+            ns_per_byte: 0.0,
+        };
+        let plan = FaultPlan {
+            drop_prob: 1.0,
+            delay_spike_ns: 10_000,
+            ..FaultPlan::default()
+        };
+        let f = Fabric::with_faults(2, lat, plan).unwrap();
+        let c = clock();
+        let cost = f.charge_round_trip(
+            NodeId(0),
+            NodeId(1),
+            MsgClass::LockAcquire,
+            8,
+            MsgClass::LockGrant,
+            8,
+            &c,
+        );
+        // Round trip (200) + timeout (10_000) + retransmitted request (100).
+        assert_eq!(cost, 200 + 10_000 + 100);
+        let s = f.stats();
+        assert_eq!(s.class(MsgClass::LockAcquire).messages, 2, "request sent twice");
+        assert_eq!(s.class(MsgClass::LockGrant).messages, 1);
+        assert_eq!(s.faults.retransmits, 1);
+    }
+
+    #[test]
+    fn duplicated_one_way_send_is_accounted_twice() {
+        let lat = LatencyModel {
+            base_ns: 50,
+            ns_per_byte: 0.0,
+        };
+        let plan = FaultPlan {
+            duplicate_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let f = Fabric::with_faults(2, lat, plan).unwrap();
+        let c = clock();
+        let cost = f.send(NodeId(0), NodeId(1), MsgClass::WriteNotice, 0, &c);
+        assert_eq!(cost, 100, "both transmissions charged");
+        assert_eq!(f.stats().class(MsgClass::WriteNotice).messages, 2);
+        assert_eq!(f.stats().faults.duplicated, 1);
+    }
+
+    #[test]
+    fn reset_clears_fault_counters_too() {
+        let f = Fabric::with_faults(
+            2,
+            LatencyModel::free(),
+            FaultPlan {
+                drop_prob: 1.0,
+                ..FaultPlan::default()
+            },
+        )
+        .unwrap();
+        let c = clock();
+        f.send(NodeId(0), NodeId(1), MsgClass::DiffUpdate, 10, &c);
+        assert_eq!(f.stats().faults.dropped, 1);
+        f.reset();
+        assert!(f.stats().faults.is_zero());
     }
 }

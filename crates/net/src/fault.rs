@@ -1,0 +1,591 @@
+//! Deterministic fault injection for the simulated interconnect.
+//!
+//! The paper's profiling pipeline assumes a polite network: every OAL batch reaches the
+//! master's correlation daemon, exactly once, in order. Real clusters drop, duplicate
+//! and delay messages, and whole nodes go quiet. A [`FaultPlan`] describes such a chaos
+//! schedule; a [`FaultInjector`] turns it into per-message [`FaultDecision`]s that the
+//! [`crate::Fabric`] and [`crate::Mailbox`] consult on every send.
+//!
+//! Decisions are **derived, not drawn**: each one is a pure hash of
+//! `(seed, from, to, class, key)`, where `key` is either a content key supplied by the
+//! caller (e.g. `(thread, interval)` for an OAL batch — see [`oal_fault_key`]) or a
+//! per-link-per-class sequence number. Content-keyed decisions are bit-stable across
+//! runs regardless of thread scheduling; sequence-keyed decisions are stable for any
+//! fixed per-link message order. A plan with all probabilities zero injects nothing and
+//! leaves every byte and nanosecond of the fault-free run untouched.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::ids::{NodeId, ThreadId};
+use crate::message::{MsgClass, NUM_MSG_CLASSES};
+
+/// A window of outbound messages during which a node is unresponsive (e.g. a GC pause
+/// or a transient network partition). Every message the node sends while its outbound
+/// message counter is in `[start_msg, end_msg)` is suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StallWindow {
+    /// The stalled node.
+    pub node: NodeId,
+    /// First outbound message index (inclusive) covered by the stall.
+    pub start_msg: u64,
+    /// First outbound message index past the stall (exclusive).
+    pub end_msg: u64,
+}
+
+/// A declarative, seedable schedule of network faults.
+///
+/// All probabilities are per message in `[0, 1]`. The effective drop probability of a
+/// message is the **maximum** of the base rate, its class override and its link
+/// override — overrides strengthen, never weaken, the base plan.
+///
+/// ```
+/// use jessy_net::FaultPlan;
+/// let plan = FaultPlan { oal_drop: 0.10, ..FaultPlan::default() };
+/// assert!(!plan.is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed feeding every per-message decision hash.
+    pub seed: u64,
+    /// Base drop probability applied to every message class.
+    pub drop_prob: f64,
+    /// Drop probability for [`MsgClass::OalBatch`] traffic (profiling batches). Takes
+    /// the maximum with `drop_prob`.
+    pub oal_drop: f64,
+    /// Per-class drop overrides; each takes the maximum with `drop_prob`.
+    pub class_drop: Vec<(MsgClass, f64)>,
+    /// Per-directed-link drop overrides `(from, to, prob)`; each takes the maximum
+    /// with the class-level probability.
+    pub link_drop: Vec<(NodeId, NodeId, f64)>,
+    /// Probability that a delivered message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability that a message suffers a latency spike of `delay_spike_ns`.
+    pub delay_prob: f64,
+    /// Extra simulated nanoseconds charged when a delay spike fires.
+    pub delay_spike_ns: u64,
+    /// Outbound-silence windows per node.
+    pub stalls: Vec<StallWindow>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x5EED_CAFE,
+            drop_prob: 0.0,
+            oal_drop: 0.0,
+            class_drop: Vec::new(),
+            link_drop: Vec::new(),
+            duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            delay_spike_ns: 1_000_000, // 1 ms, ~a Fast Ethernet TCP retransmission stall
+            stalls: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True if this plan injects nothing: the injector takes a zero-cost path and the
+    /// run is bit-identical to one without any plan at all.
+    pub fn is_zero(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.oal_drop == 0.0
+            && self.class_drop.iter().all(|(_, p)| *p == 0.0)
+            && self.link_drop.iter().all(|(_, _, p)| *p == 0.0)
+            && self.duplicate_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.stalls.is_empty()
+    }
+
+    /// Check that every probability is a finite number in `[0, 1]` and every stall
+    /// window is non-empty.
+    pub fn validate(&self) -> Result<(), NetError> {
+        let check = |name: &str, p: f64| -> Result<(), NetError> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(NetError::InvalidFaultPlan(format!(
+                    "{name} = {p} is not a probability in [0, 1]"
+                )));
+            }
+            Ok(())
+        };
+        check("drop_prob", self.drop_prob)?;
+        check("oal_drop", self.oal_drop)?;
+        check("duplicate_prob", self.duplicate_prob)?;
+        check("delay_prob", self.delay_prob)?;
+        for (class, p) in &self.class_drop {
+            check(&format!("class_drop[{}]", class.label()), *p)?;
+        }
+        for (from, to, p) in &self.link_drop {
+            check(&format!("link_drop[{from}->{to}]"), *p)?;
+        }
+        for w in &self.stalls {
+            if w.end_msg <= w.start_msg {
+                return Err(NetError::InvalidFaultPlan(format!(
+                    "stall window on {} is empty ({}..{})",
+                    w.node, w.start_msg, w.end_msg
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome the injector decreed for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// The message is lost (never delivered / the round trip times out once).
+    pub dropped: bool,
+    /// The message is delivered twice.
+    pub duplicated: bool,
+    /// Extra latency charged on top of the model cost.
+    pub extra_delay_ns: u64,
+}
+
+impl FaultDecision {
+    /// A decision injecting nothing.
+    pub const CLEAN: FaultDecision = FaultDecision {
+        dropped: false,
+        duplicated: false,
+        extra_delay_ns: 0,
+    };
+
+    /// True if the message passes through untouched.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::CLEAN
+    }
+}
+
+/// Counters of injected faults, snapshotted into [`crate::NetworkStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// One-way messages injected as lost.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Delay spikes injected.
+    pub delayed: u64,
+    /// Messages suppressed by a node stall window.
+    pub stalled: u64,
+    /// Synchronous round trips that hit a drop and paid a retransmission.
+    pub retransmits: u64,
+}
+
+impl FaultStats {
+    /// True if nothing was injected.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Total injected events of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.stalled + self.retransmits
+    }
+
+    /// Element-wise difference `self - earlier` (saturating; counters are monotonic).
+    pub fn since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            duplicated: self.duplicated.saturating_sub(earlier.duplicated),
+            delayed: self.delayed.saturating_sub(earlier.delayed),
+            stalled: self.stalled.saturating_sub(earlier.stalled),
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.stalled += other.stalled;
+        self.retransmits += other.retransmits;
+    }
+}
+
+/// Deterministic fault oracle shared by the fabric and the lossy mailbox senders.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Effective per-class drop probability (base maxed with overrides).
+    class_drop: [f64; NUM_MSG_CLASSES],
+    /// Per-directed-link drop floor, keyed by `(from, to)`.
+    link_drop: HashMap<(u16, u16), f64>,
+    /// Per-(from, to, class) sequence numbers for sequence-keyed decisions.
+    link_seq: Mutex<HashMap<(u16, u16, u8), u64>>,
+    /// Per-node outbound message counters driving stall windows.
+    node_seq: Mutex<HashMap<u16, u64>>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    stalled: AtomicU64,
+    retransmits: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Build an injector from a validated plan.
+    pub fn new(plan: FaultPlan) -> Result<Self, NetError> {
+        plan.validate()?;
+        let mut class_drop = [plan.drop_prob; NUM_MSG_CLASSES];
+        let oal = class_drop[MsgClass::OalBatch.index()].max(plan.oal_drop);
+        class_drop[MsgClass::OalBatch.index()] = oal;
+        for (class, p) in &plan.class_drop {
+            let slot = &mut class_drop[class.index()];
+            *slot = slot.max(*p);
+        }
+        let mut link_drop = HashMap::new();
+        for (from, to, p) in &plan.link_drop {
+            let slot = link_drop.entry((from.0, to.0)).or_insert(0.0f64);
+            *slot = slot.max(*p);
+        }
+        Ok(FaultInjector {
+            plan,
+            class_drop,
+            link_drop,
+            link_seq: Mutex::new(HashMap::new()),
+            node_seq: Mutex::new(HashMap::new()),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            stalled: AtomicU64::new(0),
+            retransmits: AtomicU64::new(0),
+        })
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True if the plan injects nothing (fast path: skip all bookkeeping).
+    pub fn is_zero(&self) -> bool {
+        self.plan.is_zero()
+    }
+
+    /// Decide the fate of a one-way message, keyed by this link+class's sequence
+    /// number. Deterministic for any fixed per-link send order.
+    pub fn decide(&self, from: NodeId, to: NodeId, class: MsgClass) -> FaultDecision {
+        if self.is_zero() {
+            return FaultDecision::CLEAN;
+        }
+        let seq = {
+            let mut m = self.link_seq.lock();
+            let c = m.entry((from.0, to.0, class as u8)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        self.decide_inner(from, to, class, seq, false)
+    }
+
+    /// Decide the fate of a one-way message identified by a caller-supplied content
+    /// key (see [`oal_fault_key`]). Bit-stable across runs regardless of scheduling.
+    pub fn decide_keyed(&self, from: NodeId, to: NodeId, class: MsgClass, key: u64) -> FaultDecision {
+        if self.is_zero() {
+            return FaultDecision::CLEAN;
+        }
+        self.decide_inner(from, to, class, key, false)
+    }
+
+    /// Decide the fate of a synchronous round trip. A drop here means the requester
+    /// times out once and retransmits (counted as a retransmit, not a loss — the
+    /// protocol stays lock-step, it just pays for the retry).
+    pub fn decide_sync(&self, from: NodeId, to: NodeId, class: MsgClass) -> FaultDecision {
+        if self.is_zero() {
+            return FaultDecision::CLEAN;
+        }
+        let seq = {
+            let mut m = self.link_seq.lock();
+            let c = m.entry((from.0, to.0, class as u8)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        self.decide_inner(from, to, class, seq, true)
+    }
+
+    fn decide_inner(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: MsgClass,
+        key: u64,
+        sync: bool,
+    ) -> FaultDecision {
+        // Stall windows fire on the sending node's outbound message counter and
+        // trump every probabilistic decision.
+        if !self.plan.stalls.is_empty() {
+            let n = {
+                let mut m = self.node_seq.lock();
+                let c = m.entry(from.0).or_insert(0);
+                let s = *c;
+                *c += 1;
+                s
+            };
+            let stalled = self
+                .plan
+                .stalls
+                .iter()
+                .any(|w| w.node == from && (w.start_msg..w.end_msg).contains(&n));
+            if stalled {
+                self.stalled.fetch_add(1, Ordering::Relaxed);
+                return FaultDecision {
+                    dropped: true,
+                    duplicated: false,
+                    extra_delay_ns: 0,
+                };
+            }
+        }
+
+        let mut p_drop = self.class_drop[class.index()];
+        if let Some(link) = self.link_drop.get(&(from.0, to.0)) {
+            p_drop = p_drop.max(*link);
+        }
+
+        let mut d = FaultDecision::CLEAN;
+        if p_drop > 0.0 && self.roll(from, to, class, key, SALT_DROP) < p_drop {
+            d.dropped = true;
+            if sync {
+                self.retransmits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if !d.dropped
+            && self.plan.duplicate_prob > 0.0
+            && self.roll(from, to, class, key, SALT_DUP) < self.plan.duplicate_prob
+        {
+            d.duplicated = true;
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.plan.delay_prob > 0.0
+            && self.roll(from, to, class, key, SALT_DELAY) < self.plan.delay_prob
+        {
+            d.extra_delay_ns = self.plan.delay_spike_ns;
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        d
+    }
+
+    /// Uniform draw in `[0, 1)` as a pure function of the decision coordinates.
+    fn roll(&self, from: NodeId, to: NodeId, class: MsgClass, key: u64, salt: u64) -> f64 {
+        let mut h = self.plan.seed ^ salt;
+        h = splitmix64(h ^ ((from.0 as u64) << 32 | to.0 as u64));
+        h = splitmix64(h ^ (class as u64));
+        h = splitmix64(h ^ key);
+        // 53 high bits -> f64 in [0, 1).
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Snapshot of everything injected so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            stalled: self.stalled.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset counters and sequence state (between benchmark repetitions).
+    pub fn reset(&self) {
+        self.link_seq.lock().clear();
+        self.node_seq.lock().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+        self.duplicated.store(0, Ordering::Relaxed);
+        self.delayed.store(0, Ordering::Relaxed);
+        self.stalled.store(0, Ordering::Relaxed);
+        self.retransmits.store(0, Ordering::Relaxed);
+    }
+}
+
+const SALT_DROP: u64 = 0x9E37_79B9_7F4A_7C15;
+const SALT_DUP: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const SALT_DELAY: u64 = 0x1656_67B1_9E37_79F9;
+
+/// Content key identifying an OAL batch: the `(thread, interval)` pair it closes.
+/// Using content instead of arrival order makes OAL fault decisions independent of
+/// thread scheduling, so a faulty run is reproducible end to end.
+pub fn oal_fault_key(thread: ThreadId, interval: u64) -> u64 {
+    splitmix64(((thread.0 as u64) << 32) ^ interval)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            oal_drop: 0.5,
+            duplicate_prob: 0.2,
+            delay_prob: 0.1,
+            delay_spike_ns: 500,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn zero_plan_is_clean_and_free() {
+        let inj = FaultInjector::new(FaultPlan::default()).unwrap();
+        assert!(inj.is_zero());
+        for i in 0..100 {
+            let d = inj.decide_keyed(NodeId(1), NodeId::MASTER, MsgClass::OalBatch, i);
+            assert!(d.is_clean());
+        }
+        assert!(inj.stats().is_zero());
+        // The zero fast path must not even advance sequence state.
+        assert!(inj.link_seq.lock().is_empty());
+    }
+
+    #[test]
+    fn keyed_decisions_are_reproducible_and_order_independent() {
+        let a = FaultInjector::new(lossy_plan()).unwrap();
+        let b = FaultInjector::new(lossy_plan()).unwrap();
+        let keys: Vec<u64> = (0..200).map(|i| oal_fault_key(ThreadId(i as u32 % 8), i / 8)).collect();
+        let fwd: Vec<_> = keys
+            .iter()
+            .map(|k| a.decide_keyed(NodeId(1), NodeId::MASTER, MsgClass::OalBatch, *k))
+            .collect();
+        let rev: Vec<_> = keys
+            .iter()
+            .rev()
+            .map(|k| b.decide_keyed(NodeId(1), NodeId::MASTER, MsgClass::OalBatch, *k))
+            .collect();
+        let mut rev = rev;
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        assert!(fwd.iter().any(|d| d.dropped), "p=0.5 over 200 draws");
+        assert!(fwd.iter().any(|d| !d.dropped));
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let inj = FaultInjector::new(FaultPlan {
+            oal_drop: 0.3,
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        let n = 10_000u64;
+        let dropped = (0..n)
+            .filter(|i| {
+                inj.decide_keyed(NodeId(2), NodeId::MASTER, MsgClass::OalBatch, *i)
+                    .dropped
+            })
+            .count() as f64;
+        let rate = dropped / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical drop rate {rate}");
+        assert_eq!(inj.stats().dropped, dropped as u64);
+    }
+
+    #[test]
+    fn class_and_link_overrides_take_the_max() {
+        let inj = FaultInjector::new(FaultPlan {
+            drop_prob: 0.1,
+            class_drop: vec![(MsgClass::DiffUpdate, 0.9)],
+            link_drop: vec![(NodeId(3), NodeId(0), 1.0)],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        // Link override at 1.0: everything on 3->0 drops, whatever the class.
+        for i in 0..20 {
+            assert!(inj.decide_keyed(NodeId(3), NodeId(0), MsgClass::ObjFetch, i).dropped);
+        }
+        // Class override at 0.9 dominates the 0.1 base on other links.
+        let dropped = (0..1000)
+            .filter(|i| inj.decide_keyed(NodeId(1), NodeId(2), MsgClass::DiffUpdate, *i).dropped)
+            .count();
+        assert!(dropped > 850, "expected ~900 drops, saw {dropped}");
+    }
+
+    #[test]
+    fn stall_window_suppresses_outbound_traffic() {
+        let inj = FaultInjector::new(FaultPlan {
+            stalls: vec![StallWindow {
+                node: NodeId(1),
+                start_msg: 2,
+                end_msg: 5,
+            }],
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        let fates: Vec<bool> = (0..8)
+            .map(|_| inj.decide(NodeId(1), NodeId(0), MsgClass::OalBatch).dropped)
+            .collect();
+        assert_eq!(fates, vec![false, false, true, true, true, false, false, false]);
+        assert_eq!(inj.stats().stalled, 3);
+        // Another node is unaffected.
+        assert!(!inj.decide(NodeId(2), NodeId(0), MsgClass::OalBatch).dropped);
+    }
+
+    #[test]
+    fn sync_drops_count_as_retransmits() {
+        let inj = FaultInjector::new(FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        let d = inj.decide_sync(NodeId(0), NodeId(1), MsgClass::ObjFetch);
+        assert!(d.dropped);
+        let s = inj.stats();
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn duplicates_and_delays_fire() {
+        let inj = FaultInjector::new(FaultPlan {
+            duplicate_prob: 1.0,
+            delay_prob: 1.0,
+            delay_spike_ns: 777,
+            ..FaultPlan::default()
+        })
+        .unwrap();
+        let d = inj.decide_keyed(NodeId(1), NodeId(0), MsgClass::OalBatch, 9);
+        assert!(d.duplicated);
+        assert_eq!(d.extra_delay_ns, 777);
+        assert!(!d.dropped);
+        let s = inj.stats();
+        assert_eq!((s.duplicated, s.delayed), (1, 1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities_and_empty_stalls() {
+        assert!(matches!(
+            FaultPlan { drop_prob: 1.5, ..FaultPlan::default() }.validate(),
+            Err(NetError::InvalidFaultPlan(_))
+        ));
+        assert!(matches!(
+            FaultPlan { oal_drop: -0.1, ..FaultPlan::default() }.validate(),
+            Err(NetError::InvalidFaultPlan(_))
+        ));
+        assert!(FaultInjector::new(FaultPlan {
+            stalls: vec![StallWindow { node: NodeId(0), start_msg: 5, end_msg: 5 }],
+            ..FaultPlan::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn fault_stats_since_and_merge() {
+        let a = FaultStats { dropped: 5, duplicated: 2, delayed: 1, stalled: 0, retransmits: 3 };
+        let b = FaultStats { dropped: 2, duplicated: 1, delayed: 0, stalled: 0, retransmits: 1 };
+        let d = a.since(&b);
+        assert_eq!(d, FaultStats { dropped: 3, duplicated: 1, delayed: 1, stalled: 0, retransmits: 2 });
+        let mut r = b;
+        r.merge(&d);
+        assert_eq!(r, a);
+        assert_eq!(a.total(), 11);
+    }
+}

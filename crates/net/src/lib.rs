@@ -15,7 +15,9 @@
 
 #![warn(missing_docs)]
 pub mod clock;
+pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod ids;
 pub mod latency;
 pub mod mailbox;
@@ -23,7 +25,9 @@ pub mod message;
 pub mod stats;
 
 pub use clock::{ClockBoard, ClockHandle, SimNanos};
+pub use error::NetError;
 pub use fabric::Fabric;
+pub use fault::{oal_fault_key, FaultDecision, FaultInjector, FaultPlan, FaultStats, StallWindow};
 pub use ids::{NodeId, ThreadId};
 pub use latency::LatencyModel;
 pub use mailbox::{Envelope, Mailbox};

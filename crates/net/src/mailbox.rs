@@ -5,10 +5,20 @@
 //! [`Mailbox<T>`] is an unbounded MPSC channel plus the identity of its owner; byte
 //! accounting is done by the sender against the [`crate::Fabric`] separately, because
 //! only the caller knows the serialized size of `T`.
+//!
+//! A sender obtained through [`Mailbox::sender_with_faults`] consults a shared
+//! [`FaultInjector`] on every post: a dropped message silently vanishes (the post still
+//! "succeeds" — the sender has no way to know), a duplicated one is enqueued twice.
+//! This is where OAL loss happens under a chaos plan; the fabric only accounts bytes.
+
+use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use crate::error::NetError;
+use crate::fault::{FaultDecision, FaultInjector};
 use crate::ids::NodeId;
+use crate::message::MsgClass;
 
 /// A message together with its origin.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +54,22 @@ impl<T> Mailbox<T> {
         MailboxSender {
             owner: self.owner,
             tx: self.tx.clone(),
+            faults: None,
+        }
+    }
+
+    /// A sender whose posts are subject to fault injection: messages of `class` may be
+    /// dropped or duplicated according to the injector's plan. Share the fabric's
+    /// injector (see [`crate::Fabric::injector`]) so all traffic obeys one plan.
+    pub fn sender_with_faults(
+        &self,
+        injector: Arc<FaultInjector>,
+        class: MsgClass,
+    ) -> MailboxSender<T> {
+        MailboxSender {
+            owner: self.owner,
+            tx: self.tx.clone(),
+            faults: Some((injector, class)),
         }
     }
 
@@ -72,6 +98,7 @@ impl<T> Mailbox<T> {
 pub struct MailboxSender<T> {
     owner: NodeId,
     tx: Sender<Envelope<T>>,
+    faults: Option<(Arc<FaultInjector>, MsgClass)>,
 }
 
 impl<T> MailboxSender<T> {
@@ -80,15 +107,62 @@ impl<T> MailboxSender<T> {
         self.owner
     }
 
+    fn send_one(&self, from: NodeId, body: T) -> Result<(), NetError> {
+        self.tx
+            .send(Envelope { from, body })
+            .map_err(|_| NetError::MailboxClosed {
+                destination: self.owner,
+            })
+    }
+}
+
+impl<T: Clone> MailboxSender<T> {
     /// Post a message. Returns `false` if the mailbox was dropped.
     pub fn post(&self, from: NodeId, body: T) -> bool {
-        self.tx.send(Envelope { from, body }).is_ok()
+        self.try_post(from, body).is_ok()
+    }
+
+    /// Post a message, surfacing a closed mailbox as a typed error. Fault decisions
+    /// (if this is a lossy sender) are keyed by the link's message sequence.
+    pub fn try_post(&self, from: NodeId, body: T) -> Result<(), NetError> {
+        match &self.faults {
+            Some((inj, class)) => {
+                let d = inj.decide(from, self.owner, *class);
+                self.deliver(from, d, body)
+            }
+            None => self.send_one(from, body),
+        }
+    }
+
+    /// Post a message whose fault decision is keyed by caller-supplied content (see
+    /// [`crate::fault::oal_fault_key`]), making loss reproducible across runs
+    /// regardless of thread scheduling. Without an injector this is a plain post.
+    pub fn try_post_keyed(&self, from: NodeId, key: u64, body: T) -> Result<(), NetError> {
+        match &self.faults {
+            Some((inj, class)) => {
+                let d = inj.decide_keyed(from, self.owner, *class, key);
+                self.deliver(from, d, body)
+            }
+            None => self.send_one(from, body),
+        }
+    }
+
+    fn deliver(&self, from: NodeId, d: FaultDecision, body: T) -> Result<(), NetError> {
+        if d.dropped {
+            // The sender cannot observe the loss; from its side the post succeeded.
+            return Ok(());
+        }
+        if d.duplicated {
+            self.send_one(from, body.clone())?;
+        }
+        self.send_one(from, body)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn post_and_drain_preserves_order() {
@@ -114,6 +188,10 @@ mod tests {
         let s = mb.sender();
         drop(mb);
         assert!(!s.post(NodeId(1), 1));
+        assert_eq!(
+            s.try_post(NodeId(1), 1),
+            Err(NetError::MailboxClosed { destination: NodeId(0) })
+        );
     }
 
     #[test]
@@ -133,5 +211,46 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(mb.drain().len(), 400);
+    }
+
+    #[test]
+    fn lossy_sender_drops_and_duplicates() {
+        let inj = Arc::new(
+            FaultInjector::new(FaultPlan {
+                oal_drop: 0.5,
+                ..FaultPlan::default()
+            })
+            .unwrap(),
+        );
+        let mb: Mailbox<u64> = Mailbox::new(NodeId::MASTER);
+        let s = mb.sender_with_faults(Arc::clone(&inj), MsgClass::OalBatch);
+        for k in 0..200u64 {
+            s.try_post_keyed(NodeId(1), k, k).unwrap();
+        }
+        let got = mb.drain().len() as u64;
+        assert_eq!(got, 200 - inj.stats().dropped);
+        assert!(got > 50 && got < 150, "~half should survive, got {got}");
+
+        let dup = Arc::new(
+            FaultInjector::new(FaultPlan {
+                duplicate_prob: 1.0,
+                ..FaultPlan::default()
+            })
+            .unwrap(),
+        );
+        let s = mb.sender_with_faults(dup, MsgClass::OalBatch);
+        s.try_post_keyed(NodeId(1), 7, 7).unwrap();
+        assert_eq!(mb.drain().len(), 2, "duplicate enqueued twice");
+    }
+
+    #[test]
+    fn zero_plan_lossy_sender_is_transparent() {
+        let inj = Arc::new(FaultInjector::new(FaultPlan::default()).unwrap());
+        let mb: Mailbox<u64> = Mailbox::new(NodeId::MASTER);
+        let s = mb.sender_with_faults(inj, MsgClass::OalBatch);
+        for k in 0..50u64 {
+            s.try_post_keyed(NodeId(1), k, k).unwrap();
+        }
+        assert_eq!(mb.len(), 50);
     }
 }

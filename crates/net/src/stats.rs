@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultStats;
 use crate::message::{MsgClass, NUM_MSG_CLASSES};
 
 /// Counters for one message class.
@@ -29,6 +30,9 @@ impl ClassStats {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkStats {
     per_class: [ClassStats; NUM_MSG_CLASSES],
+    /// Faults injected while this traffic was accounted (all zero without a
+    /// [`crate::fault::FaultPlan`]).
+    pub faults: FaultStats,
 }
 
 impl NetworkStats {
@@ -107,6 +111,7 @@ impl NetworkStats {
                 bytes: a.bytes - b.bytes,
             };
         }
+        out.faults = self.faults.since(&earlier.faults);
         out
     }
 
@@ -117,6 +122,7 @@ impl NetworkStats {
             self.per_class[c.index()].messages += o.messages;
             self.per_class[c.index()].bytes += o.bytes;
         }
+        self.faults.merge(&other.faults);
     }
 }
 

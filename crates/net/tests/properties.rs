@@ -48,7 +48,7 @@ proptest! {
         per_byte in 0u32..200,
     ) {
         let model = LatencyModel { base_ns: base, ns_per_byte: per_byte as f64 };
-        let fabric = Fabric::new(4, model);
+        let fabric = Fabric::new(4, model).expect("non-empty fabric");
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         let mut expected = 0u64;
         let mut expected_bytes = 0u64;

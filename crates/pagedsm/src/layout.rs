@@ -117,6 +117,7 @@ mod tests {
             costs: CostModel::free(),
             prefetch_depth: 0,
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         let c = gos.classes().register_scalar("X", 8); // 64 B payload + 16 header

@@ -37,7 +37,14 @@ impl LoadBalancer {
     /// descending correlation order; an unplaced pair opens on the least-loaded node,
     /// a half-placed pair joins its partner when capacity allows. Deterministic.
     pub fn plan(&self, tcm: &Tcm, n_nodes: usize) -> PlacementPlan {
-        assert!(n_nodes > 0);
+        if n_nodes == 0 {
+            // Nothing to place onto: an empty plan, not a panic, so callers can
+            // treat a degenerate topology as "no migration opportunities".
+            return PlacementPlan {
+                placement: Vec::new(),
+                intra_fraction: 0.0,
+            };
+        }
         let n = tcm.n();
         let cap = n.div_ceil(n_nodes);
         let mut placement: Vec<Option<NodeId>> = vec![None; n];
@@ -63,7 +70,7 @@ impl LoadBalancer {
                 }
             }
         }
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then((a.0, a.1).cmp(&(b.0, b.1))));
+        pairs.sort_by(|a, b| b.2.total_cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
 
         for (i, j, _) in pairs {
             match (placement[i], placement[j]) {
@@ -83,14 +90,21 @@ impl LoadBalancer {
             }
         }
         // Leftovers (uncorrelated or capacity-blocked) go to the lightest nodes.
+        // `cap = ⌈N/K⌉` guarantees total capacity ≥ N, but fall back to the overall
+        // lightest node rather than panicking if that invariant ever breaks.
         for t in 0..n {
             if placement[t].is_none() {
-                let node = least_loaded(&load, 1).expect("total capacity covers all threads");
+                let node = least_loaded(&load, 1)
+                    .or_else(|| (0..load.len()).min_by_key(|&k| (load[k], k)))
+                    .unwrap_or(0);
                 place(&mut placement, &mut load, t, node);
             }
         }
 
-        let placement: Vec<NodeId> = placement.into_iter().map(|p| p.unwrap()).collect();
+        let placement: Vec<NodeId> = placement
+            .into_iter()
+            .map(|p| p.unwrap_or(NodeId(0)))
+            .collect();
         let intra_fraction = self.intra_fraction(tcm, &placement);
         PlacementPlan {
             placement,
@@ -197,6 +211,23 @@ mod tests {
         let total: f64 = 100.0 + 100.0 + 1.0;
         assert!(((after - before) * total - gain).abs() < 1e-9);
         assert_eq!(lb.migration_gain(&tcm, &placement, ThreadId(1), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn zero_nodes_yields_an_empty_plan() {
+        let plan = LoadBalancer::new().plan(&clique_tcm(), 0);
+        assert!(plan.placement.is_empty());
+        assert_eq!(plan.intra_fraction, 0.0);
+    }
+
+    #[test]
+    fn nan_correlations_do_not_poison_the_sort() {
+        let mut t = Tcm::new(3);
+        t.add_pair(ThreadId(0), ThreadId(1), f64::NAN);
+        t.add_pair(ThreadId(1), ThreadId(2), 5.0);
+        // total_cmp gives NaN a defined order: the plan completes deterministically.
+        let plan = LoadBalancer::new().plan(&t, 3);
+        assert_eq!(plan.placement.len(), 3);
     }
 
     #[test]

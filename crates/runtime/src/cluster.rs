@@ -29,7 +29,7 @@
 //! assert_eq!(report.n_threads, 4);
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,10 +39,13 @@ use jessy_core::{Oal, ProfilerConfig, ProfilerShared, ThreadProfiler};
 use jessy_gos::protocol::ConsistencyModel;
 use jessy_gos::{ClassId, CostModel, Gos, GosConfig, LockId, ObjectCore, ObjectId};
 use jessy_net::mailbox::MailboxSender;
-use jessy_net::{ClockBoard, ClockHandle, LatencyModel, Mailbox, NodeId, ThreadId};
+use jessy_net::{
+    ClockBoard, ClockHandle, FaultPlan, LatencyModel, Mailbox, MsgClass, NodeId, ThreadId,
+};
 use jessy_stack::{MethodId, MethodRegistry};
 
 use crate::dynamic::RebalanceConfig;
+use crate::error::RuntimeError;
 use crate::master::{MasterDaemon, MasterOutput};
 use crate::metrics::RunReport;
 use crate::migration::MigrationReport;
@@ -80,6 +83,9 @@ pub struct ClusterShared {
     pub footprints: RwLock<Vec<f64>>,
     /// Set when application threads have all finished (stops the master daemon).
     pub done: AtomicBool,
+    /// OAL posts that failed because the master's mailbox was gone (threads keep
+    /// running — losing profiling data must never stop the application).
+    pub oal_post_failures: AtomicU64,
 }
 
 impl ClusterShared {
@@ -106,6 +112,7 @@ pub struct ClusterBuilder {
     rebalance: Option<RebalanceConfig>,
     prefetch_depth: u32,
     consistency: ConsistencyModel,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for ClusterBuilder {
@@ -120,6 +127,7 @@ impl Default for ClusterBuilder {
             rebalance: None,
             prefetch_depth: 0,
             consistency: ConsistencyModel::GlobalHlrc,
+            faults: None,
         }
     }
 }
@@ -186,34 +194,76 @@ impl ClusterBuilder {
         self
     }
 
+    /// Inject network faults according to `plan` (drops, duplicates, delay spikes,
+    /// node stalls — see [`FaultPlan`]). OAL batches to the master travel through a
+    /// lossy sender sharing the fabric's injector, so one plan governs all traffic.
+    /// A plan with every probability zero behaves bit-identically to no plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Build the cluster.
+    ///
+    /// # Panics
+    /// On an invalid configuration; use [`ClusterBuilder::try_build`] to handle that
+    /// as a typed error.
     pub fn build(self) -> Cluster {
-        assert!(self.n_nodes > 0 && self.n_threads > 0);
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build the cluster, surfacing configuration mistakes as a [`RuntimeError`].
+    pub fn try_build(self) -> Result<Cluster, RuntimeError> {
+        if self.n_nodes == 0 || self.n_threads == 0 {
+            return Err(RuntimeError::InvalidTopology {
+                n_nodes: self.n_nodes,
+                n_threads: self.n_threads,
+            });
+        }
         let placement = self.placement.unwrap_or_else(|| {
             // Block placement: contiguous groups of threads per node.
             (0..self.n_threads)
                 .map(|t| NodeId((t * self.n_nodes / self.n_threads) as u16))
                 .collect()
         });
-        assert_eq!(placement.len(), self.n_threads);
-        assert!(placement.iter().all(|n| n.index() < self.n_nodes));
+        if placement.len() != self.n_threads {
+            return Err(RuntimeError::InvalidPlacement(format!(
+                "placement lists {} threads, cluster has {}",
+                placement.len(),
+                self.n_threads
+            )));
+        }
+        if let Some(bad) = placement.iter().find(|n| n.index() >= self.n_nodes) {
+            return Err(RuntimeError::InvalidPlacement(format!(
+                "thread placed on {bad}, but the cluster has {} nodes",
+                self.n_nodes
+            )));
+        }
 
-        let gos = Gos::new(GosConfig {
+        let gos = Gos::try_new(GosConfig {
             n_nodes: self.n_nodes,
             n_threads: self.n_threads,
             latency: self.latency,
             costs: self.costs,
             prefetch_depth: self.prefetch_depth,
             consistency: self.consistency,
-        });
+            faults: self.faults,
+        })?;
         let board = ClockBoard::new(self.n_threads + 1);
         let mailbox = Mailbox::new(NodeId::MASTER);
+        // With faults on, OAL delivery goes through a lossy sender sharing the
+        // fabric's injector (fabric accounting stays separate: bytes are spent on the
+        // wire whether or not the master ever sees them).
+        let oal_tx = match gos.fabric().injector() {
+            Some(inj) => mailbox.sender_with_faults(Arc::clone(inj), MsgClass::OalBatch),
+            None => mailbox.sender(),
+        };
         let shared = Arc::new(ClusterShared {
             gos,
             board,
             prof: ProfilerShared::new(self.profiler),
             methods: MethodRegistry::new(),
-            oal_tx: mailbox.sender(),
+            oal_tx,
             n_nodes: self.n_nodes,
             n_threads: self.n_threads,
             placement: RwLock::new(placement),
@@ -222,13 +272,14 @@ impl ClusterBuilder {
             migration_log: parking_lot::Mutex::new(Vec::new()),
             footprints: RwLock::new(vec![0.0; self.n_threads]),
             done: AtomicBool::new(false),
+            oal_post_failures: AtomicU64::new(0),
         });
-        Cluster {
+        Ok(Cluster {
             shared,
             mailbox: Some(mailbox),
             master_out: None,
             run_wall_ns: 0,
-        }
+        })
     }
 }
 
@@ -354,33 +405,50 @@ impl Cluster {
     /// reported simulated execution time covers exactly this parallel phase.
     ///
     /// # Panics
-    /// If called twice, or if any application thread panics.
+    /// If called twice, or if any application thread panics; use
+    /// [`Cluster::try_run`] to handle those as typed errors.
     pub fn run<F>(&mut self, body: F)
     where
         F: Fn(&mut JThread) + Send + Sync + 'static,
     {
-        let mailbox = self.mailbox.take().expect("Cluster::run may only be called once");
+        self.try_run(body).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run the cluster, surfacing a double run, spawn failures and panicked threads
+    /// as a [`RuntimeError`]. Even when workers panic, the master is joined first so
+    /// the partial [`MasterOutput`] stays available for post-mortem inspection.
+    pub fn try_run<F>(&mut self, body: F) -> Result<(), RuntimeError>
+    where
+        F: Fn(&mut JThread) + Send + Sync + 'static,
+    {
+        let mailbox = self.mailbox.take().ok_or(RuntimeError::AlreadyRun)?;
         self.shared.board.reset();
         self.shared.done.store(false, Ordering::Release);
 
         let wall_start = Instant::now();
-        let master = MasterDaemon::spawn(Arc::clone(&self.shared), mailbox);
+        let master = MasterDaemon::spawn(Arc::clone(&self.shared), mailbox)?;
 
         let body = Arc::new(body);
-        let workers: Vec<_> = (0..self.shared.n_threads)
-            .map(|t| {
-                let shared = Arc::clone(&self.shared);
-                let body = Arc::clone(&body);
-                std::thread::Builder::new()
-                    .name(format!("jthread-{t}"))
-                    .spawn(move || {
-                        let thread = ThreadId(t as u32);
-                        let mut jt = JThread::new(shared, thread);
-                        body(&mut jt);
-                    })
-                    .expect("spawn worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(self.shared.n_threads);
+        let mut spawn_error = None;
+        for t in 0..self.shared.n_threads {
+            let shared = Arc::clone(&self.shared);
+            let body = Arc::clone(&body);
+            let spawned = std::thread::Builder::new()
+                .name(format!("jthread-{t}"))
+                .spawn(move || {
+                    let thread = ThreadId(t as u32);
+                    let mut jt = JThread::new(shared, thread);
+                    body(&mut jt);
+                });
+            match spawned {
+                Ok(w) => workers.push(w),
+                Err(e) => {
+                    spawn_error = Some(RuntimeError::SpawnFailed(format!("worker {t}: {e}")));
+                    break;
+                }
+            }
+        }
 
         let mut panicked = Vec::new();
         for (t, w) in workers.into_iter().enumerate() {
@@ -389,9 +457,27 @@ impl Cluster {
             }
         }
         self.shared.done.store(true, Ordering::Release);
-        self.master_out = Some(master.join());
+        let master_out = master.join();
         self.run_wall_ns = wall_start.elapsed().as_nanos() as u64;
-        assert!(panicked.is_empty(), "application threads panicked: {panicked:?}");
+        // Keep whatever the master managed to produce, then report the most
+        // fundamental failure.
+        let master_err = match master_out {
+            Ok(out) => {
+                self.master_out = Some(out);
+                None
+            }
+            Err(e) => Some(e),
+        };
+        if let Some(e) = spawn_error {
+            return Err(e);
+        }
+        if !panicked.is_empty() {
+            return Err(RuntimeError::WorkerPanicked(panicked));
+        }
+        match master_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// The master daemon's output (TCM, rounds, rate changes) — available after

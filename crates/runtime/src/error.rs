@@ -1,0 +1,83 @@
+//! Typed errors of the cluster runtime.
+//!
+//! Construction and execution mistakes (empty clusters, bad placements, double runs)
+//! and infrastructure failures (spawn errors, panicked workers) surface here instead
+//! of as `panic!`/`expect` deep in the run loop. `thiserror` is unavailable offline,
+//! so the impls are hand-written.
+
+use std::fmt;
+
+use jessy_net::NetError;
+
+/// Everything that can go wrong building or running a [`crate::Cluster`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A network-layer error (empty fabric, invalid fault plan, …).
+    Net(NetError),
+    /// The cluster was configured with zero nodes or zero threads.
+    InvalidTopology {
+        /// Configured node count.
+        n_nodes: usize,
+        /// Configured thread count.
+        n_threads: usize,
+    },
+    /// An explicit placement does not fit the topology.
+    InvalidPlacement(String),
+    /// `run` was called a second time on the same cluster.
+    AlreadyRun,
+    /// An OS thread could not be spawned.
+    SpawnFailed(String),
+    /// Application threads panicked (by worker index).
+    WorkerPanicked(Vec<usize>),
+    /// The master correlation daemon panicked.
+    MasterPanicked,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Net(e) => write!(f, "network error: {e}"),
+            RuntimeError::InvalidTopology { n_nodes, n_threads } => write!(
+                f,
+                "cluster needs at least one node and one thread (got {n_nodes} nodes, {n_threads} threads)"
+            ),
+            RuntimeError::InvalidPlacement(why) => write!(f, "invalid placement: {why}"),
+            RuntimeError::AlreadyRun => write!(f, "Cluster::run may only be called once"),
+            RuntimeError::SpawnFailed(what) => write!(f, "failed to spawn {what}"),
+            RuntimeError::WorkerPanicked(threads) => {
+                write!(f, "application threads panicked: {threads:?}")
+            }
+            RuntimeError::MasterPanicked => write!(f, "master daemon panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for RuntimeError {
+    fn from(e: NetError) -> Self {
+        RuntimeError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::from(NetError::EmptyFabric);
+        assert!(e.to_string().contains("at least one node"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = RuntimeError::WorkerPanicked(vec![1, 3]);
+        assert!(e.to_string().contains("[1, 3]"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

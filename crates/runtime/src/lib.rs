@@ -23,6 +23,7 @@
 pub mod balancer;
 pub mod cluster;
 pub mod dynamic;
+pub mod error;
 pub mod master;
 pub mod metrics;
 pub mod migration;
@@ -31,6 +32,8 @@ pub mod thread;
 pub use balancer::LoadBalancer;
 pub use cluster::{Cluster, ClusterBuilder, InitCtx};
 pub use dynamic::{PlannedMigration, RebalanceConfig};
+pub use error::RuntimeError;
+pub use master::{ClosedRound, Ingest, MasterOutput, RoundScheduler, SkippedRateChange};
 pub use metrics::RunReport;
 pub use migration::MigrationReport;
 pub use thread::JThread;

@@ -2,22 +2,36 @@
 //!
 //! Runs on its own OS thread for the duration of a cluster run: drains OAL batches
 //! from the mailbox and groups them into TCM rounds **by interval number** — round
-//! `r` covers intervals `[r·ipr, (r+1)·ipr)` of every thread, and closes once every
-//! thread's interval stream has passed the round's end (threads emit even empty OALs
-//! so the watermark is well-defined). Grouping by interval instead of arrival order
-//! keeps the correlation map deterministic under thread scheduling: a pair of threads
-//! touching an object in the same interval always lands in the same round.
+//! `r` covers intervals `[r·ipr, (r+1)·ipr)` of every thread. Grouping by interval
+//! instead of arrival order keeps the correlation map deterministic under thread
+//! scheduling: a pair of threads touching an object in the same interval always lands
+//! in the same round.
 //!
-//! After each round the [`AdaptiveController`] compares successive per-class maps and
-//! applies rate changes — updating the shared gap table, broadcasting `RateChange`
-//! notices (accounted) and executing the resampling walks.
+//! Round assembly is delegated to the [`RoundScheduler`], which tolerates a lossy
+//! network (see [`crate::cluster::ClusterBuilder::faults`]):
+//!
+//! * **Deduplication** — a second copy of the same (thread, interval) OAL is dropped.
+//! * **Deadline close** — normally a round closes once *every* thread's interval
+//!   watermark passes the round's end (threads emit even empty OALs so the watermark
+//!   is well-defined). When OALs can be lost that guarantee dies with them, so with
+//!   `ProfilerConfig::round_deadline_intervals` set, a round also closes once the
+//!   *fastest* thread is that many grace intervals past the end — a stalled or
+//!   silenced thread can no longer wedge the pipeline.
+//! * **Late arrivals** — an OAL for an already-closed round is buffered and folded
+//!   into the cumulative TCM at the end of the run (it still improves the final map;
+//!   it just can't steer the controller retroactively).
+//!
+//! Each closed round carries its **coverage** — the fraction of expected
+//! (thread, interval) OALs that actually arrived — and the [`AdaptiveController`]
+//! only acts on rounds above the configured coverage floor, degrading gracefully to
+//! fixed-rate profiling instead of thrashing rates on loss-shaped phantoms.
 //!
 //! The daemon measures its *real* CPU time spent building TCM rounds; Table III's
 //! "TCM Computing Time" column reads this, because in our reproduction the TCM
 //! construction is a real computation (the paper likewise ran it on a dedicated
 //! machine so it would not distort execution times).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -25,11 +39,12 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use jessy_core::adaptive::apply_rate_change;
-use jessy_core::{AdaptiveController, Oal, Tcm, TcmBuilder};
+use jessy_core::{AdaptiveController, Oal, RoundOutcome, Tcm, TcmBuilder};
 use jessy_net::{Mailbox, MsgClass, NodeId};
 
 use crate::cluster::ClusterShared;
 use crate::dynamic::{plan_and_post, PlannedMigration};
+use crate::error::RuntimeError;
 
 /// One applied rate change, for the report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,12 +61,23 @@ pub struct AppliedRateChange {
     pub resampled_objects: usize,
 }
 
+/// A round on which the adaptive controller declined to act because too few of its
+/// OALs arrived.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedRateChange {
+    /// The distrusted round.
+    pub round: u64,
+    /// Its OAL coverage, below the configured floor.
+    pub coverage: f64,
+}
+
 /// Everything the master produced during a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MasterOutput {
     /// The cumulative thread correlation map.
     pub tcm: Tcm,
-    /// OAL batches ingested (including empty interval contexts).
+    /// OAL batches ingested (including empty interval contexts and late arrivals,
+    /// excluding duplicates).
     pub oals_ingested: u64,
     /// TCM rounds closed.
     pub rounds: u64,
@@ -61,10 +87,202 @@ pub struct MasterOutput {
     pub tcm_build_real_ns: u64,
     /// Rate changes applied by the adaptive controller.
     pub rate_changes: Vec<AppliedRateChange>,
+    /// Rounds the controller skipped for insufficient coverage.
+    pub skipped_rate_changes: Vec<SkippedRateChange>,
+    /// Per closed round, the fraction of expected (thread, interval) OALs received
+    /// (1.0 on a fault-free network).
+    pub round_coverage: Vec<f64>,
+    /// Rounds closed by the deadline rather than by complete watermarks.
+    pub deadline_rounds: u64,
+    /// OALs that arrived after their round had closed (folded into the final TCM).
+    pub late_oals: u64,
+    /// Duplicated OALs discarded by the deduplicator.
+    pub duplicate_oals: u64,
     /// Migration directives issued by the dynamic balancer, if enabled.
     pub planned_migrations: Vec<PlannedMigration>,
     /// The raw OAL stream, when `ProfilerConfig::record_oals` was set.
     pub oal_log: Vec<Oal>,
+}
+
+/// How the [`RoundScheduler`] classified one arriving OAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// Counted toward an open round.
+    Accepted,
+    /// A (thread, interval) pair already seen — discarded.
+    Duplicate,
+    /// Arrived after its round closed — buffered for the end-of-run fold.
+    Late,
+}
+
+/// One round the scheduler declared closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedRound {
+    /// Round id (rounds close strictly in order).
+    pub round: u64,
+    /// The round's non-empty OALs, in arrival order.
+    pub oals: Vec<Oal>,
+    /// Fraction of expected (thread, interval) OALs received, in `[0, 1]`.
+    pub coverage: f64,
+    /// Closed by the grace deadline instead of complete watermarks.
+    pub deadline_hit: bool,
+}
+
+/// Groups an out-of-order, lossy, possibly duplicated OAL stream into TCM rounds.
+///
+/// Extracted from the daemon loop so that fault-tolerance semantics are directly
+/// testable without spinning up a cluster: feed OALs with [`RoundScheduler::ingest`],
+/// collect closed rounds with [`RoundScheduler::ready_rounds`], and finish with
+/// [`RoundScheduler::flush`] + [`RoundScheduler::take_late`].
+#[derive(Debug)]
+pub struct RoundScheduler {
+    n_threads: usize,
+    /// Intervals per round.
+    ipr: u64,
+    /// Grace intervals past a round's end before the fastest thread's watermark
+    /// force-closes it (`None` = wait for every thread, the fault-free behavior).
+    deadline_intervals: Option<u64>,
+    /// Next round to close.
+    next_round: u64,
+    /// Per-thread watermark: 1 + highest interval id seen.
+    watermark: Vec<u64>,
+    /// Round id → buffered non-empty OALs of its interval range.
+    buckets: BTreeMap<u64, Vec<Oal>>,
+    /// Round id → distinct (thread, interval) OALs received (coverage numerator;
+    /// empty interval contexts count — they are interval reports too).
+    received: BTreeMap<u64, u64>,
+    /// Every (thread, interval) pair ever accepted, for deduplication.
+    seen: HashSet<(u32, u64)>,
+    /// Non-empty OALs that arrived after their round closed.
+    late: Vec<Oal>,
+    late_count: u64,
+    duplicates: u64,
+    deadline_rounds: u64,
+}
+
+impl RoundScheduler {
+    /// Scheduler for `n_threads` threads at `ipr` intervals per round.
+    pub fn new(n_threads: usize, ipr: u64, deadline_intervals: Option<u64>) -> Self {
+        assert!(n_threads > 0, "scheduler needs at least one thread");
+        RoundScheduler {
+            n_threads,
+            ipr: ipr.max(1),
+            deadline_intervals,
+            next_round: 0,
+            watermark: vec![0; n_threads],
+            buckets: BTreeMap::new(),
+            received: BTreeMap::new(),
+            seen: HashSet::new(),
+            late: Vec::new(),
+            late_count: 0,
+            duplicates: 0,
+            deadline_rounds: 0,
+        }
+    }
+
+    /// Feed one OAL, classifying it. Call [`RoundScheduler::ready_rounds`] afterwards
+    /// (or after a batch) to collect any rounds this arrival completed.
+    pub fn ingest(&mut self, oal: Oal) -> Ingest {
+        if !self.seen.insert((oal.thread.0, oal.interval)) {
+            self.duplicates += 1;
+            return Ingest::Duplicate;
+        }
+        let t = oal.thread.index();
+        self.watermark[t] = self.watermark[t].max(oal.interval + 1);
+        let round = oal.interval / self.ipr;
+        if round < self.next_round {
+            self.late_count += 1;
+            if !oal.is_empty() {
+                self.late.push(oal);
+            }
+            return Ingest::Late;
+        }
+        *self.received.entry(round).or_insert(0) += 1;
+        if !oal.is_empty() {
+            self.buckets.entry(round).or_default().push(oal);
+        }
+        Ingest::Accepted
+    }
+
+    /// Close and return every round that is ready, in order: rounds all threads have
+    /// passed, plus — with a deadline configured — rounds the fastest thread has
+    /// outrun by the grace distance.
+    pub fn ready_rounds(&mut self) -> Vec<ClosedRound> {
+        let min_wm = self.watermark.iter().copied().min().unwrap_or(0);
+        let max_wm = self.watermark.iter().copied().max().unwrap_or(0);
+        let mut out = Vec::new();
+        loop {
+            let round_end = (self.next_round + 1) * self.ipr;
+            let complete = round_end <= min_wm;
+            let expired = self
+                .deadline_intervals
+                .map(|grace| max_wm >= round_end + grace)
+                .unwrap_or(false);
+            if !complete && !expired {
+                break;
+            }
+            out.push(self.close_next(!complete));
+        }
+        out
+    }
+
+    /// Close every remaining round in order (run finished; no more OALs will come).
+    pub fn flush(&mut self) -> Vec<ClosedRound> {
+        let last = self
+            .buckets
+            .keys()
+            .last()
+            .copied()
+            .max(self.received.keys().last().copied());
+        let mut out = Vec::new();
+        if let Some(last) = last {
+            while self.next_round <= last {
+                out.push(self.close_next(false));
+            }
+        }
+        out
+    }
+
+    fn close_next(&mut self, deadline_hit: bool) -> ClosedRound {
+        let round = self.next_round;
+        self.next_round += 1;
+        if deadline_hit {
+            self.deadline_rounds += 1;
+        }
+        let expected = (self.n_threads as u64 * self.ipr) as f64;
+        let coverage = self.received.remove(&round).unwrap_or(0) as f64 / expected;
+        ClosedRound {
+            round,
+            oals: self.buckets.remove(&round).unwrap_or_default(),
+            coverage,
+            deadline_hit,
+        }
+    }
+
+    /// Take the buffered late (non-empty) OALs for the end-of-run TCM fold.
+    pub fn take_late(&mut self) -> Vec<Oal> {
+        std::mem::take(&mut self.late)
+    }
+
+    /// OALs that arrived after their round closed (including empty contexts).
+    pub fn late_count(&self) -> u64 {
+        self.late_count
+    }
+
+    /// Duplicated OALs discarded.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Rounds closed by the deadline rather than by complete watermarks.
+    pub fn deadline_rounds(&self) -> u64 {
+        self.deadline_rounds
+    }
+
+    /// The next round awaiting closure.
+    pub fn next_round(&self) -> u64 {
+        self.next_round
+    }
 }
 
 pub(crate) struct MasterDaemon {
@@ -72,16 +290,19 @@ pub(crate) struct MasterDaemon {
 }
 
 impl MasterDaemon {
-    pub(crate) fn spawn(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> Self {
+    pub(crate) fn spawn(
+        shared: Arc<ClusterShared>,
+        mailbox: Mailbox<Oal>,
+    ) -> Result<Self, RuntimeError> {
         let handle = std::thread::Builder::new()
             .name("jessy-master".into())
             .spawn(move || run_daemon(shared, mailbox))
-            .expect("spawn master daemon");
-        MasterDaemon { handle }
+            .map_err(|e| RuntimeError::SpawnFailed(format!("master daemon: {e}")))?;
+        Ok(MasterDaemon { handle })
     }
 
-    pub(crate) fn join(self) -> MasterOutput {
-        self.handle.join().expect("master daemon panicked")
+    pub(crate) fn join(self) -> Result<MasterOutput, RuntimeError> {
+        self.handle.join().map_err(|_| RuntimeError::MasterPanicked)
     }
 }
 
@@ -89,18 +310,14 @@ struct Daemon {
     shared: Arc<ClusterShared>,
     builder: TcmBuilder,
     controller: Option<AdaptiveController>,
-    /// Round id → buffered OALs of its interval range.
-    buckets: BTreeMap<u64, Vec<Oal>>,
-    /// Per-thread watermark: 1 + highest interval id seen.
-    watermark: Vec<u64>,
-    /// Intervals per round.
-    ipr: u64,
-    /// Next round to close (rounds close strictly in order).
-    next_round: u64,
+    scheduler: RoundScheduler,
     oals: u64,
+    rounds: u64,
     objects_organized: u64,
     build_ns: u64,
+    round_coverage: Vec<f64>,
     rate_changes: Vec<AppliedRateChange>,
+    skipped: Vec<SkippedRateChange>,
     planned_migrations: Vec<PlannedMigration>,
     rebalanced: bool,
     oal_log: Vec<Oal>,
@@ -109,61 +326,73 @@ struct Daemon {
 
 impl Daemon {
     fn ingest(&mut self, oal: Oal) {
-        self.oals += 1;
-        let t = oal.thread.index();
-        self.watermark[t] = self.watermark[t].max(oal.interval + 1);
-        let round = oal.interval / self.ipr;
         if self.record_oals {
             self.oal_log.push(oal.clone());
         }
-        if !oal.is_empty() {
-            self.buckets.entry(round).or_default().push(oal);
+        match self.scheduler.ingest(oal) {
+            Ingest::Duplicate => {
+                // Drop silently; a lossy network retransmitting is not new data.
+                if self.record_oals {
+                    self.oal_log.pop();
+                }
+                return;
+            }
+            Ingest::Accepted | Ingest::Late => self.oals += 1,
         }
-        self.drain_ready_rounds();
+        for closed in self.scheduler.ready_rounds() {
+            self.close_round(closed);
+        }
     }
 
-    /// Close every round whose interval range every thread has passed.
-    fn drain_ready_rounds(&mut self) {
-        let min_watermark = self.watermark.iter().copied().min().unwrap_or(0);
-        while (self.next_round + 1) * self.ipr <= min_watermark {
-            self.close_round(self.next_round);
-            self.next_round += 1;
-        }
-    }
-
-    fn close_round(&mut self, round: u64) {
-        let oals = self.buckets.remove(&round).unwrap_or_default();
+    fn close_round(&mut self, closed: ClosedRound) {
         let t0 = Instant::now();
-        for oal in &oals {
+        for oal in &closed.oals {
             self.builder.ingest(oal);
         }
         let summary = self.builder.close_round();
         self.build_ns += t0.elapsed().as_nanos() as u64;
+        self.rounds += 1;
         self.objects_organized += summary.objects as u64;
+        self.round_coverage.push(closed.coverage);
 
         if let Some(ctl) = &mut self.controller {
             let clock = self.shared.master_clock();
-            let changes = ctl.on_round(&summary.per_class, self.shared.prof.gaps());
-            for ch in changes {
-                // Broadcast the change notice to every worker node (accounted) and
-                // run the resampling walk.
-                for n in 0..self.shared.n_nodes {
-                    self.shared.gos.fabric().account_async(
-                        NodeId::MASTER,
-                        NodeId(n as u16),
-                        MsgClass::RateChange,
-                        16,
-                    );
+            let outcome =
+                ctl.on_round_with_coverage(&summary.per_class, self.shared.prof.gaps(), closed.coverage);
+            match outcome {
+                RoundOutcome::Applied(changes) => {
+                    for ch in changes {
+                        // Broadcast the change notice to every worker node (accounted)
+                        // and run the resampling walk.
+                        for n in 0..self.shared.n_nodes {
+                            self.shared.gos.fabric().account_async(
+                                NodeId::MASTER,
+                                NodeId(n as u16),
+                                MsgClass::RateChange,
+                                16,
+                            );
+                        }
+                        let visited = apply_rate_change(
+                            &self.shared.gos,
+                            self.shared.prof.gaps(),
+                            ch.class,
+                            &clock,
+                        );
+                        self.rate_changes.push(AppliedRateChange {
+                            round: self.builder.rounds_closed(),
+                            class_name: self.shared.gos.classes().info(ch.class).name,
+                            new_rate: ch.new_state.rate.label(),
+                            relative_distance: ch.relative_distance,
+                            resampled_objects: visited,
+                        });
+                    }
                 }
-                let visited =
-                    apply_rate_change(&self.shared.gos, self.shared.prof.gaps(), ch.class, &clock);
-                self.rate_changes.push(AppliedRateChange {
-                    round: self.builder.rounds_closed(),
-                    class_name: self.shared.gos.classes().info(ch.class).name,
-                    new_rate: ch.new_state.rate.label(),
-                    relative_distance: ch.relative_distance,
-                    resampled_objects: visited,
-                });
+                RoundOutcome::SkippedLowCoverage { coverage, .. } => {
+                    self.skipped.push(SkippedRateChange {
+                        round: closed.round,
+                        coverage,
+                    });
+                }
             }
         }
 
@@ -177,11 +406,22 @@ impl Daemon {
         }
     }
 
-    /// Flush every buffered round in order (run finished; no more OALs will arrive).
-    fn flush_all(&mut self) {
-        let remaining: Vec<u64> = self.buckets.keys().copied().collect();
-        for round in remaining {
-            self.close_round(round);
+    /// Flush every buffered round in order, then fold late arrivals into the
+    /// cumulative TCM (run finished; no more OALs will arrive). Late OALs improve the
+    /// final map but never steer the controller — their rounds already closed.
+    fn finish(&mut self) {
+        for closed in self.scheduler.flush() {
+            self.close_round(closed);
+        }
+        let late = self.scheduler.take_late();
+        if !late.is_empty() {
+            let t0 = Instant::now();
+            for oal in &late {
+                self.builder.ingest(oal);
+            }
+            let summary = self.builder.close_round();
+            self.build_ns += t0.elapsed().as_nanos() as u64;
+            self.objects_organized += summary.objects as u64;
         }
     }
 }
@@ -194,15 +434,21 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput
     }
     let mut daemon = Daemon {
         builder,
-        controller: config.adaptive_threshold.map(AdaptiveController::new),
-        buckets: BTreeMap::new(),
-        watermark: vec![0; shared.n_threads],
-        ipr: (config.intervals_per_round as u64).max(1),
-        next_round: 0,
+        controller: config
+            .adaptive_threshold
+            .map(|t| AdaptiveController::new(t).with_min_coverage(config.min_round_coverage)),
+        scheduler: RoundScheduler::new(
+            shared.n_threads,
+            (config.intervals_per_round as u64).max(1),
+            config.round_deadline_intervals,
+        ),
         oals: 0,
+        rounds: 0,
         objects_organized: 0,
         build_ns: 0,
+        round_coverage: Vec::new(),
         rate_changes: Vec::new(),
+        skipped: Vec::new(),
         planned_migrations: Vec::new(),
         rebalanced: false,
         oal_log: Vec::new(),
@@ -226,16 +472,129 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput
     for env in mailbox.drain() {
         daemon.ingest(env.body);
     }
-    daemon.flush_all();
+    daemon.finish();
 
     MasterOutput {
         tcm: daemon.builder.tcm().clone(),
         oals_ingested: daemon.oals,
-        rounds: daemon.builder.rounds_closed(),
+        rounds: daemon.rounds,
         objects_organized: daemon.objects_organized,
         tcm_build_real_ns: daemon.build_ns,
         rate_changes: daemon.rate_changes,
+        skipped_rate_changes: daemon.skipped,
+        round_coverage: daemon.round_coverage,
+        deadline_rounds: daemon.scheduler.deadline_rounds(),
+        late_oals: daemon.scheduler.late_count(),
+        duplicate_oals: daemon.scheduler.duplicate_count(),
         planned_migrations: daemon.planned_migrations,
         oal_log: daemon.oal_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jessy_net::ThreadId;
+
+    fn oal(thread: u32, interval: u64) -> Oal {
+        Oal {
+            thread: ThreadId(thread),
+            interval,
+            entries: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rounds_close_in_order_once_all_threads_pass() {
+        let mut s = RoundScheduler::new(2, 2, None);
+        // Thread 0 races ahead through round 0 and 1; nothing closes until thread 1
+        // catches up.
+        for i in 0..4 {
+            assert_eq!(s.ingest(oal(0, i)), Ingest::Accepted);
+        }
+        assert!(s.ready_rounds().is_empty());
+        s.ingest(oal(1, 0));
+        s.ingest(oal(1, 1));
+        let closed = s.ready_rounds();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].round, 0);
+        assert_eq!(closed[0].coverage, 1.0);
+        assert!(!closed[0].deadline_hit);
+    }
+
+    #[test]
+    fn duplicates_are_discarded_once() {
+        let mut s = RoundScheduler::new(1, 1, None);
+        assert_eq!(s.ingest(oal(0, 0)), Ingest::Accepted);
+        assert_eq!(s.ingest(oal(0, 0)), Ingest::Duplicate);
+        assert_eq!(s.duplicate_count(), 1);
+        let closed = s.ready_rounds();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].coverage, 1.0, "duplicate must not double-count");
+    }
+
+    #[test]
+    fn deadline_closes_round_with_a_stalled_thread() {
+        // Thread 1 never reports: without a deadline the scheduler waits forever;
+        // with grace 2 the fastest thread pulls rounds shut behind it.
+        let mut s = RoundScheduler::new(2, 1, Some(2));
+        for i in 0..5 {
+            s.ingest(oal(0, i));
+        }
+        let closed = s.ready_rounds();
+        // Watermark of thread 0 is 5: rounds 0..=2 have 5 >= end + 2.
+        assert_eq!(closed.len(), 3);
+        for (r, c) in closed.iter().enumerate() {
+            assert_eq!(c.round, r as u64);
+            assert!(c.deadline_hit);
+            assert_eq!(c.coverage, 0.5, "only one of two threads reported");
+        }
+        assert_eq!(s.deadline_rounds(), 3);
+    }
+
+    #[test]
+    fn late_arrivals_buffer_for_the_final_fold() {
+        let mut s = RoundScheduler::new(2, 1, Some(0));
+        s.ingest(oal(0, 0));
+        s.ingest(oal(0, 1));
+        // Grace 0: the fastest watermark (2) force-closes both touched rounds.
+        assert_eq!(s.ready_rounds().len(), 2);
+        // Thread 1's interval-0 OAL arrives after its round closed.
+        let mut late = oal(1, 0);
+        late.entries.push(jessy_core::OalEntry {
+            obj: jessy_gos::ObjectId(7),
+            class: jessy_gos::ClassId(0),
+            bytes: 64,
+        });
+        assert_eq!(s.ingest(late), Ingest::Late);
+        assert_eq!(s.late_count(), 1);
+        let buffered = s.take_late();
+        assert_eq!(buffered.len(), 1);
+        assert_eq!(buffered[0].thread, ThreadId(1));
+    }
+
+    #[test]
+    fn flush_closes_partial_rounds_with_their_coverage() {
+        let mut s = RoundScheduler::new(2, 2, None);
+        s.ingest(oal(0, 0));
+        s.ingest(oal(1, 0));
+        s.ingest(oal(0, 1)); // round 0 three of four; round 1 untouched
+        s.ingest(oal(0, 2));
+        assert!(s.ready_rounds().is_empty());
+        let closed = s.flush();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].coverage, 0.75);
+        assert_eq!(closed[1].coverage, 0.25);
+    }
+
+    #[test]
+    fn out_of_order_arrival_within_open_rounds_is_accepted() {
+        let mut s = RoundScheduler::new(1, 4, None);
+        for i in [3u64, 0, 2, 1] {
+            assert_eq!(s.ingest(oal(0, i)), Ingest::Accepted);
+        }
+        let closed = s.ready_rounds();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].coverage, 1.0);
     }
 }

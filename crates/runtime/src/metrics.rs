@@ -30,6 +30,9 @@ pub struct RunReport {
     pub profiler: ProfilerStatsSnapshot,
     /// Master daemon output, when a run happened.
     pub master: Option<MasterOutput>,
+    /// OAL batches an application thread could not post (master mailbox already
+    /// closed). Non-zero values mean the profile silently lost those intervals.
+    pub oal_post_failures: u64,
 }
 
 impl RunReport {
@@ -51,6 +54,9 @@ impl RunReport {
             proto: shared.gos.proto_counters(),
             profiler: shared.prof.stats().snapshot(),
             master: master.cloned(),
+            oal_post_failures: shared
+                .oal_post_failures
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -94,6 +100,7 @@ mod tests {
             proto: ProtocolCounters::default(),
             profiler: ProfilerStatsSnapshot::default(),
             master: None,
+            oal_post_failures: 0,
         }
     }
 

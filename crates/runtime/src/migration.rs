@@ -78,6 +78,7 @@ mod tests {
             costs: CostModel::free(),
             prefetch_depth: 0,
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         let class = gos.classes().register_scalar("X", 1);
@@ -99,6 +100,7 @@ mod tests {
             costs: CostModel::free(),
             prefetch_depth: 0,
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         let class = gos.classes().register_scalar("X", 2);

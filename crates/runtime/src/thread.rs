@@ -151,7 +151,14 @@ impl JThread {
                     self.clock
                         .spend((bytes as f64 * fabric.latency_model().ns_per_byte) as u64);
                 }
-                self.shared.oal_tx.post(self.node, oal);
+                let key = jessy_net::oal_fault_key(oal.thread, oal.interval);
+                if self.shared.oal_tx.try_post_keyed(self.node, key, oal).is_err() {
+                    // Mailbox gone (master already joined): count, don't crash the
+                    // application thread — the profile just loses this interval.
+                    self.shared
+                        .oal_post_failures
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
             }
         }
     }

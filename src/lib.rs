@@ -52,7 +52,9 @@ pub mod prelude {
         ProfilerConfig, SamplingRate, StackSamplingConfig, Tcm,
     };
     pub use jessy_gos::{AccessState, ClassId, CostModel, Gos, GosConfig, LockId, ObjectId};
-    pub use jessy_net::{ClockBoard, LatencyModel, MsgClass, NodeId, ThreadId};
-    pub use jessy_runtime::{Cluster, JThread, LoadBalancer, RunReport};
+    pub use jessy_net::{
+        ClockBoard, FaultPlan, FaultStats, LatencyModel, MsgClass, NodeId, StallWindow, ThreadId,
+    };
+    pub use jessy_runtime::{Cluster, JThread, LoadBalancer, RunReport, RuntimeError};
     pub use jessy_workloads::{WorkloadKind, WorkloadPreset};
 }

@@ -200,6 +200,7 @@ proptest! {
             costs: CostModel::free(),
             prefetch_depth: 0,
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         let class = gos.classes().register_scalar("N", 2);
@@ -324,6 +325,74 @@ proptest! {
         prop_assert_eq!(reduced.raw(), central.tcm().raw());
     }
 
+    /// Chaos variant: the same *degraded* OAL stream — shuffled out of order,
+    /// partially dropped, with duplicated batches — fed to the centralized builder
+    /// and the sharded reducer must still produce bit-identical maps, with round
+    /// closes interleaved mid-stream. All perturbations derive from a seeded hash,
+    /// so every failure replays exactly.
+    #[test]
+    fn sharded_reduction_survives_shuffled_dropped_duplicated_streams(
+        raw in prop::collection::vec(
+            (0u32..8, 0u64..6, prop::collection::vec((0u32..40, 1u64..500), 0..6)),
+            1..80,
+        ),
+        n_shards in 1usize..9,
+        seed in 0u64..1_000_000_000,
+        drop_mod in 2u64..8,
+        dup_mod in 2u64..8,
+    ) {
+        use jessy::core::distributed::ShardedTcmReducer;
+        fn mix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        // Base stream, then seeded chaos: drop ~1/drop_mod, duplicate ~1/dup_mod.
+        let mut stream: Vec<jessy::core::Oal> = Vec::new();
+        for (k, (t, i, es)) in raw.iter().enumerate() {
+            let oal = jessy::core::Oal {
+                thread: ThreadId(*t),
+                interval: *i,
+                entries: es
+                    .iter()
+                    .map(|&(o, b)| jessy::core::OalEntry {
+                        obj: ObjectId(o),
+                        class: ClassId(0),
+                        bytes: b,
+                    })
+                    .collect(),
+            };
+            let h = mix(seed ^ k as u64);
+            if h.is_multiple_of(drop_mod) {
+                continue;
+            }
+            if h % dup_mod == 1 {
+                stream.push(oal.clone());
+            }
+            stream.push(oal);
+        }
+        // Seeded Fisher–Yates shuffle: arrival order is adversarial but replayable.
+        for i in (1..stream.len()).rev() {
+            let j = (mix(seed.wrapping_add(i as u64)) % (i as u64 + 1)) as usize;
+            stream.swap(i, j);
+        }
+        let mut central = TcmBuilder::new(8);
+        let mut sharded = ShardedTcmReducer::new(n_shards, 8);
+        for (k, o) in stream.iter().enumerate() {
+            central.ingest(o);
+            sharded.ingest(o);
+            if k % 7 == 6 {
+                central.close_round();
+                sharded.close_round();
+            }
+        }
+        central.close_round();
+        sharded.close_round();
+        let reduced = sharded.reduce();
+        prop_assert_eq!(reduced.raw(), central.tcm().raw());
+    }
+
     // ------------------------------------------------------------ LU numerics
 
     #[test]
@@ -411,6 +480,7 @@ proptest! {
             costs: CostModel::free(),
             prefetch_depth: 0,
             consistency: jessy::gos::protocol::ConsistencyModel::GlobalHlrc,
+            faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
         // 64-byte class at 8X → gap 8 → prime 7: objects 0 and 7 sampled.

@@ -1,0 +1,159 @@
+//! Offline drop-in subset of `crossbeam`.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with the few methods
+//! this workspace uses (`send`, `try_recv`, `len`, `is_empty`). Built on a mutexed
+//! `VecDeque` — adequate for the low-rate OAL mailbox traffic it carries here.
+
+/// Multi-producer multi-consumer FIFO channels (unbounded only).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        rx_alive: AtomicBool,
+    }
+
+    /// Error of [`Sender::send`]: the receiving side was dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still exist).
+        Empty,
+        /// The channel is empty and every sender was dropped.
+        Disconnected,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            rx_alive: AtomicBool::new(true),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if !self.shared.rx_alive.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-check under the lock so a racing receiver drop can't strand messages
+            // that a later send claims were delivered.
+            if !self.shared.rx_alive.load(Ordering::Acquire) {
+                return Err(SendError(value));
+            }
+            q.push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("Sender").finish()
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the oldest message, if any.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if Arc::strong_count(&self.shared) == 1 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.rx_alive.store(false, Ordering::Release);
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("Receiver").finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order_and_len() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(7).is_err());
+        }
+
+        #[test]
+        fn empty_vs_disconnected() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline `serde` subset.
+//!
+//! Real `serde` cannot be vendored here (no network), and this workspace only needs
+//! JSON reports: types serialize into a [`Value`] tree which `serde_json` renders and
+//! parses. The public surface mirrors what the workspace uses — `Serialize`,
+//! `Deserialize`, and the same-named derive macros.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the intermediate representation of this serde subset.
+///
+/// Objects keep insertion order (a `Vec` of pairs), so derived struct output is
+/// deterministic and matches field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed (negative) integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Borrow the pairs if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Borrow the items if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (floats accepted when integral).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (floats accepted when integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Field lookup in object pairs; missing fields read as `Null` (so `Option`
+    /// fields deserialize to `None`).
+    pub fn field<'a>(pairs: &'a [(String, Value)], name: &str) -> &'a Value {
+        pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: what was expected, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A type-mismatch error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError {
+            message: format!("expected {what} for {context}"),
+        }
+    }
+
+    /// A custom error message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Wrap with field context.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            message: format!("{field}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ------------------------------------------------------------------ primitive impls
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(u).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| DeError::expected("number", stringify!($t)))
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::deserialize_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| DeError::expected("array of fixed length", "[T; N]"))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($idx:tt : $t:ident),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let mut it = arr.iter();
+                Ok(($(
+                    $t::deserialize_value(it.next().ok_or_else(|| DeError::expected("longer array", "tuple"))?)?,
+                )+))
+            }
+        }
+    )*};
+}
+ser_de_tuple!(
+    (0: A),
+    (0: A, 1: B),
+    (0: A, 1: B, 2: C),
+    (0: A, 1: B, 2: C, 3: D)
+);
+
+fn map_to_value<'a>(iter: impl Iterator<Item = (&'a (dyn ErasedSerialize + 'a), &'a (dyn ErasedSerialize + 'a))>) -> Value {
+    let mut pairs: Vec<(Value, Value)> = iter
+        .map(|(k, v)| (k.erased_serialize(), v.erased_serialize()))
+        .collect();
+    // Canonical order so HashMap serialization is deterministic.
+    pairs.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+    Value::Array(
+        pairs
+            .into_iter()
+            .map(|(k, v)| Value::Array(vec![k, v]))
+            .collect(),
+    )
+}
+
+trait ErasedSerialize {
+    fn erased_serialize(&self) -> Value;
+}
+
+impl<T: Serialize> ErasedSerialize for T {
+    fn erased_serialize(&self) -> Value {
+        self.serialize_value()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        map_to_value(
+            self.iter()
+                .map(|(k, v)| (k as &dyn ErasedSerialize, v as &dyn ErasedSerialize)),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<(K, V)> = Vec::deserialize_value(v)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        map_to_value(
+            self.iter()
+                .map(|(k, v)| (k as &dyn ErasedSerialize, v as &dyn ErasedSerialize)),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<(K, V)> = Vec::deserialize_value(v)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Some(3u32).serialize_value(), Value::UInt(3));
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::deserialize_value(&Value::UInt(9)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        assert_eq!(u64::deserialize_value(&Value::Float(16.0)).unwrap(), 16);
+        assert_eq!(f64::deserialize_value(&Value::UInt(16)).unwrap(), 16.0);
+        assert!(u32::deserialize_value(&Value::Float(0.5)).is_err());
+    }
+
+    #[test]
+    fn missing_field_reads_null() {
+        let pairs = vec![("a".to_string(), Value::UInt(1))];
+        assert_eq!(Value::field(&pairs, "a"), &Value::UInt(1));
+        assert_eq!(Value::field(&pairs, "b"), &Value::Null);
+    }
+
+    #[test]
+    fn hashmap_serializes_deterministically() {
+        let mut m = HashMap::new();
+        m.insert(3u32, "c".to_string());
+        m.insert(1u32, "a".to_string());
+        m.insert(2u32, "b".to_string());
+        let a = m.serialize_value();
+        let b = m.clone().serialize_value();
+        assert_eq!(a, b);
+        let back: HashMap<u32, String> = Deserialize::deserialize_value(&a).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,388 @@
+//! Derive macros for the offline `serde` subset.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`): supports non-generic structs
+//! (named, tuple, unit) and enums (unit, tuple and struct variants, with optional
+//! explicit discriminants). Field attributes are ignored; `#[serde(...)]` renaming
+//! is not supported — none of this workspace uses it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one type (or discriminant expression) until a comma at angle-bracket
+/// depth zero; returns the index of the comma (or `tokens.len()`).
+fn skip_to_field_end(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        fields.push(name.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_to_field_end(&tokens, i);
+        i += 1; // ','
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_field_end(&tokens, i);
+        i += 1; // ','
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Optional discriminant (`= expr`) then the separating comma.
+        i = skip_to_field_end(&tokens, i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported by the offline serde derive"));
+        }
+    }
+    let shape = match kind.as_str() {
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        },
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g))
+            }
+            _ => Shape::UnitStruct,
+        },
+        other => return Err(format!("cannot derive for item kind `{other}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut push = String::new();
+            for f in fields {
+                push.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{push}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut sets = String::new();
+            for f in fields {
+                sets.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(::serde::Value::field(__obj, \"{f}\"))\
+                     .map_err(|e| e.in_field(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{sets}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"array of {n}\", \"{name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "return ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize_value(__inner)?));"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::deserialize_value(&__arr[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"array of {n}\", \"{name}::{vn}\")); }}\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({}));",
+                                items.join(", ")
+                            )
+                        };
+                        keyed_arms.push_str(&format!("\"{vn}\" => {{ {build} }}\n"));
+                    }
+                    VariantFields::Named(fields) => {
+                        let sets: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize_value(\
+                                     ::serde::Value::field(__fields, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n}}\n",
+                            sets.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                 if __obj.len() == 1 {{\nlet (__key, __inner) = &__obj[0];\n\
+                 match __key.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", \"{name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let err = format!("compile_error!({msg:?});");
+            return err.parse().expect("compile_error tokens");
+        }
+    };
+    let code = if ser { gen_serialize(&item) } else { gen_deserialize(&item) };
+    code.parse().unwrap_or_else(|e| {
+        let err = format!("compile_error!(\"offline serde derive generated invalid code: {e:?}\");");
+        err.parse().expect("compile_error tokens")
+    })
+}
+
+/// Derive `serde::Serialize` (offline subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive `serde::Deserialize` (offline subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
