@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use jessy_bench::TextTable;
-use jessy_core::distributed::{split_oal, ShardedTcmReducer};
+use jessy_core::distributed::{split_oal_into, ShardedTcmReducer, SplitScratch};
 use jessy_core::oal::{Oal, OalEntry};
 use jessy_core::TcmBuilder;
 use jessy_gos::ClassId;
@@ -44,11 +44,13 @@ fn central_ns(oals: &[Oal], n: usize) -> (u128, jessy_core::Tcm) {
 }
 
 fn sharded_ns(oals: &[Oal], n: usize, shards: usize) -> (u128, jessy_core::Tcm) {
-    // Pre-split (the split happens at the worker nodes in the real scheme).
+    // Pre-split (the split happens at the worker nodes in the real scheme); one
+    // scratch is reused across every OAL instead of allocating per call.
+    let mut scratch = SplitScratch::new();
     let mut per_shard: Vec<Vec<Oal>> = vec![Vec::new(); shards];
     for o in oals {
-        for (s, slice) in split_oal(o, shards) {
-            per_shard[s].push(slice);
+        for (s, slice) in split_oal_into(o, shards, &mut scratch) {
+            per_shard[s].push(slice.to_owned());
         }
     }
     let t0 = Instant::now();

@@ -10,7 +10,7 @@
 //! *absolute* accuracy; when `B` is merely the next finer rate it is the *relative*
 //! accuracy the adaptive controller steers by (Fig. 9 shows the two track each other).
 
-use crate::tcm::Tcm;
+use crate::tcm::{SparseTcm, Tcm};
 
 /// `E_ABS` distance between `a` and the reference `b` (formula 2). Returns 0 for two
 /// all-zero maps, and +∞ if only the reference is all-zero.
@@ -67,6 +67,50 @@ pub fn e_euc(a: &Tcm, b: &Tcm) -> f64 {
     }
 }
 
+/// `E_ABS` distance between two sparse maps (formula 2) via a sorted union walk —
+/// `O(|a| + |b|)` touched cells, no densification. Matches [`e_abs`] on the dense
+/// expansions: both metrics are ratios, so the triangular packing (which halves
+/// numerator and denominator alike) leaves the value unchanged.
+pub fn e_abs_sparse(a: &SparseTcm, b: &SparseTcm) -> f64 {
+    assert_eq!(a.n(), b.n(), "maps must have equal dimensions");
+    let (ac, bc) = (a.cells(), b.cells());
+    let (mut i, mut j) = (0, 0);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    while i < ac.len() && j < bc.len() {
+        match ac[i].0.cmp(&bc[j].0) {
+            std::cmp::Ordering::Less => {
+                num += ac[i].1.abs();
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                num += bc[j].1.abs();
+                den += bc[j].1.abs();
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                num += (ac[i].1 - bc[j].1).abs();
+                den += bc[j].1.abs();
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    num += ac[i..].iter().map(|&(_, v)| v.abs()).sum::<f64>();
+    let tail: f64 = bc[j..].iter().map(|&(_, v)| v.abs()).sum();
+    num += tail;
+    den += tail;
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
 /// Accuracy under the absolute-value metric: `1 − E_ABS`, clamped to `[0, 1]`.
 pub fn accuracy_abs(a: &Tcm, b: &Tcm) -> f64 {
     (1.0 - e_abs(a, b)).clamp(0.0, 1.0)
@@ -103,9 +147,25 @@ mod tests {
     fn abs_distance_matches_hand_computation() {
         let a = map(&[(0, 1, 8.0)], 2);
         let b = map(&[(0, 1, 10.0)], 2);
-        // Each half of the symmetric matrix contributes: |8-10|*2 / (10*2) = 0.2.
+        // One packed cell per pair: |8-10| / 10 = 0.2 (the dense form's duplicated
+        // halves cancel in the ratio).
         assert!((e_abs(&a, &b) - 0.2).abs() < 1e-12);
         assert!((accuracy_abs(&a, &b) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_distance_matches_dense() {
+        let t = |i| ThreadId(i);
+        let a = SparseTcm::from_pairs(4, &[(t(0), t(1), 8.0), (t(2), t(3), 4.0)]);
+        let b = SparseTcm::from_pairs(4, &[(t(0), t(1), 10.0), (t(1), t(2), 2.0)]);
+        let dense = e_abs(&a.to_dense(), &b.to_dense());
+        assert!((e_abs_sparse(&a, &b) - dense).abs() < 1e-12);
+        // (|8-10| + |4-0| + |0-2|) / (10 + 2)
+        assert!((e_abs_sparse(&a, &b) - 8.0 / 12.0).abs() < 1e-12);
+        // Edge cases mirror the dense metric.
+        let z = SparseTcm::new(4);
+        assert_eq!(e_abs_sparse(&z, &z), 0.0);
+        assert_eq!(e_abs_sparse(&a, &z), f64::INFINITY);
     }
 
     #[test]

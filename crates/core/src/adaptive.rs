@@ -21,9 +21,9 @@ use std::collections::{HashMap, HashSet};
 use jessy_gos::{ClassId, Gos};
 use jessy_net::ClockHandle;
 
-use crate::accuracy::e_abs;
+use crate::accuracy::e_abs_sparse;
 use crate::sampling::{ClassGapState, GapTable};
-use crate::tcm::Tcm;
+use crate::tcm::SparseTcm;
 
 /// A rate-change decision for one class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,7 +57,7 @@ pub enum RoundOutcome {
 pub struct AdaptiveController {
     threshold: f64,
     min_coverage: f64,
-    prev_round: HashMap<ClassId, Tcm>,
+    prev_round: HashMap<ClassId, SparseTcm>,
     converged: HashSet<ClassId>,
 }
 
@@ -94,7 +94,7 @@ impl AdaptiveController {
     /// is marked converged.
     pub fn on_round(
         &mut self,
-        round_per_class: &HashMap<ClassId, Tcm>,
+        round_per_class: &HashMap<ClassId, SparseTcm>,
         gaps: &GapTable,
     ) -> Vec<RateChange> {
         let mut changes = Vec::new();
@@ -104,7 +104,7 @@ impl AdaptiveController {
             let cur = &round_per_class[class];
             if !self.converged.contains(class) {
                 if let Some(prev) = self.prev_round.get(class) {
-                    let d = e_abs(cur, prev);
+                    let d = e_abs_sparse(cur, prev);
                     if d <= self.threshold {
                         self.converged.insert(*class);
                     } else if gaps.state(*class).real_gap <= 1 {
@@ -131,7 +131,7 @@ impl AdaptiveController {
     /// instead of thrashing rates on phantom workload shifts.
     pub fn on_round_with_coverage(
         &mut self,
-        round_per_class: &HashMap<ClassId, Tcm>,
+        round_per_class: &HashMap<ClassId, SparseTcm>,
         gaps: &GapTable,
         coverage: f64,
     ) -> RoundOutcome {
@@ -180,9 +180,8 @@ mod tests {
     use crate::sampling::SamplingRate;
     use jessy_net::ThreadId;
 
-    fn round(class: ClassId, v: f64) -> HashMap<ClassId, Tcm> {
-        let mut t = Tcm::new(2);
-        t.add_pair(ThreadId(0), ThreadId(1), v);
+    fn round(class: ClassId, v: f64) -> HashMap<ClassId, SparseTcm> {
+        let t = SparseTcm::from_pairs(2, &[(ThreadId(0), ThreadId(1), v)]);
         HashMap::from([(class, t)])
     }
 

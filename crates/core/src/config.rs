@@ -97,6 +97,11 @@ pub struct ProfilerConfig {
     /// still fold into the TCM but skip rate adaptation (a lossy round would look
     /// artificially different from its predecessor and trigger spurious refinement).
     pub min_round_coverage: f64,
+    /// Number of shards the master's TCM reducer spreads round closes over (Section
+    /// V's distributed deduction). `1` (the default) keeps the centralized serial
+    /// reducer; any value yields bit-identical maps, larger values let big rounds
+    /// close on parallel OS threads.
+    pub tcm_shards: usize,
 }
 
 impl ProfilerConfig {
@@ -117,6 +122,7 @@ impl ProfilerConfig {
             tolerance_t: 2.0,
             round_deadline_intervals: None,
             min_round_coverage: 0.0,
+            tcm_shards: 1,
         }
     }
 

@@ -13,16 +13,21 @@
 //!    its `M/K` objects;
 //! 3. partial maps merge by matrix addition at round close.
 //!
-//! [`ShardedTcmReducer`] implements the scheme; its result is bit-identical to the
-//! centralized [`crate::TcmBuilder`] (asserted by tests), and the `distributed_tcm`
-//! bench measures the speedup with reducers on real OS threads.
+//! [`ShardedTcmReducer`] implements the scheme. [`ShardedTcmReducer::close_round`]
+//! runs the shard closes on crossbeam scoped threads (one per shard, skipped for
+//! single shards or small rounds) and merges the partial maps at the join barrier.
+//! The result is **bit-identical** to the serial reference regardless of thread
+//! scheduling: each shard accrues its cells in its own fixed ingestion order, and
+//! partial maps merge in ascending shard index (join order = spawn order), so every
+//! f64 addition sequence is fixed. The property tests in `tests/properties.rs` assert
+//! this against the retained scalar reference, including shuffled shard-close order.
 
 use serde::{Deserialize, Serialize};
 
 use jessy_gos::ObjectId;
 
-use crate::oal::{Oal, OalEntry};
-use crate::tcm::{Tcm, TcmBuilder};
+use crate::oal::{Oal, OalEntry, OalRef};
+use crate::tcm::{RoundSummary, Tcm, TcmBuilder};
 
 /// The reducer shard responsible for an object.
 #[inline]
@@ -30,26 +35,59 @@ pub fn shard_of(obj: ObjectId, n_shards: usize) -> usize {
     obj.index() % n_shards
 }
 
-/// Split one OAL into per-shard slices (empty slices elided).
-pub fn split_oal(oal: &Oal, n_shards: usize) -> Vec<(usize, Oal)> {
-    let mut per_shard: Vec<Vec<OalEntry>> = vec![Vec::new(); n_shards];
-    for e in &oal.entries {
-        per_shard[shard_of(e.obj, n_shards)].push(*e);
+/// Reusable per-shard entry buffers for OAL splitting. Keeping one of these alive
+/// across OALs (and rounds) makes the split step allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct SplitScratch {
+    per_shard: Vec<Vec<OalEntry>>,
+}
+
+impl SplitScratch {
+    /// Empty scratch; buffers grow on first use and are retained afterwards.
+    pub fn new() -> Self {
+        SplitScratch::default()
     }
-    per_shard
-        .into_iter()
+}
+
+/// Split one OAL into per-shard slices inside `scratch` (buffers reused across
+/// calls), yielding borrowed views with empty slices elided.
+pub fn split_oal_into<'a>(
+    oal: &Oal,
+    n_shards: usize,
+    scratch: &'a mut SplitScratch,
+) -> impl Iterator<Item = (usize, OalRef<'a>)> + 'a {
+    if scratch.per_shard.len() < n_shards {
+        scratch.per_shard.resize_with(n_shards, Vec::new);
+    }
+    for buf in &mut scratch.per_shard[..n_shards] {
+        buf.clear();
+    }
+    for e in &oal.entries {
+        scratch.per_shard[shard_of(e.obj, n_shards)].push(*e);
+    }
+    let (thread, interval) = (oal.thread, oal.interval);
+    scratch.per_shard[..n_shards]
+        .iter()
         .enumerate()
         .filter(|(_, entries)| !entries.is_empty())
-        .map(|(shard, entries)| {
+        .map(move |(shard, entries)| {
             (
                 shard,
-                Oal {
-                    thread: oal.thread,
-                    interval: oal.interval,
+                OalRef {
+                    thread,
+                    interval,
                     entries,
                 },
             )
         })
+}
+
+/// Split one OAL into owned per-shard slices (empty slices elided). Allocates per
+/// call; hot paths should hold a [`SplitScratch`] and use [`split_oal_into`].
+pub fn split_oal(oal: &Oal, n_shards: usize) -> Vec<(usize, Oal)> {
+    let mut scratch = SplitScratch::new();
+    split_oal_into(oal, n_shards, &mut scratch)
+        .map(|(shard, view)| (shard, view.to_owned()))
         .collect()
 }
 
@@ -62,11 +100,41 @@ pub struct ReduceStats {
     pub max_shard_objects: usize,
 }
 
+/// Merge per-shard round summaries **in slice order** into one global summary.
+/// Callers that need bit-identical results must pass summaries ordered by shard
+/// index; the property tests feed deliberately shuffled close orders through this by
+/// re-sorting first.
+pub fn merge_round_summaries(n_threads: usize, summaries: &[RoundSummary]) -> RoundSummary {
+    let mut merged = RoundSummary {
+        objects: 0,
+        tcm: Tcm::new(n_threads),
+        per_class: std::collections::HashMap::new(),
+    };
+    for s in summaries {
+        merged.objects += s.objects;
+        merged.tcm.merge(&s.tcm);
+        for (class, sparse) in &s.per_class {
+            merged
+                .per_class
+                .entry(*class)
+                .and_modify(|m| m.merge(sparse))
+                .or_insert_with(|| sparse.clone());
+        }
+    }
+    merged
+}
+
+/// Rounds smaller than this close serially even on multi-shard reducers: spawning
+/// OS threads costs more than accruing a few thousand objects.
+const PARALLEL_MIN_OBJECTS: usize = 4096;
+
 /// An object-sharded TCM reducer: `K` independent builders plus a merge.
 #[derive(Debug)]
 pub struct ShardedTcmReducer {
     shards: Vec<TcmBuilder>,
     n_threads: usize,
+    scratch: SplitScratch,
+    parallel_threshold: usize,
 }
 
 impl ShardedTcmReducer {
@@ -76,6 +144,8 @@ impl ShardedTcmReducer {
         ShardedTcmReducer {
             shards: (0..n_shards).map(|_| TcmBuilder::new(n_threads)).collect(),
             n_threads,
+            scratch: SplitScratch::new(),
+            parallel_threshold: PARALLEL_MIN_OBJECTS,
         }
     }
 
@@ -84,22 +154,66 @@ impl ShardedTcmReducer {
         self.shards.len()
     }
 
-    /// Ingest one OAL, routing each entry to its shard.
-    pub fn ingest(&mut self, oal: &Oal) {
-        for (shard, slice) in split_oal(oal, self.shards.len()) {
-            self.shards[shard].ingest(&slice);
+    /// Override the round size below which closes stay serial (tests use `0` to
+    /// force the scoped-thread path on tiny rounds).
+    pub fn set_parallel_threshold(&mut self, min_objects: usize) {
+        self.parallel_threshold = min_objects;
+    }
+
+    /// Decay factor applied by every shard at round close (the merged map decays
+    /// identically because scaling distributes over the shard sum).
+    pub fn set_decay(&mut self, decay: f64) {
+        for shard in &mut self.shards {
+            shard.set_decay(decay);
         }
     }
 
-    /// Close the round on every shard (what the parallel reducers do independently).
-    pub fn close_round(&mut self) -> ReduceStats {
-        let mut stats = ReduceStats::default();
-        for shard in &mut self.shards {
-            let summary = shard.close_round();
-            stats.objects += summary.objects;
-            stats.max_shard_objects = stats.max_shard_objects.max(summary.objects);
+    /// Ingest one OAL, routing each entry to its shard through the reused split
+    /// scratch (no per-OAL allocation in steady state).
+    pub fn ingest(&mut self, oal: &Oal) {
+        let n_shards = self.shards.len();
+        if n_shards == 1 {
+            self.shards[0].ingest(oal);
+            return;
         }
-        stats
+        let shards = &mut self.shards;
+        for (shard, slice) in split_oal_into(oal, n_shards, &mut self.scratch) {
+            shards[shard].ingest_view(slice);
+        }
+    }
+
+    /// Close the round on every shard — in parallel on crossbeam scoped threads when
+    /// the round is large enough — and merge the partial maps in shard-index order.
+    ///
+    /// Returns the reduce statistics plus the merged round summary (what a central
+    /// builder's `close_round` would have returned; bit-identical to it).
+    pub fn close_round(&mut self) -> (ReduceStats, RoundSummary) {
+        let pending: usize = self.shards.iter().map(|s| s.pending_objects()).sum();
+        let summaries: Vec<RoundSummary> =
+            if self.shards.len() > 1 && pending >= self.parallel_threshold {
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .map(|shard| scope.spawn(move |_| shard.close_round()))
+                        .collect();
+                    // Joining in spawn order = shard-index order; arbitrary shard
+                    // completion order cannot perturb the merge below.
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard close panicked"))
+                        .collect()
+                })
+                .expect("scoped shard close failed")
+            } else {
+                self.shards.iter_mut().map(|s| s.close_round()).collect()
+            };
+        let stats = ReduceStats {
+            objects: summaries.iter().map(|s| s.objects).sum(),
+            max_shard_objects: summaries.iter().map(|s| s.objects).max().unwrap_or(0),
+        };
+        let merged = merge_round_summaries(self.n_threads, &summaries);
+        (stats, merged)
     }
 
     /// Merge the shard maps into the global TCM (matrix addition).
@@ -111,6 +225,17 @@ impl ShardedTcmReducer {
         out
     }
 
+    /// Rounds closed so far (every shard closes each round, so shard 0 speaks for
+    /// all).
+    pub fn rounds_closed(&self) -> u64 {
+        self.shards[0].rounds_closed()
+    }
+
+    /// Objects pending in the current (unclosed) round, summed over shards.
+    pub fn pending_objects(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_objects()).sum()
+    }
+
     /// Direct access to a shard's builder (parallel drivers move these to threads).
     pub fn into_shards(self) -> Vec<TcmBuilder> {
         self.shards
@@ -119,7 +244,12 @@ impl ShardedTcmReducer {
     /// Rebuild a reducer from independently-processed shard builders.
     pub fn from_shards(shards: Vec<TcmBuilder>, n_threads: usize) -> Self {
         assert!(!shards.is_empty());
-        ShardedTcmReducer { shards, n_threads }
+        ShardedTcmReducer {
+            shards,
+            n_threads,
+            scratch: SplitScratch::new(),
+            parallel_threshold: PARALLEL_MIN_OBJECTS,
+        }
     }
 }
 
@@ -163,20 +293,44 @@ mod tests {
         for o in &oals {
             central.ingest(o);
         }
-        central.close_round();
+        let central_summary = central.close_round();
 
         for n_shards in [1usize, 2, 3, 7, 16] {
             let mut sharded = ShardedTcmReducer::new(n_shards, 6);
             for o in &oals {
                 sharded.ingest(o);
             }
-            sharded.close_round();
+            let (_, summary) = sharded.close_round();
             assert_eq!(
                 sharded.reduce().raw(),
                 central.tcm().raw(),
-                "mismatch at {n_shards} shards"
+                "cumulative mismatch at {n_shards} shards"
             );
+            assert_eq!(
+                summary.tcm.raw(),
+                central_summary.tcm.raw(),
+                "round-map mismatch at {n_shards} shards"
+            );
+            assert_eq!(summary.per_class, central_summary.per_class);
         }
+    }
+
+    #[test]
+    fn forced_parallel_close_is_bit_identical() {
+        let oals = workload();
+        let mut serial = ShardedTcmReducer::new(4, 6);
+        let mut parallel = ShardedTcmReducer::new(4, 6);
+        parallel.set_parallel_threshold(0); // spawn scoped threads even for tiny rounds
+        for o in &oals {
+            serial.ingest(o);
+            parallel.ingest(o);
+        }
+        let (s_stats, s_summary) = serial.close_round();
+        let (p_stats, p_summary) = parallel.close_round();
+        assert_eq!(s_stats, p_stats);
+        assert_eq!(s_summary.tcm.raw(), p_summary.tcm.raw());
+        assert_eq!(s_summary.per_class, p_summary.per_class);
+        assert_eq!(serial.reduce().raw(), parallel.reduce().raw());
     }
 
     #[test]
@@ -198,18 +352,37 @@ mod tests {
     }
 
     #[test]
+    fn split_scratch_reuses_buffers_across_oals() {
+        let mut scratch = SplitScratch::new();
+        let big = oal(0, &(0..64u32).map(|o| (o, 8)).collect::<Vec<_>>());
+        let n: usize = split_oal_into(&big, 4, &mut scratch).count();
+        assert_eq!(n, 4);
+        let caps: Vec<usize> = scratch.per_shard.iter().map(|v| v.capacity()).collect();
+        assert!(caps.iter().all(|&c| c >= 16));
+        // A smaller OAL reuses the grown buffers: capacities must not shrink or move.
+        let small = oal(1, &[(0, 1), (1, 1)]);
+        let views: Vec<(usize, usize)> = split_oal_into(&small, 4, &mut scratch)
+            .map(|(s, v)| (s, v.entries.len()))
+            .collect();
+        assert_eq!(views, vec![(0, 1), (1, 1)]);
+        let caps_after: Vec<usize> = scratch.per_shard.iter().map(|v| v.capacity()).collect();
+        assert_eq!(caps, caps_after, "split buffers retained across OALs");
+    }
+
+    #[test]
     fn rounds_close_per_shard_and_stats_add_up() {
         let mut r = ShardedTcmReducer::new(4, 6);
         for o in workload() {
             r.ingest(&o);
         }
-        let stats = r.close_round();
+        let (stats, _) = r.close_round();
         assert!(stats.objects > 0);
         assert!(stats.max_shard_objects <= stats.objects);
         assert!(
             stats.max_shard_objects * 4 >= stats.objects,
             "shards roughly balanced: {stats:?}"
         );
+        assert_eq!(r.rounds_closed(), 1);
     }
 
     #[test]

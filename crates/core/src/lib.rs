@@ -41,14 +41,14 @@ pub mod stack_sampling;
 pub mod sticky;
 pub mod tcm;
 
-pub use accuracy::{accuracy_abs, accuracy_euc, e_abs, e_euc};
+pub use accuracy::{accuracy_abs, accuracy_euc, e_abs, e_abs_sparse, e_euc};
 pub use adaptive::{AdaptiveController, RateChange, RoundOutcome};
 pub use config::{FootprintConfig, FootprintMode, ProfilerConfig, StackSamplingConfig};
-pub use distributed::ShardedTcmReducer;
+pub use distributed::{ShardedTcmReducer, SplitScratch};
 pub use homeaware::{HomeAwareAnalyzer, HomeAwareReport, HomeMigrationRec};
-pub use oal::{Oal, OalEntry};
+pub use oal::{Oal, OalEntry, OalRef};
 pub use pcct::{Pcct, PcctSampler};
 pub use profiler::{ProfilerShared, ProfilerStats, ThreadProfiler};
 pub use sampling::{GapTable, SamplingRate};
 pub use stack_sampling::StackSampler;
-pub use tcm::{Tcm, TcmBuilder};
+pub use tcm::{RoundSummary, SparseTcm, Tcm, TcmBuilder};

@@ -264,7 +264,10 @@ impl ThreadProfiler {
             .stats
             .intervals_closed
             .fetch_add(1, Ordering::Relaxed);
-        self.last_accessed = std::mem::take(&mut self.accessed_sampled);
+        // Swap (not take) so both buffers keep their grown capacity across
+        // intervals — steady-state interval closes then never reallocate.
+        std::mem::swap(&mut self.last_accessed, &mut self.accessed_sampled);
+        self.accessed_sampled.clear();
         self.logged_this_interval.clear();
         if let Some(fp) = &mut self.footprint {
             self.last_footprint = fp.close_interval();

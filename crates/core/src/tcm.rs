@@ -9,6 +9,23 @@
 //! per-object organization of the round into the map and clears it. Accumulating in
 //! rounds (one round = `intervals_per_round` closed intervals) is what lets the
 //! adaptive controller compare "successive correlation matrices".
+//!
+//! # Reduction data layout
+//!
+//! The map is symmetric with a zero diagonal, so [`Tcm`] stores only the strict upper
+//! triangle, packed row-major into `n·(n−1)/2` cells — half the memory of a dense
+//! matrix and one write per pair instead of two. Each round-pending object carries a
+//! fixed-width **thread bitset** (`⌈N/64⌉` `u64` words) instead of a `Vec<ThreadId>`:
+//! membership insert is one OR, dedup is structural (a thread logging the same object
+//! in several intervals of one round sets the same bit), and pair accrual walks set
+//! bits with trailing-zeros word iteration. Per-class round maps are **sparse**
+//! ([`SparseTcm`]): only the pairs a class actually touched, accumulated in a
+//! capacity-retained dense scratch and drained in ascending cell order at round close.
+//! All round-local buffers (object index, bitset arena, class scratch) retain their
+//! capacity across rounds, so steady-state ingestion is allocation-free.
+//!
+//! The [`reference`] module retains the seed's scalar implementation as the
+//! bit-exactness oracle for tests and the baseline for the `tcm_reduce` bench.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -16,9 +33,37 @@ use std::collections::HashMap;
 use jessy_gos::{ClassId, ObjectId};
 use jessy_net::ThreadId;
 
-use crate::oal::Oal;
+use crate::oal::{Oal, OalEntry, OalRef};
 
-/// A symmetric N×N correlation map with a zero diagonal.
+/// Cells of the packed strict upper triangle for `n` threads.
+#[inline]
+pub(crate) fn tri_len(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Packed index of pair `(i, j)` with `i < j < n`.
+#[inline]
+pub(crate) fn tri_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+/// Inverse of [`tri_index`]: the `(i, j)` pair a packed cell belongs to.
+fn tri_decode(n: usize, idx: usize) -> (usize, usize) {
+    let mut i = 0;
+    let mut start = 0;
+    loop {
+        let row_len = n - 1 - i;
+        if idx < start + row_len {
+            return (i, i + 1 + (idx - start));
+        }
+        start += row_len;
+        i += 1;
+    }
+}
+
+/// A symmetric N×N correlation map with a zero diagonal, stored as the packed strict
+/// upper triangle (`n·(n−1)/2` cells).
 ///
 /// ```
 /// use jessy_core::Tcm;
@@ -40,7 +85,7 @@ impl Tcm {
     pub fn new(n: usize) -> Self {
         Tcm {
             n,
-            data: vec![0.0; n * n],
+            data: vec![0.0; tri_len(n)],
         }
     }
 
@@ -50,19 +95,33 @@ impl Tcm {
         self.n
     }
 
+    /// Value at unordered index pair `(i, j)` (0 on the diagonal).
+    #[inline]
+    fn at_idx(&self, i: usize, j: usize) -> f64 {
+        match i.cmp(&j) {
+            std::cmp::Ordering::Less => self.data[tri_index(self.n, i, j)],
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => self.data[tri_index(self.n, j, i)],
+        }
+    }
+
     /// Shared volume between threads `i` and `j`.
     #[inline]
     pub fn at(&self, i: ThreadId, j: ThreadId) -> f64 {
-        self.data[i.index() * self.n + j.index()]
+        self.at_idx(i.index(), j.index())
     }
 
-    /// Accrue `bytes` to the (i, j) pair (both triangle halves; no-op for i == j).
+    /// Accrue `bytes` to the (i, j) pair (one packed cell; no-op for i == j).
     pub fn add_pair(&mut self, i: ThreadId, j: ThreadId, bytes: f64) {
         if i == j {
             return;
         }
-        self.data[i.index() * self.n + j.index()] += bytes;
-        self.data[j.index() * self.n + i.index()] += bytes;
+        let (a, b) = if i.index() < j.index() {
+            (i.index(), j.index())
+        } else {
+            (j.index(), i.index())
+        };
+        self.data[tri_index(self.n, a, b)] += bytes;
     }
 
     /// Merge another map into this one.
@@ -73,9 +132,18 @@ impl Tcm {
         }
     }
 
-    /// Sum of all entries (2× the total pairwise shared volume).
+    /// Merge a sparse map into this one (cells land in ascending packed order).
+    pub fn merge_sparse(&mut self, other: &SparseTcm) {
+        assert_eq!(self.n, other.n);
+        for &(idx, v) in &other.cells {
+            self.data[idx as usize] += v;
+        }
+    }
+
+    /// Sum of all entries of the full symmetric matrix (2× the total pairwise shared
+    /// volume, as in the dense representation).
     pub fn total(&self) -> f64 {
-        self.data.iter().sum()
+        2.0 * self.data.iter().sum::<f64>()
     }
 
     /// Scale every entry (normalization for cross-run comparisons).
@@ -85,36 +153,44 @@ impl Tcm {
         }
     }
 
-    /// Raw row-major data (for distance metrics and heatmaps).
+    /// Raw packed upper-triangle data, row-major: `(0,1) (0,2) … (0,n−1) (1,2) …`
+    /// (for distance metrics and equality checks; both sides of a metric see the same
+    /// packing, so the `E_ABS`/`E_EUC` ratios match the dense definition).
     pub fn raw(&self) -> &[f64] {
         &self.data
     }
 
-    /// The map as rows (for rendering).
-    pub fn rows(&self) -> Vec<Vec<f64>> {
-        (0..self.n)
-            .map(|i| self.data[i * self.n..(i + 1) * self.n].to_vec())
-            .collect()
+    /// Mutable packed cells, for in-crate accrual hot loops.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The map as rows of the full symmetric matrix (for rendering). Streams straight
+    /// from the packed triangle — no intermediate `Vec<Vec<f64>>`.
+    pub fn rows(&self) -> impl Iterator<Item = impl Iterator<Item = f64> + '_> + '_ {
+        (0..self.n).map(move |i| (0..self.n).map(move |j| self.at_idx(i, j)))
     }
 
     /// Serialize as CSV (header `t0,t1,…`, one row per thread) for external plotting
     /// of the Fig. 1 / Fig. 9 data.
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(
-            &(0..self.n)
-                .map(|i| format!("t{i}"))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity((self.n + 1) * (self.n * 4 + 1));
+        for i in 0..self.n {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "t{i}");
+        }
         out.push('\n');
         for row in self.rows() {
-            out.push_str(
-                &row.iter()
-                    .map(|v| format!("{v}"))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            for (j, v) in row.enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
             out.push('\n');
         }
         out
@@ -128,7 +204,7 @@ impl Tcm {
         let mut out = String::with_capacity(self.n * (self.n + 1));
         for i in 0..self.n {
             for j in 0..self.n {
-                let v = self.data[i * self.n + j];
+                let v = self.at_idx(i, j);
                 let idx = if max <= 0.0 {
                     0
                 } else {
@@ -142,10 +218,135 @@ impl Tcm {
     }
 }
 
-#[derive(Debug, Default, Clone)]
-struct ObjAccum {
-    bytes: f64,
-    threads: Vec<ThreadId>,
+/// A sparse symmetric correlation map: only the touched pairs, as `(packed cell,
+/// value)` sorted by ascending cell index. This is what per-class round maps use — a
+/// class touching `P` pairs costs `O(P)` instead of a dense `N×N` allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseTcm {
+    n: usize,
+    cells: Vec<(u32, f64)>,
+}
+
+impl SparseTcm {
+    /// Empty sparse map for `n` threads.
+    pub fn new(n: usize) -> Self {
+        SparseTcm { n, cells: Vec::new() }
+    }
+
+    /// Build from cells already sorted by ascending packed index.
+    pub(crate) fn from_sorted_cells(n: usize, cells: Vec<(u32, f64)>) -> Self {
+        debug_assert!(cells.windows(2).all(|w| w[0].0 < w[1].0));
+        SparseTcm { n, cells }
+    }
+
+    /// Build from unordered `(i, j, bytes)` pairs, accumulating duplicates.
+    pub fn from_pairs(n: usize, pairs: &[(ThreadId, ThreadId, f64)]) -> Self {
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for &(i, j, v) in pairs {
+            if i == j {
+                continue;
+            }
+            let (a, b) = if i.index() < j.index() {
+                (i.index(), j.index())
+            } else {
+                (j.index(), i.index())
+            };
+            *acc.entry(tri_index(n, a, b) as u32).or_insert(0.0) += v;
+        }
+        let mut cells: Vec<(u32, f64)> = acc.into_iter().collect();
+        cells.sort_unstable_by_key(|&(idx, _)| idx);
+        SparseTcm { n, cells }
+    }
+
+    /// Number of threads.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Touched pair count.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// No touched pairs?
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Shared volume between threads `i` and `j` (0 for untouched pairs).
+    pub fn at(&self, i: ThreadId, j: ThreadId) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i.index() < j.index() {
+            (i.index(), j.index())
+        } else {
+            (j.index(), i.index())
+        };
+        let idx = tri_index(self.n, a, b) as u32;
+        match self.cells.binary_search_by_key(&idx, |&(c, _)| c) {
+            Ok(pos) => self.cells[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The touched cells, `(packed index, value)` in ascending index order.
+    pub fn cells(&self) -> &[(u32, f64)] {
+        &self.cells
+    }
+
+    /// Iterate touched pairs as `(i, j, value)` with `i < j`.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, ThreadId, f64)> + '_ {
+        self.cells.iter().map(move |&(idx, v)| {
+            let (i, j) = tri_decode(self.n, idx as usize);
+            (ThreadId(i as u32), ThreadId(j as u32), v)
+        })
+    }
+
+    /// Merge another sparse map into this one (sorted union; each side's cells keep
+    /// their ascending-index accumulation order).
+    pub fn merge(&mut self, other: &SparseTcm) {
+        assert_eq!(self.n, other.n);
+        if other.cells.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.cells.len() + other.cells.len());
+        let (mut a, mut b) = (0, 0);
+        while a < self.cells.len() && b < other.cells.len() {
+            match self.cells[a].0.cmp(&other.cells[b].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.cells[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.cells[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((self.cells[a].0, self.cells[a].1 + other.cells[b].1));
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.cells[a..]);
+        merged.extend_from_slice(&other.cells[b..]);
+        self.cells = merged;
+    }
+
+    /// Expand into a dense (packed triangular) [`Tcm`].
+    pub fn to_dense(&self) -> Tcm {
+        let mut t = Tcm::new(self.n);
+        t.merge_sparse(self);
+        t
+    }
+
+    /// Sum over the full symmetric matrix (2× the triangle sum), matching
+    /// [`Tcm::total`].
+    pub fn total(&self) -> f64 {
+        2.0 * self.cells.iter().map(|&(_, v)| v).sum::<f64>()
+    }
 }
 
 /// What one [`TcmBuilder::close_round`] produced.
@@ -155,17 +356,78 @@ pub struct RoundSummary {
     pub objects: usize,
     /// This round's own correlation map.
     pub tcm: Tcm,
-    /// This round's per-class maps (input to the adaptive controller).
-    pub per_class: HashMap<ClassId, Tcm>,
+    /// This round's per-class maps (input to the adaptive controller), sparse: only
+    /// the pairs each class touched.
+    pub per_class: HashMap<ClassId, SparseTcm>,
+}
+
+/// Per-class round scratch: a dense packed-triangle accumulator plus a touched-cell
+/// bitmap and list, all capacity-retained across rounds so accrual never allocates.
+#[derive(Debug)]
+struct ClassScratch {
+    cells: Vec<f64>,
+    touched: Vec<u64>,
+    touched_idx: Vec<u32>,
+}
+
+impl ClassScratch {
+    fn new(n: usize) -> Self {
+        let len = tri_len(n);
+        ClassScratch {
+            cells: vec![0.0; len],
+            touched: vec![0; len.div_ceil(64)],
+            touched_idx: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn accrue(&mut self, idx: u32, bytes: f64) {
+        let (w, bit) = ((idx / 64) as usize, 1u64 << (idx % 64));
+        if self.touched[w] & bit == 0 {
+            self.touched[w] |= bit;
+            self.touched_idx.push(idx);
+        }
+        self.cells[idx as usize] += bytes;
+    }
+
+    /// Drain this round's touched cells into a sorted [`SparseTcm`], resetting the
+    /// scratch (capacity kept) for the next round.
+    fn drain_sorted(&mut self, n: usize) -> SparseTcm {
+        self.touched_idx.sort_unstable();
+        let cells: Vec<(u32, f64)> = self
+            .touched_idx
+            .iter()
+            .map(|&i| (i, self.cells[i as usize]))
+            .collect();
+        for &i in &self.touched_idx {
+            self.cells[i as usize] = 0.0;
+            self.touched[(i / 64) as usize] = 0;
+        }
+        self.touched_idx.clear();
+        SparseTcm::from_sorted_cells(n, cells)
+    }
 }
 
 /// Builds a [`Tcm`] (and per-class sub-maps) from a stream of OALs.
+///
+/// Round-pending objects live in a flat arena — a slot map plus parallel `class` /
+/// `bytes` / thread-bitset columns — iterated in first-touch order at round close, so
+/// per-cell f64 accrual order is deterministic for a given ingestion order.
 #[derive(Debug)]
 pub struct TcmBuilder {
     n_threads: usize,
+    /// Bitset words per object: `⌈n_threads/64⌉`.
+    words: usize,
     tcm: Tcm,
     per_class: HashMap<ClassId, Tcm>,
-    round_objects: HashMap<ObjectId, (ClassId, ObjAccum)>,
+    // Round-local object index; all columns retain capacity across rounds.
+    slots: HashMap<ObjectId, u32>,
+    obj_class: Vec<ClassId>,
+    obj_bytes: Vec<f64>,
+    obj_bits: Vec<u64>,
+    // Per-class round scratch, reused across rounds.
+    class_slots: HashMap<ClassId, usize>,
+    class_scratch: Vec<ClassScratch>,
     intervals_ingested: u64,
     rounds_closed: u64,
     decay: f64,
@@ -176,9 +438,15 @@ impl TcmBuilder {
     pub fn new(n_threads: usize) -> Self {
         TcmBuilder {
             n_threads,
+            words: n_threads.div_ceil(64).max(1),
             tcm: Tcm::new(n_threads),
             per_class: HashMap::new(),
-            round_objects: HashMap::new(),
+            slots: HashMap::new(),
+            obj_class: Vec::new(),
+            obj_bytes: Vec::new(),
+            obj_bits: Vec::new(),
+            class_slots: HashMap::new(),
+            class_scratch: Vec::new(),
             intervals_ingested: 0,
             rounds_closed: 0,
             decay: 1.0,
@@ -196,61 +464,150 @@ impl TcmBuilder {
 
     /// Ingest one OAL: the `O(M·N)` reorganization step.
     pub fn ingest(&mut self, oal: &Oal) {
+        self.ingest_entries(oal.thread, &oal.entries);
+    }
+
+    /// Ingest a borrowed OAL slice (what sharded reducers receive from the split
+    /// scratch) without constructing an owned [`Oal`].
+    pub fn ingest_view(&mut self, oal: OalRef<'_>) {
+        self.ingest_entries(oal.thread, oal.entries);
+    }
+
+    fn ingest_entries(&mut self, thread: ThreadId, entries: &[OalEntry]) {
         self.intervals_ingested += 1;
-        for e in &oal.entries {
-            let (_, accum) = self
-                .round_objects
-                .entry(e.obj)
-                .or_insert_with(|| (e.class, ObjAccum::default()));
-            accum.bytes = accum.bytes.max(e.bytes as f64);
-            if !accum.threads.contains(&oal.thread) {
-                accum.threads.push(oal.thread);
-            }
+        let t = thread.index();
+        debug_assert!(t < self.n_threads);
+        let (tw, tbit) = (t / 64, 1u64 << (t % 64));
+        for e in entries {
+            let slot = match self.slots.entry(e.obj) {
+                std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let s = self.obj_class.len() as u32;
+                    v.insert(s);
+                    self.obj_class.push(e.class);
+                    self.obj_bytes.push(0.0);
+                    self.obj_bits.resize(self.obj_bits.len() + self.words, 0);
+                    s
+                }
+            } as usize;
+            self.obj_bytes[slot] = self.obj_bytes[slot].max(e.bytes as f64);
+            self.obj_bits[slot * self.words + tw] |= tbit;
         }
     }
 
-    /// Fold the round's per-object lists into the map: the `O(M·N²)` accrual step.
+    /// Fold the round's per-object bitsets into the map: the `O(M·N²)` accrual step,
+    /// now `O(M · pairs)` over set bits via trailing-zeros word iteration.
     ///
     /// Returns the round's own (non-cumulative) maps — the "successive correlation
     /// matrices" the adaptive controller compares — plus the object count.
     pub fn close_round(&mut self) -> RoundSummary {
-        let objects = std::mem::take(&mut self.round_objects);
-        let m = objects.len();
-        let mut round_tcm = Tcm::new(self.n_threads);
-        let mut round_per_class: HashMap<ClassId, Tcm> = HashMap::new();
-        for (_obj, (class, accum)) in objects {
-            if accum.threads.len() < 2 {
-                continue;
-            }
-            let class_tcm = round_per_class
-                .entry(class)
-                .or_insert_with(|| Tcm::new(self.n_threads));
-            for a in 0..accum.threads.len() {
-                for b in (a + 1)..accum.threads.len() {
-                    round_tcm.add_pair(accum.threads[a], accum.threads[b], accum.bytes);
-                    class_tcm.add_pair(accum.threads[a], accum.threads[b], accum.bytes);
+        let summary = self.close_round_detached();
+        self.fold_round(&summary);
+        summary
+    }
+
+    /// Compute this round's maps and reset the round-local index **without** folding
+    /// into the cumulative map. Shards use this to produce partial maps that a driver
+    /// merges in shard-index order; pair it with [`TcmBuilder::fold_round`].
+    pub fn close_round_detached(&mut self) -> RoundSummary {
+        let n = self.n_threads;
+        let words = self.words;
+        let m = self.obj_class.len();
+        let mut round_tcm = Tcm::new(n);
+        {
+            let rt = round_tcm.data_mut();
+            let obj_class = &self.obj_class;
+            let obj_bytes = &self.obj_bytes;
+            let obj_bits = &self.obj_bits;
+            let class_slots = &mut self.class_slots;
+            let class_scratch = &mut self.class_scratch;
+            let mut last_class: Option<(ClassId, usize)> = None;
+            for slot in 0..m {
+                let bits = &obj_bits[slot * words..(slot + 1) * words];
+                let pop: u32 = bits.iter().map(|w| w.count_ones()).sum();
+                if pop < 2 {
+                    continue;
+                }
+                let bytes = obj_bytes[slot];
+                let class = obj_class[slot];
+                let cs_idx = match last_class {
+                    Some((c, i)) if c == class => i,
+                    _ => {
+                        let i = *class_slots.entry(class).or_insert_with(|| {
+                            class_scratch.push(ClassScratch::new(n));
+                            class_scratch.len() - 1
+                        });
+                        last_class = Some((class, i));
+                        i
+                    }
+                };
+                let scratch = &mut class_scratch[cs_idx];
+                // Walk ordered pairs (a, b), a < b, of the set bits.
+                for wi in 0..words {
+                    let mut wa = bits[wi];
+                    while wa != 0 {
+                        let a = wi * 64 + wa.trailing_zeros() as usize;
+                        wa &= wa - 1;
+                        // Row `a` of the packed triangle starts at a·(2n−a−1)/2 and
+                        // holds columns a+1..n, so cell (a, b) sits at start + b−a−1.
+                        let row_base = (a * (2 * n - a - 1) / 2).wrapping_sub(a + 1);
+                        let mut wj = wi;
+                        let mut wb = wa; // bits above `a` in the same word
+                        loop {
+                            while wb != 0 {
+                                let b = wj * 64 + wb.trailing_zeros() as usize;
+                                wb &= wb - 1;
+                                let idx = row_base.wrapping_add(b);
+                                rt[idx] += bytes;
+                                scratch.accrue(idx as u32, bytes);
+                            }
+                            wj += 1;
+                            if wj == words {
+                                break;
+                            }
+                            wb = bits[wj];
+                        }
+                    }
                 }
             }
         }
+        // Reset the round-local index, keeping every buffer's capacity.
+        self.slots.clear();
+        self.obj_class.clear();
+        self.obj_bytes.clear();
+        self.obj_bits.clear();
+        // Drain per-class scratches into sorted sparse maps.
+        let mut per_class = HashMap::with_capacity(self.class_slots.len());
+        for (&class, &idx) in &self.class_slots {
+            let sparse = self.class_scratch[idx].drain_sorted(n);
+            if !sparse.is_empty() {
+                per_class.insert(class, sparse);
+            }
+        }
+        RoundSummary {
+            objects: m,
+            tcm: round_tcm,
+            per_class,
+        }
+    }
+
+    /// Fold a round's maps into the cumulative state (decay, merge, round counter).
+    /// [`TcmBuilder::close_round`] = [`TcmBuilder::close_round_detached`] + this.
+    pub fn fold_round(&mut self, summary: &RoundSummary) {
         if self.decay < 1.0 {
             self.tcm.scale(self.decay);
             for map in self.per_class.values_mut() {
                 map.scale(self.decay);
             }
         }
-        self.tcm.merge(&round_tcm);
-        for (class, map) in &round_per_class {
+        self.tcm.merge(&summary.tcm);
+        for (class, sparse) in &summary.per_class {
             self.per_class
                 .entry(*class)
                 .or_insert_with(|| Tcm::new(self.n_threads))
-                .merge(map);
+                .merge_sparse(sparse);
         }
         self.rounds_closed += 1;
-        RoundSummary {
-            objects: m,
-            tcm: round_tcm,
-            per_class: round_per_class,
-        }
     }
 
     /// The accumulated global map.
@@ -275,7 +632,200 @@ impl TcmBuilder {
 
     /// Objects pending in the current (unclosed) round.
     pub fn pending_objects(&self) -> usize {
-        self.round_objects.len()
+        self.obj_class.len()
+    }
+}
+
+pub mod reference {
+    //! The seed's scalar TCM reduction, retained as the exactness oracle for the
+    //! bitset/triangular/parallel pipeline and as the baseline of the `tcm_reduce`
+    //! bench: dense N×N matrices, a `Vec<ThreadId>` with a linear-scan dedup per
+    //! object, a fresh `HashMap` + dense per-class maps every round.
+    //!
+    //! Cell values equal the optimized pipeline's bit-for-bit whenever per-object
+    //! bytes are integer-valued f64 with per-cell sums below 2⁵³ (always true of OAL
+    //! streams, whose bytes are `u64` casts) — addition of such values is exact, so
+    //! accrual order cannot perturb the result.
+
+    use std::collections::HashMap;
+
+    use jessy_gos::{ClassId, ObjectId};
+    use jessy_net::ThreadId;
+
+    use crate::oal::Oal;
+
+    /// The seed's dense row-major symmetric matrix (both triangle halves stored and
+    /// written).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct DenseTcm {
+        n: usize,
+        data: Vec<f64>,
+    }
+
+    impl DenseTcm {
+        /// Zeroed dense map for `n` threads.
+        pub fn new(n: usize) -> Self {
+            DenseTcm {
+                n,
+                data: vec![0.0; n * n],
+            }
+        }
+
+        /// Number of threads.
+        pub fn n(&self) -> usize {
+            self.n
+        }
+
+        /// Shared volume between threads `i` and `j`.
+        pub fn at(&self, i: ThreadId, j: ThreadId) -> f64 {
+            self.data[i.index() * self.n + j.index()]
+        }
+
+        /// Accrue `bytes` to both halves of the (i, j) pair.
+        pub fn add_pair(&mut self, i: ThreadId, j: ThreadId, bytes: f64) {
+            if i == j {
+                return;
+            }
+            self.data[i.index() * self.n + j.index()] += bytes;
+            self.data[j.index() * self.n + i.index()] += bytes;
+        }
+
+        /// Merge another dense map into this one.
+        pub fn merge(&mut self, other: &DenseTcm) {
+            assert_eq!(self.n, other.n);
+            for (a, b) in self.data.iter_mut().zip(&other.data) {
+                *a += b;
+            }
+        }
+
+        /// Scale every entry.
+        pub fn scale(&mut self, k: f64) {
+            for v in &mut self.data {
+                *v *= k;
+            }
+        }
+
+        /// Sum of all entries (2× the pairwise total, diagonal zero).
+        pub fn total(&self) -> f64 {
+            self.data.iter().sum()
+        }
+
+        /// Raw dense row-major data.
+        pub fn raw(&self) -> &[f64] {
+            &self.data
+        }
+    }
+
+    #[derive(Debug, Default, Clone)]
+    struct ObjAccum {
+        bytes: f64,
+        threads: Vec<ThreadId>,
+    }
+
+    /// One reference round's output.
+    #[derive(Debug, Clone)]
+    pub struct ScalarRoundSummary {
+        /// Distinct objects organized this round.
+        pub objects: usize,
+        /// The round's own dense map.
+        pub tcm: DenseTcm,
+        /// The round's dense per-class maps.
+        pub per_class: HashMap<ClassId, DenseTcm>,
+    }
+
+    /// The seed's scalar [`TcmBuilder`](crate::TcmBuilder), verbatim.
+    #[derive(Debug)]
+    pub struct ScalarTcmBuilder {
+        n_threads: usize,
+        tcm: DenseTcm,
+        per_class: HashMap<ClassId, DenseTcm>,
+        round_objects: HashMap<ObjectId, (ClassId, ObjAccum)>,
+        decay: f64,
+    }
+
+    impl ScalarTcmBuilder {
+        /// Reference builder for `n_threads` threads.
+        pub fn new(n_threads: usize) -> Self {
+            ScalarTcmBuilder {
+                n_threads,
+                tcm: DenseTcm::new(n_threads),
+                per_class: HashMap::new(),
+                round_objects: HashMap::new(),
+                decay: 1.0,
+            }
+        }
+
+        /// Decay factor applied to the cumulative map at every round close.
+        pub fn set_decay(&mut self, decay: f64) {
+            assert!((0.0..=1.0).contains(&decay));
+            self.decay = decay;
+        }
+
+        /// The seed's reorganization step: `Vec<ThreadId>` per object with a
+        /// linear-scan dedup.
+        pub fn ingest(&mut self, oal: &Oal) {
+            for e in &oal.entries {
+                let (_, accum) = self
+                    .round_objects
+                    .entry(e.obj)
+                    .or_insert_with(|| (e.class, ObjAccum::default()));
+                accum.bytes = accum.bytes.max(e.bytes as f64);
+                if !accum.threads.contains(&oal.thread) {
+                    accum.threads.push(oal.thread);
+                }
+            }
+        }
+
+        /// The seed's accrual step: nested pair loops over each object's thread list
+        /// into dense round + per-class maps, then decay-and-merge.
+        pub fn close_round(&mut self) -> ScalarRoundSummary {
+            let objects = std::mem::take(&mut self.round_objects);
+            let m = objects.len();
+            let mut round_tcm = DenseTcm::new(self.n_threads);
+            let mut round_per_class: HashMap<ClassId, DenseTcm> = HashMap::new();
+            for (_obj, (class, accum)) in objects {
+                if accum.threads.len() < 2 {
+                    continue;
+                }
+                let class_tcm = round_per_class
+                    .entry(class)
+                    .or_insert_with(|| DenseTcm::new(self.n_threads));
+                for a in 0..accum.threads.len() {
+                    for b in (a + 1)..accum.threads.len() {
+                        round_tcm.add_pair(accum.threads[a], accum.threads[b], accum.bytes);
+                        class_tcm.add_pair(accum.threads[a], accum.threads[b], accum.bytes);
+                    }
+                }
+            }
+            if self.decay < 1.0 {
+                self.tcm.scale(self.decay);
+                for map in self.per_class.values_mut() {
+                    map.scale(self.decay);
+                }
+            }
+            self.tcm.merge(&round_tcm);
+            for (class, map) in &round_per_class {
+                self.per_class
+                    .entry(*class)
+                    .or_insert_with(|| DenseTcm::new(self.n_threads))
+                    .merge(map);
+            }
+            ScalarRoundSummary {
+                objects: m,
+                tcm: round_tcm,
+                per_class: round_per_class,
+            }
+        }
+
+        /// The accumulated dense global map.
+        pub fn tcm(&self) -> &DenseTcm {
+            &self.tcm
+        }
+
+        /// The accumulated dense per-class maps.
+        pub fn per_class(&self) -> &HashMap<ClassId, DenseTcm> {
+            &self.per_class
+        }
     }
 }
 
@@ -300,6 +850,14 @@ mod tests {
         }
     }
 
+    fn oal_at(thread: u32, interval: u64, entries: Vec<OalEntry>) -> Oal {
+        Oal {
+            thread: ThreadId(thread),
+            interval,
+            entries,
+        }
+    }
+
     #[test]
     fn tcm_is_symmetric_with_zero_diagonal() {
         let mut t = Tcm::new(3);
@@ -309,6 +867,21 @@ mod tests {
         assert_eq!(t.at(ThreadId(2), ThreadId(0)), 10.0);
         assert_eq!(t.at(ThreadId(1), ThreadId(1)), 0.0, "diagonal stays zero");
         assert_eq!(t.total(), 20.0);
+    }
+
+    #[test]
+    fn triangular_packing_indexes_every_pair_once() {
+        let n = 7;
+        let mut seen = vec![false; tri_len(n)];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = tri_index(n, i, j);
+                assert!(!seen[idx], "({i},{j}) collides");
+                seen[idx] = true;
+                assert_eq!(tri_decode(n, idx), (i, j));
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "packing is dense");
     }
 
     #[test]
@@ -366,6 +939,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_interval_duplicate_logging_counts_once() {
+        // A thread logging the same object in several intervals of one round must
+        // count once per pair — with bitsets the dedup is structural (same bit).
+        let mut b = TcmBuilder::new(3);
+        b.ingest(&oal_at(0, 0, vec![entry(7, 100)]));
+        b.ingest(&oal_at(0, 1, vec![entry(7, 100)]));
+        b.ingest(&oal_at(0, 2, vec![entry(7, 100)]));
+        b.ingest(&oal_at(1, 1, vec![entry(7, 100)]));
+        let summary = b.close_round();
+        assert_eq!(
+            summary.tcm.at(ThreadId(0), ThreadId(1)),
+            100.0,
+            "pair accrues once despite thread 0 logging the object in 3 intervals"
+        );
+        assert_eq!(b.tcm().at(ThreadId(0), ThreadId(1)), 100.0);
+    }
+
+    #[test]
     fn three_way_sharing_hits_all_pairs() {
         let mut b = TcmBuilder::new(3);
         for t in 0..3 {
@@ -378,6 +969,28 @@ mod tests {
                 assert_eq!(b.tcm().at(ThreadId(i), ThreadId(j)), expect);
             }
         }
+    }
+
+    #[test]
+    fn wide_bitsets_cross_word_boundaries() {
+        // 130 threads = 3 words; sharers straddle all of them.
+        let mut b = TcmBuilder::new(130);
+        let sharers = [0u32, 1, 63, 64, 65, 127, 128, 129];
+        for &t in &sharers {
+            b.ingest(&oal(t, vec![entry(42, 16)]));
+        }
+        let summary = b.close_round();
+        for (ai, &a) in sharers.iter().enumerate() {
+            for &bt in &sharers[ai + 1..] {
+                assert_eq!(
+                    summary.tcm.at(ThreadId(a), ThreadId(bt)),
+                    16.0,
+                    "pair ({a},{bt})"
+                );
+            }
+        }
+        let expected_pairs = sharers.len() * (sharers.len() - 1) / 2;
+        assert_eq!(summary.tcm.total(), (expected_pairs * 2 * 16) as f64);
     }
 
     #[test]
@@ -395,10 +1008,16 @@ mod tests {
         };
         b.ingest(&oal(0, vec![c1, c2]));
         b.ingest(&oal(1, vec![c1, c2]));
-        b.close_round();
+        let summary = b.close_round();
         assert_eq!(b.tcm().at(ThreadId(0), ThreadId(1)), 30.0);
         assert_eq!(b.per_class()[&ClassId(1)].at(ThreadId(0), ThreadId(1)), 10.0);
         assert_eq!(b.per_class()[&ClassId(2)].at(ThreadId(0), ThreadId(1)), 20.0);
+        // The round's sparse maps carry only the touched pair.
+        assert_eq!(summary.per_class[&ClassId(1)].len(), 1);
+        assert_eq!(
+            summary.per_class[&ClassId(1)].at(ThreadId(0), ThreadId(1)),
+            10.0
+        );
     }
 
     #[test]
@@ -423,6 +1042,93 @@ mod tests {
     }
 
     #[test]
+    fn capacity_is_retained_across_rounds() {
+        let mut b = TcmBuilder::new(4);
+        for t in 0..4u32 {
+            b.ingest(&oal(t, (0..100).map(|o| entry(o, 8)).collect()));
+        }
+        b.close_round();
+        let bits_cap = b.obj_bits.capacity();
+        let class_cap = b.obj_class.capacity();
+        assert!(bits_cap >= 100 && class_cap >= 100);
+        for t in 0..4u32 {
+            b.ingest(&oal(t, (0..100).map(|o| entry(o, 8)).collect()));
+        }
+        b.close_round();
+        assert_eq!(b.obj_bits.capacity(), bits_cap, "bitset arena reused");
+        assert_eq!(b.obj_class.capacity(), class_cap, "class column reused");
+    }
+
+    #[test]
+    fn matches_scalar_reference_exactly() {
+        let mut fast = TcmBuilder::new(8);
+        let mut slow = reference::ScalarTcmBuilder::new(8);
+        let stream: Vec<Oal> = (0..40u32)
+            .map(|k| {
+                oal(
+                    k % 8,
+                    vec![
+                        entry(k % 13, (k as u64 + 1) * 8),
+                        entry((k * 3) % 13, 64),
+                        OalEntry {
+                            obj: ObjectId(100 + k % 5),
+                            class: ClassId(2),
+                            bytes: 24,
+                        },
+                    ],
+                )
+            })
+            .collect();
+        for o in &stream {
+            fast.ingest(o);
+            slow.ingest(o);
+        }
+        let fs = fast.close_round();
+        let ss = slow.close_round();
+        assert_eq!(fs.objects, ss.objects);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                assert_eq!(
+                    fast.tcm().at(ThreadId(i), ThreadId(j)),
+                    slow.tcm().at(ThreadId(i), ThreadId(j)),
+                    "cumulative ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(fs.per_class.len(), ss.per_class.len());
+        for (class, sparse) in &fs.per_class {
+            let dense = &ss.per_class[class];
+            for i in 0..8u32 {
+                for j in 0..8u32 {
+                    assert_eq!(
+                        sparse.at(ThreadId(i), ThreadId(j)),
+                        dense.at(ThreadId(i), ThreadId(j)),
+                        "class {class:?} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_tcm_merges_and_decodes() {
+        let t = |i| ThreadId(i);
+        let mut a = SparseTcm::from_pairs(4, &[(t(0), t(1), 5.0), (t(2), t(3), 7.0)]);
+        let b = SparseTcm::from_pairs(4, &[(t(1), t(0), 3.0), (t(1), t(2), 2.0)]);
+        a.merge(&b);
+        assert_eq!(a.at(t(0), t(1)), 8.0);
+        assert_eq!(a.at(t(1), t(2)), 2.0);
+        assert_eq!(a.at(t(2), t(3)), 7.0);
+        assert_eq!(a.at(t(0), t(3)), 0.0);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.total(), 2.0 * (8.0 + 2.0 + 7.0));
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs[0], (t(0), t(1), 8.0));
+        assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by row");
+        assert_eq!(a.to_dense().at(t(1), t(2)), 2.0);
+    }
+
+    #[test]
     fn csv_round_trips_through_parsing() {
         let mut t = Tcm::new(3);
         t.add_pair(ThreadId(0), ThreadId(2), 12.5);
@@ -434,6 +1140,9 @@ mod tests {
         assert_eq!(cell, 12.5);
         let diag: f64 = lines[2].split(',').nth(1).unwrap().parse().unwrap();
         assert_eq!(diag, 0.0);
+        // Symmetric lower half streams from the same packed cell.
+        let mirror: f64 = lines[3].split(',').next().unwrap().parse().unwrap();
+        assert_eq!(mirror, 12.5);
     }
 
     #[test]

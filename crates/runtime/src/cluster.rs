@@ -163,6 +163,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Shard the master's TCM reducer `k` ways (default 1 = centralized serial). Any
+    /// value produces bit-identical maps; values > 1 let large rounds close on
+    /// parallel OS threads.
+    pub fn tcm_shards(mut self, k: usize) -> Self {
+        self.profiler.tcm_shards = k.max(1);
+        self
+    }
+
     /// Explicit initial thread→node placement (default: block distribution, matching
     /// how SPLASH-2 style workloads are usually laid out: thread i on node
     /// i·K/N).

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use jessy_core::adaptive::apply_rate_change;
-use jessy_core::{AdaptiveController, Oal, RoundOutcome, Tcm, TcmBuilder};
+use jessy_core::{AdaptiveController, Oal, RoundOutcome, ShardedTcmReducer, Tcm};
 use jessy_net::{Mailbox, MsgClass, NodeId};
 
 use crate::cluster::ClusterShared;
@@ -308,7 +308,7 @@ impl MasterDaemon {
 
 struct Daemon {
     shared: Arc<ClusterShared>,
-    builder: TcmBuilder,
+    builder: ShardedTcmReducer,
     controller: Option<AdaptiveController>,
     scheduler: RoundScheduler,
     oals: u64,
@@ -349,7 +349,7 @@ impl Daemon {
         for oal in &closed.oals {
             self.builder.ingest(oal);
         }
-        let summary = self.builder.close_round();
+        let (_stats, summary) = self.builder.close_round();
         self.build_ns += t0.elapsed().as_nanos() as u64;
         self.rounds += 1;
         self.objects_organized += summary.objects as u64;
@@ -401,7 +401,8 @@ impl Daemon {
         if let Some(cfg) = self.shared.rebalance {
             if !self.rebalanced && self.builder.rounds_closed() >= cfg.after_rounds {
                 self.rebalanced = true;
-                self.planned_migrations = plan_and_post(&self.shared, self.builder.tcm(), &cfg);
+                let tcm = self.builder.reduce();
+                self.planned_migrations = plan_and_post(&self.shared, &tcm, &cfg);
             }
         }
     }
@@ -419,7 +420,7 @@ impl Daemon {
             for oal in &late {
                 self.builder.ingest(oal);
             }
-            let summary = self.builder.close_round();
+            let (_stats, summary) = self.builder.close_round();
             self.build_ns += t0.elapsed().as_nanos() as u64;
             self.objects_organized += summary.objects as u64;
         }
@@ -428,7 +429,7 @@ impl Daemon {
 
 fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput {
     let config = *shared.prof.config();
-    let mut builder = TcmBuilder::new(shared.n_threads);
+    let mut builder = ShardedTcmReducer::new(config.tcm_shards.max(1), shared.n_threads);
     if let Some(decay) = config.tcm_decay {
         builder.set_decay(decay);
     }
@@ -475,7 +476,7 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput
     daemon.finish();
 
     MasterOutput {
-        tcm: daemon.builder.tcm().clone(),
+        tcm: daemon.builder.reduce(),
         oals_ingested: daemon.oals,
         rounds: daemon.rounds,
         objects_organized: daemon.objects_organized,

@@ -51,7 +51,7 @@ fn main() {
     );
 
     println!("\nthread correlation map (bytes shared per thread pair):");
-    for (i, row) in master.tcm.rows().iter().enumerate() {
+    for (i, row) in master.tcm.rows().enumerate() {
         print!("  t{i}: ");
         for v in row {
             print!("{:>9.0} ", v);

@@ -1,8 +1,104 @@
 //! Offline drop-in subset of `crossbeam`.
 //!
 //! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with the few methods
-//! this workspace uses (`send`, `try_recv`, `len`, `is_empty`). Built on a mutexed
-//! `VecDeque` — adequate for the low-rate OAL mailbox traffic it carries here.
+//! this workspace uses (`send`, `try_recv`, `len`, `is_empty`), built on a mutexed
+//! `VecDeque` — adequate for the low-rate OAL mailbox traffic it carries here — and
+//! `crossbeam::thread::scope` scoped spawning with the upstream closure signature,
+//! built on `std::thread::scope`.
+
+/// Scoped threads with the `crossbeam` API shape (`scope` returns a `Result`, spawn
+/// closures receive the scope for nested spawning).
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Result of a scope or a joined scoped thread (`Err` carries a panic payload).
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// A scope handle for spawning threads that may borrow from the caller's stack.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope; the closure receives the scope so it can
+        /// spawn siblings (crossbeam's signature, unlike `std`'s zero-arg closure).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before `scope`
+    /// returns. Unlike upstream (which collects child panics into the `Err` arm),
+    /// this subset requires callers to join every handle themselves — an unjoined
+    /// panicked child aborts via `std::thread::scope`'s own propagation.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_and_join_in_order() {
+            let data = vec![1u64, 2, 3, 4];
+            let sums = scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+            assert_eq!(sums, vec![3, 7]);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_scope_argument() {
+            let n = scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+
+        #[test]
+        fn joined_panic_surfaces_as_err() {
+            let r = scope(|s| s.spawn(|_| panic!("boom")).join());
+            assert!(r.unwrap().is_err());
+        }
+    }
+}
 
 /// Multi-producer multi-consumer FIFO channels (unbounded only).
 pub mod channel {

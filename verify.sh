@@ -15,4 +15,7 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> tcm_reduce smoke (exactness + throughput sanity)"
+JESSY_SCALE=small cargo bench -p jessy-bench --bench tcm_reduce
+
 echo "OK"
