@@ -71,7 +71,7 @@ fn mean(xs: &[f64]) -> f64 {
 }
 
 fn main() {
-    println!("X3. CHAOS SWEEP (TCM accuracy vs OAL drop rate)\n");
+    println!("X4. CHAOS SWEEP (TCM accuracy vs OAL drop rate)\n");
     let (baseline, _) = run(None);
     let truth: &Tcm = &baseline.tcm;
     let mut t = TextTable::new(&[

@@ -1,0 +1,105 @@
+//! Recovery sweep — checkpoint interval vs replay cost under a master crash.
+//!
+//! DESIGN.md §12: the master daemon snapshots a `ProfilerCheckpoint` every K
+//! rounds; on a crash-restart it restores the latest snapshot and replays the
+//! buffered post-checkpoint OAL stream under a bumped epoch. Checkpointing more
+//! often buys a shorter replay at the price of more snapshot work. This bench
+//! runs the identical crash on every checkpoint cadence (including "never") and
+//! shows the trade: `replayed` shrinks as `ckpts` grows while the recovered TCM
+//! stays **bit-identical** to the fault-free run in every row — recovery is an
+//! identity transform on the accepted stream, not an approximation of it.
+//!
+//! `JESSY_SCALE=small` shortens the run for CI; the default matches the other
+//! chaos-family sweeps.
+
+use std::sync::Arc;
+
+use jessy_bench::{scale, Scale, TextTable};
+use jessy_core::{ProfilerConfig, SamplingRate};
+use jessy_gos::{CostModel, ObjectId};
+use jessy_net::{FaultPlan, LatencyModel, MasterCrashWindow, NodeId};
+use jessy_runtime::{Cluster, MasterOutput};
+
+const THREADS: usize = 8;
+const NODES: usize = 4;
+
+/// One full cluster run. `faults` carries the master crash window (or nothing for
+/// the baseline); `checkpoint_every` is the snapshot cadence in rounds.
+fn run(barriers: usize, faults: Option<FaultPlan>, checkpoint_every: Option<u64>) -> MasterOutput {
+    let mut config = ProfilerConfig::tracking_at(SamplingRate::Full);
+    config.intervals_per_round = 2;
+    config.checkpoint_every_rounds = checkpoint_every;
+    let mut builder = Cluster::builder()
+        .nodes(NODES)
+        .threads(THREADS)
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(config);
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    let mut cluster = builder.build();
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("S", 8);
+        (0..THREADS)
+            .map(|k| ctx.alloc_scalar_at(NodeId((k % NODES) as u16), class).id)
+            .collect::<Vec<ObjectId>>()
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        let t = jt.thread_id().index();
+        for _ in 0..barriers {
+            jt.read(objs[t], |_| {});
+            jt.read(objs[(t + 1) % THREADS], |_| {});
+            jt.barrier();
+        }
+    });
+    cluster.master_output().expect("master ran").clone()
+}
+
+fn main() {
+    let barriers = match scale() {
+        Scale::Paper => 120,
+        Scale::Small => 32,
+    };
+    // The crash lands a third of the way in and keeps the master down for four
+    // intervals — identical in every row, so only the cadence varies.
+    let from = (barriers / 3) as u64;
+    let crash = FaultPlan {
+        master_crashes: vec![MasterCrashWindow {
+            from_interval: from,
+            until_interval: from + 4,
+        }],
+        ..FaultPlan::default()
+    };
+
+    println!("X5. RECOVERY SWEEP (checkpoint cadence vs replay cost, one master crash)\n");
+    let truth = run(barriers, None, None);
+    let mut t = TextTable::new(&[
+        "ckpt every",
+        "ckpts",
+        "restores",
+        "replayed",
+        "fenced",
+        "epoch",
+        "tcm identical",
+        "build ms",
+    ]);
+    for &every in &[None, Some(1), Some(2), Some(4), Some(8)] {
+        let m = run(barriers, Some(crash.clone()), every);
+        t.row(&[
+            every.map_or("never".into(), |k| format!("{k} rounds")),
+            m.checkpoints_taken.to_string(),
+            m.restores.to_string(),
+            m.replayed_oals.to_string(),
+            m.fenced_oals.to_string(),
+            m.final_epoch.to_string(),
+            (m.tcm == truth.tcm && m.rounds == truth.rounds).to_string(),
+            format!("{:.2}", m.tcm_build_real_ns as f64 / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("the buffered transport defers in-flight OALs across the outage, so every");
+    println!("cadence — even \"never\", which replays from round zero — recovers the");
+    println!("exact fault-free map; frequent checkpoints only shorten the replay.");
+}

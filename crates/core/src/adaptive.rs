@@ -20,10 +20,22 @@ use std::collections::{HashMap, HashSet};
 
 use jessy_gos::{ClassId, Gos};
 use jessy_net::ClockHandle;
+use serde::{Deserialize, Serialize};
 
 use crate::accuracy::e_abs_sparse;
 use crate::sampling::{ClassGapState, GapTable};
 use crate::tcm::SparseTcm;
+
+/// Serializable snapshot of an [`AdaptiveController`]'s mutable state: the per-class
+/// baseline round maps and the converged set, both as **sorted** vectors so the
+/// encoding is canonical (two equal controllers serialize to identical bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerCheckpoint {
+    /// Per-class previous-round baselines, sorted by class id.
+    pub prev_round: Vec<(ClassId, SparseTcm)>,
+    /// Classes frozen at their current rate, sorted.
+    pub converged: Vec<ClassId>,
+}
 
 /// A rate-change decision for one class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,6 +154,24 @@ impl AdaptiveController {
             };
         }
         RoundOutcome::Applied(self.on_round(round_per_class, gaps))
+    }
+
+    /// Snapshot the controller's mutable state in canonical (sorted) form.
+    pub fn checkpoint(&self) -> ControllerCheckpoint {
+        let mut prev_round: Vec<(ClassId, SparseTcm)> =
+            self.prev_round.iter().map(|(c, t)| (*c, t.clone())).collect();
+        prev_round.sort_unstable_by_key(|(c, _)| *c);
+        let mut converged: Vec<ClassId> = self.converged.iter().copied().collect();
+        converged.sort_unstable();
+        ControllerCheckpoint { prev_round, converged }
+    }
+
+    /// Overwrite the controller's mutable state from a checkpoint. Threshold and
+    /// coverage floor are configuration, not state — they come from the (immutable)
+    /// profiler config, so a restored controller keeps its own.
+    pub fn restore(&mut self, cp: &ControllerCheckpoint) {
+        self.prev_round = cp.prev_round.iter().cloned().collect();
+        self.converged = cp.converged.iter().copied().collect();
     }
 
     /// Has this class converged?
@@ -270,6 +300,44 @@ mod tests {
             ctl.on_round_with_coverage(&round(class, 100.0), &gaps, 0.0),
             RoundOutcome::Applied(_)
         ));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identical_decisions() {
+        let c0 = ClassId(0);
+        let c1 = ClassId(1);
+        let gaps = gaps_with(c0, 64, SamplingRate::NX(1));
+        gaps.register_class(c1, 64, SamplingRate::NX(1));
+        let mk = |v0: f64, v1: f64| {
+            HashMap::from([
+                (c0, SparseTcm::from_pairs(2, &[(ThreadId(0), ThreadId(1), v0)])),
+                (c1, SparseTcm::from_pairs(2, &[(ThreadId(0), ThreadId(1), v1)])),
+            ])
+        };
+        let mut live = AdaptiveController::new(0.05);
+        live.on_round(&mk(100.0, 50.0), &gaps);
+        // c0 converges (1% off); c1 is 60% off -> steps to NX(2), stays live.
+        live.on_round(&mk(101.0, 80.0), &gaps);
+
+        let cp = live.checkpoint();
+        assert_eq!(cp.converged, vec![c0]);
+        assert_eq!(cp.prev_round.len(), 2);
+        // Canonical: a second snapshot of the same state is equal.
+        assert_eq!(cp, live.checkpoint());
+
+        // A fresh controller restored from the checkpoint makes the same call on the
+        // next round as the uninterrupted one (c1 is 25% off baseline -> step). The
+        // gap table mirrors the rate restore the master performs: c1 resumes at the
+        // NX(2) it held at checkpoint time.
+        let mut restored = AdaptiveController::new(0.05);
+        restored.restore(&cp);
+        let gaps2 = gaps_with(c0, 64, SamplingRate::NX(1));
+        gaps2.register_class(c1, 64, SamplingRate::NX(2));
+        let a = live.on_round(&mk(101.0, 100.0), &gaps);
+        let b = restored.on_round(&mk(101.0, 100.0), &gaps2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].class, c1);
     }
 
     #[test]

@@ -102,6 +102,15 @@ pub struct ProfilerConfig {
     /// reducer; any value yields bit-identical maps, larger values let big rounds
     /// close on parallel OS threads.
     pub tcm_shards: usize,
+    /// Snapshot the coordinator's profiling state (`ProfilerCheckpoint`) every this
+    /// many closed TCM rounds, so a crashed master restarts from the snapshot and
+    /// replays only post-checkpoint OALs. `None` disables checkpointing: a master
+    /// crash then replays the full OAL history from round zero.
+    pub checkpoint_every_rounds: Option<u64>,
+    /// Quarantine a node out of the round-coverage denominator once it has crashed
+    /// more than this many times, so a flapping node cannot keep every round below
+    /// `min_round_coverage` and starve adaptive convergence. `None` never expels.
+    pub quarantine_after_crashes: Option<u32>,
 }
 
 impl ProfilerConfig {
@@ -123,6 +132,8 @@ impl ProfilerConfig {
             round_deadline_intervals: None,
             min_round_coverage: 0.0,
             tcm_shards: 1,
+            checkpoint_every_rounds: None,
+            quarantine_after_crashes: None,
         }
     }
 

@@ -37,6 +37,51 @@ pub struct StallWindow {
     pub end_msg: u64,
 }
 
+/// A window of profiling intervals during which a worker node is crashed (process
+/// gone, not merely silent): its threads ship no OALs and any state the node held is
+/// lost. If `until_interval` is `None` the node never restarts; otherwise it rejoins
+/// at `until_interval` with a fresh epoch handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: NodeId,
+    /// First profiling interval (inclusive) during which the node is down.
+    pub from_interval: u64,
+    /// First interval past the crash (exclusive); `None` means crash-stop forever.
+    pub until_interval: Option<u64>,
+}
+
+impl CrashWindow {
+    /// True if the node is down while closing profiling interval `interval`.
+    #[inline]
+    pub fn covers(&self, interval: u64) -> bool {
+        interval >= self.from_interval && self.until_interval.is_none_or(|u| interval < u)
+    }
+}
+
+/// A window of profiling intervals during which the **master** correlation daemon is
+/// crashed. Its volatile state (open rounds, adaptive baselines, the un-snapshotted
+/// TCM tail) dies with it; OAL batches in flight over `[from_interval,
+/// until_interval)` are deferred by the transport until the restart. At
+/// `until_interval` the master restarts, restores its latest checkpoint and replays
+/// its buffered post-checkpoint OALs under a bumped epoch. Master windows are always
+/// finite — a master that never restarts is just a shorter run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MasterCrashWindow {
+    /// First profiling interval (inclusive) during which the master is down.
+    pub from_interval: u64,
+    /// First interval past the crash (exclusive); the restart point.
+    pub until_interval: u64,
+}
+
+impl MasterCrashWindow {
+    /// True if the master is down for OALs closing profiling interval `interval`.
+    #[inline]
+    pub fn covers(&self, interval: u64) -> bool {
+        (self.from_interval..self.until_interval).contains(&interval)
+    }
+}
+
 /// A declarative, seedable schedule of network faults.
 ///
 /// All probabilities are per message in `[0, 1]`. The effective drop probability of a
@@ -70,6 +115,10 @@ pub struct FaultPlan {
     pub delay_spike_ns: u64,
     /// Outbound-silence windows per node.
     pub stalls: Vec<StallWindow>,
+    /// Crash-stop windows for worker nodes (process down, optional restart).
+    pub node_crashes: Vec<CrashWindow>,
+    /// Crash-restart windows for the master correlation daemon.
+    pub master_crashes: Vec<MasterCrashWindow>,
 }
 
 impl Default for FaultPlan {
@@ -84,6 +133,8 @@ impl Default for FaultPlan {
             delay_prob: 0.0,
             delay_spike_ns: 1_000_000, // 1 ms, ~a Fast Ethernet TCP retransmission stall
             stalls: Vec::new(),
+            node_crashes: Vec::new(),
+            master_crashes: Vec::new(),
         }
     }
 }
@@ -99,10 +150,12 @@ impl FaultPlan {
             && self.duplicate_prob == 0.0
             && self.delay_prob == 0.0
             && self.stalls.is_empty()
+            && self.node_crashes.is_empty()
+            && self.master_crashes.is_empty()
     }
 
-    /// Check that every probability is a finite number in `[0, 1]` and every stall
-    /// window is non-empty.
+    /// Check that every probability is a finite number in `[0, 1]` and every stall or
+    /// crash window is non-empty, naming the offending node, field and value.
     pub fn validate(&self) -> Result<(), NetError> {
         let check = |name: &str, p: f64| -> Result<(), NetError> {
             if !(0.0..=1.0).contains(&p) {
@@ -125,12 +178,69 @@ impl FaultPlan {
         for w in &self.stalls {
             if w.end_msg <= w.start_msg {
                 return Err(NetError::InvalidFaultPlan(format!(
-                    "stall window on {} is empty ({}..{})",
-                    w.node, w.start_msg, w.end_msg
+                    "stall window on {}: end_msg {} <= start_msg {} (window is empty)",
+                    w.node, w.end_msg, w.start_msg
+                )));
+            }
+        }
+        for w in &self.node_crashes {
+            if let Some(until) = w.until_interval {
+                if until <= w.from_interval {
+                    return Err(NetError::InvalidFaultPlan(format!(
+                        "crash window on {}: until_interval {} <= from_interval {} \
+                         (window is empty)",
+                        w.node, until, w.from_interval
+                    )));
+                }
+            }
+        }
+        for w in &self.master_crashes {
+            if w.until_interval <= w.from_interval {
+                return Err(NetError::InvalidFaultPlan(format!(
+                    "master crash window: until_interval {} <= from_interval {} \
+                     (master windows must be finite and non-empty)",
+                    w.until_interval, w.from_interval
                 )));
             }
         }
         Ok(())
+    }
+
+    /// True if worker node `node` is crashed while closing profiling interval
+    /// `interval`. Pure function of the plan — no injector state involved.
+    pub fn node_down_at(&self, node: NodeId, interval: u64) -> bool {
+        self.node_crashes
+            .iter()
+            .any(|w| w.node == node && w.covers(interval))
+    }
+
+    /// True if the master daemon is crashed for OALs closing interval `interval`.
+    pub fn master_down_at(&self, interval: u64) -> bool {
+        self.master_crashes.iter().any(|w| w.covers(interval))
+    }
+
+    /// How many distinct crash windows the plan schedules for `node`.
+    pub fn crash_count(&self, node: NodeId) -> u32 {
+        self.node_crashes.iter().filter(|w| w.node == node).count() as u32
+    }
+
+    /// The interval from which `node` is quarantined, given that nodes crashing more
+    /// than `threshold` times are expelled: the start of its `(threshold + 1)`-th
+    /// crash window (in `from_interval` order), or `None` if it never crosses the
+    /// threshold. Pure function of the plan, so master and workers agree on it
+    /// without extra protocol traffic.
+    pub fn quarantine_from(&self, node: NodeId, threshold: u32) -> Option<u64> {
+        let mut starts: Vec<u64> = self
+            .node_crashes
+            .iter()
+            .filter(|w| w.node == node)
+            .map(|w| w.from_interval)
+            .collect();
+        if starts.len() <= threshold as usize {
+            return None;
+        }
+        starts.sort_unstable();
+        Some(starts[threshold as usize])
     }
 }
 
@@ -172,6 +282,8 @@ pub struct FaultStats {
     pub stalled: u64,
     /// Synchronous round trips that hit a drop and paid a retransmission.
     pub retransmits: u64,
+    /// OAL batches never sent because the owning node was inside a crash window.
+    pub crash_suppressed: u64,
 }
 
 impl FaultStats {
@@ -182,7 +294,12 @@ impl FaultStats {
 
     /// Total injected events of any kind.
     pub fn total(&self) -> u64 {
-        self.dropped + self.duplicated + self.delayed + self.stalled + self.retransmits
+        self.dropped
+            + self.duplicated
+            + self.delayed
+            + self.stalled
+            + self.retransmits
+            + self.crash_suppressed
     }
 
     /// Element-wise difference `self - earlier` (saturating; counters are monotonic).
@@ -193,6 +310,7 @@ impl FaultStats {
             delayed: self.delayed.saturating_sub(earlier.delayed),
             stalled: self.stalled.saturating_sub(earlier.stalled),
             retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+            crash_suppressed: self.crash_suppressed.saturating_sub(earlier.crash_suppressed),
         }
     }
 
@@ -203,6 +321,7 @@ impl FaultStats {
         self.delayed += other.delayed;
         self.stalled += other.stalled;
         self.retransmits += other.retransmits;
+        self.crash_suppressed += other.crash_suppressed;
     }
 }
 
@@ -223,6 +342,7 @@ pub struct FaultInjector {
     delayed: AtomicU64,
     stalled: AtomicU64,
     retransmits: AtomicU64,
+    crash_suppressed: AtomicU64,
 }
 
 impl FaultInjector {
@@ -252,6 +372,7 @@ impl FaultInjector {
             delayed: AtomicU64::new(0),
             stalled: AtomicU64::new(0),
             retransmits: AtomicU64::new(0),
+            crash_suppressed: AtomicU64::new(0),
         })
     }
 
@@ -263,6 +384,18 @@ impl FaultInjector {
     /// True if the plan injects nothing (fast path: skip all bookkeeping).
     pub fn is_zero(&self) -> bool {
         self.plan.is_zero()
+    }
+
+    /// True if worker node `node` is crashed while closing profiling interval
+    /// `interval`. Pure delegation to the plan — derived, never drawn.
+    #[inline]
+    pub fn node_down_at(&self, node: NodeId, interval: u64) -> bool {
+        !self.plan.node_crashes.is_empty() && self.plan.node_down_at(node, interval)
+    }
+
+    /// Record one OAL batch that was never sent because its node was crashed.
+    pub fn note_crash_suppressed(&self) {
+        self.crash_suppressed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Decide the fate of a one-way message, keyed by this link+class's sequence
@@ -388,6 +521,7 @@ impl FaultInjector {
             delayed: self.delayed.load(Ordering::Relaxed),
             stalled: self.stalled.load(Ordering::Relaxed),
             retransmits: self.retransmits.load(Ordering::Relaxed),
+            crash_suppressed: self.crash_suppressed.load(Ordering::Relaxed),
         }
     }
 
@@ -400,6 +534,7 @@ impl FaultInjector {
         self.delayed.store(0, Ordering::Relaxed);
         self.stalled.store(0, Ordering::Relaxed);
         self.retransmits.store(0, Ordering::Relaxed);
+        self.crash_suppressed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -579,13 +714,137 @@ mod tests {
 
     #[test]
     fn fault_stats_since_and_merge() {
-        let a = FaultStats { dropped: 5, duplicated: 2, delayed: 1, stalled: 0, retransmits: 3 };
-        let b = FaultStats { dropped: 2, duplicated: 1, delayed: 0, stalled: 0, retransmits: 1 };
+        let a = FaultStats {
+            dropped: 5,
+            duplicated: 2,
+            delayed: 1,
+            stalled: 0,
+            retransmits: 3,
+            crash_suppressed: 4,
+        };
+        let b = FaultStats {
+            dropped: 2,
+            duplicated: 1,
+            delayed: 0,
+            stalled: 0,
+            retransmits: 1,
+            crash_suppressed: 1,
+        };
         let d = a.since(&b);
-        assert_eq!(d, FaultStats { dropped: 3, duplicated: 1, delayed: 1, stalled: 0, retransmits: 2 });
+        assert_eq!(
+            d,
+            FaultStats {
+                dropped: 3,
+                duplicated: 1,
+                delayed: 1,
+                stalled: 0,
+                retransmits: 2,
+                crash_suppressed: 3,
+            }
+        );
         let mut r = b;
         r.merge(&d);
         assert_eq!(r, a);
-        assert_eq!(a.total(), 11);
+        assert_eq!(a.total(), 15);
+    }
+
+    #[test]
+    fn crash_windows_cover_their_intervals() {
+        let plan = FaultPlan {
+            node_crashes: vec![
+                CrashWindow { node: NodeId(1), from_interval: 5, until_interval: Some(8) },
+                CrashWindow { node: NodeId(2), from_interval: 3, until_interval: None },
+            ],
+            master_crashes: vec![MasterCrashWindow { from_interval: 10, until_interval: 12 }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_zero());
+        plan.validate().unwrap();
+
+        // Node 1: down for [5, 8), back up at 8.
+        assert!(!plan.node_down_at(NodeId(1), 4));
+        assert!(plan.node_down_at(NodeId(1), 5));
+        assert!(plan.node_down_at(NodeId(1), 7));
+        assert!(!plan.node_down_at(NodeId(1), 8));
+        // Node 2: crash-stop forever from 3.
+        assert!(!plan.node_down_at(NodeId(2), 2));
+        assert!(plan.node_down_at(NodeId(2), 3));
+        assert!(plan.node_down_at(NodeId(2), 1_000_000));
+        // Other nodes untouched.
+        assert!(!plan.node_down_at(NodeId(3), 6));
+        // Master window.
+        assert!(!plan.master_down_at(9));
+        assert!(plan.master_down_at(10));
+        assert!(plan.master_down_at(11));
+        assert!(!plan.master_down_at(12));
+
+        // Injector delegates and stays pure (no sequence state).
+        let inj = FaultInjector::new(plan).unwrap();
+        assert!(inj.node_down_at(NodeId(1), 6));
+        assert!(!inj.node_down_at(NodeId(1), 8));
+        assert!(inj.link_seq.lock().is_empty());
+    }
+
+    #[test]
+    fn quarantine_threshold_counts_crash_windows_in_interval_order() {
+        let w = |from: u64, until: u64| CrashWindow {
+            node: NodeId(2),
+            from_interval: from,
+            until_interval: Some(until),
+        };
+        let plan = FaultPlan {
+            // Deliberately out of order: quarantine must sort by from_interval.
+            node_crashes: vec![w(20, 21), w(4, 5), w(11, 12)],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.crash_count(NodeId(2)), 3);
+        assert_eq!(plan.crash_count(NodeId(1)), 0);
+        // Tolerate 2 crashes -> expelled at the start of the third (from = 20).
+        assert_eq!(plan.quarantine_from(NodeId(2), 2), Some(20));
+        assert_eq!(plan.quarantine_from(NodeId(2), 0), Some(4));
+        assert_eq!(plan.quarantine_from(NodeId(2), 3), None);
+        assert_eq!(plan.quarantine_from(NodeId(1), 0), None);
+    }
+
+    #[test]
+    fn validation_names_offending_crash_windows() {
+        let bad_node = FaultPlan {
+            node_crashes: vec![CrashWindow {
+                node: NodeId(7),
+                from_interval: 9,
+                until_interval: Some(9),
+            }],
+            ..FaultPlan::default()
+        };
+        match bad_node.validate() {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("n7"), "message must name the node: {msg}");
+                assert!(msg.contains('9'), "message must name the value: {msg}");
+                assert!(msg.contains("until_interval"), "message must name the field: {msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        let bad_master = FaultPlan {
+            master_crashes: vec![MasterCrashWindow { from_interval: 4, until_interval: 2 }],
+            ..FaultPlan::default()
+        };
+        match bad_master.validate() {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("master"), "{msg}");
+                assert!(msg.contains("until_interval 2"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        let bad_stall = FaultPlan {
+            stalls: vec![StallWindow { node: NodeId(3), start_msg: 6, end_msg: 6 }],
+            ..FaultPlan::default()
+        };
+        match bad_stall.validate() {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("n3"), "{msg}");
+                assert!(msg.contains("end_msg 6"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
     }
 }

@@ -27,7 +27,10 @@ pub mod stats;
 pub use clock::{ClockBoard, ClockHandle, SimNanos};
 pub use error::NetError;
 pub use fabric::Fabric;
-pub use fault::{oal_fault_key, FaultDecision, FaultInjector, FaultPlan, FaultStats, StallWindow};
+pub use fault::{
+    oal_fault_key, CrashWindow, FaultDecision, FaultInjector, FaultPlan, FaultStats,
+    MasterCrashWindow, StallWindow,
+};
 pub use ids::{NodeId, ThreadId};
 pub use latency::LatencyModel;
 pub use mailbox::{Envelope, Mailbox};

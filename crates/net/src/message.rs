@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct message classes (for fixed-size per-class counter arrays).
-pub const NUM_MSG_CLASSES: usize = 13;
+pub const NUM_MSG_CLASSES: usize = 14;
 
 /// Classification of every message the simulated DJVM exchanges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -40,6 +40,9 @@ pub enum MsgClass {
     MigrationCtx = 11,
     /// Sticky-set prefetch data accompanying a migration.
     Prefetch = 12,
+    /// Re-registration handshake from a restarted node's threads: the reply carries
+    /// the master's current epoch and class rate table so sampling resumes in step.
+    Rejoin = 13,
 }
 
 impl MsgClass {
@@ -58,6 +61,7 @@ impl MsgClass {
         MsgClass::RateChange,
         MsgClass::MigrationCtx,
         MsgClass::Prefetch,
+        MsgClass::Rejoin,
     ];
 
     /// Index into per-class counter arrays.
@@ -70,7 +74,7 @@ impl MsgClass {
     /// rather than the base coherence protocol?
     #[inline]
     pub fn is_profiling(self) -> bool {
-        matches!(self, MsgClass::OalBatch | MsgClass::RateChange)
+        matches!(self, MsgClass::OalBatch | MsgClass::RateChange | MsgClass::Rejoin)
     }
 
     /// Is this message part of thread-migration traffic (context + prefetch)?
@@ -95,6 +99,7 @@ impl MsgClass {
             MsgClass::RateChange => "rate-change",
             MsgClass::MigrationCtx => "migration-ctx",
             MsgClass::Prefetch => "prefetch",
+            MsgClass::Rejoin => "rejoin",
         }
     }
 
@@ -121,7 +126,10 @@ mod tests {
     #[test]
     fn profiling_partition() {
         let profiling: Vec<_> = MsgClass::ALL.iter().filter(|c| c.is_profiling()).collect();
-        assert_eq!(profiling, vec![&MsgClass::OalBatch, &MsgClass::RateChange]);
+        assert_eq!(
+            profiling,
+            vec![&MsgClass::OalBatch, &MsgClass::RateChange, &MsgClass::Rejoin]
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::time::Instant;
 
 use parking_lot::RwLock;
 
-use jessy_core::{Oal, ProfilerConfig, ProfilerShared, ThreadProfiler};
+use jessy_core::{ProfilerConfig, ProfilerShared, ThreadProfiler};
 use jessy_gos::protocol::ConsistencyModel;
 use jessy_gos::{ClassId, CostModel, Gos, GosConfig, LockId, ObjectCore, ObjectId};
 use jessy_net::mailbox::MailboxSender;
@@ -46,7 +46,7 @@ use jessy_stack::{MethodId, MethodRegistry};
 
 use crate::dynamic::RebalanceConfig;
 use crate::error::RuntimeError;
-use crate::master::{MasterDaemon, MasterOutput};
+use crate::master::{EpochOal, MasterDaemon, MasterOutput};
 use crate::metrics::RunReport;
 use crate::migration::MigrationReport;
 use crate::thread::JThread;
@@ -62,8 +62,9 @@ pub struct ClusterShared {
     pub prof: Arc<ProfilerShared>,
     /// Method layouts for Java stacks.
     pub methods: MethodRegistry,
-    /// Sender half of the master's OAL mailbox.
-    pub oal_tx: MailboxSender<Oal>,
+    /// Sender half of the master's OAL mailbox. OALs travel epoch-stamped so a
+    /// restored master can fence stale duplicates (DESIGN.md §12).
+    pub oal_tx: MailboxSender<EpochOal>,
     /// Number of nodes.
     pub n_nodes: usize,
     /// Number of application threads.
@@ -86,6 +87,11 @@ pub struct ClusterShared {
     /// OAL posts that failed because the master's mailbox was gone (threads keep
     /// running — losing profiling data must never stop the application).
     pub oal_post_failures: AtomicU64,
+    /// The master's current recovery epoch, bumped on every restore and read by
+    /// worker threads when stamping outgoing OAL batches.
+    pub master_epoch: AtomicU64,
+    /// Rejoin handshakes performed by threads of restarted nodes.
+    pub rejoins: AtomicU64,
 }
 
 impl ClusterShared {
@@ -248,6 +254,12 @@ impl ClusterBuilder {
             )));
         }
 
+        // Validate the fault plan up front so a malformed window is reported with
+        // the offending node/field/value instead of surfacing as a mid-run anomaly.
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
+
         let gos = Gos::try_new(GosConfig {
             n_nodes: self.n_nodes,
             n_threads: self.n_threads,
@@ -281,6 +293,8 @@ impl ClusterBuilder {
             footprints: RwLock::new(vec![0.0; self.n_threads]),
             done: AtomicBool::new(false),
             oal_post_failures: AtomicU64::new(0),
+            master_epoch: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
         });
         Ok(Cluster {
             shared,
@@ -383,7 +397,7 @@ impl InitCtx<'_> {
 /// A simulated DJVM cluster.
 pub struct Cluster {
     shared: Arc<ClusterShared>,
-    mailbox: Option<Mailbox<Oal>>,
+    mailbox: Option<Mailbox<EpochOal>>,
     master_out: Option<MasterOutput>,
     run_wall_ns: u64,
 }

@@ -33,7 +33,10 @@ pub use balancer::LoadBalancer;
 pub use cluster::{Cluster, ClusterBuilder, InitCtx};
 pub use dynamic::{PlannedMigration, RebalanceConfig};
 pub use error::RuntimeError;
-pub use master::{ClosedRound, Ingest, MasterOutput, RoundScheduler, SkippedRateChange};
+pub use master::{
+    AppliedRateChange, ClosedRound, EpochOal, Ingest, MasterOutput, ProfilerCheckpoint,
+    RoundScheduler, SchedulerCheckpoint, SkippedRateChange,
+};
 pub use metrics::RunReport;
 pub use migration::MigrationReport;
 pub use thread::JThread;

@@ -30,6 +30,33 @@
 //! "TCM Computing Time" column reads this, because in our reproduction the TCM
 //! construction is a real computation (the paper likewise ran it on a dedicated
 //! machine so it would not distort execution times).
+//!
+//! # Crash-stop recovery (DESIGN.md §12)
+//!
+//! The daemon also survives **process-level** crash-stop failures scheduled by
+//! [`jessy_net::FaultPlan::master_crashes`]:
+//!
+//! * Every `ProfilerConfig::checkpoint_every_rounds` closed rounds it snapshots a
+//!   [`ProfilerCheckpoint`] — watermarks, adaptive baselines, rate table, the
+//!   accumulated [`Tcm`] — and truncates its replay log of accepted post-checkpoint
+//!   OALs (modeling a durable WAL / worker retransmit buffers).
+//! * A master crash window kills the daemon's *volatile* state; OAL batches in
+//!   flight while it is down are deferred by the transport, not dropped. The first
+//!   batch at/after the window's end triggers a **restore**: the latest checkpoint
+//!   is reinstated, the replay log is re-ingested deterministically, and the master
+//!   **epoch** is bumped and broadcast with the rate table. When no message faults
+//!   dropped OALs, the recovered TCM is bit-identical to the uninterrupted run
+//!   (integer-valued f64 sums below 2^53 are exact and association-free); with
+//!   drops, round coverage reflects the loss and the PR 1 machinery degrades
+//!   gracefully.
+//! * Arriving OALs stamped with a **stale epoch** that duplicate already-replayed
+//!   state are *fenced* (counted, never double-folded); stale-but-new OALs are still
+//!   accepted — fencing them too would turn every in-flight batch at restore time
+//!   into data loss.
+//! * Threads on nodes that crash more than `ProfilerConfig::quarantine_after_crashes`
+//!   times are **quarantined** out of the round-coverage denominator (and the
+//!   complete-close watermark rule), so a flapping node cannot starve adaptive
+//!   convergence.
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::Ordering;
@@ -38,13 +65,27 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use jessy_core::adaptive::apply_rate_change;
-use jessy_core::{AdaptiveController, Oal, RoundOutcome, ShardedTcmReducer, Tcm};
-use jessy_net::{Mailbox, MsgClass, NodeId};
+use jessy_core::adaptive::{apply_rate_change, ControllerCheckpoint};
+use jessy_core::sampling::ClassGapState;
+use jessy_core::{AdaptiveController, Oal, ProfilerConfig, RoundOutcome, ShardedTcmReducer, Tcm};
+use jessy_gos::ClassId;
+use jessy_net::{Mailbox, MasterCrashWindow, MsgClass, NodeId};
 
 use crate::cluster::ClusterShared;
 use crate::dynamic::{plan_and_post, PlannedMigration};
 use crate::error::RuntimeError;
+
+/// An OAL batch stamped with the sender's view of the master epoch (learned at
+/// startup, from rejoin handshakes and from rate-change broadcasts). The scheduler
+/// uses the stamp to *fence* stale duplicates after a master restore instead of
+/// double-folding them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochOal {
+    /// Master epoch the sender last observed.
+    pub epoch: u64,
+    /// The batch itself.
+    pub oal: Oal,
+}
 
 /// One applied rate change, for the report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +143,21 @@ pub struct MasterOutput {
     pub planned_migrations: Vec<PlannedMigration>,
     /// The raw OAL stream, when `ProfilerConfig::record_oals` was set.
     pub oal_log: Vec<Oal>,
+    /// Checkpoints snapshotted (`ProfilerConfig::checkpoint_every_rounds`).
+    pub checkpoints_taken: u64,
+    /// Master crash-restarts performed (checkpoint restore + replay).
+    pub restores: u64,
+    /// OALs re-ingested from the replay log across all restores.
+    pub replayed_oals: u64,
+    /// Stale-epoch OALs fenced after a restore (duplicates of replayed state).
+    pub fenced_oals: u64,
+    /// Nodes expelled from the coverage denominator for crashing more than
+    /// `ProfilerConfig::quarantine_after_crashes` times.
+    pub quarantined_nodes: u64,
+    /// Classes the adaptive controller had frozen by the end of the run.
+    pub converged_classes: u64,
+    /// The master epoch at the end of the run (0 = never crashed).
+    pub final_epoch: u64,
 }
 
 /// How the [`RoundScheduler`] classified one arriving OAL.
@@ -113,6 +169,9 @@ pub enum Ingest {
     Duplicate,
     /// Arrived after its round closed — buffered for the end-of-run fold.
     Late,
+    /// A stale-epoch copy of state the restored master already holds — fenced
+    /// (discarded and counted separately from network duplicates).
+    Fenced,
 }
 
 /// One round the scheduler declared closed.
@@ -157,7 +216,48 @@ pub struct RoundScheduler {
     late: Vec<Oal>,
     late_count: u64,
     duplicates: u64,
+    fenced: u64,
     deadline_rounds: u64,
+    /// Per-thread quarantine start: `Some(q)` excludes the thread's intervals `>= q`
+    /// from the coverage numerator, denominator and the complete-close watermark rule
+    /// (the thread's node crashed past the flap threshold). Its data, if any still
+    /// arrives, is folded into the TCM anyway — data is data.
+    quarantine_from: Vec<Option<u64>>,
+}
+
+/// Serializable snapshot of a [`RoundScheduler`], in canonical form: map-like state
+/// is stored as sorted key/value vectors so two equal schedulers encode identically.
+/// Self-contained — [`RoundScheduler::from_checkpoint`] needs nothing else.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerCheckpoint {
+    /// Thread count (sizes the watermark vector).
+    pub n_threads: u64,
+    /// Intervals per round.
+    pub ipr: u64,
+    /// Deadline grace, if configured.
+    pub deadline_intervals: Option<u64>,
+    /// Next round to close.
+    pub next_round: u64,
+    /// Per-thread watermarks.
+    pub watermark: Vec<u64>,
+    /// Open-round OAL buffers, sorted by round id.
+    pub buckets: Vec<(u64, Vec<Oal>)>,
+    /// Open-round receipt counts, sorted by round id.
+    pub received: Vec<(u64, u64)>,
+    /// Accepted (thread, interval) pairs, sorted.
+    pub seen: Vec<(u32, u64)>,
+    /// Buffered late OALs.
+    pub late: Vec<Oal>,
+    /// Late-arrival count (including empty contexts).
+    pub late_count: u64,
+    /// Network duplicates discarded.
+    pub duplicates: u64,
+    /// Stale-epoch OALs fenced.
+    pub fenced: u64,
+    /// Rounds closed by deadline.
+    pub deadline_rounds: u64,
+    /// Per-thread quarantine starts.
+    pub quarantine_from: Vec<Option<u64>>,
 }
 
 impl RoundScheduler {
@@ -176,14 +276,43 @@ impl RoundScheduler {
             late: Vec::new(),
             late_count: 0,
             duplicates: 0,
+            fenced: 0,
             deadline_rounds: 0,
+            quarantine_from: vec![None; n_threads],
         }
+    }
+
+    /// Install per-thread quarantine starts (see the `quarantine_from` field). The
+    /// table must list every thread.
+    pub fn set_quarantine(&mut self, quarantine_from: Vec<Option<u64>>) {
+        assert_eq!(quarantine_from.len(), self.n_threads, "one entry per thread");
+        self.quarantine_from = quarantine_from;
+    }
+
+    /// The quarantine table in force.
+    pub fn quarantine_table(&self) -> Vec<Option<u64>> {
+        self.quarantine_from.clone()
     }
 
     /// Feed one OAL, classifying it. Call [`RoundScheduler::ready_rounds`] afterwards
     /// (or after a batch) to collect any rounds this arrival completed.
     pub fn ingest(&mut self, oal: Oal) -> Ingest {
+        self.ingest_epoch(oal, false)
+    }
+
+    /// Feed one OAL carrying an epoch verdict: `stale_epoch` marks a batch stamped
+    /// with an epoch older than the master's current one. A stale batch duplicating
+    /// an already-accepted (thread, interval) pair is **fenced** — after a restore,
+    /// replayed state must not be double-folded by in-flight retransmissions of the
+    /// previous regime. A stale batch carrying a *new* pair is still accepted: it is
+    /// real data that was in flight when the master crashed, and fencing it would
+    /// convert every restore into data loss.
+    pub fn ingest_epoch(&mut self, oal: Oal, stale_epoch: bool) -> Ingest {
         if !self.seen.insert((oal.thread.0, oal.interval)) {
+            if stale_epoch {
+                self.fenced += 1;
+                return Ingest::Fenced;
+            }
             self.duplicates += 1;
             return Ingest::Duplicate;
         }
@@ -197,7 +326,12 @@ impl RoundScheduler {
             }
             return Ingest::Late;
         }
-        *self.received.entry(round).or_insert(0) += 1;
+        // A quarantined thread's post-expulsion intervals never count toward
+        // coverage: they are outside both numerator and denominator.
+        let quarantined = self.quarantine_from[t].is_some_and(|q| oal.interval >= q);
+        if !quarantined {
+            *self.received.entry(round).or_insert(0) += 1;
+        }
         if !oal.is_empty() {
             self.buckets.entry(round).or_default().push(oal);
         }
@@ -206,14 +340,28 @@ impl RoundScheduler {
 
     /// Close and return every round that is ready, in order: rounds all threads have
     /// passed, plus — with a deadline configured — rounds the fastest thread has
-    /// outrun by the grace distance.
+    /// outrun by the grace distance. A quarantined thread only needs to have reported
+    /// up to its expulsion point: a permanently dead flapper cannot wedge the
+    /// complete-close rule.
     pub fn ready_rounds(&mut self) -> Vec<ClosedRound> {
-        let min_wm = self.watermark.iter().copied().min().unwrap_or(0);
         let max_wm = self.watermark.iter().copied().max().unwrap_or(0);
         let mut out = Vec::new();
         loop {
+            // Never close past the observed horizon: a round nothing has reached yet
+            // is not "complete", even when every thread is quarantined below it and
+            // so owes it nothing (otherwise a fully-quarantined scheduler would spin
+            // closing empty future rounds forever).
+            if self.next_round * self.ipr >= max_wm {
+                break;
+            }
             let round_end = (self.next_round + 1) * self.ipr;
-            let complete = round_end <= min_wm;
+            let complete = (0..self.n_threads).all(|t| {
+                let required = match self.quarantine_from[t] {
+                    Some(q) => round_end.min(q),
+                    None => round_end,
+                };
+                self.watermark[t] >= required
+            });
             let expired = self
                 .deadline_intervals
                 .map(|grace| max_wm >= round_end + grace)
@@ -249,8 +397,22 @@ impl RoundScheduler {
         if deadline_hit {
             self.deadline_rounds += 1;
         }
-        let expected = (self.n_threads as u64 * self.ipr) as f64;
-        let coverage = self.received.remove(&round).unwrap_or(0) as f64 / expected;
+        let round_start = round * self.ipr;
+        let round_end = round_start + self.ipr;
+        // Denominator: each live thread owes `ipr` intervals; a quarantined thread
+        // owes only the prefix before its expulsion point.
+        let expected: u64 = (0..self.n_threads)
+            .map(|t| match self.quarantine_from[t] {
+                Some(q) => round_end.min(q.max(round_start)) - round_start,
+                None => self.ipr,
+            })
+            .sum();
+        let received = self.received.remove(&round).unwrap_or(0);
+        let coverage = if expected == 0 {
+            1.0 // every expected reporter is quarantined: nothing owed, nothing missing
+        } else {
+            received as f64 / expected as f64
+        };
         ClosedRound {
             round,
             oals: self.buckets.remove(&round).unwrap_or_default(),
@@ -274,6 +436,11 @@ impl RoundScheduler {
         self.duplicates
     }
 
+    /// Stale-epoch OALs fenced after a restore.
+    pub fn fenced_count(&self) -> u64 {
+        self.fenced
+    }
+
     /// Rounds closed by the deadline rather than by complete watermarks.
     pub fn deadline_rounds(&self) -> u64 {
         self.deadline_rounds
@@ -283,6 +450,92 @@ impl RoundScheduler {
     pub fn next_round(&self) -> u64 {
         self.next_round
     }
+
+    /// Snapshot the scheduler in canonical (sorted) form.
+    pub fn checkpoint(&self) -> SchedulerCheckpoint {
+        let mut seen: Vec<(u32, u64)> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        SchedulerCheckpoint {
+            n_threads: self.n_threads as u64,
+            ipr: self.ipr,
+            deadline_intervals: self.deadline_intervals,
+            next_round: self.next_round,
+            watermark: self.watermark.clone(),
+            buckets: self.buckets.iter().map(|(r, v)| (*r, v.clone())).collect(),
+            received: self.received.iter().map(|(r, n)| (*r, *n)).collect(),
+            seen,
+            late: self.late.clone(),
+            late_count: self.late_count,
+            duplicates: self.duplicates,
+            fenced: self.fenced,
+            deadline_rounds: self.deadline_rounds,
+            quarantine_from: self.quarantine_from.clone(),
+        }
+    }
+
+    /// Rebuild a scheduler from a checkpoint; `scheduler.checkpoint()` then
+    /// round-trips to an equal snapshot, and the rebuilt scheduler classifies every
+    /// subsequent OAL exactly as the snapshotted one would have.
+    pub fn from_checkpoint(cp: &SchedulerCheckpoint) -> Self {
+        RoundScheduler {
+            n_threads: cp.n_threads as usize,
+            ipr: cp.ipr.max(1),
+            deadline_intervals: cp.deadline_intervals,
+            next_round: cp.next_round,
+            watermark: cp.watermark.clone(),
+            buckets: cp.buckets.iter().cloned().collect(),
+            received: cp.received.iter().copied().collect(),
+            seen: cp.seen.iter().copied().collect(),
+            late: cp.late.clone(),
+            late_count: cp.late_count,
+            duplicates: cp.duplicates,
+            fenced: cp.fenced,
+            deadline_rounds: cp.deadline_rounds,
+            quarantine_from: cp.quarantine_from.clone(),
+        }
+    }
+}
+
+/// Serializable snapshot of the coordinator's complete profiling state, taken every
+/// `ProfilerConfig::checkpoint_every_rounds` closed rounds. All map-like state is
+/// stored sorted, so equal coordinator states serialize to identical JSON and the
+/// serialize→deserialize round trip is the identity (property-tested).
+///
+/// Live telemetry counters (`checkpoints_taken`, `restores`, `replayed_oals`,
+/// `fenced_oals`) are deliberately **not** part of the snapshot: they describe
+/// what actually happened during the run, and rolling them back on restore would
+/// falsify the run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerCheckpoint {
+    /// Master epoch at snapshot time.
+    pub epoch: u64,
+    /// Rounds closed so far.
+    pub rounds: u64,
+    /// The accumulated TCM over those rounds.
+    pub tcm: Tcm,
+    /// Round-assembly state (watermarks, open buckets, dedup set, late buffer).
+    pub scheduler: SchedulerCheckpoint,
+    /// Adaptive-controller state (per-class baselines + converged set), if adaptive
+    /// control is on.
+    pub controller: Option<ControllerCheckpoint>,
+    /// Per-class sampling-rate table, sorted by class id.
+    pub rates: Vec<(ClassId, ClassGapState)>,
+    /// OALs ingested (non-duplicate) so far.
+    pub oals: u64,
+    /// Σ per-round distinct objects organized.
+    pub objects_organized: u64,
+    /// Per-round coverage history.
+    pub round_coverage: Vec<f64>,
+    /// Applied rate changes so far.
+    pub rate_changes: Vec<AppliedRateChange>,
+    /// Coverage-skipped rounds so far.
+    pub skipped: Vec<SkippedRateChange>,
+    /// Planned migrations, if the balancer already ran.
+    pub planned_migrations: Vec<PlannedMigration>,
+    /// Whether the balancer already ran.
+    pub rebalanced: bool,
+    /// The recorded OAL stream, when `ProfilerConfig::record_oals` was set.
+    pub oal_log: Vec<Oal>,
 }
 
 pub(crate) struct MasterDaemon {
@@ -292,7 +545,7 @@ pub(crate) struct MasterDaemon {
 impl MasterDaemon {
     pub(crate) fn spawn(
         shared: Arc<ClusterShared>,
-        mailbox: Mailbox<Oal>,
+        mailbox: Mailbox<EpochOal>,
     ) -> Result<Self, RuntimeError> {
         let handle = std::thread::Builder::new()
             .name("jessy-master".into())
@@ -308,6 +561,7 @@ impl MasterDaemon {
 
 struct Daemon {
     shared: Arc<ClusterShared>,
+    config: ProfilerConfig,
     builder: ShardedTcmReducer,
     controller: Option<AdaptiveController>,
     scheduler: RoundScheduler,
@@ -322,18 +576,65 @@ struct Daemon {
     rebalanced: bool,
     oal_log: Vec<Oal>,
     record_oals: bool,
+    // ---------------------------------------------------------- crash-stop recovery
+    /// Current master epoch (bumped and broadcast on every restore).
+    epoch: u64,
+    /// TCM accumulated before the last restore; the live `builder` only holds rounds
+    /// closed since. `effective_tcm()` merges the two — exact for integer-valued f64.
+    base_tcm: Option<Tcm>,
+    /// Rounds closed before the last restore (offsets `builder.rounds_closed()`).
+    rounds_base: u64,
+    /// Latest snapshot, if checkpointing is on and one was taken.
+    latest_checkpoint: Option<ProfilerCheckpoint>,
+    /// Accepted OALs since the latest checkpoint (the durable WAL a restore replays).
+    /// Only maintained when the fault plan schedules master crashes.
+    replay_log: Vec<Oal>,
+    keep_replay_log: bool,
+    /// Master crash windows, sorted by `until_interval`; `next_crash` indexes the
+    /// first window whose restart has not fired yet.
+    master_crashes: Vec<MasterCrashWindow>,
+    next_crash: usize,
+    /// One past the highest OAL interval ingested — tells `finish` whether a pending
+    /// crash window actually intersected the run.
+    max_interval_seen: u64,
+    checkpoints_taken: u64,
+    restores: u64,
+    replayed_oals: u64,
+    quarantined_nodes: u64,
 }
 
 impl Daemon {
-    fn ingest(&mut self, oal: Oal) {
+    fn ingest(&mut self, msg: EpochOal) {
+        let EpochOal { epoch, oal } = msg;
+        // Master restart: the first OAL at/after the current crash window's end finds
+        // the master rebooting — restore the latest checkpoint and replay. OALs in
+        // flight while the master is down are *deferred, not dropped*: the transport
+        // (sender retransmission in a real cluster, the mailbox here) holds them
+        // until the restart drains the backlog, so crash loss is confined to the
+        // volatile state the snapshot + replay reconstruct. Message-level drop
+        // faults compose independently and degrade coverage as in PR 1.
+        while self.next_crash < self.master_crashes.len()
+            && oal.interval >= self.master_crashes[self.next_crash].until_interval
+        {
+            self.next_crash += 1;
+            self.restore();
+        }
+        self.max_interval_seen = self.max_interval_seen.max(oal.interval + 1);
+        let stale = epoch < self.epoch;
         if self.record_oals {
             self.oal_log.push(oal.clone());
         }
-        match self.scheduler.ingest(oal) {
-            Ingest::Duplicate => {
+        if self.keep_replay_log {
+            self.replay_log.push(oal.clone());
+        }
+        match self.scheduler.ingest_epoch(oal, stale) {
+            Ingest::Duplicate | Ingest::Fenced => {
                 // Drop silently; a lossy network retransmitting is not new data.
                 if self.record_oals {
                     self.oal_log.pop();
+                }
+                if self.keep_replay_log {
+                    self.replay_log.pop();
                 }
                 return;
             }
@@ -344,12 +645,153 @@ impl Daemon {
         }
     }
 
+    fn fresh_reducer(&self) -> ShardedTcmReducer {
+        let mut b = ShardedTcmReducer::new(self.config.tcm_shards.max(1), self.shared.n_threads);
+        if let Some(decay) = self.config.tcm_decay {
+            b.set_decay(decay);
+        }
+        b
+    }
+
+    fn fresh_controller(&self) -> Option<AdaptiveController> {
+        self.config.adaptive_threshold.map(|t| {
+            AdaptiveController::new(t).with_min_coverage(self.config.min_round_coverage)
+        })
+    }
+
+    /// The cumulative TCM: rounds closed since the last restore plus the restored
+    /// base. Integer-valued f64 sums below 2^53 are exact and association-free, so
+    /// this equals the uninterrupted cumulative bit for bit.
+    fn effective_tcm(&self) -> Tcm {
+        let mut t = self.builder.reduce();
+        if let Some(base) = &self.base_tcm {
+            t.merge(base);
+        }
+        t
+    }
+
+    /// Snapshot everything a restarted master needs, and truncate the replay log —
+    /// OALs folded into the snapshot no longer need replaying.
+    fn take_checkpoint(&mut self) {
+        self.checkpoints_taken += 1;
+        let gaps = self.shared.prof.gaps();
+        let mut rates: Vec<(ClassId, ClassGapState)> =
+            gaps.classes().iter().map(|c| (*c, gaps.state(*c))).collect();
+        rates.sort_unstable_by_key(|(c, _)| *c);
+        self.latest_checkpoint = Some(ProfilerCheckpoint {
+            epoch: self.epoch,
+            rounds: self.rounds,
+            tcm: self.effective_tcm(),
+            scheduler: self.scheduler.checkpoint(),
+            controller: self.controller.as_ref().map(|c| c.checkpoint()),
+            rates,
+            oals: self.oals,
+            objects_organized: self.objects_organized,
+            round_coverage: self.round_coverage.clone(),
+            rate_changes: self.rate_changes.clone(),
+            skipped: self.skipped.clone(),
+            planned_migrations: self.planned_migrations.clone(),
+            rebalanced: self.rebalanced,
+            oal_log: self.oal_log.clone(),
+        });
+        self.replay_log.clear();
+    }
+
+    /// Master restart: reinstate the latest checkpoint (or restart cold from round
+    /// zero if none was ever taken), bump and broadcast the epoch with the rate
+    /// table, then deterministically replay the buffered post-checkpoint OALs.
+    /// Because the replay log holds exactly the accepted-since-checkpoint stream,
+    /// checkpoint + replay is an *identity transform* on accepted state: when no
+    /// OALs were dropped by message faults, the recovered TCM is bit-identical to
+    /// the uninterrupted run's.
+    fn restore(&mut self) {
+        self.restores += 1;
+        let replay = std::mem::take(&mut self.replay_log);
+
+        match self.latest_checkpoint.clone() {
+            Some(cp) => {
+                self.rounds = cp.rounds;
+                self.rounds_base = cp.rounds;
+                self.base_tcm = Some(cp.tcm);
+                self.scheduler = RoundScheduler::from_checkpoint(&cp.scheduler);
+                self.controller = self.fresh_controller();
+                if let (Some(ctl), Some(ccp)) = (self.controller.as_mut(), cp.controller.as_ref()) {
+                    ctl.restore(ccp);
+                }
+                // Re-impose the checkpointed rate table (the restored master
+                // re-broadcasts the rates it knew); replay re-derives later steps.
+                let gaps = self.shared.prof.gaps();
+                for (class, st) in &cp.rates {
+                    gaps.set_rate(*class, st.rate);
+                }
+                self.oals = cp.oals;
+                self.objects_organized = cp.objects_organized;
+                self.round_coverage = cp.round_coverage;
+                self.rate_changes = cp.rate_changes;
+                self.skipped = cp.skipped;
+                self.planned_migrations = cp.planned_migrations;
+                self.rebalanced = cp.rebalanced;
+                self.oal_log = cp.oal_log;
+            }
+            None => {
+                // Cold restart: no snapshot, so the replay log spans the full run.
+                // Worker rate tables are left untouched — without a snapshot the
+                // restarted master has no record to re-broadcast; the controller
+                // re-baselines against the rates currently in force.
+                self.rounds = 0;
+                self.rounds_base = 0;
+                self.base_tcm = None;
+                let quarantine = self.scheduler.quarantine_table();
+                self.scheduler = RoundScheduler::new(
+                    self.shared.n_threads,
+                    (self.config.intervals_per_round as u64).max(1),
+                    self.config.round_deadline_intervals,
+                );
+                self.scheduler.set_quarantine(quarantine);
+                self.controller = self.fresh_controller();
+                self.oals = 0;
+                self.objects_organized = 0;
+                self.round_coverage.clear();
+                self.rate_changes.clear();
+                self.skipped.clear();
+                self.planned_migrations.clear();
+                self.rebalanced = false;
+                self.oal_log.clear();
+            }
+        }
+        self.builder = self.fresh_reducer();
+
+        // New regime: bump the epoch, publish it to the workers, and account the
+        // epoch + rate-table broadcast that re-registration answers carry.
+        self.epoch += 1;
+        self.shared.master_epoch.store(self.epoch, Ordering::Release);
+        let n_rates = self.shared.prof.gaps().classes().len();
+        for n in 0..self.shared.n_nodes {
+            self.shared.gos.fabric().account_async(
+                NodeId::MASTER,
+                NodeId(n as u16),
+                MsgClass::RateChange,
+                24 + 12 * n_rates,
+            );
+        }
+
+        for oal in replay {
+            self.replayed_oals += 1;
+            self.ingest(EpochOal { epoch: self.epoch, oal });
+        }
+    }
+
     fn close_round(&mut self, closed: ClosedRound) {
         let t0 = Instant::now();
         for oal in &closed.oals {
             self.builder.ingest(oal);
         }
         let (_stats, summary) = self.builder.close_round();
+        // The reducer decays its own cumulative per close; the restored base must
+        // age in lockstep or the merged map would over-weight pre-crash history.
+        if let (Some(decay), Some(base)) = (self.config.tcm_decay, self.base_tcm.as_mut()) {
+            base.scale(decay);
+        }
         self.build_ns += t0.elapsed().as_nanos() as u64;
         self.rounds += 1;
         self.objects_organized += summary.objects as u64;
@@ -379,7 +821,7 @@ impl Daemon {
                             &clock,
                         );
                         self.rate_changes.push(AppliedRateChange {
-                            round: self.builder.rounds_closed(),
+                            round: self.rounds_base + self.builder.rounds_closed(),
                             class_name: self.shared.gos.classes().info(ch.class).name,
                             new_rate: ch.new_state.rate.label(),
                             relative_distance: ch.relative_distance,
@@ -399,10 +841,18 @@ impl Daemon {
         // Dynamic balancing: plan once enough rounds have closed (Section V's policy,
         // built on the profiles).
         if let Some(cfg) = self.shared.rebalance {
-            if !self.rebalanced && self.builder.rounds_closed() >= cfg.after_rounds {
+            if !self.rebalanced && self.rounds_base + self.builder.rounds_closed() >= cfg.after_rounds
+            {
                 self.rebalanced = true;
-                let tcm = self.builder.reduce();
+                let tcm = self.effective_tcm();
                 self.planned_migrations = plan_and_post(&self.shared, &tcm, &cfg);
+            }
+        }
+
+        // Periodic snapshot for crash recovery.
+        if let Some(every) = self.config.checkpoint_every_rounds {
+            if every > 0 && self.rounds.is_multiple_of(every) {
+                self.take_checkpoint();
             }
         }
     }
@@ -411,6 +861,17 @@ impl Daemon {
     /// cumulative TCM (run finished; no more OALs will arrive). Late OALs improve the
     /// final map but never steer the controller — their rounds already closed.
     fn finish(&mut self) {
+        // The run ended while the master was down: no post-window OAL ever arrived
+        // to trigger the restart, so fire it now — the recovered output must come
+        // from checkpoint + replay of the buffered backlog, not from the doomed
+        // in-memory state. Windows entirely beyond the last OAL never happened as
+        // far as the profiled run is concerned.
+        while self.next_crash < self.master_crashes.len()
+            && self.master_crashes[self.next_crash].from_interval < self.max_interval_seen
+        {
+            self.next_crash += 1;
+            self.restore();
+        }
         for closed in self.scheduler.flush() {
             self.close_round(closed);
         }
@@ -427,22 +888,51 @@ impl Daemon {
     }
 }
 
-fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput {
+fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterOutput {
     let config = *shared.prof.config();
     let mut builder = ShardedTcmReducer::new(config.tcm_shards.max(1), shared.n_threads);
     if let Some(decay) = config.tcm_decay {
         builder.set_decay(decay);
     }
+    let mut scheduler = RoundScheduler::new(
+        shared.n_threads,
+        (config.intervals_per_round as u64).max(1),
+        config.round_deadline_intervals,
+    );
+
+    // Crash-stop plan pieces, derived purely from the fault plan and the *initial*
+    // placement (quarantine is a deterministic agreement, not extra protocol).
+    let plan = shared.gos.fabric().injector().map(|inj| inj.plan().clone());
+    let mut master_crashes: Vec<MasterCrashWindow> = plan
+        .as_ref()
+        .map(|p| p.master_crashes.clone())
+        .unwrap_or_default();
+    master_crashes.sort_unstable_by_key(|w| (w.until_interval, w.from_interval));
+    let mut quarantined_nodes = 0u64;
+    if let (Some(plan), Some(threshold)) = (plan.as_ref(), config.quarantine_after_crashes) {
+        let placement = shared.placement.read().clone();
+        let mut expelled: HashSet<u16> = HashSet::new();
+        let table: Vec<Option<u64>> = placement
+            .iter()
+            .map(|node| {
+                let q = plan.quarantine_from(*node, threshold);
+                if q.is_some() {
+                    expelled.insert(node.0);
+                }
+                q
+            })
+            .collect();
+        quarantined_nodes = expelled.len() as u64;
+        scheduler.set_quarantine(table);
+    }
+
     let mut daemon = Daemon {
+        config,
         builder,
         controller: config
             .adaptive_threshold
             .map(|t| AdaptiveController::new(t).with_min_coverage(config.min_round_coverage)),
-        scheduler: RoundScheduler::new(
-            shared.n_threads,
-            (config.intervals_per_round as u64).max(1),
-            config.round_deadline_intervals,
-        ),
+        scheduler,
         oals: 0,
         rounds: 0,
         objects_organized: 0,
@@ -454,6 +944,19 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput
         rebalanced: false,
         oal_log: Vec::new(),
         record_oals: config.record_oals,
+        epoch: 0,
+        base_tcm: None,
+        rounds_base: 0,
+        latest_checkpoint: None,
+        replay_log: Vec::new(),
+        keep_replay_log: !master_crashes.is_empty(),
+        master_crashes,
+        next_crash: 0,
+        max_interval_seen: 0,
+        checkpoints_taken: 0,
+        restores: 0,
+        replayed_oals: 0,
+        quarantined_nodes,
         shared: Arc::clone(&shared),
     };
 
@@ -476,7 +979,7 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput
     daemon.finish();
 
     MasterOutput {
-        tcm: daemon.builder.reduce(),
+        tcm: daemon.effective_tcm(),
         oals_ingested: daemon.oals,
         rounds: daemon.rounds,
         objects_organized: daemon.objects_organized,
@@ -489,6 +992,17 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<Oal>) -> MasterOutput
         duplicate_oals: daemon.scheduler.duplicate_count(),
         planned_migrations: daemon.planned_migrations,
         oal_log: daemon.oal_log,
+        checkpoints_taken: daemon.checkpoints_taken,
+        restores: daemon.restores,
+        replayed_oals: daemon.replayed_oals,
+        fenced_oals: daemon.scheduler.fenced_count(),
+        quarantined_nodes: daemon.quarantined_nodes,
+        converged_classes: daemon
+            .controller
+            .as_ref()
+            .map(|c| c.converged_count() as u64)
+            .unwrap_or(0),
+        final_epoch: daemon.epoch,
     }
 }
 
@@ -597,5 +1111,147 @@ mod tests {
         let closed = s.ready_rounds();
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].coverage, 1.0);
+    }
+
+    fn full_oal(thread: u32, interval: u64) -> Oal {
+        let mut o = oal(thread, interval);
+        o.entries.push(jessy_core::OalEntry {
+            obj: jessy_gos::ObjectId(interval as u32 * 10 + thread),
+            class: jessy_gos::ClassId(thread as u16),
+            bytes: 64,
+        });
+        o
+    }
+
+    #[test]
+    fn stale_epoch_duplicates_are_fenced_but_stale_new_pairs_are_accepted() {
+        let mut s = RoundScheduler::new(2, 2, None);
+        assert_eq!(s.ingest(oal(0, 0)), Ingest::Accepted);
+        // Retransmission of an already-accepted pair under the old epoch: fenced,
+        // and counted apart from ordinary duplicates.
+        assert_eq!(s.ingest_epoch(oal(0, 0), true), Ingest::Fenced);
+        assert_eq!(s.fenced_count(), 1);
+        assert_eq!(s.duplicate_count(), 0);
+        // A stale-epoch OAL for a *new* pair is in-flight data from before the
+        // crash — discarding it would turn every restore into data loss.
+        assert_eq!(s.ingest_epoch(oal(1, 0), true), Ingest::Accepted);
+        // A fresh-epoch duplicate is still just a duplicate.
+        assert_eq!(s.ingest_epoch(oal(1, 0), false), Ingest::Duplicate);
+        assert_eq!(s.duplicate_count(), 1);
+        assert_eq!(s.fenced_count(), 1);
+    }
+
+    #[test]
+    fn quarantined_thread_leaves_coverage_denominator_and_close_rule() {
+        // Two threads, 2 intervals per round. Thread 1 is quarantined from
+        // interval 2 (start of round 1) onward.
+        let mut s = RoundScheduler::new(2, 2, None);
+        s.set_quarantine(vec![None, Some(2)]);
+        for i in 0..4 {
+            s.ingest(oal(0, i));
+        }
+        s.ingest(oal(1, 0));
+        s.ingest(oal(1, 1));
+        // Round 0 predates the expulsion: full denominator, full coverage. Round 1
+        // closes without thread 1 (its required watermark caps at the quarantine
+        // point) at coverage 2/2 — thread 1 owes nothing there.
+        let closed = s.ready_rounds();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].coverage, 1.0);
+        assert_eq!(closed[1].coverage, 1.0, "expelled thread owes no intervals");
+        assert!(!closed[1].deadline_hit, "close is complete, not a deadline");
+        // Post-expulsion data from the flapper still folds into the TCM (it is
+        // real sharing evidence) — it just cannot sway coverage.
+        let tail = full_oal(1, 2);
+        assert_eq!(s.ingest(tail), Ingest::Late);
+    }
+
+    #[test]
+    fn quarantine_mid_round_prorates_the_denominator() {
+        // ipr 4, thread 1 expelled from interval 2: round 0 expects 4 + 2 = 6.
+        let mut s = RoundScheduler::new(2, 4, None);
+        s.set_quarantine(vec![None, Some(2)]);
+        for i in 0..4 {
+            s.ingest(oal(0, i));
+        }
+        s.ingest(oal(1, 0)); // thread 1 reports 1 of its 2 owed intervals
+        // The complete-close rule still waits for thread 1's owed interval 1 (its
+        // required watermark is min(round_end, q) = 2, and it has only reached 1).
+        assert!(s.ready_rounds().is_empty());
+        let closed = s.flush();
+        assert_eq!(closed.len(), 1);
+        assert!((closed[0].coverage - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_quarantined_round_reports_full_coverage() {
+        let mut s = RoundScheduler::new(1, 2, None);
+        s.set_quarantine(vec![Some(0)]);
+        let closed = s.flush();
+        assert!(closed.is_empty(), "nothing touched, nothing to close");
+        s.ingest(full_oal(0, 1));
+        let closed = s.flush();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].coverage, 1.0, "zero expected ⇒ vacuously covered");
+    }
+
+    #[test]
+    fn scheduler_checkpoint_roundtrips_and_resumes_identically() {
+        let mut s = RoundScheduler::new(3, 2, Some(1));
+        s.set_quarantine(vec![None, None, Some(3)]);
+        for i in 0..5 {
+            s.ingest(full_oal(0, i));
+        }
+        s.ingest(full_oal(1, 0));
+        s.ingest(full_oal(1, 0)); // duplicate
+        s.ready_rounds();
+        s.ingest(full_oal(1, 1)); // late (round 0 closed by deadline)
+
+        let cp = s.checkpoint();
+        let mut restored = RoundScheduler::from_checkpoint(&cp);
+        assert_eq!(restored.checkpoint(), cp, "checkpoint ∘ restore is identity");
+
+        // Drive both schedulers through the same tail; every classification and
+        // every closed round must match.
+        let tail = [full_oal(1, 2), full_oal(2, 0), full_oal(1, 3), full_oal(2, 2)];
+        for o in tail {
+            assert_eq!(s.ingest(o.clone()), restored.ingest(o));
+        }
+        assert_eq!(s.ready_rounds(), restored.ready_rounds());
+        assert_eq!(s.flush(), restored.flush());
+        assert_eq!(s.take_late(), restored.take_late());
+        assert_eq!(s.checkpoint(), restored.checkpoint());
+    }
+
+    #[test]
+    fn late_oals_are_folded_exactly_once() {
+        // Satellite audit regression: an OAL must reach the TCM fold through
+        // exactly one of {closed-round buckets, late buffer}, never both, even when
+        // flush() runs after late arrivals and take_late() is drained twice.
+        let mut s = RoundScheduler::new(2, 1, Some(0));
+        s.ingest(full_oal(0, 0));
+        s.ingest(full_oal(0, 1));
+        let mut folded: Vec<Oal> = Vec::new();
+        for r in s.ready_rounds() {
+            folded.extend(r.oals);
+        }
+        let late = full_oal(1, 0);
+        assert_eq!(s.ingest(late.clone()), Ingest::Late);
+        assert_eq!(s.ingest(late), Ingest::Duplicate, "late re-send deduplicated");
+        for r in s.flush() {
+            folded.extend(r.oals); // flush must not resurrect the late OAL
+        }
+        folded.extend(s.take_late());
+        folded.extend(s.take_late()); // second drain must be empty
+        let mut keys: Vec<(u32, u64)> =
+            folded.iter().map(|o| (o.thread.0, o.interval)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            folded.len(),
+            "some (thread, interval) OAL folded more than once"
+        );
+        assert_eq!(folded.len(), 3);
     }
 }

@@ -33,6 +33,9 @@ pub struct RunReport {
     /// OAL batches an application thread could not post (master mailbox already
     /// closed). Non-zero values mean the profile silently lost those intervals.
     pub oal_post_failures: u64,
+    /// Rejoin handshakes performed by threads of nodes that came back from a crash
+    /// window (DESIGN.md §12).
+    pub rejoins: u64,
 }
 
 impl RunReport {
@@ -57,6 +60,7 @@ impl RunReport {
             oal_post_failures: shared
                 .oal_post_failures
                 .load(std::sync::atomic::Ordering::Relaxed),
+            rejoins: shared.rejoins.load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -101,6 +105,7 @@ mod tests {
             profiler: ProfilerStatsSnapshot::default(),
             master: None,
             oal_post_failures: 0,
+            rejoins: 0,
         }
     }
 

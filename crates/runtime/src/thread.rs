@@ -16,6 +16,7 @@ use jessy_net::{ClockHandle, MsgClass, NodeId, ThreadId};
 use jessy_stack::{JavaStack, MethodId, Slot};
 
 use crate::cluster::ClusterShared;
+use crate::master::EpochOal;
 use crate::migration::MigrationReport;
 
 /// One application thread's runtime handle.
@@ -26,6 +27,9 @@ pub struct JThread {
     clock: ClockHandle,
     profiler: ThreadProfiler,
     stack: JavaStack,
+    /// Set while this thread's node is inside a crash window of the fault plan; the
+    /// first interval shipped after the window triggers a rejoin handshake.
+    node_was_down: bool,
 }
 
 impl JThread {
@@ -41,6 +45,7 @@ impl JThread {
             clock,
             profiler,
             stack: JavaStack::new(),
+            node_was_down: false,
         }
     }
 
@@ -141,10 +146,30 @@ impl JThread {
         }
         if let Some(oal) = self.profiler.close_interval() {
             if self.shared.prof.config().send_oals {
+                let fabric = self.shared.gos.fabric();
+                // Crash-stop model (DESIGN.md §12): while this thread's node sits in
+                // a crash window, the profiling pipeline on that node is down — the
+                // interval's OAL is neither accounted nor posted. The *application*
+                // execution is unaffected, mirroring how PR 1 models stalls: failures
+                // degrade the profile, never the workload.
+                if let Some(inj) = fabric.injector() {
+                    if inj.node_down_at(self.node, oal.interval) {
+                        inj.note_crash_suppressed();
+                        self.node_was_down = true;
+                        return;
+                    }
+                    if self.node_was_down {
+                        self.node_was_down = false;
+                        // Rejoin handshake: re-registration request plus the master's
+                        // reply carrying the current epoch and class rate table.
+                        fabric.account_async(self.node, NodeId::MASTER, MsgClass::Rejoin, 24);
+                        fabric.account_async(NodeId::MASTER, self.node, MsgClass::Rejoin, 64);
+                        self.shared.rejoins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 // The jumbo OAL message piggybacks on the sync message already headed
                 // to the master (Section II.A), so the sender pays only the transmit
                 // occupancy of the extra bytes, not another base latency.
-                let fabric = self.shared.gos.fabric();
                 fabric.account_async(self.node, NodeId::MASTER, MsgClass::OalBatch, oal.wire_bytes());
                 if self.node != NodeId::MASTER {
                     let bytes = oal.wire_bytes() + MsgClass::OalBatch.header_bytes();
@@ -152,6 +177,10 @@ impl JThread {
                         .spend((bytes as f64 * fabric.latency_model().ns_per_byte) as u64);
                 }
                 let key = jessy_net::oal_fault_key(oal.thread, oal.interval);
+                let oal = EpochOal {
+                    epoch: self.shared.master_epoch.load(Ordering::Acquire),
+                    oal,
+                };
                 if self.shared.oal_tx.try_post_keyed(self.node, key, oal).is_err() {
                     // Mailbox gone (master already joined): count, don't crash the
                     // application thread — the profile just loses this interval.

@@ -9,8 +9,18 @@ use std::sync::Arc;
 
 use jessy_core::{ProfilerConfig, SamplingRate};
 use jessy_gos::{CostModel, ObjectId};
-use jessy_net::{FaultPlan, LatencyModel, NodeId, StallWindow};
+use jessy_net::{CrashWindow, FaultPlan, LatencyModel, MasterCrashWindow, NodeId, StallWindow};
 use jessy_runtime::Cluster;
+
+/// CI runs this suite under a small seed matrix (`JESSY_CHAOS_SEED`); locally the
+/// plan's default seed applies. Every assertion below must hold for *any* seed —
+/// the matrix exists to catch seed-shaped luck, not to pick a lucky seed.
+fn chaos_seed() -> u64 {
+    std::env::var("JESSY_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| FaultPlan::default().seed)
+}
 
 /// A workload whose round-over-round maps disagree (even rounds touch one shared
 /// object, odd rounds two), so the adaptive controller has refinement pressure on
@@ -54,6 +64,7 @@ fn lossy_oal_run_completes_and_degrades_gracefully() {
         .costs(CostModel::free())
         .profiler(chaos_profiler())
         .faults(FaultPlan {
+            seed: chaos_seed(),
             oal_drop: 0.10,
             ..FaultPlan::default()
         })
@@ -142,6 +153,19 @@ fn zero_fault_plan_reproduces_the_fault_free_run() {
     assert_eq!(zero_report.sim_exec_ns, base_report.sim_exec_ns);
     assert_eq!(zero_report.net.faults, base_report.net.faults);
     assert!(zero_report.net.faults.is_zero());
+    // PR 3 extension: a plan with empty crash vectors also schedules no recovery
+    // machinery — no epochs, no restores, no fencing, no quarantine, no rejoins.
+    assert_eq!(zero_report.net.faults.crash_suppressed, 0);
+    for m in [&zero, &base] {
+        assert_eq!(m.restores, 0);
+        assert_eq!(m.replayed_oals, 0);
+        assert_eq!(m.fenced_oals, 0);
+        assert_eq!(m.quarantined_nodes, 0);
+        assert_eq!(m.final_epoch, 0, "epoch must stay 0 without a master crash");
+    }
+    assert_eq!(zero.checkpoints_taken, base.checkpoints_taken);
+    assert_eq!(zero_report.rejoins, 0);
+    assert_eq!(base_report.rejoins, 0);
 }
 
 /// A node whose outbound traffic stalls for the whole run: its threads' OALs never
@@ -226,6 +250,7 @@ fn duplicated_oal_batches_are_deduplicated() {
     };
     let (clean, _) = run(None);
     let (dup, faults) = run(Some(FaultPlan {
+        seed: chaos_seed(),
         duplicate_prob: 0.5,
         ..FaultPlan::default()
     }));
@@ -237,4 +262,246 @@ fn duplicated_oal_batches_are_deduplicated() {
     assert_eq!(dup.tcm, clean.tcm, "duplication must not inflate the map");
     assert_eq!(dup.rounds, clean.rounds);
     assert_eq!(dup.oals_ingested, clean.oals_ingested);
+}
+
+// ---------------------------------------------------------- crash-stop recovery (PR 3)
+
+/// A *stable* workload (every round identical), shared by the recovery tests that
+/// compare against an uninterrupted run bit for bit.
+fn stable_run(
+    profiler: ProfilerConfig,
+    faults: Option<FaultPlan>,
+    barriers: usize,
+) -> (jessy_runtime::RunReport, jessy_runtime::MasterOutput) {
+    let mut builder = Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(profiler);
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    let mut cluster = builder.build();
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("Body", 8);
+        (0..100)
+            .map(|k| ctx.alloc_scalar_at(NodeId((k % 2) as u16), class).id)
+            .collect::<Vec<ObjectId>>()
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        for _ in 0..barriers {
+            jt.read(objs[0], |_| {});
+            jt.read(objs[67], |_| {});
+            jt.barrier();
+        }
+    });
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran").clone();
+    (report, master)
+}
+
+fn recovery_profiler() -> ProfilerConfig {
+    let mut config = chaos_profiler();
+    config.checkpoint_every_rounds = Some(3);
+    config
+}
+
+/// The headline tentpole test: the master crashes mid-run and restarts; checkpoint
+/// restore plus deterministic replay of the buffered backlog reproduces the
+/// uninterrupted run's TCM **bit for bit** (f64 equality) when no message faults
+/// dropped OALs — along with rounds, coverage and the ingest ledger.
+#[test]
+fn master_crash_with_restart_recovers_a_bit_identical_tcm() {
+    let (_, base) = stable_run(recovery_profiler(), None, 20);
+    let (report, crashed) = stable_run(
+        recovery_profiler(),
+        Some(FaultPlan {
+            master_crashes: vec![MasterCrashWindow {
+                from_interval: 8,
+                until_interval: 11,
+            }],
+            ..FaultPlan::default()
+        }),
+        20,
+    );
+
+    assert_eq!(crashed.restores, 1, "exactly one crash window, one restore");
+    assert_eq!(crashed.final_epoch, 1, "each restore bumps the epoch once");
+    assert!(crashed.checkpoints_taken >= 1, "K=3 must have snapshotted");
+    assert!(crashed.replayed_oals >= 1, "the post-checkpoint backlog replays");
+    assert_eq!(crashed.tcm, base.tcm, "recovered TCM must be bit-identical");
+    assert_eq!(crashed.rounds, base.rounds);
+    assert_eq!(crashed.round_coverage, base.round_coverage);
+    assert_eq!(crashed.oals_ingested, base.oals_ingested);
+    assert_eq!(report.oal_post_failures, 0);
+    assert_eq!(report.rejoins, 0, "a master crash restarts no worker node");
+}
+
+/// A master crash *without* checkpointing still recovers — the replay log then spans
+/// the whole run (cold restart from round zero) and the result is still bit-identical.
+#[test]
+fn master_crash_without_checkpoints_replays_from_round_zero() {
+    let (_, base) = stable_run(chaos_profiler(), None, 16);
+    let (_, crashed) = stable_run(
+        chaos_profiler(), // checkpoint_every_rounds: None
+        Some(FaultPlan {
+            master_crashes: vec![MasterCrashWindow {
+                from_interval: 6,
+                until_interval: 9,
+            }],
+            ..FaultPlan::default()
+        }),
+        16,
+    );
+    assert_eq!(crashed.checkpoints_taken, 0);
+    assert_eq!(crashed.restores, 1);
+    assert!(
+        crashed.replayed_oals >= crashed.oals_ingested / 2,
+        "cold restart replays the full pre-crash history: {} of {}",
+        crashed.replayed_oals,
+        crashed.oals_ingested
+    );
+    assert_eq!(crashed.tcm, base.tcm, "cold recovery must also be exact");
+    assert_eq!(crashed.rounds, base.rounds);
+    assert_eq!(crashed.round_coverage, base.round_coverage);
+}
+
+/// Master crash composed with a lossy network: recovery still completes (no wedge,
+/// no panic), the dropped batches show up as partial round coverage, and the
+/// controller skips below the floor instead of steering on loss-shaped phantoms.
+#[test]
+fn master_crash_composed_with_drops_degrades_by_coverage() {
+    let mut config = recovery_profiler();
+    config.round_deadline_intervals = Some(3);
+    let mut cluster = Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(config)
+        .faults(FaultPlan {
+            seed: chaos_seed(),
+            oal_drop: 0.10,
+            master_crashes: vec![MasterCrashWindow {
+                from_interval: 10,
+                until_interval: 14,
+            }],
+            ..FaultPlan::default()
+        })
+        .build();
+    unstable_workload(&mut cluster, 40);
+
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran to completion");
+    assert_eq!(master.restores, 1);
+    assert!(report.net.faults.dropped > 0, "{:?}", report.net.faults);
+    assert!(master.rounds > 0);
+    assert!(
+        master.round_coverage.iter().any(|&c| c < 1.0),
+        "drops must surface as partial coverage: {:?}",
+        master.round_coverage
+    );
+    assert!(master.tcm.total() > 0.0, "the recovered map still has mass");
+}
+
+/// A node crashes and restarts: its threads' OALs are suppressed during the window,
+/// the first interval after the restart performs the rejoin handshake, and coverage
+/// returns to 1.0 once the node is back.
+#[test]
+fn restarted_node_rejoins_and_coverage_recovers() {
+    let mut config = ProfilerConfig::tracking_at(SamplingRate::Full);
+    config.intervals_per_round = 1;
+    config.round_deadline_intervals = Some(3);
+    let mut cluster = Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(config)
+        .faults(FaultPlan {
+            node_crashes: vec![CrashWindow {
+                node: NodeId(1),
+                from_interval: 3,
+                until_interval: Some(6),
+            }],
+            ..FaultPlan::default()
+        })
+        .build();
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("S", 8);
+        vec![ctx.alloc_scalar_at(NodeId(0), class).id]
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        for _ in 0..12 {
+            jt.read(objs[0], |_| {});
+            jt.barrier();
+        }
+    });
+
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran");
+    // Threads 2 and 3 live on node 1: three suppressed intervals each, one rejoin
+    // handshake each when the node comes back at interval 6.
+    assert_eq!(report.net.faults.crash_suppressed, 6, "{:?}", report.net.faults);
+    assert_eq!(report.rejoins, 2);
+    // Request + reply per rejoining thread, accounted under the rejoin class.
+    assert_eq!(report.net.class(jessy_net::MsgClass::Rejoin).messages, 4);
+    for (r, &c) in master.round_coverage.iter().enumerate() {
+        let expect = if (3..6).contains(&r) { 0.5 } else { 1.0 };
+        assert_eq!(c, expect, "round {r} coverage");
+    }
+    assert_eq!(master.quarantined_nodes, 0, "one crash is below any threshold");
+}
+
+/// The quarantine acceptance test. Node 1 flaps (crashes at interval 1, again —
+/// permanently — at interval 5) against `quarantine_after_crashes = 1`, so from
+/// interval 5 its threads leave the coverage denominator. Without quarantine every
+/// post-crash round sits at 0.5 coverage — below the 0.95 floor — and the adaptive
+/// controller can never converge; with it, post-quarantine rounds read 1.0 and the
+/// remaining cluster converges.
+#[test]
+fn flapping_node_is_quarantined_and_the_rest_converges() {
+    let run = |quarantine: Option<u32>| {
+        let mut config = chaos_profiler(); // threshold 0.02, floor 0.95, deadline 3
+        config.quarantine_after_crashes = quarantine;
+        let plan = FaultPlan {
+            node_crashes: vec![
+                CrashWindow {
+                    node: NodeId(1),
+                    from_interval: 1,
+                    until_interval: Some(5),
+                },
+                CrashWindow {
+                    node: NodeId(1),
+                    from_interval: 5,
+                    until_interval: None,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        stable_run(config, Some(plan), 30)
+    };
+    let (_, unfenced) = run(None);
+    let (report, master) = run(Some(1));
+
+    assert_eq!(master.quarantined_nodes, 1);
+    assert!(
+        master.round_coverage[6..].iter().all(|&c| c == 1.0),
+        "post-quarantine rounds owe nothing to the expelled node: {:?}",
+        master.round_coverage
+    );
+    assert!(
+        master.converged_classes >= 1,
+        "the remaining cluster must reach the convergence criterion"
+    );
+    assert_eq!(
+        unfenced.converged_classes, 0,
+        "control: without quarantine the flapper pins every comparable round below \
+         the coverage floor and convergence starves"
+    );
+    assert_eq!(unfenced.quarantined_nodes, 0);
+    assert!(report.net.faults.crash_suppressed > 0);
 }

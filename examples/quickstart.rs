@@ -50,6 +50,16 @@ fn main() {
         master.tcm_build_real_ns as f64 / 1e6
     );
 
+    // Crash-stop recovery counters (DESIGN.md §12). All zero on a fault-free run;
+    // inject a FaultPlan with master_crashes to see them move.
+    println!("\n== recovery ==");
+    println!("checkpoints taken        : {:>10}", master.checkpoints_taken);
+    println!("restores                 : {:>10}", master.restores);
+    println!("OALs replayed            : {:>10}", master.replayed_oals);
+    println!("stale-epoch OALs fenced  : {:>10}", master.fenced_oals);
+    println!("nodes quarantined        : {:>10}", master.quarantined_nodes);
+    println!("node rejoin handshakes   : {:>10}", report.rejoins);
+
     println!("\nthread correlation map (bytes shared per thread pair):");
     for (i, row) in master.tcm.rows().enumerate() {
         print!("  t{i}: ");

@@ -582,6 +582,122 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------- crash recovery
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PR 3 invariant: `ProfilerCheckpoint` — the coordinator snapshot a crashed
+    /// master restores from — serializes and deserializes to an *identical* value
+    /// over arbitrary coordinator states (arbitrary OAL streams driven through the
+    /// real scheduler/controller/TCM machinery plus arbitrary report tails), and
+    /// the restore path itself is an identity: a scheduler rebuilt from its
+    /// snapshot re-snapshots equal, as does a restored adaptive controller.
+    #[test]
+    fn profiler_checkpoint_serde_roundtrip_is_identity(
+        raw in prop::collection::vec(
+            (0u32..6, 0u64..8, prop::collection::vec((0u32..40, 0u32..3, 1u64..500), 0..5)),
+            1..60,
+        ),
+        ipr in 1u64..4,
+        deadline_raw in 0u64..5, // 0 ⇒ no deadline
+        quarantine_raw in prop::collection::vec(0u64..9, 6), // 8 ⇒ not quarantined
+        epoch in 0u64..5,
+        threshold in 0.01f64..0.5,
+        coverage in prop::collection::vec(0.0f64..1.0, 0..8),
+    ) {
+        use jessy::core::adaptive::AdaptiveController;
+        use jessy::core::sampling::ClassGapState;
+        use jessy::core::TcmBuilder;
+        use jessy::runtime::{
+            AppliedRateChange, PlannedMigration, ProfilerCheckpoint, RoundScheduler,
+            SkippedRateChange,
+        };
+
+        let oals: Vec<Oal> = raw
+            .iter()
+            .map(|(t, i, es)| Oal {
+                thread: ThreadId(*t),
+                interval: *i,
+                entries: es
+                    .iter()
+                    .map(|&(o, c, b)| OalEntry {
+                        obj: ObjectId(o),
+                        class: ClassId(c as u16),
+                        bytes: b,
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        // Drive the real machinery into an arbitrary mid-run state.
+        let deadline = (deadline_raw > 0).then(|| deadline_raw - 1);
+        let quarantine: Vec<Option<u64>> =
+            quarantine_raw.iter().map(|&q| (q < 8).then_some(q)).collect();
+        let mut sched = RoundScheduler::new(6, ipr, deadline);
+        sched.set_quarantine(quarantine);
+        let mut builder = TcmBuilder::new(6);
+        let gaps = GapTable::new(4096);
+        for c in 0..3u16 {
+            gaps.register_class(ClassId(c), 64, SamplingRate::NX(2));
+        }
+        let mut ctl = AdaptiveController::new(threshold);
+        for (k, oal) in oals.iter().enumerate() {
+            builder.ingest(oal);
+            sched.ingest(oal.clone());
+            if k % 5 == 4 {
+                for closed in sched.ready_rounds() {
+                    let summary = builder.close_round();
+                    ctl.on_round_with_coverage(&summary.per_class, &gaps, closed.coverage);
+                }
+            }
+        }
+
+        let rates: Vec<(ClassId, ClassGapState)> =
+            (0..3u16).map(|c| (ClassId(c), gaps.state(ClassId(c)))).collect();
+        let cp = ProfilerCheckpoint {
+            epoch,
+            rounds: sched.next_round(),
+            tcm: builder.tcm().clone(),
+            scheduler: sched.checkpoint(),
+            controller: Some(ctl.checkpoint()),
+            rates,
+            oals: oals.len() as u64,
+            objects_organized: raw.len() as u64 * 2,
+            round_coverage: coverage,
+            rate_changes: vec![AppliedRateChange {
+                round: epoch,
+                class_name: "Body".to_string(),
+                new_rate: "4X".to_string(),
+                relative_distance: threshold * 1.5,
+                resampled_objects: raw.len(),
+            }],
+            skipped: vec![SkippedRateChange { round: epoch + 1, coverage: threshold }],
+            planned_migrations: vec![PlannedMigration {
+                thread: ThreadId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+                gain_bytes: threshold * 1e6,
+                sticky_cost_bytes: threshold * 1e3,
+            }],
+            rebalanced: epoch % 2 == 0,
+            oal_log: oals,
+        };
+
+        // Serialize → deserialize is the identity, f64 bits included.
+        let json = serde_json::to_string(&cp).expect("checkpoint serializes");
+        let back: ProfilerCheckpoint = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&back, &cp);
+
+        // The restore path is also an identity: rebuild ∘ snapshot == snapshot.
+        let rebuilt = RoundScheduler::from_checkpoint(&cp.scheduler);
+        prop_assert_eq!(rebuilt.checkpoint(), cp.scheduler);
+        let mut restored_ctl = AdaptiveController::new(threshold);
+        restored_ctl.restore(cp.controller.as_ref().unwrap());
+        prop_assert_eq!(&restored_ctl.checkpoint(), cp.controller.as_ref().unwrap());
+    }
+}
+
 // ---------------------------------------------------------------- profiler state machine
 
 proptest! {

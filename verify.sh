@@ -18,4 +18,13 @@ cargo clippy --workspace -- -D warnings
 echo "==> tcm_reduce smoke (exactness + throughput sanity)"
 JESSY_SCALE=small cargo bench -p jessy-bench --bench tcm_reduce
 
+echo "==> recovery smoke (checkpoint/replay bit-identity under a master crash)"
+JESSY_SCALE=small cargo bench -p jessy-bench --bench recovery
+
+echo "==> chaos seed matrix (fault determinism must not depend on one seed)"
+for seed in 1 7 42 1337 99999; do
+  echo "--- JESSY_CHAOS_SEED=$seed"
+  JESSY_CHAOS_SEED=$seed cargo test -p jessy-runtime --test chaos -q
+done
+
 echo "OK"
