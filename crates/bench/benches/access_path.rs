@@ -1,0 +1,335 @@
+//! X4 — object-access fast-path throughput (the mutator hot loop).
+//!
+//! Measures steady-state accesses/sec through the single-writer arena
+//! (`Gos` + `ThreadSpace`: packed entry word, frozen object table, side
+//! slabs) against the retained seed layout (`gos::heap::reference`:
+//! per-access `RwLock` read + `Arc` clone + `Mutex` lock, plus a
+//! `ClassInfo` clone per access). Three scenarios per object count:
+//!
+//! - `home_hit`   — objects homed at the accessing node (HOME state).
+//! - `cache_hit`  — remote objects already faulted in (VALID state).
+//! - `armed_trap` — the profiler rhythm: arm every object's false-invalid
+//!   trap, then access (trap fires, logs, disarms), once per pass.
+//!
+//! Modes:
+//! - default (`cargo bench --bench access_path`): full sweep
+//!   M∈{4096,65536,262144}, writes `BENCH_access_path.json` at the repo
+//!   root and asserts the ≥3× accesses/sec acceptance bar on the unarmed
+//!   path (min of home_hit and cache_hit) at M=4096.
+//! - `JESSY_SCALE=small`: smoke sweep (seconds, CI-friendly), prints the
+//!   table, does not touch the checked-in JSON.
+//!
+//! The acceptance cell is the cache-resident working set (M=4096): it
+//! isolates the per-access software overhead the arena removed (lock/clone
+//! traffic, map lookups, `ClassInfo` clones). The larger cells report the
+//! DRAM-bound regime, where random-access misses dominate both layouts and
+//! the ratio compresses toward memory latency. Each cell is the min of
+//! three interleaved repetitions (noise control).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use jessy_bench::TextTable;
+use jessy_gos::heap::reference::ReferenceGos;
+use jessy_gos::{CostModel, Gos, GosConfig, ObjectId, ThreadSpace};
+use jessy_net::{ClockBoard, LatencyModel, NodeId, ThreadId};
+use serde::Serialize;
+
+/// Deterministic splitmix64 (no rand dependency in benches).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Access order: a mix()-driven shuffle of `0..m` so the timed loop does not
+/// walk the arena in allocation order.
+fn shuffled(m: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..m).collect();
+    for i in (1..m).rev() {
+        let j = (mix(i as u64) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// The emitted `BENCH_access_path.json` document.
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    mode: &'static str,
+    results: Vec<CellReport>,
+    acceptance: Acceptance,
+}
+
+#[derive(Serialize)]
+struct CellReport {
+    scenario: &'static str,
+    objects: usize,
+    passes: usize,
+    seed_ns: u64,
+    new_ns: u64,
+    speedup: f64,
+    new_macc_per_s: f64,
+    seed_macc_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Acceptance {
+    scenario: &'static str,
+    objects: usize,
+    required_speedup: f64,
+    measured_speedup: f64,
+    pass: bool,
+}
+
+/// Per-(scenario, M) measurement at steady state.
+struct Cell {
+    scenario: &'static str,
+    m: usize,
+    passes: usize,
+    seed_ns: u128,
+    new_ns: u128,
+}
+
+impl Cell {
+    /// Accesses/sec speedup over the seed layout (the acceptance metric).
+    fn speedup(&self) -> f64 {
+        self.seed_ns as f64 / self.new_ns.max(1) as f64
+    }
+    /// Accesses retired per second, in millions.
+    fn macc_s(&self, ns: u128) -> f64 {
+        (self.m * self.passes) as f64 / (ns.max(1) as f64 / 1e9) / 1e6
+    }
+}
+
+struct Engines {
+    gos: Gos,
+    seed: ReferenceGos,
+    space: ThreadSpace,
+    clock_board: std::sync::Arc<ClockBoard>,
+    /// Objects homed at the accessing node (ids identical on both engines).
+    home: Vec<ObjectId>,
+    /// Remote objects pre-faulted into thread 0's cache on both engines.
+    cached: Vec<ObjectId>,
+}
+
+/// Build both engines with identical populations: `m` objects homed at the
+/// accessing node 0 and `m` homed at node 1, the latter pre-faulted into
+/// thread 0's cache so their steady state is VALID.
+fn build(m: usize) -> Engines {
+    let gos = Gos::new(GosConfig {
+        n_nodes: 2,
+        n_threads: 1,
+        latency: LatencyModel::free(),
+        costs: CostModel::free(),
+        prefetch_depth: 0,
+        consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
+        faults: None,
+    });
+    let seed = ReferenceGos::new(2, 1);
+    let clock_board = ClockBoard::new(1);
+    let clock = clock_board.handle(ThreadId(0));
+    let class = gos.classes().register_scalar("X", 2);
+    let class_r = seed.classes().register_scalar("X", 2);
+    assert_eq!(class, class_r);
+
+    let mut space = ThreadSpace::new(ThreadId(0));
+    let mut home = Vec::with_capacity(m);
+    let mut cached = Vec::with_capacity(m);
+    for i in 0..2 * m {
+        let node = NodeId((i / m) as u16);
+        let init = [mix(i as u64) as f64, 0.0];
+        let id = gos.alloc_scalar(node, class, &clock, Some(&init)).id;
+        let id_r = seed.alloc_scalar(node, class_r, Some(&init)).id;
+        assert_eq!(id, id_r);
+        if i < m {
+            home.push(id);
+        } else {
+            cached.push(id);
+        }
+    }
+    gos.freeze_object_table();
+
+    // Fault everything in once so timed passes only see hits.
+    for &o in home.iter().chain(&cached) {
+        gos.read(&mut space, NodeId(0), o, &clock, |_| {});
+        seed.read(ThreadId(0), NodeId(0), o, |_| {});
+    }
+    Engines {
+        gos,
+        seed,
+        space,
+        clock_board,
+        home,
+        cached,
+    }
+}
+
+/// Time `passes` full sweeps over `order`-shuffled `objs` on both engines
+/// (one warmup pass each), checking that both sum the same payloads.
+fn measure(scenario: &'static str, m: usize, passes: usize) -> Cell {
+    let Engines {
+        gos,
+        seed,
+        mut space,
+        clock_board,
+        home,
+        cached,
+    } = build(m);
+    let clock = clock_board.handle(ThreadId(0));
+    let objs: &[ObjectId] = match scenario {
+        "home_hit" | "armed_trap" => &home,
+        "cache_hit" => &cached,
+        _ => unreachable!(),
+    };
+    let order = shuffled(objs.len());
+    let armed = scenario == "armed_trap";
+
+    let mut run_new = |timed: bool| -> u128 {
+        let mut sum = 0.0f64;
+        let t0 = Instant::now();
+        for _ in 0..if timed { passes } else { 1 } {
+            if armed {
+                black_box(space.arm_traps(objs.iter().copied()));
+            }
+            for &i in &order {
+                let (v, _) = gos.read(&mut space, NodeId(0), objs[i], &clock, |d| d[0]);
+                sum += v;
+            }
+        }
+        black_box(sum);
+        t0.elapsed().as_nanos()
+    };
+    let run_seed = |timed: bool| -> u128 {
+        let mut sum = 0.0f64;
+        let t0 = Instant::now();
+        for _ in 0..if timed { passes } else { 1 } {
+            if armed {
+                black_box(seed.set_false_invalid(ThreadId(0), objs.iter().copied()));
+            }
+            for &i in &order {
+                let (v, _) = seed.read(ThreadId(0), NodeId(0), objs[i], |d| d[0]);
+                sum += v;
+            }
+        }
+        black_box(sum);
+        t0.elapsed().as_nanos()
+    };
+    // One warmup each, then three interleaved timed repetitions; keep the min
+    // (robust against noisy-neighbor interference on shared hosts).
+    run_new(false);
+    run_seed(false);
+    let (mut new_ns, mut seed_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..3 {
+        new_ns = new_ns.min(run_new(true));
+        seed_ns = seed_ns.min(run_seed(true));
+    }
+
+    // Payload sanity: both engines must serve identical values.
+    for &o in objs.iter().take(64) {
+        let (a, _) = gos.read(&mut space, NodeId(0), o, &clock, |d| d[0]);
+        let (b, _) = seed.read(ThreadId(0), NodeId(0), o, |d| d[0]);
+        assert_eq!(a.to_bits(), b.to_bits(), "engines diverged on {o}");
+    }
+
+    Cell {
+        scenario,
+        m,
+        passes,
+        seed_ns,
+        new_ns,
+    }
+}
+
+fn main() {
+    let smoke = matches!(
+        std::env::var("JESSY_SCALE").as_deref(),
+        Ok("small") | Ok("SMALL")
+    );
+    println!("X4. OBJECT-ACCESS FAST PATH (single-writer arena vs seed layout)\n");
+
+    // (m, timed passes): fewer passes at larger M keeps the full sweep tractable.
+    let sizes: Vec<(usize, usize)> = if smoke {
+        vec![(4_096, 5)]
+    } else {
+        vec![(4_096, 400), (65_536, 60), (262_144, 20)]
+    };
+
+    let mut table = TextTable::new(&[
+        "scenario",
+        "objects",
+        "seed (ns/acc)",
+        "arena (ns/acc)",
+        "speedup",
+        "arena Macc/s",
+        "seed Macc/s",
+    ]);
+    let mut cells = Vec::new();
+    for &(m, passes) in &sizes {
+        for scenario in ["home_hit", "cache_hit", "armed_trap"] {
+            let c = measure(scenario, m, passes);
+            let per = |ns: u128| ns as f64 / (c.m * c.passes) as f64;
+            table.row(&[
+                c.scenario.to_string(),
+                c.m.to_string(),
+                format!("{:.1}", per(c.seed_ns)),
+                format!("{:.1}", per(c.new_ns)),
+                format!("{:.2}x", c.speedup()),
+                format!("{:.1}", c.macc_s(c.new_ns)),
+                format!("{:.1}", c.macc_s(c.seed_ns)),
+            ]);
+            cells.push(c);
+        }
+    }
+    println!("{}", table.render());
+    println!("speedup = seed ns/access / arena ns/access at steady state (warmup pass");
+    println!("excluded). armed_trap times the profiler rhythm: arm + fire, once per pass.");
+
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_access_path.json (checked-in file is the full run)");
+        return;
+    }
+
+    // Acceptance at the cache-resident working set: the software fast path,
+    // not DRAM latency, is what the single-writer arena changed.
+    let accept_m = sizes.first().unwrap().0;
+    let unarmed_min = cells
+        .iter()
+        .filter(|c| c.m == accept_m && c.scenario != "armed_trap")
+        .map(Cell::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let doc = Report {
+        bench: "access_path",
+        mode: "full",
+        results: cells
+            .iter()
+            .map(|c| CellReport {
+                scenario: c.scenario,
+                objects: c.m,
+                passes: c.passes,
+                seed_ns: c.seed_ns as u64,
+                new_ns: c.new_ns as u64,
+                speedup: c.speedup(),
+                new_macc_per_s: c.macc_s(c.new_ns),
+                seed_macc_per_s: c.macc_s(c.seed_ns),
+            })
+            .collect(),
+        acceptance: Acceptance {
+            scenario: "unarmed (min of home_hit, cache_hit)",
+            objects: accept_m,
+            required_speedup: 3.0,
+            measured_speedup: unarmed_min,
+            pass: unarmed_min >= 3.0,
+        },
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_access_path.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+        .expect("write BENCH_access_path.json");
+    println!("\nwrote {path}");
+    assert!(
+        unarmed_min >= 3.0,
+        "acceptance: ≥3x accesses/sec over the seed layout on the unarmed path at M={accept_m} (measured {unarmed_min:.2}x)"
+    );
+}

@@ -173,9 +173,10 @@ fn main() {
         let clock = board.handle(ThreadId(0));
         let class = gos.classes().register_scalar("X", 8);
         let obj = gos.alloc_scalar(NodeId(0), class, &clock, None);
-        gos.read(NodeId(0), obj.id, &clock, |_| {});
+        let mut space = jessy_gos::ThreadSpace::new(ThreadId(0));
+        gos.read(&mut space, NodeId(0), obj.id, &clock, |_| {});
         bench(filter, "gos/access_check_hit", || {
-            let (v, _) = gos.read(NodeId(0), obj.id, &clock, |d| d[0]);
+            let (v, _) = gos.read(&mut space, NodeId(0), obj.id, &clock, |d| d[0]);
             black_box(v);
         });
     }

@@ -8,8 +8,11 @@
 //!   sticky-set footprinting, and re-arm probe traps (nonstop or timer cadence);
 //! * **at every synchronization point** ([`ThreadProfiler::close_interval`] then, after
 //!   the sync completes, [`ThreadProfiler::open_interval`]) — emit the interval's OAL
-//!   for shipment to the coordinator and arm false-invalid traps on the objects the
-//!   thread accessed last interval (Section II.A);
+//!   for shipment to the coordinator and advance the thread arena's interval epoch,
+//!   which is what makes the traps armed during the previous interval go live
+//!   (Section II.A). Arming itself is fused into access logging
+//!   ([`jessy_gos::ThreadSpace::arm_next_interval`]), so the interval boundary walks
+//!   nothing;
 //! * **opportunistically** ([`ThreadProfiler::maybe_stack_sample`]) — timer-gated stack
 //!   sampling (Section III.B).
 //!
@@ -22,7 +25,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use jessy_gos::{AccessOutcome, ClassId, Gos, ObjectCore, ObjectId};
+use jessy_gos::{AccessOutcome, ClassId, Gos, ObjectCore, ObjectId, ThreadSpace};
 use jessy_net::{ClockHandle, ThreadId};
 use jessy_stack::JavaStack;
 
@@ -127,8 +130,6 @@ pub struct ThreadProfiler {
     interval: u64,
     oal_entries: Vec<OalEntry>,
     logged_this_interval: HashSet<ObjectId>,
-    accessed_sampled: Vec<ObjectId>,
-    last_accessed: Vec<ObjectId>,
     footprint: Option<FootprintTracker>,
     stack_sampler: Option<StackSampler>,
     last_footprint: FootprintSnapshot,
@@ -145,8 +146,6 @@ impl ThreadProfiler {
             interval: 0,
             oal_entries: Vec::new(),
             logged_this_interval: HashSet::new(),
-            accessed_sampled: Vec::new(),
-            last_accessed: Vec::new(),
             footprint,
             stack_sampler,
             last_footprint: FootprintSnapshot::default(),
@@ -168,13 +167,24 @@ impl ThreadProfiler {
         self.interval
     }
 
-    /// Hook called after every GOS access with its [`AccessOutcome`].
-    pub fn on_access(&mut self, gos: &Gos, out: &AccessOutcome, clock: &ClockHandle) {
+    /// Hook called after every GOS access with its [`AccessOutcome`], passing the
+    /// accessing thread's own arena. Per-interval trap re-arming (Section II.A) is
+    /// fused in here: logging an object also stamps its entry with the *next*
+    /// interval's epoch, so [`ThreadProfiler::open_interval`] never walks an
+    /// accessed set.
+    pub fn on_access(
+        &mut self,
+        gos: &Gos,
+        space: &mut ThreadSpace,
+        out: &AccessOutcome,
+        clock: &ClockHandle,
+    ) {
         let config = &self.shared.config;
         let costs = gos.costs();
 
         if config.full_trace {
             // Ground truth: log every access once per interval at full payload size.
+            // No arming — full-trace mode logs without traps.
             if config.track_correlation && self.logged_this_interval.insert(out.obj) {
                 clock.spend(costs.log_append_ns);
                 self.shared.stats.oal_entries.fetch_add(1, Ordering::Relaxed);
@@ -183,7 +193,6 @@ impl ThreadProfiler {
                     class: out.class,
                     bytes: out.payload_bytes as u64,
                 });
-                self.accessed_sampled.push(out.obj);
             }
             return;
         }
@@ -197,7 +206,13 @@ impl ThreadProfiler {
             .scaled_bytes(out.class, out.elem_seq0, out.len_elems);
 
         if self.logged_this_interval.insert(out.obj) {
-            self.accessed_sampled.push(out.obj);
+            if config.track_correlation || self.footprint.is_some() {
+                // The object must trap again next interval (at-most-once logging per
+                // interval). Epoch-lazy: live once the epoch advances past the stamp.
+                if space.arm_next_interval(out.obj) {
+                    self.shared.stats.fi_armed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             if config.track_correlation {
                 clock.spend(costs.log_append_ns);
                 self.shared.stats.oal_entries.fetch_add(1, Ordering::Relaxed);
@@ -213,7 +228,7 @@ impl ThreadProfiler {
             fp.on_logged_access(out.obj, out.class, scaled);
             if matches!(fp.config().mode, FootprintMode::Nonstop) {
                 // Exact frequency counting: the object must fault on its next access.
-                let armed = gos.set_false_invalid(self.thread, [out.obj]);
+                let armed = space.arm_traps([out.obj]);
                 self.shared
                     .stats
                     .footprint_rearms
@@ -225,7 +240,7 @@ impl ThreadProfiler {
     /// Timer-gated footprint probe: when due, re-arm traps on every object hit so far
     /// this interval so the next probe round can recount them. Call this from the
     /// runtime's access wrapper (it is cheap when not due).
-    pub fn maybe_footprint_probe(&mut self, gos: &Gos, clock: &ClockHandle) {
+    pub fn maybe_footprint_probe(&mut self, space: &mut ThreadSpace, clock: &ClockHandle) {
         let Some(fp) = &mut self.footprint else {
             return;
         };
@@ -233,9 +248,8 @@ impl ThreadProfiler {
             return;
         }
         fp.start_round(clock.now());
-        let objs = fp.hit_objects();
-        if !objs.is_empty() {
-            let armed = gos.set_false_invalid(self.thread, objs);
+        let armed = space.arm_traps(fp.hits());
+        if armed > 0 {
             self.shared
                 .stats
                 .footprint_rearms
@@ -264,10 +278,6 @@ impl ThreadProfiler {
             .stats
             .intervals_closed
             .fetch_add(1, Ordering::Relaxed);
-        // Swap (not take) so both buffers keep their grown capacity across
-        // intervals — steady-state interval closes then never reallocate.
-        std::mem::swap(&mut self.last_accessed, &mut self.accessed_sampled);
-        self.accessed_sampled.clear();
         self.logged_this_interval.clear();
         if let Some(fp) = &mut self.footprint {
             self.last_footprint = fp.close_interval();
@@ -290,21 +300,11 @@ impl ThreadProfiler {
     }
 
     /// Open the next interval (called right *after* the acquire part of a sync
-    /// operation): arm false-invalid traps on the objects accessed last interval.
-    pub fn open_interval(&mut self, gos: &Gos) {
-        let config = &self.shared.config;
-        if !(config.track_correlation || config.footprint.is_some()) || config.full_trace {
-            // Full-trace mode logs on every access; no arming needed.
-            return;
-        }
-        if self.last_accessed.is_empty() {
-            return;
-        }
-        let armed = gos.set_false_invalid(self.thread, self.last_accessed.iter().copied());
-        self.shared
-            .stats
-            .fi_armed
-            .fetch_add(armed as u64, Ordering::Relaxed);
+    /// operation): advance the arena's interval epoch, which makes every trap armed
+    /// during the previous interval (by [`ThreadProfiler::on_access`]) go live.
+    /// O(1) — no accessed-set walk.
+    pub fn open_interval(&mut self, space: &mut ThreadSpace) {
+        space.begin_interval();
     }
 
     /// Stack invariants discovered so far (topmost first).
@@ -361,7 +361,7 @@ mod tests {
     use jessy_gos::{CostModel, GosConfig};
     use jessy_net::{ClockBoard, LatencyModel, NodeId};
 
-    fn gos1() -> (Gos, ClockHandle) {
+    fn gos1() -> (Gos, ThreadSpace, ClockHandle) {
         let g = Gos::new(GosConfig {
             n_nodes: 1,
             n_threads: 1,
@@ -371,12 +371,12 @@ mod tests {
             consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
             faults: None,
         });
-        (g, ClockBoard::new(1).handle(ThreadId(0)))
+        (g, ThreadSpace::new(ThreadId(0)), ClockBoard::new(1).handle(ThreadId(0)))
     }
 
     #[test]
     fn first_touch_then_interval_arming_keeps_logging() {
-        let (gos, clock) = gos1();
+        let (gos, mut space, clock) = gos1();
         let shared = ProfilerShared::new(ProfilerConfig::tracking_at(SamplingRate::Full));
         let class = gos.classes().register_scalar("X", 2);
         shared.register_class(class, 16);
@@ -388,23 +388,23 @@ mod tests {
         assert!(core.is_sampled(), "full sampling tags everything");
 
         // Interval 0: the home-resident first touch is loggable.
-        let (_, out) = gos.read(node, core.id, &clock, |_| {});
+        let (_, out) = gos.read(&mut space, node, core.id, &clock, |_| {});
         assert!(out.first_touch && !out.faulted());
-        prof.on_access(&gos, &out, &clock);
-        // Repeat access: hit, not logged again.
-        let (_, out) = gos.read(node, core.id, &clock, |_| {});
+        prof.on_access(&gos, &mut space, &out, &clock);
+        // Repeat access: hit, not logged again (the re-arm stamped the *next* epoch).
+        let (_, out) = gos.read(&mut space, node, core.id, &clock, |_| {});
         assert!(!out.loggable());
-        prof.on_access(&gos, &out, &clock);
+        prof.on_access(&gos, &mut space, &out, &clock);
         let oal = prof.close_interval().expect("first touch logged");
         assert_eq!(oal.entries.len(), 1);
         assert_eq!(oal.entries[0].bytes, 16, "scaled = payload at gap 1");
 
-        // Interval 1: open_interval arms the trap; access logs again.
-        prof.open_interval(&gos);
+        // Interval 1: the epoch advance makes the trap live; access logs again.
+        prof.open_interval(&mut space);
         assert_eq!(shared.stats().snapshot().fi_armed, 1);
-        let (_, out) = gos.read(node, core.id, &clock, |_| {});
-        assert!(out.false_invalid, "trap armed by open_interval");
-        prof.on_access(&gos, &out, &clock);
+        let (_, out) = gos.read(&mut space, node, core.id, &clock, |_| {});
+        assert!(out.false_invalid, "trap live after open_interval");
+        prof.on_access(&gos, &mut space, &out, &clock);
         let oal = prof.close_interval().unwrap();
         assert_eq!(oal.interval, 1);
         assert_eq!(oal.entries.len(), 1);
@@ -413,7 +413,7 @@ mod tests {
 
     #[test]
     fn unsampled_objects_are_never_logged() {
-        let (gos, clock) = gos1();
+        let (gos, mut space, clock) = gos1();
         // 64-byte class at 1X → gap 67: seq 1 is unsampled.
         let shared = ProfilerShared::new(ProfilerConfig::tracking_at(SamplingRate::NX(1)));
         let class = gos.classes().register_scalar("Body", 8);
@@ -427,9 +427,9 @@ mod tests {
         assert!(a.is_sampled() && !b.is_sampled());
 
         for id in [a.id, b.id] {
-            let (_, out) = gos.read(node, id, &clock, |_| {});
+            let (_, out) = gos.read(&mut space, node, id, &clock, |_| {});
             assert!(out.first_touch);
-            prof.on_access(&gos, &out, &clock);
+            prof.on_access(&gos, &mut space, &out, &clock);
         }
         let oal = prof.close_interval().unwrap();
         assert_eq!(oal.entries.len(), 1);
@@ -439,7 +439,7 @@ mod tests {
 
     #[test]
     fn full_trace_logs_every_object_without_arming() {
-        let (gos, clock) = gos1();
+        let (gos, mut space, clock) = gos1();
         let shared = ProfilerShared::new(ProfilerConfig::ground_truth());
         let class = gos.classes().register_scalar("X", 1);
         shared.register_class(class, 8);
@@ -448,24 +448,24 @@ mod tests {
         let a = gos.alloc_scalar(node, class, &clock, None);
         let b = gos.alloc_scalar(node, class, &clock, None);
         for id in [a.id, b.id, a.id] {
-            let (_, out) = gos.read(node, id, &clock, |_| {});
-            prof.on_access(&gos, &out, &clock);
+            let (_, out) = gos.read(&mut space, node, id, &clock, |_| {});
+            prof.on_access(&gos, &mut space, &out, &clock);
         }
         let oal = prof.close_interval().unwrap();
         assert_eq!(oal.entries.len(), 2, "deduplicated per interval");
         assert!(oal.entries.iter().all(|e| e.bytes == 8));
 
         // Next interval logs the same objects again without any arming.
-        prof.open_interval(&gos);
-        let (_, out) = gos.read(node, a.id, &clock, |_| {});
+        prof.open_interval(&mut space);
+        let (_, out) = gos.read(&mut space, node, a.id, &clock, |_| {});
         assert!(!out.faulted(), "no traps in full-trace mode");
-        prof.on_access(&gos, &out, &clock);
+        prof.on_access(&gos, &mut space, &out, &clock);
         assert_eq!(prof.close_interval().unwrap().entries.len(), 1);
     }
 
     #[test]
     fn nonstop_footprint_rearms_and_counts_frequency() {
-        let (gos, clock) = gos1();
+        let (gos, mut space, clock) = gos1();
         let mut config = ProfilerConfig::tracking_at(SamplingRate::Full);
         config.footprint = Some(FootprintConfig {
             mode: FootprintMode::Nonstop,
@@ -481,9 +481,9 @@ mod tests {
 
         // Every access faults: first touch, then nonstop re-arming.
         for i in 0..4 {
-            let (_, out) = gos.read(node, core.id, &clock, |_| {});
+            let (_, out) = gos.read(&mut space, node, core.id, &clock, |_| {});
             assert!(out.loggable(), "access {i} must trap");
-            prof.on_access(&gos, &out, &clock);
+            prof.on_access(&gos, &mut space, &out, &clock);
         }
         prof.close_interval();
         assert_eq!(prof.last_footprint().sticky_objects, 1);
@@ -492,7 +492,7 @@ mod tests {
 
     #[test]
     fn stack_sampling_integration() {
-        let (gos, clock) = gos1();
+        let (gos, _space, clock) = gos1();
         let mut config = ProfilerConfig::disabled();
         config.stack = Some(StackSamplingConfig {
             gap_ns: 0,

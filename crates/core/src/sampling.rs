@@ -86,6 +86,7 @@ impl SamplingRate {
 
 /// Count of multiples of `gap` in `[start, start + len)` — the logically sampled
 /// element count of Fig. 3(b).
+#[inline]
 pub fn multiples_in(start: u64, len: u64, gap: u64) -> u64 {
     if len == 0 {
         return 0;
@@ -178,6 +179,7 @@ impl GapTable {
     }
 
     /// Current real (prime) gap of a class.
+    #[inline]
     pub fn gap(&self, class: ClassId) -> u64 {
         self.state(class).real_gap
     }
@@ -203,6 +205,7 @@ impl GapTable {
 
     /// Is an object (scalar: `len_elems == 1`) with first sequence number `seq0`
     /// sampled under the class's current gap?
+    #[inline]
     pub fn decide_sampled(&self, class: ClassId, seq0: u64, len_elems: u32) -> bool {
         multiples_in(seq0, len_elems as u64, self.gap(class)) > 0
     }

@@ -117,6 +117,12 @@ impl FootprintTracker {
         self.hits.keys().copied().collect()
     }
 
+    /// Iterator over the objects hit this interval — what a probe round re-arms,
+    /// without allocating the intermediate `Vec`.
+    pub fn hits(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.hits.keys().copied()
+    }
+
     /// Close the interval: fold objects hit in ≥ 2 rounds into per-class footprints,
     /// reset per-interval state, and return the interval's snapshot.
     pub fn close_interval(&mut self) -> FootprintSnapshot {

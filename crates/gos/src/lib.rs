@@ -30,11 +30,13 @@
 //!
 //! The profiler (crate `jessy-core`) does **not** live inside the GOS. Instead:
 //!
-//! * every object header carries the paper's 2-bit access state including the
-//!   **false-invalid** value ([`object::AccessState`]) plus the separately stored real
-//!   state, a per-class **sequence number** and a **sampled** tag ([`object`]);
-//! * [`protocol::Gos::set_false_invalid`] lets the profiler arm correlation faults at
-//!   interval-open time;
+//! * every access entry carries the paper's 2-bit access state including the
+//!   **false-invalid** value ([`object::AccessState`]), packed into a single word of
+//!   the owning thread's arena ([`heap::ThreadSpace`]), plus a per-class **sequence
+//!   number** and a **sampled** tag on the shared header ([`object`]);
+//! * [`heap::ThreadSpace::arm_next_interval`] and [`heap::ThreadSpace::arm_traps`]
+//!   let the profiler arm correlation faults epoch-lazily (no accessed-set walk at
+//!   the interval boundary);
 //! * every read/write returns an [`protocol::AccessOutcome`] describing exactly what
 //!   happened (hit, false-invalid fault, cold/real fault, remote bytes moved), which
 //!   the runtime forwards to the profiler.
@@ -55,6 +57,7 @@ pub mod twin;
 
 pub use class::{ClassId, ClassInfo, ClassRegistry};
 pub use costs::CostModel;
+pub use heap::ThreadSpace;
 pub use object::{AccessState, ObjectCore, ObjectId, RealState};
 pub use protocol::{AccessKind, AccessOutcome, Gos, GosConfig};
 pub use sync::LockId;

@@ -94,6 +94,10 @@ pub struct ObjectCore {
     /// Payload length in 8-byte words. For arrays this is the element count times the
     /// per-element word width; for scalars it is the class's fixed size.
     pub len_words: u32,
+    /// Per-instance (scalar) or per-element (array) size in 8-byte words, denormalized
+    /// from the class descriptor so the access fast path never touches the class
+    /// registry (whose lookup clones a `ClassInfo`, including its name `String`).
+    pub unit_words: u32,
     /// Sequence number of the object (scalar classes) or of the first array element
     /// (array classes); later elements are `elem_seq0 + index` (Section II.B.3).
     pub elem_seq0: u64,
@@ -107,11 +111,13 @@ pub struct ObjectCore {
 
 impl ObjectCore {
     /// Create a home copy with a zeroed payload.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: ObjectId,
         class: ClassId,
         home: NodeId,
         len_words: u32,
+        unit_words: u32,
         elem_seq0: u64,
         is_array: bool,
         sampled: bool,
@@ -121,6 +127,7 @@ impl ObjectCore {
             class,
             home: AtomicU16::new(home.0),
             len_words,
+            unit_words: unit_words.max(1),
             elem_seq0,
             is_array,
             sampled: AtomicBool::new(sampled),
@@ -169,6 +176,16 @@ impl ObjectCore {
         self.len_words as usize * 8
     }
 
+    /// Element count: `len_words / unit_words` for arrays, 1 for scalars.
+    #[inline]
+    pub fn len_elems(&self) -> u32 {
+        if self.is_array {
+            self.len_words / self.unit_words
+        } else {
+            1
+        }
+    }
+
     /// Is the object currently tagged as sampled?
     #[inline]
     pub fn is_sampled(&self) -> bool {
@@ -211,7 +228,7 @@ mod tests {
     use super::*;
 
     fn core() -> ObjectCore {
-        ObjectCore::new(ObjectId(7), ClassId(1), NodeId(2), 4, 100, false, true)
+        ObjectCore::new(ObjectId(7), ClassId(1), NodeId(2), 4, 4, 100, false, true)
     }
 
     #[test]

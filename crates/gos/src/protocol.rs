@@ -7,38 +7,47 @@
 //!
 //! * **Access check** — every [`Gos::read`]/[`Gos::write`] models the JIT-inlined 2-bit
 //!   state check. `Home`/`Valid` states proceed at check cost; `Invalid` faults the
-//!   object from its home (an accounted `ObjFetch`/`ObjData` round trip);
-//!   `FalseInvalid` traps into the service routine, is cancelled back to the real
-//!   state, and is reported in the returned [`AccessOutcome`] so the profiler can log
-//!   the access.
+//!   object from its home (an accounted `ObjFetch`/`ObjData` round trip); a live
+//!   false-invalid trap (armed epoch-lazily, see [`crate::heap`]) enters the service
+//!   routine, is cancelled back to the real state, and is reported in the returned
+//!   [`AccessOutcome`] so the profiler can log the access.
 //! * **Release** — [`Gos::flush_thread`] diffs the thread's dirty cache copies against
 //!   their twins, ships the diffs home (batched per home node), bumps home versions
 //!   and posts write notices. Called from `lock_release` and `barrier_wait`.
 //! * **Acquire** — [`Gos::lock_acquire`]/[`Gos::barrier_wait`] apply all pending write
-//!   notices, invalidating the thread's stale cache copies.
+//!   notices. Invalidation is *version-based*: the walk advances the thread's
+//!   per-entry visibility watermark and the access check treats an outrun copy as
+//!   invalid — no cross-thread heap mutation anywhere in the protocol.
+//!
+//! Every operation that touches a thread's heap takes that heap as
+//! `&mut` [`ThreadSpace`] — the single-writer discipline: a thread's arena is
+//! exclusively owned by the thread driving it, so the access fast path is a couple
+//! of bit tests on one packed word instead of the seed's per-access
+//! `RwLock`/`Arc`/`Mutex` trio (retained in [`crate::heap::reference`] for
+//! differential testing and benchmarking).
 //!
 //! The per-thread at-most-once property falls out: within one interval a (thread,
 //! object) pair faults at most once, so logging on faults is cheap — exactly what
-//! Section II.A exploits, with [`Gos::set_false_invalid`] re-arming traps per interval.
+//! Section II.A exploits, with [`ThreadSpace::arm_next_interval`] re-arming traps per
+//! interval at access-log time.
 //!
-//! The acting thread is identified by the [`ClockHandle`] passed to every operation
-//! (one clock per thread); the node it currently runs on is passed explicitly because
+//! The acting thread is identified by the [`ThreadSpace`] (and the [`ClockHandle`]
+//! passed alongside); the node it currently runs on is passed explicitly because
 //! thread migration changes it.
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use jessy_net::{
     ClockHandle, Fabric, FaultPlan, LatencyModel, MsgClass, NetError, NetworkStats, NodeId,
-    ThreadId,
 };
 
 use crate::class::{ClassId, ClassRegistry};
 use crate::costs::CostModel;
-use crate::heap::{AccessEntry, ThreadSpace};
-use crate::object::{AccessState, ObjectCore, ObjectId, RealState, OBJ_HEADER_BYTES};
+use crate::heap::{ThreadSpace, ST_ABSENT, ST_HOME, ST_INVALID, ST_VALID};
+use crate::object::{ObjectCore, ObjectId, OBJ_HEADER_BYTES};
 use crate::sync::{LockId, LockTable, NoticeBoard, SimBarrier, WriteNotice, NOTICE_BYTES};
 use crate::twin::Diff;
 
@@ -65,7 +74,7 @@ pub enum ConsistencyModel {
 pub struct GosConfig {
     /// Number of cluster nodes.
     pub n_nodes: usize,
-    /// Number of application threads (per-thread heaps and notice cursors).
+    /// Number of application threads (notice cursors).
     pub n_threads: usize,
     /// Network cost model.
     pub latency: LatencyModel,
@@ -189,15 +198,38 @@ struct Counters {
     objects_prefetched: AtomicU64,
 }
 
+/// Borrowed or shared handle to an [`ObjectCore`]: the frozen prefix of the object
+/// table hands out plain references (no refcount traffic on the access path); the
+/// post-freeze overflow region falls back to an `Arc` clone under the table lock.
+enum CoreRef<'a> {
+    Frozen(&'a ObjectCore),
+    Shared(Arc<ObjectCore>),
+}
+
+impl std::ops::Deref for CoreRef<'_> {
+    type Target = ObjectCore;
+    #[inline]
+    fn deref(&self) -> &ObjectCore {
+        match self {
+            CoreRef::Frozen(c) => c,
+            CoreRef::Shared(c) => c,
+        }
+    }
+}
+
 /// The Global Object Space.
 pub struct Gos {
     config: GosConfig,
     classes: ClassRegistry,
     fabric: Fabric,
     objects: RwLock<Vec<Arc<ObjectCore>>>,
+    /// Immutable snapshot of the object table taken when the cluster starts running
+    /// ([`Gos::freeze_object_table`]): the access path indexes it without taking the
+    /// `objects` lock or cloning an `Arc`. Objects allocated after the freeze (e.g.
+    /// Barnes-Hut tree cells built mid-run) live past the snapshot length and take
+    /// the slow lookup.
+    frozen: OnceLock<Box<[Arc<ObjectCore>]>>,
     by_class: RwLock<Vec<Vec<ObjectId>>>,
-    spaces: Vec<ThreadSpace>,
-    dirty: Vec<parking_lot::Mutex<Vec<ObjectId>>>,
     notices: NoticeBoard,
     lock_boards: RwLock<Vec<Arc<NoticeBoard>>>,
     locks: LockTable,
@@ -226,13 +258,8 @@ impl Gos {
             classes: ClassRegistry::new(),
             fabric,
             objects: RwLock::new(Vec::new()),
+            frozen: OnceLock::new(),
             by_class: RwLock::new(Vec::new()),
-            spaces: (0..config.n_threads)
-                .map(|i| ThreadSpace::new(ThreadId(i as u32)))
-                .collect(),
-            dirty: (0..config.n_threads)
-                .map(|_| parking_lot::Mutex::new(Vec::new()))
-                .collect(),
             notices: NoticeBoard::new(config.n_threads),
             lock_boards: RwLock::new(Vec::new()),
             locks: LockTable::new(),
@@ -300,7 +327,7 @@ impl Gos {
         let info = self.classes.info(class);
         assert!(!info.is_array, "use alloc_array for array classes");
         let seq = self.classes.draw_seq(class, 1);
-        self.alloc_inner(node, class, info.unit_words, seq, false, clock, init)
+        self.alloc_inner(node, class, info.unit_words, info.unit_words, seq, false, clock, init)
     }
 
     /// Allocate an array of `len_elems` elements of `class` homed at `node`. Draws
@@ -318,7 +345,7 @@ impl Gos {
         assert!(info.is_array, "use alloc_scalar for scalar classes");
         let seq0 = self.classes.draw_seq(class, len_elems as u64);
         let words = info.unit_words * len_elems;
-        self.alloc_inner(node, class, words, seq0, true, clock, init)
+        self.alloc_inner(node, class, words, info.unit_words, seq0, true, clock, init)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -327,6 +354,7 @@ impl Gos {
         node: NodeId,
         class: ClassId,
         len_words: u32,
+        unit_words: u32,
         seq0: u64,
         is_array: bool,
         clock: &ClockHandle,
@@ -336,7 +364,9 @@ impl Gos {
         clock.spend(self.config.costs.alloc_ns);
         let mut objects = self.objects.write();
         let id = ObjectId(objects.len() as u32);
-        let core = Arc::new(ObjectCore::new(id, class, node, len_words, seq0, is_array, false));
+        let core = Arc::new(ObjectCore::new(
+            id, class, node, len_words, unit_words, seq0, is_array, false,
+        ));
         if let Some(init) = init {
             core.with_home_data(|d| {
                 assert_eq!(init.len(), d.len(), "init length mismatch for {id}");
@@ -353,8 +383,35 @@ impl Gos {
         core
     }
 
+    /// Freeze the current object table for lock-free access-path lookup. Called once
+    /// when the cluster starts running (registration and setup allocation happen
+    /// before threads start); idempotent, and later allocations still work — they
+    /// land past the frozen prefix and are resolved through the locked table.
+    pub fn freeze_object_table(&self) {
+        let snap: Box<[Arc<ObjectCore>]> =
+            self.objects.read().iter().cloned().collect::<Vec<_>>().into_boxed_slice();
+        let _ = self.frozen.set(snap);
+    }
+
+    /// Access-path object lookup: a plain indexed read in the frozen prefix, the
+    /// locked table (plus `Arc` clone) past it.
+    #[inline]
+    fn core(&self, id: ObjectId) -> CoreRef<'_> {
+        if let Some(frozen) = self.frozen.get() {
+            if let Some(core) = frozen.get(id.index()) {
+                return CoreRef::Frozen(core);
+            }
+        }
+        CoreRef::Shared(self.objects.read()[id.index()].clone())
+    }
+
     /// Look up an object by id.
     pub fn object(&self, id: ObjectId) -> Arc<ObjectCore> {
+        if let Some(frozen) = self.frozen.get() {
+            if let Some(core) = frozen.get(id.index()) {
+                return Arc::clone(core);
+            }
+        }
         self.objects.read()[id.index()].clone()
     }
 
@@ -385,32 +442,35 @@ impl Gos {
 
     // ------------------------------------------------------------------ access path
 
-    /// Read access by the clock's thread running on `node`: runs `f` over the
+    /// Read access by `space`'s thread running on `node`: runs `f` over the
     /// (possibly freshly faulted) payload.
     pub fn read<R>(
         &self,
+        space: &mut ThreadSpace,
         node: NodeId,
         obj: ObjectId,
         clock: &ClockHandle,
         f: impl FnOnce(&[f64]) -> R,
     ) -> (R, AccessOutcome) {
-        self.access(node, obj, AccessKind::Read, clock, |data| f(data))
+        self.access(space, node, obj, AccessKind::Read, clock, |data| f(data))
     }
 
     /// Write access: runs `f` over the mutable payload; creates the twin on the first
     /// write of the interval and marks the entry dirty for the next flush.
     pub fn write<R>(
         &self,
+        space: &mut ThreadSpace,
         node: NodeId,
         obj: ObjectId,
         clock: &ClockHandle,
         f: impl FnOnce(&mut [f64]) -> R,
     ) -> (R, AccessOutcome) {
-        self.access(node, obj, AccessKind::Write, clock, |data| f(data))
+        self.access(space, node, obj, AccessKind::Write, clock, f)
     }
 
     fn access<R>(
         &self,
+        space: &mut ThreadSpace,
         node: NodeId,
         obj: ObjectId,
         kind: AccessKind,
@@ -418,18 +478,12 @@ impl Gos {
         f: impl FnOnce(&mut [f64]) -> R,
     ) -> (R, AccessOutcome) {
         self.assert_node(node);
-        let thread = clock.thread();
+        debug_assert_eq!(space.thread(), clock.thread(), "space/clock thread mismatch");
         let costs = &self.config.costs;
         clock.spend(costs.access_check_ns);
         self.counters.accesses.fetch_add(1, Ordering::Relaxed);
 
-        let core = self.object(obj);
-        let info = self.classes.info(core.class);
-        let len_elems = if core.is_array {
-            core.len_words / info.unit_words
-        } else {
-            1
-        };
+        let core = self.core(obj);
         let mut outcome = AccessOutcome {
             obj,
             class: core.class,
@@ -443,41 +497,38 @@ impl Gos {
             payload_bytes: core.payload_bytes(),
             is_array: core.is_array,
             elem_seq0: core.elem_seq0,
-            len_elems,
-            unit_bytes: info.unit_words * 8,
+            len_elems: core.len_elems(),
+            unit_bytes: core.unit_words * 8,
         };
 
-        let space = &self.spaces[thread.index()];
-        let entry = match space.entry(obj) {
-            Some(e) => e,
-            None => {
-                outcome.first_touch = true;
-                space.entry_or_insert(obj, || {
-                    if core.home() == node {
-                        AccessEntry::home_resident()
-                    } else {
-                        AccessEntry::absent()
-                    }
-                })
+        // The inlined 2-bit check, on one packed word. `effective_state` folds
+        // version-based invalidation in: a valid copy whose acquired visibility
+        // watermark passed its cached version reads as invalid.
+        let mut st = space.effective_state(obj);
+        if st == ST_ABSENT {
+            outcome.first_touch = true;
+            let at_home = core.home() == node;
+            space.insert(obj, at_home);
+            if at_home {
+                // First touch of a home-resident object enters the service routine
+                // once (entry initialization + the logging opportunity).
+                clock.spend(costs.fault_service_ns);
             }
-        };
-        let mut e = entry.lock();
-
-        if outcome.first_touch && e.real == RealState::HomeResident {
-            // First touch of a home-resident object enters the service routine once
-            // (entry initialization + the logging opportunity).
-            clock.spend(costs.fault_service_ns);
+            st = if at_home { ST_HOME } else { ST_INVALID };
+        } else if st == ST_INVALID && space.peek_stale(space.peek(obj)) {
+            // Materialize the lazy invalidation (payload/twin buffers retained).
+            space.demote_stale(obj);
         }
 
-        if e.state == AccessState::FalseInvalid {
-            // Correlation fault: enter the service routine, cancel back to real state.
+        if st != ST_INVALID && space.peek_armed(space.peek(obj)) {
+            // Correlation fault: enter the service routine, cancel the trap.
             outcome.false_invalid = true;
             clock.spend(costs.fault_service_ns);
             self.counters.false_invalid_faults.fetch_add(1, Ordering::Relaxed);
-            e.cancel_false_invalid();
+            space.disarm(obj);
         }
 
-        if e.state == AccessState::Invalid {
+        if st == ST_INVALID {
             // Real object fault: fetch the latest copy from home.
             outcome.real_fault = true;
             clock.spend(costs.fault_service_ns);
@@ -492,45 +543,35 @@ impl Gos {
                 bytes + OBJ_HEADER_BYTES,
                 clock,
             );
-            let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
-            e.data = Some(data);
-            e.cached_version = version;
-            e.state = AccessState::Valid;
-            e.real = RealState::CacheValid;
+            core.with_home_data(|d| {
+                let version = core.version();
+                space.install_copy(obj, d, version);
+            });
             outcome.fetched_bytes = bytes;
             if self.config.prefetch_depth > 0 {
                 // Connectivity prefetch: same-home objects within `prefetch_depth`
-                // reference hops ride along on the reply. Must not touch `e`'s lock
-                // again — the helper takes only other objects' entries.
-                drop(e);
-                self.connectivity_prefetch(thread, node, &core, clock);
-                e = entry.lock();
+                // reference hops ride along on the reply.
+                self.connectivity_prefetch(space, node, &core, clock);
             }
+            st = ST_VALID;
         }
 
-        let result = match e.real {
-            RealState::HomeResident => {
-                if kind == AccessKind::Write && !e.dirty {
-                    e.dirty = true;
-                    self.dirty[thread.index()].lock().push(obj);
-                }
-                core.with_home_data(|d| f(d))
+        let result = if st == ST_HOME {
+            if kind == AccessKind::Write && !space.dirty_bit(space.peek(obj)) {
+                space.mark_dirty(obj);
             }
-            RealState::CacheValid => {
-                if kind == AccessKind::Write {
-                    if e.twin.is_none() {
-                        let data = e.data.as_ref().expect("valid cache without data");
-                        clock.spend(costs.twin_ns(data.len()));
-                        e.twin = Some(data.clone());
-                    }
-                    if !e.dirty {
-                        e.dirty = true;
-                        self.dirty[thread.index()].lock().push(obj);
-                    }
+            core.with_home_data(|d| f(d))
+        } else {
+            if kind == AccessKind::Write {
+                if !space.twin_bit(space.peek(obj)) {
+                    clock.spend(costs.twin_ns(space.data_len(obj)));
+                    space.make_twin(obj);
                 }
-                f(e.data.as_mut().expect("valid cache without data"))
+                if !space.dirty_bit(space.peek(obj)) {
+                    space.mark_dirty(obj);
+                }
             }
-            RealState::CacheInvalid => unreachable!("fault path must have validated the cache"),
+            f(space.data_mut(obj))
         };
         (result, outcome)
     }
@@ -540,9 +581,9 @@ impl Gos {
     /// payload is accounted as a batched `Prefetch` message from the home.
     fn connectivity_prefetch(
         &self,
-        thread: ThreadId,
+        space: &mut ThreadSpace,
         node: NodeId,
-        root: &Arc<ObjectCore>,
+        root: &ObjectCore,
         clock: &ClockHandle,
     ) {
         let home = root.home();
@@ -552,20 +593,19 @@ impl Gos {
         for _hop in 0..self.config.prefetch_depth {
             let mut next = Vec::new();
             for obj in frontier.drain(..) {
-                let core = self.object(obj);
+                let core = self.core(obj);
                 if core.home() != home || home == node {
                     continue; // cross-home neighbours are not on this reply path
                 }
-                let entry = self.spaces[thread.index()].entry_or_insert(obj, AccessEntry::absent);
-                let mut pe = entry.lock();
-                if pe.real == RealState::CacheValid || pe.real == RealState::HomeResident {
-                    continue;
+                match space.effective_state(obj) {
+                    ST_HOME | ST_VALID => continue, // already holds usable data
+                    ST_ABSENT => space.insert(obj, false),
+                    _ => {}
                 }
-                let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
-                pe.data = Some(data);
-                pe.cached_version = version;
-                pe.state = AccessState::Valid;
-                pe.real = RealState::CacheValid;
+                core.with_home_data(|d| {
+                    let version = core.version();
+                    space.install_copy(obj, d, version);
+                });
                 bytes += core.payload_bytes() + OBJ_HEADER_BYTES;
                 moved += 1;
                 next.extend(core.refs());
@@ -581,103 +621,68 @@ impl Gos {
         }
     }
 
-    // ------------------------------------------------------------------ profiling hooks
-
-    /// Arm false-invalid traps on `objs` in `thread`'s heap (interval-open,
-    /// Section II.A). Only entries whose real state holds usable data are armed; an
-    /// already-invalid cache will take a real fault (and be loggable) anyway. Returns
-    /// how many traps were armed.
-    pub fn set_false_invalid(
-        &self,
-        thread: ThreadId,
-        objs: impl IntoIterator<Item = ObjectId>,
-    ) -> usize {
-        let mut armed = 0;
-        for obj in objs {
-            if let Some(entry) = self.spaces[thread.index()].entry(obj) {
-                let mut e = entry.lock();
-                match e.real {
-                    RealState::HomeResident | RealState::CacheValid => {
-                        e.state = AccessState::FalseInvalid;
-                        armed += 1;
-                    }
-                    RealState::CacheInvalid => {}
-                }
-            }
-        }
-        armed
-    }
-
-    /// The access state of `obj` as seen by `thread` (tests/diagnostics).
-    pub fn access_state(&self, thread: ThreadId, obj: ObjectId) -> Option<AccessState> {
-        self.spaces[thread.index()].entry(obj).map(|e| e.lock().state)
-    }
-
     // ------------------------------------------------------------------ release/acquire
 
-    /// Flush every dirty copy of the clock's thread: diff against twins, ship diffs
+    /// Flush every dirty copy of `space`'s thread: diff against twins, ship diffs
     /// home from `node` (one batched `DiffUpdate` per home node), bump versions and
     /// post write notices (to the global history — barrier/release semantics).
     /// Returns the number of objects flushed.
-    pub fn flush_thread(&self, node: NodeId, clock: &ClockHandle) -> usize {
-        self.flush_thread_scoped(node, clock, None)
+    pub fn flush_thread(&self, space: &mut ThreadSpace, node: NodeId, clock: &ClockHandle) -> usize {
+        self.flush_thread_scoped(space, node, clock, None)
     }
 
     fn flush_thread_scoped(
         &self,
+        space: &mut ThreadSpace,
         node: NodeId,
         clock: &ClockHandle,
         scope: Option<LockId>,
     ) -> usize {
         self.assert_node(node);
-        let thread = clock.thread();
-        let dirty: Vec<ObjectId> = std::mem::take(&mut *self.dirty[thread.index()].lock());
-        if dirty.is_empty() {
+        if space.dirty_is_empty() {
             return 0;
         }
+        let dirty = space.take_dirty();
         let costs = &self.config.costs;
         let mut notices = Vec::new();
         let mut per_home: Vec<usize> = vec![0; self.config.n_nodes];
         let mut flushed = 0;
 
-        for obj in dirty {
-            let entry = match self.spaces[thread.index()].entry(obj) {
-                Some(e) => e,
-                None => continue, // cleared by a migration
-            };
-            let mut e = entry.lock();
-            if !e.dirty {
-                continue;
+        for &obj in &dirty {
+            let w = space.peek(obj);
+            if !space.dirty_bit(w) {
+                continue; // force-flushed at acquire, or repaired by a home migration
             }
-            e.dirty = false;
-            let core = self.object(obj);
-            match e.real {
-                RealState::HomeResident => {
+            space.clear_dirty_bit(obj);
+            let core = self.core(obj);
+            match space.effective_state(obj) {
+                ST_HOME => {
                     let v = core.bump_version();
                     notices.push(WriteNotice { obj, version: v });
                     flushed += 1;
                 }
-                RealState::CacheValid => {
-                    let twin = e.twin.take().expect("dirty cache without twin");
-                    let data = e.data.as_ref().expect("dirty cache without data");
-                    clock.spend(costs.diff_ns(data.len()));
-                    let diff = Diff::compute(&twin, data);
+                ST_VALID => {
+                    debug_assert!(space.twin_bit(w), "dirty cache without twin");
+                    clock.spend(costs.diff_ns(space.data_len(obj)));
+                    let diff = space.with_twin_and_data(obj, Diff::compute);
+                    space.drop_twin(obj);
                     if !diff.is_empty() {
                         clock.spend(costs.apply_ns(diff.changed_words()));
                         core.with_home_data(|d| diff.apply(d));
                         let v = core.bump_version();
-                        e.cached_version = v;
+                        space.set_cached_version(obj, v);
                         notices.push(WriteNotice { obj, version: v });
                         per_home[core.home().index()] += diff.wire_bytes() + 8;
                         self.counters.diffs_flushed.fetch_add(1, Ordering::Relaxed);
                         flushed += 1;
                     }
                 }
-                RealState::CacheInvalid => {
-                    // Invalidated (and force-flushed) by a concurrent notice application.
+                _ => {
+                    // Invalidated (and force-flushed) by notice application.
                 }
             }
         }
+        space.recycle_dirty(dirty);
 
         for (home, bytes) in per_home.iter().enumerate() {
             if *bytes > 0 {
@@ -695,19 +700,25 @@ impl Gos {
         flushed
     }
 
-    /// Apply every pending write notice for the clock's thread, invalidating stale
-    /// caches. A dirty copy hit by a notice is force-flushed (from `node`) first so no
-    /// writes are lost. Returns the number of notices processed.
-    pub fn apply_notices(&self, node: NodeId, clock: &ClockHandle) -> usize {
-        let board = &self.notices;
-        self.apply_notices_from(board, node, clock)
+    /// Apply every pending write notice for `space`'s thread, advancing its
+    /// visibility watermarks (version-based invalidation — stale copies read as
+    /// invalid on the next access check). A dirty copy hit by a notice is
+    /// force-flushed (from `node`) first so no writes are lost. Returns the number
+    /// of notices processed.
+    pub fn apply_notices(&self, space: &mut ThreadSpace, node: NodeId, clock: &ClockHandle) -> usize {
+        self.apply_notices_from(&self.notices, space, node, clock)
     }
 
-    fn apply_notices_from(&self, board: &NoticeBoard, node: NodeId, clock: &ClockHandle) -> usize {
+    fn apply_notices_from(
+        &self,
+        board: &NoticeBoard,
+        space: &mut ThreadSpace,
+        node: NodeId,
+        clock: &ClockHandle,
+    ) -> usize {
         self.assert_node(node);
-        let thread = clock.thread();
         let costs = &self.config.costs;
-        let new = board.take_new(thread.index());
+        let new = board.take_new(space.thread().index());
         let count = new.len();
         if count == 0 {
             return 0;
@@ -718,40 +729,38 @@ impl Gos {
             .fetch_add(count as u64, Ordering::Relaxed);
         let mut follow_up = Vec::new();
         for notice in new {
-            let entry = match self.spaces[thread.index()].entry(notice.obj) {
-                Some(e) => e,
-                None => continue,
-            };
-            let mut e = entry.lock();
-            if e.real == RealState::HomeResident && self.object(notice.obj).home() != node {
-                // The home migrated away from under this thread: its entry becomes an
-                // ordinary (invalid) cache entry and the next access faults normally.
-                e.state = AccessState::Invalid;
-                e.real = RealState::CacheInvalid;
-                e.data = None;
-                e.twin = None;
-                e.dirty = false;
+            let obj = notice.obj;
+            let w = space.peek(obj);
+            match w & 0b11 {
+                ST_HOME => {
+                    if self.core(obj).home() != node {
+                        // The home migrated away from under this thread: its entry
+                        // becomes an ordinary (cold) cache entry and the next access
+                        // faults normally.
+                        space.reset_to_cold(obj);
+                    }
+                    continue;
+                }
+                ST_VALID => {}
+                _ => continue, // absent or already-invalid cache
+            }
+            if space.cached_version(obj) >= notice.version {
                 continue;
             }
-            if e.real != RealState::CacheValid || e.cached_version >= notice.version {
-                continue;
-            }
-            if e.dirty {
-                // Unflushed writes race with the invalidation: flush before dropping.
-                e.dirty = false;
-                let core = self.object(notice.obj);
-                if let Some(twin) = e.twin.take() {
-                    let data = e.data.as_ref().expect("dirty cache without data");
-                    clock.spend(costs.diff_ns(data.len()));
-                    let diff = Diff::compute(&twin, data);
+            if space.dirty_bit(w) {
+                // Unflushed writes race with the invalidation: flush before the copy
+                // goes stale.
+                space.clear_dirty_bit(obj);
+                let core = self.core(obj);
+                if space.twin_bit(w) {
+                    clock.spend(costs.diff_ns(space.data_len(obj)));
+                    let diff = space.with_twin_and_data(obj, Diff::compute);
+                    space.drop_twin(obj);
                     if !diff.is_empty() {
                         clock.spend(costs.apply_ns(diff.changed_words()));
                         core.with_home_data(|d| diff.apply(d));
                         let v = core.bump_version();
-                        follow_up.push(WriteNotice {
-                            obj: notice.obj,
-                            version: v,
-                        });
+                        follow_up.push(WriteNotice { obj, version: v });
                         self.fabric.send(
                             node,
                             core.home(),
@@ -763,10 +772,9 @@ impl Gos {
                     }
                 }
             }
-            e.state = AccessState::Invalid;
-            e.real = RealState::CacheInvalid;
-            e.data = None;
-            e.twin = None;
+            // Version-based lazy invalidation: advance the watermark; the payload
+            // stays for the refetch to reuse and the access check does the rest.
+            space.note_visible(obj, notice.version);
         }
         self.notices.post(follow_up);
         count
@@ -790,16 +798,22 @@ impl Gos {
     /// Acquire a distributed lock from `node`: round trip to the manager, inherit the
     /// previous holder's simulated release time, then apply pending write notices
     /// (piggybacked on the grant). Returns the number of notices applied.
-    pub fn lock_acquire(&self, id: LockId, node: NodeId, clock: &ClockHandle) -> usize {
+    pub fn lock_acquire(
+        &self,
+        space: &mut ThreadSpace,
+        id: LockId,
+        node: NodeId,
+        clock: &ClockHandle,
+    ) -> usize {
         self.assert_node(node);
         clock.spend(self.config.costs.lock_local_ns);
         let prev_release = self.locks.get(id).acquire();
         clock.raise_to(prev_release);
         let applied = match self.config.consistency {
-            ConsistencyModel::GlobalHlrc => self.apply_notices(node, clock),
+            ConsistencyModel::GlobalHlrc => self.apply_notices(space, node, clock),
             ConsistencyModel::Scoped => {
                 let board = self.lock_boards.read()[id.index()].clone();
-                self.apply_notices_from(&board, node, clock)
+                self.apply_notices_from(&board, space, node, clock)
             }
         };
         let manager = self.lock_manager(id);
@@ -817,9 +831,15 @@ impl Gos {
 
     /// Release a distributed lock from `node`: flush the thread's dirty copies (the
     /// interval ends here), notify the manager, record the simulated release time.
-    pub fn lock_release(&self, id: LockId, node: NodeId, clock: &ClockHandle) {
+    pub fn lock_release(
+        &self,
+        space: &mut ThreadSpace,
+        id: LockId,
+        node: NodeId,
+        clock: &ClockHandle,
+    ) {
         self.assert_node(node);
-        self.flush_thread_scoped(node, clock, Some(id));
+        self.flush_thread_scoped(space, node, clock, Some(id));
         clock.spend(self.config.costs.lock_local_ns);
         let manager = self.lock_manager(id);
         self.fabric
@@ -830,9 +850,15 @@ impl Gos {
     /// Enter the global barrier as one of `parties` participants: flush (release
     /// semantics), synchronize real threads and simulated clocks, apply notices
     /// (acquire semantics). Returns the number of notices applied.
-    pub fn barrier_wait(&self, node: NodeId, parties: usize, clock: &ClockHandle) -> usize {
+    pub fn barrier_wait(
+        &self,
+        space: &mut ThreadSpace,
+        node: NodeId,
+        parties: usize,
+        clock: &ClockHandle,
+    ) -> usize {
         self.assert_node(node);
-        self.flush_thread(node, clock);
+        self.flush_thread(space, node, clock);
         self.fabric
             .send(node, NodeId::MASTER, MsgClass::BarrierEnter, CTRL_BYTES, clock);
         let hdr = MsgClass::BarrierRelease.header_bytes();
@@ -840,7 +866,7 @@ impl Gos {
             self.config.costs.barrier_local_ns + self.config.latency.one_way_ns(CTRL_BYTES + hdr);
         let release_sim = self.barrier.wait(parties, clock.now(), extra);
         clock.raise_to(release_sim);
-        let applied = self.apply_notices(node, clock);
+        let applied = self.apply_notices(space, node, clock);
         // The release broadcast carries the notices this thread just applied.
         self.fabric.account_async(
             NodeId::MASTER,
@@ -863,7 +889,7 @@ impl Gos {
     /// notices. Returns `false` if the home was already `dest`.
     pub fn migrate_home(&self, obj: ObjectId, dest: NodeId, clock: &ClockHandle) -> bool {
         self.assert_node(dest);
-        let core = self.object(obj);
+        let core = self.core(obj);
         let old = core.home();
         if old == dest {
             return false;
@@ -884,34 +910,33 @@ impl Gos {
 
     // ------------------------------------------------------------------ migration support
 
-    /// Prefetch `objs` into the clock's thread's heap at `node` (the sticky-set
-    /// prefetch accompanying a migration, Section III). Objects homed at `node` or
-    /// already valid are skipped. Data is accounted as batched `Prefetch` messages,
-    /// one per home node, charged to `clock`. Returns the payload bytes moved.
+    /// Prefetch `objs` into `space` at `node` (the sticky-set prefetch accompanying a
+    /// migration, Section III). Objects homed at `node` or already valid are skipped.
+    /// Data is accounted as batched `Prefetch` messages, one per home node, charged
+    /// to `clock`. Returns the payload bytes moved.
     pub fn prefetch_into(
         &self,
+        space: &mut ThreadSpace,
         node: NodeId,
         objs: impl IntoIterator<Item = ObjectId>,
         clock: &ClockHandle,
     ) -> usize {
         self.assert_node(node);
-        let thread = clock.thread();
         let mut per_home: Vec<usize> = vec![0; self.config.n_nodes];
         for obj in objs {
-            let core = self.object(obj);
+            let core = self.core(obj);
             if core.home() == node {
                 continue;
             }
-            let entry = self.spaces[thread.index()].entry_or_insert(obj, AccessEntry::absent);
-            let mut e = entry.lock();
-            if e.real == RealState::CacheValid {
-                continue;
+            match space.effective_state(obj) {
+                ST_VALID => continue, // usable copy already present
+                ST_ABSENT => space.insert(obj, false),
+                _ => {}
             }
-            let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
-            e.data = Some(data);
-            e.cached_version = version;
-            e.state = AccessState::Valid;
-            e.real = RealState::CacheValid;
+            core.with_home_data(|d| {
+                let version = core.version();
+                space.install_copy(obj, d, version);
+            });
             per_home[core.home().index()] += core.payload_bytes() + OBJ_HEADER_BYTES;
         }
         let mut total = 0;
@@ -925,12 +950,17 @@ impl Gos {
         total
     }
 
-    /// Drop the clock's thread's entire local heap (it migrated to a new node and its
+    /// Drop `space`'s entire contents (its thread migrated to a new node and its
     /// cache copies stayed behind). Unflushed writes are flushed from `from_node`
-    /// first so nothing is lost.
-    pub fn drop_thread_cache(&self, from_node: NodeId, clock: &ClockHandle) {
-        self.flush_thread(from_node, clock);
-        self.spaces[clock.thread().index()].clear();
+    /// first so nothing is lost; the arena allocation is recycled.
+    pub fn drop_thread_cache(
+        &self,
+        space: &mut ThreadSpace,
+        from_node: NodeId,
+        clock: &ClockHandle,
+    ) {
+        self.flush_thread(space, from_node, clock);
+        space.clear();
     }
 
     fn assert_node(&self, n: NodeId) {

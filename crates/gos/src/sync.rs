@@ -2,8 +2,8 @@
 //!
 //! HLRC propagates modifications lazily: diffs are flushed at *release*, and **write
 //! notices** tell other nodes at *acquire* which cached objects went stale. We keep a
-//! single global, append-only notice log with a per-node cursor — a lock acquire or
-//! barrier exit applies every notice the node has not yet seen. This is conservative
+//! single global, append-only notice log with a per-thread cursor — a lock acquire or
+//! barrier exit applies every notice that thread has not yet seen. This is conservative
 //! (it may invalidate more than a vector-timestamped HLRC would) but preserves
 //! coherence for properly synchronized programs and keeps the at-most-once fault
 //! property the profiler exploits.
@@ -35,7 +35,7 @@ pub struct WriteNotice {
     pub version: u64,
 }
 
-/// Global append-only notice log with per-node read cursors.
+/// Global append-only notice log with per-thread read cursors.
 #[derive(Debug)]
 pub struct NoticeBoard {
     log: RwLock<Vec<WriteNotice>>,
@@ -43,11 +43,11 @@ pub struct NoticeBoard {
 }
 
 impl NoticeBoard {
-    /// Board for `n_nodes` nodes.
-    pub fn new(n_nodes: usize) -> Self {
+    /// Board with `n_cursors` independent read cursors (one per thread).
+    pub fn new(n_cursors: usize) -> Self {
         NoticeBoard {
             log: RwLock::new(Vec::new()),
-            cursors: (0..n_nodes).map(|_| AtomicUsize::new(0)).collect(),
+            cursors: (0..n_cursors).map(|_| AtomicUsize::new(0)).collect(),
         }
     }
 
@@ -57,15 +57,16 @@ impl NoticeBoard {
         log.extend(notices);
     }
 
-    /// Take every notice `node` has not yet applied, advancing its cursor.
+    /// Take every notice cursor `who` has not yet applied, advancing its cursor.
     ///
-    /// Concurrent callers for the *same* node must be externally serialized (they are:
-    /// notices are taken under the node-level acquire path).
-    pub fn take_new(&self, node: usize) -> Vec<WriteNotice> {
+    /// Concurrent callers for the *same* cursor must be externally serialized (they
+    /// are: each cursor belongs to one thread, which takes notices on its own
+    /// acquire path only).
+    pub fn take_new(&self, who: usize) -> Vec<WriteNotice> {
         let log = self.log.read();
-        let cur = self.cursors[node].load(Ordering::Acquire);
+        let cur = self.cursors[who].load(Ordering::Acquire);
         let new = log[cur..].to_vec();
-        self.cursors[node].store(log.len(), Ordering::Release);
+        self.cursors[who].store(log.len(), Ordering::Release);
         new
     }
 

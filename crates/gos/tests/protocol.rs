@@ -1,34 +1,35 @@
 //! Integration tests for the HLRC protocol engine (per-thread heaps).
 //!
 //! Unless stated otherwise, each test uses one thread per node: thread `i`'s clock
-//! identifies it, and it runs on node `i`.
+//! identifies it, it runs on node `i`, and it owns the single-writer heap `s[i]`.
 
 use std::sync::Arc;
 
-use jessy_gos::{AccessState, CostModel, Gos, GosConfig};
+use jessy_gos::{AccessState, CostModel, Gos, GosConfig, ThreadSpace};
 use jessy_net::{ClockBoard, ClockHandle, LatencyModel, MsgClass, NodeId, ThreadId};
 
-fn gos(n: usize) -> (Gos, Vec<ClockHandle>) {
+fn gos(n: usize) -> (Gos, Vec<ClockHandle>, Vec<ThreadSpace>) {
     let g = Gos::new(GosConfig {
         n_nodes: n,
         n_threads: n,
         latency: LatencyModel::free(),
         costs: CostModel::free(),
-            prefetch_depth: 0,
+        prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-            faults: None,
+        faults: None,
     });
     let board = ClockBoard::new(n);
     let clocks = (0..n).map(|i| board.handle(ThreadId(i as u32))).collect();
-    (g, clocks)
+    let spaces = (0..n).map(|i| ThreadSpace::new(ThreadId(i as u32))).collect();
+    (g, clocks, spaces)
 }
 
 #[test]
 fn home_access_never_faults() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("Point", 2);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], Some(&[1.0, 2.0]));
-    let (sum, out) = g.read(NodeId(0), obj.id, &c[0], |d| d[0] + d[1]);
+    let (sum, out) = g.read(&mut s[0], NodeId(0), obj.id, &c[0], |d| d[0] + d[1]);
     assert_eq!(sum, 3.0);
     assert!(!out.faulted());
     assert_eq!(out.payload_bytes, 16);
@@ -37,16 +38,16 @@ fn home_access_never_faults() {
 
 #[test]
 fn remote_read_faults_once_then_hits() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("Point", 2);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], Some(&[5.0, 0.0]));
 
-    let (v, out1) = g.read(NodeId(1), obj.id, &c[1], |d| d[0]);
+    let (v, out1) = g.read(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0]);
     assert_eq!(v, 5.0);
     assert!(out1.real_fault);
     assert_eq!(out1.fetched_bytes, 16);
 
-    let (_, out2) = g.read(NodeId(1), obj.id, &c[1], |d| d[0]);
+    let (_, out2) = g.read(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0]);
     assert!(!out2.faulted(), "second access in the interval must hit");
 
     let stats = g.net_stats();
@@ -63,38 +64,40 @@ fn caches_are_per_thread_even_on_one_node() {
         n_threads: 2,
         latency: LatencyModel::free(),
         costs: CostModel::free(),
-            prefetch_depth: 0,
+        prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-            faults: None,
+        faults: None,
     });
     let board = ClockBoard::new(2);
     let c0 = board.handle(ThreadId(0));
     let c1 = board.handle(ThreadId(1));
+    let mut s0 = ThreadSpace::new(ThreadId(0));
+    let mut s1 = ThreadSpace::new(ThreadId(1));
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(1), class, &c0, None);
 
     // Both threads run on node 0; each takes its own fault.
-    let (_, out0) = g.read(NodeId(0), obj.id, &c0, |_| {});
-    let (_, out1) = g.read(NodeId(0), obj.id, &c1, |_| {});
+    let (_, out0) = g.read(&mut s0, NodeId(0), obj.id, &c0, |_| {});
+    let (_, out1) = g.read(&mut s1, NodeId(0), obj.id, &c1, |_| {});
     assert!(out0.real_fault && out1.real_fault);
     assert_eq!(g.net_stats().class(MsgClass::ObjFetch).messages, 2);
 }
 
 #[test]
 fn write_propagates_via_diff_and_notice() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_array("double[]", 1);
     let obj = g.alloc_array(NodeId(0), class, 8, &c[0], None);
 
     // Thread 1 (node 1) caches the object, then writes two words.
-    g.write(NodeId(1), obj.id, &c[1], |d| {
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| {
         d[3] = 3.0;
         d[7] = 7.0;
     });
     // Home copy unchanged until release.
     assert_eq!(obj.snapshot_home()[3], 0.0);
 
-    let flushed = g.flush_thread(NodeId(1), &c[1]);
+    let flushed = g.flush_thread(&mut s[1], NodeId(1), &c[1]);
     assert_eq!(flushed, 1);
     assert_eq!(obj.snapshot_home()[3], 3.0);
     assert_eq!(obj.snapshot_home()[7], 7.0);
@@ -108,48 +111,48 @@ fn write_propagates_via_diff_and_notice() {
     );
 
     // Thread 0 (the home node) sees the latest value directly.
-    g.apply_notices(NodeId(0), &c[0]);
-    let (v, _) = g.read(NodeId(0), obj.id, &c[0], |d| d[7]);
+    g.apply_notices(&mut s[0], NodeId(0), &c[0]);
+    let (v, _) = g.read(&mut s[0], NodeId(0), obj.id, &c[0], |d| d[7]);
     assert_eq!(v, 7.0);
 }
 
 #[test]
 fn stale_cache_is_invalidated_by_notice_and_refetched() {
-    let (g, c) = gos(3);
+    let (g, c, mut s) = gos(3);
     let class = g.classes().register_array("double[]", 1);
     let obj = g.alloc_array(NodeId(0), class, 4, &c[0], Some(&[1.0, 1.0, 1.0, 1.0]));
 
     // Thread 2 caches the old value.
-    let (v, _) = g.read(NodeId(2), obj.id, &c[2], |d| d[0]);
+    let (v, _) = g.read(&mut s[2], NodeId(2), obj.id, &c[2], |d| d[0]);
     assert_eq!(v, 1.0);
 
     // Thread 1 writes and releases.
-    g.write(NodeId(1), obj.id, &c[1], |d| d[0] = 9.0);
-    g.flush_thread(NodeId(1), &c[1]);
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0] = 9.0);
+    g.flush_thread(&mut s[1], NodeId(1), &c[1]);
 
     // Before applying notices, thread 2 still reads its (legally) stale cache.
-    let (v, out) = g.read(NodeId(2), obj.id, &c[2], |d| d[0]);
+    let (v, out) = g.read(&mut s[2], NodeId(2), obj.id, &c[2], |d| d[0]);
     assert_eq!(v, 1.0);
     assert!(!out.faulted());
 
     // Acquire semantics: apply notices, cache invalidated, next read refetches.
-    g.apply_notices(NodeId(2), &c[2]);
-    assert_eq!(g.access_state(ThreadId(2), obj.id), Some(AccessState::Invalid));
-    let (v, out) = g.read(NodeId(2), obj.id, &c[2], |d| d[0]);
+    g.apply_notices(&mut s[2], NodeId(2), &c[2]);
+    assert_eq!(s[2].access_state(obj.id), Some(AccessState::Invalid));
+    let (v, out) = g.read(&mut s[2], NodeId(2), obj.id, &c[2], |d| d[0]);
     assert_eq!(v, 9.0);
     assert!(out.real_fault);
 }
 
 #[test]
 fn own_notices_do_not_invalidate_own_fresh_cache() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], None);
 
-    g.write(NodeId(1), obj.id, &c[1], |d| d[0] = 2.0);
-    g.flush_thread(NodeId(1), &c[1]);
-    g.apply_notices(NodeId(1), &c[1]);
-    let (_, out) = g.read(NodeId(1), obj.id, &c[1], |d| d[0]);
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0] = 2.0);
+    g.flush_thread(&mut s[1], NodeId(1), &c[1]);
+    g.apply_notices(&mut s[1], NodeId(1), &c[1]);
+    let (_, out) = g.read(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0]);
     assert!(
         !out.faulted(),
         "writer's own up-to-date cache must survive its own notice"
@@ -158,68 +161,68 @@ fn own_notices_do_not_invalidate_own_fresh_cache() {
 
 #[test]
 fn false_invalid_traps_once_and_cancels() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], Some(&[4.0]));
 
     // Arm in thread 0's heap (home-resident entry).
-    g.read(NodeId(0), obj.id, &c[0], |_| {});
-    assert_eq!(g.set_false_invalid(ThreadId(0), [obj.id]), 1);
-    assert_eq!(g.access_state(ThreadId(0), obj.id), Some(AccessState::FalseInvalid));
+    g.read(&mut s[0], NodeId(0), obj.id, &c[0], |_| {});
+    assert_eq!(s[0].arm_traps([obj.id]), 1);
+    assert_eq!(s[0].access_state(obj.id), Some(AccessState::FalseInvalid));
 
-    let (v, out) = g.read(NodeId(0), obj.id, &c[0], |d| d[0]);
+    let (v, out) = g.read(&mut s[0], NodeId(0), obj.id, &c[0], |d| d[0]);
     assert_eq!(v, 4.0);
     assert!(out.false_invalid);
     assert!(!out.real_fault, "false-invalid at home must not fetch anything");
     assert_eq!(g.net_stats().total_messages(), 0);
 
-    let (_, out) = g.read(NodeId(0), obj.id, &c[0], |_| {});
+    let (_, out) = g.read(&mut s[0], NodeId(0), obj.id, &c[0], |_| {});
     assert!(!out.faulted(), "trap cancelled after one access");
 
     // Arm on a valid cache copy of thread 1.
-    g.read(NodeId(1), obj.id, &c[1], |_| {});
-    assert_eq!(g.set_false_invalid(ThreadId(1), [obj.id]), 1);
-    let (_, out) = g.read(NodeId(1), obj.id, &c[1], |_| {});
+    g.read(&mut s[1], NodeId(1), obj.id, &c[1], |_| {});
+    assert_eq!(s[1].arm_traps([obj.id]), 1);
+    let (_, out) = g.read(&mut s[1], NodeId(1), obj.id, &c[1], |_| {});
     assert!(out.false_invalid && !out.real_fault);
 }
 
 #[test]
 fn false_invalid_is_not_armed_on_untouched_objects() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], None);
     // Thread 1 never touched the object: no entry, nothing armed.
-    assert_eq!(g.set_false_invalid(ThreadId(1), [obj.id]), 0);
+    assert_eq!(s[1].arm_traps([obj.id]), 0);
 }
 
 #[test]
 fn lock_transfers_simulated_time_and_notices() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let (c0, c1) = (&c[0], &c[1]);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, c0, None);
     let lock = g.register_lock();
 
     // Thread 1 caches the initial value before anyone writes.
-    let (v, _) = g.read(NodeId(1), obj.id, c1, |d| d[0]);
+    let (v, _) = g.read(&mut s[1], NodeId(1), obj.id, c1, |d| d[0]);
     assert_eq!(v, 0.0);
 
     // Thread 0 at node 0: lock, write, unlock at sim time 1000.
-    g.lock_acquire(lock, NodeId(0), c0);
-    g.write(NodeId(0), obj.id, c0, |d| d[0] = 1.0);
+    g.lock_acquire(&mut s[0], lock, NodeId(0), c0);
+    g.write(&mut s[0], NodeId(0), obj.id, c0, |d| d[0] = 1.0);
     c0.spend(1000);
-    g.lock_release(lock, NodeId(0), c0);
+    g.lock_release(&mut s[0], lock, NodeId(0), c0);
 
     // Thread 1 at node 1: sees the release time and the write notice.
-    let (v, _) = g.read(NodeId(1), obj.id, c1, |d| d[0]);
+    let (v, _) = g.read(&mut s[1], NodeId(1), obj.id, c1, |d| d[0]);
     assert_eq!(v, 0.0, "not yet acquired: cached old value is legal");
-    let applied = g.lock_acquire(lock, NodeId(1), c1);
+    let applied = g.lock_acquire(&mut s[1], lock, NodeId(1), c1);
     assert!(applied >= 1, "write notice must arrive with the lock");
     assert!(c1.now() >= 1000, "acquirer inherits releaser's sim time");
-    let (v, out) = g.read(NodeId(1), obj.id, c1, |d| d[0]);
+    let (v, out) = g.read(&mut s[1], NodeId(1), obj.id, c1, |d| d[0]);
     assert_eq!(v, 1.0);
     assert!(out.real_fault);
-    g.lock_release(lock, NodeId(1), c1);
+    g.lock_release(&mut s[1], lock, NodeId(1), c1);
 }
 
 #[test]
@@ -229,9 +232,9 @@ fn barrier_synchronizes_clocks_and_data() {
         n_threads: 4,
         latency: LatencyModel::free(),
         costs: CostModel::free(),
-            prefetch_depth: 0,
+        prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-            faults: None,
+        faults: None,
     }));
     let board = ClockBoard::new(4);
     let class = g.classes().register_array("double[]", 1);
@@ -251,14 +254,15 @@ fn barrier_synchronizes_clocks_and_data() {
             let objs = objs.clone();
             std::thread::spawn(move || {
                 let node = NodeId(i as u16);
+                let mut space = ThreadSpace::new(ThreadId(i));
                 // Phase 1: everyone increments its own object.
-                g.write(node, objs[i as usize], &c, |d| d[0] += 10.0);
+                g.write(&mut space, node, objs[i as usize], &c, |d| d[0] += 10.0);
                 c.spend((i as u64 + 1) * 100);
-                g.barrier_wait(node, 4, &c);
+                g.barrier_wait(&mut space, node, 4, &c);
                 // Phase 2: read the next node's object; must see its phase-1 write.
                 let next = objs[(i as usize + 1) % 4];
-                let (v, _) = g.read(node, next, &c, |d| d[0]);
-                g.barrier_wait(node, 4, &c);
+                let (v, _) = g.read(&mut space, node, next, &c, |d| d[0]);
+                g.barrier_wait(&mut space, node, 4, &c);
                 (v, c.now())
             })
         })
@@ -278,22 +282,22 @@ fn barrier_synchronizes_clocks_and_data() {
 fn concurrent_disjoint_writers_merge_at_home() {
     // Two threads write disjoint halves of the same array within one interval; both
     // diffs must merge at the home (the multiple-writer property of LRC).
-    let (g, c) = gos(3);
+    let (g, c, mut s) = gos(3);
     let class = g.classes().register_array("double[]", 1);
     let obj = g.alloc_array(NodeId(0), class, 8, &c[0], None);
 
-    g.write(NodeId(1), obj.id, &c[1], |d| {
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| {
         for w in &mut d[0..4] {
             *w = 1.0;
         }
     });
-    g.write(NodeId(2), obj.id, &c[2], |d| {
+    g.write(&mut s[2], NodeId(2), obj.id, &c[2], |d| {
         for w in &mut d[4..8] {
             *w = 2.0;
         }
     });
-    g.flush_thread(NodeId(1), &c[1]);
-    g.flush_thread(NodeId(2), &c[2]);
+    g.flush_thread(&mut s[1], NodeId(1), &c[1]);
+    g.flush_thread(&mut s[2], NodeId(2), &c[2]);
 
     assert_eq!(
         obj.snapshot_home(),
@@ -305,17 +309,17 @@ fn concurrent_disjoint_writers_merge_at_home() {
 
 #[test]
 fn dirty_cache_hit_by_notice_is_force_flushed() {
-    let (g, c) = gos(3);
+    let (g, c, mut s) = gos(3);
     let class = g.classes().register_array("double[]", 1);
     let obj = g.alloc_array(NodeId(0), class, 4, &c[0], None);
 
     // Thread 2 writes word 3 (unflushed); thread 1 writes word 0 and flushes.
-    g.write(NodeId(2), obj.id, &c[2], |d| d[3] = 3.0);
-    g.write(NodeId(1), obj.id, &c[1], |d| d[0] = 1.0);
-    g.flush_thread(NodeId(1), &c[1]);
+    g.write(&mut s[2], NodeId(2), obj.id, &c[2], |d| d[3] = 3.0);
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0] = 1.0);
+    g.flush_thread(&mut s[1], NodeId(1), &c[1]);
 
     // Thread 2 acquires: the notice invalidates its dirty copy, force-flushing first.
-    g.apply_notices(NodeId(2), &c[2]);
+    g.apply_notices(&mut s[2], NodeId(2), &c[2]);
     let home = obj.snapshot_home();
     assert_eq!(home[0], 1.0, "thread 1's write");
     assert_eq!(home[3], 3.0, "thread 2's write must not be lost");
@@ -323,49 +327,49 @@ fn dirty_cache_hit_by_notice_is_force_flushed() {
 
 #[test]
 fn migration_drops_the_thread_local_heap() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], None);
 
     // Thread 1 caches and dirties the object, then migrates: the pending write must
     // be flushed, the cache dropped, and the next access re-faults.
-    g.write(NodeId(1), obj.id, &c[1], |d| d[0] = 5.0);
-    g.drop_thread_cache(NodeId(1), &c[1]);
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0] = 5.0);
+    g.drop_thread_cache(&mut s[1], NodeId(1), &c[1]);
     assert_eq!(obj.snapshot_home()[0], 5.0, "flush-before-drop");
-    assert_eq!(g.access_state(ThreadId(1), obj.id), None);
-    let (_, out) = g.read(NodeId(0), obj.id, &c[1], |_| {});
+    assert_eq!(s[1].access_state(obj.id), None);
+    let (_, out) = g.read(&mut s[1], NodeId(0), obj.id, &c[1], |_| {});
     assert!(!out.real_fault, "obj is homed at the new node: direct access");
 }
 
 #[test]
 fn prefetch_installs_valid_copies() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("X", 2);
     let objs: Vec<_> = (0..4)
         .map(|_| g.alloc_scalar(NodeId(0), class, &c[0], None).id)
         .collect();
-    let bytes = g.prefetch_into(NodeId(1), objs.iter().copied(), &c[1]);
+    let bytes = g.prefetch_into(&mut s[1], NodeId(1), objs.iter().copied(), &c[1]);
     assert_eq!(bytes, 4 * (16 + 16), "payload + object header each");
     for &o in &objs {
-        assert_eq!(g.access_state(ThreadId(1), o), Some(AccessState::Valid));
+        assert_eq!(s[1].access_state(o), Some(AccessState::Valid));
     }
     // Prefetching again moves nothing.
-    assert_eq!(g.prefetch_into(NodeId(1), objs.iter().copied(), &c[1]), 0);
+    assert_eq!(g.prefetch_into(&mut s[1], NodeId(1), objs.iter().copied(), &c[1]), 0);
     let stats = g.net_stats();
     assert_eq!(stats.class(MsgClass::Prefetch).messages, 1, "batched per home");
 }
 
 #[test]
 fn counters_track_protocol_events() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], None);
-    g.read(NodeId(1), obj.id, &c[1], |_| {});
-    g.set_false_invalid(ThreadId(1), [obj.id]);
-    g.read(NodeId(1), obj.id, &c[1], |_| {});
-    g.write(NodeId(1), obj.id, &c[1], |d| d[0] = 1.0);
-    g.flush_thread(NodeId(1), &c[1]);
-    g.apply_notices(NodeId(0), &c[0]);
+    g.read(&mut s[1], NodeId(1), obj.id, &c[1], |_| {});
+    s[1].arm_traps([obj.id]);
+    g.read(&mut s[1], NodeId(1), obj.id, &c[1], |_| {});
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0] = 1.0);
+    g.flush_thread(&mut s[1], NodeId(1), &c[1]);
+    g.apply_notices(&mut s[0], NodeId(0), &c[0]);
 
     let pc = g.proto_counters();
     assert_eq!(pc.real_faults, 1);
@@ -382,37 +386,38 @@ fn simulated_costs_accumulate_on_the_clock() {
         n_threads: 2,
         latency: LatencyModel::fast_ethernet(),
         costs: CostModel::pentium4_2ghz(),
-            prefetch_depth: 0,
+        prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-            faults: None,
+        faults: None,
     });
     let board = ClockBoard::new(2);
     let c0 = board.handle(ThreadId(0));
     let c1 = board.handle(ThreadId(1));
+    let mut s1 = ThreadSpace::new(ThreadId(1));
     let class = g.classes().register_array("double[]", 1);
     let obj = g.alloc_array(NodeId(0), class, 512, &c0, None);
     let alloc_time = c0.now();
     assert!(alloc_time > 0);
 
     // Remote fault: pays check + service + a 4 KB round trip.
-    g.read(NodeId(1), obj.id, &c1, |_| {});
+    g.read(&mut s1, NodeId(1), obj.id, &c1, |_| {});
     let fault_time = c1.now();
     assert!(fault_time > 300_000, "4 KB over Fast Ethernet: got {fault_time}");
 
     // Hit: pays only the check.
-    g.read(NodeId(1), obj.id, &c1, |_| {});
+    g.read(&mut s1, NodeId(1), obj.id, &c1, |_| {});
     assert_eq!(c1.now() - fault_time, 2);
 }
 
 #[test]
 fn home_migration_redirects_faults_and_repairs_residents() {
-    let (g, c) = gos(3);
+    let (g, c, mut s) = gos(3);
     let class = g.classes().register_scalar("X", 2);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], Some(&[5.0, 0.0]));
 
     // Thread 0 (node 0) uses it as home-resident; thread 2 caches it.
-    g.read(NodeId(0), obj.id, &c[0], |_| {});
-    g.read(NodeId(2), obj.id, &c[2], |_| {});
+    g.read(&mut s[0], NodeId(0), obj.id, &c[0], |_| {});
+    g.read(&mut s[2], NodeId(2), obj.id, &c[2], |_| {});
 
     // Relocate the home to node 1.
     assert!(g.migrate_home(obj.id, NodeId(1), &c[1]));
@@ -421,39 +426,39 @@ fn home_migration_redirects_faults_and_repairs_residents() {
     assert_eq!(g.proto_counters().home_migrations, 1);
 
     // Thread 2 applies notices → its cache revalidates against the new home.
-    g.apply_notices(NodeId(2), &c[2]);
+    g.apply_notices(&mut s[2], NodeId(2), &c[2]);
     let before = g.net_stats().class(MsgClass::ObjFetch).messages;
-    let (v, out) = g.read(NodeId(2), obj.id, &c[2], |d| d[0]);
+    let (v, out) = g.read(&mut s[2], NodeId(2), obj.id, &c[2], |d| d[0]);
     assert_eq!(v, 5.0);
     assert!(out.real_fault);
     assert_eq!(out.home, NodeId(1), "fault served by the new home");
     assert_eq!(g.net_stats().class(MsgClass::ObjFetch).messages, before + 1);
 
     // Thread 0's stale home-resident entry is repaired at its next acquire.
-    g.apply_notices(NodeId(0), &c[0]);
-    let (v, out) = g.read(NodeId(0), obj.id, &c[0], |d| d[0]);
+    g.apply_notices(&mut s[0], NodeId(0), &c[0]);
+    let (v, out) = g.read(&mut s[0], NodeId(0), obj.id, &c[0], |d| d[0]);
     assert_eq!(v, 5.0);
     assert!(out.real_fault, "old home now faults like any remote node");
 
     // Thread 1 (the new home) accesses directly.
-    let (_, out) = g.read(NodeId(1), obj.id, &c[1], |_| {});
+    let (_, out) = g.read(&mut s[1], NodeId(1), obj.id, &c[1], |_| {});
     assert!(out.first_touch && !out.real_fault);
 }
 
 #[test]
 fn home_migration_preserves_writes_in_flight() {
-    let (g, c) = gos(2);
+    let (g, c, mut s) = gos(2);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], None);
 
     // Thread 1 writes a cached copy; before it flushes, the home migrates to node 1.
-    g.write(NodeId(1), obj.id, &c[1], |d| d[0] = 9.0);
+    g.write(&mut s[1], NodeId(1), obj.id, &c[1], |d| d[0] = 9.0);
     g.migrate_home(obj.id, NodeId(1), &c[0]);
-    g.flush_thread(NodeId(1), &c[1]);
+    g.flush_thread(&mut s[1], NodeId(1), &c[1]);
     assert_eq!(obj.snapshot_home()[0], 9.0, "diff landed on the migrated home");
     // After applying notices, a fresh reader sees the write.
-    g.apply_notices(NodeId(0), &c[0]);
-    let (v, _) = g.read(NodeId(0), obj.id, &c[0], |d| d[0]);
+    g.apply_notices(&mut s[0], NodeId(0), &c[0]);
+    let (v, _) = g.read(&mut s[0], NodeId(0), obj.id, &c[0], |d| d[0]);
     assert_eq!(v, 9.0);
 }
 
@@ -468,11 +473,12 @@ fn connectivity_prefetch_rides_on_faults() {
         costs: CostModel::free(),
         prefetch_depth: 2,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-            faults: None,
+        faults: None,
     });
     let board = ClockBoard::new(2);
     let c0 = board.handle(ThreadId(0));
     let c1 = board.handle(ThreadId(1));
+    let mut s1 = ThreadSpace::new(ThreadId(1));
     let class = g.classes().register_scalar("Node", 2);
     let ids: Vec<_> = (0..4)
         .map(|_| g.alloc_scalar(NodeId(0), class, &c0, None).id)
@@ -481,15 +487,15 @@ fn connectivity_prefetch_rides_on_faults() {
         g.object(w[0]).add_ref(w[1]);
     }
 
-    let (_, out) = g.read(NodeId(1), ids[0], &c1, |_| {});
+    let (_, out) = g.read(&mut s1, NodeId(1), ids[0], &c1, |_| {});
     assert!(out.real_fault);
     assert_eq!(g.proto_counters().objects_prefetched, 2);
     // a and b are now valid without further faults; c still faults.
     for &o in &ids[1..3] {
-        let (_, out) = g.read(NodeId(1), o, &c1, |_| {});
+        let (_, out) = g.read(&mut s1, NodeId(1), o, &c1, |_| {});
         assert!(!out.real_fault, "{o} should have been prefetched");
     }
-    let (_, out) = g.read(NodeId(1), ids[3], &c1, |_| {});
+    let (_, out) = g.read(&mut s1, NodeId(1), ids[3], &c1, |_| {});
     assert!(out.real_fault, "depth-3 neighbour is beyond the prefetch horizon");
     assert!(g.net_stats().class(MsgClass::Prefetch).bytes > 0);
 }
@@ -503,31 +509,32 @@ fn connectivity_prefetch_skips_cross_home_neighbours() {
         costs: CostModel::free(),
         prefetch_depth: 3,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-            faults: None,
+        faults: None,
     });
     let board = ClockBoard::new(3);
     let c0 = board.handle(ThreadId(0));
     let c2 = board.handle(ThreadId(2));
+    let mut s2 = ThreadSpace::new(ThreadId(2));
     let class = g.classes().register_scalar("Node", 1);
     let head = g.alloc_scalar(NodeId(0), class, &c0, None).id;
     let other_home = g.alloc_scalar(NodeId(1), class, &c0, None).id;
     g.object(head).add_ref(other_home);
 
-    let (_, out) = g.read(NodeId(2), head, &c2, |_| {});
+    let (_, out) = g.read(&mut s2, NodeId(2), head, &c2, |_| {});
     assert!(out.real_fault);
     assert_eq!(
         g.proto_counters().objects_prefetched,
         0,
         "a neighbour homed elsewhere is not on this reply path"
     );
-    let (_, out) = g.read(NodeId(2), other_home, &c2, |_| {});
+    let (_, out) = g.read(&mut s2, NodeId(2), other_home, &c2, |_| {});
     assert!(out.real_fault, "cross-home neighbour still faults normally");
 }
 
 #[test]
 #[should_panic(expected = "zero-length")]
 fn zero_length_arrays_are_rejected() {
-    let (g, c) = gos(1);
+    let (g, c, _s) = gos(1);
     let class = g.classes().register_array("double[]", 1);
     let _ = g.alloc_array(NodeId(0), class, 0, &c[0], None);
 }
@@ -535,7 +542,7 @@ fn zero_length_arrays_are_rejected() {
 #[test]
 #[should_panic(expected = "use alloc_array")]
 fn scalar_alloc_of_array_class_is_rejected() {
-    let (g, c) = gos(1);
+    let (g, c, _s) = gos(1);
     let class = g.classes().register_array("double[]", 1);
     let _ = g.alloc_scalar(NodeId(0), class, &c[0], None);
 }
@@ -543,27 +550,27 @@ fn scalar_alloc_of_array_class_is_rejected() {
 #[test]
 #[should_panic(expected = "use alloc_scalar")]
 fn array_alloc_of_scalar_class_is_rejected() {
-    let (g, c) = gos(1);
+    let (g, c, _s) = gos(1);
     let class = g.classes().register_scalar("X", 1);
     let _ = g.alloc_array(NodeId(0), class, 4, &c[0], None);
 }
 
 #[test]
 fn lock_managers_are_distributed_round_robin() {
-    let (g, c) = gos(3);
+    let (g, c, mut s) = gos(3);
     // Locks 0,1,2,3 → managers 0,1,2,0. Verify via traffic: acquiring lock 1 from
     // node 0 produces a round trip to node 1.
     let _l0 = g.register_lock();
     let l1 = g.register_lock();
-    g.lock_acquire(l1, NodeId(0), &c[0]);
-    g.lock_release(l1, NodeId(0), &c[0]);
+    g.lock_acquire(&mut s[0], l1, NodeId(0), &c[0]);
+    g.lock_release(&mut s[0], l1, NodeId(0), &c[0]);
     assert_eq!(g.link_stats(NodeId(0), NodeId(1)).messages, 2, "acquire + release");
     assert_eq!(g.link_stats(NodeId(1), NodeId(0)).messages, 1, "grant");
 }
 
 #[test]
 fn init_payload_length_is_checked() {
-    let (g, c) = gos(1);
+    let (g, c, _s) = gos(1);
     let class = g.classes().register_scalar("X", 2);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         g.alloc_scalar(NodeId(0), class, &c[0], Some(&[1.0])) // needs 2 words

@@ -1,10 +1,10 @@
 //! Scope-consistency (ScC) mode tests: per-lock notice histories.
 
 use jessy_gos::protocol::ConsistencyModel;
-use jessy_gos::{CostModel, Gos, GosConfig};
+use jessy_gos::{CostModel, Gos, GosConfig, ThreadSpace};
 use jessy_net::{ClockBoard, ClockHandle, LatencyModel, NodeId, ThreadId};
 
-fn gos(n: usize, consistency: ConsistencyModel) -> (Gos, Vec<ClockHandle>) {
+fn gos(n: usize, consistency: ConsistencyModel) -> (Gos, Vec<ClockHandle>, Vec<ThreadSpace>) {
     let g = Gos::new(GosConfig {
         n_nodes: n,
         n_threads: n,
@@ -16,12 +16,13 @@ fn gos(n: usize, consistency: ConsistencyModel) -> (Gos, Vec<ClockHandle>) {
     });
     let board = ClockBoard::new(n);
     let clocks = (0..n).map(|i| board.handle(ThreadId(i as u32))).collect();
-    (g, clocks)
+    let spaces = (0..n).map(|i| ThreadSpace::new(ThreadId(i as u32))).collect();
+    (g, clocks, spaces)
 }
 
 #[test]
 fn scoped_acquire_sees_only_its_locks_writes() {
-    let (g, c) = gos(3, ConsistencyModel::Scoped);
+    let (g, c, mut s) = gos(3, ConsistencyModel::Scoped);
     let class = g.classes().register_scalar("X", 1);
     let a = g.alloc_scalar(NodeId(0), class, &c[0], None);
     let b = g.alloc_scalar(NodeId(0), class, &c[0], None);
@@ -29,84 +30,87 @@ fn scoped_acquire_sees_only_its_locks_writes() {
     let lock_b = g.register_lock();
 
     // Thread 2 caches both objects.
-    g.read(NodeId(2), a.id, &c[2], |_| {});
-    g.read(NodeId(2), b.id, &c[2], |_| {});
+    g.read(&mut s[2], NodeId(2), a.id, &c[2], |_| {});
+    g.read(&mut s[2], NodeId(2), b.id, &c[2], |_| {});
 
     // Thread 1 writes `a` under lock A and `b` under lock B.
-    g.lock_acquire(lock_a, NodeId(1), &c[1]);
-    g.write(NodeId(1), a.id, &c[1], |d| d[0] = 1.0);
-    g.lock_release(lock_a, NodeId(1), &c[1]);
-    g.lock_acquire(lock_b, NodeId(1), &c[1]);
-    g.write(NodeId(1), b.id, &c[1], |d| d[0] = 2.0);
-    g.lock_release(lock_b, NodeId(1), &c[1]);
+    g.lock_acquire(&mut s[1], lock_a, NodeId(1), &c[1]);
+    g.write(&mut s[1], NodeId(1), a.id, &c[1], |d| d[0] = 1.0);
+    g.lock_release(&mut s[1], lock_a, NodeId(1), &c[1]);
+    g.lock_acquire(&mut s[1], lock_b, NodeId(1), &c[1]);
+    g.write(&mut s[1], NodeId(1), b.id, &c[1], |d| d[0] = 2.0);
+    g.lock_release(&mut s[1], lock_b, NodeId(1), &c[1]);
 
     // Thread 2 acquires only lock A: sees a's update, b's cache stays (legally) stale.
-    let applied = g.lock_acquire(lock_a, NodeId(2), &c[2]);
+    let applied = g.lock_acquire(&mut s[2], lock_a, NodeId(2), &c[2]);
     assert_eq!(applied, 1, "only lock A's notice applies");
-    g.lock_release(lock_a, NodeId(2), &c[2]);
-    let (va, out_a) = g.read(NodeId(2), a.id, &c[2], |d| d[0]);
+    g.lock_release(&mut s[2], lock_a, NodeId(2), &c[2]);
+    let (va, out_a) = g.read(&mut s[2], NodeId(2), a.id, &c[2], |d| d[0]);
     assert_eq!(va, 1.0);
     assert!(out_a.real_fault, "a was invalidated by lock A's scope");
-    let (vb, out_b) = g.read(NodeId(2), b.id, &c[2], |d| d[0]);
+    let (vb, out_b) = g.read(&mut s[2], NodeId(2), b.id, &c[2], |d| d[0]);
     assert_eq!(vb, 0.0, "b's write is outside the acquired scope");
     assert!(!out_b.faulted());
 
     // Acquiring lock B then delivers b.
-    g.lock_acquire(lock_b, NodeId(2), &c[2]);
-    g.lock_release(lock_b, NodeId(2), &c[2]);
-    let (vb, _) = g.read(NodeId(2), b.id, &c[2], |d| d[0]);
+    g.lock_acquire(&mut s[2], lock_b, NodeId(2), &c[2]);
+    g.lock_release(&mut s[2], lock_b, NodeId(2), &c[2]);
+    let (vb, _) = g.read(&mut s[2], NodeId(2), b.id, &c[2], |d| d[0]);
     assert_eq!(vb, 2.0);
 }
 
 #[test]
 fn global_mode_applies_everything_on_any_acquire() {
     // The same scenario under GlobalHlrc: acquiring lock A invalidates BOTH caches.
-    let (g, c) = gos(3, ConsistencyModel::GlobalHlrc);
+    let (g, c, mut s) = gos(3, ConsistencyModel::GlobalHlrc);
     let class = g.classes().register_scalar("X", 1);
     let a = g.alloc_scalar(NodeId(0), class, &c[0], None);
     let b = g.alloc_scalar(NodeId(0), class, &c[0], None);
     let lock_a = g.register_lock();
     let lock_b = g.register_lock();
 
-    g.read(NodeId(2), a.id, &c[2], |_| {});
-    g.read(NodeId(2), b.id, &c[2], |_| {});
+    g.read(&mut s[2], NodeId(2), a.id, &c[2], |_| {});
+    g.read(&mut s[2], NodeId(2), b.id, &c[2], |_| {});
 
-    g.lock_acquire(lock_a, NodeId(1), &c[1]);
-    g.write(NodeId(1), a.id, &c[1], |d| d[0] = 1.0);
-    g.lock_release(lock_a, NodeId(1), &c[1]);
-    g.lock_acquire(lock_b, NodeId(1), &c[1]);
-    g.write(NodeId(1), b.id, &c[1], |d| d[0] = 2.0);
-    g.lock_release(lock_b, NodeId(1), &c[1]);
+    g.lock_acquire(&mut s[1], lock_a, NodeId(1), &c[1]);
+    g.write(&mut s[1], NodeId(1), a.id, &c[1], |d| d[0] = 1.0);
+    g.lock_release(&mut s[1], lock_a, NodeId(1), &c[1]);
+    g.lock_acquire(&mut s[1], lock_b, NodeId(1), &c[1]);
+    g.write(&mut s[1], NodeId(1), b.id, &c[1], |d| d[0] = 2.0);
+    g.lock_release(&mut s[1], lock_b, NodeId(1), &c[1]);
 
-    let applied = g.lock_acquire(lock_a, NodeId(2), &c[2]);
+    let applied = g.lock_acquire(&mut s[2], lock_a, NodeId(2), &c[2]);
     assert_eq!(applied, 2, "global history: both notices apply");
-    g.lock_release(lock_a, NodeId(2), &c[2]);
-    let (vb, out_b) = g.read(NodeId(2), b.id, &c[2], |d| d[0]);
+    g.lock_release(&mut s[2], lock_a, NodeId(2), &c[2]);
+    let (vb, out_b) = g.read(&mut s[2], NodeId(2), b.id, &c[2], |d| d[0]);
     assert_eq!(vb, 2.0);
     assert!(out_b.real_fault, "conservatively invalidated");
 }
 
 #[test]
 fn scoped_barriers_remain_global() {
-    let (g, c) = gos(2, ConsistencyModel::Scoped);
+    let (g, c, mut spaces) = gos(2, ConsistencyModel::Scoped);
     let class = g.classes().register_scalar("X", 1);
     let obj = g.alloc_scalar(NodeId(0), class, &c[0], None);
-    g.read(NodeId(1), obj.id, &c[1], |_| {});
+    let (s0_half, s1_half) = spaces.split_at_mut(1);
+    let (s0, s1) = (&mut s0_half[0], &mut s1_half[0]);
+    g.read(s1, NodeId(1), obj.id, &c[1], |_| {});
 
     // A write outside any lock, flushed by a barrier, must still reach everyone.
-    g.write(NodeId(0), obj.id, &c[0], |d| d[0] = 7.0);
+    g.write(s0, NodeId(0), obj.id, &c[0], |d| d[0] = 7.0);
     std::thread::scope(|s| {
         let g0 = &g;
         let c0 = c[0].clone();
         let c1 = c[1].clone();
+        let s1 = &mut *s1;
         s.spawn(move || {
-            g0.barrier_wait(NodeId(0), 2, &c0);
+            g0.barrier_wait(s0, NodeId(0), 2, &c0);
         });
         s.spawn(move || {
-            g0.barrier_wait(NodeId(1), 2, &c1);
+            g0.barrier_wait(s1, NodeId(1), 2, &c1);
         });
     });
-    let (v, out) = g.read(NodeId(1), obj.id, &c[1], |d| d[0]);
+    let (v, out) = g.read(&mut spaces[1], NodeId(1), obj.id, &c[1], |d| d[0]);
     assert_eq!(v, 7.0);
     assert!(out.real_fault, "barrier notices are global even in scoped mode");
 }
@@ -116,7 +120,7 @@ fn scoped_mode_applies_fewer_notices_under_disjoint_locks() {
     // N workers each with a private lock and object: under ScC nobody ever applies a
     // foreign notice; under global HLRC every acquire drags in everyone's history.
     let run = |consistency| {
-        let (g, c) = gos(4, consistency);
+        let (g, c, mut s) = gos(4, consistency);
         let class = g.classes().register_scalar("X", 1);
         let objs: Vec<_> = (0..4)
             .map(|i| g.alloc_scalar(NodeId(i as u16), class, &c[0], None).id)
@@ -125,16 +129,16 @@ fn scoped_mode_applies_fewer_notices_under_disjoint_locks() {
         // Warm caches: everyone reads everything once.
         for (t, clock) in c.iter().enumerate() {
             for &o in &objs {
-                g.read(NodeId(t as u16), o, clock, |_| {});
+                g.read(&mut s[t], NodeId(t as u16), o, clock, |_| {});
             }
         }
         for round in 0..5 {
             let _ = round;
             for t in 0..4usize {
                 let node = NodeId(t as u16);
-                g.lock_acquire(locks[t], node, &c[t]);
-                g.write(node, objs[t], &c[t], |d| d[0] += 1.0);
-                g.lock_release(locks[t], node, &c[t]);
+                g.lock_acquire(&mut s[t], locks[t], node, &c[t]);
+                g.write(&mut s[t], node, objs[t], &c[t], |d| d[0] += 1.0);
+                g.lock_release(&mut s[t], locks[t], node, &c[t]);
             }
         }
         g.proto_counters().notices_applied

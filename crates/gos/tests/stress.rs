@@ -1,9 +1,12 @@
 //! Concurrency stress tests for the protocol engine: many real threads hammering
 //! shared objects through locks and barriers, checking coherence and clock sanity.
+//!
+//! Each spawned OS thread owns its logical thread's `ThreadSpace` outright — the
+//! single-writer discipline the runtime enforces via `ClusterShared::spaces`.
 
 use std::sync::Arc;
 
-use jessy_gos::{CostModel, Gos, GosConfig};
+use jessy_gos::{CostModel, Gos, GosConfig, ThreadSpace};
 use jessy_net::{ClockBoard, LatencyModel, NodeId, ThreadId};
 
 fn cluster(n_nodes: usize, n_threads: usize) -> (Arc<Gos>, Arc<ClockBoard>) {
@@ -12,9 +15,9 @@ fn cluster(n_nodes: usize, n_threads: usize) -> (Arc<Gos>, Arc<ClockBoard>) {
         n_threads,
         latency: LatencyModel::free(),
         costs: CostModel::free(),
-            prefetch_depth: 0,
+        prefetch_depth: 0,
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
-            faults: None,
+        faults: None,
     });
     (Arc::new(g), ClockBoard::new(n_threads))
 }
@@ -34,10 +37,11 @@ fn lock_protected_counter_is_exact_across_nodes() {
             let clock = board.handle(ThreadId(t));
             std::thread::spawn(move || {
                 let node = NodeId((t % 4) as u16);
+                let mut space = ThreadSpace::new(ThreadId(t));
                 for _ in 0..PER_THREAD {
-                    g.lock_acquire(lock, node, &clock);
-                    g.write(node, obj, &clock, |d| d[0] += 1.0);
-                    g.lock_release(lock, node, &clock);
+                    g.lock_acquire(&mut space, lock, node, &clock);
+                    g.write(&mut space, node, obj, &clock, |d| d[0] += 1.0);
+                    g.lock_release(&mut space, lock, node, &clock);
                 }
             })
         })
@@ -47,9 +51,10 @@ fn lock_protected_counter_is_exact_across_nodes() {
     }
     // Reader must observe every increment after a final acquire.
     let clock = board.handle(ThreadId(0));
-    g.lock_acquire(lock, NodeId(1), &clock);
-    let (v, _) = g.read(NodeId(1), obj, &clock, |d| d[0]);
-    g.lock_release(lock, NodeId(1), &clock);
+    let mut space = ThreadSpace::new(ThreadId(0));
+    g.lock_acquire(&mut space, lock, NodeId(1), &clock);
+    let (v, _) = g.read(&mut space, NodeId(1), obj, &clock, |d| d[0]);
+    g.lock_release(&mut space, lock, NodeId(1), &clock);
     assert_eq!(v, (8 * PER_THREAD) as f64, "increments lost under contention");
 }
 
@@ -76,11 +81,12 @@ fn barrier_phased_writers_never_lose_updates() {
             let objs = objs.clone();
             std::thread::spawn(move || {
                 let node = NodeId((t % 3) as u16);
+                let mut space = ThreadSpace::new(ThreadId(t as u32));
                 for round in 0..ROUNDS {
                     // Each object has exactly one writer per phase.
                     let target = objs[(t + round) % THREADS];
-                    g.write(node, target, &clock, |d| d[0] += (t + 1) as f64);
-                    g.barrier_wait(node, THREADS, &clock);
+                    g.write(&mut space, node, target, &clock, |d| d[0] += (t + 1) as f64);
+                    g.barrier_wait(&mut space, node, THREADS, &clock);
                 }
             })
         })
@@ -111,17 +117,18 @@ fn clocks_are_monotone_through_sync_storms() {
             let clock = board.handle(ThreadId(t));
             std::thread::spawn(move || {
                 let node = NodeId((t % 2) as u16);
+                let mut space = ThreadSpace::new(ThreadId(t));
                 let mut last = 0u64;
                 for i in 0..100 {
                     if i % 3 == 0 {
-                        g.lock_acquire(lock, node, &clock);
-                        g.write(node, obj, &clock, |d| d[0] += 1.0);
-                        g.lock_release(lock, node, &clock);
+                        g.lock_acquire(&mut space, lock, node, &clock);
+                        g.write(&mut space, node, obj, &clock, |d| d[0] += 1.0);
+                        g.lock_release(&mut space, lock, node, &clock);
                     } else {
-                        g.read(node, obj, &clock, |_| {});
+                        g.read(&mut space, node, obj, &clock, |_| {});
                     }
                     clock.spend(10);
-                    g.barrier_wait(node, 4, &clock);
+                    g.barrier_wait(&mut space, node, 4, &clock);
                     let now = clock.now();
                     assert!(now >= last, "clock went backwards: {now} < {last}");
                     last = now;
@@ -165,8 +172,9 @@ fn resampling_walk_races_with_access_safely() {
             let clock = board.handle(ThreadId(t));
             let objs = objs.clone();
             std::thread::spawn(move || {
+                let mut space = ThreadSpace::new(ThreadId(t));
                 for &o in &objs {
-                    g.read(NodeId((t % 2) as u16), o, &clock, |_| {});
+                    g.read(&mut space, NodeId((t % 2) as u16), o, &clock, |_| {});
                 }
             })
         })
@@ -191,6 +199,7 @@ fn interleaved_prefetch_and_invalidation() {
     let class = g.classes().register_scalar("X", 2);
     let c0 = board.handle(ThreadId(0));
     let c1 = board.handle(ThreadId(1));
+    let mut s1 = ThreadSpace::new(ThreadId(1));
     let objs: Vec<_> = (0..50)
         .map(|_| g.alloc_scalar(NodeId(0), class, &c0, None).id)
         .collect();
@@ -201,17 +210,18 @@ fn interleaved_prefetch_and_invalidation() {
         let g = Arc::clone(&g);
         let objs = objs.clone();
         std::thread::spawn(move || {
+            let mut s0 = ThreadSpace::new(ThreadId(0));
             for &o in &objs {
-                g.write(NodeId(0), o, &c0, |d| d[0] = 7.0);
+                g.write(&mut s0, NodeId(0), o, &c0, |d| d[0] = 7.0);
             }
-            g.flush_thread(NodeId(0), &c0);
+            g.flush_thread(&mut s0, NodeId(0), &c0);
         })
     };
-    g.prefetch_into(NodeId(1), objs.iter().copied(), &c1);
+    g.prefetch_into(&mut s1, NodeId(1), objs.iter().copied(), &c1);
     writer.join().unwrap();
-    g.apply_notices(NodeId(1), &c1);
+    g.apply_notices(&mut s1, NodeId(1), &c1);
     for &o in &objs {
-        let (v, _) = g.read(NodeId(1), o, &c1, |d| d[0]);
+        let (v, _) = g.read(&mut s1, NodeId(1), o, &c1, |d| d[0]);
         assert_eq!(v, 7.0, "stale value survived prefetch/invalidate race on {o}");
     }
 }

@@ -37,7 +37,7 @@ use parking_lot::RwLock;
 
 use jessy_core::{ProfilerConfig, ProfilerShared, ThreadProfiler};
 use jessy_gos::protocol::ConsistencyModel;
-use jessy_gos::{ClassId, CostModel, Gos, GosConfig, LockId, ObjectCore, ObjectId};
+use jessy_gos::{ClassId, CostModel, Gos, GosConfig, LockId, ObjectCore, ObjectId, ThreadSpace};
 use jessy_net::mailbox::MailboxSender;
 use jessy_net::{
     ClockBoard, ClockHandle, FaultPlan, LatencyModel, Mailbox, MsgClass, NodeId, ThreadId,
@@ -71,6 +71,11 @@ pub struct ClusterShared {
     pub n_threads: usize,
     /// Current thread→node placement (updated by migrations).
     pub placement: RwLock<Vec<NodeId>>,
+    /// Parked single-writer access arenas, one per thread. A [`JThread`] checks its
+    /// arena out on construction and parks it back on drop; while a thread runs, its
+    /// slot is `None`. The mutex only guards checkout/park — accesses themselves go
+    /// through the `&mut` the owning `JThread` holds.
+    pub spaces: Vec<parking_lot::Mutex<Option<ThreadSpace>>>,
     /// Per-thread migration directives issued by the dynamic balancer; each thread
     /// honours its slot at its next barrier (a safe point) and clears it.
     pub directives: RwLock<Vec<Option<NodeId>>>,
@@ -103,6 +108,18 @@ impl ClusterShared {
     /// Current node of a thread.
     pub fn node_of(&self, thread: ThreadId) -> NodeId {
         self.placement.read()[thread.index()]
+    }
+
+    /// Run `f` over a thread's parked access arena (post-run inspection).
+    ///
+    /// # Panics
+    /// If the thread's arena is checked out (its `JThread` is still alive).
+    pub fn with_space<R>(&self, thread: ThreadId, f: impl FnOnce(&ThreadSpace) -> R) -> R {
+        let guard = self.spaces[thread.index()].lock();
+        let space = guard
+            .as_ref()
+            .expect("thread space is checked out (JThread still alive)");
+        f(space)
     }
 }
 
@@ -287,6 +304,9 @@ impl ClusterBuilder {
             n_nodes: self.n_nodes,
             n_threads: self.n_threads,
             placement: RwLock::new(placement),
+            spaces: (0..self.n_threads)
+                .map(|t| parking_lot::Mutex::new(Some(ThreadSpace::new(ThreadId(t as u32)))))
+                .collect(),
             directives: RwLock::new(vec![None; self.n_threads]),
             rebalance: self.rebalance,
             migration_log: parking_lot::Mutex::new(Vec::new()),
@@ -444,6 +464,10 @@ impl Cluster {
         F: Fn(&mut JThread) + Send + Sync + 'static,
     {
         let mailbox = self.mailbox.take().ok_or(RuntimeError::AlreadyRun)?;
+        // Registration and setup allocation are done: snapshot the object table so
+        // the access path resolves objects with a plain indexed read (mid-run
+        // allocations still work — they land past the frozen prefix).
+        self.shared.gos.freeze_object_table();
         self.shared.board.reset();
         self.shared.done.store(false, Ordering::Release);
 

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use jessy_core::sticky::resolution::Resolution;
-use jessy_gos::{AccessState, Gos, ObjectId};
+use jessy_gos::{AccessState, Gos, ObjectId, ThreadSpace};
 use jessy_net::{NodeId, SimNanos, ThreadId};
 
 /// What one thread migration moved and cost.
@@ -42,11 +42,11 @@ impl MigrationReport {
 }
 
 /// Ground truth for the sticky-set cost model: how many of `objs` would take a remote
-/// fault if `thread` (running on `node`) accessed them right now (no entry in the
-/// thread's heap, or an invalid one).
+/// fault if the owner of `space` (running on `node`) accessed them right now (no
+/// entry in the thread's arena, or an invalid one).
 pub fn count_would_fault(
     gos: &Gos,
-    thread: ThreadId,
+    space: &ThreadSpace,
     node: NodeId,
     objs: impl IntoIterator<Item = ObjectId>,
 ) -> usize {
@@ -56,7 +56,7 @@ pub fn count_would_fault(
                 return false;
             }
             !matches!(
-                gos.access_state(thread, obj),
+                space.access_state(obj),
                 Some(AccessState::Valid) | Some(AccessState::FalseInvalid)
             )
         })
@@ -81,13 +81,14 @@ mod tests {
             faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
+        let mut space = ThreadSpace::new(ThreadId(0));
         let class = gos.classes().register_scalar("X", 1);
         let home0 = gos.alloc_scalar(NodeId(0), class, &clock, None); // homed at target
         let cached = gos.alloc_scalar(NodeId(1), class, &clock, None);
         let cold = gos.alloc_scalar(NodeId(1), class, &clock, None);
-        gos.read(NodeId(0), cached.id, &clock, |_| {}); // valid cache at node 0
+        gos.read(&mut space, NodeId(0), cached.id, &clock, |_| {}); // valid cache at node 0
 
-        let faults = count_would_fault(&gos, ThreadId(0), NodeId(0), [home0.id, cached.id, cold.id]);
+        let faults = count_would_fault(&gos, &space, NodeId(0), [home0.id, cached.id, cold.id]);
         assert_eq!(faults, 1, "only the cold remote object faults");
     }
 
@@ -103,13 +104,14 @@ mod tests {
             faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
+        let mut space = ThreadSpace::new(ThreadId(0));
         let class = gos.classes().register_scalar("X", 2);
         let objs: Vec<ObjectId> = (0..5)
             .map(|_| gos.alloc_scalar(NodeId(1), class, &clock, None).id)
             .collect();
-        assert_eq!(count_would_fault(&gos, ThreadId(0), NodeId(0), objs.iter().copied()), 5);
-        let bytes = gos.prefetch_into(NodeId(0), objs.iter().copied(), &clock);
+        assert_eq!(count_would_fault(&gos, &space, NodeId(0), objs.iter().copied()), 5);
+        let bytes = gos.prefetch_into(&mut space, NodeId(0), objs.iter().copied(), &clock);
         assert_eq!(bytes, 5 * (16 + 16), "payload + object header each");
-        assert_eq!(count_would_fault(&gos, ThreadId(0), NodeId(0), objs.iter().copied()), 0);
+        assert_eq!(count_would_fault(&gos, &space, NodeId(0), objs.iter().copied()), 0);
     }
 }

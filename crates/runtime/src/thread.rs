@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use jessy_core::sticky::resolution::Resolution;
 use jessy_core::ThreadProfiler;
-use jessy_gos::{ClassId, Gos, LockId, ObjectCore, ObjectId};
+use jessy_gos::{ClassId, Gos, LockId, ObjectCore, ObjectId, ThreadSpace};
 use jessy_net::{ClockHandle, MsgClass, NodeId, ThreadId};
 use jessy_stack::{JavaStack, MethodId, Slot};
 
@@ -26,6 +26,10 @@ pub struct JThread {
     node: NodeId,
     clock: ClockHandle,
     profiler: ThreadProfiler,
+    /// The thread's single-writer access arena: the GOS takes it by `&mut`, so only
+    /// this thread ever touches it. Checked out of [`ClusterShared`] on construction
+    /// and parked back on drop (post-run inspection and re-adoption see its state).
+    space: ThreadSpace,
     stack: JavaStack,
     /// Set while this thread's node is inside a crash window of the fault plan; the
     /// first interval shipped after the window triggers a rejoin handshake.
@@ -38,12 +42,17 @@ impl JThread {
         let node = shared.node_of(thread);
         let clock = shared.board.handle(thread);
         let profiler = ThreadProfiler::new(Arc::clone(&shared.prof), thread);
+        let space = shared.spaces[thread.index()]
+            .lock()
+            .take()
+            .unwrap_or_else(|| ThreadSpace::new(thread));
         JThread {
             shared,
             thread,
             node,
             clock,
             profiler,
+            space,
             stack: JavaStack::new(),
             node_was_down: false,
         }
@@ -74,6 +83,11 @@ impl JThread {
         &self.profiler
     }
 
+    /// The thread's access arena (diagnostics: populated count, access states).
+    pub fn space(&self) -> &ThreadSpace {
+        &self.space
+    }
+
     /// Cluster-shared state.
     pub fn shared(&self) -> &Arc<ClusterShared> {
         &self.shared
@@ -81,23 +95,29 @@ impl JThread {
 
     fn post_access(&mut self, out: &jessy_gos::AccessOutcome) {
         self.profiler
-            .on_access(&self.shared.gos, out, &self.clock);
+            .on_access(&self.shared.gos, &mut self.space, out, &self.clock);
         self.profiler
-            .maybe_footprint_probe(&self.shared.gos, &self.clock);
+            .maybe_footprint_probe(&mut self.space, &self.clock);
         self.profiler
             .maybe_stack_sample(&self.shared.gos, &mut self.stack, &self.clock);
     }
 
     /// Read access: run `f` over the object's payload.
     pub fn read<R>(&mut self, obj: ObjectId, f: impl FnOnce(&[f64]) -> R) -> R {
-        let (r, out) = self.shared.gos.read(self.node, obj, &self.clock, f);
+        let (r, out) = self
+            .shared
+            .gos
+            .read(&mut self.space, self.node, obj, &self.clock, f);
         self.post_access(&out);
         r
     }
 
     /// Write access: run `f` over the mutable payload.
     pub fn write<R>(&mut self, obj: ObjectId, f: impl FnOnce(&mut [f64]) -> R) -> R {
-        let (r, out) = self.shared.gos.write(self.node, obj, &self.clock, f);
+        let (r, out) = self
+            .shared
+            .gos
+            .write(&mut self.space, self.node, obj, &self.clock, f);
         self.post_access(&out);
         r
     }
@@ -200,8 +220,8 @@ impl JThread {
         self.close_and_ship_oal();
         self.shared
             .gos
-            .barrier_wait(self.node, self.shared.n_threads, &self.clock);
-        self.profiler.open_interval(&self.shared.gos);
+            .barrier_wait(&mut self.space, self.node, self.shared.n_threads, &self.clock);
+        self.profiler.open_interval(&mut self.space);
         self.honour_directive();
     }
 
@@ -222,15 +242,19 @@ impl JThread {
     /// Acquire a distributed lock (interval boundary).
     pub fn lock(&mut self, lock: LockId) {
         self.close_and_ship_oal();
-        self.shared.gos.lock_acquire(lock, self.node, &self.clock);
-        self.profiler.open_interval(&self.shared.gos);
+        self.shared
+            .gos
+            .lock_acquire(&mut self.space, lock, self.node, &self.clock);
+        self.profiler.open_interval(&mut self.space);
     }
 
     /// Release a distributed lock (interval boundary).
     pub fn unlock(&mut self, lock: LockId) {
         self.close_and_ship_oal();
-        self.shared.gos.lock_release(lock, self.node, &self.clock);
-        self.profiler.open_interval(&self.shared.gos);
+        self.shared
+            .gos
+            .lock_release(&mut self.space, lock, self.node, &self.clock);
+        self.profiler.open_interval(&mut self.space);
     }
 
     // ------------------------------------------------------------------ Java stack
@@ -283,17 +307,21 @@ impl JThread {
         };
 
         // The thread-local heap stays behind: flush pending writes and drop it.
-        self.shared.gos.drop_thread_cache(src, &self.clock);
+        self.shared
+            .gos
+            .drop_thread_cache(&mut self.space, src, &self.clock);
 
         let mut resolution: Option<Resolution> = None;
         let mut prefetch_bytes = 0usize;
         let mut prefetched_objects = 0usize;
         if let Some(res) = resolved {
             prefetched_objects = res.selected.len();
-            prefetch_bytes =
-                self.shared
-                    .gos
-                    .prefetch_into(dest, res.selected.iter().copied(), &self.clock);
+            prefetch_bytes = self.shared.gos.prefetch_into(
+                &mut self.space,
+                dest,
+                res.selected.iter().copied(),
+                &self.clock,
+            );
             resolution = Some(res);
         }
 
@@ -312,5 +340,14 @@ impl JThread {
             sim_cost_ns: self.clock.now() - t0,
             resolution,
         }
+    }
+}
+
+impl Drop for JThread {
+    /// Park the access arena back in the cluster so post-run inspection (and a later
+    /// re-adoption of the same thread id) sees the thread's heap state.
+    fn drop(&mut self) {
+        let space = std::mem::replace(&mut self.space, ThreadSpace::new(self.thread));
+        *self.shared.spaces[self.thread.index()].lock() = Some(space);
     }
 }

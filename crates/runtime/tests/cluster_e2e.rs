@@ -253,18 +253,21 @@ fn migration_with_prefetch_eliminates_sticky_refaults() {
         "most of the chain resolved: {:?}",
         res.selected.len()
     );
-    // Ground truth: the prefetched objects must no longer fault at the destination.
+    // Ground truth: the prefetched objects must no longer fault at the destination
+    // (the run's parked thread arena holds the prefetched copies).
     let shared = cluster.shared();
-    assert_eq!(
-        count_would_fault(&shared.gos, ThreadId(0), NodeId(1), res.selected.iter().copied()),
-        0,
-        "prefetch hid the induced faults"
-    );
-    // Without prefetch, the rest of the remote chain still faults.
-    assert_eq!(
-        count_would_fault(&shared.gos, ThreadId(0), NodeId(1), chain),
-        10 - res.selected.len()
-    );
+    shared.with_space(ThreadId(0), |space| {
+        assert_eq!(
+            count_would_fault(&shared.gos, space, NodeId(1), res.selected.iter().copied()),
+            0,
+            "prefetch hid the induced faults"
+        );
+        // Without prefetch, the rest of the remote chain still faults.
+        assert_eq!(
+            count_would_fault(&shared.gos, space, NodeId(1), chain),
+            10 - res.selected.len()
+        );
+    });
 }
 
 #[test]

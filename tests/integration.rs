@@ -187,15 +187,14 @@ fn migration_cost_model_matches_ground_truth_end_to_end() {
         }
         let predicted = jt.profiler().resolve_sticky(jt.gos(), jt.clock());
         let report = jt.migrate_to(NodeId(1), true);
-        // Re-walk the chain: count real faults after the prefetched migration.
-        let faults_after = chain_run
-            .iter()
-            .map(|&o| {
-                let gos = jt.gos();
-                let (_, out) = gos.read(jt.node(), o, jt.clock(), |_| {});
-                usize::from(out.real_fault)
-            })
-            .sum::<usize>();
+        // Re-walk the chain: count the objects that would really fault after the
+        // prefetched migration (each chain object is touched exactly once).
+        let faults_after = jessy::runtime::migration::count_would_fault(
+            jt.gos(),
+            jt.space(),
+            jt.node(),
+            chain_run.iter().copied(),
+        );
         *obs.lock() = (predicted.selected.len().min(report.prefetched_objects), faults_after);
     });
     let (prefetched, faults_after) = *observed.lock();

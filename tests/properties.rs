@@ -722,6 +722,7 @@ proptest! {
             faults: None,
         });
         let clock = ClockBoard::new(1).handle(ThreadId(0));
+        let mut space = jessy::gos::ThreadSpace::new(ThreadId(0));
         // 64-byte class at 8X → gap 8 → prime 7: objects 0 and 7 sampled.
         let shared = ProfilerShared::new(ProfilerConfig::tracking_at(
             jessy::core::SamplingRate::NX(8),
@@ -745,20 +746,20 @@ proptest! {
                     // Read or write the chosen object.
                     let id = objs[*idx].id;
                     let out = if *op == 0 {
-                        gos.read(NodeId(0), id, &clock, |_| {}).1
+                        gos.read(&mut space, NodeId(0), id, &clock, |_| {}).1
                     } else {
-                        gos.write(NodeId(0), id, &clock, |d| d[0] += 1.0).1
+                        gos.write(&mut space, NodeId(0), id, &clock, |d| d[0] += 1.0).1
                     };
-                    prof.on_access(&gos, &out, &clock);
+                    prof.on_access(&gos, &mut space, &out, &clock);
                 }
                 _ => {
                     // Sync point: close + flush + open.
                     if let Some(oal) = prof.close_interval() {
                         oals.push(oal);
                     }
-                    gos.flush_thread(NodeId(0), &clock);
-                    gos.apply_notices(NodeId(0), &clock);
-                    prof.open_interval(&gos);
+                    gos.flush_thread(&mut space, NodeId(0), &clock);
+                    gos.apply_notices(&mut space, NodeId(0), &clock);
+                    prof.open_interval(&mut space);
                 }
             }
         }

@@ -66,7 +66,7 @@ pub mod thread {
 
         #[test]
         fn scoped_threads_borrow_and_join_in_order() {
-            let data = vec![1u64, 2, 3, 4];
+            let data = [1u64, 2, 3, 4];
             let sums = scope(|s| {
                 let handles: Vec<_> = data
                     .chunks(2)

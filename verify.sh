@@ -18,6 +18,9 @@ cargo clippy --workspace -- -D warnings
 echo "==> tcm_reduce smoke (exactness + throughput sanity)"
 JESSY_SCALE=small cargo bench -p jessy-bench --bench tcm_reduce
 
+echo "==> access_path smoke (arena vs seed layout, payload identity)"
+JESSY_SCALE=small cargo bench -p jessy-bench --bench access_path
+
 echo "==> recovery smoke (checkpoint/replay bit-identity under a master crash)"
 JESSY_SCALE=small cargo bench -p jessy-bench --bench recovery
 
