@@ -27,12 +27,14 @@
 //! three interleaved repetitions (noise control).
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 use jessy_bench::TextTable;
 use jessy_gos::heap::reference::ReferenceGos;
 use jessy_gos::{CostModel, Gos, GosConfig, ObjectId, ThreadSpace};
 use jessy_net::{ClockBoard, LatencyModel, NodeId, ThreadId};
+use jessy_obs::{NullSink, TraceSink};
 use serde::Serialize;
 
 /// Deterministic splitmix64 (no rand dependency in benches).
@@ -61,6 +63,21 @@ struct Report {
     mode: &'static str,
     results: Vec<CellReport>,
     acceptance: Acceptance,
+    trace_overhead: TraceOverhead,
+}
+
+/// Observability-tax measurement: the same unarmed cache-hit sweep on an engine
+/// with no trace sink vs one with a [`NullSink`] installed.
+#[derive(Serialize)]
+struct TraceOverhead {
+    objects: usize,
+    passes: usize,
+    off_ns: u64,
+    null_sink_ns: u64,
+    /// `null_sink_ns / off_ns - 1` (negative means within noise).
+    overhead_frac: f64,
+    required_max: f64,
+    pass: bool,
 }
 
 #[derive(Serialize)]
@@ -117,9 +134,10 @@ struct Engines {
 
 /// Build both engines with identical populations: `m` objects homed at the
 /// accessing node 0 and `m` homed at node 1, the latter pre-faulted into
-/// thread 0's cache so their steady state is VALID.
-fn build(m: usize) -> Engines {
-    let gos = Gos::new(GosConfig {
+/// thread 0's cache so their steady state is VALID. `sink` optionally installs
+/// a trace sink on the arena engine (the tracing-overhead lane).
+fn build(m: usize, sink: Option<Arc<dyn TraceSink>>) -> Engines {
+    let mut gos = Gos::new(GosConfig {
         n_nodes: 2,
         n_threads: 1,
         latency: LatencyModel::free(),
@@ -128,6 +146,9 @@ fn build(m: usize) -> Engines {
         consistency: jessy_gos::protocol::ConsistencyModel::GlobalHlrc,
         faults: None,
     });
+    if let Some(sink) = sink {
+        gos.set_trace_sink(sink);
+    }
     let seed = ReferenceGos::new(2, 1);
     let clock_board = ClockBoard::new(1);
     let clock = clock_board.handle(ThreadId(0));
@@ -177,7 +198,7 @@ fn measure(scenario: &'static str, m: usize, passes: usize) -> Cell {
         clock_board,
         home,
         cached,
-    } = build(m);
+    } = build(m, None);
     let clock = clock_board.handle(ThreadId(0));
     let objs: &[ObjectId] = match scenario {
         "home_hit" | "armed_trap" => &home,
@@ -243,6 +264,49 @@ fn measure(scenario: &'static str, m: usize, passes: usize) -> Cell {
     }
 }
 
+/// The observability acceptance lane: time the unarmed cache-hit sweep on an
+/// engine with no trace sink against an identical engine with a [`NullSink`]
+/// installed. The hit lane has no emission site, so the only possible cost is
+/// the sink presence itself; the gate requires it stays ≤ `required_max`.
+fn measure_trace_overhead(m: usize, passes: usize) -> TraceOverhead {
+    let mut off = build(m, None);
+    let mut on = build(m, Some(Arc::new(NullSink)));
+    let order = shuffled(m);
+    let sweep = |e: &mut Engines, timed: bool| -> u128 {
+        let clock = e.clock_board.handle(ThreadId(0));
+        let mut sum = 0.0f64;
+        let t0 = Instant::now();
+        for _ in 0..if timed { passes } else { 1 } {
+            for &i in &order {
+                let (v, _) = e.gos.read(&mut e.space, NodeId(0), e.cached[i], &clock, |d| d[0]);
+                sum += v;
+            }
+        }
+        black_box(sum);
+        t0.elapsed().as_nanos()
+    };
+    // Warmup each, then interleaved repetitions keeping the min (same noise
+    // control as the main cells; five reps because a ≤2% gate is tighter than
+    // the ≥3x speedup bar).
+    sweep(&mut off, false);
+    sweep(&mut on, false);
+    let (mut off_ns, mut null_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..5 {
+        off_ns = off_ns.min(sweep(&mut off, true));
+        null_ns = null_ns.min(sweep(&mut on, true));
+    }
+    let overhead_frac = null_ns as f64 / off_ns.max(1) as f64 - 1.0;
+    TraceOverhead {
+        objects: m,
+        passes,
+        off_ns: off_ns as u64,
+        null_sink_ns: null_ns as u64,
+        overhead_frac,
+        required_max: 0.02,
+        pass: overhead_frac <= 0.02,
+    }
+}
+
 fn main() {
     let smoke = matches!(
         std::env::var("JESSY_SCALE").as_deref(),
@@ -287,6 +351,20 @@ fn main() {
     println!("speedup = seed ns/access / arena ns/access at steady state (warmup pass");
     println!("excluded). armed_trap times the profiler rhythm: arm + fire, once per pass.");
 
+    // Observability tax: the unarmed cache-hit lane with a NullSink installed
+    // must stay within 2% of the sink-free engine.
+    let (ov_m, ov_passes) = *sizes.first().unwrap();
+    let overhead = measure_trace_overhead(ov_m, ov_passes);
+    println!(
+        "\ntracing-off overhead (cache_hit, M={}): no-sink {:.1} ns/acc, NullSink {:.1} ns/acc \
+         ({:+.2}% — gate ≤ {:.0}% in full mode)",
+        overhead.objects,
+        overhead.off_ns as f64 / (ov_m * ov_passes) as f64,
+        overhead.null_sink_ns as f64 / (ov_m * ov_passes) as f64,
+        overhead.overhead_frac * 100.0,
+        overhead.required_max * 100.0,
+    );
+
     if smoke {
         println!("\nsmoke mode: skipping BENCH_access_path.json (checked-in file is the full run)");
         return;
@@ -323,6 +401,7 @@ fn main() {
             measured_speedup: unarmed_min,
             pass: unarmed_min >= 3.0,
         },
+        trace_overhead: overhead,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_access_path.json");
     std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
@@ -331,5 +410,10 @@ fn main() {
     assert!(
         unarmed_min >= 3.0,
         "acceptance: ≥3x accesses/sec over the seed layout on the unarmed path at M={accept_m} (measured {unarmed_min:.2}x)"
+    );
+    assert!(
+        doc.trace_overhead.pass,
+        "acceptance: tracing-off overhead ≤2% on the unarmed cache-hit lane (measured {:+.2}%)",
+        doc.trace_overhead.overhead_frac * 100.0
     );
 }

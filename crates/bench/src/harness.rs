@@ -62,6 +62,10 @@ pub fn water_cfg(scale: Scale) -> WaterConfig {
 }
 
 /// Run one workload at `scale` on a realistic cluster (Fast Ethernet, 2 GHz P4 costs).
+///
+/// When the `JESSY_TRACE` environment variable names a file, the run records a
+/// deterministic event journal and exports it there after the run: Chrome
+/// `trace_event` JSON for a `.json` path, JSON lines otherwise.
 pub fn run_tracked(
     kind: WorkloadKind,
     scale: Scale,
@@ -69,14 +73,19 @@ pub fn run_tracked(
     threads: usize,
     profiler: ProfilerConfig,
 ) -> RunReport {
-    let mut cluster = Cluster::builder()
+    let trace_path = std::env::var("JESSY_TRACE").ok().filter(|p| !p.is_empty());
+    let sink = trace_path.as_ref().map(|_| jessy_obs::JournalSink::shared());
+    let mut builder = Cluster::builder()
         .nodes(nodes)
         .threads(threads)
         .latency(LatencyModel::fast_ethernet())
         .costs(CostModel::pentium4_2ghz())
-        .profiler(profiler)
-        .build();
-    match kind {
+        .profiler(profiler);
+    if let Some(sink) = &sink {
+        builder = builder.trace(sink.clone());
+    }
+    let mut cluster = builder.build();
+    let report = match kind {
         WorkloadKind::Sor => jessy_workloads::sor::run_on(&mut cluster, sor_cfg(scale)),
         WorkloadKind::BarnesHut => {
             jessy_workloads::barnes_hut::run_on(&mut cluster, bh_cfg(scale))
@@ -91,7 +100,20 @@ pub fn run_tracked(
             };
             jessy_workloads::lu::run_on(&mut cluster, cfg)
         }
+    };
+    if let (Some(path), Some(sink)) = (trace_path, sink) {
+        let events = sink.sorted_events();
+        let body = if path.ends_with(".json") {
+            jessy_obs::to_chrome_trace(&events)
+        } else {
+            jessy_obs::to_json_lines(&events)
+        };
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("JESSY_TRACE: wrote {} events to {path}", events.len()),
+            Err(e) => eprintln!("JESSY_TRACE: cannot write {path}: {e}"),
+        }
     }
+    report
 }
 
 /// Like [`run_tracked`] but also returning the recovered TCM (requires tracking on).

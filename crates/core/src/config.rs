@@ -1,8 +1,38 @@
 //! Profiler configuration.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::sampling::SamplingRate;
+
+/// A [`ProfilerConfig`] field holds a value outside its documented domain.
+///
+/// Mirrors the `FaultPlan::validate()` pattern: the error names the offending
+/// field, echoes the rejected value and states the requirement, so a bad config
+/// is diagnosable from the message alone. Values are carried as strings to keep
+/// the error `Eq` (f64 isn't).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending `ProfilerConfig` field.
+    pub field: &'static str,
+    /// The rejected value, rendered.
+    pub value: String,
+    /// What the field requires.
+    pub requirement: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProfilerConfig.{} = {} is invalid: {}",
+            self.field, self.value, self.requirement
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the stack-sampling subsystem (Section III.B).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,6 +186,78 @@ impl ProfilerConfig {
             ..Self::disabled()
         }
     }
+
+    /// Check every field against its documented domain, naming the first
+    /// offender. Called by the cluster builder (`try_build`) so an invalid
+    /// user-supplied config is a typed error at build time — not an `assert!`
+    /// panic mid-run when sticky-set resolution first dereferences
+    /// `tolerance_t`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |field: &'static str, value: String, requirement: &'static str| {
+            Err(ConfigError {
+                field,
+                value,
+                requirement,
+            })
+        };
+        if !self.tolerance_t.is_finite() || self.tolerance_t <= 1.0 {
+            return err(
+                "tolerance_t",
+                format!("{}", self.tolerance_t),
+                "the landmark tolerance t must be a finite number exceeding 1",
+            );
+        }
+        if self.page_size == 0 {
+            return err("page_size", self.page_size.to_string(), "must be nonzero");
+        }
+        if self.intervals_per_round == 0 {
+            return err(
+                "intervals_per_round",
+                self.intervals_per_round.to_string(),
+                "a TCM round must span at least one interval",
+            );
+        }
+        if let Some(t) = self.adaptive_threshold {
+            if !t.is_finite() || t <= 0.0 {
+                return err(
+                    "adaptive_threshold",
+                    format!("{t}"),
+                    "the convergence threshold must be a finite number exceeding 0",
+                );
+            }
+        }
+        if !(0.0..=1.0).contains(&self.min_round_coverage) {
+            return err(
+                "min_round_coverage",
+                format!("{}", self.min_round_coverage),
+                "must be a fraction in [0, 1]",
+            );
+        }
+        if let Some(d) = self.tcm_decay {
+            if d.is_nan() || d <= 0.0 || d > 1.0 {
+                return err(
+                    "tcm_decay",
+                    format!("{d}"),
+                    "the per-round decay factor must lie in (0, 1]",
+                );
+            }
+        }
+        if self.tcm_shards == 0 {
+            return err(
+                "tcm_shards",
+                self.tcm_shards.to_string(),
+                "the reducer needs at least one shard",
+            );
+        }
+        if self.checkpoint_every_rounds == Some(0) {
+            return err(
+                "checkpoint_every_rounds",
+                "0".to_string(),
+                "a checkpoint cadence of 0 rounds is meaningless; use None to disable",
+            );
+        }
+        Ok(())
+    }
 }
 
 impl Default for ProfilerConfig {
@@ -179,6 +281,77 @@ mod tests {
 
         let truth = ProfilerConfig::ground_truth();
         assert!(truth.full_trace && truth.track_correlation);
+    }
+
+    #[test]
+    fn presets_all_validate() {
+        ProfilerConfig::disabled().validate().unwrap();
+        ProfilerConfig::default().validate().unwrap();
+        ProfilerConfig::ground_truth().validate().unwrap();
+        ProfilerConfig::tracking_at(SamplingRate::NX(16)).validate().unwrap();
+    }
+
+    #[test]
+    fn validation_names_the_offending_field_and_value() {
+        let bad = ProfilerConfig {
+            tolerance_t: 0.5,
+            ..ProfilerConfig::default()
+        };
+        let e = bad.validate().unwrap_err();
+        assert_eq!(e.field, "tolerance_t");
+        let msg = e.to_string();
+        assert!(msg.contains("tolerance_t"), "field named: {msg}");
+        assert!(msg.contains("0.5"), "value echoed: {msg}");
+        assert!(msg.contains("exceeding 1"), "requirement stated: {msg}");
+    }
+
+    #[test]
+    fn tolerance_exactly_one_nan_and_infinity_are_rejected() {
+        for t in [1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0] {
+            let bad = ProfilerConfig {
+                tolerance_t: t,
+                ..ProfilerConfig::default()
+            };
+            assert!(bad.validate().is_err(), "tolerance_t = {t} must be rejected");
+        }
+    }
+
+    #[test]
+    fn every_domain_check_fires() {
+        let base = ProfilerConfig::default();
+        let cases: Vec<(ProfilerConfig, &str)> = vec![
+            (ProfilerConfig { page_size: 0, ..base }, "page_size"),
+            (
+                ProfilerConfig { intervals_per_round: 0, ..base },
+                "intervals_per_round",
+            ),
+            (
+                ProfilerConfig { adaptive_threshold: Some(0.0), ..base },
+                "adaptive_threshold",
+            ),
+            (
+                ProfilerConfig { adaptive_threshold: Some(f64::NAN), ..base },
+                "adaptive_threshold",
+            ),
+            (
+                ProfilerConfig { min_round_coverage: 1.5, ..base },
+                "min_round_coverage",
+            ),
+            (
+                ProfilerConfig { min_round_coverage: f64::NAN, ..base },
+                "min_round_coverage",
+            ),
+            (ProfilerConfig { tcm_decay: Some(0.0), ..base }, "tcm_decay"),
+            (ProfilerConfig { tcm_decay: Some(1.5), ..base }, "tcm_decay"),
+            (ProfilerConfig { tcm_shards: 0, ..base }, "tcm_shards"),
+            (
+                ProfilerConfig { checkpoint_every_rounds: Some(0), ..base },
+                "checkpoint_every_rounds",
+            ),
+        ];
+        for (cfg, field) in cases {
+            assert_eq!(cfg.validate().unwrap_err().field, field);
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod tcm;
 
 pub use accuracy::{accuracy_abs, accuracy_euc, e_abs, e_abs_sparse, e_euc};
 pub use adaptive::{AdaptiveController, ControllerCheckpoint, RateChange, RoundOutcome};
-pub use config::{FootprintConfig, FootprintMode, ProfilerConfig, StackSamplingConfig};
+pub use config::{ConfigError, FootprintConfig, FootprintMode, ProfilerConfig, StackSamplingConfig};
 pub use distributed::{ShardedTcmReducer, SplitScratch};
 pub use homeaware::{HomeAwareAnalyzer, HomeAwareReport, HomeMigrationRec};
 pub use oal::{Oal, OalEntry, OalRef};

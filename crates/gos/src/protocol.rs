@@ -35,6 +35,7 @@
 //! passed alongside); the node it currently runs on is passed explicitly because
 //! thread migration changes it.
 
+use jessy_obs::{EventKind, TraceSink};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -235,6 +236,10 @@ pub struct Gos {
     locks: LockTable,
     barrier: SimBarrier,
     counters: Counters,
+    /// Journal for protocol slow-path events (faults, traps, home migrations,
+    /// notice application). `None` emits nothing; the access-check *hit* lane has
+    /// no emission site at all, so tracing cannot slow it down.
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Gos {
@@ -265,8 +270,16 @@ impl Gos {
             locks: LockTable::new(),
             barrier: SimBarrier::new(),
             counters: Counters::default(),
+            sink: None,
             config,
         })
+    }
+
+    /// Install an event journal for protocol slow-path events, and share it with
+    /// the fabric so message-level events land in the same journal.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.fabric.set_trace_sink(Arc::clone(&sink));
+        self.sink = Some(sink);
     }
 
     /// The configuration in force.
@@ -526,6 +539,17 @@ impl Gos {
             clock.spend(costs.fault_service_ns);
             self.counters.false_invalid_faults.fetch_add(1, Ordering::Relaxed);
             space.disarm(obj);
+            if let Some(sink) = &self.sink {
+                sink.emit(
+                    clock.now(),
+                    clock.thread().0,
+                    EventKind::FalseInvalidTrap {
+                        obj: obj.0,
+                        class: core.class.0 as u32,
+                        node: node.0,
+                    },
+                );
+            }
         }
 
         if st == ST_INVALID {
@@ -548,6 +572,19 @@ impl Gos {
                 space.install_copy(obj, d, version);
             });
             outcome.fetched_bytes = bytes;
+            if let Some(sink) = &self.sink {
+                sink.emit(
+                    clock.now(),
+                    clock.thread().0,
+                    EventKind::ObjectFault {
+                        obj: obj.0,
+                        class: core.class.0 as u32,
+                        home: core.home().0,
+                        node: node.0,
+                        bytes: bytes as u64,
+                    },
+                );
+            }
             if self.config.prefetch_depth > 0 {
                 // Connectivity prefetch: same-home objects within `prefetch_depth`
                 // reference hops ride along on the reply.
@@ -727,6 +764,16 @@ impl Gos {
         self.counters
             .notices_applied
             .fetch_add(count as u64, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink.emit(
+                clock.now(),
+                clock.thread().0,
+                EventKind::NoticesApplied {
+                    thread: space.thread().0,
+                    count: count as u64,
+                },
+            );
+        }
         let mut follow_up = Vec::new();
         for notice in new {
             let obj = notice.obj;
@@ -905,6 +952,17 @@ impl Gos {
         let v = core.bump_version();
         self.notices.post([WriteNotice { obj, version: v }]);
         self.counters.home_migrations.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink.emit(
+                clock.now(),
+                clock.thread().0,
+                EventKind::HomeMigration {
+                    obj: obj.0,
+                    from: old.0,
+                    to: dest.0,
+                },
+            );
+        }
         true
     }
 

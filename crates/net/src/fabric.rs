@@ -22,12 +22,13 @@
 
 use std::sync::Arc;
 
+use jessy_obs::{EventKind, TraceSink};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::clock::{ClockHandle, SimNanos};
 use crate::error::NetError;
-use crate::fault::{FaultInjector, FaultPlan};
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan};
 use crate::ids::NodeId;
 use crate::latency::LatencyModel;
 use crate::message::MsgClass;
@@ -49,12 +50,25 @@ struct FabricLedger {
 }
 
 /// The simulated cluster interconnect: pure accounting plus a latency model.
-#[derive(Debug)]
 pub struct Fabric {
     n_nodes: usize,
     latency: LatencyModel,
     ledger: Mutex<FabricLedger>,
     injector: Option<Arc<FaultInjector>>,
+    /// Journal for send/drop/duplicate/delay events; `None` (the default) emits
+    /// nothing and costs one never-taken branch on the send paths.
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("n_nodes", &self.n_nodes)
+            .field("latency", &self.latency)
+            .field("faulty", &self.injector.is_some())
+            .field("traced", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Fabric {
@@ -71,6 +85,7 @@ impl Fabric {
                 links: vec![LinkStats::default(); n_nodes * n_nodes],
             }),
             injector: None,
+            sink: None,
         })
     }
 
@@ -100,6 +115,70 @@ impl Fabric {
     /// [`crate::Mailbox::sender_with_faults`] so mailbox traffic obeys the same plan.
     pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
         self.injector.as_ref()
+    }
+
+    /// Install an event journal. Sends (and injected drops/duplicates/delays)
+    /// are emitted stamped with the sending thread's simulated clock.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Journal the outcome of one accounted transmission (no-op without a sink).
+    fn trace_send(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: MsgClass,
+        total_bytes: usize,
+        decision: FaultDecision,
+        clock: &ClockHandle,
+    ) {
+        let Some(sink) = &self.sink else { return };
+        let (t, src) = (clock.now(), clock.thread().0);
+        sink.emit(
+            t,
+            src,
+            EventKind::MessageSent {
+                from: from.0,
+                to: to.0,
+                class: class.label().to_string(),
+                bytes: total_bytes as u64,
+            },
+        );
+        if decision.dropped {
+            sink.emit(
+                t,
+                src,
+                EventKind::MessageDropped {
+                    from: from.0,
+                    to: to.0,
+                    class: class.label().to_string(),
+                },
+            );
+        }
+        if decision.duplicated {
+            sink.emit(
+                t,
+                src,
+                EventKind::MessageDuplicated {
+                    from: from.0,
+                    to: to.0,
+                    class: class.label().to_string(),
+                },
+            );
+        }
+        if decision.extra_delay_ns > 0 {
+            sink.emit(
+                t,
+                src,
+                EventKind::MessageDelayed {
+                    from: from.0,
+                    to: to.0,
+                    class: class.label().to_string(),
+                    extra_ns: decision.extra_delay_ns,
+                },
+            );
+        }
     }
 
     fn account(&self, from: NodeId, to: NodeId, class: MsgClass, total_bytes: u64) {
@@ -133,6 +212,7 @@ impl Fabric {
         let total = payload_bytes + class.header_bytes();
         self.account(from, to, class, total as u64);
         let mut cost = self.latency.one_way_ns(total);
+        let mut decision = FaultDecision::CLEAN;
         if let Some(inj) = &self.injector {
             let d = inj.decide(from, to, class);
             if d.duplicated {
@@ -140,8 +220,10 @@ impl Fabric {
                 cost += self.latency.one_way_ns(total);
             }
             cost += d.extra_delay_ns;
+            decision = d;
         }
         clock.spend(cost);
+        self.trace_send(from, to, class, total, decision, clock);
         cost
     }
 
@@ -174,6 +256,7 @@ impl Fabric {
         self.account(from, to, req_class, req_total as u64);
         self.account(to, from, resp_class, resp_total as u64);
         let mut cost = self.latency.round_trip_ns(req_total, resp_total);
+        let mut decision = FaultDecision::CLEAN;
         if let Some(inj) = &self.injector {
             let d = inj.decide_sync(from, to, req_class);
             if d.dropped {
@@ -185,8 +268,10 @@ impl Fabric {
                 self.account(from, to, req_class, req_total as u64);
             }
             cost += d.extra_delay_ns;
+            decision = d;
         }
         clock.spend(cost);
+        self.trace_send(from, to, req_class, req_total + resp_total, decision, clock);
         cost
     }
 

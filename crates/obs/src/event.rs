@@ -1,0 +1,265 @@
+//! The structured event vocabulary of the journal.
+//!
+//! Events carry plain integers (`u16` node ids, `u32` thread/object/class ids)
+//! and strings so the crate sits below every other substrate. Variant names are
+//! the wire vocabulary: they become the JSON-lines `kind` key and the Chrome
+//! `trace_event` name, so renaming one is a format change.
+
+use serde::{Deserialize, Serialize};
+
+/// One journal entry: *what* happened ([`EventKind`]) plus the canonical-order
+/// key *(t_ns, source, seq)* described in the crate docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated nanoseconds on the emitting thread's clock.
+    pub t_ns: u64,
+    /// Stable emitter id: application threads `0..n_threads`, master `n_threads`.
+    pub source: u32,
+    /// Per-source sequence number assigned by the sink (program order).
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// The canonical total-order key (see the determinism argument in the crate
+    /// docs): simulated time, then source id, then the source's program order.
+    #[inline]
+    pub fn order_key(&self) -> (u64, u32, u64) {
+        (self.t_ns, self.source, self.seq)
+    }
+}
+
+/// Everything the runtime journals, spanning all four layers.
+///
+/// Net events are emitted by the fabric, GOS events by the protocol engine's
+/// slow paths (never the hit lane), profiler events at interval boundaries, and
+/// runtime events by the worker threads and the master daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    // ---------------------------------------------------------------- net
+    /// A message was accounted on the fabric (after fault filtering).
+    MessageSent {
+        /// Sending node.
+        from: u16,
+        /// Receiving node.
+        to: u16,
+        /// Message class name (`MsgClass` Display form).
+        class: String,
+        /// Wire bytes including the class header.
+        bytes: u64,
+    },
+    /// The fault injector dropped a message.
+    MessageDropped {
+        /// Sending node.
+        from: u16,
+        /// Receiving node.
+        to: u16,
+        /// Message class name.
+        class: String,
+    },
+    /// The fault injector duplicated a message (both copies accounted).
+    MessageDuplicated {
+        /// Sending node.
+        from: u16,
+        /// Receiving node.
+        to: u16,
+        /// Message class name.
+        class: String,
+    },
+    /// The fault injector stalled/delayed a message beyond model latency.
+    MessageDelayed {
+        /// Sending node.
+        from: u16,
+        /// Receiving node.
+        to: u16,
+        /// Message class name.
+        class: String,
+        /// Extra simulated delay charged, beyond the latency model.
+        extra_ns: u64,
+    },
+    // ---------------------------------------------------------------- gos
+    /// A real object fault (cold miss or invalidated copy refetched from home).
+    ObjectFault {
+        /// Faulting object id.
+        obj: u32,
+        /// Its class id.
+        class: u32,
+        /// Home node serving the fetch.
+        home: u16,
+        /// Node the faulting thread runs on.
+        node: u16,
+        /// Payload bytes fetched.
+        bytes: u64,
+    },
+    /// A profiler-armed false-invalid trap fired (correlation fault).
+    FalseInvalidTrap {
+        /// Trapping object id.
+        obj: u32,
+        /// Its class id.
+        class: u32,
+        /// Node the thread runs on.
+        node: u16,
+    },
+    /// An object's home was relocated.
+    HomeMigration {
+        /// Migrated object id.
+        obj: u32,
+        /// Old home node.
+        from: u16,
+        /// New home node.
+        to: u16,
+    },
+    /// Write notices were applied at an acquire (version-based invalidation).
+    NoticesApplied {
+        /// Applying thread.
+        thread: u32,
+        /// Number of notices processed.
+        count: u64,
+    },
+    // ---------------------------------------------------------------- core
+    /// A thread opened a new profiling interval.
+    IntervalOpened {
+        /// The thread.
+        thread: u32,
+        /// Interval number (per-thread, monotonic).
+        interval: u64,
+    },
+    /// A thread closed a profiling interval and produced an OAL.
+    IntervalClosed {
+        /// The thread.
+        thread: u32,
+        /// Interval number just closed.
+        interval: u64,
+        /// OAL entries recorded during the interval.
+        entries: u64,
+    },
+    /// The adaptive controller changed a class's sampling rate.
+    RateChanged {
+        /// Coordinator round the change applied in.
+        round: u64,
+        /// Class name.
+        class: String,
+        /// New rate label (e.g. `"1/2X"`).
+        new_rate: String,
+        /// The relative TCM distance that justified the change.
+        relative_distance: f64,
+    },
+    /// A class's TCM was declared converged by the controller.
+    ClassConverged {
+        /// Coordinator round.
+        round: u64,
+        /// Class name.
+        class: String,
+    },
+    // ---------------------------------------------------------------- runtime
+    /// The coordinator closed a TCM round.
+    RoundClosed {
+        /// Round number.
+        round: u64,
+        /// OAL batches folded into the round.
+        oals: u64,
+        /// Fraction of expected OALs that arrived.
+        coverage: f64,
+        /// The round was forced closed by the deadline.
+        deadline_hit: bool,
+    },
+    /// The controller skipped rate adaptation for a low-coverage round.
+    RoundSkipped {
+        /// Round number.
+        round: u64,
+        /// Observed coverage.
+        coverage: f64,
+        /// Configured floor it fell below.
+        min_coverage: f64,
+    },
+    /// The coordinator persisted a profiler checkpoint.
+    CheckpointTaken {
+        /// Rounds closed at checkpoint time.
+        round: u64,
+        /// Coordinator epoch.
+        epoch: u64,
+    },
+    /// The coordinator restored from its latest checkpoint after a crash.
+    MasterRestored {
+        /// The new (bumped) epoch.
+        epoch: u64,
+        /// OAL batches replayed from the post-checkpoint log.
+        replayed: u64,
+    },
+    /// A crashed node suppressed an OAL send while down.
+    CrashSuppressed {
+        /// The down node.
+        node: u16,
+        /// The thread whose OAL was suppressed.
+        thread: u32,
+        /// The interval it covered.
+        interval: u64,
+    },
+    /// A restarted node re-entered the cluster via the rejoin handshake.
+    NodeRejoined {
+        /// The rejoining node.
+        node: u16,
+        /// The thread driving the handshake.
+        thread: u32,
+        /// Coordinator epoch adopted on rejoin.
+        epoch: u64,
+    },
+    /// A flapping node was quarantined out of the coverage denominator.
+    NodeQuarantined {
+        /// The quarantined node.
+        node: u16,
+        /// Crash count that tripped the threshold.
+        crashes: u32,
+    },
+    /// A thread migrated between nodes.
+    ThreadMigrated {
+        /// The migrating thread.
+        thread: u32,
+        /// Origin node.
+        from: u16,
+        /// Destination node.
+        to: u16,
+        /// Sticky-set objects prefetched at the destination.
+        prefetched: u64,
+    },
+    /// An OAL could not be posted to the master mailbox and its interval's
+    /// samples are lost to the profile (the degradation path of
+    /// `RunReport::oal_post_failures`).
+    OalPostFailed {
+        /// The thread whose OAL was lost.
+        thread: u32,
+        /// The interval it covered.
+        interval: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable event name (the enum variant name): journal `kind` key and
+    /// Chrome `trace_event` name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MessageSent { .. } => "MessageSent",
+            EventKind::MessageDropped { .. } => "MessageDropped",
+            EventKind::MessageDuplicated { .. } => "MessageDuplicated",
+            EventKind::MessageDelayed { .. } => "MessageDelayed",
+            EventKind::ObjectFault { .. } => "ObjectFault",
+            EventKind::FalseInvalidTrap { .. } => "FalseInvalidTrap",
+            EventKind::HomeMigration { .. } => "HomeMigration",
+            EventKind::NoticesApplied { .. } => "NoticesApplied",
+            EventKind::IntervalOpened { .. } => "IntervalOpened",
+            EventKind::IntervalClosed { .. } => "IntervalClosed",
+            EventKind::RateChanged { .. } => "RateChanged",
+            EventKind::ClassConverged { .. } => "ClassConverged",
+            EventKind::RoundClosed { .. } => "RoundClosed",
+            EventKind::RoundSkipped { .. } => "RoundSkipped",
+            EventKind::CheckpointTaken { .. } => "CheckpointTaken",
+            EventKind::MasterRestored { .. } => "MasterRestored",
+            EventKind::CrashSuppressed { .. } => "CrashSuppressed",
+            EventKind::NodeRejoined { .. } => "NodeRejoined",
+            EventKind::NodeQuarantined { .. } => "NodeQuarantined",
+            EventKind::ThreadMigrated { .. } => "ThreadMigrated",
+            EventKind::OalPostFailed { .. } => "OalPostFailed",
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # jessy-obs — deterministic observability for the simulated DJVM
+//!
+//! The runtime's self-observation layer: a structured event journal keyed by
+//! **simulated time**, a [`TraceSink`] trait with a no-op default so disabled runs
+//! cost nothing on the hot paths, exporters (JSON-lines and Chrome `trace_event`),
+//! and a unified [`MetricsSnapshot`] registry consolidating the workspace's ad-hoc
+//! counter structs behind one snapshot/diff API.
+//!
+//! ## Determinism argument
+//!
+//! Every event is stamped with the emitting thread's simulated clock (`t_ns`) and
+//! the emitter's stable source id (`source` — application threads `0..n`, the
+//! master daemon `n`). The journal assigns each source a private sequence number
+//! under the sink lock, so a source's events carry its own program order. The
+//! canonical journal order is the total order `(t_ns, source, seq)`:
+//!
+//! * within one source, `seq` *is* program order, which is deterministic
+//!   whenever the simulated thread's execution (and its clock) is;
+//! * across sources, simulated time plus the source id break every tie without
+//!   consulting wall-clock arrival order.
+//!
+//! Real OS-thread interleaving only changes the order events *enter* the sink,
+//! never the canonical order they are exported in — so a zero-fault, same-seed
+//! run whose per-thread execution is race-free (sequential runs, read-shared
+//! workloads) produces a bit-identical journal on any host. Workloads subject
+//! to the runtime's one pre-existing scheduling freedom (the LRC
+//! fetch-vs-flush race) journal deterministically up to that race: the journal
+//! reveals it, it does not add nondeterminism of its own.
+//!
+//! Nothing in this crate knows about objects, nodes or profiling types; events
+//! carry plain integers and strings so every other crate can depend on it without
+//! cycles.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{EventKind, TraceEvent};
+pub use export::{to_chrome_trace, to_json_lines};
+pub use metrics::MetricsSnapshot;
+pub use sink::{JournalSink, NullSink, TraceSink};

@@ -1,0 +1,140 @@
+//! The unified metrics registry.
+//!
+//! The workspace grew four ad-hoc counter structs (`NetworkStats`,
+//! `ProtocolCounters`, `ProfilerStatsSnapshot` and the `MasterOutput` scalars).
+//! [`MetricsSnapshot`] flattens them behind one namespaced key space
+//! (`"net.gos_bytes"`, `"proto.real_faults"`, `"profiler.intervals_closed"`,
+//! `"master.rounds"`, …) with a uniform snapshot/diff/merge API, so reports,
+//! benches and tests stop hand-rolling per-struct `since`/`merge` variants.
+//!
+//! Keys live in a `BTreeMap`, so iteration — and therefore serialization — is
+//! always in sorted key order: a snapshot of a deterministic run serializes
+//! bit-identically.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time flattening of every counter the runtime exposes, keyed by
+/// `"<layer>.<counter>"` names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `key` to `value` (inserting or overwriting).
+    pub fn set(&mut self, key: impl Into<String>, value: u64) {
+        self.values.insert(key.into(), value);
+    }
+
+    /// Add `value` onto `key` (inserting at `value` if absent).
+    pub fn add(&mut self, key: impl Into<String>, value: u64) {
+        *self.values.entry(key.into()).or_insert(0) += value;
+    }
+
+    /// The value at `key`, defaulting to 0 for unknown keys.
+    pub fn get(&self, key: &str) -> u64 {
+        self.values.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no key is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(key, value)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Counters accumulated since `earlier`: per-key saturating subtraction over
+    /// the union of both key sets (a key absent from `earlier` counts from 0).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (k, v) in &self.values {
+            out.set(k.clone(), v.saturating_sub(earlier.get(k)));
+        }
+        for k in earlier.values.keys() {
+            if !self.values.contains_key(k) {
+                out.set(k.clone(), 0);
+            }
+        }
+        out
+    }
+
+    /// Fold `other` into `self`, summing shared keys (aggregation across nodes
+    /// or runs).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.values {
+            self.add(k.clone(), *v);
+        }
+    }
+
+    /// Sum of every value under a `"prefix."` namespace (e.g. total of all
+    /// `"net."` counters).
+    pub fn namespace_total(&self, prefix: &str) -> u64 {
+        self.values
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_covers_the_union_of_keys() {
+        let mut a = MetricsSnapshot::new();
+        a.set("net.bytes", 100);
+        a.set("proto.faults", 5);
+        let mut b = MetricsSnapshot::new();
+        b.set("net.bytes", 250);
+        b.set("master.rounds", 3);
+        let d = b.since(&a);
+        assert_eq!(d.get("net.bytes"), 150);
+        assert_eq!(d.get("master.rounds"), 3);
+        assert_eq!(d.get("proto.faults"), 0, "keys that vanished clamp to zero");
+    }
+
+    #[test]
+    fn merge_sums_and_namespace_total_scopes() {
+        let mut a = MetricsSnapshot::new();
+        a.set("net.bytes", 1);
+        a.set("net.msgs", 2);
+        let mut b = MetricsSnapshot::new();
+        b.set("net.bytes", 10);
+        b.set("proto.faults", 7);
+        a.merge(&b);
+        assert_eq!(a.get("net.bytes"), 11);
+        assert_eq!(a.namespace_total("net."), 13);
+        assert_eq!(a.namespace_total("proto."), 7);
+    }
+
+    #[test]
+    fn serialization_is_key_sorted() {
+        let mut a = MetricsSnapshot::new();
+        a.set("z.last", 1);
+        a.set("a.first", 2);
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(
+            json.find("a.first").unwrap() < json.find("z.last").unwrap(),
+            "BTreeMap keys serialize in sorted order: {json}"
+        );
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

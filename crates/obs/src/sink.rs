@@ -1,0 +1,154 @@
+//! Sinks: where emitted events go.
+//!
+//! Instrumentation sites hold an `Option<Arc<dyn TraceSink>>` and emit only when
+//! one is installed, so a disabled run's cost is a never-taken `None` branch on
+//! slow paths and *nothing at all* on the access-check hit lane (which has no
+//! emission site). [`NullSink`] exists for overhead measurement — tracing "on"
+//! with every event discarded; [`JournalSink`] is the real collector.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Receiver of journal events. Implementations must tolerate concurrent `emit`
+/// calls from every simulated thread plus the master daemon.
+pub trait TraceSink: Send + Sync {
+    /// Record one event stamped with the emitter's simulated clock and stable
+    /// source id. The sink assigns any ordering metadata it needs.
+    fn emit(&self, t_ns: u64, source: u32, kind: EventKind);
+}
+
+/// A sink that discards everything (overhead measurement / defaulting).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn emit(&self, _t_ns: u64, _source: u32, _kind: EventKind) {}
+}
+
+#[derive(Default)]
+struct JournalInner {
+    events: Vec<TraceEvent>,
+    /// Next sequence number per source id (program order per emitter).
+    next_seq: HashMap<u32, u64>,
+}
+
+/// The buffering journal: collects events in arrival order, assigns per-source
+/// sequence numbers under its lock, and exports them in the canonical
+/// `(t_ns, source, seq)` total order (see the crate-level determinism argument).
+#[derive(Default)]
+pub struct JournalSink {
+    inner: Mutex<JournalInner>,
+}
+
+impl JournalSink {
+    /// A fresh, empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh journal behind an `Arc`, ready to hand to a cluster builder.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the journal in canonical order (the journal keeps its
+    /// contents).
+    pub fn sorted_events(&self) -> Vec<TraceEvent> {
+        let mut events = self.inner.lock().events.clone();
+        events.sort_by_key(TraceEvent::order_key);
+        events
+    }
+
+    /// Drain the journal, returning its contents in canonical order and
+    /// resetting the per-source sequence counters.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        let mut inner = self.inner.lock();
+        let mut events = std::mem::take(&mut inner.events);
+        inner.next_seq.clear();
+        drop(inner);
+        events.sort_by_key(TraceEvent::order_key);
+        events
+    }
+}
+
+impl TraceSink for JournalSink {
+    fn emit(&self, t_ns: u64, source: u32, kind: EventKind) {
+        let mut inner = self.inner.lock();
+        let seq = {
+            let slot = inner.next_seq.entry(source).or_insert(0);
+            let seq = *slot;
+            *slot += 1;
+            seq
+        };
+        inner.events.push(TraceEvent {
+            t_ns,
+            source,
+            seq,
+            kind,
+        });
+    }
+}
+
+impl std::fmt::Debug for JournalSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalSink")
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_source_sequences_are_independent_and_in_program_order() {
+        let sink = JournalSink::new();
+        sink.emit(10, 0, EventKind::IntervalOpened { thread: 0, interval: 0 });
+        sink.emit(5, 1, EventKind::IntervalOpened { thread: 1, interval: 0 });
+        sink.emit(20, 0, EventKind::IntervalClosed { thread: 0, interval: 0, entries: 3 });
+        let events = sink.sorted_events();
+        assert_eq!(events.len(), 3);
+        // Canonical order: t_ns first, regardless of arrival order.
+        assert_eq!(events[0].order_key(), (5, 1, 0));
+        assert_eq!(events[1].order_key(), (10, 0, 0));
+        assert_eq!(events[2].order_key(), (20, 0, 1));
+    }
+
+    #[test]
+    fn canonical_order_is_arrival_order_independent() {
+        let a = JournalSink::new();
+        let b = JournalSink::new();
+        // Same per-source streams, interleaved differently across sinks.
+        a.emit(7, 0, EventKind::NoticesApplied { thread: 0, count: 1 });
+        a.emit(7, 1, EventKind::NoticesApplied { thread: 1, count: 2 });
+        b.emit(7, 1, EventKind::NoticesApplied { thread: 1, count: 2 });
+        b.emit(7, 0, EventKind::NoticesApplied { thread: 0, count: 1 });
+        assert_eq!(a.sorted_events(), b.sorted_events());
+    }
+
+    #[test]
+    fn take_drains_and_resets_sequences() {
+        let sink = JournalSink::new();
+        sink.emit(1, 3, EventKind::NodeQuarantined { node: 3, crashes: 4 });
+        assert_eq!(sink.take().len(), 1);
+        assert!(sink.is_empty());
+        sink.emit(2, 3, EventKind::NodeQuarantined { node: 3, crashes: 5 });
+        assert_eq!(sink.take()[0].seq, 0, "sequence counters restart after take");
+    }
+}

@@ -231,6 +231,64 @@ mod tests {
     }
 
     #[test]
+    fn leftover_fill_respects_capacity_with_blocked_pairs() {
+        // Regression for the leftover fill pass: 6 threads on 2 nodes (cap = 3).
+        // A heavy 4-clique {0,1,2,3} wants one node; its third and fourth members
+        // get capacity-blocked once a node holds 3, and threads 4, 5 are entirely
+        // uncorrelated. The fill pass must land every thread without ever pushing
+        // a node past ⌈N/K⌉.
+        let mut t = Tcm::new(6);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                t.add_pair(ThreadId(i), ThreadId(j), 50.0);
+            }
+        }
+        let plan = LoadBalancer::new().plan(&t, 2);
+        assert_eq!(plan.placement.len(), 6);
+        for node in 0..2u16 {
+            let load = plan.placement.iter().filter(|n| n.0 == node).count();
+            assert_eq!(load, 3, "cap = ceil(6/2) must hold on node {node}");
+        }
+    }
+
+    #[test]
+    fn plan_is_invariant_to_pair_insertion_order() {
+        // All-equal correlations maximize sort ties: the plan must come out of the
+        // (value, indices) tie-break identically however the pairs were added.
+        let pairs: Vec<(u32, u32)> =
+            (0..5u32).flat_map(|i| ((i + 1)..5).map(move |j| (i, j))).collect();
+        let orders: Vec<Vec<(u32, u32)>> = vec![
+            pairs.clone(),
+            pairs.iter().rev().copied().collect(),
+            {
+                // Deterministic interleave: evens then odds.
+                let mut v: Vec<(u32, u32)> = pairs.iter().step_by(2).copied().collect();
+                v.extend(pairs.iter().skip(1).step_by(2));
+                v
+            },
+        ];
+        let plans: Vec<PlacementPlan> = orders
+            .into_iter()
+            .map(|order| {
+                let mut t = Tcm::new(5);
+                for (i, j) in order {
+                    t.add_pair(ThreadId(i), ThreadId(j), 7.0);
+                }
+                LoadBalancer::new().plan(&t, 2)
+            })
+            .collect();
+        assert_eq!(plans[0], plans[1], "reversed insertion changed the plan");
+        assert_eq!(plans[0], plans[2], "interleaved insertion changed the plan");
+        let cap = 5usize.div_ceil(2);
+        for node in 0..2u16 {
+            assert!(
+                plans[0].placement.iter().filter(|n| n.0 == node).count() <= cap,
+                "capacity exceeded"
+            );
+        }
+    }
+
+    #[test]
     fn empty_tcm_plans_anything_balanced() {
         let plan = LoadBalancer::new().plan(&Tcm::new(6), 3);
         for node in 0..3u16 {

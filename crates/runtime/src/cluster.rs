@@ -38,6 +38,7 @@ use parking_lot::RwLock;
 use jessy_core::{ProfilerConfig, ProfilerShared, ThreadProfiler};
 use jessy_gos::protocol::ConsistencyModel;
 use jessy_gos::{ClassId, CostModel, Gos, GosConfig, LockId, ObjectCore, ObjectId, ThreadSpace};
+use jessy_obs::{EventKind, TraceSink};
 use jessy_net::mailbox::MailboxSender;
 use jessy_net::{
     ClockBoard, ClockHandle, FaultPlan, LatencyModel, Mailbox, MsgClass, NodeId, ThreadId,
@@ -92,6 +93,14 @@ pub struct ClusterShared {
     /// OAL posts that failed because the master's mailbox was gone (threads keep
     /// running — losing profiling data must never stop the application).
     pub oal_post_failures: AtomicU64,
+    /// The `(thread, interval)` pairs whose OALs were lost to failed posts — the
+    /// data behind [`crate::RunReport::lost_oals`], so the loss reaches coverage
+    /// accounting instead of dying as a bare counter.
+    pub lost_oals: parking_lot::Mutex<Vec<(u32, u64)>>,
+    /// The observability journal, if tracing is enabled. Runtime-layer events
+    /// funnel through [`ClusterShared::emit_event`]; the GOS and fabric hold
+    /// their own clones installed at build time.
+    pub trace: Option<Arc<dyn TraceSink>>,
     /// The master's current recovery epoch, bumped on every restore and read by
     /// worker threads when stamping outgoing OAL batches.
     pub master_epoch: AtomicU64,
@@ -103,6 +112,14 @@ impl ClusterShared {
     /// The master/init clock handle.
     pub fn master_clock(&self) -> ClockHandle {
         self.board.handle(ThreadId(self.n_threads as u32))
+    }
+
+    /// Emit a journal event stamped with `clock`'s current simulated time and
+    /// thread index. A single never-taken branch when tracing is off.
+    pub fn emit_event(&self, clock: &ClockHandle, kind: EventKind) {
+        if let Some(sink) = &self.trace {
+            sink.emit(clock.now(), clock.thread().0, kind);
+        }
     }
 
     /// Current node of a thread.
@@ -124,7 +141,7 @@ impl ClusterShared {
 }
 
 /// Builder for a [`Cluster`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClusterBuilder {
     n_nodes: usize,
     n_threads: usize,
@@ -136,6 +153,25 @@ pub struct ClusterBuilder {
     prefetch_depth: u32,
     consistency: ConsistencyModel,
     faults: Option<FaultPlan>,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("n_nodes", &self.n_nodes)
+            .field("n_threads", &self.n_threads)
+            .field("latency", &self.latency)
+            .field("costs", &self.costs)
+            .field("profiler", &self.profiler)
+            .field("placement", &self.placement)
+            .field("rebalance", &self.rebalance)
+            .field("prefetch_depth", &self.prefetch_depth)
+            .field("consistency", &self.consistency)
+            .field("faults", &self.faults)
+            .field("traced", &self.trace.is_some())
+            .finish()
+    }
 }
 
 impl Default for ClusterBuilder {
@@ -151,6 +187,7 @@ impl Default for ClusterBuilder {
             prefetch_depth: 0,
             consistency: ConsistencyModel::GlobalHlrc,
             faults: None,
+            trace: None,
         }
     }
 }
@@ -234,6 +271,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attach an observability sink: every layer (fabric, GOS, profiler rounds,
+    /// master daemon) journals its structured events there, stamped with simulated
+    /// time. Pass a [`jessy_obs::JournalSink`] and keep a clone to export the
+    /// journal after the run. When unset (the default), no emission site is ever
+    /// reached and the hot paths cost exactly what they did before.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Build the cluster.
     ///
     /// # Panics
@@ -271,13 +318,15 @@ impl ClusterBuilder {
             )));
         }
 
-        // Validate the fault plan up front so a malformed window is reported with
-        // the offending node/field/value instead of surfacing as a mid-run anomaly.
+        // Validate the fault plan and profiler config up front so a malformed
+        // field is reported with the offending name/value instead of surfacing as
+        // a mid-run anomaly (or a panic deep inside sticky-set resolution).
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
+        self.profiler.validate()?;
 
-        let gos = Gos::try_new(GosConfig {
+        let mut gos = Gos::try_new(GosConfig {
             n_nodes: self.n_nodes,
             n_threads: self.n_threads,
             latency: self.latency,
@@ -286,6 +335,9 @@ impl ClusterBuilder {
             consistency: self.consistency,
             faults: self.faults,
         })?;
+        if let Some(sink) = &self.trace {
+            gos.set_trace_sink(Arc::clone(sink));
+        }
         let board = ClockBoard::new(self.n_threads + 1);
         let mailbox = Mailbox::new(NodeId::MASTER);
         // With faults on, OAL delivery goes through a lossy sender sharing the
@@ -313,6 +365,8 @@ impl ClusterBuilder {
             footprints: RwLock::new(vec![0.0; self.n_threads]),
             done: AtomicBool::new(false),
             oal_post_failures: AtomicU64::new(0),
+            lost_oals: parking_lot::Mutex::new(Vec::new()),
+            trace: self.trace,
             master_epoch: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
         });

@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use jessy_core::ConfigError;
 use jessy_net::NetError;
 
 /// Everything that can go wrong building or running a [`crate::Cluster`].
@@ -14,6 +15,8 @@ use jessy_net::NetError;
 pub enum RuntimeError {
     /// A network-layer error (empty fabric, invalid fault plan, …).
     Net(NetError),
+    /// A profiler configuration field is outside its documented domain.
+    Config(ConfigError),
     /// The cluster was configured with zero nodes or zero threads.
     InvalidTopology {
         /// Configured node count.
@@ -37,6 +40,7 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Net(e) => write!(f, "network error: {e}"),
+            RuntimeError::Config(e) => write!(f, "invalid profiler config: {e}"),
             RuntimeError::InvalidTopology { n_nodes, n_threads } => write!(
                 f,
                 "cluster needs at least one node and one thread (got {n_nodes} nodes, {n_threads} threads)"
@@ -56,6 +60,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Net(e) => Some(e),
+            RuntimeError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +69,12 @@ impl std::error::Error for RuntimeError {
 impl From<NetError> for RuntimeError {
     fn from(e: NetError) -> Self {
         RuntimeError::Net(e)
+    }
+}
+
+impl From<ConfigError> for RuntimeError {
+    fn from(e: ConfigError) -> Self {
+        RuntimeError::Config(e)
     }
 }
 

@@ -34,9 +34,9 @@ pub use cluster::{Cluster, ClusterBuilder, InitCtx};
 pub use dynamic::{PlannedMigration, RebalanceConfig};
 pub use error::RuntimeError;
 pub use master::{
-    AppliedRateChange, ClosedRound, EpochOal, Ingest, MasterOutput, ProfilerCheckpoint,
-    RoundScheduler, SchedulerCheckpoint, SkippedRateChange,
+    AppliedRateChange, ClassRoundState, ClosedRound, EpochOal, Ingest, MasterOutput,
+    ProfilerCheckpoint, RoundScheduler, RoundTimeline, SchedulerCheckpoint, SkippedRateChange,
 };
-pub use metrics::RunReport;
+pub use metrics::{DeterministicReport, RunReport};
 pub use migration::MigrationReport;
 pub use thread::JThread;

@@ -70,6 +70,7 @@ use jessy_core::sampling::ClassGapState;
 use jessy_core::{AdaptiveController, Oal, ProfilerConfig, RoundOutcome, ShardedTcmReducer, Tcm};
 use jessy_gos::ClassId;
 use jessy_net::{Mailbox, MasterCrashWindow, MsgClass, NodeId};
+use jessy_obs::EventKind;
 
 use crate::cluster::ClusterShared;
 use crate::dynamic::{plan_and_post, PlannedMigration};
@@ -112,8 +113,40 @@ pub struct SkippedRateChange {
     pub coverage: f64,
 }
 
+/// One class's sampling state captured when a TCM round closed, for the
+/// convergence timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassRoundState {
+    /// The class name.
+    pub class_name: String,
+    /// Rate label in force after this round's decisions ("4X", "full").
+    pub rate: String,
+    /// The relative TCM distance that drove a rate change this round, or `0.0`
+    /// when the controller left the class alone.
+    pub relative_distance: f64,
+    /// Whether the controller considers the class converged (rate frozen).
+    pub converged: bool,
+}
+
+/// One row of the per-round convergence timeline: coverage plus the rate
+/// trajectory of every registered class at the moment round `round` closed.
+/// The report exposes the full vector as [`MasterOutput::timeline`], turning
+/// "did the controller converge, and how fast" into data instead of archaeology
+/// over `rate_changes`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTimeline {
+    /// The closed round's id.
+    pub round: u64,
+    /// Fraction of expected (thread, interval) OALs that arrived.
+    pub coverage: f64,
+    /// Closed by the grace deadline rather than complete watermarks.
+    pub deadline_hit: bool,
+    /// Per-class state, in class-id order.
+    pub classes: Vec<ClassRoundState>,
+}
+
 /// Everything the master produced during a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MasterOutput {
     /// The cumulative thread correlation map.
     pub tcm: Tcm,
@@ -158,6 +191,8 @@ pub struct MasterOutput {
     pub converged_classes: u64,
     /// The master epoch at the end of the run (0 = never crashed).
     pub final_epoch: u64,
+    /// Per-round convergence timeline (rate trajectory + coverage per round).
+    pub timeline: Vec<RoundTimeline>,
 }
 
 /// How the [`RoundScheduler`] classified one arriving OAL.
@@ -536,6 +571,8 @@ pub struct ProfilerCheckpoint {
     pub rebalanced: bool,
     /// The recorded OAL stream, when `ProfilerConfig::record_oals` was set.
     pub oal_log: Vec<Oal>,
+    /// Convergence timeline rows accumulated so far.
+    pub timeline: Vec<RoundTimeline>,
 }
 
 pub(crate) struct MasterDaemon {
@@ -576,6 +613,10 @@ struct Daemon {
     rebalanced: bool,
     oal_log: Vec<Oal>,
     record_oals: bool,
+    timeline: Vec<RoundTimeline>,
+    /// Classes whose convergence was already journaled (an event fires once per
+    /// class, even when replay re-closes the round that froze it).
+    announced_converged: HashSet<ClassId>,
     // ---------------------------------------------------------- crash-stop recovery
     /// Current master epoch (bumped and broadcast on every restore).
     epoch: u64,
@@ -693,8 +734,16 @@ impl Daemon {
             planned_migrations: self.planned_migrations.clone(),
             rebalanced: self.rebalanced,
             oal_log: self.oal_log.clone(),
+            timeline: self.timeline.clone(),
         });
         self.replay_log.clear();
+        self.shared.emit_event(
+            &self.shared.master_clock(),
+            EventKind::CheckpointTaken {
+                round: self.rounds,
+                epoch: self.epoch,
+            },
+        );
     }
 
     /// Master restart: reinstate the latest checkpoint (or restart cold from round
@@ -732,6 +781,7 @@ impl Daemon {
                 self.planned_migrations = cp.planned_migrations;
                 self.rebalanced = cp.rebalanced;
                 self.oal_log = cp.oal_log;
+                self.timeline = cp.timeline;
             }
             None => {
                 // Cold restart: no snapshot, so the replay log spans the full run.
@@ -757,6 +807,7 @@ impl Daemon {
                 self.planned_migrations.clear();
                 self.rebalanced = false;
                 self.oal_log.clear();
+                self.timeline.clear();
             }
         }
         self.builder = self.fresh_reducer();
@@ -775,6 +826,13 @@ impl Daemon {
             );
         }
 
+        self.shared.emit_event(
+            &self.shared.master_clock(),
+            EventKind::MasterRestored {
+                epoch: self.epoch,
+                replayed: replay.len() as u64,
+            },
+        );
         for oal in replay {
             self.replayed_oals += 1;
             self.ingest(EpochOal { epoch: self.epoch, oal });
@@ -796,7 +854,19 @@ impl Daemon {
         self.rounds += 1;
         self.objects_organized += summary.objects as u64;
         self.round_coverage.push(closed.coverage);
+        self.shared.emit_event(
+            &self.shared.master_clock(),
+            EventKind::RoundClosed {
+                round: closed.round,
+                oals: closed.oals.len() as u64,
+                coverage: closed.coverage,
+                deadline_hit: closed.deadline_hit,
+            },
+        );
 
+        // Relative distances of this round's applied changes, by class name —
+        // feeds the timeline row built below.
+        let mut changed_distance: BTreeMap<String, f64> = BTreeMap::new();
         if let Some(ctl) = &mut self.controller {
             let clock = self.shared.master_clock();
             let outcome =
@@ -820,23 +890,81 @@ impl Daemon {
                             ch.class,
                             &clock,
                         );
+                        let class_name = self.shared.gos.classes().info(ch.class).name;
+                        let new_rate = ch.new_state.rate.label();
+                        changed_distance.insert(class_name.clone(), ch.relative_distance);
+                        self.shared.emit_event(
+                            &self.shared.master_clock(),
+                            EventKind::RateChanged {
+                                round: closed.round,
+                                class: class_name.clone(),
+                                new_rate: new_rate.clone(),
+                                relative_distance: ch.relative_distance,
+                            },
+                        );
                         self.rate_changes.push(AppliedRateChange {
                             round: self.rounds_base + self.builder.rounds_closed(),
-                            class_name: self.shared.gos.classes().info(ch.class).name,
-                            new_rate: ch.new_state.rate.label(),
+                            class_name,
+                            new_rate,
                             relative_distance: ch.relative_distance,
                             resampled_objects: visited,
                         });
                     }
                 }
                 RoundOutcome::SkippedLowCoverage { coverage, .. } => {
+                    self.shared.emit_event(
+                        &self.shared.master_clock(),
+                        EventKind::RoundSkipped {
+                            round: closed.round,
+                            coverage,
+                            min_coverage: self.config.min_round_coverage,
+                        },
+                    );
                     self.skipped.push(SkippedRateChange {
                         round: closed.round,
                         coverage,
                     });
                 }
             }
+            // Journal each class the moment its rate freezes (once per class —
+            // replay may re-close the round that froze it).
+            for class in self.shared.prof.gaps().classes() {
+                if ctl.is_converged(class) && self.announced_converged.insert(class) {
+                    self.shared.emit_event(
+                        &self.shared.master_clock(),
+                        EventKind::ClassConverged {
+                            round: closed.round,
+                            class: self.shared.gos.classes().info(class).name,
+                        },
+                    );
+                }
+            }
         }
+
+        // Timeline row: every registered class's rate (post-decision), in id order.
+        let gaps = self.shared.prof.gaps();
+        let classes: Vec<ClassRoundState> = gaps
+            .classes()
+            .into_iter()
+            .map(|c| {
+                let class_name = self.shared.gos.classes().info(c).name;
+                ClassRoundState {
+                    rate: gaps.state(c).rate.label(),
+                    relative_distance: changed_distance.get(&class_name).copied().unwrap_or(0.0),
+                    converged: self
+                        .controller
+                        .as_ref()
+                        .is_some_and(|ctl| ctl.is_converged(c)),
+                    class_name,
+                }
+            })
+            .collect();
+        self.timeline.push(RoundTimeline {
+            round: closed.round,
+            coverage: closed.coverage,
+            deadline_hit: closed.deadline_hit,
+            classes,
+        });
 
         // Dynamic balancing: plan once enough rounds have closed (Section V's policy,
         // built on the profiles).
@@ -924,6 +1052,17 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
             .collect();
         quarantined_nodes = expelled.len() as u64;
         scheduler.set_quarantine(table);
+        let mut expelled: Vec<u16> = expelled.into_iter().collect();
+        expelled.sort_unstable();
+        for n in expelled {
+            shared.emit_event(
+                &shared.master_clock(),
+                EventKind::NodeQuarantined {
+                    node: n,
+                    crashes: plan.crash_count(NodeId(n)),
+                },
+            );
+        }
     }
 
     let mut daemon = Daemon {
@@ -944,6 +1083,8 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
         rebalanced: false,
         oal_log: Vec::new(),
         record_oals: config.record_oals,
+        timeline: Vec::new(),
+        announced_converged: HashSet::new(),
         epoch: 0,
         base_tcm: None,
         rounds_base: 0,
@@ -1003,6 +1144,7 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
             .map(|c| c.converged_count() as u64)
             .unwrap_or(0),
         final_epoch: daemon.epoch,
+        timeline: daemon.timeline,
     }
 }
 

@@ -1,10 +1,25 @@
 //! Run reports — what every benchmark table reads.
+//!
+//! Two views of one run:
+//!
+//! * [`RunReport`] — everything measured, including host-dependent real-time
+//!   fields (`wall_ns`, the master's `tcm_build_real_ns`).
+//! * [`DeterministicReport`] — the same report with every host-dependent field
+//!   removed or masked, so two same-seed runs on different machines serialize
+//!   **byte-identically**. The chaos suite's zero-fault bit-identity test
+//!   compares this view in full instead of hand-picked fields.
+//!
+//! [`RunReport::metrics`] flattens the report's scattered counter structs
+//! (network ledger, protocol counters, profiler stats, master output) into one
+//! namespaced [`MetricsSnapshot`], so dashboards and benches diff one object
+//! instead of four.
 
 use serde::{Deserialize, Serialize};
 
 use jessy_core::profiler::ProfilerStatsSnapshot;
 use jessy_gos::protocol::ProtocolCounters;
-use jessy_net::{NetworkStats, SimNanos, ThreadId};
+use jessy_net::{MsgClass, NetworkStats, SimNanos, ThreadId};
+use jessy_obs::MetricsSnapshot;
 
 use crate::cluster::ClusterShared;
 use crate::master::MasterOutput;
@@ -33,6 +48,10 @@ pub struct RunReport {
     /// OAL batches an application thread could not post (master mailbox already
     /// closed). Non-zero values mean the profile silently lost those intervals.
     pub oal_post_failures: u64,
+    /// The `(thread, interval)` pairs behind [`RunReport::oal_post_failures`],
+    /// sorted — the loss is attributable, not just countable, and
+    /// [`RunReport::adjusted_round_coverage`] folds it into coverage accounting.
+    pub lost_oals: Vec<(u32, u64)>,
     /// Rejoin handshakes performed by threads of nodes that came back from a crash
     /// window (DESIGN.md §12).
     pub rejoins: u64,
@@ -60,6 +79,11 @@ impl RunReport {
             oal_post_failures: shared
                 .oal_post_failures
                 .load(std::sync::atomic::Ordering::Relaxed),
+            lost_oals: {
+                let mut lost = shared.lost_oals.lock().clone();
+                lost.sort_unstable();
+                lost
+            },
             rejoins: shared.rejoins.load(std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -87,6 +111,166 @@ impl RunReport {
         (self.sim_exec_ns as f64 - baseline.sim_exec_ns as f64) / baseline.sim_exec_ns as f64
             * 100.0
     }
+
+    /// The host-independent view: everything except wall-clock time, with the
+    /// master's real TCM build time masked to zero. Two same-seed, zero-fault runs
+    /// serialize this view byte-identically regardless of host, scheduler or core
+    /// count. (A separate view rather than a `skip` attribute because the vendored
+    /// serde derive ignores field attributes.)
+    pub fn deterministic(&self) -> DeterministicReport {
+        let master = self.master.clone().map(|mut m| {
+            m.tcm_build_real_ns = 0;
+            m
+        });
+        DeterministicReport {
+            n_nodes: self.n_nodes,
+            n_threads: self.n_threads,
+            sim_exec_ns: self.sim_exec_ns,
+            per_thread_ns: self.per_thread_ns.clone(),
+            net: self.net.clone(),
+            proto: self.proto,
+            profiler: self.profiler,
+            master,
+            oal_post_failures: self.oal_post_failures,
+            lost_oals: self.lost_oals.clone(),
+            rejoins: self.rejoins,
+        }
+    }
+
+    /// Round-coverage history with post-failure losses folded back in: each lost
+    /// `(thread, interval)` OAL subtracts its share `1 / (n_threads · ipr)` from
+    /// the coverage of the round that owned the interval, extending the master's
+    /// history with fully-covered rounds as needed. Losses the master never saw
+    /// (its mailbox was already closed) thus still show up where coverage gating
+    /// looks, instead of vanishing into a bare counter.
+    pub fn adjusted_round_coverage(&self, intervals_per_round: u64) -> Vec<f64> {
+        let ipr = intervals_per_round.max(1);
+        let mut coverage = self
+            .master
+            .as_ref()
+            .map(|m| m.round_coverage.clone())
+            .unwrap_or_default();
+        let share = 1.0 / (self.n_threads.max(1) as f64 * ipr as f64);
+        for (_thread, interval) in &self.lost_oals {
+            let round = (interval / ipr) as usize;
+            if coverage.len() <= round {
+                coverage.resize(round + 1, 1.0);
+            }
+            coverage[round] = (coverage[round] - share).max(0.0);
+        }
+        coverage
+    }
+
+    /// True if any round's loss-adjusted coverage fell below `floor` — the same
+    /// gate the adaptive controller applies, but also counting OALs lost after
+    /// the master stopped listening.
+    pub fn profile_degraded(&self, floor: f64, intervals_per_round: u64) -> bool {
+        self.adjusted_round_coverage(intervals_per_round)
+            .iter()
+            .any(|c| *c < floor)
+    }
+
+    /// Flatten every counter of the run into one namespaced registry:
+    /// `net.<class>.messages/bytes` plus ledger totals and fault counters,
+    /// `proto.*` protocol events, `profiler.*` sampling counters, `master.*`
+    /// round pipeline counters, and `run.*` for the report's own scalars.
+    /// Snapshots diff (`MetricsSnapshot::since`) and merge, so phase-to-phase
+    /// deltas come from one object instead of four hand-paired structs.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set("run.n_nodes", self.n_nodes as u64);
+        m.set("run.n_threads", self.n_threads as u64);
+        m.set("run.sim_exec_ns", self.sim_exec_ns);
+        m.set("run.oal_post_failures", self.oal_post_failures);
+        m.set("run.lost_oals", self.lost_oals.len() as u64);
+        m.set("run.rejoins", self.rejoins);
+
+        for class in MsgClass::ALL {
+            let c = self.net.class(class);
+            m.set(format!("net.{}.messages", class.label()), c.messages);
+            m.set(format!("net.{}.bytes", class.label()), c.bytes);
+        }
+        m.set("net.total_messages", self.net.total_messages());
+        m.set("net.total_bytes", self.net.total_bytes());
+        m.set("net.gos_bytes", self.net.gos_bytes());
+        m.set("net.oal_bytes", self.net.oal_bytes());
+        m.set("net.migration_bytes", self.net.migration_bytes());
+        m.set("net.faults.dropped", self.net.faults.dropped);
+        m.set("net.faults.duplicated", self.net.faults.duplicated);
+        m.set("net.faults.delayed", self.net.faults.delayed);
+        m.set("net.faults.stalled", self.net.faults.stalled);
+        m.set("net.faults.retransmits", self.net.faults.retransmits);
+        m.set("net.faults.crash_suppressed", self.net.faults.crash_suppressed);
+
+        m.set("proto.real_faults", self.proto.real_faults);
+        m.set("proto.false_invalid_faults", self.proto.false_invalid_faults);
+        m.set("proto.accesses", self.proto.accesses);
+        m.set("proto.diffs_flushed", self.proto.diffs_flushed);
+        m.set("proto.notices_applied", self.proto.notices_applied);
+        m.set("proto.home_migrations", self.proto.home_migrations);
+        m.set("proto.objects_prefetched", self.proto.objects_prefetched);
+
+        m.set("profiler.intervals_closed", self.profiler.intervals_closed);
+        m.set("profiler.oal_entries", self.profiler.oal_entries);
+        m.set("profiler.fi_armed", self.profiler.fi_armed);
+        m.set("profiler.footprint_rearms", self.profiler.footprint_rearms);
+
+        if let Some(master) = &self.master {
+            m.set("master.oals_ingested", master.oals_ingested);
+            m.set("master.rounds", master.rounds);
+            m.set("master.objects_organized", master.objects_organized);
+            m.set("master.rate_changes", master.rate_changes.len() as u64);
+            m.set(
+                "master.skipped_rate_changes",
+                master.skipped_rate_changes.len() as u64,
+            );
+            m.set("master.deadline_rounds", master.deadline_rounds);
+            m.set("master.late_oals", master.late_oals);
+            m.set("master.duplicate_oals", master.duplicate_oals);
+            m.set(
+                "master.planned_migrations",
+                master.planned_migrations.len() as u64,
+            );
+            m.set("master.checkpoints_taken", master.checkpoints_taken);
+            m.set("master.restores", master.restores);
+            m.set("master.replayed_oals", master.replayed_oals);
+            m.set("master.fenced_oals", master.fenced_oals);
+            m.set("master.quarantined_nodes", master.quarantined_nodes);
+            m.set("master.converged_classes", master.converged_classes);
+            m.set("master.final_epoch", master.final_epoch);
+        }
+        m
+    }
+}
+
+/// The host-independent projection of a [`RunReport`]: no `wall_ns`, and the
+/// master's `tcm_build_real_ns` masked to zero. Serializing this view is the
+/// contract the zero-fault bit-identity tests (and the CI journal-identity
+/// smoke) compare — see [`RunReport::deterministic`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeterministicReport {
+    /// Nodes in the cluster.
+    pub n_nodes: usize,
+    /// Application threads.
+    pub n_threads: usize,
+    /// Simulated execution time: the maximum application-thread clock.
+    pub sim_exec_ns: SimNanos,
+    /// Per-thread simulated times.
+    pub per_thread_ns: Vec<SimNanos>,
+    /// Network traffic ledger.
+    pub net: NetworkStats,
+    /// Protocol event counters.
+    pub proto: ProtocolCounters,
+    /// Profiler counters.
+    pub profiler: ProfilerStatsSnapshot,
+    /// Master daemon output with its real-time field zeroed.
+    pub master: Option<MasterOutput>,
+    /// OAL batches that could not be posted.
+    pub oal_post_failures: u64,
+    /// The lost `(thread, interval)` pairs, sorted.
+    pub lost_oals: Vec<(u32, u64)>,
+    /// Rejoin handshakes performed.
+    pub rejoins: u64,
 }
 
 #[cfg(test)]
@@ -105,6 +289,7 @@ mod tests {
             profiler: ProfilerStatsSnapshot::default(),
             master: None,
             oal_post_failures: 0,
+            lost_oals: Vec::new(),
             rejoins: 0,
         }
     }

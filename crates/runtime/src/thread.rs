@@ -13,6 +13,7 @@ use jessy_core::sticky::resolution::Resolution;
 use jessy_core::ThreadProfiler;
 use jessy_gos::{ClassId, Gos, LockId, ObjectCore, ObjectId, ThreadSpace};
 use jessy_net::{ClockHandle, MsgClass, NodeId, ThreadId};
+use jessy_obs::EventKind;
 use jessy_stack::{JavaStack, MethodId, Slot};
 
 use crate::cluster::ClusterShared;
@@ -165,6 +166,14 @@ impl JThread {
             self.shared.footprints.write()[self.thread.index()] = total;
         }
         if let Some(oal) = self.profiler.close_interval() {
+            self.shared.emit_event(
+                &self.clock,
+                EventKind::IntervalClosed {
+                    thread: self.thread.0,
+                    interval: oal.interval,
+                    entries: oal.entries.len() as u64,
+                },
+            );
             if self.shared.prof.config().send_oals {
                 let fabric = self.shared.gos.fabric();
                 // Crash-stop model (DESIGN.md §12): while this thread's node sits in
@@ -176,6 +185,14 @@ impl JThread {
                     if inj.node_down_at(self.node, oal.interval) {
                         inj.note_crash_suppressed();
                         self.node_was_down = true;
+                        self.shared.emit_event(
+                            &self.clock,
+                            EventKind::CrashSuppressed {
+                                node: self.node.0,
+                                thread: self.thread.0,
+                                interval: oal.interval,
+                            },
+                        );
                         return;
                     }
                     if self.node_was_down {
@@ -185,6 +202,14 @@ impl JThread {
                         fabric.account_async(self.node, NodeId::MASTER, MsgClass::Rejoin, 24);
                         fabric.account_async(NodeId::MASTER, self.node, MsgClass::Rejoin, 64);
                         self.shared.rejoins.fetch_add(1, Ordering::Relaxed);
+                        self.shared.emit_event(
+                            &self.clock,
+                            EventKind::NodeRejoined {
+                                node: self.node.0,
+                                thread: self.thread.0,
+                                epoch: self.shared.master_epoch.load(Ordering::Acquire),
+                            },
+                        );
                     }
                 }
                 // The jumbo OAL message piggybacks on the sync message already headed
@@ -197,16 +222,26 @@ impl JThread {
                         .spend((bytes as f64 * fabric.latency_model().ns_per_byte) as u64);
                 }
                 let key = jessy_net::oal_fault_key(oal.thread, oal.interval);
+                let interval = oal.interval;
                 let oal = EpochOal {
                     epoch: self.shared.master_epoch.load(Ordering::Acquire),
                     oal,
                 };
                 if self.shared.oal_tx.try_post_keyed(self.node, key, oal).is_err() {
-                    // Mailbox gone (master already joined): count, don't crash the
-                    // application thread — the profile just loses this interval.
+                    // Mailbox gone (master already joined): count and record which
+                    // interval vanished, don't crash the application thread — the
+                    // report folds the loss into round coverage (DESIGN.md §14).
                     self.shared
                         .oal_post_failures
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.shared.lost_oals.lock().push((self.thread.0, interval));
+                    self.shared.emit_event(
+                        &self.clock,
+                        EventKind::OalPostFailed {
+                            thread: self.thread.0,
+                            interval,
+                        },
+                    );
                 }
             }
         }
@@ -222,7 +257,18 @@ impl JThread {
             .gos
             .barrier_wait(&mut self.space, self.node, self.shared.n_threads, &self.clock);
         self.profiler.open_interval(&mut self.space);
+        self.emit_interval_opened();
         self.honour_directive();
+    }
+
+    fn emit_interval_opened(&mut self) {
+        self.shared.emit_event(
+            &self.clock,
+            EventKind::IntervalOpened {
+                thread: self.thread.0,
+                interval: self.profiler.interval(),
+            },
+        );
     }
 
     fn honour_directive(&mut self) {
@@ -246,6 +292,7 @@ impl JThread {
             .gos
             .lock_acquire(&mut self.space, lock, self.node, &self.clock);
         self.profiler.open_interval(&mut self.space);
+        self.emit_interval_opened();
     }
 
     /// Release a distributed lock (interval boundary).
@@ -255,6 +302,7 @@ impl JThread {
             .gos
             .lock_release(&mut self.space, lock, self.node, &self.clock);
         self.profiler.open_interval(&mut self.space);
+        self.emit_interval_opened();
     }
 
     // ------------------------------------------------------------------ Java stack
@@ -329,6 +377,15 @@ impl JThread {
         self.shared.placement.write()[self.thread.index()] = dest;
         // Keep the daemon's view fresh even if it doesn't read placement directly.
         self.shared.done.load(Ordering::Relaxed);
+        self.shared.emit_event(
+            &self.clock,
+            EventKind::ThreadMigrated {
+                thread: self.thread.0,
+                from: src.0,
+                to: dest.0,
+                prefetched: prefetched_objects as u64,
+            },
+        );
 
         MigrationReport {
             thread: self.thread,

@@ -4,9 +4,15 @@
 //! jessy-cli run --workload bh --nodes 8 --threads 16 --rate 4x
 //! jessy-cli run --workload sor --scale small --rate full --json
 //! jessy-cli run --workload water --adaptive 0.05 --rebalance 4
+//! jessy-cli run --workload sor --trace trace.json --journal run.jsonl
 //! jessy-cli heatmap --workload bh --threads 16
 //! jessy-cli info
 //! ```
+//!
+//! `--trace FILE` writes the run's event journal in Chrome `trace_event` format
+//! (load it at `chrome://tracing` or <https://ui.perfetto.dev>); `--journal FILE`
+//! writes the raw journal as JSON lines, one event per line in the canonical
+//! deterministic order.
 //!
 //! Argument parsing is deliberately dependency-free (the workspace's crate policy);
 //! see `parse_args` below.
@@ -27,6 +33,8 @@ struct Options {
     rebalance: Option<u64>,
     prefetch_depth: u32,
     json: bool,
+    trace: Option<String>,
+    journal: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +65,8 @@ impl Default for Options {
             rebalance: None,
             prefetch_depth: 0,
             json: false,
+            trace: None,
+            journal: None,
         }
     }
 }
@@ -131,6 +141,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--prefetch-depth: {e}"))?
             }
             "--json" => opts.json = true,
+            "--trace" => opts.trace = Some(value(flag)?),
+            "--journal" => opts.journal = Some(value(flag)?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -154,7 +166,7 @@ fn profiler_config(opts: &Options) -> ProfilerConfig {
     config
 }
 
-fn build_cluster(opts: &Options) -> Cluster {
+fn build_cluster(opts: &Options) -> (Cluster, Option<std::sync::Arc<JournalSink>>) {
     let mut builder = Cluster::builder()
         .nodes(opts.nodes)
         .threads(opts.threads)
@@ -166,7 +178,31 @@ fn build_cluster(opts: &Options) -> Cluster {
             ..Default::default()
         });
     }
-    builder.build()
+    let sink = if opts.trace.is_some() || opts.journal.is_some() {
+        let sink = JournalSink::shared();
+        builder = builder.trace(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
+    (builder.build(), sink)
+}
+
+/// Write the journal exports requested on the command line.
+fn export_journal(opts: &Options, sink: &JournalSink) {
+    let events = sink.sorted_events();
+    if let Some(path) = &opts.trace {
+        match std::fs::write(path, to_chrome_trace(&events)) {
+            Ok(()) => eprintln!("wrote Chrome trace ({} events) to {path}", events.len()),
+            Err(e) => eprintln!("error: cannot write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &opts.journal {
+        match std::fs::write(path, to_json_lines(&events)) {
+            Ok(()) => eprintln!("wrote journal ({} events) to {path}", events.len()),
+            Err(e) => eprintln!("error: cannot write {path}: {e}"),
+        }
+    }
 }
 
 fn cmd_info() {
@@ -187,7 +223,7 @@ fn cmd_info() {
 }
 
 fn cmd_run(opts: &Options) {
-    let mut cluster = build_cluster(opts);
+    let (mut cluster, sink) = build_cluster(opts);
     eprintln!(
         "running {} ({:?}) on {} nodes / {} threads, rate {:?}…",
         opts.workload.name(),
@@ -197,6 +233,9 @@ fn cmd_run(opts: &Options) {
         opts.rate
     );
     let report = opts.workload.run_on(&mut cluster, opts.scale);
+    if let Some(sink) = &sink {
+        export_journal(opts, sink);
+    }
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
         return;
@@ -268,6 +307,7 @@ fn main() -> ExitCode {
             eprintln!("       [--nodes N] [--threads T] [--rate off|1x|4x|full|trace]");
             eprintln!("       [--scale paper|small] [--adaptive THRESHOLD]");
             eprintln!("       [--rebalance ROUNDS] [--prefetch-depth D] [--json]");
+            eprintln!("       [--trace FILE (Chrome trace_event)] [--journal FILE (JSON lines)]");
             ExitCode::FAILURE
         }
     }
@@ -321,5 +361,17 @@ mod tests {
         assert!(parse_args(&args("run --nodes 0")).is_err());
         assert!(parse_args(&args("run --workload")).is_err(), "missing value");
         assert!(parse_args(&args("run --rebalance 2 --rate off")).is_err());
+        assert!(parse_args(&args("run --trace")).is_err(), "missing value");
+        assert!(parse_args(&args("run --journal")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn parses_trace_and_journal_outputs() {
+        let o = parse_args(&args("run --trace t.json --journal j.jsonl")).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("t.json"));
+        assert_eq!(o.journal.as_deref(), Some("j.jsonl"));
+        let o = parse_args(&args("run")).unwrap();
+        assert_eq!(o.trace, None);
+        assert_eq!(o.journal, None);
     }
 }

@@ -17,7 +17,10 @@
 //! * [`runtime`] — the DJVM: clusters, application threads, the master daemon,
 //!   migration with sticky-set prefetch, the correlation-driven load balancer;
 //! * [`pagedsm`] — the page-grain baseline (induced sharing patterns, D-CVM costs);
-//! * [`workloads`] — SOR, Barnes-Hut and Water-Spatial ports (Table I).
+//! * [`workloads`] — SOR, Barnes-Hut and Water-Spatial ports (Table I);
+//! * [`obs`] — the deterministic observability layer: a structured event journal
+//!   keyed by simulated time, a unified metrics registry, and JSON-lines / Chrome
+//!   `trace_event` exporters (zero-cost when no sink is attached).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 pub use jessy_core as core;
 pub use jessy_gos as gos;
 pub use jessy_net as net;
+pub use jessy_obs as obs;
 pub use jessy_pagedsm as pagedsm;
 pub use jessy_runtime as runtime;
 pub use jessy_stack as stack;
@@ -48,13 +52,19 @@ pub use jessy_workloads as workloads;
 /// The most commonly used types in one import.
 pub mod prelude {
     pub use jessy_core::{
-        accuracy_abs, accuracy_euc, e_abs, e_euc, FootprintConfig, FootprintMode, Oal,
-        ProfilerConfig, SamplingRate, StackSamplingConfig, Tcm,
+        accuracy_abs, accuracy_euc, e_abs, e_euc, ConfigError, FootprintConfig, FootprintMode,
+        Oal, ProfilerConfig, SamplingRate, StackSamplingConfig, Tcm,
     };
     pub use jessy_gos::{AccessState, ClassId, CostModel, Gos, GosConfig, LockId, ObjectId};
     pub use jessy_net::{
         ClockBoard, FaultPlan, FaultStats, LatencyModel, MsgClass, NodeId, StallWindow, ThreadId,
     };
-    pub use jessy_runtime::{Cluster, JThread, LoadBalancer, RunReport, RuntimeError};
+    pub use jessy_obs::{
+        to_chrome_trace, to_json_lines, EventKind, JournalSink, MetricsSnapshot, TraceEvent,
+        TraceSink,
+    };
+    pub use jessy_runtime::{
+        Cluster, DeterministicReport, JThread, LoadBalancer, RunReport, RuntimeError,
+    };
     pub use jessy_workloads::{WorkloadKind, WorkloadPreset};
 }

@@ -682,6 +682,17 @@ proptest! {
             }],
             rebalanced: epoch % 2 == 0,
             oal_log: oals,
+            timeline: vec![jessy::runtime::RoundTimeline {
+                round: epoch,
+                coverage: threshold,
+                deadline_hit: epoch % 2 == 1,
+                classes: vec![jessy::runtime::ClassRoundState {
+                    class_name: "Body".to_string(),
+                    rate: "4X".to_string(),
+                    relative_distance: threshold,
+                    converged: false,
+                }],
+            }],
         };
 
         // Serialize → deserialize is the identity, f64 bits included.
