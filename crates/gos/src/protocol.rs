@@ -42,7 +42,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use jessy_net::{
-    ClockHandle, Fabric, FaultPlan, LatencyModel, MsgClass, NetError, NetworkStats, NodeId,
+    ClockHandle, DetExecutor, Fabric, FaultPlan, LatencyModel, MsgClass, NetError, NetworkStats,
+    NodeId,
 };
 
 use crate::class::{ClassId, ClassRegistry};
@@ -240,6 +241,11 @@ pub struct Gos {
     /// notice application). `None` emits nothing; the access-check *hit* lane has
     /// no emission site at all, so tracing cannot slow it down.
     sink: Option<Arc<dyn TraceSink>>,
+    /// Deterministic executor, when the cluster runs cooperatively scheduled
+    /// tasks. Blocking sync ops (lock acquire, barrier) route through their
+    /// cooperative variants for tasks the executor currently runs; any other
+    /// caller (unit tests, post-run adoption) keeps the condvar path.
+    exec: Option<Arc<DetExecutor>>,
 }
 
 impl Gos {
@@ -271,6 +277,7 @@ impl Gos {
             barrier: SimBarrier::new(),
             counters: Counters::default(),
             sink: None,
+            exec: None,
             config,
         })
     }
@@ -280,6 +287,20 @@ impl Gos {
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         self.fabric.set_trace_sink(Arc::clone(&sink));
         self.sink = Some(sink);
+    }
+
+    /// Install the deterministic executor: blocking sync ops of tasks it runs
+    /// switch from condvar parking to cooperative scheduling.
+    pub fn set_executor(&mut self, exec: Arc<DetExecutor>) {
+        self.exec = Some(exec);
+    }
+
+    /// The cooperative route for `clock`'s thread, if the executor currently
+    /// runs it as a task (the task id is the thread's clock-board index).
+    fn coop(&self, clock: &ClockHandle) -> Option<(&DetExecutor, usize)> {
+        let exec = self.exec.as_deref()?;
+        let task = clock.thread().index();
+        exec.task_is_live(task).then_some((exec, task))
     }
 
     /// The configuration in force.
@@ -854,7 +875,10 @@ impl Gos {
     ) -> usize {
         self.assert_node(node);
         clock.spend(self.config.costs.lock_local_ns);
-        let prev_release = self.locks.get(id).acquire();
+        let prev_release = match self.coop(clock) {
+            Some((exec, task)) => self.locks.get(id).acquire_coop(exec, task, clock.now()),
+            None => self.locks.get(id).acquire(),
+        };
         clock.raise_to(prev_release);
         let applied = match self.config.consistency {
             ConsistencyModel::GlobalHlrc => self.apply_notices(space, node, clock),
@@ -891,7 +915,10 @@ impl Gos {
         let manager = self.lock_manager(id);
         self.fabric
             .send(node, manager, MsgClass::LockRelease, CTRL_BYTES, clock);
-        self.locks.get(id).release(clock.now());
+        match self.coop(clock) {
+            Some((exec, _)) => self.locks.get(id).release_coop(exec, clock.now()),
+            None => self.locks.get(id).release(clock.now()),
+        }
     }
 
     /// Enter the global barrier as one of `parties` participants: flush (release
@@ -911,7 +938,10 @@ impl Gos {
         let hdr = MsgClass::BarrierRelease.header_bytes();
         let extra =
             self.config.costs.barrier_local_ns + self.config.latency.one_way_ns(CTRL_BYTES + hdr);
-        let release_sim = self.barrier.wait(parties, clock.now(), extra);
+        let release_sim = match self.coop(clock) {
+            Some((exec, task)) => self.barrier.wait_coop(exec, task, parties, clock.now(), extra),
+            None => self.barrier.wait(parties, clock.now(), extra),
+        };
         clock.raise_to(release_sim);
         let applied = self.apply_notices(space, node, clock);
         // The release broadcast carries the notices this thread just applied.

@@ -12,6 +12,14 @@
 //! reconciled alongside: a barrier releases everyone at the latest participant's clock
 //! plus the barrier cost, and a lock hand-off floors the acquirer's clock at the
 //! previous holder's release time.
+//!
+//! Under the deterministic executor each primitive has a **cooperative** variant
+//! (`acquire_coop`, `release_coop`, `wait_coop`): instead of parking the OS thread on
+//! a condvar, a blocked participant registers as a waiter and hands the scheduling
+//! token back via [`DetExecutor::block_internal`]; the releasing side unblocks every
+//! waiter and the scheduler picks the next holder deterministically. Because at most
+//! one task runs at a time, the register-then-block sequence cannot race a release,
+//! so the loop-recheck pattern is lost-wakeup-free by construction.
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -19,7 +27,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use jessy_net::SimNanos;
+use jessy_net::{DetExecutor, SimNanos};
 
 use crate::object::ObjectId;
 
@@ -104,6 +112,8 @@ struct RawLockInner {
     held: bool,
     /// Simulated time at which the previous holder released.
     last_release_sim: SimNanos,
+    /// Executor tasks parked on a contended cooperative acquire.
+    waiters: Vec<usize>,
 }
 
 /// A single distributed lock: real mutual exclusion + simulated-time hand-off.
@@ -120,6 +130,7 @@ impl RawLock {
             inner: Mutex::new(RawLockInner {
                 held: false,
                 last_release_sim: 0,
+                waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -148,6 +159,39 @@ impl RawLock {
         inner.last_release_sim = inner.last_release_sim.max(now_sim);
         drop(inner);
         self.cv.notify_one();
+    }
+
+    /// Cooperative [`acquire`](Self::acquire): a contended acquire registers `task`
+    /// as a waiter and yields the scheduling token instead of parking the carrier;
+    /// the next holder among the waiters is whichever the executor picks first.
+    pub fn acquire_coop(&self, exec: &DetExecutor, task: usize, now_sim: SimNanos) -> SimNanos {
+        loop {
+            let mut inner = self.inner.lock();
+            if !inner.held {
+                inner.held = true;
+                return inner.last_release_sim;
+            }
+            inner.waiters.push(task);
+            drop(inner);
+            exec.block_internal(task, now_sim);
+        }
+    }
+
+    /// Cooperative [`release`](Self::release): unblocks every registered waiter (they
+    /// re-contend; the executor picks the winner deterministically).
+    ///
+    /// # Panics
+    /// If the lock is not held.
+    pub fn release_coop(&self, exec: &DetExecutor, now_sim: SimNanos) {
+        let mut inner = self.inner.lock();
+        assert!(inner.held, "releasing a lock that is not held");
+        inner.held = false;
+        inner.last_release_sim = inner.last_release_sim.max(now_sim);
+        let waiters = std::mem::take(&mut inner.waiters);
+        drop(inner);
+        for w in waiters {
+            exec.unblock(w);
+        }
     }
 }
 
@@ -200,6 +244,8 @@ struct BarrierInner {
     max_sim: SimNanos,
     /// Release time of the *previous* generation (what leavers floor to).
     release_sim: SimNanos,
+    /// Executor tasks parked on a cooperative wait of the current generation.
+    waiters: Vec<usize>,
 }
 
 /// A reusable global barrier reconciling simulated clocks.
@@ -218,6 +264,7 @@ impl SimBarrier {
                 generation: 0,
                 max_sim: 0,
                 release_sim: 0,
+                waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -244,6 +291,50 @@ impl SimBarrier {
             let gen = inner.generation;
             while inner.generation == gen {
                 self.cv.wait(&mut inner);
+            }
+            inner.release_sim
+        }
+    }
+
+    /// Cooperative [`wait`](Self::wait): non-final arrivals register as waiters and
+    /// yield the scheduling token; the final arrival computes the release time and
+    /// unblocks them all. A generation cannot be overwritten before every waiter of
+    /// the previous one has read its release time, because those waiters must pass
+    /// through the next `wait_coop` themselves for the count to fill again.
+    pub fn wait_coop(
+        &self,
+        exec: &DetExecutor,
+        task: usize,
+        parties: usize,
+        now_sim: SimNanos,
+        extra_ns: SimNanos,
+    ) -> SimNanos {
+        assert!(parties > 0, "barrier needs at least one party");
+        let mut inner = self.inner.lock();
+        inner.max_sim = inner.max_sim.max(now_sim);
+        inner.count += 1;
+        if inner.count == parties {
+            inner.release_sim = inner.max_sim + extra_ns;
+            inner.count = 0;
+            inner.max_sim = 0;
+            inner.generation += 1;
+            let release = inner.release_sim;
+            let waiters = std::mem::take(&mut inner.waiters);
+            drop(inner);
+            for w in waiters {
+                exec.unblock(w);
+            }
+            release
+        } else {
+            let gen = inner.generation;
+            loop {
+                inner.waiters.push(task);
+                drop(inner);
+                exec.block_internal(task, now_sim);
+                inner = self.inner.lock();
+                if inner.generation != gen {
+                    break;
+                }
             }
             inner.release_sim
         }

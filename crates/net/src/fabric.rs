@@ -34,6 +34,11 @@ use crate::latency::LatencyModel;
 use crate::message::MsgClass;
 use crate::stats::NetworkStats;
 
+/// Timeout+retransmit cycles a synchronous round trip spends inside a partition
+/// window before backing off straight to the heal horizon. Bounds the virtual
+/// time burned per severed round trip so protocol traffic can never wedge.
+const MAX_PARTITION_RETRIES: u64 = 4;
+
 /// Per-link (ordered node pair) traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinkStats {
@@ -181,6 +186,20 @@ impl Fabric {
         }
     }
 
+    /// Journal one message severed by a partition window (no-op without a sink).
+    fn trace_partitioned(&self, from: NodeId, to: NodeId, class: MsgClass, clock: &ClockHandle) {
+        let Some(sink) = &self.sink else { return };
+        sink.emit(
+            clock.now(),
+            clock.thread().0,
+            EventKind::MessagePartitioned {
+                from: from.0,
+                to: to.0,
+                class: class.label().to_string(),
+            },
+        );
+    }
+
     fn account(&self, from: NodeId, to: NodeId, class: MsgClass, total_bytes: u64) {
         let mut ledger = self.ledger.lock();
         ledger.global.record(class, total_bytes);
@@ -214,6 +233,16 @@ impl Fabric {
         let mut cost = self.latency.one_way_ns(total);
         let mut decision = FaultDecision::CLEAN;
         if let Some(inj) = &self.injector {
+            // A partition window trumps every probabilistic decision: the wire
+            // carried the sender's transmission into the cut, so the send is
+            // still accounted and charged, but the receiver never sees it.
+            if inj.severed(from, to, clock.now()) {
+                inj.note_partitioned();
+                clock.spend(cost);
+                self.trace_send(from, to, class, total, FaultDecision::CLEAN, clock);
+                self.trace_partitioned(from, to, class, clock);
+                return cost;
+            }
             let d = inj.decide(from, to, class);
             if d.duplicated {
                 self.account(from, to, class, total as u64);
@@ -257,7 +286,35 @@ impl Fabric {
         self.account(to, from, resp_class, resp_total as u64);
         let mut cost = self.latency.round_trip_ns(req_total, resp_total);
         let mut decision = FaultDecision::CLEAN;
+        let mut prepaid = 0;
         if let Some(inj) = &self.injector {
+            // Partition: the requester times out and retransmits; each cycle
+            // burns a timeout spike plus a request leg of virtual time, which
+            // can carry the clock across the heal. If the cut outlives the
+            // retry budget the requester backs off straight to the heal
+            // horizon (synchronous protocol traffic must complete — only
+            // asynchronous OAL traffic is actually lost to a partition), so
+            // the protocol degrades in latency, never wedges.
+            let mut retries = 0u64;
+            let retry_from = clock.now();
+            while retries < MAX_PARTITION_RETRIES && inj.severed(from, to, clock.now()) {
+                // Spent immediately (not folded into `cost`) so the next
+                // severed() check sees virtual time advancing.
+                self.account(from, to, req_class, req_total as u64);
+                clock.spend(inj.plan().delay_spike_ns.max(1) + self.latency.one_way_ns(req_total));
+                retries += 1;
+            }
+            if retries > 0 {
+                inj.note_retransmits(retries);
+                if inj.severed(from, to, clock.now()) {
+                    inj.note_partitioned();
+                    if let Some(heal) = inj.plan().heal_at(from, to, clock.now()) {
+                        clock.raise_to(heal);
+                    }
+                }
+                self.trace_partitioned(from, to, req_class, clock);
+                prepaid = clock.now() - retry_from;
+            }
             let d = inj.decide_sync(from, to, req_class);
             if d.dropped {
                 // Timeout, then retransmit the request leg.
@@ -272,7 +329,7 @@ impl Fabric {
         }
         clock.spend(cost);
         self.trace_send(from, to, req_class, req_total + resp_total, decision, clock);
-        cost
+        cost + prepaid
     }
 
     /// Account a message without charging any clock — used for asynchronous traffic
@@ -477,6 +534,101 @@ mod tests {
         assert_eq!(cost, 100, "both transmissions charged");
         assert_eq!(f.stats().class(MsgClass::WriteNotice).messages, 2);
         assert_eq!(f.stats().faults.duplicated, 1);
+    }
+
+    #[test]
+    fn partitioned_one_way_send_is_charged_but_counted_severed() {
+        let lat = LatencyModel {
+            base_ns: 100,
+            ns_per_byte: 0.0,
+        };
+        let plan = FaultPlan {
+            partitions: vec![crate::fault::PartitionWindow {
+                island: vec![NodeId(1)],
+                from_ns: 0,
+                heal_ns: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let f = Fabric::with_faults(2, lat, plan).unwrap();
+        let c = clock();
+        let cost = f.send(NodeId(0), NodeId(1), MsgClass::WriteNotice, 0, &c);
+        assert_eq!(cost, 100, "the sender's transmission is still charged");
+        assert_eq!(f.stats().class(MsgClass::WriteNotice).messages, 1);
+        assert_eq!(f.stats().faults.partitioned, 1);
+        assert_eq!(f.stats().faults.dropped, 0, "partition trumps the drop roll");
+    }
+
+    #[test]
+    fn partitioned_round_trip_retries_across_the_heal() {
+        let lat = LatencyModel {
+            base_ns: 100,
+            ns_per_byte: 0.0,
+        };
+        // Heals after one retry cycle (timeout 10_000 + request leg 100).
+        let plan = FaultPlan {
+            delay_spike_ns: 10_000,
+            partitions: vec![crate::fault::PartitionWindow {
+                island: vec![NodeId(1)],
+                from_ns: 0,
+                heal_ns: Some(5_000),
+            }],
+            ..FaultPlan::default()
+        };
+        let f = Fabric::with_faults(2, lat, plan).unwrap();
+        let c = clock();
+        let cost = f.charge_round_trip(
+            NodeId(0),
+            NodeId(1),
+            MsgClass::LockAcquire,
+            8,
+            MsgClass::LockGrant,
+            8,
+            &c,
+        );
+        // One retry cycle (10_100) carries the clock past the heal at 5_000,
+        // then the round trip completes normally (200).
+        assert_eq!(cost, 10_100 + 200);
+        assert_eq!(c.now(), cost);
+        let s = f.stats();
+        assert_eq!(s.faults.retransmits, 1);
+        assert_eq!(s.faults.partitioned, 0, "the trip completed after the heal");
+        assert_eq!(s.class(MsgClass::LockAcquire).messages, 2, "request sent twice");
+        assert_eq!(s.class(MsgClass::LockGrant).messages, 1);
+    }
+
+    #[test]
+    fn permanently_partitioned_round_trip_backs_off_but_completes() {
+        let lat = LatencyModel {
+            base_ns: 100,
+            ns_per_byte: 0.0,
+        };
+        let plan = FaultPlan {
+            delay_spike_ns: 1_000,
+            partitions: vec![crate::fault::PartitionWindow {
+                island: vec![NodeId(1)],
+                from_ns: 0,
+                heal_ns: None,
+            }],
+            ..FaultPlan::default()
+        };
+        let f = Fabric::with_faults(2, lat, plan).unwrap();
+        let c = clock();
+        let cost = f.charge_round_trip(
+            NodeId(0),
+            NodeId(1),
+            MsgClass::ObjFetch,
+            16,
+            MsgClass::ObjData,
+            1024,
+            &c,
+        );
+        // Retry budget exhausted (4 cycles of 1_100), then the trip completes
+        // anyway: synchronous protocol traffic may not wedge.
+        assert_eq!(cost, 4 * 1_100 + 200);
+        let s = f.stats();
+        assert_eq!(s.faults.retransmits, 4);
+        assert_eq!(s.faults.partitioned, 1);
     }
 
     #[test]

@@ -82,6 +82,40 @@ impl MasterCrashWindow {
     }
 }
 
+/// A window of **virtual time** during which a set of nodes (the *island*) is
+/// partitioned from the rest of the cluster. Any message whose endpoints straddle the
+/// island boundary while `now_ns ∈ [from_ns, heal_ns)` is severed: one-way traffic is
+/// counted as partitioned, synchronous round trips pay timeout+retransmit cycles until
+/// the partition heals, and OAL batches crossing the cut are deferred (shipped after
+/// the heal under the epoch they were closed in) or, if the partition never heals,
+/// recorded as attributable loss. `heal_ns == None` means the partition is permanent.
+///
+/// Windows are keyed by virtual nanoseconds — the same clock that drives `Fabric`
+/// charging and round deadlines — so a partition schedule is reproducible wherever the
+/// schedule of the run itself is (i.e. under the deterministic executor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// The nodes on one side of the cut (the other side is everyone else). The master
+    /// daemon's services live on [`NodeId::MASTER`] (node 0), so an island containing
+    /// node 0 severs profiling traffic of every node outside it.
+    pub island: Vec<NodeId>,
+    /// Virtual nanosecond (inclusive) at which the partition begins.
+    pub from_ns: u64,
+    /// Virtual nanosecond (exclusive) at which the partition heals; `None` = never.
+    pub heal_ns: Option<u64>,
+}
+
+impl PartitionWindow {
+    /// True if this window severs the directed link `from -> to` at virtual `now_ns`:
+    /// the window is active and exactly one endpoint is inside the island.
+    #[inline]
+    pub fn severs(&self, from: NodeId, to: NodeId, now_ns: u64) -> bool {
+        now_ns >= self.from_ns
+            && self.heal_ns.is_none_or(|h| now_ns < h)
+            && (self.island.contains(&from) != self.island.contains(&to))
+    }
+}
+
 /// A declarative, seedable schedule of network faults.
 ///
 /// All probabilities are per message in `[0, 1]`. The effective drop probability of a
@@ -119,6 +153,8 @@ pub struct FaultPlan {
     pub node_crashes: Vec<CrashWindow>,
     /// Crash-restart windows for the master correlation daemon.
     pub master_crashes: Vec<MasterCrashWindow>,
+    /// Network partition windows over virtual time (node islands, optional heal).
+    pub partitions: Vec<PartitionWindow>,
 }
 
 impl Default for FaultPlan {
@@ -135,6 +171,7 @@ impl Default for FaultPlan {
             stalls: Vec::new(),
             node_crashes: Vec::new(),
             master_crashes: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 }
@@ -152,6 +189,7 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.node_crashes.is_empty()
             && self.master_crashes.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// Check that every probability is a finite number in `[0, 1]` and every stall or
@@ -203,7 +241,73 @@ impl FaultPlan {
                 )));
             }
         }
+        for (i, w) in self.partitions.iter().enumerate() {
+            if w.island.is_empty() {
+                return Err(NetError::InvalidFaultPlan(format!(
+                    "partition window {i}: island is empty (severs nothing)"
+                )));
+            }
+            if let Some(heal) = w.heal_ns {
+                if heal <= w.from_ns {
+                    return Err(NetError::InvalidFaultPlan(format!(
+                        "partition window {i}: heal_ns {} <= from_ns {} (window is empty)",
+                        heal, w.from_ns
+                    )));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Check that every node the plan names exists in a cluster of `n_nodes` nodes,
+    /// naming the offending field and node. Split from [`validate`](Self::validate)
+    /// because only the cluster builder (and the fabric) know the topology.
+    pub fn validate_bounds(&self, n_nodes: usize) -> Result<(), NetError> {
+        let check = |field: &str, node: NodeId| -> Result<(), NetError> {
+            if node.index() >= n_nodes {
+                return Err(NetError::InvalidFaultPlan(format!(
+                    "{field}: node {node} is out of range for a {n_nodes}-node cluster"
+                )));
+            }
+            Ok(())
+        };
+        for (from, to, _) in &self.link_drop {
+            check("link_drop", *from)?;
+            check("link_drop", *to)?;
+        }
+        for w in &self.stalls {
+            check("stall window", w.node)?;
+        }
+        for w in &self.node_crashes {
+            check("crash window", w.node)?;
+        }
+        for (i, w) in self.partitions.iter().enumerate() {
+            for node in &w.island {
+                check(&format!("partition window {i} island"), *node)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True if any partition window severs the directed link `from -> to` at virtual
+    /// `now_ns`. Pure function of the plan and the clock — no injector state.
+    pub fn severed(&self, from: NodeId, to: NodeId, now_ns: u64) -> bool {
+        !self.partitions.is_empty()
+            && from != to
+            && self.partitions.iter().any(|w| w.severs(from, to, now_ns))
+    }
+
+    /// The earliest virtual nanosecond at which **every** partition window severing
+    /// `from -> to` at `now_ns` has healed, or `None` if one of them never heals.
+    /// (`Some(now_ns)` if the link is not severed at all.)
+    pub fn heal_at(&self, from: NodeId, to: NodeId, now_ns: u64) -> Option<u64> {
+        let mut heal = now_ns;
+        for w in &self.partitions {
+            if w.severs(from, to, now_ns) {
+                heal = heal.max(w.heal_ns?);
+            }
+        }
+        Some(heal)
     }
 
     /// True if worker node `node` is crashed while closing profiling interval
@@ -284,6 +388,11 @@ pub struct FaultStats {
     pub retransmits: u64,
     /// OAL batches never sent because the owning node was inside a crash window.
     pub crash_suppressed: u64,
+    /// One-way messages severed by an active partition window.
+    pub partitioned: u64,
+    /// OAL batches deferred across a partition (shipped after the heal, or recorded
+    /// as lost if the partition never heals).
+    pub oals_deferred: u64,
 }
 
 impl FaultStats {
@@ -300,6 +409,8 @@ impl FaultStats {
             + self.stalled
             + self.retransmits
             + self.crash_suppressed
+            + self.partitioned
+            + self.oals_deferred
     }
 
     /// Element-wise difference `self - earlier` (saturating; counters are monotonic).
@@ -311,6 +422,8 @@ impl FaultStats {
             stalled: self.stalled.saturating_sub(earlier.stalled),
             retransmits: self.retransmits.saturating_sub(earlier.retransmits),
             crash_suppressed: self.crash_suppressed.saturating_sub(earlier.crash_suppressed),
+            partitioned: self.partitioned.saturating_sub(earlier.partitioned),
+            oals_deferred: self.oals_deferred.saturating_sub(earlier.oals_deferred),
         }
     }
 
@@ -322,6 +435,8 @@ impl FaultStats {
         self.stalled += other.stalled;
         self.retransmits += other.retransmits;
         self.crash_suppressed += other.crash_suppressed;
+        self.partitioned += other.partitioned;
+        self.oals_deferred += other.oals_deferred;
     }
 }
 
@@ -343,6 +458,8 @@ pub struct FaultInjector {
     stalled: AtomicU64,
     retransmits: AtomicU64,
     crash_suppressed: AtomicU64,
+    partitioned: AtomicU64,
+    oals_deferred: AtomicU64,
 }
 
 impl FaultInjector {
@@ -373,6 +490,8 @@ impl FaultInjector {
             stalled: AtomicU64::new(0),
             retransmits: AtomicU64::new(0),
             crash_suppressed: AtomicU64::new(0),
+            partitioned: AtomicU64::new(0),
+            oals_deferred: AtomicU64::new(0),
         })
     }
 
@@ -396,6 +515,28 @@ impl FaultInjector {
     /// Record one OAL batch that was never sent because its node was crashed.
     pub fn note_crash_suppressed(&self) {
         self.crash_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// True if a partition window severs the directed link `from -> to` at virtual
+    /// `now_ns`. Pure delegation to the plan — derived, never drawn.
+    #[inline]
+    pub fn severed(&self, from: NodeId, to: NodeId, now_ns: u64) -> bool {
+        self.plan.severed(from, to, now_ns)
+    }
+
+    /// Record one one-way message severed by a partition.
+    pub fn note_partitioned(&self) {
+        self.partitioned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one OAL batch deferred across a partition.
+    pub fn note_oal_deferred(&self) {
+        self.oals_deferred.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` synchronous round-trip retransmissions (partition retry cycles).
+    pub fn note_retransmits(&self, n: u64) {
+        self.retransmits.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Decide the fate of a one-way message, keyed by this link+class's sequence
@@ -522,6 +663,8 @@ impl FaultInjector {
             stalled: self.stalled.load(Ordering::Relaxed),
             retransmits: self.retransmits.load(Ordering::Relaxed),
             crash_suppressed: self.crash_suppressed.load(Ordering::Relaxed),
+            partitioned: self.partitioned.load(Ordering::Relaxed),
+            oals_deferred: self.oals_deferred.load(Ordering::Relaxed),
         }
     }
 
@@ -535,6 +678,8 @@ impl FaultInjector {
         self.stalled.store(0, Ordering::Relaxed);
         self.retransmits.store(0, Ordering::Relaxed);
         self.crash_suppressed.store(0, Ordering::Relaxed);
+        self.partitioned.store(0, Ordering::Relaxed);
+        self.oals_deferred.store(0, Ordering::Relaxed);
     }
 }
 
@@ -721,6 +866,8 @@ mod tests {
             stalled: 0,
             retransmits: 3,
             crash_suppressed: 4,
+            partitioned: 2,
+            oals_deferred: 1,
         };
         let b = FaultStats {
             dropped: 2,
@@ -729,6 +876,8 @@ mod tests {
             stalled: 0,
             retransmits: 1,
             crash_suppressed: 1,
+            partitioned: 1,
+            oals_deferred: 0,
         };
         let d = a.since(&b);
         assert_eq!(
@@ -740,12 +889,14 @@ mod tests {
                 stalled: 0,
                 retransmits: 2,
                 crash_suppressed: 3,
+                partitioned: 1,
+                oals_deferred: 1,
             }
         );
         let mut r = b;
         r.merge(&d);
         assert_eq!(r, a);
-        assert_eq!(a.total(), 15);
+        assert_eq!(a.total(), 18);
     }
 
     #[test]
@@ -846,5 +997,103 @@ mod tests {
             }
             other => panic!("expected InvalidFaultPlan, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn partition_windows_sever_only_across_the_island_boundary() {
+        let plan = FaultPlan {
+            partitions: vec![PartitionWindow {
+                island: vec![NodeId(1), NodeId(2)],
+                from_ns: 100,
+                heal_ns: Some(200),
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_zero());
+        // Before, during, after.
+        assert!(!plan.severed(NodeId(0), NodeId(1), 99));
+        assert!(plan.severed(NodeId(0), NodeId(1), 100));
+        assert!(plan.severed(NodeId(1), NodeId(0), 199));
+        assert!(!plan.severed(NodeId(0), NodeId(1), 200));
+        // Both endpoints on the same side pass through.
+        assert!(!plan.severed(NodeId(1), NodeId(2), 150));
+        assert!(!plan.severed(NodeId(0), NodeId(3), 150));
+        assert!(!plan.severed(NodeId(1), NodeId(1), 150));
+        // Heal horizon: the earliest time the cut is guaranteed gone.
+        assert_eq!(plan.heal_at(NodeId(0), NodeId(1), 150), Some(200));
+        assert_eq!(plan.heal_at(NodeId(0), NodeId(3), 150), Some(150));
+        let permanent = FaultPlan {
+            partitions: vec![PartitionWindow {
+                island: vec![NodeId(1)],
+                from_ns: 0,
+                heal_ns: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(permanent.severed(NodeId(0), NodeId(1), u64::MAX));
+        assert_eq!(permanent.heal_at(NodeId(0), NodeId(1), 5), None);
+    }
+
+    #[test]
+    fn validation_names_offending_partition_windows() {
+        let empty_island = FaultPlan {
+            partitions: vec![PartitionWindow { island: vec![], from_ns: 0, heal_ns: None }],
+            ..FaultPlan::default()
+        };
+        match empty_island.validate() {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("partition window 0"), "{msg}");
+                assert!(msg.contains("island is empty"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        let empty_window = FaultPlan {
+            partitions: vec![PartitionWindow {
+                island: vec![NodeId(1)],
+                from_ns: 50,
+                heal_ns: Some(50),
+            }],
+            ..FaultPlan::default()
+        };
+        match empty_window.validate() {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("partition window 0"), "{msg}");
+                assert!(msg.contains("heal_ns 50"), "{msg}");
+                assert!(msg.contains("from_ns 50"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        let out_of_range = FaultPlan {
+            partitions: vec![PartitionWindow {
+                island: vec![NodeId(9)],
+                from_ns: 0,
+                heal_ns: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(out_of_range.validate().is_ok(), "bounds need the topology");
+        match out_of_range.validate_bounds(4) {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("partition window 0 island"), "{msg}");
+                assert!(msg.contains("n9"), "{msg}");
+                assert!(msg.contains("4-node"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        let in_range = FaultPlan {
+            partitions: vec![PartitionWindow {
+                island: vec![NodeId(3)],
+                from_ns: 0,
+                heal_ns: Some(10),
+            }],
+            node_crashes: vec![CrashWindow {
+                node: NodeId(2),
+                from_interval: 1,
+                until_interval: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(in_range.validate_bounds(4).is_ok());
+        assert!(in_range.validate_bounds(2).is_err());
     }
 }

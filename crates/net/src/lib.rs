@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 pub mod clock;
 pub mod error;
+pub mod executor;
 pub mod fabric;
 pub mod fault;
 pub mod ids;
@@ -26,10 +27,11 @@ pub mod stats;
 
 pub use clock::{ClockBoard, ClockHandle, SimNanos};
 pub use error::NetError;
+pub use executor::{DetExecutor, POISON_MSG};
 pub use fabric::Fabric;
 pub use fault::{
     oal_fault_key, CrashWindow, FaultDecision, FaultInjector, FaultPlan, FaultStats,
-    MasterCrashWindow, StallWindow,
+    MasterCrashWindow, PartitionWindow, StallWindow,
 };
 pub use ids::{NodeId, ThreadId};
 pub use latency::LatencyModel;

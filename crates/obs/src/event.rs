@@ -78,6 +78,16 @@ pub enum EventKind {
         /// Extra simulated delay charged, beyond the latency model.
         extra_ns: u64,
     },
+    /// A partition window severed this message's link (one-way traffic lost to
+    /// the cut; synchronous traffic paid retransmit cycles instead).
+    MessagePartitioned {
+        /// Sending node.
+        from: u16,
+        /// Receiving node.
+        to: u16,
+        /// Message class name.
+        class: String,
+    },
     // ---------------------------------------------------------------- gos
     /// A real object fault (cold miss or invalidated copy refetched from home).
     ObjectFault {
@@ -232,6 +242,18 @@ pub enum EventKind {
         /// The interval it covered.
         interval: u64,
     },
+    /// An OAL batch was deferred across an active partition window; it ships
+    /// after the heal (or becomes an `OalPostFailed` loss if the partition
+    /// never heals).
+    OalDeferred {
+        /// The thread whose OAL was deferred.
+        thread: u32,
+        /// The interval it covers.
+        interval: u64,
+        /// Virtual nanosecond at which the cut is known to heal (`u64::MAX`
+        /// for a permanent partition).
+        heal_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -243,6 +265,7 @@ impl EventKind {
             EventKind::MessageDropped { .. } => "MessageDropped",
             EventKind::MessageDuplicated { .. } => "MessageDuplicated",
             EventKind::MessageDelayed { .. } => "MessageDelayed",
+            EventKind::MessagePartitioned { .. } => "MessagePartitioned",
             EventKind::ObjectFault { .. } => "ObjectFault",
             EventKind::FalseInvalidTrap { .. } => "FalseInvalidTrap",
             EventKind::HomeMigration { .. } => "HomeMigration",
@@ -260,6 +283,7 @@ impl EventKind {
             EventKind::NodeQuarantined { .. } => "NodeQuarantined",
             EventKind::ThreadMigrated { .. } => "ThreadMigrated",
             EventKind::OalPostFailed { .. } => "OalPostFailed",
+            EventKind::OalDeferred { .. } => "OalDeferred",
         }
     }
 }

@@ -31,7 +31,8 @@ fn category(kind: &EventKind) -> &'static str {
         EventKind::MessageSent { .. }
         | EventKind::MessageDropped { .. }
         | EventKind::MessageDuplicated { .. }
-        | EventKind::MessageDelayed { .. } => "net",
+        | EventKind::MessageDelayed { .. }
+        | EventKind::MessagePartitioned { .. } => "net",
         EventKind::ObjectFault { .. }
         | EventKind::FalseInvalidTrap { .. }
         | EventKind::HomeMigration { .. }
@@ -48,7 +49,8 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::NodeRejoined { .. }
         | EventKind::NodeQuarantined { .. }
         | EventKind::ThreadMigrated { .. }
-        | EventKind::OalPostFailed { .. } => "runtime",
+        | EventKind::OalPostFailed { .. }
+        | EventKind::OalDeferred { .. } => "runtime",
     }
 }
 

@@ -29,6 +29,7 @@
 //! assert_eq!(report.n_threads, 4);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,7 +42,8 @@ use jessy_gos::{ClassId, CostModel, Gos, GosConfig, LockId, ObjectCore, ObjectId
 use jessy_obs::{EventKind, TraceSink};
 use jessy_net::mailbox::MailboxSender;
 use jessy_net::{
-    ClockBoard, ClockHandle, FaultPlan, LatencyModel, Mailbox, MsgClass, NodeId, ThreadId,
+    ClockBoard, ClockHandle, DetExecutor, FaultPlan, LatencyModel, Mailbox, MsgClass, NodeId,
+    ThreadId, POISON_MSG,
 };
 use jessy_stack::{MethodId, MethodRegistry};
 
@@ -106,12 +108,22 @@ pub struct ClusterShared {
     pub master_epoch: AtomicU64,
     /// Rejoin handshakes performed by threads of restarted nodes.
     pub rejoins: AtomicU64,
+    /// The deterministic cooperative executor that carries the run: tasks
+    /// `0..n_threads` are the application threads, task `n_threads` is the master
+    /// daemon. At most one task executes at any instant, ordered by virtual
+    /// clock, so a given `(exec_seed, exec_jitter)` pair replays bit-identically.
+    pub exec: Arc<DetExecutor>,
 }
 
 impl ClusterShared {
     /// The master/init clock handle.
     pub fn master_clock(&self) -> ClockHandle {
         self.board.handle(ThreadId(self.n_threads as u32))
+    }
+
+    /// The executor task id of the master daemon (one past the worker tasks).
+    pub fn master_task(&self) -> usize {
+        self.n_threads
     }
 
     /// Emit a journal event stamped with `clock`'s current simulated time and
@@ -154,6 +166,8 @@ pub struct ClusterBuilder {
     consistency: ConsistencyModel,
     faults: Option<FaultPlan>,
     trace: Option<Arc<dyn TraceSink>>,
+    exec_seed: u64,
+    exec_jitter_ns: u64,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -170,6 +184,8 @@ impl std::fmt::Debug for ClusterBuilder {
             .field("consistency", &self.consistency)
             .field("faults", &self.faults)
             .field("traced", &self.trace.is_some())
+            .field("exec_seed", &self.exec_seed)
+            .field("exec_jitter_ns", &self.exec_jitter_ns)
             .finish()
     }
 }
@@ -188,6 +204,8 @@ impl Default for ClusterBuilder {
             consistency: ConsistencyModel::GlobalHlrc,
             faults: None,
             trace: None,
+            exec_seed: 0,
+            exec_jitter_ns: 0,
         }
     }
 }
@@ -281,6 +299,23 @@ impl ClusterBuilder {
         self
     }
 
+    /// Seed of the deterministic executor's scheduling jitter (default 0). Only
+    /// observable when [`ClusterBuilder::exec_jitter`] is nonzero.
+    pub fn exec_seed(mut self, seed: u64) -> Self {
+        self.exec_seed = seed;
+        self
+    }
+
+    /// Scheduling jitter of the deterministic executor, in simulated nanoseconds
+    /// (default 0 = pure min-clock order). A nonzero jitter perturbs each
+    /// scheduling decision by a seeded hash, so `(seed, jitter)` selects one
+    /// reproducible interleaving out of many — useful for schedule-space
+    /// exploration without giving up replayability.
+    pub fn exec_jitter(mut self, jitter_ns: u64) -> Self {
+        self.exec_jitter_ns = jitter_ns;
+        self
+    }
+
     /// Build the cluster.
     ///
     /// # Panics
@@ -323,6 +358,7 @@ impl ClusterBuilder {
         // a mid-run anomaly (or a panic deep inside sticky-set resolution).
         if let Some(plan) = &self.faults {
             plan.validate()?;
+            plan.validate_bounds(self.n_nodes)?;
         }
         self.profiler.validate()?;
 
@@ -338,6 +374,14 @@ impl ClusterBuilder {
         if let Some(sink) = &self.trace {
             gos.set_trace_sink(Arc::clone(sink));
         }
+        // One task per application thread plus the master daemon. The executor is
+        // inert until `run` registers the tasks; non-task callers (init, adopted
+        // threads) fall through to the OS-thread sync paths.
+        let exec = DetExecutor::new(self.n_threads + 1, self.exec_seed, self.exec_jitter_ns);
+        // On equal virtual time the master daemon runs first, so mail is serviced
+        // promptly even under cost models that never advance the clocks.
+        exec.set_priority(self.n_threads, 0);
+        gos.set_executor(Arc::clone(&exec));
         let board = ClockBoard::new(self.n_threads + 1);
         let mailbox = Mailbox::new(NodeId::MASTER);
         // With faults on, OAL delivery goes through a lossy sender sharing the
@@ -369,6 +413,7 @@ impl ClusterBuilder {
             trace: self.trace,
             master_epoch: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
+            exec,
         });
         Ok(Cluster {
             shared,
@@ -496,9 +541,11 @@ impl Cluster {
         f(&mut ctx)
     }
 
-    /// Run `body` once per application thread (each on its own OS thread), with the
-    /// master daemon pumping OALs concurrently. Clocks are reset first, so the
-    /// reported simulated execution time covers exactly this parallel phase.
+    /// Run `body` once per application thread (each a cooperatively-scheduled task
+    /// of the deterministic executor, carried by its own parked OS thread), with
+    /// the master daemon pumping OALs as task `n_threads` of the same schedule.
+    /// Clocks are reset first, so the reported simulated execution time covers
+    /// exactly this parallel phase.
     ///
     /// # Panics
     /// If called twice, or if any application thread panics; use
@@ -528,6 +575,10 @@ impl Cluster {
         let wall_start = Instant::now();
         let master = MasterDaemon::spawn(Arc::clone(&self.shared), mailbox)?;
 
+        // Carrier threads: each registers its task with the deterministic executor
+        // (dispatch begins once all have, so spawn order is unobservable), runs the
+        // body under `catch_unwind` so the task can always be retired, and re-raises
+        // any panic for classification at join time.
         let body = Arc::new(body);
         let mut workers = Vec::with_capacity(self.shared.n_threads);
         let mut spawn_error = None;
@@ -536,27 +587,55 @@ impl Cluster {
             let body = Arc::clone(&body);
             let spawned = std::thread::Builder::new()
                 .name(format!("jthread-{t}"))
+                .stack_size(512 * 1024)
                 .spawn(move || {
-                    let thread = ThreadId(t as u32);
-                    let mut jt = JThread::new(shared, thread);
-                    body(&mut jt);
+                    let exec = Arc::clone(&shared.exec);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        exec.register_current(t);
+                        let thread = ThreadId(t as u32);
+                        let mut jt = JThread::new(shared, thread);
+                        body(&mut jt);
+                    }));
+                    exec.finish(t);
+                    if let Err(payload) = result {
+                        std::panic::resume_unwind(payload);
+                    }
                 });
             match spawned {
                 Ok(w) => workers.push(w),
                 Err(e) => {
                     spawn_error = Some(RuntimeError::SpawnFailed(format!("worker {t}: {e}")));
+                    // Registration can never complete: poison the executor so the
+                    // already-registered tasks (and the master) abort instead of
+                    // parking forever.
+                    self.shared.exec.poison();
                     break;
                 }
             }
         }
 
-        let mut panicked = Vec::new();
+        // Panic classification: a task killed by executor poisoning (payload ==
+        // POISON_MSG) is a cascade, not a root cause — report the first *primary*
+        // panic if there is one, and fall back to the first cascade only when the
+        // whole task set deadlocked.
+        let mut primary = None;
+        let mut first_cascade = None;
         for (t, w) in workers.into_iter().enumerate() {
-            if w.join().is_err() {
-                panicked.push(t);
+            if let Err(payload) = w.join() {
+                let is_poison = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    == Some(POISON_MSG);
+                if is_poison {
+                    first_cascade.get_or_insert(t);
+                } else {
+                    primary.get_or_insert(t);
+                }
             }
         }
         self.shared.done.store(true, Ordering::Release);
+        self.shared.exec.unblock(self.shared.master_task());
         let master_out = master.join();
         self.run_wall_ns = wall_start.elapsed().as_nanos() as u64;
         // Keep whatever the master managed to produce, then report the most
@@ -571,13 +650,23 @@ impl Cluster {
         if let Some(e) = spawn_error {
             return Err(e);
         }
-        if !panicked.is_empty() {
-            return Err(RuntimeError::WorkerPanicked(panicked));
+        if let Some(thread) = primary {
+            return Err(RuntimeError::TaskPanicked { thread });
         }
-        match master_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+        if let Some(e) = master_err {
+            if let Some(thread) = first_cascade {
+                // The master died of the same poisoning — the worker-side report
+                // (which names a thread) is the more useful one.
+                if e == RuntimeError::MasterPanicked && self.shared.exec.is_poisoned() {
+                    return Err(RuntimeError::TaskPanicked { thread });
+                }
+            }
+            return Err(e);
         }
+        if let Some(thread) = first_cascade {
+            return Err(RuntimeError::TaskPanicked { thread });
+        }
+        Ok(())
     }
 
     /// The master daemon's output (TCM, rounds, rate changes) — available after

@@ -30,8 +30,12 @@ pub enum RuntimeError {
     AlreadyRun,
     /// An OS thread could not be spawned.
     SpawnFailed(String),
-    /// Application threads panicked (by worker index).
-    WorkerPanicked(Vec<usize>),
+    /// An application task panicked (or the cooperative task set deadlocked, in
+    /// which case the executor poisons every task and the first one is named).
+    TaskPanicked {
+        /// Index of the panicked application thread.
+        thread: usize,
+    },
     /// The master correlation daemon panicked.
     MasterPanicked,
 }
@@ -48,8 +52,8 @@ impl fmt::Display for RuntimeError {
             RuntimeError::InvalidPlacement(why) => write!(f, "invalid placement: {why}"),
             RuntimeError::AlreadyRun => write!(f, "Cluster::run may only be called once"),
             RuntimeError::SpawnFailed(what) => write!(f, "failed to spawn {what}"),
-            RuntimeError::WorkerPanicked(threads) => {
-                write!(f, "application threads panicked: {threads:?}")
+            RuntimeError::TaskPanicked { thread } => {
+                write!(f, "application thread {thread} panicked")
             }
             RuntimeError::MasterPanicked => write!(f, "master daemon panicked"),
         }
@@ -87,8 +91,8 @@ mod tests {
         let e = RuntimeError::from(NetError::EmptyFabric);
         assert!(e.to_string().contains("at least one node"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = RuntimeError::WorkerPanicked(vec![1, 3]);
-        assert!(e.to_string().contains("[1, 3]"));
+        let e = RuntimeError::TaskPanicked { thread: 3 };
+        assert!(e.to_string().contains("thread 3"));
         assert!(std::error::Error::source(&e).is_none());
     }
 }

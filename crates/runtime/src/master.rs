@@ -59,9 +59,10 @@
 //!   convergence.
 
 use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -576,7 +577,7 @@ pub struct ProfilerCheckpoint {
 }
 
 pub(crate) struct MasterDaemon {
-    handle: std::thread::JoinHandle<MasterOutput>,
+    handle: std::thread::JoinHandle<Result<MasterOutput, ()>>,
 }
 
 impl MasterDaemon {
@@ -586,13 +587,32 @@ impl MasterDaemon {
     ) -> Result<Self, RuntimeError> {
         let handle = std::thread::Builder::new()
             .name("jessy-master".into())
-            .spawn(move || run_daemon(shared, mailbox))
+            .spawn(move || {
+                // The daemon is executor task `n_threads`. `catch_unwind` keeps a
+                // panicking master from wedging the task set: its task is retired
+                // and the executor poisoned so worker carriers abort
+                // deterministically instead of parking forever.
+                let exec = Arc::clone(&shared.exec);
+                let master_task = shared.master_task();
+                let out = catch_unwind(AssertUnwindSafe(|| run_daemon(shared, mailbox)));
+                exec.finish(master_task);
+                match out {
+                    Ok(out) => Ok(out),
+                    Err(_) => {
+                        exec.poison();
+                        Err(())
+                    }
+                }
+            })
             .map_err(|e| RuntimeError::SpawnFailed(format!("master daemon: {e}")))?;
         Ok(MasterDaemon { handle })
     }
 
     pub(crate) fn join(self) -> Result<MasterOutput, RuntimeError> {
-        self.handle.join().map_err(|_| RuntimeError::MasterPanicked)
+        match self.handle.join() {
+            Ok(Ok(out)) => Ok(out),
+            _ => Err(RuntimeError::MasterPanicked),
+        }
     }
 }
 
@@ -1017,6 +1037,11 @@ impl Daemon {
 }
 
 fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterOutput {
+    // Join the cooperative task set (task `n_threads`); dispatch begins once the
+    // worker tasks have registered too.
+    let master_task = shared.master_task();
+    let master_clock = shared.master_clock();
+    shared.exec.register_current(master_task);
     let config = *shared.prof.config();
     let mut builder = ShardedTcmReducer::new(config.tcm_shards.max(1), shared.n_threads);
     if let Some(decay) = config.tcm_decay {
@@ -1107,7 +1132,10 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
             if shared.done.load(Ordering::Acquire) {
                 break;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            // Hand the token to the application tasks and park until a worker
+            // posts an OAL (or the controlling thread signals completion). An
+            // external block: an empty mailbox is idleness, never deadlock.
+            shared.exec.block_external(master_task, master_clock.now());
             continue;
         }
         for env in batch {

@@ -201,6 +201,8 @@ impl RunReport {
         m.set("net.faults.stalled", self.net.faults.stalled);
         m.set("net.faults.retransmits", self.net.faults.retransmits);
         m.set("net.faults.crash_suppressed", self.net.faults.crash_suppressed);
+        m.set("net.faults.partitioned", self.net.faults.partitioned);
+        m.set("net.faults.oals_deferred", self.net.faults.oals_deferred);
 
         m.set("proto.real_faults", self.proto.real_faults);
         m.set("proto.false_invalid_faults", self.proto.false_invalid_faults);

@@ -35,6 +35,11 @@ pub struct JThread {
     /// Set while this thread's node is inside a crash window of the fault plan; the
     /// first interval shipped after the window triggers a rejoin handshake.
     node_was_down: bool,
+    /// OAL batches held back because a partition window severed the path to the
+    /// master when their interval closed: `(heal_ns, fault_key, batch)`. Flushed at
+    /// the next ship point once the partition heals (`heal_ns == u64::MAX` =
+    /// permanent; surfaced as lost at drop).
+    deferred_oals: Vec<(u64, u64, EpochOal)>,
 }
 
 impl JThread {
@@ -56,6 +61,20 @@ impl JThread {
             space,
             stack: JavaStack::new(),
             node_was_down: false,
+            deferred_oals: Vec::new(),
+        }
+    }
+
+    /// Cooperative scheduling point: when this thread runs as a task of the
+    /// deterministic executor, report the simulated clock and let the scheduler
+    /// hand the token to the task with the earliest virtual time. A no-op on
+    /// non-task threads (adopted handles, unit tests). Object accesses, compute
+    /// charges and interval boundaries yield implicitly; call this from driver
+    /// loops with long access-free stretches.
+    pub fn yield_now(&mut self) {
+        let t = self.thread.index();
+        if self.shared.exec.task_is_live(t) {
+            self.shared.exec.yield_now(t, self.clock.now());
         }
     }
 
@@ -103,30 +122,34 @@ impl JThread {
             .maybe_stack_sample(&self.shared.gos, &mut self.stack, &self.clock);
     }
 
-    /// Read access: run `f` over the object's payload.
+    /// Read access: run `f` over the object's payload (a yield point).
     pub fn read<R>(&mut self, obj: ObjectId, f: impl FnOnce(&[f64]) -> R) -> R {
         let (r, out) = self
             .shared
             .gos
             .read(&mut self.space, self.node, obj, &self.clock, f);
         self.post_access(&out);
+        self.yield_now();
         r
     }
 
-    /// Write access: run `f` over the mutable payload.
+    /// Write access: run `f` over the mutable payload (a yield point).
     pub fn write<R>(&mut self, obj: ObjectId, f: impl FnOnce(&mut [f64]) -> R) -> R {
         let (r, out) = self
             .shared
             .gos
             .write(&mut self.space, self.node, obj, &self.clock, f);
         self.post_access(&out);
+        self.yield_now();
         r
     }
 
-    /// Charge `units` of application compute to the simulated clock.
-    pub fn compute(&self, units: u64) {
+    /// Charge `units` of application compute to the simulated clock (a yield
+    /// point).
+    pub fn compute(&mut self, units: u64) {
         self.clock
             .spend(units * self.shared.gos.costs().compute_unit_ns);
+        self.yield_now();
     }
 
     /// Allocate a zeroed scalar at this thread's node.
@@ -156,7 +179,54 @@ impl JThread {
 
     // ------------------------------------------------------------------ sync points
 
+    /// Ship any deferred OAL batches whose partition has healed. Wire accounting
+    /// happens here, not at deferral time — the bytes cross the fabric now.
+    fn flush_deferred_oals(&mut self) {
+        if self.deferred_oals.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        let fabric = self.shared.gos.fabric();
+        if let Some(inj) = fabric.injector() {
+            if inj.severed(self.node, NodeId::MASTER, now) {
+                return;
+            }
+        }
+        let mut kept = Vec::new();
+        for (heal, key, env) in std::mem::take(&mut self.deferred_oals) {
+            if heal > now {
+                kept.push((heal, key, env));
+                continue;
+            }
+            let bytes = env.oal.wire_bytes();
+            fabric.account_async(self.node, NodeId::MASTER, MsgClass::OalBatch, bytes);
+            if self.node != NodeId::MASTER {
+                let total = bytes + MsgClass::OalBatch.header_bytes();
+                self.clock
+                    .spend((total as f64 * fabric.latency_model().ns_per_byte) as u64);
+            }
+            let interval = env.oal.interval;
+            if self.shared.oal_tx.try_post_keyed(self.node, key, env).is_err() {
+                self.shared
+                    .oal_post_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.lost_oals.lock().push((self.thread.0, interval));
+                self.shared.emit_event(
+                    &self.clock,
+                    EventKind::OalPostFailed {
+                        thread: self.thread.0,
+                        interval,
+                    },
+                );
+            } else {
+                self.shared.exec.unblock(self.shared.master_task());
+            }
+        }
+        self.deferred_oals = kept;
+    }
+
     fn close_and_ship_oal(&mut self) {
+        self.flush_deferred_oals();
         if self.shared.prof.config().footprint.is_some() {
             // Publish the averaged sticky footprint so the balancer can price a
             // migration of this thread (Section III.A: "a load balancing policy that
@@ -211,6 +281,34 @@ impl JThread {
                             },
                         );
                     }
+                    // Partition window: the path to the master is severed. The batch
+                    // is *deferred, not dropped* — the node's send queue holds it
+                    // until the partition heals (permanent partitions surface the
+                    // loss at thread drop). Nothing is accounted yet: no bytes cross
+                    // the cut.
+                    let now = self.clock.now();
+                    if inj.severed(self.node, NodeId::MASTER, now) {
+                        let heal = inj
+                            .plan()
+                            .heal_at(self.node, NodeId::MASTER, now)
+                            .unwrap_or(u64::MAX);
+                        inj.note_oal_deferred();
+                        self.shared.emit_event(
+                            &self.clock,
+                            EventKind::OalDeferred {
+                                thread: self.thread.0,
+                                interval: oal.interval,
+                                heal_ns: heal,
+                            },
+                        );
+                        let key = jessy_net::oal_fault_key(oal.thread, oal.interval);
+                        let env = EpochOal {
+                            epoch: self.shared.master_epoch.load(Ordering::Acquire),
+                            oal,
+                        };
+                        self.deferred_oals.push((heal, key, env));
+                        return;
+                    }
                 }
                 // The jumbo OAL message piggybacks on the sync message already headed
                 // to the master (Section II.A), so the sender pays only the transmit
@@ -242,6 +340,10 @@ impl JThread {
                             interval,
                         },
                     );
+                } else {
+                    // Mail landed: make the master task runnable (a no-op when it
+                    // is already runnable, or when running without the executor).
+                    self.shared.exec.unblock(self.shared.master_task());
                 }
             }
         }
@@ -401,9 +503,28 @@ impl JThread {
 }
 
 impl Drop for JThread {
-    /// Park the access arena back in the cluster so post-run inspection (and a later
-    /// re-adoption of the same thread id) sees the thread's heap state.
+    /// Flush deferred OAL batches one last time (whatever is still stuck behind an
+    /// unhealed partition is surfaced as lost), then park the access arena back in
+    /// the cluster so post-run inspection (and a later re-adoption of the same
+    /// thread id) sees the thread's heap state.
     fn drop(&mut self) {
+        self.flush_deferred_oals();
+        for (_, _, env) in std::mem::take(&mut self.deferred_oals) {
+            self.shared
+                .oal_post_failures
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .lost_oals
+                .lock()
+                .push((self.thread.0, env.oal.interval));
+            self.shared.emit_event(
+                &self.clock,
+                EventKind::OalPostFailed {
+                    thread: self.thread.0,
+                    interval: env.oal.interval,
+                },
+            );
+        }
         let space = std::mem::replace(&mut self.space, ThreadSpace::new(self.thread));
         *self.shared.spaces[self.thread.index()].lock() = Some(space);
     }

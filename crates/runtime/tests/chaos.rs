@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use jessy_core::{ProfilerConfig, SamplingRate};
 use jessy_gos::{CostModel, ObjectId};
-use jessy_net::{CrashWindow, FaultPlan, LatencyModel, MasterCrashWindow, NodeId, StallWindow};
+use jessy_net::{
+    CrashWindow, FaultPlan, LatencyModel, MasterCrashWindow, NodeId, PartitionWindow, StallWindow,
+};
 use jessy_runtime::Cluster;
 
 /// CI runs this suite under a small seed matrix (`JESSY_CHAOS_SEED`); locally the
@@ -139,7 +141,13 @@ fn zero_fault_plan_reproduces_the_fault_free_run() {
         (report, master)
     };
     let (base_report, base) = run(None);
-    let (zero_report, zero) = run(Some(FaultPlan::default()));
+    // Explicitly spell the PR 6 field: an empty partition schedule is part of the
+    // zero plan.
+    let zero_plan = FaultPlan {
+        partitions: vec![],
+        ..FaultPlan::default()
+    };
+    let (zero_report, zero) = run(Some(zero_plan));
 
     assert!(FaultPlan::default().is_zero());
     // A few targeted fields first, for readable failures...
@@ -161,6 +169,8 @@ fn zero_fault_plan_reproduces_the_fault_free_run() {
     // PR 3 extension: a plan with empty crash vectors also schedules no recovery
     // machinery — no epochs, no restores, no fencing, no quarantine, no rejoins.
     assert_eq!(zero_report.net.faults.crash_suppressed, 0);
+    assert_eq!(zero_report.net.faults.partitioned, 0);
+    assert_eq!(zero_report.net.faults.oals_deferred, 0);
     for m in [&zero, &base] {
         assert_eq!(m.restores, 0);
         assert_eq!(m.replayed_oals, 0);
@@ -509,4 +519,125 @@ fn flapping_node_is_quarantined_and_the_rest_converges() {
     );
     assert_eq!(unfenced.quarantined_nodes, 0);
     assert!(report.net.faults.crash_suppressed > 0);
+}
+
+// ---------------------------------------------------------------------- PR 6:
+// network partitions. Windows are keyed by *virtual time* (unlike crash windows'
+// interval ordinals): a window severs every link with exactly one endpoint in its
+// island. OAL batches closed behind the cut are deferred in the node's send queue
+// and flushed when the partition heals; an unhealed partition surfaces them as
+// lost at thread exit. Either way the run completes — partitions degrade the
+// profile, never wedge the application.
+
+/// A workload whose reads stay home-local (thread reads the object homed at its
+/// own node), so the partition is crossed only by profiling/sync traffic and the
+/// severed threads' clocks keep their own pace instead of being raised to the
+/// heal horizon by fetch retries.
+fn home_local_workload(cluster: &mut Cluster, barriers: usize) {
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("Body", 8);
+        vec![
+            ctx.alloc_scalar_at(NodeId(0), class).id,
+            ctx.alloc_scalar_at(NodeId(1), class).id,
+        ]
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        let mine = objs[jt.node().index()];
+        for _ in 0..barriers {
+            jt.read(mine, |_| {});
+            jt.barrier();
+        }
+    });
+}
+
+fn partitioned_cluster(heal_ns: Option<u64>) -> Cluster {
+    Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .latency(LatencyModel::fast_ethernet())
+        .costs(CostModel::free())
+        .profiler(chaos_profiler())
+        .faults(FaultPlan {
+            seed: chaos_seed(),
+            partitions: vec![PartitionWindow {
+                island: vec![NodeId(1)],
+                from_ns: 1_000,
+                heal_ns,
+            }],
+            ..FaultPlan::default()
+        })
+        .build()
+}
+
+/// Partition + heal: OALs closed behind the cut are deferred, the post-heal flush
+/// delivers every one of them (nothing is lost), and round coverage recovers.
+#[test]
+fn healed_partition_converges_and_deferred_oals_arrive() {
+    // The 40-barrier run spans ~7 ms of simulated time; the partition covers
+    // roughly the first 2 ms of it.
+    let mut cluster = partitioned_cluster(Some(2_000_000));
+    home_local_workload(&mut cluster, 40);
+
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran to completion");
+    assert!(
+        report.net.faults.oals_deferred > 0,
+        "intervals closed behind the cut must defer: {:?}",
+        report.net.faults
+    );
+    assert!(report.net.faults.partitioned > 0, "severed sends are counted");
+    assert!(
+        report.lost_oals.is_empty(),
+        "a healed partition loses nothing: {:?}",
+        report.lost_oals
+    );
+    assert!(master.rounds > 0);
+    assert!(
+        master.round_coverage.iter().any(|&c| c < 1.0),
+        "deadline-closed rounds during the partition show partial coverage: {:?}",
+        master.round_coverage
+    );
+    assert!(
+        master.round_coverage.contains(&1.0),
+        "post-heal rounds close complete again: {:?}",
+        master.round_coverage
+    );
+    assert!(
+        master.late_oals > 0,
+        "flushed backlog lands as late arrivals for already-closed rounds"
+    );
+    assert!(master.tcm.total() > 0.0);
+}
+
+/// An unhealed partition degrades gracefully: every round still closes (deadline
+/// path), the reachable side's profile survives, and the severed side's OALs are
+/// surfaced as lost at thread exit — the run never wedges.
+#[test]
+fn unhealed_partition_degrades_gracefully_without_wedging() {
+    let mut cluster = partitioned_cluster(None);
+    home_local_workload(&mut cluster, 40);
+
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran to completion");
+    assert!(report.net.faults.oals_deferred > 0);
+    assert!(report.net.faults.partitioned > 0);
+    assert!(
+        !report.lost_oals.is_empty(),
+        "a permanent partition must surface the stuck OALs as lost"
+    );
+    assert!(
+        report.lost_oals.iter().all(|&(t, _)| t >= 2),
+        "only node 1's threads (2, 3) lose data: {:?}",
+        report.lost_oals
+    );
+    assert!(master.rounds > 0, "deadline close keeps rounds moving");
+    // The very first round may close off OALs posted before the 1 µs cut; every
+    // round after it sees the reachable half only.
+    assert!(
+        master.round_coverage.iter().skip(1).all(|&c| c > 0.0 && c < 1.0),
+        "post-cut rounds see the reachable half only: {:?}",
+        master.round_coverage
+    );
+    assert!(master.tcm.total() > 0.0, "the reachable side's profile survives");
 }

@@ -1,0 +1,98 @@
+//! Replay determinism: the PR 6 acceptance property. A run is fully described by
+//! `(exec_seed, exec_jitter, fault plan)` — repeating it must reproduce the event
+//! journal **byte for byte**, along with the deterministic report view and the
+//! master's cumulative TCM. The property is checked under schedule jitter, OAL
+//! drops and a mid-run network partition simultaneously, because determinism that
+//! only holds on the happy path is not determinism.
+
+use std::sync::Arc;
+
+use jessy_core::{ProfilerConfig, SamplingRate};
+use jessy_gos::{CostModel, ObjectId};
+use jessy_net::{FaultPlan, LatencyModel, NodeId, PartitionWindow};
+use jessy_obs::{to_json_lines, JournalSink};
+use jessy_runtime::Cluster;
+use proptest::prelude::*;
+
+/// One full traced cluster run; returns the canonical journal bytes, the
+/// serialized deterministic report and the master TCM rendered to a string.
+fn traced_run(exec_seed: u64, exec_jitter: u64, plan: FaultPlan) -> (String, String, String) {
+    let sink = JournalSink::shared();
+    let mut cluster = Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .latency(LatencyModel::fast_ethernet())
+        .costs(CostModel::free())
+        .profiler({
+            let mut config = ProfilerConfig::tracking_at(SamplingRate::NX(1));
+            config.adaptive_threshold = Some(0.02);
+            config.intervals_per_round = 1;
+            config.round_deadline_intervals = Some(3);
+            config.min_round_coverage = 0.95;
+            config
+        })
+        .faults(plan)
+        .exec_seed(exec_seed)
+        .exec_jitter(exec_jitter)
+        .trace(sink.clone())
+        .build();
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("Body", 8);
+        (0..100)
+            .map(|k| ctx.alloc_scalar_at(NodeId((k % 2) as u16), class).id)
+            .collect::<Vec<ObjectId>>()
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        for round in 0..24 {
+            jt.read(objs[0], |_| {});
+            if round % 2 == 1 {
+                jt.read(objs[67], |_| {});
+            }
+            jt.barrier();
+        }
+    });
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran to completion");
+    let journal = to_json_lines(&sink.sorted_events());
+    let det = serde_json::to_string(&report.deterministic()).expect("serialize report");
+    let tcm = format!("{:?}", master.tcm);
+    (journal, det, tcm)
+}
+
+proptest! {
+    // Each case is two full cluster runs; a handful of cases is plenty — the
+    // property is about schedules, and the seed/jitter pair is the schedule.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same `(seed, jitter, plan)` ⇒ bit-identical journal, report and TCM.
+    #[test]
+    fn seeded_schedules_replay_bit_identically(
+        exec_seed in 0u64..u64::MAX,
+        exec_jitter in 1u64..5_000,
+        fault_seed in 0u64..u64::MAX,
+        drop_pct in 0u32..15,
+        partition_flag in 0u32..2,
+    ) {
+        let plan = FaultPlan {
+            seed: fault_seed,
+            oal_drop: f64::from(drop_pct) / 100.0,
+            partitions: if partition_flag == 1 {
+                vec![PartitionWindow {
+                    island: vec![NodeId(1)],
+                    from_ns: 1_000,
+                    heal_ns: Some(2_000_000),
+                }]
+            } else {
+                vec![]
+            },
+            ..FaultPlan::default()
+        };
+        let (journal_a, det_a, tcm_a) = traced_run(exec_seed, exec_jitter, plan.clone());
+        let (journal_b, det_b, tcm_b) = traced_run(exec_seed, exec_jitter, plan);
+        prop_assert!(!journal_a.is_empty(), "a traced run must journal events");
+        prop_assert_eq!(journal_a, journal_b, "journal bytes diverged");
+        prop_assert_eq!(det_a, det_b, "deterministic report diverged");
+        prop_assert_eq!(tcm_a, tcm_b, "master TCM diverged");
+    }
+}

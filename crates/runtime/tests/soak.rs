@@ -1,0 +1,59 @@
+//! Time-compressed scale soak: ten thousand simulated application threads on one
+//! box. The cooperative executor carries each JThread on a parked OS carrier, so
+//! the box needs carriers and stack reservations, not cores — the whole run is a
+//! single token hopping through 10 001 tasks in virtual-time order.
+//!
+//! `#[ignore]`-gated: `verify.sh` runs it as the soak smoke
+//! (`cargo test -p jessy-runtime --test soak -- --ignored`); plain `cargo test`
+//! skips it.
+
+use std::sync::Arc;
+
+use jessy_core::{ProfilerConfig, SamplingRate};
+use jessy_gos::{CostModel, ObjectId};
+use jessy_net::{LatencyModel, NodeId};
+use jessy_runtime::Cluster;
+
+const N_NODES: usize = 4;
+const N_THREADS: usize = 10_000;
+
+/// 10k threads, 4 nodes, 3 profiled rounds each: the run completes, the master
+/// closes rounds over the full population and the report sees every thread.
+#[test]
+#[ignore = "scale soak; run explicitly via verify.sh"]
+fn ten_thousand_threads_complete_a_profiled_run() {
+    let mut cluster = Cluster::builder()
+        .nodes(N_NODES)
+        .threads(N_THREADS)
+        .latency(LatencyModel::fast_ethernet())
+        .costs(CostModel::free())
+        .profiler({
+            let mut config = ProfilerConfig::tracking_at(SamplingRate::NX(1));
+            config.intervals_per_round = 1;
+            config.round_deadline_intervals = Some(3);
+            config
+        })
+        .build();
+    // One scalar per node; every thread reads its home node's object, so the
+    // traffic that scales with the population is OAL posting and barrier control.
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("Body", 8);
+        (0..N_NODES)
+            .map(|n| ctx.alloc_scalar_at(NodeId(n as u16), class).id)
+            .collect::<Vec<ObjectId>>()
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        let mine = objs[jt.node().index()];
+        for _ in 0..3 {
+            jt.read(mine, |_| {});
+            jt.barrier();
+        }
+    });
+
+    let report = cluster.report();
+    assert_eq!(report.n_threads, N_THREADS);
+    let master = cluster.master_output().expect("master ran to completion");
+    assert!(master.rounds > 0, "rounds closed at scale");
+    assert!(master.tcm.total() > 0.0, "the profile saw the population");
+}

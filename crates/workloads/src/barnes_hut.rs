@@ -361,6 +361,8 @@ pub fn thread_body(jt: &mut JThread, cfg: &BhConfig, h: &BhHandles) {
     }
 
     for _round in 0..cfg.rounds {
+        // Round boundary: non-builder threads yield while thread 0 builds.
+        jt.yield_now();
         if t == 0 {
             build_tree(jt, cfg, h);
         }

@@ -165,6 +165,8 @@ pub fn thread_body(jt: &mut JThread, cfg: &LuConfig, h: &LuHandles) {
     jt.set_local_ref(0, h.blocks[0]);
 
     for k in 0..nb {
+        // Step boundary: non-owners of the diagonal block yield to the factorer.
+        jt.yield_now();
         // Phase 1: factor the diagonal block.
         if owner_of(cfg, n_threads, k, k) == t {
             jt.set_local_ref(1, at(k, k));

@@ -144,6 +144,9 @@ pub fn thread_body(jt: &mut JThread, cfg: &SorConfig, h: &SorHandles) {
     }
 
     for _round in 0..cfg.rounds {
+        // Round boundary: a scheduling point even for threads whose row range is
+        // all fixed boundary (no accesses of their own this round).
+        jt.yield_now();
         for color in 0..2usize {
             for i in my_rows.clone() {
                 if i == 0 || i == cfg.n - 1 {

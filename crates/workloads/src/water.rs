@@ -250,6 +250,8 @@ pub fn thread_body(jt: &mut JThread, cfg: &WaterConfig, h: &WaterHandles) {
     }
 
     for _round in 0..cfg.rounds {
+        // Round boundary: a scheduling point even for threads that own no boxes.
+        jt.yield_now();
         // --- Force phase: for each own box, interact members with the neighbourhood.
         jt.push_frame(h.force_method);
         let mut forces: Vec<(usize, [f64; 3])> = Vec::new();

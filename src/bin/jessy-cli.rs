@@ -35,6 +35,8 @@ struct Options {
     json: bool,
     trace: Option<String>,
     journal: Option<String>,
+    exec_seed: u64,
+    exec_jitter: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +69,8 @@ impl Default for Options {
             json: false,
             trace: None,
             journal: None,
+            exec_seed: 0,
+            exec_jitter: 0,
         }
     }
 }
@@ -143,6 +147,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--trace" => opts.trace = Some(value(flag)?),
             "--journal" => opts.journal = Some(value(flag)?),
+            "--exec-seed" => {
+                opts.exec_seed = value(flag)?
+                    .parse()
+                    .map_err(|e| format!("--exec-seed: {e}"))?
+            }
+            "--exec-jitter" => {
+                opts.exec_jitter = value(flag)?
+                    .parse()
+                    .map_err(|e| format!("--exec-jitter: {e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -171,6 +185,8 @@ fn build_cluster(opts: &Options) -> (Cluster, Option<std::sync::Arc<JournalSink>
         .nodes(opts.nodes)
         .threads(opts.threads)
         .prefetch_depth(opts.prefetch_depth)
+        .exec_seed(opts.exec_seed)
+        .exec_jitter(opts.exec_jitter)
         .profiler(profiler_config(opts));
     if let Some(rounds) = opts.rebalance {
         builder = builder.rebalance(jessy::runtime::RebalanceConfig {
@@ -308,6 +324,7 @@ fn main() -> ExitCode {
             eprintln!("       [--scale paper|small] [--adaptive THRESHOLD]");
             eprintln!("       [--rebalance ROUNDS] [--prefetch-depth D] [--json]");
             eprintln!("       [--trace FILE (Chrome trace_event)] [--journal FILE (JSON lines)]");
+            eprintln!("       [--exec-seed N] [--exec-jitter NS (deterministic schedule jitter)]");
             ExitCode::FAILURE
         }
     }
