@@ -87,6 +87,33 @@ fn main() {
         });
     }
 
+    {
+        // The aggregation tree's hot merge: two ~half-overlapping sparse maps
+        // united through a retained scratch (allocation-free at steady state).
+        use jessy_core::{MergeScratch, SparseTcm};
+        let n = 512;
+        let gen = |base: usize| {
+            let pairs: Vec<_> = (0..4096)
+                .map(|i| {
+                    let k = base + i;
+                    let a = k % 500;
+                    let b = a + 1 + (k / 500) % (n - 1 - a);
+                    (ThreadId(a as u32), ThreadId(b as u32), 1.0)
+                })
+                .collect();
+            SparseTcm::from_pairs(n, &pairs)
+        };
+        let right = gen(2048);
+        let mut acc = gen(0);
+        let mut scratch = MergeScratch::new();
+        // Warm to the union cell set so the timed merges never reallocate.
+        acc.merge_with(&right, &mut scratch);
+        bench(filter, "tcm/sparse_merge_with_4k_cells", || {
+            acc.merge_with(&right, &mut scratch);
+            black_box(acc.len());
+        });
+    }
+
     for lazy in [true, false] {
         let board = ClockBoard::new(1);
         let clock = board.handle(ThreadId(0));

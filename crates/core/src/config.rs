@@ -84,6 +84,33 @@ impl Default for FootprintConfig {
     }
 }
 
+/// Storage backend of the coordinator's cumulative correlation state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TcmBackend {
+    /// The packed dense triangle (`n·(n−1)/2` f64 cells) — exact, `O(N²)` memory,
+    /// and bit-identical to every run before the backend existed.
+    Dense,
+    /// Count-min sketch for the long tail plus the exact streaming top-k head:
+    /// coordinator memory is `O(active pairs + width·depth)` instead of `O(N²)`.
+    Sketch {
+        /// Counters per hash row (default 65536 ⇒ ~2 MB at depth 4).
+        width: u32,
+        /// Hash rows (each halves the probability of a bad estimate).
+        depth: u32,
+    },
+}
+
+impl TcmBackend {
+    /// The default sketch shape: 65536×4 (~2 MB), which holds the top-k relative
+    /// error under 1% on the `tcm_reduce` workloads up to N=4096.
+    pub fn default_sketch() -> Self {
+        TcmBackend::Sketch {
+            width: 65536,
+            depth: 4,
+        }
+    }
+}
+
 /// Top-level profiler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProfilerConfig {
@@ -141,6 +168,21 @@ pub struct ProfilerConfig {
     /// more than this many times, so a flapping node cannot keep every round below
     /// `min_round_coverage` and starve adaptive convergence. `None` never expels.
     pub quarantine_after_crashes: Option<u32>,
+    /// Fanout of the k-ary TCM aggregation tree. `0` (the default) keeps the flat
+    /// coordinator: every thread ships its raw OAL to the master. Any value ≥ 2
+    /// turns on distributed reduction — each node pre-reduces its own threads'
+    /// OALs, partials shuffle to per-object owners and merge up a k-ary tree of
+    /// nodes, and the master folds at most `fanout` subtree partials per round.
+    /// (`1` is rejected: a unary chain aggregates nothing.)
+    pub tcm_tree_fanout: usize,
+    /// Cumulative-map storage at the coordinator. [`TcmBackend::Sketch`] requires
+    /// tree mode (`tcm_tree_fanout ≥ 2`): the sketch folds the merged sparse
+    /// round stream, which only the tree path produces.
+    pub tcm_backend: TcmBackend,
+    /// Size of the streaming top-correlated-pairs view maintained at the master
+    /// and exported through `MasterOutput::top_pairs` (0 disables). Under the
+    /// sketch backend this head is the exact state; the tail lives in the sketch.
+    pub tcm_top_k: usize,
 }
 
 impl ProfilerConfig {
@@ -164,6 +206,9 @@ impl ProfilerConfig {
             tcm_shards: 1,
             checkpoint_every_rounds: None,
             quarantine_after_crashes: None,
+            tcm_tree_fanout: 0,
+            tcm_backend: TcmBackend::Dense,
+            tcm_top_k: 0,
         }
     }
 
@@ -256,6 +301,29 @@ impl ProfilerConfig {
                 "a checkpoint cadence of 0 rounds is meaningless; use None to disable",
             );
         }
+        if self.tcm_tree_fanout == 1 {
+            return err(
+                "tcm_tree_fanout",
+                "1".to_string(),
+                "a unary aggregation chain reduces nothing; use 0 (flat) or a fanout of at least 2",
+            );
+        }
+        if let TcmBackend::Sketch { width, depth } = self.tcm_backend {
+            if width == 0 || depth == 0 {
+                return err(
+                    "tcm_backend",
+                    format!("Sketch {{ width: {width}, depth: {depth} }}"),
+                    "count-min dimensions must both be nonzero",
+                );
+            }
+            if self.tcm_tree_fanout < 2 {
+                return err(
+                    "tcm_backend",
+                    "Sketch".to_string(),
+                    "the sketch backend folds the tree-merged round stream; set tcm_tree_fanout >= 2",
+                );
+            }
+        }
         Ok(())
     }
 }
@@ -289,6 +357,21 @@ mod tests {
         ProfilerConfig::default().validate().unwrap();
         ProfilerConfig::ground_truth().validate().unwrap();
         ProfilerConfig::tracking_at(SamplingRate::NX(16)).validate().unwrap();
+    }
+
+    #[test]
+    fn tree_and_sketch_modes_validate() {
+        let tree = ProfilerConfig {
+            tcm_tree_fanout: 4,
+            tcm_top_k: 16,
+            ..ProfilerConfig::default()
+        };
+        tree.validate().unwrap();
+        let sketch = ProfilerConfig {
+            tcm_backend: TcmBackend::default_sketch(),
+            ..tree
+        };
+        sketch.validate().unwrap();
     }
 
     #[test]
@@ -347,6 +430,25 @@ mod tests {
             (
                 ProfilerConfig { checkpoint_every_rounds: Some(0), ..base },
                 "checkpoint_every_rounds",
+            ),
+            (
+                ProfilerConfig { tcm_tree_fanout: 1, ..base },
+                "tcm_tree_fanout",
+            ),
+            (
+                ProfilerConfig {
+                    tcm_tree_fanout: 2,
+                    tcm_backend: TcmBackend::Sketch { width: 0, depth: 4 },
+                    ..base
+                },
+                "tcm_backend",
+            ),
+            (
+                ProfilerConfig {
+                    tcm_backend: TcmBackend::default_sketch(),
+                    ..base
+                },
+                "tcm_backend",
             ),
         ];
         for (cfg, field) in cases {

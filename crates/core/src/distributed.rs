@@ -22,12 +22,15 @@
 //! f64 addition sequence is fixed. The property tests in `tests/properties.rs` assert
 //! this against the retained scalar reference, including shuffled shard-close order.
 
+use std::collections::{BTreeMap, HashMap};
+
 use serde::{Deserialize, Serialize};
 
-use jessy_gos::ObjectId;
+use jessy_gos::{ClassId, ObjectId};
+use jessy_net::ThreadId;
 
 use crate::oal::{Oal, OalEntry, OalRef};
-use crate::tcm::{RoundSummary, Tcm, TcmBuilder};
+use crate::tcm::{MergeScratch, RoundSummary, SparseTcm, Tcm, TcmBuilder};
 
 /// The reducer shard responsible for an object.
 #[inline]
@@ -253,6 +256,558 @@ impl ShardedTcmReducer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fabric-tree aggregation: per-node pre-reduction, object-owner shuffle, k-ary
+// partial merge.
+//
+// A node-local reducer cannot finish any pair by itself: an object's sharer set
+// spans nodes, and its byte weight is the *global* max over every thread's
+// logged size. The tree pipeline therefore splits the flat coordinator's two
+// steps differently than `ShardedTcmReducer` does:
+//
+//   1. **leaf pre-reduction** — each node deduplicates its own threads' OALs
+//      into per-object records (object, class, local byte max, local sharer
+//      bitset). This is the `O(M·N)` reorganization hash work, now spread over
+//      the nodes; a record is ≤ `16 + ⌈N/64⌉·8` bytes however many accesses it
+//      deduplicates.
+//   2. **object-owner shuffle** — records route to `shard_of(obj, n_nodes)`;
+//      the owner unions the disjoint sharer bitsets, maxes the byte weights,
+//      and runs the pair walk for its objects into *sparse* global + per-class
+//      cell lists. Every object accrues exactly once, at its owner, with its
+//      global weight — which is what makes the result bit-identical to a flat
+//      `TcmBuilder`, with no cross-node correction terms.
+//   3. **k-ary tree merge** — owner partials ([`TcmPartial`]) merge upward
+//      (children ascending, parents processed deepest-first), so the master
+//      folds at most `fanout` sorted sparse merges per round instead of
+//      re-hashing every thread's OAL.
+//
+// Exactness everywhere rests on the same invariant the sharded reducer uses:
+// OAL byte weights are integer-valued f64 and per-cell sums stay far below
+// 2⁵³, so f64 addition is associative over every order this pipeline (or the
+// flat one) can produce.
+// ---------------------------------------------------------------------------
+
+/// Parent of `node` in the k-ary aggregation tree, or `None` when the node
+/// ships its partial straight to the master. Children of parent `p` are the
+/// contiguous run `(p+1)·fanout .. (p+2)·fanout`.
+#[inline]
+pub fn tree_parent(node: usize, fanout: usize) -> Option<usize> {
+    debug_assert!(fanout >= 2);
+    if node < fanout {
+        None
+    } else {
+        Some((node - fanout) / fanout)
+    }
+}
+
+/// One node's (or merged subtree's) per-round reduction output: the sparse pair
+/// map, its per-class split, and the object count it covers. This is what a
+/// `TcmPartial` fabric message carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcmPartial {
+    /// Distinct objects whose pairs this partial covers.
+    pub objects: usize,
+    /// The partial correlation map (global, all classes).
+    pub pairs: SparseTcm,
+    /// Per-class split of `pairs`.
+    pub per_class: HashMap<ClassId, SparseTcm>,
+}
+
+impl TcmPartial {
+    /// An empty partial for `n_threads` threads.
+    pub fn empty(n_threads: usize) -> Self {
+        TcmPartial {
+            objects: 0,
+            pairs: SparseTcm::new(n_threads),
+            per_class: HashMap::new(),
+        }
+    }
+
+    /// Total sparse cells carried (global + per-class).
+    pub fn cells(&self) -> usize {
+        self.pairs.len() + self.per_class.values().map(SparseTcm::len).sum::<usize>()
+    }
+
+    /// Modeled wire size: a 16-byte context plus 12 bytes per sparse cell
+    /// (packed `u32` cell index + `f64` value) and an 8-byte sub-map header per
+    /// class.
+    pub fn wire_bytes(&self) -> usize {
+        16 + 12 * self.pairs.len()
+            + self
+                .per_class
+                .values()
+                .map(|m| 8 + 12 * m.len())
+                .sum::<usize>()
+    }
+
+    /// Merge `other` into this partial (sorted sparse unions through the shared
+    /// scratch; object counts add because every object has exactly one owner).
+    pub fn merge(&mut self, other: &TcmPartial, scratch: &mut MergeScratch) {
+        self.objects += other.objects;
+        self.pairs.merge_with(&other.pairs, scratch);
+        for (class, sparse) in &other.per_class {
+            match self.per_class.entry(*class) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_with(sparse, scratch)
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(sparse.clone());
+                }
+            }
+        }
+    }
+}
+
+/// One fabric hop of a tree round: `bytes` of partial-TCM (or shuffle-record)
+/// traffic from `from` to `to`, carrying `cells` sparse cells (or records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeEdge {
+    /// Sending node.
+    pub from: u16,
+    /// Receiving node (the parent, or node 0 = the master).
+    pub to: u16,
+    /// Modeled wire bytes.
+    pub bytes: u64,
+    /// Sparse cells (tree edges) or object records (shuffle edges).
+    pub cells: u64,
+}
+
+/// Statistics of one tree-aggregated round (the `master.reduce.*` counters).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TreeRoundStats {
+    /// Distinct objects reduced this round (summed over owners).
+    pub objects: usize,
+    /// The largest single leaf's object count (the pre-reduction critical path).
+    pub max_leaf_objects: usize,
+    /// Object records that crossed nodes in the owner shuffle.
+    pub shuffle_records: u64,
+    /// Modeled wire bytes of the owner shuffle.
+    pub shuffle_bytes: u64,
+    /// Sparse cells shipped across aggregation-tree edges.
+    pub partial_cells: u64,
+    /// Modeled wire bytes of partial-TCM messages (tree edges, master included).
+    pub partial_bytes: u64,
+    /// Subtree partials the master folded (≤ fanout).
+    pub master_partials: u64,
+    /// Every fabric hop of the round, deterministic order: shuffle edges sorted
+    /// by `(from, to)`, then tree edges deepest-parent-first, then the root
+    /// hops into the master.
+    pub edges: Vec<TreeEdge>,
+}
+
+/// Modeled wire size of one shuffled object record: object id + class + byte
+/// weight (16 bytes) plus the node-local sharer bitset.
+#[inline]
+fn record_wire_bytes(words: usize) -> u64 {
+    16 + 8 * words as u64
+}
+
+/// Sort pushed `(cell, value)` pairs and combine duplicates (exact for the
+/// integer-valued weights OAL streams carry).
+fn combine_sorted(mut pushed: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    pushed.sort_unstable_by_key(|&(idx, _)| idx);
+    let mut out = Vec::with_capacity(pushed.len());
+    for (idx, v) in pushed {
+        match out.last_mut() {
+            Some(&mut (last, ref mut lv)) if last == idx => *lv += v,
+            _ => out.push((idx, v)),
+        }
+    }
+    out
+}
+
+/// A round-local arena of per-object records (the leaf and owner state of the
+/// tree pipeline). Mirrors `TcmBuilder`'s layout — slot map plus parallel
+/// columns — with the object id kept for shuffle routing; every column retains
+/// capacity across rounds.
+#[derive(Debug)]
+struct RecordArena {
+    words: usize,
+    slots: HashMap<ObjectId, u32>,
+    obj_id: Vec<ObjectId>,
+    obj_class: Vec<ClassId>,
+    obj_bytes: Vec<f64>,
+    obj_bits: Vec<u64>,
+}
+
+impl RecordArena {
+    fn new(words: usize) -> Self {
+        RecordArena {
+            words,
+            slots: HashMap::new(),
+            obj_id: Vec::new(),
+            obj_class: Vec::new(),
+            obj_bytes: Vec::new(),
+            obj_bits: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.obj_id.len()
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.obj_id.clear();
+        self.obj_class.clear();
+        self.obj_bytes.clear();
+        self.obj_bits.clear();
+    }
+
+    fn slot_for(&mut self, obj: ObjectId, class: ClassId) -> usize {
+        let words = self.words;
+        *self.slots.entry(obj).or_insert_with(|| {
+            let s = self.obj_id.len() as u32;
+            self.obj_id.push(obj);
+            self.obj_class.push(class);
+            self.obj_bytes.push(0.0);
+            self.obj_bits.resize(self.obj_bits.len() + words, 0);
+            s
+        }) as usize
+    }
+
+    /// Leaf ingestion: dedup one thread's interval entries into the records.
+    fn ingest_entries(&mut self, thread: ThreadId, entries: &[OalEntry]) {
+        let t = thread.index();
+        let (tw, tbit) = (t / 64, 1u64 << (t % 64));
+        for e in entries {
+            let slot = self.slot_for(e.obj, e.class);
+            self.obj_bytes[slot] = self.obj_bytes[slot].max(e.bytes as f64);
+            self.obj_bits[slot * self.words + tw] |= tbit;
+        }
+    }
+
+    /// Owner-side merge of one shuffled record: union the (disjoint) sharer
+    /// bitsets, keep the max byte weight. The class is a property of the object
+    /// (every leaf reports the same one), so first-writer wins deterministically
+    /// — leaves shuffle in ascending node order.
+    fn merge_record(&mut self, obj: ObjectId, class: ClassId, bytes: f64, bits: &[u64]) {
+        let slot = self.slot_for(obj, class);
+        self.obj_bytes[slot] = self.obj_bytes[slot].max(bytes);
+        let dst = &mut self.obj_bits[slot * self.words..(slot + 1) * self.words];
+        for (d, s) in dst.iter_mut().zip(bits) {
+            *d |= s;
+        }
+    }
+
+    /// The owner's pair walk: every record with ≥ 2 sharers accrues its pairs
+    /// into sparse global + per-class cell lists (sorted and combined at the
+    /// end — exact, since weights are integer-valued f64).
+    fn accrue(&self, n_threads: usize) -> TcmPartial {
+        let words = self.words;
+        let mut pairs: Vec<(u32, f64)> = Vec::new();
+        let mut class_slots: HashMap<ClassId, usize> = HashMap::new();
+        let mut class_cells: Vec<(ClassId, Vec<(u32, f64)>)> = Vec::new();
+        let mut last_class: Option<(ClassId, usize)> = None;
+        for slot in 0..self.len() {
+            let bits = &self.obj_bits[slot * words..(slot + 1) * words];
+            let pop: u32 = bits.iter().map(|w| w.count_ones()).sum();
+            if pop < 2 {
+                continue;
+            }
+            let bytes = self.obj_bytes[slot];
+            let class = self.obj_class[slot];
+            let ci = match last_class {
+                Some((c, i)) if c == class => i,
+                _ => {
+                    let i = *class_slots.entry(class).or_insert_with(|| {
+                        class_cells.push((class, Vec::new()));
+                        class_cells.len() - 1
+                    });
+                    last_class = Some((class, i));
+                    i
+                }
+            };
+            let class_buf = &mut class_cells[ci].1;
+            for wi in 0..words {
+                let mut wa = bits[wi];
+                while wa != 0 {
+                    let a = wi * 64 + wa.trailing_zeros() as usize;
+                    wa &= wa - 1;
+                    let row_base =
+                        (a * (2 * n_threads - a - 1) / 2).wrapping_sub(a + 1);
+                    let mut wj = wi;
+                    let mut wb = wa;
+                    loop {
+                        while wb != 0 {
+                            let b = wj * 64 + wb.trailing_zeros() as usize;
+                            wb &= wb - 1;
+                            let idx = row_base.wrapping_add(b) as u32;
+                            pairs.push((idx, bytes));
+                            class_buf.push((idx, bytes));
+                        }
+                        wj += 1;
+                        if wj == words {
+                            break;
+                        }
+                        wb = bits[wj];
+                    }
+                }
+            }
+        }
+        let per_class = class_cells
+            .into_iter()
+            .map(|(c, buf)| (c, SparseTcm::from_sorted_cells(n_threads, combine_sorted(buf))))
+            .collect();
+        TcmPartial {
+            objects: self.len(),
+            pairs: SparseTcm::from_sorted_cells(n_threads, combine_sorted(pairs)),
+            per_class,
+        }
+    }
+}
+
+/// The distributed TCM reduction pipeline: per-node leaf arenas, an
+/// object-owner shuffle, and a k-ary aggregation tree of sparse partials, with
+/// the cumulative (dense-backend) maps folded at the root.
+///
+/// Bit-identical to a flat [`TcmBuilder`] fed the same OAL stream — including
+/// under per-round decay — for any node placement, fanout and merge order (see
+/// the module docs for why, and `tests/properties.rs` for the proof by
+/// property test).
+#[derive(Debug)]
+pub struct TreeTcmReducer {
+    n_threads: usize,
+    n_nodes: usize,
+    fanout: usize,
+    words: usize,
+    decay: f64,
+    rounds_closed: u64,
+    tcm: Tcm,
+    per_class: HashMap<ClassId, Tcm>,
+    leaves: Vec<RecordArena>,
+    owners: Vec<RecordArena>,
+    scratch: MergeScratch,
+}
+
+impl TreeTcmReducer {
+    /// Reducer over `n_nodes` leaf nodes and an aggregation tree of `fanout`.
+    ///
+    /// # Panics
+    /// If `fanout < 2` or `n_nodes == 0`.
+    pub fn new(n_threads: usize, n_nodes: usize, fanout: usize) -> Self {
+        assert!(fanout >= 2, "a unary aggregation chain reduces nothing");
+        assert!(n_nodes > 0);
+        let words = n_threads.div_ceil(64).max(1);
+        TreeTcmReducer {
+            n_threads,
+            n_nodes,
+            fanout,
+            words,
+            decay: 1.0,
+            rounds_closed: 0,
+            tcm: Tcm::new(n_threads),
+            per_class: HashMap::new(),
+            leaves: (0..n_nodes).map(|_| RecordArena::new(words)).collect(),
+            owners: (0..n_nodes).map(|_| RecordArena::new(words)).collect(),
+            scratch: MergeScratch::new(),
+        }
+    }
+
+    /// Number of leaf nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Aggregation-tree fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Decay factor applied to the cumulative maps at every fold.
+    pub fn set_decay(&mut self, decay: f64) {
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0, 1]");
+        self.decay = decay;
+    }
+
+    /// Ingest one OAL at its node's leaf arena (the node-local pre-reduction).
+    pub fn ingest(&mut self, node: usize, oal: &Oal) {
+        self.leaves[node].ingest_entries(oal.thread, &oal.entries);
+    }
+
+    /// Ingest a borrowed OAL view at a node's leaf arena.
+    pub fn ingest_view(&mut self, node: usize, oal: OalRef<'_>) {
+        self.leaves[node].ingest_entries(oal.thread, oal.entries);
+    }
+
+    /// Objects pending across all leaf arenas (an object shared by `k` nodes
+    /// counts `k` times until the shuffle dedups it).
+    pub fn pending_objects(&self) -> usize {
+        self.leaves.iter().map(RecordArena::len).sum()
+    }
+
+    /// Run the distributed phases of a round close — leaf pre-reduction, owner
+    /// shuffle, pair accrual, and every tree merge *below* the master — and
+    /// return the ≤ `fanout` subtree partials the master must fold, plus the
+    /// round's fabric/work statistics. Pair with [`TreeTcmReducer::fold_subtrees`]
+    /// (or [`TreeTcmReducer::merge_subtrees`] for sketch-backend callers).
+    pub fn close_round_subtrees(&mut self) -> (TreeRoundStats, Vec<TcmPartial>) {
+        let mut stats = TreeRoundStats::default();
+        // Leaf → owner shuffle. Leaves drain in ascending node order and their
+        // records in first-touch order, so owner insertion order — and with it
+        // every downstream iteration — is deterministic.
+        let mut shuffle: BTreeMap<(u16, u16), (u64, u64)> = BTreeMap::new();
+        for leaf in 0..self.n_nodes {
+            stats.max_leaf_objects = stats.max_leaf_objects.max(self.leaves[leaf].len());
+            let (leaves, owners) = (&mut self.leaves, &mut self.owners);
+            let arena = &leaves[leaf];
+            for slot in 0..arena.len() {
+                let obj = arena.obj_id[slot];
+                let owner = shard_of(obj, self.n_nodes);
+                let bits = &arena.obj_bits[slot * self.words..(slot + 1) * self.words];
+                owners[owner].merge_record(
+                    obj,
+                    arena.obj_class[slot],
+                    arena.obj_bytes[slot],
+                    bits,
+                );
+                if owner != leaf {
+                    stats.shuffle_records += 1;
+                    stats.shuffle_bytes += record_wire_bytes(self.words);
+                    let e = shuffle.entry((leaf as u16, owner as u16)).or_insert((0, 0));
+                    e.0 += record_wire_bytes(self.words);
+                    e.1 += 1;
+                }
+            }
+            self.leaves[leaf].clear();
+        }
+        for ((from, to), (bytes, records)) in shuffle {
+            stats.edges.push(TreeEdge {
+                from,
+                to,
+                bytes,
+                cells: records,
+            });
+        }
+        // Owner pair walks → per-node partials.
+        let mut partials: Vec<Option<TcmPartial>> = Vec::with_capacity(self.n_nodes);
+        for owner in 0..self.n_nodes {
+            let partial = self.owners[owner].accrue(self.n_threads);
+            stats.objects += partial.objects;
+            self.owners[owner].clear();
+            partials.push(Some(partial));
+        }
+        // Tree merge below the master: parents deepest-first (a child's id
+        // always exceeds its parent's), children ascending.
+        for p in (0..self.n_nodes).rev() {
+            let first_child = (p + 1) * self.fanout;
+            if first_child >= self.n_nodes {
+                continue;
+            }
+            for c in first_child..(first_child + self.fanout).min(self.n_nodes) {
+                let child = partials[c].take().expect("child partial already taken");
+                let bytes = child.wire_bytes() as u64;
+                let cells = child.cells() as u64;
+                stats.partial_cells += cells;
+                stats.partial_bytes += bytes;
+                stats.edges.push(TreeEdge {
+                    from: c as u16,
+                    to: p as u16,
+                    bytes,
+                    cells,
+                });
+                partials[p]
+                    .as_mut()
+                    .expect("parent partial missing")
+                    .merge(&child, &mut self.scratch);
+            }
+        }
+        let subtrees: Vec<TcmPartial> = partials
+            .into_iter()
+            .take(self.fanout.min(self.n_nodes))
+            .map(|p| p.expect("subtree partial missing"))
+            .collect();
+        stats.master_partials = subtrees.len() as u64;
+        for (i, s) in subtrees.iter().enumerate() {
+            let bytes = s.wire_bytes() as u64;
+            let cells = s.cells() as u64;
+            // Node 0 hosts the master: its own hop is a local hand-off, but the
+            // other subtree roots pay real fabric bytes into the coordinator.
+            if i != 0 {
+                stats.partial_cells += cells;
+                stats.partial_bytes += bytes;
+            }
+            stats.edges.push(TreeEdge {
+                from: i as u16,
+                to: 0,
+                bytes,
+                cells,
+            });
+        }
+        (stats, subtrees)
+    }
+
+    /// Master-side merge of the subtree partials into the round's root partial
+    /// (ascending order; no cumulative state is touched).
+    pub fn merge_subtrees(&mut self, subtrees: Vec<TcmPartial>) -> TcmPartial {
+        let mut it = subtrees.into_iter();
+        let mut root = it
+            .next()
+            .unwrap_or_else(|| TcmPartial::empty(self.n_threads));
+        for s in it {
+            root.merge(&s, &mut self.scratch);
+        }
+        root
+    }
+
+    /// Fold a round's root partial into the cumulative dense maps, in lockstep
+    /// with [`TcmBuilder::fold_round`]: decay first, then sparse-merge.
+    pub fn fold_partial(&mut self, root: &TcmPartial) {
+        if self.decay < 1.0 {
+            self.tcm.scale(self.decay);
+            for map in self.per_class.values_mut() {
+                map.scale(self.decay);
+            }
+        }
+        self.tcm.merge_sparse(&root.pairs);
+        for (class, sparse) in &root.per_class {
+            self.per_class
+                .entry(*class)
+                .or_insert_with(|| Tcm::new(self.n_threads))
+                .merge_sparse(sparse);
+        }
+        self.rounds_closed += 1;
+    }
+
+    /// Master-side completion of a round: merge the subtree partials, fold the
+    /// root into the cumulative maps, and expand the round summary a flat
+    /// builder would have produced (dense round map included — callers at
+    /// production N that want to stay sparse use [`TreeTcmReducer::merge_subtrees`]
+    /// + [`TreeTcmReducer::fold_partial`] directly).
+    pub fn fold_subtrees(&mut self, subtrees: Vec<TcmPartial>) -> RoundSummary {
+        let root = self.merge_subtrees(subtrees);
+        self.fold_partial(&root);
+        RoundSummary {
+            objects: root.objects,
+            tcm: root.pairs.to_dense(),
+            per_class: root.per_class,
+        }
+    }
+
+    /// Close a round end to end (every phase on the calling thread) and return
+    /// the statistics plus the flat-equivalent round summary.
+    pub fn close_round(&mut self) -> (TreeRoundStats, RoundSummary) {
+        let (stats, subtrees) = self.close_round_subtrees();
+        let summary = self.fold_subtrees(subtrees);
+        (stats, summary)
+    }
+
+    /// The cumulative global map.
+    pub fn tcm(&self) -> &Tcm {
+        &self.tcm
+    }
+
+    /// The cumulative per-class maps.
+    pub fn per_class(&self) -> &HashMap<ClassId, Tcm> {
+        &self.per_class
+    }
+
+    /// Rounds folded so far.
+    pub fn rounds_closed(&self) -> u64 {
+        self.rounds_closed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,5 +973,221 @@ mod tests {
         let shards: Vec<TcmBuilder> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let reducer = ShardedTcmReducer::from_shards(shards, 6);
         assert_eq!(reducer.reduce().raw(), central.tcm().raw());
+    }
+
+    // --- fabric-tree aggregation ------------------------------------------
+
+    /// Splitmix-style generator, so tree tests are seeded and reproducible.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A seeded random round: per-thread OALs over a shared object universe.
+    /// Class is a pure function of the object id, as in the real runtime.
+    fn random_round(seed: u64, n_threads: usize, n_objects: u32) -> Vec<Oal> {
+        let mut s = seed;
+        (0..n_threads as u32)
+            .map(|t| {
+                let n_entries = 1 + (mix(&mut s) % 12) as usize;
+                Oal {
+                    thread: ThreadId(t),
+                    interval: 0,
+                    entries: (0..n_entries)
+                        .map(|_| {
+                            let o = (mix(&mut s) % n_objects as u64) as u32;
+                            OalEntry {
+                                obj: ObjectId(o),
+                                class: ClassId((o % 3) as u16),
+                                bytes: 8 + (mix(&mut s) % 4096),
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tree_parent_topology_is_a_forest_rooted_at_the_master() {
+        for fanout in [2usize, 3, 4, 8] {
+            for node in 0..64usize {
+                match tree_parent(node, fanout) {
+                    None => assert!(node < fanout, "only the first {fanout} ship direct"),
+                    Some(p) => {
+                        assert!(p < node, "parent id must be smaller (merge order)");
+                        let first_child = (p + 1) * fanout;
+                        assert!(
+                            (first_child..first_child + fanout).contains(&node),
+                            "node {node} not in parent {p}'s child run at fanout {fanout}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tentpole property: for arbitrary OAL streams, node placements,
+    /// fanouts and decay factors, the tree pipeline's cumulative and per-round
+    /// state is bit-identical to a flat `TcmBuilder` fed the same stream.
+    #[test]
+    fn tree_reduction_is_bit_identical_to_flat_builder() {
+        let n_threads = 23; // not a multiple of 64: exercises partial bitset words
+        for (seed, n_nodes, fanout, decay) in [
+            (1u64, 1usize, 2usize, 1.0f64),
+            (2, 2, 2, 1.0),
+            (3, 3, 2, 0.5),
+            (4, 4, 3, 1.0),
+            (5, 5, 4, 0.5),
+            (6, 7, 2, 1.0),
+            (7, 8, 3, 0.25),
+        ] {
+            let mut flat = TcmBuilder::new(n_threads);
+            flat.set_decay(decay);
+            let mut tree = TreeTcmReducer::new(n_threads, n_nodes, fanout);
+            tree.set_decay(decay);
+            let mut s = seed.wrapping_mul(0x5851_F42D_4C95_7F2D);
+            for round in 0..4u64 {
+                let oals = random_round(seed ^ round, n_threads, 40);
+                for o in &oals {
+                    // Arbitrary (but deterministic) thread→node placement.
+                    let node = (o.thread.index() + (mix(&mut s) % 2) as usize) % n_nodes;
+                    flat.ingest(o);
+                    tree.ingest(node, o);
+                }
+                let flat_summary = flat.close_round();
+                let (stats, tree_summary) = tree.close_round();
+                let label = format!(
+                    "seed {seed} round {round} nodes {n_nodes} fanout {fanout} decay {decay}"
+                );
+                assert_eq!(tree_summary.objects, flat_summary.objects, "{label}");
+                assert_eq!(tree_summary.tcm.raw(), flat_summary.tcm.raw(), "{label}");
+                assert_eq!(tree_summary.per_class, flat_summary.per_class, "{label}");
+                assert_eq!(tree.tcm().raw(), flat.tcm().raw(), "{label}");
+                assert_eq!(tree.per_class(), flat.per_class(), "{label}");
+                assert_eq!(stats.master_partials, fanout.min(n_nodes) as u64, "{label}");
+            }
+            assert_eq!(tree.rounds_closed(), 4);
+        }
+    }
+
+    #[test]
+    fn tree_stats_count_only_real_fabric_traffic() {
+        // Single node: everything is local. No shuffle bytes, and the lone
+        // "subtree → master" hop is the node-0 self-edge, so no partial bytes.
+        let mut tree = TreeTcmReducer::new(6, 1, 2);
+        for o in workload() {
+            tree.ingest(0, &o);
+        }
+        let (stats, _) = tree.close_round();
+        assert_eq!(stats.shuffle_bytes, 0);
+        assert_eq!(stats.partial_bytes, 0);
+        assert_eq!(stats.master_partials, 1);
+        assert_eq!(stats.edges.len(), 1);
+        assert_eq!((stats.edges[0].from, stats.edges[0].to), (0, 0));
+
+        // Spread over 5 nodes at fanout 2: shuffle + tree traffic appears, and
+        // every non-master-self edge carries nonzero modeled bytes.
+        let mut tree = TreeTcmReducer::new(6, 5, 2);
+        for o in workload() {
+            tree.ingest(o.thread.index() % 5, &o);
+        }
+        let (stats, _) = tree.close_round();
+        assert!(stats.shuffle_records > 0);
+        assert!(stats.shuffle_bytes >= stats.shuffle_records * 24);
+        assert!(stats.partial_bytes > 0);
+        assert_eq!(stats.master_partials, 2);
+        // The round's edge list ends with the root hops, ascending subtree
+        // order: node 0's local hand-off, then node 1's real fabric hop.
+        let roots = &stats.edges[stats.edges.len() - 2..];
+        assert_eq!((roots[0].from, roots[0].to), (0, 0));
+        assert_eq!((roots[1].from, roots[1].to), (1, 0));
+        assert!(roots[1].bytes > 0);
+    }
+
+    #[test]
+    fn partial_merge_through_scratch_is_allocation_stable() {
+        let mut tree = TreeTcmReducer::new(6, 3, 2);
+        let mut acc = TcmPartial::empty(6);
+        let mut scratch = MergeScratch::new();
+        for round in 0..6u64 {
+            for o in random_round(round, 6, 16) {
+                tree.ingest(o.thread.index() % 3, &o);
+            }
+            let (_, subtrees) = tree.close_round_subtrees();
+            let root = tree.merge_subtrees(subtrees);
+            acc.merge(&root, &mut scratch);
+            tree.fold_partial(&root);
+        }
+        // The accumulated partial equals the cumulative map (decay = 1.0).
+        assert_eq!(acc.pairs.to_dense().raw(), tree.tcm().raw());
+        // Steady state: once the union shape stabilizes, further merges reuse
+        // the scratch (and the accumulator's own buffer) without allocating.
+        for o in random_round(99, 6, 16) {
+            tree.ingest(o.thread.index() % 3, &o);
+        }
+        let (_, subtrees) = tree.close_round_subtrees();
+        let root = tree.merge_subtrees(subtrees);
+        acc.merge(&root, &mut scratch);
+        let cap = scratch.capacity();
+        assert!(cap > 0);
+        for _ in 0..4 {
+            acc.merge(&root, &mut scratch);
+        }
+        assert_eq!(scratch.capacity(), cap, "merge scratch must be reused");
+    }
+
+    /// Satellite: heterogeneous per-node coverage. When some nodes are
+    /// quarantined (contribute nothing) or prorated (contribute a boundary
+    /// fraction of their threads), merging the surviving per-node summaries
+    /// must equal a flat reduction over exactly the surviving OALs — the
+    /// property the scheduler's `round_coverage` bookkeeping relies on when
+    /// the tree path replaces the flat one.
+    #[test]
+    fn merge_round_summaries_handles_heterogeneous_node_coverage() {
+        let n_threads = 12;
+        let oals = random_round(42, n_threads, 30);
+        let node_of = |t: usize| t % 4;
+        // Node 2 quarantined; node 3 prorated to its first thread only.
+        let survives =
+            |o: &Oal| node_of(o.thread.index()) != 2 && (node_of(o.thread.index()) != 3 || o.thread.index() == 3);
+
+        let mut flat = TcmBuilder::new(n_threads);
+        let n_shards = 7; // more shards than hot objects: some merge in empty
+        let mut shards: Vec<TcmBuilder> =
+            (0..n_shards).map(|_| TcmBuilder::new(n_threads)).collect();
+        let mut scratch = SplitScratch::new();
+        for o in &oals {
+            if survives(o) {
+                flat.ingest(o);
+                for (shard, view) in split_oal_into(o, n_shards, &mut scratch) {
+                    shards[shard].ingest_view(view);
+                }
+            }
+        }
+        let flat_summary = flat.close_round();
+        let shard_summaries: Vec<RoundSummary> =
+            shards.iter_mut().map(|b| b.close_round()).collect();
+        // Merge order is the scheduler's slice order and must not matter for
+        // the result, even when quarantine/proration leaves some shards with
+        // nothing to contribute.
+        let merged = merge_round_summaries(n_threads, &shard_summaries);
+        assert_eq!(merged.tcm.raw(), flat_summary.tcm.raw());
+        assert_eq!(merged.per_class, flat_summary.per_class);
+        assert_eq!(merged.objects, flat_summary.objects);
+
+        // The tree reducer over the same survivor set agrees bit for bit.
+        let mut tree = TreeTcmReducer::new(n_threads, 4, 2);
+        for o in &oals {
+            if survives(o) {
+                tree.ingest(node_of(o.thread.index()), o);
+            }
+        }
+        let (_, tree_summary) = tree.close_round();
+        assert_eq!(tree_summary.tcm.raw(), flat_summary.tcm.raw());
+        assert_eq!(tree_summary.per_class, flat_summary.per_class);
     }
 }

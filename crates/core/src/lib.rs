@@ -43,12 +43,17 @@ pub mod tcm;
 
 pub use accuracy::{accuracy_abs, accuracy_euc, e_abs, e_abs_sparse, e_euc};
 pub use adaptive::{AdaptiveController, ControllerCheckpoint, RateChange, RoundOutcome};
-pub use config::{ConfigError, FootprintConfig, FootprintMode, ProfilerConfig, StackSamplingConfig};
-pub use distributed::{ShardedTcmReducer, SplitScratch};
+pub use config::{
+    ConfigError, FootprintConfig, FootprintMode, ProfilerConfig, StackSamplingConfig, TcmBackend,
+};
+pub use distributed::{
+    merge_round_summaries, tree_parent, ShardedTcmReducer, SplitScratch, TcmPartial,
+    TreeEdge, TreeRoundStats, TreeTcmReducer,
+};
 pub use homeaware::{HomeAwareAnalyzer, HomeAwareReport, HomeMigrationRec};
 pub use oal::{Oal, OalEntry, OalRef};
 pub use pcct::{Pcct, PcctSampler};
 pub use profiler::{ProfilerShared, ProfilerStats, ThreadProfiler};
 pub use sampling::{GapTable, SamplingRate};
 pub use stack_sampling::StackSampler;
-pub use tcm::{RoundSummary, SparseTcm, Tcm, TcmBuilder};
+pub use tcm::{MergeScratch, RoundSummary, SketchTcm, SparseTcm, Tcm, TcmBuilder, TopKPairs};

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct message classes (for fixed-size per-class counter arrays).
-pub const NUM_MSG_CLASSES: usize = 14;
+pub const NUM_MSG_CLASSES: usize = 15;
 
 /// Classification of every message the simulated DJVM exchanges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -43,6 +43,9 @@ pub enum MsgClass {
     /// Re-registration handshake from a restarted node's threads: the reply carries
     /// the master's current epoch and class rate table so sampling resumes in step.
     Rejoin = 13,
+    /// Pre-reduced sparse TCM partial shipped up the aggregation tree (node →
+    /// parent → master) in place of raw per-thread OAL batches.
+    TcmPartial = 14,
 }
 
 impl MsgClass {
@@ -62,6 +65,7 @@ impl MsgClass {
         MsgClass::MigrationCtx,
         MsgClass::Prefetch,
         MsgClass::Rejoin,
+        MsgClass::TcmPartial,
     ];
 
     /// Index into per-class counter arrays.
@@ -74,7 +78,10 @@ impl MsgClass {
     /// rather than the base coherence protocol?
     #[inline]
     pub fn is_profiling(self) -> bool {
-        matches!(self, MsgClass::OalBatch | MsgClass::RateChange | MsgClass::Rejoin)
+        matches!(
+            self,
+            MsgClass::OalBatch | MsgClass::RateChange | MsgClass::Rejoin | MsgClass::TcmPartial
+        )
     }
 
     /// Is this message part of thread-migration traffic (context + prefetch)?
@@ -100,6 +107,7 @@ impl MsgClass {
             MsgClass::MigrationCtx => "migration-ctx",
             MsgClass::Prefetch => "prefetch",
             MsgClass::Rejoin => "rejoin",
+            MsgClass::TcmPartial => "tcm-partial",
         }
     }
 
@@ -128,7 +136,12 @@ mod tests {
         let profiling: Vec<_> = MsgClass::ALL.iter().filter(|c| c.is_profiling()).collect();
         assert_eq!(
             profiling,
-            vec![&MsgClass::OalBatch, &MsgClass::RateChange, &MsgClass::Rejoin]
+            vec![
+                &MsgClass::OalBatch,
+                &MsgClass::RateChange,
+                &MsgClass::Rejoin,
+                &MsgClass::TcmPartial,
+            ]
         );
     }
 

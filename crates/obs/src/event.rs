@@ -174,6 +174,20 @@ pub enum EventKind {
         /// The round was forced closed by the deadline.
         deadline_hit: bool,
     },
+    /// A pre-reduced TCM partial crossed one edge of the aggregation tree
+    /// (tree mode only; the shuffle and every parent hop each emit one).
+    TcmPartialShipped {
+        /// Round number.
+        round: u64,
+        /// Sending node.
+        from: u16,
+        /// Receiving node (the parent, or node 0 = the master).
+        to: u16,
+        /// Sparse cells (or shuffled object records) carried.
+        cells: u64,
+        /// Modeled wire bytes.
+        bytes: u64,
+    },
     /// The controller skipped rate adaptation for a low-coverage round.
     RoundSkipped {
         /// Round number.
@@ -275,6 +289,7 @@ impl EventKind {
             EventKind::RateChanged { .. } => "RateChanged",
             EventKind::ClassConverged { .. } => "ClassConverged",
             EventKind::RoundClosed { .. } => "RoundClosed",
+            EventKind::TcmPartialShipped { .. } => "TcmPartialShipped",
             EventKind::RoundSkipped { .. } => "RoundSkipped",
             EventKind::CheckpointTaken { .. } => "CheckpointTaken",
             EventKind::MasterRestored { .. } => "MasterRestored",

@@ -42,6 +42,7 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::RateChanged { .. }
         | EventKind::ClassConverged { .. } => "core",
         EventKind::RoundClosed { .. }
+        | EventKind::TcmPartialShipped { .. }
         | EventKind::RoundSkipped { .. }
         | EventKind::CheckpointTaken { .. }
         | EventKind::MasterRestored { .. }

@@ -249,6 +249,29 @@ impl ClusterBuilder {
         self
     }
 
+    /// Aggregate TCM partials up a k-ary fabric tree instead of shipping raw
+    /// per-thread OALs to a flat coordinator (0 = flat, the default; values >= 2
+    /// enable per-node pre-reduction; 1 is rejected by validation). Dense-backend
+    /// tree runs are bit-identical to flat runs' maps.
+    pub fn tcm_tree_fanout(mut self, fanout: usize) -> Self {
+        self.profiler.tcm_tree_fanout = fanout;
+        self
+    }
+
+    /// Backend for the master's cumulative pair state (`TcmBackend::Sketch`
+    /// requires tree mode; see `ProfilerConfig::tcm_backend`).
+    pub fn tcm_backend(mut self, backend: jessy_core::TcmBackend) -> Self {
+        self.profiler.tcm_backend = backend;
+        self
+    }
+
+    /// Maintain a streaming view of the `k` hottest correlated pairs, exported
+    /// as `MasterOutput::top_pairs` (0 disables, the default).
+    pub fn tcm_top_k(mut self, k: usize) -> Self {
+        self.profiler.tcm_top_k = k;
+        self
+    }
+
     /// Explicit initial thread→node placement (default: block distribution, matching
     /// how SPLASH-2 style workloads are usually laid out: thread i on node
     /// i·K/N).

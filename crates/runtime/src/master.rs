@@ -68,9 +68,13 @@ use serde::{Deserialize, Serialize};
 
 use jessy_core::adaptive::{apply_rate_change, ControllerCheckpoint};
 use jessy_core::sampling::ClassGapState;
-use jessy_core::{AdaptiveController, Oal, ProfilerConfig, RoundOutcome, ShardedTcmReducer, Tcm};
+use jessy_core::tcm::RoundSummary;
+use jessy_core::{
+    AdaptiveController, Oal, ProfilerConfig, RoundOutcome, ShardedTcmReducer, SketchTcm,
+    SparseTcm, Tcm, TcmBackend, TopKPairs, TreeTcmReducer,
+};
 use jessy_gos::ClassId;
-use jessy_net::{Mailbox, MasterCrashWindow, MsgClass, NodeId};
+use jessy_net::{Mailbox, MasterCrashWindow, MsgClass, NodeId, ThreadId};
 use jessy_obs::EventKind;
 
 use crate::cluster::ClusterShared;
@@ -146,6 +150,24 @@ pub struct RoundTimeline {
     pub classes: Vec<ClassRoundState>,
 }
 
+/// Aggregate telemetry of the tree-mode reduction pipeline (all zero when the
+/// classic flat coordinator is in use). Feeds the `master.reduce.*` metrics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReduceTelemetry {
+    /// Rounds (including the end-of-run late fold, if any) reduced by the tree.
+    pub tree_rounds: u64,
+    /// Object records that crossed nodes in the owner shuffle.
+    pub shuffle_records: u64,
+    /// Modeled wire bytes of the owner shuffle.
+    pub shuffle_bytes: u64,
+    /// Sparse cells shipped across aggregation-tree edges.
+    pub partial_cells: u64,
+    /// Modeled wire bytes of partial-TCM messages on real (non-self) edges.
+    pub partial_bytes: u64,
+    /// Subtree partials the master folded (Σ over rounds; ≤ fanout each).
+    pub master_partials: u64,
+}
+
 /// Everything the master produced during a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MasterOutput {
@@ -194,6 +216,12 @@ pub struct MasterOutput {
     pub final_epoch: u64,
     /// Per-round convergence timeline (rate trajectory + coverage per round).
     pub timeline: Vec<RoundTimeline>,
+    /// The `ProfilerConfig::tcm_top_k` hottest correlated pairs `(i, j, weight)`,
+    /// hottest first — the streaming view the placement engine consumes. Empty
+    /// when `tcm_top_k` is 0.
+    pub top_pairs: Vec<(u32, u32, f64)>,
+    /// Tree-reduction telemetry (`master.reduce.*`); all zero in flat mode.
+    pub reduce: ReduceTelemetry,
 }
 
 /// How the [`RoundScheduler`] classified one arriving OAL.
@@ -620,6 +648,17 @@ struct Daemon {
     shared: Arc<ClusterShared>,
     config: ProfilerConfig,
     builder: ShardedTcmReducer,
+    /// Tree-mode reduction pipeline (`ProfilerConfig::tcm_tree_fanout >= 2`):
+    /// replaces the flat `builder` for round reduction; the scheduler, epoch
+    /// fencing, deadline and quarantine machinery are untouched.
+    tree: Option<TreeTcmReducer>,
+    /// Count-min backend for the merged partial stream (`TcmBackend::Sketch`,
+    /// tree mode only). When set, no dense cumulative map is maintained.
+    sketch: Option<SketchTcm>,
+    /// Streaming top-k correlated-pairs view (`ProfilerConfig::tcm_top_k > 0`).
+    topk: Option<TopKPairs>,
+    /// `master.reduce.*` counters (tree mode only).
+    reduce: ReduceTelemetry,
     controller: Option<AdaptiveController>,
     scheduler: RoundScheduler,
     oals: u64,
@@ -714,6 +753,33 @@ impl Daemon {
         b
     }
 
+    fn fresh_tree(&self) -> Option<TreeTcmReducer> {
+        let fanout = self.config.tcm_tree_fanout;
+        if fanout < 2 {
+            return None;
+        }
+        let mut t =
+            TreeTcmReducer::new(self.shared.n_threads, self.shared.n_nodes.max(1), fanout);
+        if let Some(decay) = self.config.tcm_decay {
+            t.set_decay(decay);
+        }
+        Some(t)
+    }
+
+    fn fresh_sketch(&self) -> Option<SketchTcm> {
+        match self.config.tcm_backend {
+            TcmBackend::Sketch { width, depth } if self.config.tcm_tree_fanout >= 2 => Some(
+                SketchTcm::new(self.shared.n_threads, width as usize, depth as usize),
+            ),
+            _ => None,
+        }
+    }
+
+    fn fresh_topk(&self) -> Option<TopKPairs> {
+        (self.config.tcm_top_k > 0)
+            .then(|| TopKPairs::new(self.shared.n_threads, self.config.tcm_top_k))
+    }
+
     fn fresh_controller(&self) -> Option<AdaptiveController> {
         self.config.adaptive_threshold.map(|t| {
             AdaptiveController::new(t).with_min_coverage(self.config.min_round_coverage)
@@ -722,9 +788,30 @@ impl Daemon {
 
     /// The cumulative TCM: rounds closed since the last restore plus the restored
     /// base. Integer-valued f64 sums below 2^53 are exact and association-free, so
-    /// this equals the uninterrupted cumulative bit for bit.
+    /// this equals the uninterrupted cumulative bit for bit. In tree mode the
+    /// tree's cumulative is bit-identical to the flat reducer's (property-tested
+    /// in jessy-core); under the sketch backend no dense cumulative exists, so
+    /// this expands the sketch's point estimates — an overestimate-only
+    /// approximation, which is why the sketch backend is gated to tree mode and
+    /// aimed at production N where the dense map is unaffordable anyway.
     fn effective_tcm(&self) -> Tcm {
-        let mut t = self.builder.reduce();
+        let mut t = if let Some(sk) = &self.sketch {
+            let n = self.shared.n_threads;
+            let mut pairs = Vec::new();
+            for i in 0..n as u32 {
+                for j in (i + 1)..n as u32 {
+                    let v = sk.at(ThreadId(i), ThreadId(j));
+                    if v > 0.0 {
+                        pairs.push((ThreadId(i), ThreadId(j), v));
+                    }
+                }
+            }
+            SparseTcm::from_pairs(n, &pairs).to_dense()
+        } else if let Some(tree) = &self.tree {
+            tree.tcm().clone()
+        } else {
+            self.builder.reduce()
+        };
         if let Some(base) = &self.base_tcm {
             t.merge(base);
         }
@@ -831,6 +918,12 @@ impl Daemon {
             }
         }
         self.builder = self.fresh_reducer();
+        // Tree-mode state restarts from the checkpoint base: the replay log
+        // re-closes post-checkpoint rounds, refilling the tree/sketch/top-k in
+        // the same deterministic order the pre-crash master saw.
+        self.tree = self.fresh_tree();
+        self.sketch = self.fresh_sketch();
+        self.topk = self.fresh_topk();
 
         // New regime: bump the epoch, publish it to the workers, and account the
         // epoch + rate-table broadcast that re-registration answers carry.
@@ -859,12 +952,101 @@ impl Daemon {
         }
     }
 
+    /// Tree-mode reduction of one round's OALs: leaf pre-reduction at each
+    /// thread's node, owner shuffle, k-ary partial merge, then the backend fold
+    /// (dense cumulative, or sketch + top-k). Accounts every real fabric hop as
+    /// `MsgClass::TcmPartial` traffic and journals it. Returns the same
+    /// `RoundSummary` a flat reducer would have produced, so the controller,
+    /// timeline and coverage bookkeeping downstream run unchanged.
+    fn close_round_tree(&mut self, closed: &ClosedRound) -> RoundSummary {
+        let (stats, root) = {
+            let tree = self.tree.as_mut().expect("tree mode");
+            for oal in &closed.oals {
+                let node = self.shared.node_of(oal.thread).0 as usize;
+                tree.ingest(node, oal);
+            }
+            let (stats, subtrees) = tree.close_round_subtrees();
+            let root = tree.merge_subtrees(subtrees);
+            (stats, root)
+        };
+        self.reduce.tree_rounds += 1;
+        self.reduce.shuffle_records += stats.shuffle_records;
+        self.reduce.shuffle_bytes += stats.shuffle_bytes;
+        self.reduce.partial_cells += stats.partial_cells;
+        self.reduce.partial_bytes += stats.partial_bytes;
+        self.reduce.master_partials += stats.master_partials;
+        let clock = self.shared.master_clock();
+        for e in &stats.edges {
+            // Node 0 hosts the master daemon: its hops are local hand-offs.
+            if e.from == e.to {
+                continue;
+            }
+            self.shared.gos.fabric().account_async(
+                NodeId(e.from),
+                NodeId(e.to),
+                MsgClass::TcmPartial,
+                e.bytes as usize,
+            );
+            self.shared.emit_event(
+                &clock,
+                EventKind::TcmPartialShipped {
+                    round: closed.round,
+                    from: e.from,
+                    to: e.to,
+                    cells: e.cells,
+                    bytes: e.bytes,
+                },
+            );
+        }
+        let decay = self.config.tcm_decay.unwrap_or(1.0);
+        if let Some(sk) = self.sketch.as_mut() {
+            if decay < 1.0 {
+                sk.scale(decay);
+            }
+            if let Some(tk) = self.topk.as_mut() {
+                if decay < 1.0 {
+                    tk.scale(decay);
+                }
+                let sk_ref: &SketchTcm = sk;
+                tk.observe_round(&root.pairs, |idx| sk_ref.estimate(idx));
+            }
+            sk.fold_round(&root.pairs);
+            RoundSummary {
+                objects: root.objects,
+                tcm: root.pairs.to_dense(),
+                per_class: root.per_class,
+            }
+        } else {
+            if let Some(tk) = self.topk.as_mut() {
+                if decay < 1.0 {
+                    tk.scale(decay);
+                }
+                let cum = self.tree.as_ref().expect("tree mode").tcm().raw();
+                // Pre-fold cumulative, aged exactly as `fold_partial` is about
+                // to age it (`x * decay` matches `Tcm::scale` bit for bit).
+                tk.observe_round(&root.pairs, |idx| cum[idx as usize] * decay);
+            }
+            let tree = self.tree.as_mut().expect("tree mode");
+            tree.fold_partial(&root);
+            RoundSummary {
+                objects: root.objects,
+                tcm: root.pairs.to_dense(),
+                per_class: root.per_class,
+            }
+        }
+    }
+
     fn close_round(&mut self, closed: ClosedRound) {
         let t0 = Instant::now();
-        for oal in &closed.oals {
-            self.builder.ingest(oal);
-        }
-        let (_stats, summary) = self.builder.close_round();
+        let summary = if self.tree.is_some() {
+            self.close_round_tree(&closed)
+        } else {
+            for oal in &closed.oals {
+                self.builder.ingest(oal);
+            }
+            let (_stats, summary) = self.builder.close_round();
+            summary
+        };
         // The reducer decays its own cumulative per close; the restored base must
         // age in lockstep or the merged map would over-weight pre-crash history.
         if let (Some(decay), Some(base)) = (self.config.tcm_decay, self.base_tcm.as_mut()) {
@@ -923,7 +1105,10 @@ impl Daemon {
                             },
                         );
                         self.rate_changes.push(AppliedRateChange {
-                            round: self.rounds_base + self.builder.rounds_closed(),
+                            // == rounds closed including this one, both modes
+                            // (the flat builder and the tree count from the
+                            // last restore; `rounds` already includes it).
+                            round: self.rounds,
                             class_name,
                             new_rate,
                             relative_distance: ch.relative_distance,
@@ -989,8 +1174,7 @@ impl Daemon {
         // Dynamic balancing: plan once enough rounds have closed (Section V's policy,
         // built on the profiles).
         if let Some(cfg) = self.shared.rebalance {
-            if !self.rebalanced && self.rounds_base + self.builder.rounds_closed() >= cfg.after_rounds
-            {
+            if !self.rebalanced && self.rounds >= cfg.after_rounds {
                 self.rebalanced = true;
                 let tcm = self.effective_tcm();
                 self.planned_migrations = plan_and_post(&self.shared, &tcm, &cfg);
@@ -1026,10 +1210,22 @@ impl Daemon {
         let late = self.scheduler.take_late();
         if !late.is_empty() {
             let t0 = Instant::now();
-            for oal in &late {
-                self.builder.ingest(oal);
-            }
-            let (_stats, summary) = self.builder.close_round();
+            let summary = if self.tree.is_some() {
+                // The late fold rides the same tree pipeline (and pays the same
+                // partial-TCM fabric bytes) as a regular round.
+                self.close_round_tree(&ClosedRound {
+                    round: self.rounds,
+                    oals: late,
+                    coverage: 0.0,
+                    deadline_hit: false,
+                })
+            } else {
+                for oal in &late {
+                    self.builder.ingest(oal);
+                }
+                let (_stats, summary) = self.builder.close_round();
+                summary
+            };
             self.build_ns += t0.elapsed().as_nanos() as u64;
             self.objects_organized += summary.objects as u64;
         }
@@ -1093,6 +1289,10 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
     let mut daemon = Daemon {
         config,
         builder,
+        tree: None,
+        sketch: None,
+        topk: None,
+        reduce: ReduceTelemetry::default(),
         controller: config
             .adaptive_threshold
             .map(|t| AdaptiveController::new(t).with_min_coverage(config.min_round_coverage)),
@@ -1125,6 +1325,9 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
         quarantined_nodes,
         shared: Arc::clone(&shared),
     };
+    daemon.tree = daemon.fresh_tree();
+    daemon.sketch = daemon.fresh_sketch();
+    daemon.topk = daemon.fresh_topk();
 
     loop {
         let batch = mailbox.drain();
@@ -1173,6 +1376,12 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
             .unwrap_or(0),
         final_epoch: daemon.epoch,
         timeline: daemon.timeline,
+        top_pairs: daemon
+            .topk
+            .as_ref()
+            .map(|tk| tk.top().into_iter().map(|(i, j, v)| (i.0, j.0, v)).collect())
+            .unwrap_or_default(),
+        reduce: daemon.reduce,
     }
 }
 

@@ -240,6 +240,13 @@ impl RunReport {
             m.set("master.quarantined_nodes", master.quarantined_nodes);
             m.set("master.converged_classes", master.converged_classes);
             m.set("master.final_epoch", master.final_epoch);
+            m.set("master.top_pairs", master.top_pairs.len() as u64);
+            m.set("master.reduce.tree_rounds", master.reduce.tree_rounds);
+            m.set("master.reduce.shuffle_records", master.reduce.shuffle_records);
+            m.set("master.reduce.shuffle_bytes", master.reduce.shuffle_bytes);
+            m.set("master.reduce.partial_cells", master.reduce.partial_cells);
+            m.set("master.reduce.partial_bytes", master.reduce.partial_bytes);
+            m.set("master.reduce.master_partials", master.reduce.master_partials);
         }
         m
     }

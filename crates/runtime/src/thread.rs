@@ -198,12 +198,17 @@ impl JThread {
                 kept.push((heal, key, env));
                 continue;
             }
-            let bytes = env.oal.wire_bytes();
-            fabric.account_async(self.node, NodeId::MASTER, MsgClass::OalBatch, bytes);
-            if self.node != NodeId::MASTER {
-                let total = bytes + MsgClass::OalBatch.header_bytes();
-                self.clock
-                    .spend((total as f64 * fabric.latency_model().ns_per_byte) as u64);
+            // Tree mode: the healed batch drains to the node-local pre-reducer;
+            // only the round's partial-TCM crosses the fabric (accounted by the
+            // master at round close), so no OAL bytes are charged here.
+            if self.shared.prof.config().tcm_tree_fanout < 2 {
+                let bytes = env.oal.wire_bytes();
+                fabric.account_async(self.node, NodeId::MASTER, MsgClass::OalBatch, bytes);
+                if self.node != NodeId::MASTER {
+                    let total = bytes + MsgClass::OalBatch.header_bytes();
+                    self.clock
+                        .spend((total as f64 * fabric.latency_model().ns_per_byte) as u64);
+                }
             }
             let interval = env.oal.interval;
             if self.shared.oal_tx.try_post_keyed(self.node, key, env).is_err() {
@@ -312,12 +317,22 @@ impl JThread {
                 }
                 // The jumbo OAL message piggybacks on the sync message already headed
                 // to the master (Section II.A), so the sender pays only the transmit
-                // occupancy of the extra bytes, not another base latency.
-                fabric.account_async(self.node, NodeId::MASTER, MsgClass::OalBatch, oal.wire_bytes());
-                if self.node != NodeId::MASTER {
-                    let bytes = oal.wire_bytes() + MsgClass::OalBatch.header_bytes();
-                    self.clock
-                        .spend((bytes as f64 * fabric.latency_model().ns_per_byte) as u64);
+                // occupancy of the extra bytes, not another base latency. In tree
+                // mode (`tcm_tree_fanout >= 2`) the OAL stays on its node — the
+                // local pre-reducer consumes it and only the per-round partial-TCM
+                // crosses the fabric, accounted by the master per tree edge.
+                if self.shared.prof.config().tcm_tree_fanout < 2 {
+                    fabric.account_async(
+                        self.node,
+                        NodeId::MASTER,
+                        MsgClass::OalBatch,
+                        oal.wire_bytes(),
+                    );
+                    if self.node != NodeId::MASTER {
+                        let bytes = oal.wire_bytes() + MsgClass::OalBatch.header_bytes();
+                        self.clock
+                            .spend((bytes as f64 * fabric.latency_model().ns_per_byte) as u64);
+                    }
                 }
                 let key = jessy_net::oal_fault_key(oal.thread, oal.interval);
                 let interval = oal.interval;

@@ -479,3 +479,104 @@ fn tcm_decay_follows_a_shifting_sharing_pattern() {
         windowed.at(ThreadId(0), ThreadId(1))
     );
 }
+
+#[test]
+fn tree_aggregated_reduction_is_bit_identical_to_flat_end_to_end() {
+    // The same deterministic workload through the flat coordinator and through
+    // the fabric aggregation tree (per-node pre-reduction + owner shuffle +
+    // k-ary partial merge) must produce the exact same cumulative TCM, while
+    // only the tree run reports reduction traffic.
+    let run = |fanout: usize, top_k: usize| {
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .threads(6)
+            .latency(LatencyModel::free())
+            .costs(CostModel::free())
+            .profiler(ProfilerConfig::tracking_at(SamplingRate::Full))
+            .tcm_tree_fanout(fanout)
+            .tcm_top_k(top_k)
+            .build();
+        let objs = cluster.init(|ctx| {
+            let class = ctx.register_scalar_class("Shared", 4);
+            (0..3)
+                .map(|k| ctx.alloc_scalar_at(NodeId((k % 3) as u16), class).id)
+                .collect::<Vec<_>>()
+        });
+        let mut cluster = cluster;
+        let objs = Arc::new(objs);
+        cluster.run(move |jt| {
+            let obj = objs[jt.thread_id().index() / 2];
+            for _ in 0..4 {
+                jt.write(obj, |d| d[0] += 1.0);
+                jt.barrier();
+            }
+        });
+        cluster.master_output().expect("master ran").clone()
+    };
+    let flat = run(0, 0);
+    let tree = run(2, 4);
+    assert_eq!(flat.tcm.raw(), tree.tcm.raw(), "tree reduction must be exact");
+    assert_eq!(flat.rounds, tree.rounds);
+    assert_eq!(flat.round_coverage, tree.round_coverage);
+
+    // Flat mode reports no reduction traffic; tree mode reports partials into
+    // the master (nodes 1 and 2 sit outside node 0, which hosts the master).
+    assert_eq!(flat.reduce, jessy_runtime::master::ReduceTelemetry::default());
+    assert!(flat.top_pairs.is_empty());
+    assert!(tree.reduce.tree_rounds > 0);
+    assert!(tree.reduce.partial_bytes > 0, "real fabric hops must be accounted");
+    assert!(tree.reduce.master_partials >= tree.reduce.tree_rounds);
+
+    // The streaming top-k view surfaces the true hottest pairs: each thread
+    // pair (2k, 2k+1) shares an object, so every reported pair is adjacent.
+    assert!(!tree.top_pairs.is_empty() && tree.top_pairs.len() <= 4);
+    for &(i, j, w) in &tree.top_pairs {
+        assert_eq!(j, i + 1, "only adjacent pairs share objects");
+        assert!(w > 0.0);
+        assert_eq!(w, tree.tcm.at(ThreadId(i), ThreadId(j)));
+    }
+}
+
+#[test]
+fn sketch_backend_at_generous_width_matches_dense_exactly() {
+    // A count-min sketch wide enough to avoid collisions on a handful of hot
+    // pairs returns exact weights; the end-to-end run must then agree with the
+    // dense-backend run bit for bit (the sketch only ever *adds* collision
+    // mass, and there is none here).
+    let run = |backend: jessy_core::TcmBackend| {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .threads(4)
+            .latency(LatencyModel::free())
+            .costs(CostModel::free())
+            .profiler(ProfilerConfig::tracking_at(SamplingRate::Full))
+            .tcm_tree_fanout(2)
+            .tcm_backend(backend)
+            .tcm_top_k(2)
+            .build();
+        let objs = cluster.init(|ctx| {
+            let class = ctx.register_scalar_class("Shared", 4);
+            (0..2)
+                .map(|k| ctx.alloc_scalar_at(NodeId((k % 2) as u16), class).id)
+                .collect::<Vec<_>>()
+        });
+        let mut cluster = cluster;
+        let objs = Arc::new(objs);
+        cluster.run(move |jt| {
+            let obj = objs[jt.thread_id().index() / 2];
+            for _ in 0..3 {
+                jt.write(obj, |d| d[0] += 1.0);
+                jt.barrier();
+            }
+        });
+        cluster.master_output().expect("master ran").clone()
+    };
+    let dense = run(jessy_core::TcmBackend::Dense);
+    let sketched = run(jessy_core::TcmBackend::Sketch {
+        width: 1 << 14,
+        depth: 4,
+    });
+    assert_eq!(dense.tcm.raw(), sketched.tcm.raw());
+    assert_eq!(dense.top_pairs, sketched.top_pairs);
+    assert!(sketched.reduce.tree_rounds > 0);
+}

@@ -31,6 +31,9 @@ struct Options {
     scale: WorkloadPreset,
     adaptive: Option<f64>,
     rebalance: Option<u64>,
+    tcm_fanout: usize,
+    tcm_backend: TcmBackend,
+    top_k: usize,
     prefetch_depth: u32,
     json: bool,
     trace: Option<String>,
@@ -65,6 +68,9 @@ impl Default for Options {
             scale: WorkloadPreset::Small,
             adaptive: None,
             rebalance: None,
+            tcm_fanout: 0,
+            tcm_backend: TcmBackend::Dense,
+            top_k: 0,
             prefetch_depth: 0,
             json: false,
             trace: None,
@@ -144,6 +150,37 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--prefetch-depth: {e}"))?
             }
+            "--tcm-fanout" => {
+                opts.tcm_fanout = value(flag)?
+                    .parse()
+                    .map_err(|e| format!("--tcm-fanout: {e}"))?
+            }
+            "--tcm-backend" => {
+                let v = value(flag)?.to_lowercase();
+                opts.tcm_backend = match v.as_str() {
+                    "dense" => TcmBackend::Dense,
+                    "sketch" => TcmBackend::default_sketch(),
+                    other => match other.strip_prefix("sketch:") {
+                        Some(dims) => {
+                            let (w, d) = dims.split_once(',').ok_or_else(|| {
+                                format!("bad backend {other:?} (dense | sketch | sketch:WIDTH,DEPTH)")
+                            })?;
+                            TcmBackend::Sketch {
+                                width: w.trim().parse().map_err(|e| format!("sketch width: {e}"))?,
+                                depth: d.trim().parse().map_err(|e| format!("sketch depth: {e}"))?,
+                            }
+                        }
+                        None => {
+                            return Err(format!(
+                                "bad backend {other:?} (dense | sketch | sketch:WIDTH,DEPTH)"
+                            ))
+                        }
+                    },
+                }
+            }
+            "--top-k" => {
+                opts.top_k = value(flag)?.parse().map_err(|e| format!("--top-k: {e}"))?
+            }
             "--json" => opts.json = true,
             "--trace" => opts.trace = Some(value(flag)?),
             "--journal" => opts.journal = Some(value(flag)?),
@@ -166,6 +203,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.rebalance.is_some() && matches!(opts.rate, RateOpt::Off) {
         return Err("--rebalance needs correlation tracking (pick a --rate)".into());
     }
+    if opts.tcm_fanout == 1 {
+        return Err("--tcm-fanout 1 reduces nothing; use 0 (flat) or >= 2".into());
+    }
+    if let TcmBackend::Sketch { width, depth } = opts.tcm_backend {
+        if opts.tcm_fanout < 2 {
+            return Err(
+                "--tcm-backend sketch needs the aggregation tree (--tcm-fanout >= 2)".into(),
+            );
+        }
+        if width == 0 || depth == 0 {
+            return Err("--tcm-backend sketch dimensions must both be nonzero".into());
+        }
+    }
     Ok(opts)
 }
 
@@ -177,6 +227,9 @@ fn profiler_config(opts: &Options) -> ProfilerConfig {
         RateOpt::Trace => ProfilerConfig::ground_truth(),
     };
     config.adaptive_threshold = opts.adaptive;
+    config.tcm_tree_fanout = opts.tcm_fanout;
+    config.tcm_backend = opts.tcm_backend;
+    config.tcm_top_k = opts.top_k;
     config
 }
 
@@ -279,6 +332,20 @@ fn cmd_run(opts: &Options) {
                 m.thread, m.from, m.to, m.gain_bytes
             );
         }
+        if master.reduce.tree_rounds > 0 {
+            println!(
+                "tree reduction      : {:>12} partials into master ({:.1} KB partial-TCM, {:.1} KB shuffle)",
+                master.reduce.master_partials,
+                master.reduce.partial_bytes as f64 / 1024.0,
+                master.reduce.shuffle_bytes as f64 / 1024.0
+            );
+        }
+        if !master.top_pairs.is_empty() {
+            println!("\nhottest correlated pairs:");
+            for (i, j, w) in &master.top_pairs {
+                println!("  ({i:>4}, {j:>4})  {w:>14.0}");
+            }
+        }
         println!("\nthread correlation map:");
         print!("{}", master.tcm.ascii_heatmap());
     }
@@ -323,6 +390,8 @@ fn main() -> ExitCode {
             eprintln!("       [--nodes N] [--threads T] [--rate off|1x|4x|full|trace]");
             eprintln!("       [--scale paper|small] [--adaptive THRESHOLD]");
             eprintln!("       [--rebalance ROUNDS] [--prefetch-depth D] [--json]");
+            eprintln!("       [--tcm-fanout K (>=2: fabric-tree TCM aggregation)]");
+            eprintln!("       [--tcm-backend dense|sketch|sketch:WIDTH,DEPTH] [--top-k K]");
             eprintln!("       [--trace FILE (Chrome trace_event)] [--journal FILE (JSON lines)]");
             eprintln!("       [--exec-seed N] [--exec-jitter NS (deterministic schedule jitter)]");
             ExitCode::FAILURE
@@ -372,6 +441,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_tree_reduction_flags() {
+        let o = parse_args(&args(
+            "run --tcm-fanout 4 --tcm-backend sketch:8192,3 --top-k 16",
+        ))
+        .unwrap();
+        assert_eq!(o.tcm_fanout, 4);
+        assert_eq!(o.tcm_backend, TcmBackend::Sketch { width: 8192, depth: 3 });
+        assert_eq!(o.top_k, 16);
+        let o = parse_args(&args("run --tcm-fanout 2 --tcm-backend sketch")).unwrap();
+        assert_eq!(o.tcm_backend, TcmBackend::default_sketch());
+        let o = parse_args(&args("run --tcm-backend dense")).unwrap();
+        assert_eq!(o.tcm_backend, TcmBackend::Dense);
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&args("fly")).is_err());
@@ -380,6 +464,12 @@ mod tests {
         assert!(parse_args(&args("run --rebalance 2 --rate off")).is_err());
         assert!(parse_args(&args("run --trace")).is_err(), "missing value");
         assert!(parse_args(&args("run --journal")).is_err(), "missing value");
+        assert!(parse_args(&args("run --tcm-fanout 1")).is_err(), "unary chain");
+        assert!(
+            parse_args(&args("run --tcm-backend sketch")).is_err(),
+            "sketch needs the tree"
+        );
+        assert!(parse_args(&args("run --tcm-backend sketch:0,4 --tcm-fanout 2")).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> tcm_reduce smoke (exactness + throughput sanity)"
+echo "==> tcm_reduce smoke (exactness incl. N=1024 tree lane + sketch-at-dense identity)"
 JESSY_SCALE=small cargo bench -p jessy-bench --bench tcm_reduce
 
 echo "==> access_path smoke (arena vs seed layout, payload identity)"
