@@ -1,0 +1,497 @@
+//! The overhead-budget (SLO) feedback loop around the adaptive controller.
+//!
+//! The paper's controller (Section II.B) optimizes one variable: TCM accuracy. A
+//! production profiler must also bound its *own* cost — access-path charges, OAL
+//! wire bytes, reduce work — as a fraction of the compute it observes. The
+//! [`BudgetedController`] wraps the accuracy-only [`AdaptiveController`] with a
+//! second loop: each round the master measures the profiling cost fraction from
+//! the metrics registry and feeds it here; a round whose cost exceeds
+//! [`ProfilerConfig::overhead_budget`](crate::config::ProfilerConfig) walks one
+//! rung down a deterministic **degradation ladder** instead of adapting:
+//!
+//! 1. **Coarsen** — step the finest still-coarsenable class one rate down
+//!    (fewer sampled objects → fewer log appends and OAL bytes);
+//! 2. **Merge rounds** — once every class sits at 1X, halve the controller's
+//!    cadence (factor 2, 4, … up to 8), eliding broadcasts and resample walks;
+//! 3. **Summary-only OALs** — collapse shipped OALs to per-class summaries,
+//!    shedding object identity to cut wire bytes (class-grain correlation, the
+//!    analogue of the paper's page-grain baseline);
+//! 4. **Exhausted** — every lever is pulled; the residual cost is the floor.
+//!
+//! Rungs are never climbed back up: a one-directional ladder is trivially
+//! deterministic and cannot oscillate against the accuracy loop (which still
+//! refines within budget). With `overhead_budget = None` every call delegates
+//! verbatim to the inner controller — bit-identical to previous releases, and
+//! property-tested to stay that way.
+
+use std::collections::HashMap;
+
+use jessy_gos::ClassId;
+use serde::{Deserialize, Serialize};
+
+use crate::adaptive::{AdaptiveController, ControllerCheckpoint, RoundOutcome};
+use crate::sampling::{ClassGapState, GapTable, SamplingRate};
+use crate::tcm::SparseTcm;
+
+/// Ceiling of the round-merge factor: beyond 8× the controller reacts too slowly
+/// to workload shifts to be worth the marginal saving.
+pub const MAX_MERGE_FACTOR: u32 = 8;
+
+/// Rounds to wait after taking a rung before trusting an over-budget
+/// measurement again. One round suffices: the re-arm fault burst lands in the
+/// round following the rung's broadcast, and the round after that is clean.
+pub const SETTLE_ROUNDS: u32 = 1;
+
+/// One rung taken on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradeStep {
+    /// A class's sampling rate stepped one rung coarser.
+    CoarsenRate {
+        /// The class that was coarsened.
+        class: ClassId,
+        /// Its new sampling state.
+        new_state: ClassGapState,
+    },
+    /// The controller's cadence halved: it now acts every `factor` rounds.
+    MergeRounds {
+        /// The new merge factor.
+        factor: u32,
+    },
+    /// OALs degrade to per-class summaries from here on.
+    SummaryOnly,
+    /// Every lever is already pulled; the cost floor is reached.
+    Exhausted,
+}
+
+impl DegradeStep {
+    /// Stable label for obs events and metrics ("coarsen:c3:2X", "merge_rounds:4",
+    /// "summary_only", "exhausted").
+    pub fn label(&self) -> String {
+        match self {
+            DegradeStep::CoarsenRate { class, new_state } => {
+                format!("coarsen:{class}:{}", new_state.rate.label())
+            }
+            DegradeStep::MergeRounds { factor } => format!("merge_rounds:{factor}"),
+            DegradeStep::SummaryOnly => "summary_only".to_string(),
+            DegradeStep::Exhausted => "exhausted".to_string(),
+        }
+    }
+}
+
+/// What the budgeted controller did with one round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetOutcome {
+    /// Within budget (or no budget configured): the inner accuracy controller ran.
+    Adapted(RoundOutcome),
+    /// Within budget, but this round falls between merge-factor act points: the
+    /// inner controller was not consulted (no baselines, no broadcasts).
+    MergedOut {
+        /// The merge factor in force.
+        factor: u32,
+    },
+    /// Over budget: one ladder rung was taken instead of adapting.
+    Degraded(DegradeStep),
+    /// Over budget, but inside the settling window right after a rung: the
+    /// measured cost still reflects the transition itself (rate-change
+    /// broadcasts, the threads' trap re-arm walks and the resulting fault
+    /// burst), so no new rung is taken until a clean round has been measured.
+    /// Without this the transition spike cascades the ladder past the rate
+    /// that would have held the budget at steady state.
+    Settling,
+}
+
+/// Serializable snapshot of a [`BudgetedController`], wrapping the inner
+/// controller's checkpoint with the ladder position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetCheckpoint {
+    /// The accuracy controller's state.
+    pub inner: ControllerCheckpoint,
+    /// Merge factor in force (1 = every round).
+    pub merge_factor: u32,
+    /// Whether OALs have degraded to per-class summaries.
+    pub summary_only: bool,
+    /// Rounds observed (drives the merge-cadence phase).
+    pub rounds_seen: u64,
+    /// Over-budget rounds still ignored while the last rung settles.
+    pub cooldown: u32,
+}
+
+/// [`AdaptiveController`] plus the overhead-budget loop and degradation ladder.
+#[derive(Debug)]
+pub struct BudgetedController {
+    inner: AdaptiveController,
+    budget: Option<f64>,
+    merge_factor: u32,
+    summary_only: bool,
+    rounds_seen: u64,
+    /// Over-budget rounds left to ignore while the last rung's transition
+    /// costs wash out.
+    cooldown: u32,
+    over_rounds: u64,
+    degrades: u64,
+}
+
+impl BudgetedController {
+    /// Wrap a threshold-`threshold` accuracy controller with an optional overhead
+    /// budget (a fraction of charged compute in `(0, 1]`).
+    pub fn new(threshold: f64, budget: Option<f64>) -> Self {
+        BudgetedController {
+            inner: AdaptiveController::new(threshold),
+            budget,
+            merge_factor: 1,
+            summary_only: false,
+            rounds_seen: 0,
+            cooldown: 0,
+            over_rounds: 0,
+            degrades: 0,
+        }
+    }
+
+    /// Require at least this OAL coverage before a round may steer rates.
+    pub fn with_min_coverage(mut self, min_coverage: f64) -> Self {
+        self.inner = self.inner.with_min_coverage(min_coverage);
+        self
+    }
+
+    /// Feed one round: its per-class maps, coverage, and the measured profiling
+    /// cost as a fraction of charged compute. Decision order: no budget →
+    /// delegate verbatim; over budget → take one ladder rung (the inner
+    /// controller is *not* consulted, so its baselines stay clean); within
+    /// budget → consult the inner controller at the merge cadence.
+    pub fn on_round(
+        &mut self,
+        round_per_class: &HashMap<ClassId, SparseTcm>,
+        gaps: &GapTable,
+        coverage: f64,
+        cost_fraction: f64,
+    ) -> BudgetOutcome {
+        let Some(budget) = self.budget else {
+            return BudgetOutcome::Adapted(self.inner.on_round_with_coverage(
+                round_per_class,
+                gaps,
+                coverage,
+            ));
+        };
+        self.rounds_seen += 1;
+        if cost_fraction > budget {
+            self.over_rounds += 1;
+            if self.cooldown > 0 {
+                self.cooldown -= 1;
+                return BudgetOutcome::Settling;
+            }
+            let step = self.degrade_once(gaps);
+            if !matches!(step, DegradeStep::Exhausted) {
+                self.degrades += 1;
+                self.cooldown = SETTLE_ROUNDS;
+            }
+            return BudgetOutcome::Degraded(step);
+        }
+        self.cooldown = 0;
+        if self.merge_factor > 1 && !self.rounds_seen.is_multiple_of(self.merge_factor as u64) {
+            return BudgetOutcome::MergedOut { factor: self.merge_factor };
+        }
+        BudgetOutcome::Adapted(self.inner.on_round_with_coverage(round_per_class, gaps, coverage))
+    }
+
+    /// Take one rung down the ladder. Deterministic: the class to coarsen is the
+    /// finest still-coarsenable one (smallest real gap; ties break on the lower
+    /// class id), because the finest class logs the most and thus buys the most
+    /// relief per rung.
+    fn degrade_once(&mut self, gaps: &GapTable) -> DegradeStep {
+        let mut finest: Option<(u64, ClassId)> = None;
+        for class in gaps.classes() {
+            let st = gaps.state(class);
+            if st.rate == SamplingRate::NX(1) {
+                continue; // already at the coarsest rung the paper uses
+            }
+            let key = (st.real_gap, class);
+            if finest.is_none_or(|best| key < best) {
+                finest = Some(key);
+            }
+        }
+        if let Some((_, class)) = finest {
+            let new_state = gaps.step_down(class);
+            return DegradeStep::CoarsenRate { class, new_state };
+        }
+        if self.merge_factor < MAX_MERGE_FACTOR {
+            self.merge_factor = (self.merge_factor * 2).min(MAX_MERGE_FACTOR);
+            return DegradeStep::MergeRounds { factor: self.merge_factor };
+        }
+        if !self.summary_only {
+            self.summary_only = true;
+            return DegradeStep::SummaryOnly;
+        }
+        DegradeStep::Exhausted
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<f64> {
+        self.budget
+    }
+
+    /// The merge factor in force (1 = act every round).
+    pub fn merge_factor(&self) -> u32 {
+        self.merge_factor
+    }
+
+    /// Whether the ladder has degraded OALs to per-class summaries.
+    pub fn summary_only(&self) -> bool {
+        self.summary_only
+    }
+
+    /// Rounds whose measured cost exceeded the budget.
+    pub fn over_rounds(&self) -> u64 {
+        self.over_rounds
+    }
+
+    /// Ladder rungs actually taken (excludes `Exhausted` no-ops).
+    pub fn degrades(&self) -> u64 {
+        self.degrades
+    }
+
+    /// The coverage floor in force.
+    pub fn min_coverage(&self) -> f64 {
+        self.inner.min_coverage()
+    }
+
+    /// Has this class converged (in the inner accuracy loop)?
+    pub fn is_converged(&self, class: ClassId) -> bool {
+        self.inner.is_converged(class)
+    }
+
+    /// Number of converged classes.
+    pub fn converged_count(&self) -> usize {
+        self.inner.converged_count()
+    }
+
+    /// Snapshot controller + ladder state in canonical form. The over/degrade
+    /// tallies are telemetry, not decision state, and are not checkpointed.
+    pub fn checkpoint(&self) -> BudgetCheckpoint {
+        BudgetCheckpoint {
+            inner: self.inner.checkpoint(),
+            merge_factor: self.merge_factor,
+            summary_only: self.summary_only,
+            rounds_seen: self.rounds_seen,
+            cooldown: self.cooldown,
+        }
+    }
+
+    /// Overwrite controller + ladder state from a checkpoint.
+    pub fn restore(&mut self, cp: &BudgetCheckpoint) {
+        self.inner.restore(&cp.inner);
+        self.merge_factor = cp.merge_factor;
+        self.summary_only = cp.summary_only;
+        self.rounds_seen = cp.rounds_seen;
+        self.cooldown = cp.cooldown;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jessy_net::ThreadId;
+    use proptest::prelude::*;
+
+    fn round(class: ClassId, v: f64) -> HashMap<ClassId, SparseTcm> {
+        let t = SparseTcm::from_pairs(2, &[(ThreadId(0), ThreadId(1), v)]);
+        HashMap::from([(class, t)])
+    }
+
+    fn gaps_with(class: ClassId, unit: usize, rate: SamplingRate) -> GapTable {
+        let g = GapTable::new(4096);
+        g.register_class(class, unit, rate);
+        g
+    }
+
+    #[test]
+    fn within_budget_behaves_like_the_accuracy_controller() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1));
+        let mut ctl = BudgetedController::new(0.05, Some(0.02));
+        // Cost fraction under the 2% budget: baseline, then a step-up.
+        assert_eq!(
+            ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01),
+            BudgetOutcome::Adapted(RoundOutcome::Applied(vec![]))
+        );
+        match ctl.on_round(&round(class, 200.0), &gaps, 1.0, 0.01) {
+            BudgetOutcome::Adapted(RoundOutcome::Applied(ch)) => {
+                assert_eq!(ch.len(), 1);
+                assert_eq!(ch[0].new_state.rate, SamplingRate::NX(2));
+            }
+            other => panic!("expected a step-up, got {other:?}"),
+        }
+        assert_eq!(ctl.over_rounds(), 0);
+    }
+
+    #[test]
+    fn over_budget_walks_the_ladder_in_order() {
+        let c0 = ClassId(0);
+        let c1 = ClassId(1);
+        let gaps = gaps_with(c0, 64, SamplingRate::NX(4)); // gap 17 — finest
+        gaps.register_class(c1, 64, SamplingRate::NX(2)); // gap 31
+        let mut ctl = BudgetedController::new(0.05, Some(0.02));
+        let r = round(c0, 100.0);
+        // Every rung is followed by one settling round (the over-budget cost
+        // right after a rung reflects the transition, not the new regime).
+        let rung = |ctl: &mut BudgetedController| {
+            let out = ctl.on_round(&r, &gaps, 1.0, 0.10);
+            assert_eq!(ctl.on_round(&r, &gaps, 1.0, 0.10), BudgetOutcome::Settling);
+            out
+        };
+
+        // Rung 1: coarsen the finest class (c0: 4X → 2X).
+        match rung(&mut ctl) {
+            BudgetOutcome::Degraded(DegradeStep::CoarsenRate { class, new_state }) => {
+                assert_eq!(class, c0);
+                assert_eq!(new_state.rate, SamplingRate::NX(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Both at 2X (gap 31): tie breaks to the lower class id.
+        match rung(&mut ctl) {
+            BudgetOutcome::Degraded(DegradeStep::CoarsenRate { class, .. }) => {
+                assert_eq!(class, c0)
+            }
+            other => panic!("{other:?}"),
+        }
+        // The last rate rung: c1 2X → 1X.
+        match rung(&mut ctl) {
+            BudgetOutcome::Degraded(DegradeStep::CoarsenRate { class, new_state }) => {
+                assert_eq!(class, c1);
+                assert_eq!(new_state.rate, SamplingRate::NX(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(gaps.state(c0).rate, SamplingRate::NX(1));
+        assert_eq!(gaps.state(c1).rate, SamplingRate::NX(1));
+        // Next rungs: merge factor 2 → 4 → 8.
+        for want in [2u32, 4, 8] {
+            match rung(&mut ctl) {
+                BudgetOutcome::Degraded(DegradeStep::MergeRounds { factor }) => {
+                    assert_eq!(factor, want)
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Then summary-only, then the ladder is exhausted (no settling after
+        // an Exhausted no-op — there is no transition to wash out).
+        assert_eq!(rung(&mut ctl), BudgetOutcome::Degraded(DegradeStep::SummaryOnly));
+        assert!(ctl.summary_only());
+        assert_eq!(
+            ctl.on_round(&r, &gaps, 1.0, 0.10),
+            BudgetOutcome::Degraded(DegradeStep::Exhausted)
+        );
+        assert_eq!(
+            ctl.on_round(&r, &gaps, 1.0, 0.10),
+            BudgetOutcome::Degraded(DegradeStep::Exhausted)
+        );
+        assert_eq!(ctl.over_rounds(), 16);
+        assert_eq!(ctl.degrades(), 7, "Exhausted and settling rounds take no rung");
+    }
+
+    #[test]
+    fn merge_factor_gates_the_inner_cadence() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1)); // nothing to coarsen
+        let mut ctl = BudgetedController::new(0.05, Some(0.02));
+        assert_eq!(
+            ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.10),
+            BudgetOutcome::Degraded(DegradeStep::MergeRounds { factor: 2 })
+        );
+        // rounds_seen = 1. Round 2 is the act point (2 % 2 == 0); round 3 merges out.
+        assert!(matches!(
+            ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01),
+            BudgetOutcome::Adapted(_)
+        ));
+        assert_eq!(
+            ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01),
+            BudgetOutcome::MergedOut { factor: 2 }
+        );
+        assert!(matches!(
+            ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01),
+            BudgetOutcome::Adapted(_)
+        ));
+    }
+
+    #[test]
+    fn degraded_rounds_leave_baselines_untouched() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(2));
+        let mut ctl = BudgetedController::new(0.05, Some(0.02));
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01); // baseline 100
+        ctl.on_round(&round(class, 500.0), &gaps, 1.0, 0.50); // over budget: coarsen
+        // Next trusted round compares against 100, not 500: 1% off → converge.
+        match ctl.on_round(&round(class, 101.0), &gaps, 1.0, 0.01) {
+            BudgetOutcome::Adapted(RoundOutcome::Applied(ch)) => assert!(ch.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(ctl.is_converged(class));
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_the_ladder_position() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1));
+        let mut ctl = BudgetedController::new(0.05, Some(0.02));
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.10); // merge 2
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.10); // settling
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.10); // merge 4
+        let cp = ctl.checkpoint();
+        assert_eq!(cp.merge_factor, 4);
+        assert_eq!(cp.rounds_seen, 3);
+        assert_eq!(cp.cooldown, 1, "mid-settle ladder position survives");
+        let mut restored = BudgetedController::new(0.05, Some(0.02));
+        restored.restore(&cp);
+        assert_eq!(restored.merge_factor(), 4);
+        // Both controllers settle, then take the same next rung.
+        for want in [
+            BudgetOutcome::Settling,
+            BudgetOutcome::Degraded(DegradeStep::MergeRounds { factor: 8 }),
+        ] {
+            let a = ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.10);
+            let b = restored.on_round(&round(class, 100.0), &gaps, 1.0, 0.10);
+            assert_eq!(a, b);
+            assert_eq!(a, want);
+        }
+    }
+
+    #[test]
+    fn step_labels_are_stable() {
+        let gaps = gaps_with(ClassId(3), 64, SamplingRate::NX(2));
+        let st = gaps.state(ClassId(3));
+        let s = DegradeStep::CoarsenRate { class: ClassId(3), new_state: st };
+        assert_eq!(s.label(), "coarsen:c3:2X");
+        assert_eq!(DegradeStep::MergeRounds { factor: 4 }.label(), "merge_rounds:4");
+        assert_eq!(DegradeStep::SummaryOnly.label(), "summary_only");
+        assert_eq!(DegradeStep::Exhausted.label(), "exhausted");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// With no budget configured the wrapper is bit-identical to the bare
+        /// accuracy controller: same outcomes, same checkpoint, for any round
+        /// sequence, coverage pattern, and (ignored) cost fractions.
+        #[test]
+        fn no_budget_is_bit_identical_to_the_accuracy_controller(
+            values in prop::collection::vec((0.0f64..1000.0, 0.0f64..1.0, 0.0f64..0.5), 1..20),
+            min_cov in 0.0f64..1.0,
+        ) {
+            let class = ClassId(0);
+            let gaps_a = gaps_with(class, 64, SamplingRate::NX(1));
+            let gaps_b = gaps_with(class, 64, SamplingRate::NX(1));
+            let mut budgeted = BudgetedController::new(0.05, None).with_min_coverage(min_cov);
+            let mut bare = AdaptiveController::new(0.05).with_min_coverage(min_cov);
+            for (v, cov, cost) in values {
+                let r = round(class, v);
+                let a = budgeted.on_round(&r, &gaps_a, cov, cost);
+                let b = bare.on_round_with_coverage(&r, &gaps_b, cov);
+                prop_assert_eq!(a, BudgetOutcome::Adapted(b));
+                prop_assert_eq!(gaps_a.state(class), gaps_b.state(class));
+            }
+            prop_assert_eq!(budgeted.checkpoint().inner, bare.checkpoint());
+            prop_assert_eq!(budgeted.merge_factor(), 1);
+            prop_assert!(!budgeted.summary_only());
+        }
+    }
+}

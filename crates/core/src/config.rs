@@ -111,6 +111,36 @@ impl TcmBackend {
     }
 }
 
+/// How a thread sheds pending OAL batches when the master's bounded mailbox is
+/// full (see `ProfilerConfig::oal_mailbox_capacity`). Every policy is
+/// deterministic — the choice of what to shed depends only on the pending queue,
+/// never on wall-clock time — and every shed batch is attributed in `RunReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Drop the oldest pending batch outright. The freshest data survives; the
+    /// dropped interval is prorated out of round coverage like a lost OAL.
+    DropOldestRound,
+    /// Merge the two oldest pending batches into one (entries concatenated, the
+    /// younger interval's identity kept) — halves queue depth without losing
+    /// bytes, at the cost of interval-attribution precision.
+    MergeBatches,
+    /// Merge like [`ShedPolicy::MergeBatches`] but also collapse the merged batch
+    /// to per-class summaries (`Oal::summarize`), shedding object identity to cut
+    /// wire bytes — the last rung before data loss.
+    SummaryOnly,
+}
+
+impl ShedPolicy {
+    /// Stable lowercase label for events and metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedPolicy::DropOldestRound => "drop_oldest_round",
+            ShedPolicy::MergeBatches => "merge_batches",
+            ShedPolicy::SummaryOnly => "summary_only",
+        }
+    }
+}
+
 /// Top-level profiler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProfilerConfig {
@@ -183,6 +213,29 @@ pub struct ProfilerConfig {
     /// and exported through `MasterOutput::top_pairs` (0 disables). Under the
     /// sketch backend this head is the exact state; the tail lives in the sketch.
     pub tcm_top_k: usize,
+    /// SLO on the profiler's own cost, as a fraction of charged compute time
+    /// (e.g. `Some(0.02)` = "profiling may consume at most 2% of the work it
+    /// observes"). When the per-round measured cost fraction exceeds the budget,
+    /// the budget controller walks a deterministic degradation ladder — coarsen
+    /// the hottest class's rate, merge rounds, summary-only OALs — instead of
+    /// refining. Requires `adaptive_threshold` (the budget loop shares the
+    /// controller). `None` keeps the accuracy-only controller bit-identical to
+    /// previous releases.
+    pub overhead_budget: Option<f64>,
+    /// Bound the master's OAL mailbox to this many queued envelopes; senders that
+    /// find it full shed per `shed_policy` instead of growing the queue. `None`
+    /// keeps the legacy unbounded mailbox.
+    pub oal_mailbox_capacity: Option<usize>,
+    /// What a thread does with pending OAL batches when the bounded mailbox is
+    /// full. Ignored unless `oal_mailbox_capacity` is set.
+    pub shed_policy: ShedPolicy,
+    /// Gray-failure detection: demote a node to straggler once the EWMA of its
+    /// per-round progress deficit (intervals advanced behind the cluster's
+    /// fastest-progressing node between round closes) exceeds this; its
+    /// unreported intervals are prorated out of round coverage (like a soft
+    /// quarantine) until the EWMA recovers below half the threshold. `None`
+    /// disables detection.
+    pub straggler_lag_intervals: Option<f64>,
 }
 
 impl ProfilerConfig {
@@ -209,6 +262,10 @@ impl ProfilerConfig {
             tcm_tree_fanout: 0,
             tcm_backend: TcmBackend::Dense,
             tcm_top_k: 0,
+            overhead_budget: None,
+            oal_mailbox_capacity: None,
+            shed_policy: ShedPolicy::DropOldestRound,
+            straggler_lag_intervals: None,
         }
     }
 
@@ -321,6 +378,38 @@ impl ProfilerConfig {
                     "tcm_backend",
                     "Sketch".to_string(),
                     "the sketch backend folds the tree-merged round stream; set tcm_tree_fanout >= 2",
+                );
+            }
+        }
+        if let Some(b) = self.overhead_budget {
+            if !b.is_finite() || b <= 0.0 || b > 1.0 {
+                return err(
+                    "overhead_budget",
+                    format!("{b}"),
+                    "the overhead budget is a fraction of charged compute in (0, 1]",
+                );
+            }
+            if self.adaptive_threshold.is_none() {
+                return err(
+                    "overhead_budget",
+                    format!("{b}"),
+                    "the budget loop rides the adaptive controller; set adaptive_threshold",
+                );
+            }
+        }
+        if self.oal_mailbox_capacity == Some(0) {
+            return err(
+                "oal_mailbox_capacity",
+                "0".to_string(),
+                "a zero-capacity mailbox could never accept mail; use None for unbounded",
+            );
+        }
+        if let Some(lag) = self.straggler_lag_intervals {
+            if !lag.is_finite() || lag <= 0.0 {
+                return err(
+                    "straggler_lag_intervals",
+                    format!("{lag}"),
+                    "the straggler lag threshold must be a finite number of intervals exceeding 0",
                 );
             }
         }
@@ -449,6 +538,48 @@ mod tests {
                     ..base
                 },
                 "tcm_backend",
+            ),
+            (
+                ProfilerConfig {
+                    overhead_budget: Some(0.0),
+                    adaptive_threshold: Some(0.05),
+                    ..base
+                },
+                "overhead_budget",
+            ),
+            (
+                ProfilerConfig {
+                    overhead_budget: Some(1.5),
+                    adaptive_threshold: Some(0.05),
+                    ..base
+                },
+                "overhead_budget",
+            ),
+            (
+                ProfilerConfig {
+                    overhead_budget: Some(0.02),
+                    adaptive_threshold: None,
+                    ..base
+                },
+                "overhead_budget",
+            ),
+            (
+                ProfilerConfig { oal_mailbox_capacity: Some(0), ..base },
+                "oal_mailbox_capacity",
+            ),
+            (
+                ProfilerConfig {
+                    straggler_lag_intervals: Some(f64::NAN),
+                    ..base
+                },
+                "straggler_lag_intervals",
+            ),
+            (
+                ProfilerConfig {
+                    straggler_lag_intervals: Some(0.0),
+                    ..base
+                },
+                "straggler_lag_intervals",
             ),
         ];
         for (cfg, field) in cases {

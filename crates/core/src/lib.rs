@@ -16,6 +16,9 @@
 //! * **The adaptive rate controller** ([`adaptive`]) — stepwise rate refinement driven
 //!   by *relative* accuracy between successive rounds, with resampling walks after
 //!   each change.
+//! * **The overhead-budget loop** ([`budget`]) — a second feedback loop that keeps the
+//!   profiler's own measured cost within an SLO fraction of charged compute via a
+//!   deterministic degradation ladder (coarsen rates → merge rounds → summary OALs).
 //! * **Stack sampling** ([`stack_sampling`]) — the Fig. 8 algorithm with all four
 //!   optimizations (timer activation, two-phase scan over visited flags, lazy raw
 //!   extraction, comparison by probing) to mine **stack-invariant references**.
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 pub mod accuracy;
 pub mod adaptive;
+pub mod budget;
 pub mod config;
 pub mod distributed;
 pub mod homeaware;
@@ -43,8 +47,10 @@ pub mod tcm;
 
 pub use accuracy::{accuracy_abs, accuracy_euc, e_abs, e_abs_sparse, e_euc};
 pub use adaptive::{AdaptiveController, ControllerCheckpoint, RateChange, RoundOutcome};
+pub use budget::{BudgetCheckpoint, BudgetOutcome, BudgetedController, DegradeStep};
 pub use config::{
-    ConfigError, FootprintConfig, FootprintMode, ProfilerConfig, StackSamplingConfig, TcmBackend,
+    ConfigError, FootprintConfig, FootprintMode, ProfilerConfig, ShedPolicy, StackSamplingConfig,
+    TcmBackend,
 };
 pub use distributed::{
     merge_round_summaries, tree_parent, ShardedTcmReducer, SplitScratch, TcmPartial,

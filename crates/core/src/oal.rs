@@ -54,6 +54,35 @@ impl Oal {
         self.entries.is_empty()
     }
 
+    /// Collapse the list to one synthetic entry per class (bytes summed, sorted by
+    /// class id), shedding object identity to cut wire bytes — the budget ladder's
+    /// "summary-only" rung and the shed policies' last-resort payload. The synthetic
+    /// object id is the class id with the top bit set, so summary entries of the same
+    /// class from different threads still correlate in the TCM (class-grain
+    /// correlation, the analogue of the paper's page-grain baseline).
+    pub fn summarize(&self) -> Oal {
+        let mut per_class: Vec<(ClassId, u64)> = Vec::new();
+        for e in &self.entries {
+            match per_class.iter_mut().find(|(c, _)| *c == e.class) {
+                Some((_, b)) => *b += e.bytes,
+                None => per_class.push((e.class, e.bytes)),
+            }
+        }
+        per_class.sort_unstable_by_key(|(c, _)| *c);
+        Oal {
+            thread: self.thread,
+            interval: self.interval,
+            entries: per_class
+                .into_iter()
+                .map(|(class, bytes)| OalEntry {
+                    obj: ObjectId(class.0 as u32 | 0x8000_0000),
+                    class,
+                    bytes,
+                })
+                .collect(),
+        }
+    }
+
     /// Borrow this OAL as a zero-copy view.
     pub fn as_view(&self) -> OalRef<'_> {
         OalRef {
@@ -131,5 +160,23 @@ mod tests {
     #[test]
     fn total_bytes_sums_entries() {
         assert_eq!(oal().total_bytes(), 192);
+    }
+
+    #[test]
+    fn summarize_collapses_to_sorted_per_class_entries() {
+        let mut o = oal(); // two ClassId(0) entries: 64 + 128
+        o.entries.push(OalEntry { obj: ObjectId(9), class: ClassId(2), bytes: 32 });
+        let s = o.summarize();
+        assert_eq!(s.thread, o.thread);
+        assert_eq!(s.interval, o.interval);
+        assert_eq!(s.entries.len(), 2, "one synthetic entry per class");
+        assert_eq!(s.entries[0].class, ClassId(0));
+        assert_eq!(s.entries[0].bytes, 192, "bytes preserved");
+        assert_eq!(s.entries[0].obj, ObjectId(0x8000_0000), "synthetic id");
+        assert_eq!(s.entries[1].obj, ObjectId(0x8000_0002));
+        assert_eq!(s.total_bytes(), o.total_bytes());
+        assert!(s.wire_bytes() <= o.wire_bytes(), "a summary never grows");
+        // Summarizing a summary is a fixpoint.
+        assert_eq!(s.summarize(), s);
     }
 }

@@ -20,7 +20,7 @@
 //! lives in [`ProfilerShared`].
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,12 @@ impl ProfilerStats {
             footprint_rearms: self.footprint_rearms.load(Ordering::Relaxed),
         }
     }
+
+    /// Count traps armed outside the access path (the thread-side re-sync walk
+    /// after a coordinator rate change).
+    pub fn record_fi_armed(&self, n: u64) {
+        self.fi_armed.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// Profiler state shared by all threads: configuration, the per-class gap table and
@@ -77,6 +83,7 @@ pub struct ProfilerShared {
     config: ProfilerConfig,
     gaps: GapTable,
     stats: ProfilerStats,
+    summary_only: AtomicBool,
 }
 
 impl ProfilerShared {
@@ -86,6 +93,7 @@ impl ProfilerShared {
             config,
             gaps: GapTable::new(config.page_size),
             stats: ProfilerStats::default(),
+            summary_only: AtomicBool::new(false),
         })
     }
 
@@ -102,6 +110,18 @@ impl ProfilerShared {
     /// Global counters.
     pub fn stats(&self) -> &ProfilerStats {
         &self.stats
+    }
+
+    /// Is the budget ladder's summary-only rung in force? Threads check this when
+    /// shipping OALs and collapse them to per-class summaries ([`Oal::summarize`]).
+    pub fn summary_only(&self) -> bool {
+        self.summary_only.load(Ordering::Relaxed)
+    }
+
+    /// Engage (or release) summary-only OAL shipping. Set by the coordinator when
+    /// the degradation ladder reaches its last data-bearing rung.
+    pub fn set_summary_only(&self, on: bool) {
+        self.summary_only.store(on, Ordering::Relaxed);
     }
 
     /// Register a class for sampling at the configured initial rate.

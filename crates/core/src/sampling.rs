@@ -30,6 +30,8 @@
 //! Without this scaling, coarse rates would shrink the whole map by `≈ gap` and the
 //! paper's ≥95 % accuracies would be unreachable; with it they fall out naturally.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +73,28 @@ impl SamplingRate {
                 } else {
                     next
                 }
+            }
+        }
+    }
+
+    /// The next coarser rate on the ladder (Full → largest `n` with a gap above 1,
+    /// then nX → n/2 X → … → 1X). Stepping `1X` — the coarsest rate the paper uses —
+    /// yields `1X` again, so the budget controller's degradation ladder terminates.
+    pub fn step_down(self, unit_bytes: usize, page_size: u32) -> SamplingRate {
+        match self {
+            SamplingRate::NX(n) if n > 1 => SamplingRate::NX(n / 2),
+            SamplingRate::NX(_) => SamplingRate::NX(1),
+            SamplingRate::Full => {
+                // Find the finest nX that is *not* equivalent to full sampling: the
+                // largest power of two whose nominal gap still exceeds 1. Classes whose
+                // unit spans a page have gap 1 at every rate; they stay at 1X.
+                let mut best = SamplingRate::NX(1);
+                let mut n = 1u32;
+                while SamplingRate::NX(n).nominal_gap(unit_bytes, page_size) > 1 {
+                    best = SamplingRate::NX(n);
+                    n = n.saturating_mul(2);
+                }
+                best
             }
         }
     }
@@ -133,6 +157,10 @@ pub struct ClassGapState {
 pub struct GapTable {
     page_size: u32,
     states: RwLock<Vec<Option<ClassGapState>>>,
+    /// Bumped on every rate mutation. Threads compare it at interval opens to
+    /// notice coordinator rate changes and re-arm traps for objects that
+    /// regained the sampled tag (their armed chain died while unsampled).
+    generation: AtomicU64,
 }
 
 impl GapTable {
@@ -141,7 +169,15 @@ impl GapTable {
         GapTable {
             page_size,
             states: RwLock::new(Vec::new()),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// The rate-change generation: 0 until the first [`GapTable::set_rate`],
+    /// then monotonically increasing. A thread that sees it move re-syncs its
+    /// trap arming against the headers the resampling walk retagged.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// The page size `SP`.
@@ -193,13 +229,24 @@ impl GapTable {
         slot.rate = rate;
         slot.nominal_gap = rate.nominal_gap(slot.unit_bytes, self.page_size);
         slot.real_gap = nearest_prime(slot.nominal_gap);
-        *slot
+        let state = *slot;
+        drop(states);
+        self.generation.fetch_add(1, Ordering::Release);
+        state
     }
 
     /// Step a class one rate finer. Returns the new state.
     pub fn step_up(&self, class: ClassId) -> ClassGapState {
         let cur = self.state(class);
         let next = cur.rate.step_up(cur.unit_bytes, self.page_size);
+        self.set_rate(class, next)
+    }
+
+    /// Step a class one rate coarser (the overhead-budget controller's lever).
+    /// Returns the new state.
+    pub fn step_down(&self, class: ClassId) -> ClassGapState {
+        let cur = self.state(class);
+        let next = cur.rate.step_down(cur.unit_bytes, self.page_size);
         self.set_rate(class, next)
     }
 
@@ -267,6 +314,38 @@ mod tests {
         // 8-byte units: 1X(512) → 2X(256) → ... → 512X(1)=Full: 9 steps.
         assert_eq!(steps, 9);
         assert_eq!(SamplingRate::Full.step_up(8, 4096), SamplingRate::Full);
+    }
+
+    #[test]
+    fn step_down_retraces_the_ladder_and_floors_at_1x() {
+        // Full on 8-byte units steps to the finest non-full rung (512X has gap 1 for
+        // 8 B units, so the rung below Full is 256X with gap 2).
+        assert_eq!(SamplingRate::Full.step_down(8, 4096), SamplingRate::NX(256));
+        assert_eq!(SamplingRate::NX(256).nominal_gap(8, 4096), 2);
+        // nX halves; 1X is the floor.
+        assert_eq!(SamplingRate::NX(8).step_down(8, 4096), SamplingRate::NX(4));
+        assert_eq!(SamplingRate::NX(1).step_down(8, 4096), SamplingRate::NX(1));
+        // A class wider than a page has gap 1 at every rate; Full degrades to 1X.
+        assert_eq!(SamplingRate::Full.step_down(16384, 4096), SamplingRate::NX(1));
+        // step_down inverts step_up below Full.
+        let r = SamplingRate::NX(4);
+        assert_eq!(r.step_up(64, 4096).step_down(64, 4096), r);
+    }
+
+    #[test]
+    fn gap_table_step_down_updates_gaps() {
+        let t = GapTable::new(4096);
+        let c = ClassId(1);
+        t.register_class(c, 64, SamplingRate::NX(4)); // nominal 16 → prime 17
+        assert_eq!(t.state(c).nominal_gap, 16);
+        let st = t.step_down(c);
+        assert_eq!(st.rate, SamplingRate::NX(2));
+        assert_eq!(st.nominal_gap, 32);
+        assert_eq!(t.gap(c), 31, "prime near 32");
+        t.step_down(c);
+        let floor = t.step_down(c);
+        assert_eq!(floor.rate, SamplingRate::NX(1), "1X is the floor");
+        assert_eq!(t.step_down(c).rate, SamplingRate::NX(1));
     }
 
     #[test]

@@ -249,6 +249,30 @@ impl ThreadSpace {
         armed
     }
 
+    /// Arm false-invalid traps, for the *current* interval, on every populated
+    /// entry satisfying `pred` (the rate-change re-sync: a coordinator
+    /// resampling walk retags shared headers but cannot reach this arena, so
+    /// re-sampled objects whose armed chain died while unsampled would
+    /// otherwise never trap again). Returns `(visited, armed)`: populated
+    /// entries walked (the caller charges walk cost per entry) and traps
+    /// actually armed.
+    pub fn arm_matching(&mut self, mut pred: impl FnMut(ObjectId) -> bool) -> (usize, usize) {
+        let epoch = self.epoch;
+        let mut visited = 0;
+        let mut armed = 0;
+        for i in 0..self.words.len() {
+            if self.words[i] == 0 {
+                continue;
+            }
+            visited += 1;
+            let obj = ObjectId(i as u32);
+            if pred(obj) && self.arm_at(obj, epoch) {
+                armed += 1;
+            }
+        }
+        (visited, armed)
+    }
+
     /// Arm a false-invalid trap on `obj` that goes live at the *next* interval open
     /// (the per-interval re-arming of Section II.A, fused into access logging —
     /// no accessed-set walk at the interval boundary). Returns whether a trap was

@@ -454,6 +454,22 @@ impl Gos {
         self.objects.read().len()
     }
 
+    /// Re-arm false-invalid traps in `space` for every resident object whose
+    /// shared header carries the sampled tag. Called by a thread at the first
+    /// interval open after a coordinator rate change: the resampling walk
+    /// retags headers globally, but objects that regained the tag while their
+    /// per-thread armed chain was dead would never trap (hence never log)
+    /// again on a read-only path. The walk cost is charged to `clock` like the
+    /// coordinator's own resampling walk. Returns the number of traps armed.
+    pub fn rearm_sampled(&self, space: &mut ThreadSpace, clock: &ClockHandle) -> usize {
+        let objects = self.objects.read();
+        let (visited, armed) = space.arm_matching(|obj| {
+            objects.get(obj.index()).is_some_and(|c| c.is_sampled())
+        });
+        clock.spend(self.costs().resample_ns_per_obj * visited as u64);
+        armed
+    }
+
     /// Visit every object of `class` (resampling walks after a rate change).
     pub fn for_each_object_of_class(&self, class: ClassId, mut f: impl FnMut(&Arc<ObjectCore>)) {
         let ids: Vec<ObjectId> = match self.by_class.read().get(class.index()) {

@@ -33,6 +33,15 @@ pub enum NetError {
         /// The mailbox owner the message was addressed to.
         destination: NodeId,
     },
+    /// A message was posted to a bounded mailbox that is at capacity. The caller
+    /// owns the backpressure decision: requeue, shed, or merge (see the runtime's
+    /// shed policies) — the mailbox never drops silently.
+    MailboxFull {
+        /// The mailbox owner the message was addressed to.
+        destination: NodeId,
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
     /// A fault plan failed validation (e.g. probability outside `[0, 1]`).
     InvalidFaultPlan(String),
 }
@@ -49,6 +58,9 @@ impl fmt::Display for NetError {
             }
             NetError::MailboxClosed { destination } => {
                 write!(f, "mailbox of {destination} is closed (receiver dropped)")
+            }
+            NetError::MailboxFull { destination, capacity } => {
+                write!(f, "mailbox of {destination} is full (capacity {capacity})")
             }
             NetError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
         }
@@ -75,5 +87,11 @@ mod tests {
         };
         assert!(e.to_string().contains("t9"));
         assert!(NetError::EmptyFabric.to_string().contains("at least one node"));
+        let e = NetError::MailboxFull {
+            destination: NodeId(3),
+            capacity: 16,
+        };
+        assert!(e.to_string().contains("n3"));
+        assert!(e.to_string().contains("capacity 16"));
     }
 }

@@ -116,6 +116,33 @@ impl PartitionWindow {
     }
 }
 
+/// A window of **virtual time** during which a node is merely *slow*, not dead — the
+/// gray failure mode (an overloaded CPU, a flaky disk, a half-duplex NIC): every unit
+/// of service time its threads charge while `now_ns ∈ [from_ns, until_ns)` is
+/// multiplied by `factor`. The node keeps participating in the protocol — its OALs
+/// still ship, just later — so failure detectors built on liveness never fire; only
+/// latency-sensitive machinery (round deadlines, the master's straggler EWMAs) can
+/// see it. Overlapping windows take the maximum factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowWindow {
+    /// The slow node.
+    pub node: NodeId,
+    /// Virtual nanosecond (inclusive) at which the slowdown begins.
+    pub from_ns: u64,
+    /// Virtual nanosecond (exclusive) at which it ends; `None` = slow forever.
+    pub until_ns: Option<u64>,
+    /// Service-time multiplier (> 1); e.g. `3.0` makes the node 3× slower.
+    pub factor: f64,
+}
+
+impl SlowWindow {
+    /// True if this window slows `node` at virtual `now_ns`.
+    #[inline]
+    pub fn active(&self, node: NodeId, now_ns: u64) -> bool {
+        self.node == node && now_ns >= self.from_ns && self.until_ns.is_none_or(|u| now_ns < u)
+    }
+}
+
 /// A declarative, seedable schedule of network faults.
 ///
 /// All probabilities are per message in `[0, 1]`. The effective drop probability of a
@@ -155,6 +182,8 @@ pub struct FaultPlan {
     pub master_crashes: Vec<MasterCrashWindow>,
     /// Network partition windows over virtual time (node islands, optional heal).
     pub partitions: Vec<PartitionWindow>,
+    /// Gray-failure windows: per-node service-time multipliers over virtual time.
+    pub slow: Vec<SlowWindow>,
 }
 
 impl Default for FaultPlan {
@@ -172,6 +201,7 @@ impl Default for FaultPlan {
             node_crashes: Vec::new(),
             master_crashes: Vec::new(),
             partitions: Vec::new(),
+            slow: Vec::new(),
         }
     }
 }
@@ -190,6 +220,7 @@ impl FaultPlan {
             && self.node_crashes.is_empty()
             && self.master_crashes.is_empty()
             && self.partitions.is_empty()
+            && self.slow.is_empty()
     }
 
     /// Check that every probability is a finite number in `[0, 1]` and every stall or
@@ -256,6 +287,22 @@ impl FaultPlan {
                 }
             }
         }
+        for w in &self.slow {
+            if !w.factor.is_finite() || w.factor <= 1.0 {
+                return Err(NetError::InvalidFaultPlan(format!(
+                    "slow window on {}: factor {} must be a finite multiplier exceeding 1",
+                    w.node, w.factor
+                )));
+            }
+            if let Some(until) = w.until_ns {
+                if until <= w.from_ns {
+                    return Err(NetError::InvalidFaultPlan(format!(
+                        "slow window on {}: until_ns {} <= from_ns {} (window is empty)",
+                        w.node, until, w.from_ns
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -286,6 +333,9 @@ impl FaultPlan {
                 check(&format!("partition window {i} island"), *node)?;
             }
         }
+        for w in &self.slow {
+            check("slow window", w.node)?;
+        }
         Ok(())
     }
 
@@ -308,6 +358,22 @@ impl FaultPlan {
             }
         }
         Some(heal)
+    }
+
+    /// The service-time multiplier in force for `node` at virtual `now_ns`: the
+    /// maximum factor over all active slow windows, or `1.0` when none applies.
+    /// Pure function of the plan and the clock — no injector state.
+    pub fn slow_factor_at(&self, node: NodeId, now_ns: u64) -> f64 {
+        self.slow
+            .iter()
+            .filter(|w| w.active(node, now_ns))
+            .fold(1.0f64, |acc, w| acc.max(w.factor))
+    }
+
+    /// True if the plan schedules any slow window for `node` at all (fast gate for
+    /// the runtime's per-access inflation check).
+    pub fn slows(&self, node: NodeId) -> bool {
+        self.slow.iter().any(|w| w.node == node)
     }
 
     /// True if worker node `node` is crashed while closing profiling interval
@@ -994,6 +1060,76 @@ mod tests {
             Err(NetError::InvalidFaultPlan(msg)) => {
                 assert!(msg.contains("n3"), "{msg}");
                 assert!(msg.contains("end_msg 6"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_windows_multiply_service_time_only_while_active() {
+        let plan = FaultPlan {
+            slow: vec![
+                SlowWindow { node: NodeId(1), from_ns: 100, until_ns: Some(200), factor: 3.0 },
+                SlowWindow { node: NodeId(1), from_ns: 150, until_ns: Some(300), factor: 2.0 },
+                SlowWindow { node: NodeId(2), from_ns: 0, until_ns: None, factor: 4.0 },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_zero());
+        plan.validate().unwrap();
+        plan.validate_bounds(3).unwrap();
+        assert!(plan.slows(NodeId(1)) && plan.slows(NodeId(2)) && !plan.slows(NodeId(0)));
+        // Before, during (overlap takes the max), after.
+        assert_eq!(plan.slow_factor_at(NodeId(1), 99), 1.0);
+        assert_eq!(plan.slow_factor_at(NodeId(1), 100), 3.0);
+        assert_eq!(plan.slow_factor_at(NodeId(1), 199), 3.0);
+        assert_eq!(plan.slow_factor_at(NodeId(1), 200), 2.0);
+        assert_eq!(plan.slow_factor_at(NodeId(1), 300), 1.0);
+        // Permanent slowdown; other nodes untouched.
+        assert_eq!(plan.slow_factor_at(NodeId(2), u64::MAX), 4.0);
+        assert_eq!(plan.slow_factor_at(NodeId(0), 150), 1.0);
+    }
+
+    #[test]
+    fn validation_names_offending_slow_windows() {
+        let bad_factor = FaultPlan {
+            slow: vec![SlowWindow { node: NodeId(4), from_ns: 0, until_ns: None, factor: 1.0 }],
+            ..FaultPlan::default()
+        };
+        match bad_factor.validate() {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("n4"), "message must name the node: {msg}");
+                assert!(msg.contains("factor 1"), "message must echo the value: {msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        for f in [f64::NAN, f64::INFINITY, 0.5, -2.0] {
+            let p = FaultPlan {
+                slow: vec![SlowWindow { node: NodeId(0), from_ns: 0, until_ns: None, factor: f }],
+                ..FaultPlan::default()
+            };
+            assert!(p.validate().is_err(), "factor {f} must be rejected");
+        }
+        let empty_window = FaultPlan {
+            slow: vec![SlowWindow { node: NodeId(2), from_ns: 9, until_ns: Some(9), factor: 2.0 }],
+            ..FaultPlan::default()
+        };
+        match empty_window.validate() {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("until_ns 9"), "{msg}");
+                assert!(msg.contains("from_ns 9"), "{msg}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+        let out_of_range = FaultPlan {
+            slow: vec![SlowWindow { node: NodeId(9), from_ns: 0, until_ns: None, factor: 2.0 }],
+            ..FaultPlan::default()
+        };
+        assert!(out_of_range.validate().is_ok(), "bounds need the topology");
+        match out_of_range.validate_bounds(4) {
+            Err(NetError::InvalidFaultPlan(msg)) => {
+                assert!(msg.contains("slow window"), "{msg}");
+                assert!(msg.contains("n9"), "{msg}");
             }
             other => panic!("expected InvalidFaultPlan, got {other:?}"),
         }

@@ -31,7 +31,7 @@ pub use executor::{DetExecutor, POISON_MSG};
 pub use fabric::Fabric;
 pub use fault::{
     oal_fault_key, CrashWindow, FaultDecision, FaultInjector, FaultPlan, FaultStats,
-    MasterCrashWindow, PartitionWindow, StallWindow,
+    MasterCrashWindow, PartitionWindow, SlowWindow, StallWindow,
 };
 pub use ids::{NodeId, ThreadId};
 pub use latency::LatencyModel;

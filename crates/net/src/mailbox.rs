@@ -10,6 +10,17 @@
 //! [`FaultInjector`] on every post: a dropped message silently vanishes (the post still
 //! "succeeds" — the sender has no way to know), a duplicated one is enqueued twice.
 //! This is where OAL loss happens under a chaos plan; the fabric only accounts bytes.
+//!
+//! # Bounded mailboxes
+//!
+//! [`Mailbox::bounded`] caps the queue: a post that finds `capacity` envelopes
+//! already queued fails with [`NetError::MailboxFull`] instead of growing the queue
+//! without limit. The *caller* owns the backpressure decision (requeue, merge, shed —
+//! see the runtime's shed policies); the mailbox itself never drops silently. The
+//! unbounded [`Mailbox::new`] remains the legacy default. Under the deterministic
+//! cooperative executor the occupancy check is exact; with free-running OS threads it
+//! is best-effort (check and enqueue are not one atomic step), which is fine — the
+//! bound protects memory, not a protocol invariant.
 
 use std::sync::Arc;
 
@@ -29,19 +40,30 @@ pub struct Envelope<T> {
     pub body: T,
 }
 
-/// An unbounded typed mailbox owned by one node (usually the master).
+/// A typed mailbox owned by one node (usually the master); unbounded by default,
+/// optionally capacity-capped (see [`Mailbox::bounded`]).
 #[derive(Debug)]
 pub struct Mailbox<T> {
     owner: NodeId,
+    capacity: Option<usize>,
     tx: Sender<Envelope<T>>,
     rx: Receiver<Envelope<T>>,
 }
 
 impl<T> Mailbox<T> {
-    /// Create a mailbox owned by `owner`.
+    /// Create an unbounded mailbox owned by `owner` (the legacy default).
     pub fn new(owner: NodeId) -> Self {
         let (tx, rx) = unbounded();
-        Mailbox { owner, tx, rx }
+        Mailbox { owner, capacity: None, tx, rx }
+    }
+
+    /// Create a mailbox that holds at most `capacity` envelopes: a post finding the
+    /// queue at capacity fails with [`NetError::MailboxFull`] so the sender can apply
+    /// explicit backpressure instead of wedging memory under a load spike.
+    pub fn bounded(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity mailbox could never accept mail");
+        let (tx, rx) = unbounded();
+        Mailbox { owner, capacity: Some(capacity), tx, rx }
     }
 
     /// The owning node.
@@ -49,10 +71,16 @@ impl<T> Mailbox<T> {
         self.owner
     }
 
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// A cheap cloneable sender for remote nodes.
     pub fn sender(&self) -> MailboxSender<T> {
         MailboxSender {
             owner: self.owner,
+            capacity: self.capacity,
             tx: self.tx.clone(),
             faults: None,
         }
@@ -68,6 +96,7 @@ impl<T> Mailbox<T> {
     ) -> MailboxSender<T> {
         MailboxSender {
             owner: self.owner,
+            capacity: self.capacity,
             tx: self.tx.clone(),
             faults: Some((injector, class)),
         }
@@ -97,6 +126,7 @@ impl<T> Mailbox<T> {
 #[derive(Debug, Clone)]
 pub struct MailboxSender<T> {
     owner: NodeId,
+    capacity: Option<usize>,
     tx: Sender<Envelope<T>>,
     faults: Option<(Arc<FaultInjector>, MsgClass)>,
 }
@@ -105,6 +135,35 @@ impl<T> MailboxSender<T> {
     /// The destination (owner) node of the mailbox.
     pub fn destination(&self) -> NodeId {
         self.owner
+    }
+
+    /// The destination mailbox's capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Would a post right now hit the capacity gate? Always `false` for an
+    /// unbounded mailbox. Lets producers apply backpressure *before* handing a
+    /// message over (a failed post consumes the message).
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|cap| self.tx.len() >= cap)
+    }
+
+    /// Capacity gate: `Err(MailboxFull)` when the queue already holds `capacity`
+    /// envelopes. Checked once per post, *after* a drop decision (a dropped message
+    /// never occupies a slot) and before any enqueue; a duplicated delivery may
+    /// overshoot the bound by one envelope, which is harmless — the bound protects
+    /// memory, not an exact protocol invariant.
+    fn check_capacity(&self) -> Result<(), NetError> {
+        if let Some(cap) = self.capacity {
+            if self.tx.len() >= cap {
+                return Err(NetError::MailboxFull {
+                    destination: self.owner,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
     }
 
     fn send_one(&self, from: NodeId, body: T) -> Result<(), NetError> {
@@ -130,7 +189,10 @@ impl<T: Clone> MailboxSender<T> {
                 let d = inj.decide(from, self.owner, *class);
                 self.deliver(from, d, body)
             }
-            None => self.send_one(from, body),
+            None => {
+                self.check_capacity()?;
+                self.send_one(from, body)
+            }
         }
     }
 
@@ -143,7 +205,10 @@ impl<T: Clone> MailboxSender<T> {
                 let d = inj.decide_keyed(from, self.owner, *class, key);
                 self.deliver(from, d, body)
             }
-            None => self.send_one(from, body),
+            None => {
+                self.check_capacity()?;
+                self.send_one(from, body)
+            }
         }
     }
 
@@ -152,6 +217,7 @@ impl<T: Clone> MailboxSender<T> {
             // The sender cannot observe the loss; from its side the post succeeded.
             return Ok(());
         }
+        self.check_capacity()?;
         if d.duplicated {
             self.send_one(from, body.clone())?;
         }
@@ -241,6 +307,66 @@ mod tests {
         let s = mb.sender_with_faults(dup, MsgClass::OalBatch);
         s.try_post_keyed(NodeId(1), 7, 7).unwrap();
         assert_eq!(mb.drain().len(), 2, "duplicate enqueued twice");
+    }
+
+    #[test]
+    fn bounded_mailbox_rejects_posts_at_capacity() {
+        let mb: Mailbox<u32> = Mailbox::bounded(NodeId::MASTER, 2);
+        assert_eq!(mb.capacity(), Some(2));
+        let s = mb.sender();
+        assert_eq!(s.capacity(), Some(2));
+        s.try_post(NodeId(1), 1).unwrap();
+        s.try_post(NodeId(1), 2).unwrap();
+        assert_eq!(
+            s.try_post(NodeId(1), 3),
+            Err(NetError::MailboxFull { destination: NodeId::MASTER, capacity: 2 })
+        );
+        assert_eq!(mb.len(), 2, "the rejected envelope was never enqueued");
+        // Draining frees capacity; the sender can resume.
+        assert_eq!(mb.drain().len(), 2);
+        s.try_post(NodeId(1), 3).unwrap();
+        assert_eq!(mb.drain(), vec![Envelope { from: NodeId(1), body: 3 }]);
+    }
+
+    #[test]
+    fn bounded_lossy_sender_gates_keyed_posts_but_not_drops() {
+        // Every message dropped by the plan: the queue never fills, so capacity 1
+        // never trips (a dropped message occupies no slot).
+        let inj = Arc::new(
+            FaultInjector::new(FaultPlan {
+                oal_drop: 1.0,
+                ..FaultPlan::default()
+            })
+            .unwrap(),
+        );
+        let mb: Mailbox<u64> = Mailbox::bounded(NodeId::MASTER, 1);
+        let s = mb.sender_with_faults(inj, MsgClass::OalBatch);
+        for k in 0..10u64 {
+            s.try_post_keyed(NodeId(1), k, k).unwrap();
+        }
+        assert!(mb.is_empty());
+
+        // Clean plan: the second surviving post hits the bound.
+        let inj = Arc::new(FaultInjector::new(FaultPlan::default()).unwrap());
+        let mb: Mailbox<u64> = Mailbox::bounded(NodeId::MASTER, 1);
+        let s = mb.sender_with_faults(inj, MsgClass::OalBatch);
+        s.try_post_keyed(NodeId(1), 0, 0).unwrap();
+        assert_eq!(
+            s.try_post_keyed(NodeId(1), 1, 1),
+            Err(NetError::MailboxFull { destination: NodeId::MASTER, capacity: 1 })
+        );
+        // The same keyed post succeeds once the queue drains: keyed decisions are
+        // derived, not drawn, so a retry re-derives the same verdict.
+        mb.drain();
+        s.try_post_keyed(NodeId(1), 1, 1).unwrap();
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn unbounded_mailbox_reports_no_capacity() {
+        let mb: Mailbox<u8> = Mailbox::new(NodeId(0));
+        assert_eq!(mb.capacity(), None);
+        assert_eq!(mb.sender().capacity(), None);
     }
 
     #[test]

@@ -268,6 +268,46 @@ pub enum EventKind {
         /// for a permanent partition).
         heal_ns: u64,
     },
+    /// A pending OAL batch was shed (dropped, merged, or summarized) because
+    /// the master's bounded mailbox was full. The interval named is the one
+    /// whose identity was lost; its samples are prorated out of round coverage.
+    OalShed {
+        /// The thread that shed the batch.
+        thread: u32,
+        /// The interval whose batch identity was shed.
+        interval: u64,
+        /// The shed policy's stable label (`ShedPolicy::label`).
+        policy: String,
+    },
+    /// The overhead-budget controller took one degradation-ladder rung because
+    /// the round's measured profiling cost exceeded the budget.
+    BudgetDegraded {
+        /// The over-budget round.
+        round: u64,
+        /// The rung taken (`DegradeStep::label`).
+        step: String,
+        /// The measured cost as a fraction of charged compute.
+        cost_fraction: f64,
+    },
+    /// A node's interval-watermark lag EWMA crossed the straggler threshold:
+    /// its unreported intervals are prorated out of round coverage until it
+    /// recovers (gray-failure tolerance; softer than `NodeQuarantined`).
+    StragglerDemoted {
+        /// The lagging node.
+        node: u16,
+        /// The round the demotion took effect in.
+        round: u64,
+        /// The lag EWMA (in intervals) that tripped the threshold.
+        lag_ewma: f64,
+    },
+    /// A demoted straggler's lag EWMA recovered below half the threshold and
+    /// the node rejoined the coverage denominator.
+    StragglerRestored {
+        /// The recovered node.
+        node: u16,
+        /// The round the restoration took effect in.
+        round: u64,
+    },
 }
 
 impl EventKind {
@@ -299,6 +339,10 @@ impl EventKind {
             EventKind::ThreadMigrated { .. } => "ThreadMigrated",
             EventKind::OalPostFailed { .. } => "OalPostFailed",
             EventKind::OalDeferred { .. } => "OalDeferred",
+            EventKind::OalShed { .. } => "OalShed",
+            EventKind::BudgetDegraded { .. } => "BudgetDegraded",
+            EventKind::StragglerDemoted { .. } => "StragglerDemoted",
+            EventKind::StragglerRestored { .. } => "StragglerRestored",
         }
     }
 }

@@ -51,7 +51,11 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::NodeQuarantined { .. }
         | EventKind::ThreadMigrated { .. }
         | EventKind::OalPostFailed { .. }
-        | EventKind::OalDeferred { .. } => "runtime",
+        | EventKind::OalDeferred { .. }
+        | EventKind::OalShed { .. }
+        | EventKind::BudgetDegraded { .. }
+        | EventKind::StragglerDemoted { .. }
+        | EventKind::StragglerRestored { .. } => "runtime",
     }
 }
 

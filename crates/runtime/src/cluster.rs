@@ -99,6 +99,17 @@ pub struct ClusterShared {
     /// data behind [`crate::RunReport::lost_oals`], so the loss reaches coverage
     /// accounting instead of dying as a bare counter.
     pub lost_oals: parking_lot::Mutex<Vec<(u32, u64)>>,
+    /// The `(thread, interval)` pairs whose OAL batch identity was shed under
+    /// mailbox backpressure (dropped outright, or merged away into a younger
+    /// batch) — folded into `adjusted_round_coverage` exactly like `lost_oals`,
+    /// so no shed is ever silent.
+    pub shed_oals: parking_lot::Mutex<Vec<(u32, u64)>>,
+    /// Batches shed by `ShedPolicy::DropOldestRound`.
+    pub sheds_dropped: AtomicU64,
+    /// Batches merged away by `ShedPolicy::MergeBatches`.
+    pub sheds_merged: AtomicU64,
+    /// Batches merged-and-summarized by `ShedPolicy::SummaryOnly`.
+    pub sheds_summarized: AtomicU64,
     /// The observability journal, if tracing is enabled. Runtime-layer events
     /// funnel through [`ClusterShared::emit_event`]; the GOS and fabric hold
     /// their own clones installed at build time.
@@ -272,6 +283,42 @@ impl ClusterBuilder {
         self
     }
 
+    /// Bound the profiler's own cost to this fraction of charged compute
+    /// (e.g. `0.02` = 2%): over-budget rounds walk the degradation ladder
+    /// (coarsen rates → merge rounds → summary-only OALs) instead of refining.
+    /// Requires an adaptive profiler configuration (`adaptive_threshold`).
+    pub fn overhead_budget(mut self, fraction: f64) -> Self {
+        self.profiler.overhead_budget = Some(fraction);
+        self
+    }
+
+    /// Bound the master's OAL mailbox to `cap` queued batches; senders that find
+    /// it full queue per-thread (same bound) and shed per the configured
+    /// [`ShedPolicy`](jessy_core::ShedPolicy). Pair with
+    /// `round_deadline_intervals` so rounds missing shed batches still close.
+    pub fn oal_mailbox_capacity(mut self, cap: usize) -> Self {
+        self.profiler.oal_mailbox_capacity = Some(cap);
+        self
+    }
+
+    /// What threads do with pending OAL batches under mailbox backpressure
+    /// (default: drop the oldest). Ignored without a mailbox capacity.
+    pub fn shed_policy(mut self, policy: jessy_core::ShedPolicy) -> Self {
+        self.profiler.shed_policy = policy;
+        self
+    }
+
+    /// Demote a node to straggler when the EWMA of its per-round progress
+    /// deficit (intervals advanced behind the fastest-progressing node between
+    /// round closes) exceeds this threshold: its unreported intervals are
+    /// prorated out of round coverage (a soft quarantine) until the EWMA
+    /// recovers below half the threshold. Gray-failure tolerance: a merely-slow
+    /// node degrades accuracy measurably but never wedges a round.
+    pub fn straggler_lag(mut self, intervals: f64) -> Self {
+        self.profiler.straggler_lag_intervals = Some(intervals);
+        self
+    }
+
     /// Explicit initial thread→node placement (default: block distribution, matching
     /// how SPLASH-2 style workloads are usually laid out: thread i on node
     /// i·K/N).
@@ -406,7 +453,13 @@ impl ClusterBuilder {
         exec.set_priority(self.n_threads, 0);
         gos.set_executor(Arc::clone(&exec));
         let board = ClockBoard::new(self.n_threads + 1);
-        let mailbox = Mailbox::new(NodeId::MASTER);
+        // A configured capacity bounds the master's OAL queue; senders that find
+        // it full queue per-thread and shed per `shed_policy`. `None` keeps the
+        // legacy unbounded mailbox (and the legacy direct-post path) unchanged.
+        let mailbox = match self.profiler.oal_mailbox_capacity {
+            Some(cap) => Mailbox::bounded(NodeId::MASTER, cap),
+            None => Mailbox::new(NodeId::MASTER),
+        };
         // With faults on, OAL delivery goes through a lossy sender sharing the
         // fabric's injector (fabric accounting stays separate: bytes are spent on the
         // wire whether or not the master ever sees them).
@@ -433,6 +486,10 @@ impl ClusterBuilder {
             done: AtomicBool::new(false),
             oal_post_failures: AtomicU64::new(0),
             lost_oals: parking_lot::Mutex::new(Vec::new()),
+            shed_oals: parking_lot::Mutex::new(Vec::new()),
+            sheds_dropped: AtomicU64::new(0),
+            sheds_merged: AtomicU64::new(0),
+            sheds_summarized: AtomicU64::new(0),
             trace: self.trace,
             master_epoch: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),

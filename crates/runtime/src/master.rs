@@ -66,12 +66,13 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use jessy_core::adaptive::{apply_rate_change, ControllerCheckpoint};
+use jessy_core::adaptive::apply_rate_change;
 use jessy_core::sampling::ClassGapState;
 use jessy_core::tcm::RoundSummary;
 use jessy_core::{
-    AdaptiveController, Oal, ProfilerConfig, RoundOutcome, ShardedTcmReducer, SketchTcm,
-    SparseTcm, Tcm, TcmBackend, TopKPairs, TreeTcmReducer,
+    BudgetCheckpoint, BudgetOutcome, BudgetedController, DegradeStep, Oal, ProfilerConfig,
+    RoundOutcome, ShardedTcmReducer, SketchTcm, SparseTcm, Tcm, TcmBackend, TopKPairs,
+    TreeTcmReducer,
 };
 use jessy_gos::ClassId;
 use jessy_net::{Mailbox, MasterCrashWindow, MsgClass, NodeId, ThreadId};
@@ -222,6 +223,19 @@ pub struct MasterOutput {
     pub top_pairs: Vec<(u32, u32, f64)>,
     /// Tree-reduction telemetry (`master.reduce.*`); all zero in flat mode.
     pub reduce: ReduceTelemetry,
+    /// Straggler demotions performed by the gray-failure detector
+    /// (`ProfilerConfig::straggler_lag_intervals`).
+    pub stragglers: u64,
+    /// Rounds whose measured profiling cost exceeded
+    /// `ProfilerConfig::overhead_budget`.
+    pub budget_over_rounds: u64,
+    /// Degradation-ladder rungs actually taken by the budget controller
+    /// (`budget_over_rounds` minus the rounds the ladder was already exhausted).
+    pub budget_degrades: u64,
+    /// Per closed round, the measured profiling cost as a fraction of the
+    /// charged application compute since the previous close (the budget loop's
+    /// input; recorded whether or not a budget is configured).
+    pub round_cost_fraction: Vec<f64>,
 }
 
 /// How the [`RoundScheduler`] classified one arriving OAL.
@@ -515,6 +529,12 @@ impl RoundScheduler {
         self.next_round
     }
 
+    /// Per-thread interval watermarks (1 + highest interval seen) — the
+    /// straggler detector's lag signal.
+    pub fn watermarks(&self) -> &[u64] {
+        &self.watermark
+    }
+
     /// Snapshot the scheduler in canonical (sorted) form.
     pub fn checkpoint(&self) -> SchedulerCheckpoint {
         let mut seen: Vec<(u32, u64)> = self.seen.iter().copied().collect();
@@ -579,9 +599,9 @@ pub struct ProfilerCheckpoint {
     pub tcm: Tcm,
     /// Round-assembly state (watermarks, open buckets, dedup set, late buffer).
     pub scheduler: SchedulerCheckpoint,
-    /// Adaptive-controller state (per-class baselines + converged set), if adaptive
-    /// control is on.
-    pub controller: Option<ControllerCheckpoint>,
+    /// Adaptive-controller state (per-class baselines + converged set, wrapped
+    /// with the budget loop's ladder position), if adaptive control is on.
+    pub controller: Option<BudgetCheckpoint>,
     /// Per-class sampling-rate table, sorted by class id.
     pub rates: Vec<(ClassId, ClassGapState)>,
     /// OALs ingested (non-duplicate) so far.
@@ -590,6 +610,8 @@ pub struct ProfilerCheckpoint {
     pub objects_organized: u64,
     /// Per-round coverage history.
     pub round_coverage: Vec<f64>,
+    /// Per-round profiling-cost history (the budget loop's input).
+    pub round_cost_fraction: Vec<f64>,
     /// Applied rate changes so far.
     pub rate_changes: Vec<AppliedRateChange>,
     /// Coverage-skipped rounds so far.
@@ -659,13 +681,34 @@ struct Daemon {
     topk: Option<TopKPairs>,
     /// `master.reduce.*` counters (tree mode only).
     reduce: ReduceTelemetry,
-    controller: Option<AdaptiveController>,
+    controller: Option<BudgetedController>,
     scheduler: RoundScheduler,
     oals: u64,
     rounds: u64,
     objects_organized: u64,
     build_ns: u64,
     round_coverage: Vec<f64>,
+    /// Per closed round, profiling cost / charged compute since the last close.
+    round_cost_fraction: Vec<f64>,
+    /// (Σ thread clocks, profiling wire bytes, OAL entries) at the previous
+    /// round close — the cost fraction is the delta between closes. All three
+    /// are virtual-time/virtual-count reads taken while the master holds the
+    /// cooperative token, so the fraction is deterministic.
+    cost_base: (u64, u64, u64),
+    // ---------------------------------------------------------- gray failure
+    /// The crash-quarantine table in force at startup: what a straggler's
+    /// threads revert to when the node recovers.
+    straggler_base: Vec<Option<u64>>,
+    /// Per-node progress-deficit EWMA (α = 0.3), in intervals behind the
+    /// fastest-progressing node per round close.
+    lag_ewma: Vec<f64>,
+    /// Per-node minimum interval watermark at the previous round close, the
+    /// baseline for the next progress-deficit measurement.
+    prev_node_min: Vec<u64>,
+    /// Per-node demotion flag (node currently prorated out of coverage).
+    straggler_demoted: Vec<bool>,
+    /// Demotion events performed (`MasterOutput::stragglers`).
+    stragglers: u64,
     rate_changes: Vec<AppliedRateChange>,
     skipped: Vec<SkippedRateChange>,
     planned_migrations: Vec<PlannedMigration>,
@@ -780,9 +823,10 @@ impl Daemon {
             .then(|| TopKPairs::new(self.shared.n_threads, self.config.tcm_top_k))
     }
 
-    fn fresh_controller(&self) -> Option<AdaptiveController> {
+    fn fresh_controller(&self) -> Option<BudgetedController> {
         self.config.adaptive_threshold.map(|t| {
-            AdaptiveController::new(t).with_min_coverage(self.config.min_round_coverage)
+            BudgetedController::new(t, self.config.overhead_budget)
+                .with_min_coverage(self.config.min_round_coverage)
         })
     }
 
@@ -836,6 +880,7 @@ impl Daemon {
             oals: self.oals,
             objects_organized: self.objects_organized,
             round_coverage: self.round_coverage.clone(),
+            round_cost_fraction: self.round_cost_fraction.clone(),
             rate_changes: self.rate_changes.clone(),
             skipped: self.skipped.clone(),
             planned_migrations: self.planned_migrations.clone(),
@@ -883,6 +928,7 @@ impl Daemon {
                 self.oals = cp.oals;
                 self.objects_organized = cp.objects_organized;
                 self.round_coverage = cp.round_coverage;
+                self.round_cost_fraction = cp.round_cost_fraction;
                 self.rate_changes = cp.rate_changes;
                 self.skipped = cp.skipped;
                 self.planned_migrations = cp.planned_migrations;
@@ -909,6 +955,7 @@ impl Daemon {
                 self.oals = 0;
                 self.objects_organized = 0;
                 self.round_coverage.clear();
+                self.round_cost_fraction.clear();
                 self.rate_changes.clear();
                 self.skipped.clear();
                 self.planned_migrations.clear();
@@ -924,6 +971,20 @@ impl Daemon {
         self.tree = self.fresh_tree();
         self.sketch = self.fresh_sketch();
         self.topk = self.fresh_topk();
+        // The summary-only switch lives in worker-visible profiler state: re-sync
+        // it to the restored ladder position (replay re-derives later rungs).
+        if self.config.overhead_budget.is_some() {
+            let on = self.controller.as_ref().is_some_and(|c| c.summary_only());
+            self.shared.prof.set_summary_only(on);
+        }
+        // Straggler demotions are volatile observations of the dead regime: drop
+        // any overlay back to the crash-quarantine base and re-observe.
+        if self.config.straggler_lag_intervals.is_some() {
+            self.scheduler.set_quarantine(self.straggler_base.clone());
+            self.lag_ewma = vec![0.0; self.shared.n_nodes];
+            self.prev_node_min = vec![0; self.shared.n_nodes];
+            self.straggler_demoted = vec![false; self.shared.n_nodes];
+        }
 
         // New regime: bump the epoch, publish it to the workers, and account the
         // epoch + rate-table broadcast that re-registration answers carry.
@@ -1036,6 +1097,119 @@ impl Daemon {
         }
     }
 
+    /// The profiling cost of the window since the previous round close, as a
+    /// fraction of the application compute charged in that window. Cost =
+    /// profiling wire bytes (OAL ship, rate broadcasts, TCM partials) at the
+    /// fabric's per-byte rate, plus OAL log appends at the GOS cost model's
+    /// append rate. Every input is a virtual counter read while the master holds
+    /// the cooperative token, so the fraction is deterministic and free of
+    /// host-time noise.
+    fn profiling_cost_fraction(&mut self) -> f64 {
+        let compute: u64 = (0..self.shared.n_threads)
+            .map(|t| self.shared.board.read(ThreadId(t as u32)))
+            .sum();
+        let prof_bytes = self.shared.gos.net_stats().oal_bytes();
+        let entries = self.shared.prof.stats().snapshot().oal_entries;
+        let (c0, b0, e0) = self.cost_base;
+        self.cost_base = (compute, prof_bytes, entries);
+        let d_compute = compute.saturating_sub(c0);
+        if d_compute == 0 {
+            return 0.0;
+        }
+        let ns_per_byte = self.shared.gos.fabric().latency_model().ns_per_byte;
+        let cost_ns = prof_bytes.saturating_sub(b0) as f64 * ns_per_byte
+            + entries.saturating_sub(e0) as f64 * self.shared.gos.costs().log_append_ns as f64;
+        cost_ns / d_compute as f64
+    }
+
+    /// Gray-failure detection (`ProfilerConfig::straggler_lag_intervals`): at
+    /// every round close, measure how many intervals each node *progressed*
+    /// since the previous close and track its deficit behind the
+    /// fastest-progressing node as an EWMA. The deficit detects *slowness*
+    /// (a gray node advances fewer intervals per unit of cluster progress),
+    /// not backlog, so it decays as soon as the node runs at full speed again
+    /// even while it still owes old intervals. A node whose EWMA crosses the
+    /// threshold is *demoted* — its threads' unreported intervals are prorated
+    /// out of round coverage via the scheduler's quarantine overlay, so a slow
+    /// (not dead) node degrades coverage instead of wedging rounds or tripping
+    /// low-coverage skips. When the EWMA recovers below half the threshold the
+    /// node is restored to the crash-quarantine base. Late data from a demoted
+    /// node still folds into the TCM — demotion is a coverage-accounting
+    /// decision, never data loss.
+    fn update_stragglers(&mut self, round: u64) {
+        let Some(threshold) = self.config.straggler_lag_intervals else {
+            return;
+        };
+        let wm = self.scheduler.watermarks().to_vec();
+        let placement = self.shared.placement.read().clone();
+        let mut node_min: Vec<Option<u64>> = vec![None; self.shared.n_nodes];
+        for (t, node) in placement.iter().enumerate() {
+            let slot = &mut node_min[node.0 as usize];
+            *slot = Some(slot.map_or(wm[t], |m| m.min(wm[t])));
+        }
+        let deltas: Vec<Option<u64>> = (0..self.shared.n_nodes)
+            .map(|n| node_min[n].map(|m| m.saturating_sub(self.prev_node_min[n])))
+            .collect();
+        let max_delta = deltas.iter().flatten().copied().max().unwrap_or(0);
+        for (n, m) in node_min.iter().enumerate() {
+            if let Some(m) = m {
+                self.prev_node_min[n] = *m;
+            }
+        }
+        if max_delta == 0 {
+            // Nothing progressed since the last close (e.g. a burst of closes
+            // from one ingest): no signal, keep the EWMAs as they are.
+            return;
+        }
+        let mut table = self.scheduler.quarantine_table();
+        let mut dirty = false;
+        for (n, delta) in deltas.iter().enumerate() {
+            let Some(delta) = *delta else {
+                continue; // hosts no threads; nothing to observe
+            };
+            let lag = (max_delta - delta) as f64;
+            self.lag_ewma[n] = 0.3 * lag + 0.7 * self.lag_ewma[n];
+            if !self.straggler_demoted[n] && self.lag_ewma[n] > threshold {
+                self.straggler_demoted[n] = true;
+                self.stragglers += 1;
+                for (t, node) in placement.iter().enumerate() {
+                    if node.0 as usize == n {
+                        // The thread owes nothing beyond what it has already
+                        // reported; a tighter crash expulsion stays in force.
+                        table[t] = Some(table[t].map_or(wm[t], |q| q.min(wm[t])));
+                    }
+                }
+                dirty = true;
+                self.shared.emit_event(
+                    &self.shared.master_clock(),
+                    EventKind::StragglerDemoted {
+                        node: n as u16,
+                        round,
+                        lag_ewma: self.lag_ewma[n],
+                    },
+                );
+            } else if self.straggler_demoted[n] && self.lag_ewma[n] < threshold / 2.0 {
+                self.straggler_demoted[n] = false;
+                for (t, node) in placement.iter().enumerate() {
+                    if node.0 as usize == n {
+                        table[t] = self.straggler_base[t];
+                    }
+                }
+                dirty = true;
+                self.shared.emit_event(
+                    &self.shared.master_clock(),
+                    EventKind::StragglerRestored {
+                        node: n as u16,
+                        round,
+                    },
+                );
+            }
+        }
+        if dirty {
+            self.scheduler.set_quarantine(table);
+        }
+    }
+
     fn close_round(&mut self, closed: ClosedRound) {
         let t0 = Instant::now();
         let summary = if self.tree.is_some() {
@@ -1056,6 +1230,8 @@ impl Daemon {
         self.rounds += 1;
         self.objects_organized += summary.objects as u64;
         self.round_coverage.push(closed.coverage);
+        let cost_fraction = self.profiling_cost_fraction();
+        self.round_cost_fraction.push(cost_fraction);
         self.shared.emit_event(
             &self.shared.master_clock(),
             EventKind::RoundClosed {
@@ -1071,10 +1247,14 @@ impl Daemon {
         let mut changed_distance: BTreeMap<String, f64> = BTreeMap::new();
         if let Some(ctl) = &mut self.controller {
             let clock = self.shared.master_clock();
-            let outcome =
-                ctl.on_round_with_coverage(&summary.per_class, self.shared.prof.gaps(), closed.coverage);
+            let outcome = ctl.on_round(
+                &summary.per_class,
+                self.shared.prof.gaps(),
+                closed.coverage,
+                cost_fraction,
+            );
             match outcome {
-                RoundOutcome::Applied(changes) => {
+                BudgetOutcome::Adapted(RoundOutcome::Applied(changes)) => {
                     for ch in changes {
                         // Broadcast the change notice to every worker node (accounted)
                         // and run the resampling walk.
@@ -1116,7 +1296,7 @@ impl Daemon {
                         });
                     }
                 }
-                RoundOutcome::SkippedLowCoverage { coverage, .. } => {
+                BudgetOutcome::Adapted(RoundOutcome::SkippedLowCoverage { coverage, .. }) => {
                     self.shared.emit_event(
                         &self.shared.master_clock(),
                         EventKind::RoundSkipped {
@@ -1129,6 +1309,45 @@ impl Daemon {
                         round: closed.round,
                         coverage,
                     });
+                }
+                // Merged rounds defer rate decisions to the cadence boundary —
+                // cheaper rounds, same baselines; nothing to journal per round.
+                // Settling rounds are over budget but still inside the last
+                // rung's transition window: the next clean measurement decides.
+                BudgetOutcome::MergedOut { .. } | BudgetOutcome::Settling => {}
+                BudgetOutcome::Degraded(step) => {
+                    match &step {
+                        DegradeStep::CoarsenRate { class, .. } => {
+                            // The controller already coarsened the gap table;
+                            // broadcast the change notice and run the
+                            // resampling walk exactly as an accuracy-driven
+                            // rate change would.
+                            for n in 0..self.shared.n_nodes {
+                                self.shared.gos.fabric().account_async(
+                                    NodeId::MASTER,
+                                    NodeId(n as u16),
+                                    MsgClass::RateChange,
+                                    16,
+                                );
+                            }
+                            apply_rate_change(
+                                &self.shared.gos,
+                                self.shared.prof.gaps(),
+                                *class,
+                                &clock,
+                            );
+                        }
+                        DegradeStep::SummaryOnly => self.shared.prof.set_summary_only(true),
+                        DegradeStep::MergeRounds { .. } | DegradeStep::Exhausted => {}
+                    }
+                    self.shared.emit_event(
+                        &self.shared.master_clock(),
+                        EventKind::BudgetDegraded {
+                            round: closed.round,
+                            step: step.label(),
+                            cost_fraction,
+                        },
+                    );
                 }
             }
             // Journal each class the moment its rate freezes (once per class —
@@ -1170,6 +1389,8 @@ impl Daemon {
             deadline_hit: closed.deadline_hit,
             classes,
         });
+
+        self.update_stragglers(closed.round);
 
         // Dynamic balancing: plan once enough rounds have closed (Section V's policy,
         // built on the profiles).
@@ -1293,15 +1514,23 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
         sketch: None,
         topk: None,
         reduce: ReduceTelemetry::default(),
-        controller: config
-            .adaptive_threshold
-            .map(|t| AdaptiveController::new(t).with_min_coverage(config.min_round_coverage)),
+        controller: config.adaptive_threshold.map(|t| {
+            BudgetedController::new(t, config.overhead_budget)
+                .with_min_coverage(config.min_round_coverage)
+        }),
+        straggler_base: scheduler.quarantine_table(),
         scheduler,
         oals: 0,
         rounds: 0,
         objects_organized: 0,
         build_ns: 0,
         round_coverage: Vec::new(),
+        round_cost_fraction: Vec::new(),
+        cost_base: (0, 0, 0),
+        lag_ewma: vec![0.0; shared.n_nodes],
+        prev_node_min: vec![0; shared.n_nodes],
+        straggler_demoted: vec![false; shared.n_nodes],
+        stragglers: 0,
         rate_changes: Vec::new(),
         skipped: Vec::new(),
         planned_migrations: Vec::new(),
@@ -1382,6 +1611,14 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
             .map(|tk| tk.top().into_iter().map(|(i, j, v)| (i.0, j.0, v)).collect())
             .unwrap_or_default(),
         reduce: daemon.reduce,
+        stragglers: daemon.stragglers,
+        budget_over_rounds: daemon
+            .controller
+            .as_ref()
+            .map(|c| c.over_rounds())
+            .unwrap_or(0),
+        budget_degrades: daemon.controller.as_ref().map(|c| c.degrades()).unwrap_or(0),
+        round_cost_fraction: daemon.round_cost_fraction,
     }
 }
 

@@ -52,6 +52,18 @@ pub struct RunReport {
     /// sorted — the loss is attributable, not just countable, and
     /// [`RunReport::adjusted_round_coverage`] folds it into coverage accounting.
     pub lost_oals: Vec<(u32, u64)>,
+    /// The `(thread, interval)` pairs whose OAL identity was shed under mailbox
+    /// backpressure (`ProfilerConfig::oal_mailbox_capacity`), sorted. Like
+    /// `lost_oals`, every shed is attributable and folded into
+    /// [`RunReport::adjusted_round_coverage`] — never silent.
+    pub shed_oals: Vec<(u32, u64)>,
+    /// Sheds that dropped the batch outright (`ShedPolicy::DropOldestRound`,
+    /// plus any post-gate race losses attributed to it).
+    pub sheds_dropped: u64,
+    /// Sheds that merged the batch into its successor (`ShedPolicy::MergeBatches`).
+    pub sheds_merged: u64,
+    /// Sheds that merged + collapsed to per-class summaries (`ShedPolicy::SummaryOnly`).
+    pub sheds_summarized: u64,
     /// Rejoin handshakes performed by threads of nodes that came back from a crash
     /// window (DESIGN.md §12).
     pub rejoins: u64,
@@ -84,6 +96,20 @@ impl RunReport {
                 lost.sort_unstable();
                 lost
             },
+            shed_oals: {
+                let mut shed = shared.shed_oals.lock().clone();
+                shed.sort_unstable();
+                shed
+            },
+            sheds_dropped: shared
+                .sheds_dropped
+                .load(std::sync::atomic::Ordering::Relaxed),
+            sheds_merged: shared
+                .sheds_merged
+                .load(std::sync::atomic::Ordering::Relaxed),
+            sheds_summarized: shared
+                .sheds_summarized
+                .load(std::sync::atomic::Ordering::Relaxed),
             rejoins: shared.rejoins.load(std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -133,16 +159,21 @@ impl RunReport {
             master,
             oal_post_failures: self.oal_post_failures,
             lost_oals: self.lost_oals.clone(),
+            shed_oals: self.shed_oals.clone(),
+            sheds_dropped: self.sheds_dropped,
+            sheds_merged: self.sheds_merged,
+            sheds_summarized: self.sheds_summarized,
             rejoins: self.rejoins,
         }
     }
 
-    /// Round-coverage history with post-failure losses folded back in: each lost
-    /// `(thread, interval)` OAL subtracts its share `1 / (n_threads · ipr)` from
-    /// the coverage of the round that owned the interval, extending the master's
-    /// history with fully-covered rounds as needed. Losses the master never saw
-    /// (its mailbox was already closed) thus still show up where coverage gating
-    /// looks, instead of vanishing into a bare counter.
+    /// Round-coverage history with post-failure losses *and* backpressure sheds
+    /// folded back in: each lost or shed `(thread, interval)` OAL subtracts its
+    /// share `1 / (n_threads · ipr)` from the coverage of the round that owned
+    /// the interval, extending the master's history with fully-covered rounds as
+    /// needed. Losses the master never saw (its mailbox was already closed, or
+    /// the batch's identity was shed before posting) thus still show up where
+    /// coverage gating looks, instead of vanishing into a bare counter.
     pub fn adjusted_round_coverage(&self, intervals_per_round: u64) -> Vec<f64> {
         let ipr = intervals_per_round.max(1);
         let mut coverage = self
@@ -151,7 +182,7 @@ impl RunReport {
             .map(|m| m.round_coverage.clone())
             .unwrap_or_default();
         let share = 1.0 / (self.n_threads.max(1) as f64 * ipr as f64);
-        for (_thread, interval) in &self.lost_oals {
+        for (_thread, interval) in self.lost_oals.iter().chain(&self.shed_oals) {
             let round = (interval / ipr) as usize;
             if coverage.len() <= round {
                 coverage.resize(round + 1, 1.0);
@@ -184,6 +215,9 @@ impl RunReport {
         m.set("run.oal_post_failures", self.oal_post_failures);
         m.set("run.lost_oals", self.lost_oals.len() as u64);
         m.set("run.rejoins", self.rejoins);
+        m.set("net.shed.dropped", self.sheds_dropped);
+        m.set("net.shed.merged", self.sheds_merged);
+        m.set("net.shed.summarized", self.sheds_summarized);
 
         for class in MsgClass::ALL {
             let c = self.net.class(class);
@@ -247,6 +281,9 @@ impl RunReport {
             m.set("master.reduce.partial_cells", master.reduce.partial_cells);
             m.set("master.reduce.partial_bytes", master.reduce.partial_bytes);
             m.set("master.reduce.master_partials", master.reduce.master_partials);
+            m.set("master.stragglers", master.stragglers);
+            m.set("profiler.budget.over_rounds", master.budget_over_rounds);
+            m.set("profiler.budget.degrades", master.budget_degrades);
         }
         m
     }
@@ -278,6 +315,14 @@ pub struct DeterministicReport {
     pub oal_post_failures: u64,
     /// The lost `(thread, interval)` pairs, sorted.
     pub lost_oals: Vec<(u32, u64)>,
+    /// The shed `(thread, interval)` pairs, sorted.
+    pub shed_oals: Vec<(u32, u64)>,
+    /// Sheds by policy: outright drops.
+    pub sheds_dropped: u64,
+    /// Sheds by policy: merges into the successor batch.
+    pub sheds_merged: u64,
+    /// Sheds by policy: merges collapsed to per-class summaries.
+    pub sheds_summarized: u64,
     /// Rejoin handshakes performed.
     pub rejoins: u64,
 }
@@ -299,6 +344,10 @@ mod tests {
             master: None,
             oal_post_failures: 0,
             lost_oals: Vec::new(),
+            shed_oals: Vec::new(),
+            sheds_dropped: 0,
+            sheds_merged: 0,
+            sheds_summarized: 0,
             rejoins: 0,
         }
     }

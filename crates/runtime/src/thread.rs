@@ -6,11 +6,12 @@
 //! intervals; stack frames are maintained so the stack sampler has something real to
 //! mine; `migrate_to` invokes the migration engine.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use jessy_core::sticky::resolution::Resolution;
-use jessy_core::ThreadProfiler;
+use jessy_core::{ShedPolicy, ThreadProfiler};
 use jessy_gos::{ClassId, Gos, LockId, ObjectCore, ObjectId, ThreadSpace};
 use jessy_net::{ClockHandle, MsgClass, NodeId, ThreadId};
 use jessy_obs::EventKind;
@@ -40,6 +41,21 @@ pub struct JThread {
     /// the next ship point once the partition heals (`heal_ns == u64::MAX` =
     /// permanent; surfaced as lost at drop).
     deferred_oals: Vec<(u64, u64, EpochOal)>,
+    /// Per-thread backpressure queue in front of the master's *bounded* mailbox:
+    /// `(fault_key, batch)` pairs waiting for mailbox space. Bounded by the same
+    /// capacity as the mailbox — overflow sheds per the configured policy, every
+    /// shed attributed. Unused (always empty) with the legacy unbounded mailbox.
+    pending_oals: VecDeque<(u64, EpochOal)>,
+    /// True when the fault plan has any slow windows — gates the per-access
+    /// service-time inflation so fault-free runs pay nothing for the feature.
+    slow_gate: bool,
+    /// Gap-table generation last re-synced against. When the coordinator
+    /// changes a rate (accuracy step or budget rung), its resampling walk
+    /// retags shared headers but cannot reach this thread's arena; at the next
+    /// interval open the generation mismatch triggers a re-arm of resident
+    /// sampled objects so their trap chains resume. Stays equal to the table
+    /// (no walks, no cost) in runs that never change rates.
+    rate_generation: u64,
 }
 
 impl JThread {
@@ -52,6 +68,12 @@ impl JThread {
             .lock()
             .take()
             .unwrap_or_else(|| ThreadSpace::new(thread));
+        let slow_gate = shared
+            .gos
+            .fabric()
+            .injector()
+            .is_some_and(|inj| !inj.plan().slow.is_empty());
+        let rate_generation = shared.prof.gaps().generation();
         JThread {
             shared,
             thread,
@@ -62,6 +84,9 @@ impl JThread {
             stack: JavaStack::new(),
             node_was_down: false,
             deferred_oals: Vec::new(),
+            pending_oals: VecDeque::new(),
+            slow_gate,
+            rate_generation,
         }
     }
 
@@ -122,24 +147,49 @@ impl JThread {
             .maybe_stack_sample(&self.shared.gos, &mut self.stack, &self.clock);
     }
 
+    /// Gray-failure model: inflate the service time just charged (since `t0`)
+    /// by the fault plan's slow-window factor for this node. A slow node does
+    /// the same work, slower — the virtual clock stretches, nothing is lost or
+    /// reordered beyond what the stretched timestamps imply.
+    fn charge_slow(&mut self, t0: u64) {
+        if !self.slow_gate {
+            return;
+        }
+        let now = self.clock.now();
+        if now <= t0 {
+            return;
+        }
+        if let Some(inj) = self.shared.gos.fabric().injector() {
+            let factor = inj.plan().slow_factor_at(self.node, t0);
+            if factor > 1.0 {
+                self.clock
+                    .spend(((now - t0) as f64 * (factor - 1.0)).round() as u64);
+            }
+        }
+    }
+
     /// Read access: run `f` over the object's payload (a yield point).
     pub fn read<R>(&mut self, obj: ObjectId, f: impl FnOnce(&[f64]) -> R) -> R {
+        let t0 = self.clock.now();
         let (r, out) = self
             .shared
             .gos
             .read(&mut self.space, self.node, obj, &self.clock, f);
         self.post_access(&out);
+        self.charge_slow(t0);
         self.yield_now();
         r
     }
 
     /// Write access: run `f` over the mutable payload (a yield point).
     pub fn write<R>(&mut self, obj: ObjectId, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        let t0 = self.clock.now();
         let (r, out) = self
             .shared
             .gos
             .write(&mut self.space, self.node, obj, &self.clock, f);
         self.post_access(&out);
+        self.charge_slow(t0);
         self.yield_now();
         r
     }
@@ -147,8 +197,10 @@ impl JThread {
     /// Charge `units` of application compute to the simulated clock (a yield
     /// point).
     pub fn compute(&mut self, units: u64) {
+        let t0 = self.clock.now();
         self.clock
             .spend(units * self.shared.gos.costs().compute_unit_ns);
+        self.charge_slow(t0);
         self.yield_now();
     }
 
@@ -186,8 +238,7 @@ impl JThread {
             return;
         }
         let now = self.clock.now();
-        let fabric = self.shared.gos.fabric();
-        if let Some(inj) = fabric.injector() {
+        if let Some(inj) = self.shared.gos.fabric().injector() {
             if inj.severed(self.node, NodeId::MASTER, now) {
                 return;
             }
@@ -202,6 +253,7 @@ impl JThread {
             // only the round's partial-TCM crosses the fabric (accounted by the
             // master at round close), so no OAL bytes are charged here.
             if self.shared.prof.config().tcm_tree_fanout < 2 {
+                let fabric = self.shared.gos.fabric();
                 let bytes = env.oal.wire_bytes();
                 fabric.account_async(self.node, NodeId::MASTER, MsgClass::OalBatch, bytes);
                 if self.node != NodeId::MASTER {
@@ -210,24 +262,132 @@ impl JThread {
                         .spend((total as f64 * fabric.latency_model().ns_per_byte) as u64);
                 }
             }
+            self.post_oal(key, env);
+        }
+        self.deferred_oals = kept;
+    }
+
+    /// Record a `(thread, interval)` whose OAL never reached the master because
+    /// the mailbox was gone — the legacy loss path (`RunReport::lost_oals`).
+    fn record_lost(&mut self, interval: u64) {
+        self.shared
+            .oal_post_failures
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.lost_oals.lock().push((self.thread.0, interval));
+        self.shared.emit_event(
+            &self.clock,
+            EventKind::OalPostFailed {
+                thread: self.thread.0,
+                interval,
+            },
+        );
+    }
+
+    /// Attribute one shed batch: bump the policy's counter, record the interval
+    /// for coverage proration, and journal the event. Sheds are never silent.
+    fn record_shed(&mut self, interval: u64, policy: ShedPolicy) {
+        let counter = match policy {
+            ShedPolicy::DropOldestRound => &self.shared.sheds_dropped,
+            ShedPolicy::MergeBatches => &self.shared.sheds_merged,
+            ShedPolicy::SummaryOnly => &self.shared.sheds_summarized,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.shared.shed_oals.lock().push((self.thread.0, interval));
+        self.shared.emit_event(
+            &self.clock,
+            EventKind::OalShed {
+                thread: self.thread.0,
+                interval,
+                policy: policy.label().to_string(),
+            },
+        );
+    }
+
+    /// Shed one batch from the head of the pending queue per the configured
+    /// policy. Deterministic: the decision depends only on queue state. The
+    /// merging policies fold the two oldest batches into one (the older
+    /// interval's identity is shed, its entries ride the younger batch), so
+    /// bytes survive at the cost of interval-attribution precision.
+    fn shed_one(&mut self) {
+        let policy = self.shared.prof.config().shed_policy;
+        match policy {
+            ShedPolicy::DropOldestRound => {
+                let (_, env) = self.pending_oals.pop_front().expect("shed_one on empty queue");
+                self.record_shed(env.oal.interval, policy);
+            }
+            ShedPolicy::MergeBatches | ShedPolicy::SummaryOnly => {
+                let (_, old) = self.pending_oals.pop_front().expect("shed_one on empty queue");
+                let (key, mut young) = self
+                    .pending_oals
+                    .pop_front()
+                    .expect("merge policies need two queued batches");
+                let shed_interval = old.oal.interval;
+                let mut entries = old.oal.entries;
+                entries.extend(young.oal.entries);
+                young.oal.entries = entries;
+                if policy == ShedPolicy::SummaryOnly {
+                    young.oal = young.oal.summarize();
+                }
+                self.pending_oals.push_front((key, young));
+                self.record_shed(shed_interval, policy);
+            }
+        }
+    }
+
+    /// Drain the pending queue into the bounded mailbox: shed down to the
+    /// capacity bound first, then post until the mailbox fills (backpressure —
+    /// the rest waits here for the master to drain).
+    fn drain_pending(&mut self) {
+        let Some(cap) = self.shared.oal_tx.capacity() else {
+            return;
+        };
+        loop {
+            // The per-thread queue honours the same bound as the mailbox, so
+            // total OAL memory is O(capacity · threads) whatever the load.
+            while self.pending_oals.len() > cap {
+                self.shed_one();
+            }
+            if self.pending_oals.is_empty() {
+                return;
+            }
+            if self.shared.oal_tx.is_full() {
+                // Wake the master to drain; batches wait under backpressure.
+                self.shared.exec.unblock(self.shared.master_task());
+                return;
+            }
+            let (key, env) = self.pending_oals.pop_front().expect("checked non-empty");
+            let interval = env.oal.interval;
+            match self.shared.oal_tx.try_post_keyed(self.node, key, env) {
+                Ok(_) => self.shared.exec.unblock(self.shared.master_task()),
+                Err(jessy_net::NetError::MailboxFull { .. }) => {
+                    // Lost the race with another producer (free-threaded mode
+                    // only; impossible under the cooperative executor). The
+                    // batch is consumed — attribute it like a drop.
+                    self.record_shed(interval, ShedPolicy::DropOldestRound);
+                    self.shared.exec.unblock(self.shared.master_task());
+                    return;
+                }
+                Err(_) => self.record_lost(interval),
+            }
+        }
+    }
+
+    /// Post one epoch-stamped batch toward the master. With the legacy
+    /// unbounded mailbox this is the direct path (bit-identical to previous
+    /// releases); with a capacity configured, batches go through the per-thread
+    /// backpressure queue and may shed per policy.
+    fn post_oal(&mut self, key: u64, env: EpochOal) {
+        if self.shared.oal_tx.capacity().is_none() {
             let interval = env.oal.interval;
             if self.shared.oal_tx.try_post_keyed(self.node, key, env).is_err() {
-                self.shared
-                    .oal_post_failures
-                    .fetch_add(1, Ordering::Relaxed);
-                self.shared.lost_oals.lock().push((self.thread.0, interval));
-                self.shared.emit_event(
-                    &self.clock,
-                    EventKind::OalPostFailed {
-                        thread: self.thread.0,
-                        interval,
-                    },
-                );
+                self.record_lost(interval);
             } else {
                 self.shared.exec.unblock(self.shared.master_task());
             }
+            return;
         }
-        self.deferred_oals = kept;
+        self.pending_oals.push_back((key, env));
+        self.drain_pending();
     }
 
     fn close_and_ship_oal(&mut self) {
@@ -249,6 +409,14 @@ impl JThread {
                     entries: oal.entries.len() as u64,
                 },
             );
+            // Budget ladder's last data-bearing rung: ship per-class summaries
+            // instead of per-object entries, cutting wire bytes at the cost of
+            // object identity. Off (and free) unless the ladder engaged it.
+            let oal = if self.shared.prof.summary_only() {
+                oal.summarize()
+            } else {
+                oal
+            };
             if self.shared.prof.config().send_oals {
                 let fabric = self.shared.gos.fabric();
                 // Crash-stop model (DESIGN.md §12): while this thread's node sits in
@@ -335,31 +503,13 @@ impl JThread {
                     }
                 }
                 let key = jessy_net::oal_fault_key(oal.thread, oal.interval);
-                let interval = oal.interval;
                 let oal = EpochOal {
                     epoch: self.shared.master_epoch.load(Ordering::Acquire),
                     oal,
                 };
-                if self.shared.oal_tx.try_post_keyed(self.node, key, oal).is_err() {
-                    // Mailbox gone (master already joined): count and record which
-                    // interval vanished, don't crash the application thread — the
-                    // report folds the loss into round coverage (DESIGN.md §14).
-                    self.shared
-                        .oal_post_failures
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    self.shared.lost_oals.lock().push((self.thread.0, interval));
-                    self.shared.emit_event(
-                        &self.clock,
-                        EventKind::OalPostFailed {
-                            thread: self.thread.0,
-                            interval,
-                        },
-                    );
-                } else {
-                    // Mail landed: make the master task runnable (a no-op when it
-                    // is already runnable, or when running without the executor).
-                    self.shared.exec.unblock(self.shared.master_task());
-                }
+                // Unbounded: the direct post (a failure means the mailbox is
+                // gone — counted, never fatal). Bounded: the backpressure queue.
+                self.post_oal(key, oal);
             }
         }
     }
@@ -374,8 +524,23 @@ impl JThread {
             .gos
             .barrier_wait(&mut self.space, self.node, self.shared.n_threads, &self.clock);
         self.profiler.open_interval(&mut self.space);
+        self.resync_sampling();
         self.emit_interval_opened();
         self.honour_directive();
+    }
+
+    /// Re-arm trap chains after a coordinator rate change (see the
+    /// `rate_generation` field). Runs at interval opens only, so an unchanged
+    /// generation costs one atomic load on the boundary path and nothing on
+    /// the access path.
+    fn resync_sampling(&mut self) {
+        let generation = self.shared.prof.gaps().generation();
+        if generation == self.rate_generation {
+            return;
+        }
+        self.rate_generation = generation;
+        let armed = self.shared.gos.rearm_sampled(&mut self.space, &self.clock);
+        self.shared.prof.stats().record_fi_armed(armed as u64);
     }
 
     fn emit_interval_opened(&mut self) {
@@ -409,6 +574,7 @@ impl JThread {
             .gos
             .lock_acquire(&mut self.space, lock, self.node, &self.clock);
         self.profiler.open_interval(&mut self.space);
+        self.resync_sampling();
         self.emit_interval_opened();
     }
 
@@ -419,6 +585,7 @@ impl JThread {
             .gos
             .lock_release(&mut self.space, lock, self.node, &self.clock);
         self.profiler.open_interval(&mut self.space);
+        self.resync_sampling();
         self.emit_interval_opened();
     }
 
@@ -525,20 +692,16 @@ impl Drop for JThread {
     fn drop(&mut self) {
         self.flush_deferred_oals();
         for (_, _, env) in std::mem::take(&mut self.deferred_oals) {
-            self.shared
-                .oal_post_failures
-                .fetch_add(1, Ordering::Relaxed);
-            self.shared
-                .lost_oals
-                .lock()
-                .push((self.thread.0, env.oal.interval));
-            self.shared.emit_event(
-                &self.clock,
-                EventKind::OalPostFailed {
-                    thread: self.thread.0,
-                    interval: env.oal.interval,
-                },
-            );
+            let interval = env.oal.interval;
+            self.record_lost(interval);
+        }
+        // Give the bounded-mailbox path one last drain; whatever is still stuck
+        // behind a full mailbox is shed with attribution (never silently).
+        self.drain_pending();
+        let policy = self.shared.prof.config().shed_policy;
+        for (_, env) in std::mem::take(&mut self.pending_oals) {
+            let interval = env.oal.interval;
+            self.record_shed(interval, policy);
         }
         let space = std::mem::replace(&mut self.space, ThreadSpace::new(self.thread));
         *self.shared.spaces[self.thread.index()].lock() = Some(space);

@@ -8,9 +8,10 @@
 use std::sync::Arc;
 
 use jessy_core::{ProfilerConfig, SamplingRate};
-use jessy_gos::{CostModel, ObjectId};
+use jessy_gos::{CostModel, LockId, ObjectId};
 use jessy_net::{
-    CrashWindow, FaultPlan, LatencyModel, MasterCrashWindow, NodeId, PartitionWindow, StallWindow,
+    CrashWindow, FaultPlan, LatencyModel, MasterCrashWindow, NodeId, PartitionWindow, SlowWindow,
+    StallWindow,
 };
 use jessy_runtime::Cluster;
 
@@ -141,15 +142,27 @@ fn zero_fault_plan_reproduces_the_fault_free_run() {
         (report, master)
     };
     let (base_report, base) = run(None);
-    // Explicitly spell the PR 6 field: an empty partition schedule is part of the
-    // zero plan.
+    // Explicitly spell the PR 6 and PR 8 fields: empty partition and slow-window
+    // schedules are part of the zero plan.
     let zero_plan = FaultPlan {
         partitions: vec![],
+        slow: vec![],
         ..FaultPlan::default()
     };
     let (zero_report, zero) = run(Some(zero_plan));
 
     assert!(FaultPlan::default().is_zero());
+    // A plan carrying any slow window is *not* zero: gray failures are faults.
+    assert!(!FaultPlan {
+        slow: vec![jessy_net::SlowWindow {
+            node: NodeId(1),
+            from_ns: 0,
+            until_ns: None,
+            factor: 2.0,
+        }],
+        ..FaultPlan::default()
+    }
+    .is_zero());
     // A few targeted fields first, for readable failures...
     assert_eq!(zero.tcm, base.tcm, "TCM must be bit-identical");
     assert_eq!(zero.rounds, base.rounds);
@@ -640,4 +653,68 @@ fn unhealed_partition_degrades_gracefully_without_wedging() {
         master.round_coverage
     );
     assert!(master.tcm.total() > 0.0, "the reachable side's profile survives");
+}
+
+// ---------------------------------------------------------------------- PR 8:
+// gray failure. A slow node is not a dead node: every message still arrives and
+// every interval still closes — just late. The progress-deficit EWMA must pick
+// the genuinely slow node out even when seeded OAL drops are muddying the
+// watermarks, and the run must complete on prorated coverage either way.
+
+/// Slow node plus seeded drops: the run completes, node 1 (8× service time for
+/// the first stretch) is demoted, and slowness itself loses no data — the drop
+/// plan is the only loss channel.
+#[test]
+fn slow_node_under_seeded_drops_demotes_and_completes() {
+    let mut config = ProfilerConfig::tracking_at(SamplingRate::NX(1));
+    config.intervals_per_round = 1;
+    config.round_deadline_intervals = Some(4);
+    let mut cluster = Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .latency(LatencyModel::free())
+        .costs(CostModel::pentium4_2ghz())
+        .profiler(config)
+        .straggler_lag(1.2)
+        .faults(FaultPlan {
+            seed: chaos_seed(),
+            oal_drop: 0.05,
+            slow: vec![SlowWindow {
+                node: NodeId(1),
+                from_ns: 0,
+                until_ns: Some(30_000),
+                factor: 8.0,
+            }],
+            ..FaultPlan::default()
+        })
+        .build();
+    let (objs, locks) = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("S", 8);
+        let objs = (0..4)
+            .map(|k| ctx.alloc_scalar_at(NodeId((k % 2) as u16), class).id)
+            .collect::<Vec<ObjectId>>();
+        let locks = (0..4).map(|_| ctx.register_lock()).collect::<Vec<LockId>>();
+        (objs, locks)
+    });
+    let (objs, locks) = (Arc::new(objs), Arc::new(locks));
+    cluster.run(move |jt| {
+        let t = jt.thread_id().index();
+        for _ in 0..80 {
+            jt.lock(locks[t]);
+            jt.read(objs[t], |_| {});
+            jt.compute(50);
+            jt.unlock(locks[t]);
+        }
+    });
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran to completion").clone();
+    assert!(master.rounds > 0, "rounds keep closing under gray failure");
+    assert!(
+        report.net.faults.dropped > 0,
+        "the seeded drop plan must actually bite: {:?}",
+        report.net.faults
+    );
+    assert!(master.stragglers >= 1, "the 8x node must be demoted");
+    assert_eq!(report.oal_post_failures, 0, "slowness itself loses nothing");
+    assert!(master.oals_ingested > 0, "the profile survives on what arrives");
 }

@@ -4,6 +4,8 @@
 //! jessy-cli run --workload bh --nodes 8 --threads 16 --rate 4x
 //! jessy-cli run --workload sor --scale small --rate full --json
 //! jessy-cli run --workload water --adaptive 0.05 --rebalance 4
+//! jessy-cli run --workload sor --adaptive 0.05 --overhead-budget 0.02
+//! jessy-cli run --workload bh --mailbox-capacity 8 --shed-policy merge
 //! jessy-cli run --workload sor --trace trace.json --journal run.jsonl
 //! jessy-cli heatmap --workload bh --threads 16
 //! jessy-cli info
@@ -31,6 +33,9 @@ struct Options {
     scale: WorkloadPreset,
     adaptive: Option<f64>,
     rebalance: Option<u64>,
+    overhead_budget: Option<f64>,
+    mailbox_capacity: Option<usize>,
+    shed_policy: Option<ShedPolicy>,
     tcm_fanout: usize,
     tcm_backend: TcmBackend,
     top_k: usize,
@@ -68,6 +73,9 @@ impl Default for Options {
             scale: WorkloadPreset::Small,
             adaptive: None,
             rebalance: None,
+            overhead_budget: None,
+            mailbox_capacity: None,
+            shed_policy: None,
             tcm_fanout: 0,
             tcm_backend: TcmBackend::Dense,
             top_k: 0,
@@ -145,6 +153,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.rebalance =
                     Some(value(flag)?.parse().map_err(|e| format!("--rebalance: {e}"))?)
             }
+            "--overhead-budget" => {
+                opts.overhead_budget = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--overhead-budget: {e}"))?,
+                )
+            }
+            "--mailbox-capacity" => {
+                opts.mailbox_capacity = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--mailbox-capacity: {e}"))?,
+                )
+            }
+            "--shed-policy" => {
+                opts.shed_policy = Some(match value(flag)?.to_lowercase().as_str() {
+                    "drop-oldest" | "drop" => ShedPolicy::DropOldestRound,
+                    "merge" => ShedPolicy::MergeBatches,
+                    "summary" => ShedPolicy::SummaryOnly,
+                    other => {
+                        return Err(format!(
+                            "unknown shed policy {other:?} (drop-oldest | merge | summary)"
+                        ))
+                    }
+                })
+            }
             "--prefetch-depth" => {
                 opts.prefetch_depth = value(flag)?
                     .parse()
@@ -203,6 +237,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.rebalance.is_some() && matches!(opts.rate, RateOpt::Off) {
         return Err("--rebalance needs correlation tracking (pick a --rate)".into());
     }
+    if let Some(b) = opts.overhead_budget {
+        if !b.is_finite() || b <= 0.0 || b > 1.0 {
+            return Err(format!(
+                "--overhead-budget {b} is not a fraction in (0, 1] (e.g. 0.02 for 2%)"
+            ));
+        }
+        if opts.adaptive.is_none() {
+            return Err(
+                "--overhead-budget rides the adaptive controller; also pass --adaptive".into(),
+            );
+        }
+    }
+    if opts.mailbox_capacity == Some(0) {
+        return Err("--mailbox-capacity 0 could never accept mail; omit it for unbounded".into());
+    }
+    if opts.shed_policy.is_some() && opts.mailbox_capacity.is_none() {
+        return Err("--shed-policy only matters with a bounded mailbox (--mailbox-capacity)".into());
+    }
     if opts.tcm_fanout == 1 {
         return Err("--tcm-fanout 1 reduces nothing; use 0 (flat) or >= 2".into());
     }
@@ -227,6 +279,11 @@ fn profiler_config(opts: &Options) -> ProfilerConfig {
         RateOpt::Trace => ProfilerConfig::ground_truth(),
     };
     config.adaptive_threshold = opts.adaptive;
+    config.overhead_budget = opts.overhead_budget;
+    config.oal_mailbox_capacity = opts.mailbox_capacity;
+    if let Some(policy) = opts.shed_policy {
+        config.shed_policy = policy;
+    }
     config.tcm_tree_fanout = opts.tcm_fanout;
     config.tcm_backend = opts.tcm_backend;
     config.tcm_top_k = opts.top_k;
@@ -317,9 +374,28 @@ fn cmd_run(opts: &Options) {
     println!("objects prefetched  : {:>12}", report.proto.objects_prefetched);
     println!("GOS volume          : {:>12.1} KB", report.gos_kb());
     println!("OAL volume          : {:>12.1} KB ({:.2}% of GOS)", report.oal_kb(), report.net.oal_over_gos() * 100.0);
+    let sheds = report.sheds_dropped + report.sheds_merged + report.sheds_summarized;
+    if sheds > 0 {
+        println!(
+            "OALs shed           : {:>12} (dropped {}, merged {}, summarized {})",
+            sheds, report.sheds_dropped, report.sheds_merged, report.sheds_summarized
+        );
+    }
+    if report.oal_post_failures > 0 {
+        println!("OALs lost at post   : {:>12}", report.oal_post_failures);
+    }
     if let Some(master) = &report.master {
         println!("TCM rounds          : {:>12}", master.rounds);
         println!("TCM build (real)    : {:>12.2} ms", master.tcm_build_real_ns as f64 / 1e6);
+        if master.stragglers > 0 {
+            println!("stragglers demoted  : {:>12}", master.stragglers);
+        }
+        if master.budget_over_rounds > 0 {
+            println!(
+                "budget ladder       : {:>12} rungs ({} rounds over budget)",
+                master.budget_degrades, master.budget_over_rounds
+            );
+        }
         for ch in &master.rate_changes {
             println!(
                 "  rate change: {} -> {} (round {}, distance {:.3})",
@@ -390,6 +466,8 @@ fn main() -> ExitCode {
             eprintln!("       [--nodes N] [--threads T] [--rate off|1x|4x|full|trace]");
             eprintln!("       [--scale paper|small] [--adaptive THRESHOLD]");
             eprintln!("       [--rebalance ROUNDS] [--prefetch-depth D] [--json]");
+            eprintln!("       [--overhead-budget FRACTION (SLO cost ceiling; needs --adaptive)]");
+            eprintln!("       [--mailbox-capacity N] [--shed-policy drop-oldest|merge|summary]");
             eprintln!("       [--tcm-fanout K (>=2: fabric-tree TCM aggregation)]");
             eprintln!("       [--tcm-backend dense|sketch|sketch:WIDTH,DEPTH] [--top-k K]");
             eprintln!("       [--trace FILE (Chrome trace_event)] [--journal FILE (JSON lines)]");
@@ -453,6 +531,49 @@ mod tests {
         assert_eq!(o.tcm_backend, TcmBackend::default_sketch());
         let o = parse_args(&args("run --tcm-backend dense")).unwrap();
         assert_eq!(o.tcm_backend, TcmBackend::Dense);
+    }
+
+    #[test]
+    fn parses_overload_protection_flags() {
+        let o = parse_args(&args(
+            "run --adaptive 0.05 --overhead-budget 0.02 --mailbox-capacity 8 --shed-policy summary",
+        ))
+        .unwrap();
+        assert_eq!(o.overhead_budget, Some(0.02));
+        assert_eq!(o.mailbox_capacity, Some(8));
+        assert_eq!(o.shed_policy, Some(ShedPolicy::SummaryOnly));
+        let o = parse_args(&args("run --mailbox-capacity 4 --shed-policy drop-oldest")).unwrap();
+        assert_eq!(o.shed_policy, Some(ShedPolicy::DropOldestRound));
+        let o = parse_args(&args("run --mailbox-capacity 4 --shed-policy merge")).unwrap();
+        assert_eq!(o.shed_policy, Some(ShedPolicy::MergeBatches));
+        // No policy flag: the config default applies, capacity alone is enough.
+        let o = parse_args(&args("run --mailbox-capacity 4")).unwrap();
+        assert_eq!(o.shed_policy, None);
+    }
+
+    #[test]
+    fn rejects_bad_overload_input() {
+        assert!(
+            parse_args(&args("run --adaptive 0.05 --overhead-budget 1.5")).is_err(),
+            "budget above 1"
+        );
+        assert!(
+            parse_args(&args("run --adaptive 0.05 --overhead-budget 0")).is_err(),
+            "zero budget"
+        );
+        assert!(
+            parse_args(&args("run --overhead-budget 0.02")).is_err(),
+            "budget without the adaptive controller"
+        );
+        assert!(parse_args(&args("run --mailbox-capacity 0")).is_err(), "zero mailbox");
+        assert!(
+            parse_args(&args("run --shed-policy merge")).is_err(),
+            "policy without a bounded mailbox"
+        );
+        assert!(
+            parse_args(&args("run --mailbox-capacity 4 --shed-policy banana")).is_err(),
+            "unknown policy"
+        );
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub use jessy_workloads as workloads;
 pub mod prelude {
     pub use jessy_core::{
         accuracy_abs, accuracy_euc, e_abs, e_euc, ConfigError, FootprintConfig, FootprintMode,
-        Oal, ProfilerConfig, SamplingRate, SketchTcm, StackSamplingConfig, Tcm, TcmBackend,
-        TopKPairs,
+        Oal, ProfilerConfig, SamplingRate, ShedPolicy, SketchTcm, StackSamplingConfig, Tcm,
+        TcmBackend, TopKPairs,
     };
     pub use jessy_gos::{AccessState, ClassId, CostModel, Gos, GosConfig, LockId, ObjectId};
     pub use jessy_net::{

@@ -606,8 +606,8 @@ proptest! {
         threshold in 0.01f64..0.5,
         coverage in prop::collection::vec(0.0f64..1.0, 0..8),
     ) {
-        use jessy::core::adaptive::AdaptiveController;
         use jessy::core::sampling::ClassGapState;
+        use jessy::core::BudgetedController;
         use jessy::core::TcmBuilder;
         use jessy::runtime::{
             AppliedRateChange, PlannedMigration, ProfilerCheckpoint, RoundScheduler,
@@ -641,14 +641,14 @@ proptest! {
         for c in 0..3u16 {
             gaps.register_class(ClassId(c), 64, SamplingRate::NX(2));
         }
-        let mut ctl = AdaptiveController::new(threshold);
+        let mut ctl = BudgetedController::new(threshold, None);
         for (k, oal) in oals.iter().enumerate() {
             builder.ingest(oal);
             sched.ingest(oal.clone());
             if k % 5 == 4 {
                 for closed in sched.ready_rounds() {
                     let summary = builder.close_round();
-                    ctl.on_round_with_coverage(&summary.per_class, &gaps, closed.coverage);
+                    ctl.on_round(&summary.per_class, &gaps, closed.coverage, 0.0);
                 }
             }
         }
@@ -665,6 +665,7 @@ proptest! {
             oals: oals.len() as u64,
             objects_organized: raw.len() as u64 * 2,
             round_coverage: coverage,
+            round_cost_fraction: vec![threshold / 2.0, 0.0],
             rate_changes: vec![AppliedRateChange {
                 round: epoch,
                 class_name: "Body".to_string(),
@@ -703,7 +704,7 @@ proptest! {
         // The restore path is also an identity: rebuild ∘ snapshot == snapshot.
         let rebuilt = RoundScheduler::from_checkpoint(&cp.scheduler);
         prop_assert_eq!(rebuilt.checkpoint(), cp.scheduler);
-        let mut restored_ctl = AdaptiveController::new(threshold);
+        let mut restored_ctl = BudgetedController::new(threshold, None);
         restored_ctl.restore(cp.controller.as_ref().unwrap());
         prop_assert_eq!(&restored_ctl.checkpoint(), cp.controller.as_ref().unwrap());
     }

@@ -156,6 +156,17 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Number of queued messages, observed from the sending side (upstream
+        /// crossbeam exposes this too; bounded-mailbox capacity checks need it).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Enqueue a message; fails if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if !self.shared.rx_alive.load(Ordering::Acquire) {

@@ -24,6 +24,9 @@ JESSY_SCALE=small cargo bench -p jessy-bench --bench access_path
 echo "==> recovery smoke (checkpoint/replay bit-identity under a master crash)"
 JESSY_SCALE=small cargo bench -p jessy-bench --bench recovery
 
+echo "==> overhead_frontier smoke (budget ladder, shed policies, slow-node demotion)"
+JESSY_SCALE=small cargo bench -p jessy-bench --bench overhead_frontier
+
 echo "==> observability smoke (multi-thread journal bit-identity + trace export)"
 OBS_DIR=$(mktemp -d)
 ./target/release/jessy-cli run -w sor --scale small --nodes 2 --threads 4 --rate 4x \
@@ -38,9 +41,9 @@ grep -q '"traceEvents"' "$OBS_DIR/trace.json"
 rm -rf "$OBS_DIR"
 
 echo "==> chaos seed matrix (fault determinism must not depend on one seed)"
-# The suite includes the partition schedules (heal + permanent) and the
-# zero-plan invariant; every seed must satisfy every assertion.
-for seed in 1 7 42 1337 99999; do
+# The suite includes the partition schedules (heal + permanent), the slow-node
+# windows and the zero-plan invariant; every seed must satisfy every assertion.
+for seed in 1 7 42 1337 31337 99999; do
   echo "--- JESSY_CHAOS_SEED=$seed"
   JESSY_CHAOS_SEED=$seed cargo test -p jessy-runtime --test chaos -q
 done
