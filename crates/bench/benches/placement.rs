@@ -1,82 +1,410 @@
-//! X1 — profile-driven thread placement (the paper's stated end-use; Section V).
+//! X9 — closing the loop: continuous profile-driven migration, mid-run.
 //!
-//! SOR under three placements: (a) the natural block placement, (b) a deliberately
-//! scattered placement, and (c) the placement the [`jessy_runtime::LoadBalancer`]
-//! plans from the TCM profiled during run (b). Collocating the threads that share
-//! boundary rows turns their remote faults into home-node accesses, which shows up
-//! directly in the object-fetch volume and the simulated execution time.
+//! Three lanes per workload (SOR, Barnes-Hut, Water-Spatial), 8 threads on 4 nodes:
+//!
+//! * **block (ideal)** — the natural owner-aligned static placement;
+//! * **scattered** — a deliberately bad static placement (round-robin);
+//! * **migrated** — starts scattered, profiles itself, and lets the continuous
+//!   placement engine (`RebalanceConfig::every_rounds`) move threads *mid-run*.
+//!
+//! The migrated lane should recover most of the remote-fetch volume the scattered
+//! placement loses versus block: the drop shows up in `ObjFetch` messages and in
+//! GOS fabric bytes (object traffic + the migrations' own context/prefetch cost —
+//! migrations are charged against their savings, not hidden).
+//!
+//! A fourth lane plans N=1024 threads **without any dense TCM**: rounds feed a
+//! top-k head plus a count-min sketch, the planner runs on the combined
+//! [`SketchedTopKView`], and the plan is scored against the dense ground truth it
+//! never saw. This is the memory-scaling story: O(k + sketch) planner state versus
+//! the O(N²/2) dense triangle.
 
 use std::sync::Arc;
 
-use jessy_bench::{scale, sor_cfg, TextTable};
-use jessy_core::{ProfilerConfig, SamplingRate};
-use jessy_gos::CostModel;
-use jessy_net::{LatencyModel, MsgClass, NodeId};
-use jessy_runtime::{Cluster, LoadBalancer, RunReport};
-use jessy_workloads::sor;
+use serde::Serialize;
 
-fn run_with_placement(placement: Vec<NodeId>, track: bool) -> RunReport {
-    let cfg = sor_cfg(scale());
-    let n_threads = placement.len();
-    let profiler = if track {
-        ProfilerConfig::tracking_at(SamplingRate::NX(1))
+use jessy_bench::{bh_cfg, scale, sor_cfg, water_cfg, Scale, TextTable};
+use jessy_core::{
+    ProfilerConfig, SamplingRate, SketchTcm, SketchedTopKView, SparseTcm, Tcm,
+    TopKPairs,
+};
+use jessy_gos::CostModel;
+use jessy_net::{LatencyModel, MsgClass, NodeId, ThreadId};
+use jessy_runtime::{Cluster, LoadBalancer, RebalanceConfig, RunReport};
+use jessy_workloads::{barnes_hut, sor, water};
+
+const N_THREADS: usize = 8;
+const N_NODES: usize = 4;
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Sor,
+    BarnesHut,
+    Water,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Sor => "SOR",
+            Kind::BarnesHut => "Barnes-Hut",
+            Kind::Water => "Water-Spatial",
+        }
+    }
+}
+
+/// Lane workload sizes: run long enough that a mid-run migration (the engine
+/// converges after ~3 profiled rounds) has a steady state in which to pay back
+/// its one-time home-relocation traffic. SOR's payback is the slowest — fixing a
+/// misplaced thread relocates its whole row block once, while scattered waste
+/// accrues per round — so its lane uses a 1024² grid over 20 rounds, past the
+/// crossover (a 2048² grid would need ~30 rounds to amortize the ~33 MB of row
+/// moves and triples the bench's wall clock for the same story).
+fn lane_sor(s: Scale) -> sor::SorConfig {
+    let mut cfg = sor_cfg(s);
+    match s {
+        Scale::Paper => {
+            cfg.n = 1024;
+            cfg.m = 1024;
+            cfg.rounds = 20;
+        }
+        Scale::Small => cfg.rounds = 10,
+    }
+    cfg
+}
+
+fn lane_bh(s: Scale) -> barnes_hut::BhConfig {
+    let mut cfg = bh_cfg(s);
+    cfg.rounds = match s {
+        Scale::Paper => 10,
+        Scale::Small => 6,
+    };
+    cfg
+}
+
+fn lane_water(s: Scale) -> water::WaterConfig {
+    let mut cfg = water_cfg(s);
+    cfg.rounds = match s {
+        Scale::Paper => 10,
+        Scale::Small => 6,
+    };
+    cfg
+}
+
+/// One lane: the workload under `placement`, optionally self-optimizing mid-run.
+fn run_lane(kind: Kind, placement: Vec<NodeId>, rebalance: Option<RebalanceConfig>) -> RunReport {
+    let profiler = if rebalance.is_some() {
+        let mut p = ProfilerConfig::tracking_at(SamplingRate::NX(1));
+        p.intervals_per_round = 1;
+        // Sticky-set resolution (the migrants' carried working sets) needs the
+        // footprint estimator for its per-class budget and the stack sampler
+        // for its invariant roots.
+        p.footprint = Some(jessy_core::FootprintConfig {
+            mode: jessy_core::FootprintMode::Nonstop,
+            min_gap: 1,
+        });
+        p.stack = Some(jessy_core::StackSamplingConfig {
+            gap_ns: 1000,
+            lazy_extraction: true,
+        });
+        p
     } else {
         ProfilerConfig::disabled()
     };
-    let mut cluster = Cluster::builder()
-        .nodes(4)
-        .threads(n_threads)
+    let mut builder = Cluster::builder()
+        .nodes(N_NODES)
+        .threads(N_THREADS)
         .placement(placement)
         .latency(LatencyModel::fast_ethernet())
         .costs(CostModel::pentium4_2ghz())
-        .profiler(profiler)
-        .build();
-    // NOTE: row homes follow the *block* owner mapping regardless of placement, as in
-    // a real DJVM where data was allocated before any rebalancing.
-    let handles = Arc::new(cluster.init(|ctx| sor::setup(ctx, &cfg, n_threads, 4)));
-    cluster.run(move |jt| sor::thread_body(jt, &cfg, &handles));
+        .profiler(profiler);
+    if let Some(rb) = rebalance {
+        builder = builder.rebalance(rb);
+    }
+    let mut cluster = builder.build();
+    match kind {
+        Kind::Sor => {
+            let cfg = lane_sor(scale());
+            let handles = Arc::new(cluster.init(|ctx| sor::setup(ctx, &cfg, N_THREADS, N_NODES)));
+            cluster.run(move |jt| sor::thread_body(jt, &cfg, &handles));
+        }
+        Kind::BarnesHut => {
+            let cfg = lane_bh(scale());
+            let handles =
+                Arc::new(cluster.init(|ctx| barnes_hut::setup(ctx, &cfg, N_THREADS, N_NODES)));
+            cluster.run(move |jt| barnes_hut::thread_body(jt, &cfg, &handles));
+        }
+        Kind::Water => {
+            let cfg = lane_water(scale());
+            let handles =
+                Arc::new(cluster.init(|ctx| water::setup(ctx, &cfg, N_THREADS, N_NODES)));
+            cluster.run(move |jt| water::thread_body(jt, &cfg, &handles));
+        }
+    }
     cluster.report()
 }
 
-fn main() {
-    let n_threads = 8usize;
-    println!("X1. PROFILE-DRIVEN THREAD PLACEMENT  (SOR, 8 threads on 4 nodes)\n");
-
-    let block: Vec<NodeId> = (0..n_threads).map(|t| NodeId((t / 2) as u16)).collect();
-    let scattered: Vec<NodeId> = (0..n_threads).map(|t| NodeId((t % 4) as u16)).collect();
-
-    // Profile under the scattered placement, then plan.
-    let profiled = run_with_placement(scattered.clone(), true);
-    let tcm = profiled.master.as_ref().unwrap().tcm.clone();
-    let lb = LoadBalancer::new();
-    let plan = lb.plan(&tcm, 4);
-
-    let runs = [
-        ("block (ideal)", run_with_placement(block.clone(), false), block),
-        ("scattered", run_with_placement(scattered.clone(), false), scattered),
-        ("planned from profile", run_with_placement(plan.placement.clone(), false), plan.placement.clone()),
-    ];
-
-    let mut t = TextTable::new(&[
-        "Placement",
-        "Exec time (ms)",
-        "Obj-fetch msgs",
-        "Fetched KB",
-        "Intra-node correlation",
-    ]);
-    for (label, report, placement) in &runs {
-        t.row(&[
-            label.to_string(),
-            format!("{:.0}", report.sim_exec_ms()),
-            report.net.class(MsgClass::ObjFetch).messages.to_string(),
-            format!(
-                "{:.0}",
-                report.net.class(MsgClass::ObjData).bytes as f64 / 1024.0
-            ),
-            format!("{:.1}%", lb.intra_fraction(&tcm, placement) * 100.0),
-        ]);
+/// Continuous rebalancing tuned for a run of a few dozen TCM rounds: plan early
+/// (the profile stabilizes after a couple of rounds), re-plan sparingly, and hold
+/// movers down long enough that the engine converges instead of thrashing. The
+/// profitability horizon is finite so the sticky-cost veto can reject moves whose
+/// one-time transfer outweighs their remaining-run benefit.
+fn eager_rebalance() -> RebalanceConfig {
+    RebalanceConfig {
+        after_rounds: 1,
+        every_rounds: Some(2),
+        cooldown_rounds: 64,
+        with_prefetch: true,
+        min_gain_bytes: 64.0,
+        gain_horizon_rounds: 64.0,
+        migration_budget_bytes: None,
+        migrate_homes: true,
     }
-    println!("{}", t.render());
-    println!("expected shape: planned ≈ block << scattered in fetch volume; the");
-    println!("balancer recovers most of the locality the scattered placement lost.");
+}
+
+/// Object + migration traffic on the fabric, in bytes. Profiling (OAL/TCM) traffic
+/// is excluded so the tracking lane isn't charged for its own instrumentation when
+/// comparing *placement* quality; migration context/prefetch bytes are included so
+/// the migrated lane pays for its moves.
+fn fabric_bytes(r: &RunReport) -> u64 {
+    r.net.gos_bytes() + r.net.migration_bytes()
+}
+
+#[derive(Serialize)]
+struct WorkloadRow {
+    workload: &'static str,
+    lane: &'static str,
+    exec_ms: f64,
+    objfetch_msgs: u64,
+    fabric_kb: f64,
+    migrations: u64,
+    plans: u64,
+}
+
+#[derive(Serialize)]
+struct WorkloadSummary {
+    workload: &'static str,
+    /// Fraction of the scattered→block ObjFetch gap the migrated lane recovered.
+    recovered_objfetch: f64,
+    recovered_fabric: f64,
+}
+
+#[derive(Serialize)]
+struct HeadlessPlanReport {
+    n_threads: usize,
+    n_nodes: usize,
+    topk_k: usize,
+    sketch_bytes: usize,
+    dense_bytes: usize,
+    intra_sketched_plan: f64,
+    intra_dense_plan: f64,
+    intra_static_block: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    mode: &'static str,
+    rows: Vec<WorkloadRow>,
+    summaries: Vec<WorkloadSummary>,
+    headless: HeadlessPlanReport,
+}
+
+fn gap_recovered(block: f64, scattered: f64, migrated: f64) -> f64 {
+    let gap = scattered - block;
+    if gap <= 0.0 {
+        return 1.0;
+    }
+    ((scattered - migrated) / gap).clamp(-1.0, 1.0)
+}
+
+/// The N=1024 lane: plan purely from the top-k + sketch pair, score on the dense
+/// truth the planner never materialized.
+fn headless_plan() -> HeadlessPlanReport {
+    const N: usize = 1024;
+    const NODES: usize = 16;
+    const CLIQUE: usize = 8;
+    const K: usize = 4096;
+    let mut topk = TopKPairs::new(N, K);
+    let mut sketch = SketchTcm::new(N, 1 << 13, 4);
+    let mut truth = Tcm::new(N);
+    for round in 0..3u32 {
+        // Head-heavy structure: 128 cliques of 8 with heavy intra-clique mass,
+        // plus a thin ring of noise pairs that must not mislead the plan.
+        let mut pairs: Vec<(ThreadId, ThreadId, f64)> = Vec::new();
+        for c in 0..(N / CLIQUE) {
+            let base = (c * CLIQUE) as u32;
+            for i in 0..CLIQUE as u32 {
+                for j in (i + 1)..CLIQUE as u32 {
+                    pairs.push((ThreadId(base + i), ThreadId(base + j), 1e4 + f64::from(round)));
+                }
+            }
+        }
+        for i in 0..N as u32 {
+            let j = (i + 97) % N as u32;
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            pairs.push((ThreadId(a), ThreadId(b), 0.5));
+        }
+        let round_tcm = SparseTcm::from_pairs(N, &pairs);
+        topk.observe_round(&round_tcm, |_| 0.0);
+        sketch.fold_round(&round_tcm);
+        truth.merge_sparse(&round_tcm);
+    }
+
+    let lb = LoadBalancer::new();
+    let view = SketchedTopKView::new(&sketch, &topk);
+    let sketched_plan = lb.plan(&view, NODES);
+    let dense_plan = lb.plan(&truth, NODES);
+    // The natural block placement collocates whole cliques: the reference ideal.
+    let block: Vec<NodeId> = (0..N).map(|t| NodeId((t / (N / NODES)) as u16)).collect();
+    HeadlessPlanReport {
+        n_threads: N,
+        n_nodes: NODES,
+        topk_k: K,
+        sketch_bytes: sketch.memory_bytes(),
+        dense_bytes: N * (N - 1) / 2 * 8,
+        intra_sketched_plan: lb.intra_fraction(&truth, &sketched_plan.placement),
+        intra_dense_plan: lb.intra_fraction(&truth, &dense_plan.placement),
+        intra_static_block: lb.intra_fraction(&truth, &block),
+    }
+}
+
+fn main() {
+    let smoke = matches!(scale(), Scale::Small);
+    println!("X9. CONTINUOUS PROFILE-DRIVEN MIGRATION  (8 threads on 4 nodes, mid-run)\n");
+
+    let block: Vec<NodeId> = (0..N_THREADS).map(|t| NodeId((t / 2) as u16)).collect();
+    let scattered: Vec<NodeId> = (0..N_THREADS).map(|t| NodeId((t % 4) as u16)).collect();
+
+    let mut table = TextTable::new(&[
+        "Workload",
+        "Lane",
+        "Exec (ms)",
+        "ObjFetch msgs",
+        "Fabric KB",
+        "Migrations",
+        "Plans",
+    ]);
+    let mut rows: Vec<WorkloadRow> = Vec::new();
+    let mut summaries: Vec<WorkloadSummary> = Vec::new();
+
+    for kind in [Kind::Sor, Kind::BarnesHut, Kind::Water] {
+        let lanes = [
+            ("block (ideal)", run_lane(kind, block.clone(), None)),
+            ("scattered", run_lane(kind, scattered.clone(), None)),
+            (
+                "migrated mid-run",
+                run_lane(kind, scattered.clone(), Some(eager_rebalance())),
+            ),
+        ];
+        for (lane, report) in &lanes {
+            let (migrations, plans) = report
+                .master
+                .as_ref()
+                .map(|m| (m.placement.applied_migrations, m.placement.plans))
+                .unwrap_or((0, 0));
+            let row = WorkloadRow {
+                workload: kind.label(),
+                lane,
+                exec_ms: report.sim_exec_ms(),
+                objfetch_msgs: report.net.class(MsgClass::ObjFetch).messages,
+                fabric_kb: fabric_bytes(report) as f64 / 1024.0,
+                migrations,
+                plans,
+            };
+            table.row(&[
+                row.workload.to_string(),
+                row.lane.to_string(),
+                format!("{:.0}", row.exec_ms),
+                row.objfetch_msgs.to_string(),
+                format!("{:.0}", row.fabric_kb),
+                row.migrations.to_string(),
+                row.plans.to_string(),
+            ]);
+            rows.push(row);
+        }
+        let [b, s, m] = &lanes;
+        summaries.push(WorkloadSummary {
+            workload: kind.label(),
+            recovered_objfetch: gap_recovered(
+                b.1.net.class(MsgClass::ObjFetch).messages as f64,
+                s.1.net.class(MsgClass::ObjFetch).messages as f64,
+                m.1.net.class(MsgClass::ObjFetch).messages as f64,
+            ),
+            recovered_fabric: gap_recovered(
+                fabric_bytes(&b.1) as f64,
+                fabric_bytes(&s.1) as f64,
+                fabric_bytes(&m.1) as f64,
+            ),
+        });
+    }
+    println!("{}", table.render());
+    for s in &summaries {
+        println!(
+            "{:<14} recovered {:>5.1}% of the ObjFetch gap, {:>5.1}% of the fabric-byte gap",
+            s.workload,
+            s.recovered_objfetch * 100.0,
+            s.recovered_fabric * 100.0
+        );
+    }
+
+    // Acceptance: mid-run migration beats staying scattered, in aggregate, on both
+    // remote-fetch messages and fabric bytes (migration costs included).
+    let sum = |lane: &str, f: &dyn Fn(&WorkloadRow) -> f64| -> f64 {
+        rows.iter().filter(|r| r.lane == lane).map(f).sum()
+    };
+    let fetch_scattered = sum("scattered", &|r| r.objfetch_msgs as f64);
+    let fetch_migrated = sum("migrated mid-run", &|r| r.objfetch_msgs as f64);
+    let fabric_scattered = sum("scattered", &|r| r.fabric_kb);
+    let fabric_migrated = sum("migrated mid-run", &|r| r.fabric_kb);
+    assert!(
+        fetch_migrated < fetch_scattered,
+        "mid-run migration must cut remote fetches: {fetch_migrated} vs {fetch_scattered}"
+    );
+    assert!(
+        fabric_migrated < fabric_scattered,
+        "mid-run migration must cut fabric bytes: {fabric_migrated} vs {fabric_scattered}"
+    );
+    let migrated_runs: u64 = rows
+        .iter()
+        .filter(|r| r.lane == "migrated mid-run")
+        .map(|r| r.migrations)
+        .sum();
+    assert!(migrated_runs > 0, "the migrated lanes must actually migrate");
+
+    println!();
+    let headless = headless_plan();
+    println!(
+        "N=1024 headless lane: plan from top-k({}) + {} KB sketch (dense triangle = {} KB, never built)",
+        headless.topk_k,
+        headless.sketch_bytes / 1024,
+        headless.dense_bytes / 1024,
+    );
+    println!(
+        "  intra-node mass — sketched plan {:.1}%, dense-view plan {:.1}%, static block {:.1}%",
+        headless.intra_sketched_plan * 100.0,
+        headless.intra_dense_plan * 100.0,
+        headless.intra_static_block * 100.0,
+    );
+    assert!(
+        headless.intra_sketched_plan >= 0.9 * headless.intra_dense_plan,
+        "the sketched view must plan within 10% of the dense view: {} vs {}",
+        headless.intra_sketched_plan,
+        headless.intra_dense_plan
+    );
+
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_placement.json (checked-in file is the full run)");
+        return;
+    }
+    let doc = Report {
+        bench: "placement",
+        mode: "full",
+        rows,
+        summaries,
+        headless,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_placement.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+        .expect("write BENCH_placement.json");
+    println!("\nwrote {path}");
 }

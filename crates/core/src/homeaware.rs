@@ -112,6 +112,13 @@ impl HomeAwareAnalyzer {
         self.objects.len()
     }
 
+    /// Forget every accumulated statistic. A planning epoch that applied thread
+    /// moves or home repairs calls this so the next epoch's dominance evidence
+    /// describes the *post-repair* world, not a mixture.
+    pub fn clear(&mut self) {
+        self.objects.clear();
+    }
+
     /// Build the report against the current homes (read from `gos`) and `placement`.
     pub fn build(&self, gos: &Gos, placement: &[NodeId]) -> HomeAwareReport {
         let mut realizable = Tcm::new(self.n_threads);
@@ -157,7 +164,7 @@ impl HomeAwareAnalyzer {
         }
         recommendations.sort_by_key(|r| {
             (
-                std::cmp::Reverse(r.accesses_at_dest - r.accesses_elsewhere),
+                std::cmp::Reverse(r.accesses_at_dest.saturating_sub(r.accesses_elsewhere)),
                 r.obj,
             )
         });

@@ -44,6 +44,7 @@ pub mod sampling;
 pub mod stack_sampling;
 pub mod sticky;
 pub mod tcm;
+pub mod view;
 
 pub use accuracy::{accuracy_abs, accuracy_euc, e_abs, e_abs_sparse, e_euc};
 pub use adaptive::{AdaptiveController, ControllerCheckpoint, RateChange, RoundOutcome};
@@ -63,3 +64,4 @@ pub use profiler::{ProfilerShared, ProfilerStats, ThreadProfiler};
 pub use sampling::{GapTable, SamplingRate};
 pub use stack_sampling::StackSampler;
 pub use tcm::{MergeScratch, RoundSummary, SketchTcm, SparseTcm, Tcm, TcmBuilder, TopKPairs};
+pub use view::{CorrelationView, SketchedTopKView};

@@ -357,6 +357,30 @@ impl ThreadProfiler {
     /// first) as roots, the averaged footprint as the per-class budget.
     pub fn resolve_sticky(&self, gos: &Gos, clock: &ClockHandle) -> Resolution {
         let roots: Vec<ObjectId> = self.invariants().iter().map(|i| i.obj).collect();
+        self.resolve_sticky_from(gos, &roots, clock)
+    }
+
+    /// Resolve the sticky set with the thread's own access entries (its de-facto
+    /// working set, object-id order) rooted ahead of the stack invariants. A
+    /// shared container on the stack (a matrix object referencing every row, say)
+    /// enumerates the *whole* structure in one hop, so rooting at it selects the
+    /// same prefix for every thread; the access entries pin the walk to what this
+    /// thread actually uses, and the invariants still extend it through linked
+    /// structure the cache has not touched yet. Each entry scanned is charged one
+    /// resolver edge.
+    pub fn resolve_sticky_for_space(
+        &self,
+        gos: &Gos,
+        space: &ThreadSpace,
+        clock: &ClockHandle,
+    ) -> Resolution {
+        let mut roots = space.touched_objects();
+        clock.spend(gos.costs().resolve_edge_ns * roots.len() as u64);
+        roots.extend(self.invariants().iter().map(|i| i.obj));
+        self.resolve_sticky_from(gos, &roots, clock)
+    }
+
+    fn resolve_sticky_from(&self, gos: &Gos, roots: &[ObjectId], clock: &ClockHandle) -> Resolution {
         let budget: HashMap<ClassId, u64> = self
             .average_footprint()
             .into_iter()
@@ -365,7 +389,7 @@ impl ThreadProfiler {
         resolve_sticky_set(
             gos,
             self.shared.gaps(),
-            &roots,
+            roots,
             &budget,
             self.shared.config.tolerance_t,
             clock,

@@ -49,7 +49,7 @@ pub(crate) fn tri_index(n: usize, i: usize, j: usize) -> usize {
 }
 
 /// Inverse of [`tri_index`]: the `(i, j)` pair a packed cell belongs to.
-fn tri_decode(n: usize, idx: usize) -> (usize, usize) {
+pub(crate) fn tri_decode(n: usize, idx: usize) -> (usize, usize) {
     let mut i = 0;
     let mut start = 0;
     loop {

@@ -488,6 +488,33 @@ impl ThreadSpace {
         *self.word_mut(obj) = ST_INVALID;
     }
 
+    /// Every object this thread has an access entry for (home-resident, cached
+    /// or invalid), in object-id order. This is the thread's de-facto working
+    /// set — the sticky-set resolver roots its walk here so a migrating thread
+    /// carries *its own* objects, not whatever a shared container enumerates
+    /// first.
+    pub fn touched_objects(&self) -> Vec<ObjectId> {
+        (0..self.words.len())
+            .filter(|&i| self.words[i] != 0)
+            .map(|i| ObjectId(i as u32))
+            .collect()
+    }
+
+    /// Home-migration repair, the inbound side: the object's home migrated *onto*
+    /// this node after first touch, so a fault on the (invalid) entry is served
+    /// from the now-local home copy and the entry rebinds to home-resident for
+    /// good. The side slot is recycled; an invalid copy cannot carry unflushed
+    /// writes.
+    pub(crate) fn promote_home(&mut self, obj: ObjectId) {
+        let w = self.word(obj);
+        debug_assert_eq!(w_state(w), ST_INVALID);
+        debug_assert!(w & DIRTY_BIT == 0, "invalid copy with unflushed writes");
+        if let Some(s) = w_slot(w) {
+            self.free_slots.push(s as u32);
+        }
+        *self.word_mut(obj) = ST_HOME;
+    }
+
     /// Take the flush worklist (callers return it via
     /// [`ThreadSpace::recycle_dirty`] so the buffer is reused).
     pub(crate) fn take_dirty(&mut self) -> Vec<ObjectId> {

@@ -311,12 +311,22 @@ impl ReferenceGos {
 
         if e.state == AccessState::Invalid {
             outcome.real_fault = true;
-            let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
-            e.data = Some(data);
-            e.cached_version = version;
-            e.state = AccessState::Valid;
-            e.real = RealState::CacheValid;
-            outcome.fetched_bytes = core.payload_bytes();
+            if core.home() == node {
+                // Home promotion: the object's home has arrived at this node
+                // since the copy was invalidated, so the fault is served from
+                // the local home copy — rebind to home-resident, fetch nothing.
+                e.data = None;
+                e.twin = None;
+                e.state = AccessState::Home;
+                e.real = RealState::HomeResident;
+            } else {
+                let (data, version) = core.with_home_data(|d| (d.clone(), core.version()));
+                e.data = Some(data);
+                e.cached_version = version;
+                e.state = AccessState::Valid;
+                e.real = RealState::CacheValid;
+                outcome.fetched_bytes = core.payload_bytes();
+            }
         }
 
         let result = match e.real {

@@ -185,6 +185,9 @@ pub struct ProtocolCounters {
     pub notices_applied: u64,
     /// Object homes relocated.
     pub home_migrations: u64,
+    /// Faults served locally because the home had migrated onto the faulting
+    /// node (the entry rebinds to home-resident; no fabric round trip).
+    pub home_promotions: u64,
     /// Objects moved by connectivity prefetching (riding on fault replies).
     pub objects_prefetched: u64,
 }
@@ -197,6 +200,7 @@ struct Counters {
     diffs_flushed: AtomicU64,
     notices_applied: AtomicU64,
     home_migrations: AtomicU64,
+    home_promotions: AtomicU64,
     objects_prefetched: AtomicU64,
 }
 
@@ -342,6 +346,7 @@ impl Gos {
             diffs_flushed: self.counters.diffs_flushed.load(Ordering::Relaxed),
             notices_applied: self.counters.notices_applied.load(Ordering::Relaxed),
             home_migrations: self.counters.home_migrations.load(Ordering::Relaxed),
+            home_promotions: self.counters.home_promotions.load(Ordering::Relaxed),
             objects_prefetched: self.counters.objects_prefetched.load(Ordering::Relaxed),
         }
     }
@@ -589,7 +594,30 @@ impl Gos {
             }
         }
 
-        if st == ST_INVALID {
+        if st == ST_INVALID && core.home() == node {
+            // The home migrated onto this node after first touch: serve the
+            // fault from the now-local home copy and rebind the entry to
+            // home-resident — no fabric round trip, ever again.
+            outcome.real_fault = true;
+            clock.spend(costs.fault_service_ns);
+            self.counters.real_faults.fetch_add(1, Ordering::Relaxed);
+            self.counters.home_promotions.fetch_add(1, Ordering::Relaxed);
+            space.promote_home(obj);
+            if let Some(sink) = &self.sink {
+                sink.emit(
+                    clock.now(),
+                    clock.thread().0,
+                    EventKind::ObjectFault {
+                        obj: obj.0,
+                        class: core.class.0 as u32,
+                        home: core.home().0,
+                        node: node.0,
+                        bytes: 0,
+                    },
+                );
+            }
+            st = ST_HOME;
+        } else if st == ST_INVALID {
             // Real object fault: fetch the latest copy from home.
             outcome.real_fault = true;
             clock.spend(costs.fault_service_ns);

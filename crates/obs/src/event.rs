@@ -308,6 +308,44 @@ pub enum EventKind {
         /// The round the restoration took effect in.
         round: u64,
     },
+    /// The placement engine closed a planning epoch at a round boundary and
+    /// posted migration directives.
+    PlacementPlanned {
+        /// The round whose close triggered the plan.
+        round: u64,
+        /// The master epoch the directives are stamped with.
+        epoch: u64,
+        /// Directives issued by this plan.
+        directives: u64,
+        /// Intra-node correlation fraction before the plan, under the planning view.
+        intra_before: f64,
+        /// Intra-node correlation fraction the plan targets.
+        intra_after: f64,
+    },
+    /// A thread honoured a migration directive at its barrier safe point.
+    MigrationApplied {
+        /// The migrated thread.
+        thread: u32,
+        /// Origin node.
+        from: u16,
+        /// Destination node.
+        to: u16,
+        /// The master epoch the directive carried.
+        epoch: u64,
+        /// Context + prefetched sticky-set bytes moved.
+        bytes: u64,
+    },
+    /// A migration directive carried a stale master epoch (planned before a
+    /// crash/restore) and was dropped at the barrier instead of applied —
+    /// the placement analogue of OAL epoch fencing.
+    DirectiveFenced {
+        /// The thread that fenced its directive.
+        thread: u32,
+        /// The epoch the directive was stamped with.
+        directive_epoch: u64,
+        /// The master epoch current at the barrier.
+        current_epoch: u64,
+    },
 }
 
 impl EventKind {
@@ -343,6 +381,9 @@ impl EventKind {
             EventKind::BudgetDegraded { .. } => "BudgetDegraded",
             EventKind::StragglerDemoted { .. } => "StragglerDemoted",
             EventKind::StragglerRestored { .. } => "StragglerRestored",
+            EventKind::PlacementPlanned { .. } => "PlacementPlanned",
+            EventKind::MigrationApplied { .. } => "MigrationApplied",
+            EventKind::DirectiveFenced { .. } => "DirectiveFenced",
         }
     }
 }

@@ -55,7 +55,10 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::OalShed { .. }
         | EventKind::BudgetDegraded { .. }
         | EventKind::StragglerDemoted { .. }
-        | EventKind::StragglerRestored { .. } => "runtime",
+        | EventKind::StragglerRestored { .. }
+        | EventKind::PlacementPlanned { .. }
+        | EventKind::MigrationApplied { .. }
+        | EventKind::DirectiveFenced { .. } => "runtime",
     }
 }
 

@@ -1,16 +1,28 @@
 //! Correlation-driven thread placement.
 //!
 //! The paper's profiles exist to feed "effective thread-to-core placement and dynamic
-//! load balancing"; the policy itself is named future work (Section V). We implement
-//! the natural baseline the paper gestures at: a **balanced greedy partitioner** over
-//! the thread correlation map — collocate highly correlated threads subject to a
-//! per-node capacity (overloading a node "causes adverse slowdown, shadowing the
-//! locality benefit", Section II) — plus the marginal-gain query a dynamic balancer
-//! uses to pick profitable migrations against the sticky-set cost model.
+//! load balancing"; the policy itself is named future work (Section V). The planner is
+//! a **two-stage partitioner** over any [`CorrelationView`] (dense TCM, top-k head, or
+//! sketched top-k — the planner never touches the packed-triangle layout):
+//!
+//! 1. **Greedy seeding** ([`LoadBalancer::greedy_seed`]): thread pairs in descending
+//!    correlation order; an unplaced pair opens on the least-loaded node, a half-placed
+//!    pair joins its partner when capacity allows.
+//! 2. **Boundary refinement** ([`LoadBalancer::refine`]): deterministic
+//!    Kernighan–Lin-style moves. Each step picks the best positive-gain candidate —
+//!    a capacity-respecting single-thread move or a pairwise exchange (the KL swap
+//!    that still makes progress when every node sits exactly at capacity) — applies
+//!    it, and locks the threads involved, so the pass terminates after ≤ N steps and
+//!    intra-node mass increases monotonically. A [`MoveFilter`] prices each candidate
+//!    — sticky-set footprint bytes as the cost, a per-epoch migration-byte budget,
+//!    and a cooldown mask for hysteresis — recording every veto attributably.
+//!
+//! Capacity is `⌈N/K⌉` threads per node throughout (overloading a node "causes adverse
+//! slowdown, shadowing the locality benefit", Section II).
 
 use serde::{Deserialize, Serialize};
 
-use jessy_core::Tcm;
+use jessy_core::CorrelationView;
 use jessy_net::{NodeId, ThreadId};
 
 /// A planned placement and its quality.
@@ -20,6 +32,57 @@ pub struct PlacementPlan {
     pub placement: Vec<NodeId>,
     /// Fraction of total correlation mass that is intra-node (0..=1).
     pub intra_fraction: f64,
+}
+
+/// Pricing and hysteresis constraints applied to each refinement move.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MoveFilter<'a> {
+    /// Moves whose correlation gain is below this stop the pass (anti-thrashing).
+    pub min_gain: f64,
+    /// Rounds a move's per-round gain is credited for against its one-time cost.
+    pub gain_horizon: f64,
+    /// Per-thread one-time move cost in bytes (the live sticky-set footprint).
+    /// `None` prices every move as free.
+    pub costs: Option<&'a [f64]>,
+    /// Total move-cost bytes the pass may spend. `None` is unlimited.
+    pub budget_bytes: Option<f64>,
+    /// Threads still cooling down from a recent move; their moves are vetoed.
+    pub in_cooldown: Option<&'a [bool]>,
+}
+
+/// One move the refinement pass applied.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefinedMove {
+    /// The thread to move.
+    pub thread: ThreadId,
+    /// Where it was.
+    pub from: NodeId,
+    /// Where it goes.
+    pub to: NodeId,
+    /// Marginal intra-node correlation mass the move adds.
+    pub gain: f64,
+    /// The one-time cost charged against the budget.
+    pub cost_bytes: f64,
+}
+
+/// What a refinement pass did: the final placement, the applied moves, and an
+/// attributable count of every veto.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RefineOutcome {
+    /// Thread → node assignment after refinement.
+    pub placement: Vec<NodeId>,
+    /// Moves applied, in application order.
+    pub moves: Vec<RefinedMove>,
+    /// Passes stopped because the best remaining gain fell below `min_gain`.
+    pub vetoed_gain: u64,
+    /// Moves skipped because the thread was in its cooldown window.
+    pub vetoed_cooldown: u64,
+    /// Moves skipped because `gain × horizon < cost` (the profitability test).
+    pub vetoed_cost: u64,
+    /// Moves skipped because the migration-byte budget was exhausted.
+    pub vetoed_budget: u64,
+    /// Cost bytes actually spent by applied moves.
+    pub spent_bytes: f64,
 }
 
 /// Correlation-driven placement planning.
@@ -32,11 +95,27 @@ impl LoadBalancer {
         LoadBalancer
     }
 
-    /// Plan a balanced placement of `tcm.n()` threads onto `n_nodes` nodes
-    /// (capacity = ⌈N/K⌉ threads per node). Pair-greedy: thread pairs are processed in
-    /// descending correlation order; an unplaced pair opens on the least-loaded node,
-    /// a half-placed pair joins its partner when capacity allows. Deterministic.
-    pub fn plan(&self, tcm: &Tcm, n_nodes: usize) -> PlacementPlan {
+    /// Plan a balanced placement of `view.n()` threads onto `n_nodes` nodes: greedy
+    /// seeding followed by unrestricted boundary refinement. Deterministic for a
+    /// given view.
+    pub fn plan(&self, view: &dyn CorrelationView, n_nodes: usize) -> PlacementPlan {
+        let seed = self.greedy_seed(view, n_nodes);
+        if n_nodes == 0 {
+            return seed;
+        }
+        let refined = self.refine(view, n_nodes, &seed.placement, &MoveFilter::default());
+        let intra_fraction = self.intra_fraction(view, &refined.placement);
+        PlacementPlan {
+            placement: refined.placement,
+            intra_fraction,
+        }
+    }
+
+    /// Stage 1: pair-greedy seeding (capacity = ⌈N/K⌉ threads per node). Thread pairs
+    /// are processed in descending correlation order; an unplaced pair opens on the
+    /// least-loaded node, a half-placed pair joins its partner when capacity allows.
+    /// Deterministic.
+    pub fn greedy_seed(&self, view: &dyn CorrelationView, n_nodes: usize) -> PlacementPlan {
         if n_nodes == 0 {
             // Nothing to place onto: an empty plan, not a panic, so callers can
             // treat a degenerate topology as "no migration opportunities".
@@ -45,7 +124,7 @@ impl LoadBalancer {
                 intra_fraction: 0.0,
             };
         }
-        let n = tcm.n();
+        let n = view.n();
         let cap = n.div_ceil(n_nodes);
         let mut placement: Vec<Option<NodeId>> = vec![None; n];
         let mut load = vec![0usize; n_nodes];
@@ -62,14 +141,7 @@ impl LoadBalancer {
 
         // Pairs by descending correlation (ties by indices for determinism).
         let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = tcm.at(ThreadId(i as u32), ThreadId(j as u32));
-                if v > 0.0 {
-                    pairs.push((i, j, v));
-                }
-            }
-        }
+        view.for_each_pair(&mut |i, j, w| pairs.push((i.index(), j.index(), w)));
         pairs.sort_by(|a, b| b.2.total_cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
 
         for (i, j, _) in pairs {
@@ -105,27 +177,261 @@ impl LoadBalancer {
             .into_iter()
             .map(|p| p.unwrap_or(NodeId(0)))
             .collect();
-        let intra_fraction = self.intra_fraction(tcm, &placement);
+        let intra_fraction = self.intra_fraction(view, &placement);
         PlacementPlan {
             placement,
             intra_fraction,
         }
     }
 
-    /// Fraction of total correlation mass between threads on the same node.
-    pub fn intra_fraction(&self, tcm: &Tcm, placement: &[NodeId]) -> f64 {
-        assert_eq!(placement.len(), tcm.n());
-        let mut intra = 0.0;
-        let mut total = 0.0;
-        for i in 0..tcm.n() {
-            for j in (i + 1)..tcm.n() {
-                let v = tcm.at(ThreadId(i as u32), ThreadId(j as u32));
-                total += v;
-                if placement[i] == placement[j] {
-                    intra += v;
+    /// Stage 2: deterministic Kernighan–Lin-style boundary refinement from `current`.
+    ///
+    /// Repeatedly picks the best positive-gain candidate — a capacity-respecting
+    /// single-thread move or a pairwise exchange between two nodes (load-neutral, so
+    /// always capacity-legal; essential when every node is exactly full and no single
+    /// move is admissible) — prices it through the [`MoveFilter`], applies it, and
+    /// locks the threads involved. Ties break on lowest thread then destination.
+    /// Locking bounds the pass at ≤ N steps and — because only positive-gain steps
+    /// apply — intra-node mass is monotonically non-decreasing, so a refined plan
+    /// never scores below its seed.
+    pub fn refine(
+        &self,
+        view: &dyn CorrelationView,
+        n_nodes: usize,
+        current: &[NodeId],
+        filter: &MoveFilter<'_>,
+    ) -> RefineOutcome {
+        let n = view.n();
+        assert_eq!(current.len(), n, "placement must cover every thread");
+        let mut out = RefineOutcome {
+            placement: current.to_vec(),
+            ..RefineOutcome::default()
+        };
+        if n_nodes == 0 || n == 0 {
+            return out;
+        }
+        let cap = n.div_ceil(n_nodes);
+        let mut load = vec![0usize; n_nodes];
+        for p in &out.placement {
+            load[p.index()] += 1;
+        }
+
+        // Adjacency plus conn[t][k] = correlation mass between t and node k's threads:
+        // O(E) to build, O(deg t) to update per move, O(N·K) per best-move scan.
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut conn = vec![0.0f64; n * n_nodes];
+        view.for_each_pair(&mut |i, j, w| {
+            if !w.is_finite() {
+                return;
+            }
+            adj[i.index()].push((j.0, w));
+            adj[j.index()].push((i.0, w));
+            conn[i.index() * n_nodes + out.placement[j.index()].index()] += w;
+            conn[j.index() * n_nodes + out.placement[i.index()].index()] += w;
+        });
+
+        // Exact move delta re-derived from the adjacency before applying: the conn
+        // rows accumulate float error across moves, and the monotonicity guarantee
+        // (refined ≥ seed) rides on applied gains being truly positive.
+        let exact_gain = |placement: &[NodeId], t: usize, d: usize| -> f64 {
+            let from = placement[t];
+            adj[t]
+                .iter()
+                .map(|&(v, w)| {
+                    let node = placement[v as usize];
+                    if node.index() == d {
+                        w
+                    } else if node == from {
+                        -w
+                    } else {
+                        0.0
+                    }
+                })
+                .sum()
+        };
+        let apply = |out: &mut RefineOutcome, conn: &mut [f64], t: usize, d: usize, gain: f64, cost: f64| {
+            let from = out.placement[t];
+            out.placement[t] = NodeId(d as u16);
+            for &(v, w) in &adj[t] {
+                conn[v as usize * n_nodes + from.index()] -= w;
+                conn[v as usize * n_nodes + d] += w;
+            }
+            out.moves.push(RefinedMove {
+                thread: ThreadId(t as u32),
+                from,
+                to: NodeId(d as u16),
+                gain,
+                cost_bytes: cost,
+            });
+        };
+
+        enum Step {
+            Move(usize, usize),
+            Swap(usize, usize),
+        }
+        let mut locked = vec![false; n];
+        loop {
+            // Candidate 1: the best capacity-respecting single move. Alongside,
+            // record the top-2 per-(source, dest) champion threads by conn delta,
+            // capacity-blind — the building blocks for swap candidates. Two per slot,
+            // not one: when both sides' champions are partners of the same clique
+            // their swap gain cancels, and the runner-up pairing escapes that trap.
+            let mut best_move: Option<(f64, usize, usize)> = None;
+            let mut champ: Vec<[Option<(f64, usize)>; 2]> = vec![[None; 2]; n_nodes * n_nodes];
+            for t in 0..n {
+                if locked[t] {
+                    continue;
+                }
+                let cur = out.placement[t].index();
+                let row = &conn[t * n_nodes..(t + 1) * n_nodes];
+                for d in 0..n_nodes {
+                    if d == cur {
+                        continue;
+                    }
+                    let gain = row[d] - row[cur];
+                    let slot = &mut champ[cur * n_nodes + d];
+                    let beats = |prev: Option<(f64, usize)>| {
+                        prev.is_none_or(|(bg, bt)| gain > bg || (gain == bg && t < bt))
+                    };
+                    if beats(slot[0]) {
+                        slot[1] = slot[0];
+                        slot[0] = Some((gain, t));
+                    } else if beats(slot[1]) {
+                        slot[1] = Some((gain, t));
+                    }
+                    if gain <= 0.0 || load[d] >= cap {
+                        continue;
+                    }
+                    let better = match best_move {
+                        None => true,
+                        Some((bg, bt, bd)) => {
+                            gain > bg || (gain == bg && (t, d) < (bt, bd))
+                        }
+                    };
+                    if better {
+                        best_move = Some((gain, t, d));
+                    }
+                }
+            }
+            // Candidate 2: the best pairwise exchange — the KL move that still makes
+            // progress when every node sits exactly at capacity and no single move is
+            // admissible. Gain = both one-way deltas minus twice the pair's own edge
+            // (it is cut before and after the swap).
+            let mut best_swap: Option<(f64, usize, usize)> = None;
+            for a in 0..n_nodes {
+                for b in (a + 1)..n_nodes {
+                    for ca in champ[a * n_nodes + b] {
+                        let Some((ga, x)) = ca else { continue };
+                        for cb in champ[b * n_nodes + a] {
+                            let Some((gb, y)) = cb else { continue };
+                            let (t, u) = if x < y { (x, y) } else { (y, x) };
+                            let gain = ga + gb
+                                - 2.0
+                                    * view.pair_weight(ThreadId(t as u32), ThreadId(u as u32));
+                            if gain <= 0.0 {
+                                continue;
+                            }
+                            let better = match best_swap {
+                                None => true,
+                                Some((bg, bt, bu)) => {
+                                    gain > bg || (gain == bg && (t, u) < (bt, bu))
+                                }
+                            };
+                            if better {
+                                best_swap = Some((gain, t, u));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Pick the stronger candidate; a tie prefers the cheaper single move.
+            let (gain, step) = match (best_move, best_swap) {
+                (Some((gm, _, _)), Some((gs, t, u))) if gs > gm => (gs, Step::Swap(t, u)),
+                (Some((gm, t, d)), _) => (gm, Step::Move(t, d)),
+                (None, Some((gs, t, u))) => (gs, Step::Swap(t, u)),
+                (None, None) => break,
+            };
+            let (movers_buf, movers_len) = match &step {
+                Step::Move(t, _) => ([*t, 0], 1),
+                Step::Swap(t, u) => ([*t, *u], 2),
+            };
+            let movers = &movers_buf[..movers_len];
+            if gain < filter.min_gain {
+                out.vetoed_gain += 1;
+                break;
+            }
+            if filter.in_cooldown.is_some_and(|c| movers.iter().any(|&t| c[t])) {
+                out.vetoed_cooldown += 1;
+                for &t in movers {
+                    locked[t] = true;
+                }
+                continue;
+            }
+            let cost: f64 = filter.costs.map_or(0.0, |c| movers.iter().map(|&t| c[t]).sum());
+            if filter.costs.is_some() && gain * filter.gain_horizon < cost {
+                out.vetoed_cost += 1;
+                for &t in movers {
+                    locked[t] = true;
+                }
+                continue;
+            }
+            if let Some(budget) = filter.budget_bytes {
+                if out.spent_bytes + cost > budget {
+                    out.vetoed_budget += 1;
+                    for &t in movers {
+                        locked[t] = true;
+                    }
+                    continue;
+                }
+            }
+            for &t in movers {
+                locked[t] = true;
+            }
+            match step {
+                Step::Move(t, d) => {
+                    let exact = exact_gain(&out.placement, t, d);
+                    if exact <= 0.0 {
+                        continue;
+                    }
+                    let from = out.placement[t].index();
+                    load[from] -= 1;
+                    load[d] += 1;
+                    apply(&mut out, &mut conn, t, d, exact, cost);
+                    out.spent_bytes += cost;
+                }
+                Step::Swap(t, u) => {
+                    let a = out.placement[t].index();
+                    let b = out.placement[u].index();
+                    // Exact combined delta as two sequential moves; the second leg's
+                    // delta accounts for the first already being in place.
+                    let exact_t = exact_gain(&out.placement, t, b);
+                    let exact_u = exact_gain(&out.placement, u, a)
+                        - 2.0 * view.pair_weight(ThreadId(t as u32), ThreadId(u as u32));
+                    if exact_t + exact_u <= 0.0 {
+                        continue;
+                    }
+                    let (cost_t, cost_u) = filter.costs.map_or((0.0, 0.0), |c| (c[t], c[u]));
+                    apply(&mut out, &mut conn, t, b, exact_t, cost_t);
+                    apply(&mut out, &mut conn, u, a, exact_u, cost_u);
+                    out.spent_bytes += cost_t + cost_u;
                 }
             }
         }
+        out
+    }
+
+    /// Fraction of total correlation mass between threads on the same node.
+    pub fn intra_fraction(&self, view: &dyn CorrelationView, placement: &[NodeId]) -> f64 {
+        assert_eq!(placement.len(), view.n());
+        let mut intra = 0.0;
+        let mut total = 0.0;
+        view.for_each_pair(&mut |i, j, w| {
+            total += w;
+            if placement[i.index()] == placement[j.index()] {
+                intra += w;
+            }
+        });
         if total == 0.0 {
             0.0
         } else {
@@ -136,24 +442,34 @@ impl LoadBalancer {
     /// Marginal change in intra-node correlation if `thread` moved to `dest` — the
     /// *gain* side of the migration-profitability test (the *cost* side is the
     /// sticky-set footprint).
-    pub fn migration_gain(&self, tcm: &Tcm, placement: &[NodeId], thread: ThreadId, dest: NodeId) -> f64 {
-        assert_eq!(placement.len(), tcm.n());
+    pub fn migration_gain(
+        &self,
+        view: &dyn CorrelationView,
+        placement: &[NodeId],
+        thread: ThreadId,
+        dest: NodeId,
+    ) -> f64 {
+        assert_eq!(placement.len(), view.n());
         let src = placement[thread.index()];
         if src == dest {
             return 0.0;
         }
         let mut gain = 0.0;
-        for (u, &node) in placement.iter().enumerate() {
-            if u == thread.index() {
-                continue;
-            }
-            let v = tcm.at(thread, ThreadId(u as u32));
+        view.for_each_pair(&mut |i, j, w| {
+            let other = if i == thread {
+                j
+            } else if j == thread {
+                i
+            } else {
+                return;
+            };
+            let node = placement[other.index()];
             if node == dest {
-                gain += v;
+                gain += w;
             } else if node == src {
-                gain -= v;
+                gain -= w;
             }
-        }
+        });
         gain
     }
 }
@@ -161,6 +477,7 @@ impl LoadBalancer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jessy_core::Tcm;
 
     /// Two cliques of two threads each: {0,1} and {2,3} heavily correlated.
     fn clique_tcm() -> Tcm {
@@ -225,7 +542,8 @@ mod tests {
         let mut t = Tcm::new(3);
         t.add_pair(ThreadId(0), ThreadId(1), f64::NAN);
         t.add_pair(ThreadId(1), ThreadId(2), 5.0);
-        // total_cmp gives NaN a defined order: the plan completes deterministically.
+        // NaN never satisfies `w > 0`, so the view drops it: the plan completes
+        // deterministically.
         let plan = LoadBalancer::new().plan(&t, 3);
         assert_eq!(plan.placement.len(), 3);
     }
@@ -299,5 +617,110 @@ mod tests {
             );
         }
         assert_eq!(plan.intra_fraction, 0.0);
+    }
+
+    #[test]
+    fn refine_repairs_a_bad_seed_monotonically() {
+        // Split both cliques across nodes; refinement must reunite them.
+        let tcm = clique_tcm();
+        let lb = LoadBalancer::new();
+        let bad = vec![NodeId(0), NodeId(1), NodeId(1), NodeId(0)];
+        let before = lb.intra_fraction(&tcm, &bad);
+        let out = lb.refine(&tcm, 2, &bad, &MoveFilter::default());
+        let after = lb.intra_fraction(&tcm, &out.placement);
+        assert!(after >= before, "refine never loses mass: {before} -> {after}");
+        assert!(after > 0.99, "{after}");
+        assert_eq!(out.placement[0], out.placement[1]);
+        assert_eq!(out.placement[2], out.placement[3]);
+        assert!(!out.moves.is_empty());
+        // Applied gains are the exact intra-mass deltas, so they sum to the total.
+        let gain_sum: f64 = out.moves.iter().map(|m| m.gain).sum();
+        let total = 201.0;
+        assert!(((after - before) * total - gain_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refine_honours_cooldown_and_budget_vetoes() {
+        let tcm = clique_tcm();
+        let lb = LoadBalancer::new();
+        let bad = vec![NodeId(0), NodeId(1), NodeId(1), NodeId(0)];
+
+        // Every thread cooling down: nothing moves, every candidate is attributed.
+        let cooldown = vec![true; 4];
+        let out = lb.refine(
+            &tcm,
+            2,
+            &bad,
+            &MoveFilter {
+                in_cooldown: Some(&cooldown),
+                ..MoveFilter::default()
+            },
+        );
+        assert!(out.moves.is_empty());
+        assert!(out.vetoed_cooldown > 0);
+        assert_eq!(out.placement, bad);
+
+        // A zero budget with non-zero costs blocks every priced move.
+        let costs = vec![10.0; 4];
+        let out = lb.refine(
+            &tcm,
+            2,
+            &bad,
+            &MoveFilter {
+                costs: Some(&costs),
+                gain_horizon: 1e9,
+                budget_bytes: Some(0.0),
+                ..MoveFilter::default()
+            },
+        );
+        assert!(out.moves.is_empty());
+        assert!(out.vetoed_budget > 0);
+        assert_eq!(out.spent_bytes, 0.0);
+
+        // An unpayable cost trips the profitability veto instead.
+        let heavy = vec![1e12; 4];
+        let out = lb.refine(
+            &tcm,
+            2,
+            &bad,
+            &MoveFilter {
+                costs: Some(&heavy),
+                gain_horizon: 1.0,
+                ..MoveFilter::default()
+            },
+        );
+        assert!(out.moves.is_empty());
+        assert!(out.vetoed_cost > 0);
+    }
+
+    #[test]
+    fn refine_min_gain_stops_the_pass() {
+        let tcm = clique_tcm();
+        let lb = LoadBalancer::new();
+        let bad = vec![NodeId(0), NodeId(1), NodeId(1), NodeId(0)];
+        let out = lb.refine(
+            &tcm,
+            2,
+            &bad,
+            &MoveFilter {
+                min_gain: 1e9,
+                ..MoveFilter::default()
+            },
+        );
+        assert!(out.moves.is_empty());
+        assert_eq!(out.vetoed_gain, 1, "the stop is recorded once");
+        assert_eq!(out.placement, bad);
+    }
+
+    #[test]
+    fn plan_via_topk_view_matches_dense_on_the_head() {
+        use jessy_core::TopKPairs;
+        let tcm = clique_tcm();
+        let mut tk = TopKPairs::new(4, 3);
+        tk.observe_round(&tcm.to_sparse(), |_| 0.0);
+        let lb = LoadBalancer::new();
+        let dense = lb.plan(&tcm, 2);
+        let head = lb.plan(&tk, 2);
+        assert_eq!(dense.placement, head.placement, "head covers every pair here");
     }
 }

@@ -47,7 +47,7 @@ use jessy_net::{
 };
 use jessy_stack::{MethodId, MethodRegistry};
 
-use crate::dynamic::RebalanceConfig;
+use crate::dynamic::{Directive, RebalanceConfig};
 use crate::error::RuntimeError;
 use crate::master::{EpochOal, MasterDaemon, MasterOutput};
 use crate::metrics::RunReport;
@@ -80,8 +80,11 @@ pub struct ClusterShared {
     /// through the `&mut` the owning `JThread` holds.
     pub spaces: Vec<parking_lot::Mutex<Option<ThreadSpace>>>,
     /// Per-thread migration directives issued by the dynamic balancer; each thread
-    /// honours its slot at its next barrier (a safe point) and clears it.
-    pub directives: RwLock<Vec<Option<NodeId>>>,
+    /// honours its slot at its next barrier (a safe point) and clears it. A
+    /// directive whose epoch is stale by then is fenced instead of applied.
+    pub directives: RwLock<Vec<Option<Directive>>>,
+    /// Directives dropped at barriers for carrying a stale master epoch.
+    pub fenced_directives: AtomicU64,
     /// Dynamic-rebalancing configuration, if enabled.
     pub rebalance: Option<RebalanceConfig>,
     /// Log of every thread migration performed during the run.
@@ -480,6 +483,7 @@ impl ClusterBuilder {
                 .map(|t| parking_lot::Mutex::new(Some(ThreadSpace::new(ThreadId(t as u32)))))
                 .collect(),
             directives: RwLock::new(vec![None; self.n_threads]),
+            fenced_directives: AtomicU64::new(0),
             rebalance: self.rebalance,
             migration_log: parking_lot::Mutex::new(Vec::new()),
             footprints: RwLock::new(vec![0.0; self.n_threads]),

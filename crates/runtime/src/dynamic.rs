@@ -2,27 +2,32 @@
 //!
 //! Section V: *"Our future work is to formulate an advanced load balancing policy that
 //! utilizes the correlation maps and sticky sets gathered…"*. This module is that
-//! policy's skeleton, built from the pieces the paper provides:
+//! policy, built from the pieces the paper provides, in two modes:
 //!
-//! * the master watches the TCM accumulate; after [`RebalanceConfig::after_rounds`]
-//!   rounds it plans a balanced placement with the [`crate::LoadBalancer`];
-//! * threads whose planned node differs from their current one get a **migration
-//!   directive**; a directive is priced first — the correlation *gain* (marginal
-//!   intra-node mass) must clear [`RebalanceConfig::min_gain_bytes`], the paper's
-//!   guard against thrashing ("employing localized thread placement strategies may …
-//!   cause threads to thrash between nodes");
-//! * each thread checks its directive at its next barrier (a safe point, where the
-//!   real JESSICA2 migrates too) and relocates, optionally prefetching its resolved
-//!   sticky set so the indirect cost is paid up front instead of as post-migration
-//!   faults.
+//! * **One-shot** (`every_rounds: None`, the original behavior): after
+//!   [`RebalanceConfig::after_rounds`] rounds the master plans a balanced placement
+//!   with the [`crate::LoadBalancer`] and posts directives once.
+//! * **Continuous** (`every_rounds: Some(k)`): the master re-plans every `k` rounds
+//!   from whatever correlation view the reducer maintains ([`plan_epoch`]), refining
+//!   the *live* placement with KL-style boundary moves. Hysteresis
+//!   ([`RebalanceConfig::cooldown_rounds`]) keeps a recently moved thread pinned so
+//!   plans can't bounce it back ("threads … thrash between nodes", the paper's
+//!   warning), and [`RebalanceConfig::migration_budget_bytes`] caps the sticky-set
+//!   bytes any one epoch may put on the fabric.
+//!
+//! Every directive is **epoch-stamped** with the master epoch current at plan time
+//! and fenced at the honouring barrier, exactly like OAL batches: a directive planned
+//! before a master crash/restore is dropped attributably
+//! (`EventKind::DirectiveFenced`), never applied to the post-recovery world.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::Ordering;
 
 use jessy_net::{NodeId, ThreadId};
 
-use crate::balancer::LoadBalancer;
+use crate::balancer::{LoadBalancer, MoveFilter};
 use crate::cluster::ClusterShared;
-use jessy_core::Tcm;
+use jessy_core::CorrelationView;
 
 /// Configuration of the dynamic balancer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,6 +43,20 @@ pub struct RebalanceConfig {
     /// its one-time sticky-set cost: migrate iff
     /// `gain × horizon ≥ sticky-footprint bytes` (the paper's profitability test).
     pub gain_horizon_rounds: f64,
+    /// Re-plan every this many rounds after `after_rounds` (continuous mode).
+    /// `None` keeps the original one-shot behavior.
+    pub every_rounds: Option<u64>,
+    /// A thread that migrated within this many rounds is ineligible to move again
+    /// (hysteresis; continuous mode only).
+    pub cooldown_rounds: u64,
+    /// Sticky-set bytes one planning epoch may commit to the fabric (continuous
+    /// mode only). `None` is unlimited.
+    pub migration_budget_bytes: Option<f64>,
+    /// Relocate the homes of a migrant's resolved sticky-set objects to its
+    /// destination. Cache copies live in thread-local heaps, so collocating
+    /// correlated threads only pays off once their shared objects are *homed* where
+    /// they run — this is what converts a placement gain into home-local accesses.
+    pub migrate_homes: bool,
 }
 
 impl Default for RebalanceConfig {
@@ -47,8 +66,23 @@ impl Default for RebalanceConfig {
             with_prefetch: true,
             min_gain_bytes: 1.0,
             gain_horizon_rounds: 10.0,
+            every_rounds: None,
+            cooldown_rounds: 8,
+            migration_budget_bytes: None,
+            migrate_homes: true,
         }
     }
+}
+
+/// A migration directive posted to a thread's slot, honoured (or fenced) at its
+/// next barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Directive {
+    /// Where the thread should go.
+    pub dest: NodeId,
+    /// The master epoch the plan was made in; a mismatch at the barrier fences
+    /// the directive.
+    pub epoch: u64,
 }
 
 /// One directive the planner issued.
@@ -66,12 +100,83 @@ pub struct PlannedMigration {
     pub sticky_cost_bytes: f64,
 }
 
+/// One planning epoch's intra-fraction movement, for the telemetry trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntraSample {
+    /// The round whose close triggered the plan.
+    pub round: u64,
+    /// Intra-node correlation fraction of the live placement, under the planning view.
+    pub before: f64,
+    /// Intra-node fraction the posted plan targets.
+    pub after: f64,
+}
+
+/// Placement-engine counters surfaced in `MasterOutput` and the CLI summary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlacementTelemetry {
+    /// Planning epochs closed.
+    pub plans: u64,
+    /// Migration directives posted across all epochs.
+    pub directives: u64,
+    /// Sticky-set bytes the posted directives committed to.
+    pub planned_bytes: f64,
+    /// Moves vetoed because the best gain fell below `min_gain_bytes`.
+    pub vetoed_gain: u64,
+    /// Moves vetoed by the cooldown window (hysteresis).
+    pub vetoed_cooldown: u64,
+    /// Moves vetoed by the sticky-cost profitability test.
+    pub vetoed_cost: u64,
+    /// Moves vetoed by the per-epoch migration-byte budget.
+    pub vetoed_budget: u64,
+    /// Directives dropped at barriers for carrying a stale master epoch.
+    pub fenced_directives: u64,
+    /// Migrations threads actually performed.
+    pub applied_migrations: u64,
+    /// Context + prefetch bytes those migrations moved.
+    pub migrated_bytes: u64,
+    /// Object homes relocated alongside the migrants.
+    pub homes_migrated: u64,
+    /// Object homes repaired by the master's home-effect pass (objects pulled to
+    /// their dominant accessor node without any thread moving).
+    pub homes_repaired: u64,
+    /// Payload bytes those repairs shipped between homes.
+    pub repaired_bytes: u64,
+    /// Per-epoch (round, intra-before, intra-after) under the planning view.
+    pub intra_trajectory: Vec<IntraSample>,
+}
+
+/// What one continuous planning epoch decided.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochPlan {
+    /// Directives posted this epoch.
+    pub issued: Vec<PlannedMigration>,
+    /// Sticky-set bytes the issued directives committed to.
+    pub planned_bytes: f64,
+    /// `min_gain_bytes` stops recorded.
+    pub vetoed_gain: u64,
+    /// Cooldown vetoes recorded.
+    pub vetoed_cooldown: u64,
+    /// Profitability vetoes recorded.
+    pub vetoed_cost: u64,
+    /// Budget vetoes recorded.
+    pub vetoed_budget: u64,
+    /// Intra-node fraction of the live placement before the plan.
+    pub intra_before: f64,
+    /// Intra-node fraction the plan targets.
+    pub intra_after: f64,
+}
+
 /// Plan against the current placement and post directives. Returns what was issued.
-/// Called by the master daemon once `after_rounds` rounds have closed.
-pub fn plan_and_post(shared: &ClusterShared, tcm: &Tcm, config: &RebalanceConfig) -> Vec<PlannedMigration> {
+/// Called by the master daemon once `after_rounds` rounds have closed (one-shot mode).
+pub fn plan_and_post(
+    shared: &ClusterShared,
+    view: &dyn CorrelationView,
+    config: &RebalanceConfig,
+) -> Vec<PlannedMigration> {
     let lb = LoadBalancer::new();
     let current = shared.placement.read().clone();
-    let plan = lb.plan(tcm, shared.n_nodes);
+    let plan = lb.plan(view, shared.n_nodes);
+    let epoch = shared.master_epoch.load(Ordering::Acquire);
     let mut issued = Vec::new();
     let mut directives = shared.directives.write();
     for t in 0..shared.n_threads {
@@ -80,7 +185,7 @@ pub fn plan_and_post(shared: &ClusterShared, tcm: &Tcm, config: &RebalanceConfig
         if dest == current[t] {
             continue;
         }
-        let gain = lb.migration_gain(tcm, &current, thread, dest);
+        let gain = lb.migration_gain(view, &current, thread, dest);
         if gain < config.min_gain_bytes {
             continue;
         }
@@ -90,7 +195,7 @@ pub fn plan_and_post(shared: &ClusterShared, tcm: &Tcm, config: &RebalanceConfig
         if gain * config.gain_horizon_rounds < sticky_cost {
             continue;
         }
-        directives[t] = Some(dest);
+        directives[t] = Some(Directive { dest, epoch });
         issued.push(PlannedMigration {
             thread,
             from: current[t],
@@ -102,11 +207,66 @@ pub fn plan_and_post(shared: &ClusterShared, tcm: &Tcm, config: &RebalanceConfig
     issued
 }
 
+/// Close one continuous planning epoch: refine the *live* placement under the
+/// sticky-cost/budget/cooldown filter, post epoch-stamped directives for the
+/// surviving moves, and record when each mover last moved (for the cooldown mask
+/// of the next epoch).
+pub fn plan_epoch(
+    shared: &ClusterShared,
+    view: &dyn CorrelationView,
+    config: &RebalanceConfig,
+    round: u64,
+    last_moved_round: &mut [Option<u64>],
+) -> EpochPlan {
+    let lb = LoadBalancer::new();
+    let current = shared.placement.read().clone();
+    let costs = shared.footprints.read().clone();
+    let cooldown: Vec<bool> = last_moved_round
+        .iter()
+        .map(|m| m.is_some_and(|r| round.saturating_sub(r) < config.cooldown_rounds))
+        .collect();
+    let filter = MoveFilter {
+        min_gain: config.min_gain_bytes,
+        gain_horizon: config.gain_horizon_rounds,
+        costs: Some(&costs),
+        budget_bytes: config.migration_budget_bytes,
+        in_cooldown: Some(&cooldown),
+    };
+    let intra_before = lb.intra_fraction(view, &current);
+    let outcome = lb.refine(view, shared.n_nodes, &current, &filter);
+    let intra_after = lb.intra_fraction(view, &outcome.placement);
+
+    let epoch = shared.master_epoch.load(Ordering::Acquire);
+    let mut issued = Vec::with_capacity(outcome.moves.len());
+    let mut directives = shared.directives.write();
+    for m in &outcome.moves {
+        directives[m.thread.index()] = Some(Directive { dest: m.to, epoch });
+        last_moved_round[m.thread.index()] = Some(round);
+        issued.push(PlannedMigration {
+            thread: m.thread,
+            from: m.from,
+            to: m.to,
+            gain_bytes: m.gain,
+            sticky_cost_bytes: m.cost_bytes,
+        });
+    }
+    EpochPlan {
+        issued,
+        planned_bytes: outcome.spent_bytes,
+        vetoed_gain: outcome.vetoed_gain,
+        vetoed_cooldown: outcome.vetoed_cooldown,
+        vetoed_cost: outcome.vetoed_cost,
+        vetoed_budget: outcome.vetoed_budget,
+        intra_before,
+        intra_after,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::Cluster;
-    use jessy_core::ProfilerConfig;
+    use jessy_core::{ProfilerConfig, Tcm};
 
     #[test]
     fn plan_and_post_respects_min_gain() {
@@ -128,6 +288,7 @@ mod tests {
             with_prefetch: false,
             min_gain_bytes: 10.0,
             gain_horizon_rounds: 1e18,
+            ..RebalanceConfig::default()
         };
         let issued = plan_and_post(shared, &tcm, &strict);
         // Reuniting 0&1 clears the bar; reuniting 2&3 (gain 0.5) does not.
@@ -136,6 +297,8 @@ mod tests {
         let directives = shared.directives.read();
         let posted = directives.iter().filter(|d| d.is_some()).count();
         assert_eq!(posted, issued.len());
+        // Healthy-run directives carry the live epoch (0: no restore happened).
+        assert!(directives.iter().flatten().all(|d| d.epoch == 0));
     }
 
     #[test]
@@ -158,6 +321,7 @@ mod tests {
             with_prefetch: false,
             min_gain_bytes: 1.0,
             gain_horizon_rounds: 2.0, // gain 100 × 2 « 1e9
+            ..RebalanceConfig::default()
         };
         assert!(plan_and_post(shared, &tcm, &cfg).is_empty());
 
@@ -182,5 +346,87 @@ mod tests {
         tcm.add_pair(ThreadId(2), ThreadId(3), 100.0);
         let issued = plan_and_post(cluster.shared(), &tcm, &RebalanceConfig::default());
         assert!(issued.is_empty(), "{issued:?}");
+    }
+
+    #[test]
+    fn plan_epoch_refines_the_live_placement_and_stamps_cooldowns() {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .threads(4)
+            .placement(vec![NodeId(0), NodeId(1), NodeId(1), NodeId(0)])
+            .profiler(ProfilerConfig::disabled())
+            .build();
+        let shared = cluster.shared();
+        let mut tcm = Tcm::new(4);
+        tcm.add_pair(ThreadId(0), ThreadId(1), 100.0);
+        tcm.add_pair(ThreadId(2), ThreadId(3), 100.0);
+
+        let cfg = RebalanceConfig {
+            every_rounds: Some(2),
+            cooldown_rounds: 4,
+            ..RebalanceConfig::default()
+        };
+        let mut last_moved = vec![None; 4];
+        let plan = plan_epoch(shared, &tcm, &cfg, 5, &mut last_moved);
+        assert!(!plan.issued.is_empty(), "a split-clique placement must improve");
+        assert!(plan.intra_after > plan.intra_before);
+        for m in &plan.issued {
+            assert_eq!(last_moved[m.thread.index()], Some(5), "cooldown stamped");
+            let d = shared.directives.read()[m.thread.index()];
+            assert_eq!(d, Some(Directive { dest: m.to, epoch: 0 }));
+        }
+
+        // Apply the migrations, then present a correlation view whose only repair
+        // would move a just-migrated thread again: the cooldown must veto it.
+        {
+            let mut placement = shared.placement.write();
+            for m in &plan.issued {
+                placement[m.thread.index()] = m.to;
+            }
+        }
+        shared.directives.write().iter_mut().for_each(|d| *d = None);
+        assert_eq!(plan.issued.len(), 2, "the repair is one pairwise exchange");
+        let (mover, other) = (plan.issued[0].thread, plan.issued[1].thread);
+        let mut flipped = Tcm::new(4);
+        flipped.add_pair(mover, other, 100.0);
+        let again = plan_epoch(shared, &flipped, &cfg, 6, &mut last_moved);
+        assert!(again.issued.is_empty(), "{:?}", again.issued);
+        assert!(again.vetoed_cooldown > 0, "the bounce is attributed to hysteresis");
+    }
+
+    #[test]
+    fn plan_epoch_budget_caps_committed_bytes() {
+        // Four cliques, every one split across the two (exactly full) nodes: fixing
+        // each takes one pairwise exchange of 2 × 60 = 120 bytes. A 150-byte budget
+        // admits the first exchange and must veto the rest.
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .threads(8)
+            .placement(
+                [0u16, 1, 1, 0, 0, 1, 1, 0].iter().map(|&n| NodeId(n)).collect::<Vec<_>>(),
+            )
+            .profiler(ProfilerConfig::disabled())
+            .build();
+        let shared = cluster.shared();
+        let mut tcm = Tcm::new(8);
+        tcm.add_pair(ThreadId(0), ThreadId(1), 100.0);
+        tcm.add_pair(ThreadId(2), ThreadId(3), 90.0);
+        tcm.add_pair(ThreadId(4), ThreadId(5), 80.0);
+        tcm.add_pair(ThreadId(6), ThreadId(7), 70.0);
+        *shared.footprints.write() = vec![60.0; 8];
+
+        let cfg = RebalanceConfig {
+            every_rounds: Some(1),
+            cooldown_rounds: 0,
+            migration_budget_bytes: Some(150.0),
+            gain_horizon_rounds: 10.0,
+            ..RebalanceConfig::default()
+        };
+        let mut last_moved = vec![None; 8];
+        let plan = plan_epoch(shared, &tcm, &cfg, 3, &mut last_moved);
+        assert_eq!(plan.issued.len(), 2, "one exchange = two directives: {:?}", plan.issued);
+        assert!(plan.vetoed_budget > 0);
+        assert!(plan.planned_bytes <= 150.0);
+        assert!(plan.intra_after > plan.intra_before);
     }
 }

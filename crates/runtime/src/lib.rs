@@ -31,9 +31,11 @@ pub mod metrics;
 pub mod migration;
 pub mod thread;
 
-pub use balancer::LoadBalancer;
+pub use balancer::{LoadBalancer, MoveFilter, PlacementPlan, RefineOutcome, RefinedMove};
 pub use cluster::{Cluster, ClusterBuilder, InitCtx};
-pub use dynamic::{PlannedMigration, RebalanceConfig};
+pub use dynamic::{
+    Directive, IntraSample, PlacementTelemetry, PlannedMigration, RebalanceConfig,
+};
 pub use error::RuntimeError;
 pub use master::{
     AppliedRateChange, ClassRoundState, ClosedRound, EpochOal, Ingest, MasterOutput,

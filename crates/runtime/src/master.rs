@@ -70,16 +70,18 @@ use jessy_core::adaptive::apply_rate_change;
 use jessy_core::sampling::ClassGapState;
 use jessy_core::tcm::RoundSummary;
 use jessy_core::{
-    BudgetCheckpoint, BudgetOutcome, BudgetedController, DegradeStep, Oal, ProfilerConfig,
-    RoundOutcome, ShardedTcmReducer, SketchTcm, SparseTcm, Tcm, TcmBackend, TopKPairs,
-    TreeTcmReducer,
+    BudgetCheckpoint, BudgetOutcome, BudgetedController, DegradeStep, HomeAwareAnalyzer, Oal,
+    ProfilerConfig, RoundOutcome, ShardedTcmReducer, SketchTcm, SketchedTopKView, SparseTcm, Tcm,
+    TcmBackend, TopKPairs, TreeTcmReducer,
 };
 use jessy_gos::ClassId;
 use jessy_net::{Mailbox, MasterCrashWindow, MsgClass, NodeId, ThreadId};
 use jessy_obs::EventKind;
 
 use crate::cluster::ClusterShared;
-use crate::dynamic::{plan_and_post, PlannedMigration};
+use crate::dynamic::{
+    plan_and_post, plan_epoch, IntraSample, PlacementTelemetry, PlannedMigration, RebalanceConfig,
+};
 use crate::error::RuntimeError;
 
 /// An OAL batch stamped with the sender's view of the master epoch (learned at
@@ -198,6 +200,10 @@ pub struct MasterOutput {
     pub duplicate_oals: u64,
     /// Migration directives issued by the dynamic balancer, if enabled.
     pub planned_migrations: Vec<PlannedMigration>,
+    /// Placement-engine telemetry: planning epochs, directives, vetoes, fenced
+    /// directives, applied migrations and the intra-fraction trajectory. All
+    /// zero/empty when rebalancing is off.
+    pub placement: PlacementTelemetry,
     /// The raw OAL stream, when `ProfilerConfig::record_oals` was set.
     pub oal_log: Vec<Oal>,
     /// Checkpoints snapshotted (`ProfilerConfig::checkpoint_every_rounds`).
@@ -620,6 +626,13 @@ pub struct ProfilerCheckpoint {
     pub planned_migrations: Vec<PlannedMigration>,
     /// Whether the balancer already ran.
     pub rebalanced: bool,
+    /// Round each thread last received a move directive in (continuous mode's
+    /// cooldown state): replay re-derives post-checkpoint epochs from this base
+    /// exactly as it re-closes rounds.
+    pub last_moved_round: Vec<Option<u64>>,
+    /// Placement-engine counters accumulated so far; restored with the rounds
+    /// they describe so replayed planning epochs don't double-count.
+    pub placement_telemetry: PlacementTelemetry,
     /// The recorded OAL stream, when `ProfilerConfig::record_oals` was set.
     pub oal_log: Vec<Oal>,
     /// Convergence timeline rows accumulated so far.
@@ -713,6 +726,14 @@ struct Daemon {
     skipped: Vec<SkippedRateChange>,
     planned_migrations: Vec<PlannedMigration>,
     rebalanced: bool,
+    /// Round each thread last received a move directive in (continuous-mode
+    /// hysteresis: a thread inside its cooldown window is pinned).
+    last_moved_round: Vec<Option<u64>>,
+    /// Accumulated placement-engine counters (continuous mode).
+    placement: PlacementTelemetry,
+    /// Per-object accessor statistics for home repair (Section V's home effect):
+    /// maintained only in continuous rebalancing mode with `migrate_homes` on.
+    homeaware: Option<HomeAwareAnalyzer>,
     oal_log: Vec<Oal>,
     record_oals: bool,
     timeline: Vec<RoundTimeline>,
@@ -885,6 +906,8 @@ impl Daemon {
             skipped: self.skipped.clone(),
             planned_migrations: self.planned_migrations.clone(),
             rebalanced: self.rebalanced,
+            last_moved_round: self.last_moved_round.clone(),
+            placement_telemetry: self.placement.clone(),
             oal_log: self.oal_log.clone(),
             timeline: self.timeline.clone(),
         });
@@ -933,6 +956,8 @@ impl Daemon {
                 self.skipped = cp.skipped;
                 self.planned_migrations = cp.planned_migrations;
                 self.rebalanced = cp.rebalanced;
+                self.last_moved_round = cp.last_moved_round;
+                self.placement = cp.placement_telemetry;
                 self.oal_log = cp.oal_log;
                 self.timeline = cp.timeline;
             }
@@ -960,9 +985,16 @@ impl Daemon {
                 self.skipped.clear();
                 self.planned_migrations.clear();
                 self.rebalanced = false;
+                self.last_moved_round = vec![None; self.shared.n_threads];
+                self.placement = PlacementTelemetry::default();
                 self.oal_log.clear();
                 self.timeline.clear();
             }
+        }
+        if let Some(ha) = &mut self.homeaware {
+            // Accessor statistics are not checkpointed: repair evidence restarts
+            // from what the replayed rounds re-accumulate.
+            ha.clear();
         }
         self.builder = self.fresh_reducer();
         // Tree-mode state restarts from the checkpoint base: the replay log
@@ -1210,8 +1242,96 @@ impl Daemon {
         }
     }
 
+    /// One continuous planning epoch: pick the planning view the reducer already
+    /// maintains, refine the live placement under the cost/budget/cooldown filter,
+    /// post epoch-stamped directives and fold the outcome into the telemetry.
+    ///
+    /// Under the sketch backend the plan is drawn from [`SketchedTopKView`] — the
+    /// top-k head names the pairs, the sketch prices them — so planning stays
+    /// O(k + sketch) and never expands the O(N²) dense map `effective_tcm()` would
+    /// materialize. That is the production-scale path (N=1024 in the bench).
+    fn plan_placement_epoch(&mut self, cfg: &RebalanceConfig, round: u64) {
+        let mut last_moved = std::mem::take(&mut self.last_moved_round);
+        let plan = match (&self.sketch, &self.topk) {
+            (Some(sk), Some(tk)) => {
+                let view = SketchedTopKView::new(sk, tk);
+                plan_epoch(&self.shared, &view, cfg, round, &mut last_moved)
+            }
+            _ => {
+                let tcm = self.effective_tcm();
+                plan_epoch(&self.shared, &tcm, cfg, round, &mut last_moved)
+            }
+        };
+        self.last_moved_round = last_moved;
+        self.placement.plans += 1;
+        self.placement.directives += plan.issued.len() as u64;
+        self.placement.planned_bytes += plan.planned_bytes;
+        self.placement.vetoed_gain += plan.vetoed_gain;
+        self.placement.vetoed_cooldown += plan.vetoed_cooldown;
+        self.placement.vetoed_cost += plan.vetoed_cost;
+        self.placement.vetoed_budget += plan.vetoed_budget;
+        self.placement.intra_trajectory.push(IntraSample {
+            round,
+            before: plan.intra_before,
+            after: plan.intra_after,
+        });
+        self.shared.emit_event(
+            &self.shared.master_clock(),
+            EventKind::PlacementPlanned {
+                round,
+                epoch: self.epoch,
+                directives: plan.issued.len() as u64,
+                intra_before: plan.intra_before,
+                intra_after: plan.intra_after,
+            },
+        );
+        // Home repair (the paper's Section V "home effect"): collocation only
+        // pays once shared state is *homed* where the threads run. Movers carry
+        // their resolved sticky sets; this pass repairs everyone else, pulling
+        // each object whose dominant accessor node strictly beats its current
+        // home onto that node. Nodes a mover is leaving this epoch are skipped —
+        // their evidence describes a placement that is about to change.
+        if cfg.migrate_homes {
+            if let Some(ha) = &mut self.homeaware {
+                let placement = self.shared.placement.read().clone();
+                let report = ha.build(&self.shared.gos, &placement);
+                let leaving: std::collections::HashSet<NodeId> =
+                    plan.issued.iter().map(|m| m.from).collect();
+                let clock = self.shared.master_clock();
+                let mut repaired = 0u64;
+                let mut repaired_bytes = 0u64;
+                for rec in &report.recommendations {
+                    if leaving.contains(&rec.to) {
+                        continue;
+                    }
+                    let bytes = self.shared.gos.object(rec.obj).payload_bytes() as u64;
+                    if self.shared.gos.migrate_home(rec.obj, rec.to, &clock) {
+                        repaired += 1;
+                        repaired_bytes += bytes;
+                    }
+                }
+                if repaired > 0 || !plan.issued.is_empty() {
+                    // The world changed: dominance evidence must be re-earned
+                    // against the post-repair placement and homes.
+                    ha.clear();
+                }
+                self.placement.homes_repaired += repaired;
+                self.placement.repaired_bytes += repaired_bytes;
+            }
+        }
+        self.planned_migrations.extend(plan.issued);
+    }
+
     fn close_round(&mut self, closed: ClosedRound) {
         let t0 = Instant::now();
+        if let Some(ha) = &mut self.homeaware {
+            // Home-repair evidence rides on the same OAL stream the TCM reducer
+            // consumes; the live placement maps each logging thread to a node.
+            let placement = self.shared.placement.read().clone();
+            for oal in &closed.oals {
+                ha.ingest(oal, &placement);
+            }
+        }
         let summary = if self.tree.is_some() {
             self.close_round_tree(&closed)
         } else {
@@ -1392,10 +1512,18 @@ impl Daemon {
 
         self.update_stragglers(closed.round);
 
-        // Dynamic balancing: plan once enough rounds have closed (Section V's policy,
-        // built on the profiles).
+        // Dynamic balancing (Section V's policy, built on the profiles): one-shot
+        // once enough rounds have closed, or — in continuous mode — a planning
+        // epoch every `every_rounds` closes.
         if let Some(cfg) = self.shared.rebalance {
-            if !self.rebalanced && self.rounds >= cfg.after_rounds {
+            if let Some(every) = cfg.every_rounds {
+                let every = every.max(1);
+                if self.rounds >= cfg.after_rounds
+                    && (self.rounds - cfg.after_rounds).is_multiple_of(every)
+                {
+                    self.plan_placement_epoch(&cfg, closed.round);
+                }
+            } else if !self.rebalanced && self.rounds >= cfg.after_rounds {
                 self.rebalanced = true;
                 let tcm = self.effective_tcm();
                 self.planned_migrations = plan_and_post(&self.shared, &tcm, &cfg);
@@ -1535,6 +1663,12 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
         skipped: Vec::new(),
         planned_migrations: Vec::new(),
         rebalanced: false,
+        last_moved_round: vec![None; shared.n_threads],
+        placement: PlacementTelemetry::default(),
+        homeaware: shared
+            .rebalance
+            .filter(|c| c.every_rounds.is_some() && c.migrate_homes)
+            .map(|_| HomeAwareAnalyzer::new(shared.n_nodes, shared.n_threads)),
         oal_log: Vec::new(),
         record_oals: config.record_oals,
         timeline: Vec::new(),
@@ -1592,6 +1726,18 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
         late_oals: daemon.scheduler.late_count(),
         duplicate_oals: daemon.scheduler.duplicate_count(),
         planned_migrations: daemon.planned_migrations,
+        placement: {
+            let mut p = daemon.placement;
+            p.fenced_directives = shared.fenced_directives.load(Ordering::Relaxed);
+            let log = shared.migration_log.lock();
+            p.applied_migrations = log.len() as u64;
+            p.migrated_bytes = log
+                .iter()
+                .map(|m| (m.ctx_bytes + m.prefetch_bytes) as u64)
+                .sum();
+            p.homes_migrated = log.iter().map(|m| m.homes_migrated as u64).sum();
+            p
+        },
         oal_log: daemon.oal_log,
         checkpoints_taken: daemon.checkpoints_taken,
         restores: daemon.restores,

@@ -267,6 +267,39 @@ impl RunReport {
                 "master.planned_migrations",
                 master.planned_migrations.len() as u64,
             );
+            m.set("master.placement.plans", master.placement.plans);
+            m.set("master.placement.directives", master.placement.directives);
+            m.set(
+                "master.placement.fenced_directives",
+                master.placement.fenced_directives,
+            );
+            m.set(
+                "master.placement.applied_migrations",
+                master.placement.applied_migrations,
+            );
+            m.set(
+                "master.placement.migrated_bytes",
+                master.placement.migrated_bytes,
+            );
+            m.set(
+                "master.placement.homes_migrated",
+                master.placement.homes_migrated,
+            );
+            m.set(
+                "master.placement.homes_repaired",
+                master.placement.homes_repaired,
+            );
+            m.set(
+                "master.placement.repaired_bytes",
+                master.placement.repaired_bytes,
+            );
+            m.set(
+                "master.placement.vetoes",
+                master.placement.vetoed_gain
+                    + master.placement.vetoed_cooldown
+                    + master.placement.vetoed_cost
+                    + master.placement.vetoed_budget,
+            );
             m.set("master.checkpoints_taken", master.checkpoints_taken);
             m.set("master.restores", master.restores);
             m.set("master.replayed_oals", master.replayed_oals);

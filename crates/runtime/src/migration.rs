@@ -28,6 +28,9 @@ pub struct MigrationReport {
     pub prefetched_objects: usize,
     /// Prefetched payload bytes.
     pub prefetch_bytes: usize,
+    /// Sticky-set object homes relocated to the destination alongside the thread
+    /// (the home-migration companion optimization; 0 when disabled).
+    pub homes_migrated: usize,
     /// Simulated nanoseconds the migration itself took.
     pub sim_cost_ns: SimNanos,
     /// The sticky-set resolution, when prefetching was requested.

@@ -558,10 +558,40 @@ impl JThread {
             return;
         };
         let directive = self.shared.directives.read()[self.thread.index()];
-        if let Some(dest) = directive {
+        if let Some(d) = directive {
             self.shared.directives.write()[self.thread.index()] = None;
-            if dest != self.node {
-                let report = self.migrate_to(dest, rebalance.with_prefetch);
+            let current_epoch = self.shared.master_epoch.load(Ordering::Acquire);
+            if d.epoch != current_epoch {
+                // The plan predates a master restore: like a stale OAL batch, it
+                // describes a world that no longer exists. Drop it attributably —
+                // the next planning epoch will re-derive any still-profitable move.
+                self.shared.fenced_directives.fetch_add(1, Ordering::Relaxed);
+                self.shared.emit_event(
+                    &self.clock,
+                    EventKind::DirectiveFenced {
+                        thread: self.thread.0,
+                        directive_epoch: d.epoch,
+                        current_epoch,
+                    },
+                );
+                return;
+            }
+            if d.dest != self.node {
+                let report = self.migrate_to_with(
+                    d.dest,
+                    rebalance.with_prefetch,
+                    rebalance.migrate_homes,
+                );
+                self.shared.emit_event(
+                    &self.clock,
+                    EventKind::MigrationApplied {
+                        thread: self.thread.0,
+                        from: report.from.0,
+                        to: report.to.0,
+                        epoch: current_epoch,
+                        bytes: (report.ctx_bytes + report.prefetch_bytes) as u64,
+                    },
+                );
                 self.shared.migration_log.lock().push(report);
             }
         }
@@ -621,6 +651,20 @@ impl JThread {
     /// Migrate this thread to `dest`, optionally prefetching its resolved sticky set
     /// along with the context (Section III). Returns what moved.
     pub fn migrate_to(&mut self, dest: NodeId, with_prefetch: bool) -> MigrationReport {
+        self.migrate_to_with(dest, with_prefetch, false)
+    }
+
+    /// [`Self::migrate_to`], plus optionally relocating the homes of the resolved
+    /// sticky-set objects to `dest`. Per-thread caching means collocating correlated
+    /// threads cuts remote fetches only once their shared objects are also *homed*
+    /// where they run — home migration is what converts a placement gain into
+    /// home-local accesses (the paper's home-migration companion optimization).
+    pub fn migrate_to_with(
+        &mut self,
+        dest: NodeId,
+        with_prefetch: bool,
+        migrate_homes: bool,
+    ) -> MigrationReport {
         let src = self.node;
         let t0 = self.clock.now();
         let ctx_bytes = self.stack.context_bytes();
@@ -632,8 +676,12 @@ impl JThread {
         // Resolve the sticky set BEFORE dropping the thread-local heap (the resolver
         // reads the sampled landmarks, not the caches, but the profiler state is tied
         // to the pre-migration interval).
-        let resolved = if with_prefetch && src != dest {
-            Some(self.profiler.resolve_sticky(&self.shared.gos, &self.clock))
+        let resolved = if (with_prefetch || migrate_homes) && src != dest {
+            Some(self.profiler.resolve_sticky_for_space(
+                &self.shared.gos,
+                &self.space,
+                &self.clock,
+            ))
         } else {
             None
         };
@@ -646,14 +694,24 @@ impl JThread {
         let mut resolution: Option<Resolution> = None;
         let mut prefetch_bytes = 0usize;
         let mut prefetched_objects = 0usize;
+        let mut homes_migrated = 0usize;
         if let Some(res) = resolved {
-            prefetched_objects = res.selected.len();
-            prefetch_bytes = self.shared.gos.prefetch_into(
-                &mut self.space,
-                dest,
-                res.selected.iter().copied(),
-                &self.clock,
-            );
+            if migrate_homes {
+                for &obj in &res.selected {
+                    if self.shared.gos.migrate_home(obj, dest, &self.clock) {
+                        homes_migrated += 1;
+                    }
+                }
+            }
+            if with_prefetch {
+                prefetched_objects = res.selected.len();
+                prefetch_bytes = self.shared.gos.prefetch_into(
+                    &mut self.space,
+                    dest,
+                    res.selected.iter().copied(),
+                    &self.clock,
+                );
+            }
             resolution = Some(res);
         }
 
@@ -678,6 +736,7 @@ impl JThread {
             ctx_bytes,
             prefetched_objects,
             prefetch_bytes,
+            homes_migrated,
             sim_cost_ns: self.clock.now() - t0,
             resolution,
         }

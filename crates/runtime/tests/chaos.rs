@@ -718,3 +718,208 @@ fn slow_node_under_seeded_drops_demotes_and_completes() {
     assert_eq!(report.oal_post_failures, 0, "slowness itself loses nothing");
     assert!(master.oals_ingested > 0, "the profile survives on what arrives");
 }
+
+// ---------------------------------------------------------------------- PR 9:
+// continuous rebalancing under chaos. The placement engine plans from the live
+// profile on a cadence and posts epoch-stamped directives; every fault that can
+// invalidate a plan mid-flight — a master restore bumping the epoch, a node
+// crash window, a partition — must degrade into an attributable no-op, never a
+// migration into a world that no longer exists, and never a wedge.
+
+/// Threads 0&2 and 1&3 share heavily but start split across nodes: constant
+/// refinement pressure, so the continuous engine has real moves to make while
+/// the fault plan is chewing on the cluster.
+fn split_sharers(cluster: &mut Cluster, barriers: usize) {
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("S", 8);
+        vec![
+            ctx.alloc_scalar_at(NodeId(0), class).id, // shared by threads 0 & 2
+            ctx.alloc_scalar_at(NodeId(1), class).id, // shared by threads 1 & 3
+        ]
+    });
+    let objs = Arc::new(objs);
+    cluster.run(move |jt| {
+        let group = jt.thread_id().index() % 2;
+        for _ in 0..barriers {
+            jt.read(objs[group], |_| {});
+            jt.barrier();
+        }
+    });
+}
+
+fn rebalance_profiler() -> ProfilerConfig {
+    let mut config = ProfilerConfig::tracking_at(SamplingRate::NX(1));
+    config.intervals_per_round = 1;
+    config.round_deadline_intervals = Some(3);
+    config
+}
+
+fn continuous_rebalance() -> jessy_runtime::RebalanceConfig {
+    jessy_runtime::RebalanceConfig {
+        after_rounds: 1,
+        every_rounds: Some(2),
+        cooldown_rounds: 4,
+        with_prefetch: false,
+        min_gain_bytes: 1.0,
+        gain_horizon_rounds: 1e18,
+        migration_budget_bytes: None,
+        migrate_homes: true,
+    }
+}
+
+/// A directive stamped with a master epoch that never existed must be dropped at
+/// the barrier — attributably: the telemetry counter, and a `DirectiveFenced`
+/// journal event naming the thread and both epochs. The thread stays put.
+#[test]
+fn stale_directive_is_fenced_attributably() {
+    let sink = jessy_obs::JournalSink::shared();
+    let mut cluster = Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(rebalance_profiler())
+        // Rebalancing armed (directives are honoured at barriers) but the
+        // planner dormant: the only directive in this run is the injected one.
+        .rebalance(jessy_runtime::RebalanceConfig {
+            after_rounds: 1_000_000,
+            every_rounds: None,
+            ..continuous_rebalance()
+        })
+        .trace(sink.clone())
+        .build();
+    let objs = cluster.init(|ctx| {
+        let class = ctx.register_scalar_class("S", 8);
+        vec![ctx.alloc_scalar_at(NodeId(0), class).id]
+    });
+    let objs = Arc::new(objs);
+    let shared = Arc::clone(cluster.shared());
+    cluster.run(move |jt| {
+        if jt.thread_id() == jessy_net::ThreadId(0) {
+            // A plan from "epoch 99" — a regime that never existed (the master
+            // never restored, so the live epoch is 0).
+            shared.directives.write()[0] = Some(jessy_runtime::Directive {
+                dest: NodeId(1),
+                epoch: 99,
+            });
+        }
+        for _ in 0..4 {
+            jt.read(objs[0], |_| {});
+            jt.barrier();
+        }
+    });
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran to completion");
+    assert_eq!(master.placement.fenced_directives, 1, "{:?}", master.placement);
+    assert_eq!(master.placement.applied_migrations, 0, "fenced, not applied");
+    let shared = cluster.shared();
+    assert_eq!(
+        shared.placement.read()[0],
+        NodeId(0),
+        "the stale directive must not have moved thread 0"
+    );
+    let fenced: Vec<_> = sink
+        .sorted_events()
+        .into_iter()
+        .filter_map(|e| match e.kind {
+            jessy_obs::EventKind::DirectiveFenced {
+                thread,
+                directive_epoch,
+                current_epoch,
+            } => Some((thread, directive_epoch, current_epoch)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fenced, vec![(0, 99, 0)], "one attributable fencing event");
+    assert_eq!(report.rejoins, 0);
+}
+
+/// Continuous rebalancing composed with a node crash window: the engine keeps
+/// planning on its cadence while node 1 is dark (deadline close keeps rounds
+/// moving), its threads rejoin, and the run completes with real plans issued.
+#[test]
+fn continuous_rebalance_survives_a_crash_window() {
+    let mut cluster = Cluster::builder()
+        .nodes(2)
+        .threads(4)
+        .placement(vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)])
+        .latency(LatencyModel::free())
+        .costs(CostModel::free())
+        .profiler(rebalance_profiler())
+        .rebalance(continuous_rebalance())
+        .faults(FaultPlan {
+            seed: chaos_seed(),
+            node_crashes: vec![CrashWindow {
+                node: NodeId(1),
+                from_interval: 3,
+                until_interval: Some(6),
+            }],
+            ..FaultPlan::default()
+        })
+        .build();
+    split_sharers(&mut cluster, 24);
+
+    let report = cluster.report();
+    let master = cluster.master_output().expect("master ran to completion");
+    assert!(master.rounds > 0, "rounds keep closing through the window");
+    assert!(
+        master.placement.plans >= 1,
+        "the engine must have planned despite the crash: {:?}",
+        master.placement
+    );
+    assert!(report.net.faults.crash_suppressed > 0, "{:?}", report.net.faults);
+    assert_eq!(report.rejoins, 2, "node 1's threads come back");
+    assert_eq!(
+        master.placement.fenced_directives, 0,
+        "no restore happened, so nothing may be fenced"
+    );
+    let placement = cluster.shared().placement.read().clone();
+    assert_eq!(placement.len(), 4, "placement stays coherent");
+}
+
+/// Continuous rebalancing composed with a healed partition: plans are still
+/// issued, the run completes — and the whole composition is **deterministic**:
+/// two identical runs produce bit-identical deterministic reports, migrations
+/// and all. This is what makes chaos-found placement bugs replayable.
+#[test]
+fn continuous_rebalance_under_partition_is_bit_identical() {
+    let run = || {
+        let mut cluster = Cluster::builder()
+            .nodes(2)
+            .threads(4)
+            .placement(vec![NodeId(0), NodeId(0), NodeId(1), NodeId(1)])
+            .latency(LatencyModel::fast_ethernet())
+            .costs(CostModel::free())
+            .profiler(rebalance_profiler())
+            .rebalance(continuous_rebalance())
+            .faults(FaultPlan {
+                seed: chaos_seed(),
+                partitions: vec![PartitionWindow {
+                    island: vec![NodeId(1)],
+                    from_ns: 1_000,
+                    heal_ns: Some(2_000_000),
+                }],
+                ..FaultPlan::default()
+            })
+            .build();
+        split_sharers(&mut cluster, 30);
+        let report = cluster.report();
+        let master = cluster.master_output().expect("master ran").clone();
+        (report, master)
+    };
+    let (report_a, master_a) = run();
+    let (report_b, master_b) = run();
+    assert!(master_a.rounds > 0);
+    assert!(
+        master_a.placement.plans >= 1,
+        "the engine must plan through the partition: {:?}",
+        master_a.placement
+    );
+    assert_eq!(
+        report_a.deterministic(),
+        report_b.deterministic(),
+        "rebalance x partition must replay bit-identically"
+    );
+    assert_eq!(master_a.placement, master_b.placement, "telemetry too");
+    assert_eq!(master_a.tcm, master_b.tcm);
+}

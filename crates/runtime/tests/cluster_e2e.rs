@@ -348,6 +348,7 @@ fn dynamic_balancer_fixes_placement_mid_run() {
             with_prefetch: false,
             min_gain_bytes: 1.0,
             gain_horizon_rounds: 1e18,
+            ..Default::default()
         })
         .build();
     let objs = cluster.init(|ctx| {
@@ -397,6 +398,7 @@ fn dynamic_balancer_leaves_good_placements_alone() {
             with_prefetch: false,
             min_gain_bytes: 1.0,
             gain_horizon_rounds: 1e18,
+            ..Default::default()
         })
         .build();
     let objs = cluster.init(|ctx| {

@@ -33,6 +33,9 @@ struct Options {
     scale: WorkloadPreset,
     adaptive: Option<f64>,
     rebalance: Option<u64>,
+    rebalance_every: Option<u64>,
+    cooldown_rounds: Option<u64>,
+    migration_budget_bytes: Option<u64>,
     overhead_budget: Option<f64>,
     mailbox_capacity: Option<usize>,
     shed_policy: Option<ShedPolicy>,
@@ -73,6 +76,9 @@ impl Default for Options {
             scale: WorkloadPreset::Small,
             adaptive: None,
             rebalance: None,
+            rebalance_every: None,
+            cooldown_rounds: None,
+            migration_budget_bytes: None,
             overhead_budget: None,
             mailbox_capacity: None,
             shed_policy: None,
@@ -152,6 +158,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--rebalance" => {
                 opts.rebalance =
                     Some(value(flag)?.parse().map_err(|e| format!("--rebalance: {e}"))?)
+            }
+            "--rebalance-every" => {
+                opts.rebalance_every = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--rebalance-every: {e}"))?,
+                )
+            }
+            "--cooldown-rounds" => {
+                opts.cooldown_rounds = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--cooldown-rounds: {e}"))?,
+                )
+            }
+            "--migration-budget-bytes" => {
+                opts.migration_budget_bytes = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--migration-budget-bytes: {e}"))?,
+                )
             }
             "--overhead-budget" => {
                 opts.overhead_budget = Some(
@@ -237,6 +264,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.rebalance.is_some() && matches!(opts.rate, RateOpt::Off) {
         return Err("--rebalance needs correlation tracking (pick a --rate)".into());
     }
+    if opts.rebalance.is_some() && opts.nodes < 2 {
+        return Err("--rebalance on a single node has nowhere to move threads; use --nodes >= 2".into());
+    }
+    if opts.rebalance_every == Some(0) {
+        return Err("--rebalance-every 0 would re-plan on no cadence; use >= 1".into());
+    }
+    if opts.rebalance.is_none()
+        && (opts.rebalance_every.is_some()
+            || opts.cooldown_rounds.is_some()
+            || opts.migration_budget_bytes.is_some())
+    {
+        return Err(
+            "--rebalance-every / --cooldown-rounds / --migration-budget-bytes tune the \
+             placement engine; also pass --rebalance ROUNDS"
+                .into(),
+        );
+    }
     if let Some(b) = opts.overhead_budget {
         if !b.is_finite() || b <= 0.0 || b > 1.0 {
             return Err(format!(
@@ -299,10 +343,18 @@ fn build_cluster(opts: &Options) -> (Cluster, Option<std::sync::Arc<JournalSink>
         .exec_jitter(opts.exec_jitter)
         .profiler(profiler_config(opts));
     if let Some(rounds) = opts.rebalance {
-        builder = builder.rebalance(jessy::runtime::RebalanceConfig {
+        let mut rb = jessy::runtime::RebalanceConfig {
             after_rounds: rounds,
+            every_rounds: opts.rebalance_every,
             ..Default::default()
-        });
+        };
+        if let Some(c) = opts.cooldown_rounds {
+            rb.cooldown_rounds = c;
+        }
+        if let Some(b) = opts.migration_budget_bytes {
+            rb.migration_budget_bytes = Some(b as f64);
+        }
+        builder = builder.rebalance(rb);
     }
     let sink = if opts.trace.is_some() || opts.journal.is_some() {
         let sink = JournalSink::shared();
@@ -408,6 +460,34 @@ fn cmd_run(opts: &Options) {
                 m.thread, m.from, m.to, m.gain_bytes
             );
         }
+        let p = &master.placement;
+        if p.plans > 0 {
+            println!(
+                "placement engine    : {:>12} plans, {} directives, {} applied ({:.1} KB moved)",
+                p.plans,
+                p.directives,
+                p.applied_migrations,
+                p.migrated_bytes as f64 / 1024.0
+            );
+            if p.homes_migrated + p.homes_repaired > 0 {
+                println!(
+                    "  homes: {} migrated with their threads, {} repaired by the master ({:.1} KB)",
+                    p.homes_migrated,
+                    p.homes_repaired,
+                    p.repaired_bytes as f64 / 1024.0
+                );
+            }
+            let vetoes = p.vetoed_gain + p.vetoed_cooldown + p.vetoed_cost + p.vetoed_budget;
+            if vetoes > 0 {
+                println!(
+                    "  vetoes: {} gain, {} cooldown, {} cost, {} budget",
+                    p.vetoed_gain, p.vetoed_cooldown, p.vetoed_cost, p.vetoed_budget
+                );
+            }
+            if p.fenced_directives > 0 {
+                println!("  stale directives fenced: {}", p.fenced_directives);
+            }
+        }
         if master.reduce.tree_rounds > 0 {
             println!(
                 "tree reduction      : {:>12} partials into master ({:.1} KB partial-TCM, {:.1} KB shuffle)",
@@ -465,7 +545,10 @@ fn main() -> ExitCode {
             eprintln!("usage: jessy-cli <run|heatmap|info> [--workload sor|bh|water]");
             eprintln!("       [--nodes N] [--threads T] [--rate off|1x|4x|full|trace]");
             eprintln!("       [--scale paper|small] [--adaptive THRESHOLD]");
-            eprintln!("       [--rebalance ROUNDS] [--prefetch-depth D] [--json]");
+            eprintln!("       [--rebalance ROUNDS (plan placement after this many TCM rounds; needs >= 2 nodes)]");
+            eprintln!("       [--rebalance-every K (keep re-planning every K rounds)]");
+            eprintln!("       [--cooldown-rounds C] [--migration-budget-bytes B (per-epoch cap)]");
+            eprintln!("       [--prefetch-depth D] [--json]");
             eprintln!("       [--overhead-budget FRACTION (SLO cost ceiling; needs --adaptive)]");
             eprintln!("       [--mailbox-capacity N] [--shed-policy drop-oldest|merge|summary]");
             eprintln!("       [--tcm-fanout K (>=2: fabric-tree TCM aggregation)]");
@@ -573,6 +656,47 @@ mod tests {
         assert!(
             parse_args(&args("run --mailbox-capacity 4 --shed-policy banana")).is_err(),
             "unknown policy"
+        );
+    }
+
+    #[test]
+    fn parses_placement_engine_flags() {
+        let o = parse_args(&args(
+            "run --rebalance 2 --rebalance-every 4 --cooldown-rounds 16 --migration-budget-bytes 65536",
+        ))
+        .unwrap();
+        assert_eq!(o.rebalance, Some(2));
+        assert_eq!(o.rebalance_every, Some(4));
+        assert_eq!(o.cooldown_rounds, Some(16));
+        assert_eq!(o.migration_budget_bytes, Some(65536));
+        // One-shot mode: the tuners stay unset.
+        let o = parse_args(&args("run --rebalance 2")).unwrap();
+        assert_eq!(o.rebalance_every, None);
+        assert_eq!(o.cooldown_rounds, None);
+        assert_eq!(o.migration_budget_bytes, None);
+    }
+
+    #[test]
+    fn rejects_bad_placement_engine_input() {
+        assert!(
+            parse_args(&args("run --rebalance 2 --nodes 1")).is_err(),
+            "one node has no migration destination"
+        );
+        assert!(
+            parse_args(&args("run --rebalance-every 4")).is_err(),
+            "cadence without --rebalance"
+        );
+        assert!(
+            parse_args(&args("run --cooldown-rounds 8")).is_err(),
+            "cooldown without --rebalance"
+        );
+        assert!(
+            parse_args(&args("run --migration-budget-bytes 1024")).is_err(),
+            "budget without --rebalance"
+        );
+        assert!(
+            parse_args(&args("run --rebalance 2 --rebalance-every 0")).is_err(),
+            "zero cadence"
         );
     }
 

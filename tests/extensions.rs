@@ -172,6 +172,7 @@ fn full_self_optimizing_pipeline() {
             with_prefetch: true,
             min_gain_bytes: 1.0,
             gain_horizon_rounds: 1e18,
+            ..Default::default()
         })
         .build();
     let cfg = sor::SorConfig {

@@ -13,7 +13,7 @@ use jessy::gos::prime::{is_prime, nearest_prime};
 use jessy::gos::twin::Diff;
 use jessy::gos::{ClassId, CostModel, Gos, GosConfig, ObjectId};
 use jessy::net::{ClockBoard, LatencyModel, NodeId, ThreadId};
-use jessy::runtime::LoadBalancer;
+use jessy::runtime::{LoadBalancer, MoveFilter};
 use jessy::stack::{JavaStack, MethodId, Slot};
 
 proptest! {
@@ -183,6 +183,113 @@ proptest! {
         // Determinism.
         let plan2 = lb.plan(&tcm, n_nodes);
         prop_assert_eq!(plan.placement, plan2.placement);
+    }
+
+    #[test]
+    fn balancer_plan_is_view_agnostic_and_order_invariant(
+        pairs in prop::collection::vec((0u32..8, 0u32..8, 1u64..1_000_000), 0..24),
+        n_nodes in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        // Integer-valued weights: per-cell accumulation is exact however the
+        // insertions are ordered, so any plan difference is the planner's fault.
+        let mut tcm = Tcm::new(8);
+        for (i, j, v) in &pairs {
+            tcm.add_pair(ThreadId(*i), ThreadId(*j), *v as f64);
+        }
+        let mut shuffled = pairs.clone();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut reordered = Tcm::new(8);
+        for (i, j, v) in &shuffled {
+            reordered.add_pair(ThreadId(*i), ThreadId(*j), *v as f64);
+        }
+        let lb = LoadBalancer::new();
+        let dense = lb.plan(&tcm, n_nodes);
+        // Same correlation structure through a different backend (sparse cells)
+        // or built in a different order must yield the identical plan: the
+        // partitioner's determinism may not lean on the packed-triangle layout.
+        let sparse = lb.plan(&tcm.to_sparse(), n_nodes);
+        prop_assert_eq!(&dense.placement, &sparse.placement, "dense vs sparse view");
+        let reordered = lb.plan(&reordered, n_nodes);
+        prop_assert_eq!(&dense.placement, &reordered.placement, "insertion order leaked");
+    }
+
+    #[test]
+    fn refinement_never_scores_below_its_seed(
+        pairs in prop::collection::vec((0u32..8, 0u32..8, 1u64..1_000_000), 0..24),
+        n_nodes in 1usize..5,
+    ) {
+        let mut tcm = Tcm::new(8);
+        for (i, j, v) in &pairs {
+            tcm.add_pair(ThreadId(*i), ThreadId(*j), *v as f64);
+        }
+        let lb = LoadBalancer::new();
+        let seed_plan = lb.greedy_seed(&tcm, n_nodes);
+        let out = lb.refine(&tcm, n_nodes, &seed_plan.placement, &MoveFilter::default());
+        let refined = lb.intra_fraction(&tcm, &out.placement);
+        // Refinement only applies exact positive-gain steps, so it can never
+        // hand back a placement worse than the greedy seed it started from.
+        prop_assert!(
+            refined >= seed_plan.intra_fraction - 1e-9,
+            "refine lost mass: {} -> {}", seed_plan.intra_fraction, refined
+        );
+        // And it must still respect capacity.
+        let cap = 8usize.div_ceil(n_nodes);
+        for node in 0..n_nodes {
+            let load = out.placement.iter().filter(|p| p.index() == node).count();
+            prop_assert!(load <= cap, "node {node} overloaded after refine");
+        }
+    }
+
+    #[test]
+    fn topk_plan_stays_within_the_noise_of_dense(
+        n_cliques in 2usize..5,
+        members in 2usize..4,
+        noise in prop::collection::vec((0u32..16, 0u32..16), 0..12),
+    ) {
+        // Clique-structured truth: heavy intra-clique mass plus unit cross noise.
+        // The top-k head is sized to hold every heavy edge, so a plan drawn from
+        // it can only lose what the noise it dropped was worth.
+        let n = n_cliques * members;
+        let heavy = 1_000.0;
+        let mut tcm = Tcm::new(n);
+        let mut heavy_edges = 0usize;
+        for c in 0..n_cliques {
+            for a in 0..members {
+                for b in (a + 1)..members {
+                    let i = (c * members + a) as u32;
+                    let j = (c * members + b) as u32;
+                    tcm.add_pair(ThreadId(i), ThreadId(j), heavy);
+                    heavy_edges += 1;
+                }
+            }
+        }
+        let mut noise_mass = 0.0;
+        for (a, b) in &noise {
+            let (a, b) = (*a as usize % n, *b as usize % n);
+            if a != b && a / members != b / members {
+                tcm.add_pair(ThreadId(a as u32), ThreadId(b as u32), 1.0);
+                noise_mass += 2.0; // both endpoints, matching Tcm::total()
+            }
+        }
+        let mut topk = jessy::core::TopKPairs::new(n, heavy_edges);
+        topk.observe_round(&tcm.to_sparse(), |_| 0.0);
+        let lb = LoadBalancer::new();
+        let dense_plan = lb.plan(&tcm, n_cliques);
+        let topk_plan = lb.plan(&topk, n_cliques);
+        // Score BOTH on the dense truth the top-k planner never saw.
+        let dense_intra = lb.intra_fraction(&tcm, &dense_plan.placement);
+        let topk_intra = lb.intra_fraction(&tcm, &topk_plan.placement);
+        let bound = noise_mass / tcm.total();
+        prop_assert!(
+            topk_intra >= dense_intra - bound - 1e-9,
+            "top-k plan fell past the noise bound: {topk_intra} < {dense_intra} - {bound}"
+        );
     }
 
     // ---------------------------------------------------------------- sticky resolution
@@ -682,6 +789,27 @@ proptest! {
                 sticky_cost_bytes: threshold * 1e3,
             }],
             rebalanced: epoch % 2 == 0,
+            last_moved_round: vec![None, Some(epoch), None, Some(epoch + 2), None, None],
+            placement_telemetry: jessy::runtime::PlacementTelemetry {
+                plans: epoch + 1,
+                directives: 2,
+                planned_bytes: threshold * 1e3,
+                vetoed_gain: 1,
+                vetoed_cooldown: epoch % 3,
+                vetoed_cost: 0,
+                vetoed_budget: 1,
+                fenced_directives: 0,
+                applied_migrations: 1,
+                migrated_bytes: 4096,
+                homes_migrated: 3,
+                homes_repaired: 2,
+                repaired_bytes: 512,
+                intra_trajectory: vec![jessy::runtime::IntraSample {
+                    round: epoch,
+                    before: threshold / 2.0,
+                    after: threshold,
+                }],
+            },
             oal_log: oals,
             timeline: vec![jessy::runtime::RoundTimeline {
                 round: epoch,

@@ -27,6 +27,9 @@ JESSY_SCALE=small cargo bench -p jessy-bench --bench recovery
 echo "==> overhead_frontier smoke (budget ladder, shed policies, slow-node demotion)"
 JESSY_SCALE=small cargo bench -p jessy-bench --bench overhead_frontier
 
+echo "==> placement smoke (mid-run migration recovers the scattered gap, headless N=1024 plan)"
+JESSY_SCALE=small cargo bench -p jessy-bench --bench placement
+
 echo "==> observability smoke (multi-thread journal bit-identity + trace export)"
 OBS_DIR=$(mktemp -d)
 ./target/release/jessy-cli run -w sor --scale small --nodes 2 --threads 4 --rate 4x \
