@@ -100,6 +100,20 @@ pub fn run_tracked(
             };
             jessy_workloads::lu::run_on(&mut cluster, cfg)
         }
+        WorkloadKind::PhaseShift => {
+            let cfg = match scale {
+                Scale::Paper => jessy_workloads::phase_shift::PhaseShiftConfig::paper(),
+                Scale::Small => jessy_workloads::phase_shift::PhaseShiftConfig::small(),
+            };
+            jessy_workloads::phase_shift::run_on(&mut cluster, cfg)
+        }
+        WorkloadKind::Sessions => {
+            let cfg = match scale {
+                Scale::Paper => jessy_workloads::sessions::SessionsConfig::paper(),
+                Scale::Small => jessy_workloads::sessions::SessionsConfig::small(),
+            };
+            jessy_workloads::sessions::run_on(&mut cluster, cfg)
+        }
     };
     if let (Some(path), Some(sink)) = (trace_path, sink) {
         let events = sink.sorted_events();
@@ -168,6 +182,8 @@ pub fn dominant_class(kind: WorkloadKind) -> (usize, u32) {
         WorkloadKind::BarnesHut => (64, 1),
         WorkloadKind::WaterSpatial => (512, 1),
         WorkloadKind::Lu => (8, 1024), // 32x32 blocks of 8-byte elements
+        WorkloadKind::PhaseShift => (64, 1), // 64 B scalar cells
+        WorkloadKind::Sessions => (64, 1),   // 64 B scalar catalog items
     }
 }
 

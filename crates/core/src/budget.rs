@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use jessy_gos::ClassId;
 use serde::{Deserialize, Serialize};
 
-use crate::adaptive::{AdaptiveController, ControllerCheckpoint, RoundOutcome};
+use crate::adaptive::{AdaptiveController, ControllerCheckpoint, DriftConfig, RoundOutcome};
 use crate::sampling::{ClassGapState, GapTable, SamplingRate};
 use crate::tcm::SparseTcm;
 
@@ -153,6 +153,16 @@ impl BudgetedController {
         self
     }
 
+    /// Watch converged classes for drift (see [`crate::adaptive`]'s module docs).
+    /// Composes with the budget loop by construction: an over-budget round takes a
+    /// ladder rung *instead of* consulting the inner controller, so a drift
+    /// re-activation can never fire on a round the budget already claimed — the
+    /// budget rung wins, and drift waits for a within-budget act point.
+    pub fn with_drift(mut self, drift: DriftConfig) -> Self {
+        self.inner = self.inner.with_drift(drift);
+        self
+    }
+
     /// Feed one round: its per-class maps, coverage, and the measured profiling
     /// cost as a fraction of charged compute. Decision order: no budget →
     /// delegate verbatim; over budget → take one ladder rung (the inner
@@ -264,6 +274,11 @@ impl BudgetedController {
         self.inner.converged_count()
     }
 
+    /// Total drift re-activations performed (in the inner accuracy loop).
+    pub fn reactivations(&self) -> u64 {
+        self.inner.reactivations()
+    }
+
     /// Snapshot controller + ladder state in canonical form. The over/degrade
     /// tallies are telemetry, not decision state, and are not checkpointed.
     pub fn checkpoint(&self) -> BudgetCheckpoint {
@@ -289,6 +304,7 @@ impl BudgetedController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adaptive::RateCause;
     use jessy_net::ThreadId;
     use proptest::prelude::*;
 
@@ -456,6 +472,70 @@ mod tests {
     }
 
     #[test]
+    fn budget_rung_wins_over_drift_reactivation() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(2));
+        let mut ctl = BudgetedController::new(0.05, Some(0.02)).with_drift(DriftConfig {
+            threshold: 0.2,
+            hysteresis_rounds: 1,
+            max_reactivations: 8,
+        });
+        // Converge within budget.
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01);
+        ctl.on_round(&round(class, 101.0), &gaps, 1.0, 0.01);
+        assert!(ctl.is_converged(class));
+
+        // A drifting map on an over-budget round: the ladder rung is taken, the
+        // inner controller is never consulted — no re-activation, no streak, and
+        // the class is *coarsened* (the budget's call), not refined (drift's).
+        match ctl.on_round(&round(class, 900.0), &gaps, 1.0, 0.50) {
+            BudgetOutcome::Degraded(DegradeStep::CoarsenRate { class: c, new_state }) => {
+                assert_eq!(c, class);
+                assert_eq!(new_state.rate, SamplingRate::NX(1));
+            }
+            other => panic!("expected the budget rung, got {other:?}"),
+        }
+        assert!(ctl.is_converged(class), "budget round never reaches drift detection");
+        assert_eq!(ctl.reactivations(), 0);
+        assert!(ctl.checkpoint().inner.drift_streaks.is_empty());
+
+        // Once back within budget, drift detection runs and re-activates against
+        // the still-clean baseline (100).
+        match ctl.on_round(&round(class, 900.0), &gaps, 1.0, 0.01) {
+            BudgetOutcome::Adapted(RoundOutcome::Applied(ch)) => {
+                assert_eq!(ch.len(), 1);
+                assert_eq!(ch[0].cause, RateCause::Drift);
+            }
+            other => panic!("expected drift re-activation, got {other:?}"),
+        }
+        assert!(!ctl.is_converged(class));
+        assert_eq!(ctl.reactivations(), 1);
+    }
+
+    #[test]
+    fn merged_out_rounds_do_not_advance_drift_streaks() {
+        let class = ClassId(0);
+        let gaps = gaps_with(class, 64, SamplingRate::NX(1)); // nothing to coarsen
+        let mut ctl = BudgetedController::new(0.05, Some(0.02)).with_drift(DriftConfig {
+            threshold: 0.2,
+            hysteresis_rounds: 2,
+            max_reactivations: 8,
+        });
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.10); // merge 2 (rounds_seen 1)
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01); // act: baseline (2)
+        ctl.on_round(&round(class, 100.0), &gaps, 1.0, 0.01); // merged out (3)
+        ctl.on_round(&round(class, 101.0), &gaps, 1.0, 0.01); // act: converge (4)
+        assert!(ctl.is_converged(class));
+        // Drifting maps on merged-out rounds are never seen by the inner
+        // controller: streaks only advance on act points.
+        ctl.on_round(&round(class, 900.0), &gaps, 1.0, 0.01); // merged out (5)
+        assert!(ctl.checkpoint().inner.drift_streaks.is_empty());
+        ctl.on_round(&round(class, 900.0), &gaps, 1.0, 0.01); // act: streak 1 (6)
+        assert_eq!(ctl.checkpoint().inner.drift_streaks, vec![(class, 1)]);
+        assert!(ctl.is_converged(class));
+    }
+
+    #[test]
     fn step_labels_are_stable() {
         let gaps = gaps_with(ClassId(3), 64, SamplingRate::NX(2));
         let st = gaps.state(ClassId(3));
@@ -492,6 +572,40 @@ mod tests {
             prop_assert_eq!(budgeted.checkpoint().inner, bare.checkpoint());
             prop_assert_eq!(budgeted.merge_factor(), 1);
             prop_assert!(!budgeted.summary_only());
+        }
+
+        /// The no-budget identity holds with drift detection enabled too: the
+        /// wrapper's drift decisions (streaks, re-activations, rate steps) match
+        /// the bare controller's bit for bit.
+        #[test]
+        fn no_budget_identity_holds_with_drift(
+            values in prop::collection::vec((0.0f64..1000.0, 0.0f64..1.0), 1..24),
+            min_cov in 0.0f64..1.0,
+            hysteresis in 1u32..4,
+        ) {
+            let class = ClassId(0);
+            let drift = DriftConfig {
+                threshold: 0.2,
+                hysteresis_rounds: hysteresis,
+                max_reactivations: 3,
+            };
+            let gaps_a = gaps_with(class, 64, SamplingRate::NX(1));
+            let gaps_b = gaps_with(class, 64, SamplingRate::NX(1));
+            let mut budgeted = BudgetedController::new(0.05, None)
+                .with_min_coverage(min_cov)
+                .with_drift(drift);
+            let mut bare = AdaptiveController::new(0.05)
+                .with_min_coverage(min_cov)
+                .with_drift(drift);
+            for (v, cov) in values {
+                let r = round(class, v);
+                let a = budgeted.on_round(&r, &gaps_a, cov, 0.0);
+                let b = bare.on_round_with_coverage(&r, &gaps_b, cov);
+                prop_assert_eq!(a, BudgetOutcome::Adapted(b));
+                prop_assert_eq!(gaps_a.state(class), gaps_b.state(class));
+            }
+            prop_assert_eq!(budgeted.checkpoint().inner, bare.checkpoint());
+            prop_assert_eq!(budgeted.reactivations(), bare.reactivations());
         }
     }
 }

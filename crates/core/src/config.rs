@@ -229,6 +229,20 @@ pub struct ProfilerConfig {
     /// What a thread does with pending OAL batches when the bounded mailbox is
     /// full. Ignored unless `oal_mailbox_capacity` is set.
     pub shed_policy: ShedPolicy,
+    /// Post-convergence drift watching: a converged class whose per-round
+    /// relative `E_ABS` distance spikes above this threshold (for
+    /// `drift_hysteresis_rounds` consecutive trusted rounds) is un-converged and
+    /// stepped one rate finer, so the profiler re-follows a workload phase
+    /// change instead of reporting the pre-shift correlation picture forever.
+    /// Must be at least `adaptive_threshold` (the gap is the hysteresis band).
+    /// `None` keeps the historical frozen-forever behaviour, bit for bit.
+    pub drift_threshold: Option<f64>,
+    /// Consecutive trusted drifting rounds before a converged class re-activates
+    /// (≥ 1). Ignored unless `drift_threshold` is set.
+    pub drift_hysteresis_rounds: u32,
+    /// Upper bound on drift re-activations per class (≥ 1); past it the class
+    /// stays frozen. Ignored unless `drift_threshold` is set.
+    pub drift_max_reactivations: u32,
     /// Gray-failure detection: demote a node to straggler once the EWMA of its
     /// per-round progress deficit (intervals advanced behind the cluster's
     /// fastest-progressing node between round closes) exceeds this; its
@@ -265,6 +279,9 @@ impl ProfilerConfig {
             overhead_budget: None,
             oal_mailbox_capacity: None,
             shed_policy: ShedPolicy::DropOldestRound,
+            drift_threshold: None,
+            drift_hysteresis_rounds: 2,
+            drift_max_reactivations: 8,
             straggler_lag_intervals: None,
         }
     }
@@ -394,6 +411,36 @@ impl ProfilerConfig {
                     "overhead_budget",
                     format!("{b}"),
                     "the budget loop rides the adaptive controller; set adaptive_threshold",
+                );
+            }
+        }
+        if let Some(dt) = self.drift_threshold {
+            let Some(at) = self.adaptive_threshold else {
+                return err(
+                    "drift_threshold",
+                    format!("{dt}"),
+                    "drift watching rides the adaptive controller; set adaptive_threshold",
+                );
+            };
+            if !dt.is_finite() || dt < at {
+                return err(
+                    "drift_threshold",
+                    format!("{dt}"),
+                    "must be finite and at least adaptive_threshold (the gap is the hysteresis band)",
+                );
+            }
+            if self.drift_hysteresis_rounds == 0 {
+                return err(
+                    "drift_hysteresis_rounds",
+                    "0".to_string(),
+                    "re-activation needs at least one drifting round; use 1 for no hysteresis",
+                );
+            }
+            if self.drift_max_reactivations == 0 {
+                return err(
+                    "drift_max_reactivations",
+                    "0".to_string(),
+                    "a zero bound could never re-activate; use None drift_threshold to disable drift",
                 );
             }
         }
@@ -566,6 +613,48 @@ mod tests {
             (
                 ProfilerConfig { oal_mailbox_capacity: Some(0), ..base },
                 "oal_mailbox_capacity",
+            ),
+            (
+                ProfilerConfig {
+                    drift_threshold: Some(0.2),
+                    adaptive_threshold: None,
+                    ..base
+                },
+                "drift_threshold",
+            ),
+            (
+                ProfilerConfig {
+                    drift_threshold: Some(0.01),
+                    adaptive_threshold: Some(0.05),
+                    ..base
+                },
+                "drift_threshold",
+            ),
+            (
+                ProfilerConfig {
+                    drift_threshold: Some(f64::NAN),
+                    adaptive_threshold: Some(0.05),
+                    ..base
+                },
+                "drift_threshold",
+            ),
+            (
+                ProfilerConfig {
+                    drift_threshold: Some(0.2),
+                    adaptive_threshold: Some(0.05),
+                    drift_hysteresis_rounds: 0,
+                    ..base
+                },
+                "drift_hysteresis_rounds",
+            ),
+            (
+                ProfilerConfig {
+                    drift_threshold: Some(0.2),
+                    adaptive_threshold: Some(0.05),
+                    drift_max_reactivations: 0,
+                    ..base
+                },
+                "drift_max_reactivations",
             ),
             (
                 ProfilerConfig {

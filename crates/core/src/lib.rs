@@ -47,7 +47,9 @@ pub mod tcm;
 pub mod view;
 
 pub use accuracy::{accuracy_abs, accuracy_euc, e_abs, e_abs_sparse, e_euc};
-pub use adaptive::{AdaptiveController, ControllerCheckpoint, RateChange, RoundOutcome};
+pub use adaptive::{
+    AdaptiveController, ControllerCheckpoint, DriftConfig, RateCause, RateChange, RoundOutcome,
+};
 pub use budget::{BudgetCheckpoint, BudgetOutcome, BudgetedController, DegradeStep};
 pub use config::{
     ConfigError, FootprintConfig, FootprintMode, ProfilerConfig, ShedPolicy, StackSamplingConfig,

@@ -1,0 +1,272 @@
+//! Post-hoc journal mining — per-class waste and drift spans.
+//!
+//! The journal records every slow-path the GOS took; this module folds those
+//! events into the two summaries the profiling loop is supposed to shrink:
+//!
+//! * **[`WasteReport`]** — per-class memory/communication waste, the paper's
+//!   motivation for correlation-aware placement. Three kinds are mined from
+//!   [`EventKind::ObjectFault`] and [`EventKind::FalseInvalidTrap`]:
+//!   *replication* (the same object materialized on several nodes — each
+//!   distinct node beyond the first is a replica copy), *duplication* (the
+//!   same node refetching an object it already held — invalidation churn),
+//!   and *false-invalid traps* (pure profiler overhead on correlation
+//!   faults). Bytes are attributed from the fault payloads.
+//! * **[`drift_spans`]** — the un-converge → re-converge windows of the
+//!   adaptive controller. A [`EventKind::ClassDrifted`] opens a span; the
+//!   next [`EventKind::ClassConverged`] for the same class closes it, and
+//!   the round distance between the two is the re-convergence lag the
+//!   phase-shift bench reports. An unclosed span (drift near run end) keeps
+//!   `reconverged_round = None`.
+//!
+//! Everything here keys on the raw `u32` class ids the events carry; name
+//! resolution belongs to callers that hold the class table.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Mined waste for one object class.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassWaste {
+    /// Class id (as carried by the GOS events).
+    pub class: u32,
+    /// Total object faults attributed to the class.
+    pub faults: u64,
+    /// Total payload bytes fetched across those faults.
+    pub fault_bytes: u64,
+    /// Objects of the class materialized on more than one distinct node.
+    pub replica_objects: u64,
+    /// Fetches that created a replica copy (each distinct fetching node
+    /// beyond an object's first).
+    pub replica_fetches: u64,
+    /// Refetches of an object by a node that had already fetched it —
+    /// invalidation churn ("duplicate" waste).
+    pub duplicate_fetches: u64,
+    /// Payload bytes of those duplicate refetches.
+    pub duplicate_bytes: u64,
+    /// False-invalid (correlation-fault) traps charged to the class.
+    pub false_invalid_traps: u64,
+}
+
+/// Per-class waste mined from a journal, plus run-wide totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WasteReport {
+    /// One row per class that faulted or trapped, ascending class id.
+    pub classes: Vec<ClassWaste>,
+    /// Sum of `fault_bytes` over all classes.
+    pub total_fault_bytes: u64,
+    /// Sum of `duplicate_bytes` over all classes.
+    pub total_duplicate_bytes: u64,
+    /// Sum of `false_invalid_traps` over all classes.
+    pub total_false_invalid_traps: u64,
+}
+
+impl WasteReport {
+    /// The row for `class`, if it appears in the report.
+    pub fn class(&self, class: u32) -> Option<&ClassWaste> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+}
+
+/// Fold a journal into a [`WasteReport`]. Events other than `ObjectFault` and
+/// `FalseInvalidTrap` are ignored; order does not matter except that "first
+/// fetch vs. refetch" is judged in slice order (use the canonical journal
+/// order for meaningful duplicate counts).
+pub fn analyze_waste(events: &[TraceEvent]) -> WasteReport {
+    let mut rows: BTreeMap<u32, ClassWaste> = BTreeMap::new();
+    // (obj -> set of nodes that fetched it), for replica detection.
+    let mut fetchers: HashMap<u32, HashSet<u16>> = HashMap::new();
+    // (node, obj) pairs already seen, for duplicate-refetch detection.
+    let mut seen: HashSet<(u16, u32)> = HashSet::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::ObjectFault { obj, class, node, bytes, .. } => {
+                let row = rows.entry(*class).or_insert_with(|| ClassWaste {
+                    class: *class,
+                    ..ClassWaste::default()
+                });
+                row.faults += 1;
+                row.fault_bytes += bytes;
+                let nodes = fetchers.entry(*obj).or_default();
+                let first_for_node = nodes.insert(*node);
+                if first_for_node && nodes.len() > 1 {
+                    row.replica_fetches += 1;
+                    if nodes.len() == 2 {
+                        row.replica_objects += 1;
+                    }
+                }
+                if !seen.insert((*node, *obj)) {
+                    row.duplicate_fetches += 1;
+                    row.duplicate_bytes += bytes;
+                }
+            }
+            EventKind::FalseInvalidTrap { class, .. } => {
+                rows.entry(*class)
+                    .or_insert_with(|| ClassWaste { class: *class, ..ClassWaste::default() })
+                    .false_invalid_traps += 1;
+            }
+            _ => {}
+        }
+    }
+    let classes: Vec<ClassWaste> = rows.into_values().collect();
+    WasteReport {
+        total_fault_bytes: classes.iter().map(|c| c.fault_bytes).sum(),
+        total_duplicate_bytes: classes.iter().map(|c| c.duplicate_bytes).sum(),
+        total_false_invalid_traps: classes.iter().map(|c| c.false_invalid_traps).sum(),
+        classes,
+    }
+}
+
+/// One un-converge → re-converge window of the adaptive controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSpan {
+    /// The drifted class (by journal name).
+    pub class: String,
+    /// Round the `ClassDrifted` re-activation applied in.
+    pub drift_round: u64,
+    /// The distance that tripped the detector.
+    pub relative_distance: f64,
+    /// Round of the next `ClassConverged` for the class, if the run lasted
+    /// long enough to re-converge.
+    pub reconverged_round: Option<u64>,
+}
+
+impl DriftSpan {
+    /// Re-convergence lag in rounds, if the span closed.
+    pub fn lag(&self) -> Option<u64> {
+        self.reconverged_round
+            .map(|r| r.saturating_sub(self.drift_round))
+    }
+}
+
+/// Mine the drift spans of a journal, in drift order. Events must be in
+/// canonical journal order (they are, in any exported journal).
+pub fn drift_spans(events: &[TraceEvent]) -> Vec<DriftSpan> {
+    let mut spans: Vec<DriftSpan> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::ClassDrifted { round, class, relative_distance, .. } => {
+                spans.push(DriftSpan {
+                    class: class.clone(),
+                    drift_round: *round,
+                    relative_distance: *relative_distance,
+                    reconverged_round: None,
+                });
+            }
+            EventKind::ClassConverged { round, class } => {
+                if let Some(open) = spans
+                    .iter_mut()
+                    .rev()
+                    .find(|s| s.class == *class && s.reconverged_round.is_none())
+                {
+                    open.reconverged_round = Some(*round);
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(seq: u64, obj: u32, class: u32, node: u16, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            t_ns: seq,
+            source: 0,
+            seq,
+            kind: EventKind::ObjectFault { obj, class, home: 0, node, bytes },
+        }
+    }
+
+    fn trap(seq: u64, obj: u32, class: u32, node: u16) -> TraceEvent {
+        TraceEvent {
+            t_ns: seq,
+            source: 0,
+            seq,
+            kind: EventKind::FalseInvalidTrap { obj, class, node },
+        }
+    }
+
+    #[test]
+    fn replicas_duplicates_and_traps_are_attributed_per_class() {
+        let events = vec![
+            fault(0, 10, 1, 0, 64), // obj 10 first fetch (node 0)
+            fault(1, 10, 1, 1, 64), // replica copy on node 1
+            fault(2, 10, 1, 1, 64), // node 1 refetch: duplicate
+            fault(3, 11, 1, 2, 64), // obj 11, single node: no waste
+            fault(4, 20, 2, 0, 512), // class 2, lone fault
+            trap(5, 10, 1, 1),
+            trap(6, 10, 1, 0),
+        ];
+        let report = analyze_waste(&events);
+        assert_eq!(report.classes.len(), 2);
+        let c1 = report.class(1).unwrap();
+        assert_eq!(c1.faults, 4);
+        assert_eq!(c1.fault_bytes, 256);
+        assert_eq!(c1.replica_objects, 1);
+        assert_eq!(c1.replica_fetches, 1);
+        assert_eq!(c1.duplicate_fetches, 1);
+        assert_eq!(c1.duplicate_bytes, 64);
+        assert_eq!(c1.false_invalid_traps, 2);
+        let c2 = report.class(2).unwrap();
+        assert_eq!(c2.faults, 1);
+        assert_eq!(c2.replica_objects, 0);
+        assert_eq!(c2.duplicate_fetches, 0);
+        assert_eq!(report.total_fault_bytes, 768);
+        assert_eq!(report.total_duplicate_bytes, 64);
+        assert_eq!(report.total_false_invalid_traps, 2);
+    }
+
+    #[test]
+    fn three_node_replica_counts_one_object_two_replica_fetches() {
+        let events = vec![
+            fault(0, 5, 3, 0, 32),
+            fault(1, 5, 3, 1, 32),
+            fault(2, 5, 3, 2, 32),
+        ];
+        let report = analyze_waste(&events);
+        let c = report.class(3).unwrap();
+        assert_eq!(c.replica_objects, 1, "one object, however many copies");
+        assert_eq!(c.replica_fetches, 2, "two copies beyond the first node");
+        assert_eq!(c.duplicate_fetches, 0);
+    }
+
+    #[test]
+    fn drift_spans_pair_drift_with_the_next_convergence() {
+        let mk = |seq: u64, kind: EventKind| TraceEvent { t_ns: seq, source: 9, seq, kind };
+        let events = vec![
+            mk(0, EventKind::ClassConverged { round: 2, class: "Cell".into() }),
+            mk(1, EventKind::ClassDrifted {
+                round: 7,
+                class: "Cell".into(),
+                relative_distance: 0.8,
+                new_rate: "1/2X".into(),
+            }),
+            mk(2, EventKind::ClassConverged { round: 11, class: "Cell".into() }),
+            mk(3, EventKind::ClassDrifted {
+                round: 20,
+                class: "Cell".into(),
+                relative_distance: 0.5,
+                new_rate: "1/4X".into(),
+            }),
+        ];
+        let spans = drift_spans(&events);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].lag(), Some(4));
+        assert_eq!(spans[1].reconverged_round, None, "unclosed span survives");
+        assert_eq!(spans[1].lag(), None);
+    }
+
+    #[test]
+    fn empty_journal_yields_empty_report() {
+        let report = analyze_waste(&[]);
+        assert!(report.classes.is_empty());
+        assert_eq!(report.total_fault_bytes, 0);
+        assert!(drift_spans(&[]).is_empty());
+    }
+}

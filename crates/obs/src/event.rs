@@ -162,6 +162,20 @@ pub enum EventKind {
         /// Class name.
         class: String,
     },
+    /// A converged class's map drifted past the drift threshold and the
+    /// controller un-converged it (stepping it one rate finer). The class is
+    /// live again; its eventual re-convergence emits a fresh `ClassConverged`,
+    /// so the journal distance between the two bounds the re-convergence lag.
+    ClassDrifted {
+        /// Coordinator round the re-activation applied in.
+        round: u64,
+        /// Class name.
+        class: String,
+        /// The relative TCM distance that tripped the drift detector.
+        relative_distance: f64,
+        /// The finer rate the class re-activated at.
+        new_rate: String,
+    },
     // ---------------------------------------------------------------- runtime
     /// The coordinator closed a TCM round.
     RoundClosed {
@@ -366,6 +380,7 @@ impl EventKind {
             EventKind::IntervalClosed { .. } => "IntervalClosed",
             EventKind::RateChanged { .. } => "RateChanged",
             EventKind::ClassConverged { .. } => "ClassConverged",
+            EventKind::ClassDrifted { .. } => "ClassDrifted",
             EventKind::RoundClosed { .. } => "RoundClosed",
             EventKind::TcmPartialShipped { .. } => "TcmPartialShipped",
             EventKind::RoundSkipped { .. } => "RoundSkipped",

@@ -40,7 +40,8 @@ fn category(kind: &EventKind) -> &'static str {
         EventKind::IntervalOpened { .. }
         | EventKind::IntervalClosed { .. }
         | EventKind::RateChanged { .. }
-        | EventKind::ClassConverged { .. } => "core",
+        | EventKind::ClassConverged { .. }
+        | EventKind::ClassDrifted { .. } => "core",
         EventKind::RoundClosed { .. }
         | EventKind::TcmPartialShipped { .. }
         | EventKind::RoundSkipped { .. }

@@ -33,11 +33,13 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod sink;
 
+pub use analyze::{analyze_waste, drift_spans, ClassWaste, DriftSpan, WasteReport};
 pub use event::{EventKind, TraceEvent};
 pub use export::{to_chrome_trace, to_json_lines};
 pub use metrics::MetricsSnapshot;

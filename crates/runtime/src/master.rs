@@ -70,9 +70,9 @@ use jessy_core::adaptive::apply_rate_change;
 use jessy_core::sampling::ClassGapState;
 use jessy_core::tcm::RoundSummary;
 use jessy_core::{
-    BudgetCheckpoint, BudgetOutcome, BudgetedController, DegradeStep, HomeAwareAnalyzer, Oal,
-    ProfilerConfig, RoundOutcome, ShardedTcmReducer, SketchTcm, SketchedTopKView, SparseTcm, Tcm,
-    TcmBackend, TopKPairs, TreeTcmReducer,
+    BudgetCheckpoint, BudgetOutcome, BudgetedController, DegradeStep, DriftConfig,
+    HomeAwareAnalyzer, Oal, ProfilerConfig, RateCause, RoundOutcome, ShardedTcmReducer, SketchTcm,
+    SketchedTopKView, SparseTcm, Tcm, TcmBackend, TopKPairs, TreeTcmReducer,
 };
 use jessy_gos::ClassId;
 use jessy_net::{Mailbox, MasterCrashWindow, MsgClass, NodeId, ThreadId};
@@ -109,6 +109,9 @@ pub struct AppliedRateChange {
     pub relative_distance: f64,
     /// Objects re-tagged by the resampling walk.
     pub resampled_objects: usize,
+    /// Whether the change was a post-convergence drift re-activation (as opposed
+    /// to the pre-convergence refinement loop).
+    pub drift: bool,
 }
 
 /// A round on which the adaptive controller declined to act because too few of its
@@ -242,6 +245,10 @@ pub struct MasterOutput {
     /// charged application compute since the previous close (the budget loop's
     /// input; recorded whether or not a budget is configured).
     pub round_cost_fraction: Vec<f64>,
+    /// Drift re-activations applied: converged classes the controller
+    /// un-converged after a post-convergence `E_ABS` spike
+    /// (`ProfilerConfig::drift_threshold`). Always 0 with drift disabled.
+    pub drift_reactivations: u64,
 }
 
 /// How the [`RoundScheduler`] classified one arriving OAL.
@@ -845,10 +852,7 @@ impl Daemon {
     }
 
     fn fresh_controller(&self) -> Option<BudgetedController> {
-        self.config.adaptive_threshold.map(|t| {
-            BudgetedController::new(t, self.config.overhead_budget)
-                .with_min_coverage(self.config.min_round_coverage)
-        })
+        build_controller(&self.config)
     }
 
     /// The cumulative TCM: rounds closed since the last restore plus the restored
@@ -1394,7 +1398,23 @@ impl Daemon {
                         );
                         let class_name = self.shared.gos.classes().info(ch.class).name;
                         let new_rate = ch.new_state.rate.label();
+                        let drift = ch.cause == RateCause::Drift;
                         changed_distance.insert(class_name.clone(), ch.relative_distance);
+                        if drift {
+                            // The class is live again: let its eventual
+                            // re-convergence journal a fresh ClassConverged, so
+                            // the Drifted→Converged span is the lag.
+                            self.announced_converged.remove(&ch.class);
+                            self.shared.emit_event(
+                                &self.shared.master_clock(),
+                                EventKind::ClassDrifted {
+                                    round: closed.round,
+                                    class: class_name.clone(),
+                                    relative_distance: ch.relative_distance,
+                                    new_rate: new_rate.clone(),
+                                },
+                            );
+                        }
                         self.shared.emit_event(
                             &self.shared.master_clock(),
                             EventKind::RateChanged {
@@ -1413,6 +1433,7 @@ impl Daemon {
                             new_rate,
                             relative_distance: ch.relative_distance,
                             resampled_objects: visited,
+                            drift,
                         });
                     }
                 }
@@ -1581,6 +1602,24 @@ impl Daemon {
     }
 }
 
+/// Build the (budgeted) adaptive controller the config asks for, wiring the
+/// coverage floor and the optional drift watcher. Shared by daemon startup and
+/// crash-restore (`fresh_controller`) so both paths configure identically.
+fn build_controller(config: &ProfilerConfig) -> Option<BudgetedController> {
+    config.adaptive_threshold.map(|t| {
+        let mut ctl = BudgetedController::new(t, config.overhead_budget)
+            .with_min_coverage(config.min_round_coverage);
+        if let Some(dt) = config.drift_threshold {
+            ctl = ctl.with_drift(DriftConfig {
+                threshold: dt,
+                hysteresis_rounds: config.drift_hysteresis_rounds,
+                max_reactivations: config.drift_max_reactivations,
+            });
+        }
+        ctl
+    })
+}
+
 fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterOutput {
     // Join the cooperative task set (task `n_threads`); dispatch begins once the
     // worker tasks have registered too.
@@ -1642,10 +1681,7 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
         sketch: None,
         topk: None,
         reduce: ReduceTelemetry::default(),
-        controller: config.adaptive_threshold.map(|t| {
-            BudgetedController::new(t, config.overhead_budget)
-                .with_min_coverage(config.min_round_coverage)
-        }),
+        controller: build_controller(&config),
         straggler_base: scheduler.quarantine_table(),
         scheduler,
         oals: 0,
@@ -1765,6 +1801,11 @@ fn run_daemon(shared: Arc<ClusterShared>, mailbox: Mailbox<EpochOal>) -> MasterO
             .unwrap_or(0),
         budget_degrades: daemon.controller.as_ref().map(|c| c.degrades()).unwrap_or(0),
         round_cost_fraction: daemon.round_cost_fraction,
+        drift_reactivations: daemon
+            .controller
+            .as_ref()
+            .map(|c| c.reactivations())
+            .unwrap_or(0),
     }
 }
 

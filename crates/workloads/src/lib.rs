@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 pub mod barnes_hut;
 pub mod lu;
+pub mod phase_shift;
 pub mod presets;
+pub mod sessions;
 pub mod sor;
 pub mod water;
 

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use jessy_runtime::{Cluster, RunReport};
 
-use crate::{barnes_hut, lu, sor, water};
+use crate::{barnes_hut, lu, phase_shift, sessions, sor, water};
 
 /// The three benchmarks of Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -18,6 +18,13 @@ pub enum WorkloadKind {
     /// Blocked LU factorization (suite extension; not part of the paper's Table I,
     /// hence excluded from [`WorkloadKind::ALL`]).
     Lu,
+    /// Mid-run sharing-graph flip (scenario-diversity extension; drives the
+    /// drift path of the adaptive controller — excluded from
+    /// [`WorkloadKind::ALL`]).
+    PhaseShift,
+    /// Zipf-skewed short-lived session serving (scenario-diversity extension —
+    /// excluded from [`WorkloadKind::ALL`]).
+    Sessions,
 }
 
 impl WorkloadKind {
@@ -35,6 +42,8 @@ impl WorkloadKind {
             WorkloadKind::BarnesHut => "Barnes-Hut",
             WorkloadKind::WaterSpatial => "Water-Spatial",
             WorkloadKind::Lu => "LU",
+            WorkloadKind::PhaseShift => "Phase-Shift",
+            WorkloadKind::Sessions => "Sessions",
         }
     }
 
@@ -45,6 +54,8 @@ impl WorkloadKind {
             WorkloadKind::BarnesHut => "Fine",
             WorkloadKind::WaterSpatial => "Medium",
             WorkloadKind::Lu => "Coarse",
+            WorkloadKind::PhaseShift => "Fine (shifting)",
+            WorkloadKind::Sessions => "Fine (skewed)",
         }
     }
 
@@ -72,6 +83,22 @@ impl WorkloadKind {
                 let c = lu::LuConfig::small();
                 format!("{0} x {0} / B{1}", c.n, c.block)
             }
+            (WorkloadKind::PhaseShift, WorkloadPreset::Paper) => {
+                let c = phase_shift::PhaseShiftConfig::paper();
+                format!("{} cells / flip@{}", c.n_cells, c.flip_round)
+            }
+            (WorkloadKind::PhaseShift, _) => {
+                let c = phase_shift::PhaseShiftConfig::small();
+                format!("{} cells / flip@{}", c.n_cells, c.flip_round)
+            }
+            (WorkloadKind::Sessions, WorkloadPreset::Paper) => {
+                let c = sessions::SessionsConfig::paper();
+                format!("{} items / zipf {}", c.n_items, c.zipf_s)
+            }
+            (WorkloadKind::Sessions, _) => {
+                let c = sessions::SessionsConfig::small();
+                format!("{} items / zipf {}", c.n_items, c.zipf_s)
+            }
         }
     }
 
@@ -83,12 +110,16 @@ impl WorkloadKind {
                 WorkloadKind::BarnesHut => barnes_hut::BhConfig::paper().rounds,
                 WorkloadKind::WaterSpatial => water::WaterConfig::paper().rounds,
                 WorkloadKind::Lu => lu::LuConfig::paper().nb(),
+                WorkloadKind::PhaseShift => phase_shift::PhaseShiftConfig::paper().rounds,
+                WorkloadKind::Sessions => sessions::SessionsConfig::paper().sessions_per_thread,
             },
             WorkloadPreset::Small => match self {
                 WorkloadKind::Sor => sor::SorConfig::small().rounds,
                 WorkloadKind::BarnesHut => barnes_hut::BhConfig::small().rounds,
                 WorkloadKind::WaterSpatial => water::WaterConfig::small().rounds,
                 WorkloadKind::Lu => lu::LuConfig::small().nb(),
+                WorkloadKind::PhaseShift => phase_shift::PhaseShiftConfig::small().rounds,
+                WorkloadKind::Sessions => sessions::SessionsConfig::small().sessions_per_thread,
             },
         }
     }
@@ -100,6 +131,8 @@ impl WorkloadKind {
             WorkloadKind::BarnesHut => "each body less than 100 bytes",
             WorkloadKind::WaterSpatial => "each molecule about 512 bytes",
             WorkloadKind::Lu => "each block several KB",
+            WorkloadKind::PhaseShift => "each cell 64 bytes",
+            WorkloadKind::Sessions => "each item 64 bytes",
         }
     }
 
@@ -129,6 +162,18 @@ impl WorkloadKind {
             }
             (WorkloadKind::Lu, WorkloadPreset::Small) => {
                 lu::run_on(cluster, lu::LuConfig::small())
+            }
+            (WorkloadKind::PhaseShift, WorkloadPreset::Paper) => {
+                phase_shift::run_on(cluster, phase_shift::PhaseShiftConfig::paper())
+            }
+            (WorkloadKind::PhaseShift, WorkloadPreset::Small) => {
+                phase_shift::run_on(cluster, phase_shift::PhaseShiftConfig::small())
+            }
+            (WorkloadKind::Sessions, WorkloadPreset::Paper) => {
+                sessions::run_on(cluster, sessions::SessionsConfig::paper())
+            }
+            (WorkloadKind::Sessions, WorkloadPreset::Small) => {
+                sessions::run_on(cluster, sessions::SessionsConfig::small())
             }
         }
     }

@@ -1,0 +1,206 @@
+//! Sessions — Zipf-skewed user-session serving, the north-star "heavy traffic"
+//! scenario.
+//!
+//! Each thread plays a front-end worker serving a stream of short-lived user
+//! sessions. A session allocates a scratch `Session` object (runtime-allocated,
+//! touched only by its own thread, dead as soon as the session ends — the
+//! microservice allocation pattern), then issues a burst of reads and writes
+//! against a shared `Item` catalog whose popularity follows a Zipf law: a few
+//! head items absorb most of the traffic and are shared by *every* thread, while
+//! the long tail is touched rarely by anyone.
+//!
+//! That skew is the interesting profile: the TCM must report strong all-pairs
+//! correlation concentrated on the hot head, sticky sets should find the head
+//! items, and the sampling controller has to estimate a heavy-tailed access
+//! histogram rather than the uniform sweeps of the SPLASH-2 kernels. Every
+//! random draw is seeded per `(thread, session)`, so runs are bit-reproducible
+//! and independent of scheduling.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use jessy_gos::{ClassId, ObjectId};
+use jessy_net::NodeId;
+use jessy_runtime::{Cluster, InitCtx, JThread, RunReport};
+use jessy_stack::MethodId;
+
+/// Session-serving parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionsConfig {
+    /// Shared catalog items (64 B each).
+    pub n_items: usize,
+    /// Zipf exponent `s` (weight of item `k` ∝ `1/(k+1)^s`); larger is more
+    /// head-heavy. 0 degenerates to uniform.
+    pub zipf_s: f64,
+    /// Sessions served per thread (equal across threads — sessions end on a
+    /// barrier, so the counts must line up).
+    pub sessions_per_thread: usize,
+    /// Catalog operations per session; every fourth is a write.
+    pub ops_per_session: usize,
+    /// Base RNG seed (per-session streams derive from it).
+    pub seed: u64,
+}
+
+impl SessionsConfig {
+    /// Bench scale.
+    pub fn paper() -> Self {
+        SessionsConfig {
+            n_items: 4096,
+            zipf_s: 1.1,
+            sessions_per_thread: 48,
+            ops_per_session: 64,
+            seed: 42,
+        }
+    }
+
+    /// Scaled-down size for tests and smoke lanes.
+    pub fn small() -> Self {
+        SessionsConfig {
+            n_items: 256,
+            zipf_s: 1.1,
+            sessions_per_thread: 6,
+            ops_per_session: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// Shared handles produced by [`setup`].
+#[derive(Debug, Clone)]
+pub struct SessionsHandles {
+    /// Catalog items, popularity rank order (item 0 is the hottest).
+    pub items: Vec<ObjectId>,
+    /// Catalog root (refs → every item).
+    pub catalog: ObjectId,
+    /// Class id of the short-lived per-session scratch objects.
+    pub session_class: ClassId,
+    /// Method id for the worker's stack frame.
+    pub method: MethodId,
+    /// Cumulative (unnormalized) Zipf weights: `cdf[k]` = Σ weights `0..=k`.
+    pub cdf: Arc<Vec<f64>>,
+}
+
+/// Cumulative Zipf weights for `n` ranks at exponent `s`.
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..n)
+        .map(|k| {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            acc
+        })
+        .collect()
+}
+
+/// Draw a rank from the Zipf CDF: binary search for the first rank whose
+/// cumulative weight covers `u · total`.
+pub fn zipf_draw(cdf: &[f64], u: f64) -> usize {
+    let target = u * cdf[cdf.len() - 1];
+    cdf.partition_point(|&c| c < target).min(cdf.len() - 1)
+}
+
+/// Register classes and allocate the catalog round-robin across nodes.
+pub fn setup(ctx: &mut InitCtx<'_>, cfg: &SessionsConfig, n_nodes: usize) -> SessionsHandles {
+    let item_class = ctx.register_scalar_class("Item", 8); // 64 B
+    let session_class = ctx.register_scalar_class("Session", 8); // 64 B scratch
+    let catalog_class = ctx.register_scalar_class("Catalog", 2);
+    let method = ctx.register_method("sessions.serve", 4);
+    let mut items = Vec::with_capacity(cfg.n_items);
+    for i in 0..cfg.n_items {
+        let node = NodeId((i % n_nodes) as u16);
+        items.push(ctx.alloc_scalar_init(node, item_class, &[0.0; 8]).id);
+    }
+    let catalog = ctx.alloc_scalar_at(NodeId(0), catalog_class).id;
+    for &it in &items {
+        ctx.add_ref(catalog, it);
+    }
+    SessionsHandles {
+        items,
+        catalog,
+        session_class,
+        method,
+        cdf: Arc::new(zipf_cdf(cfg.n_items, cfg.zipf_s)),
+    }
+}
+
+/// The per-thread body: serve `sessions_per_thread` sessions, one
+/// barrier-delimited interval each.
+pub fn thread_body(jt: &mut JThread, cfg: &SessionsConfig, h: &SessionsHandles) {
+    let t = jt.thread_id().index();
+    jt.push_frame(h.method);
+    jt.set_local_ref(0, h.catalog);
+    for session in 0..cfg.sessions_per_thread {
+        jt.yield_now();
+        // Short-lived per-session scratch: allocated here, rooted in a local,
+        // dead at session end — churn the profiler must stay cheap under.
+        let scratch = jt.alloc_scalar(h.session_class);
+        jt.set_local_ref(1, scratch.id);
+        let mut rng =
+            SmallRng::seed_from_u64(cfg.seed ^ ((t as u64) << 32) ^ session as u64);
+        for op in 0..cfg.ops_per_session {
+            let rank = zipf_draw(&h.cdf, rng.gen_range(0.0..1.0));
+            if op % 4 == 3 {
+                jt.write(h.items[rank], |d| d[0] += 1.0);
+            } else {
+                jt.read(h.items[rank], |d| d[0]);
+            }
+            jt.write(scratch.id, |d| d[1] += 1.0);
+            jt.compute(32);
+        }
+        jt.barrier(); // session boundary = interval boundary
+    }
+    jt.pop_frame();
+}
+
+/// Run the session server on a prepared cluster: setup + run, returning the report.
+pub fn run_on(cluster: &mut Cluster, cfg: SessionsConfig) -> RunReport {
+    let n_nodes = cluster.shared().n_nodes;
+    let handles = cluster.init(|ctx| setup(ctx, &cfg, n_nodes));
+    let handles = Arc::new(handles);
+    cluster.run(move |jt| thread_body(jt, &cfg, &handles));
+    cluster.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_head_heavy() {
+        let cdf = zipf_cdf(1000, 1.1);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        // The top 1% of ranks absorbs a large share of the mass at s = 1.1.
+        let head = cdf[9] / cdf[999];
+        assert!(head > 0.35, "head share {head}");
+    }
+
+    #[test]
+    fn zipf_draw_covers_the_range_and_respects_the_skew() {
+        let cdf = zipf_cdf(100, 1.1);
+        assert_eq!(zipf_draw(&cdf, 0.0), 0);
+        assert_eq!(zipf_draw(&cdf, 1.0), 99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[zipf_draw(&cdf, rng.gen_range(0.0..1.0))] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 hotter than rank 10");
+        assert!(counts[0] > 40 * counts[90].max(1) / 10, "heavy head");
+    }
+
+    #[test]
+    fn session_streams_are_reproducible() {
+        let cfg = SessionsConfig::small();
+        let draw = |t: u64, s: u64| {
+            let cdf = zipf_cdf(cfg.n_items, cfg.zipf_s);
+            let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (t << 32) ^ s);
+            (0..cfg.ops_per_session)
+                .map(|_| zipf_draw(&cdf, rng.gen_range(0.0..1.0)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1, 3), draw(1, 3));
+        assert_ne!(draw(1, 3), draw(2, 3), "streams differ per thread");
+        assert_ne!(draw(1, 3), draw(1, 4), "streams differ per session");
+    }
+}

@@ -48,6 +48,10 @@ struct Options {
     journal: Option<String>,
     exec_seed: u64,
     exec_jitter: u64,
+    drift_threshold: Option<f64>,
+    flip_round: Option<usize>,
+    zipf_s: Option<f64>,
+    session_len: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +95,10 @@ impl Default for Options {
             journal: None,
             exec_seed: 0,
             exec_jitter: 0,
+            drift_threshold: None,
+            flip_round: None,
+            zipf_s: None,
+            session_len: None,
         }
     }
 }
@@ -120,6 +128,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "bh" | "barnes-hut" | "barneshut" => WorkloadKind::BarnesHut,
                     "water" | "water-spatial" => WorkloadKind::WaterSpatial,
                     "lu" => WorkloadKind::Lu,
+                    "phase_shift" | "phase-shift" | "phase" => WorkloadKind::PhaseShift,
+                    "sessions" | "zipf" => WorkloadKind::Sessions,
                     other => return Err(format!("unknown workload {other:?}")),
                 }
             }
@@ -255,6 +265,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--exec-jitter: {e}"))?
             }
+            "--drift-threshold" => {
+                opts.drift_threshold = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--drift-threshold: {e}"))?,
+                )
+            }
+            "--flip-round" => {
+                opts.flip_round = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--flip-round: {e}"))?,
+                )
+            }
+            "--zipf-s" => {
+                opts.zipf_s = Some(value(flag)?.parse().map_err(|e| format!("--zipf-s: {e}"))?)
+            }
+            "--session-len" => {
+                opts.session_len = Some(
+                    value(flag)?
+                        .parse()
+                        .map_err(|e| format!("--session-len: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -302,6 +336,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.tcm_fanout == 1 {
         return Err("--tcm-fanout 1 reduces nothing; use 0 (flat) or >= 2".into());
     }
+    if let Some(dt) = opts.drift_threshold {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(format!("--drift-threshold {dt} is not a positive distance"));
+        }
+        if opts.adaptive.is_none() {
+            return Err(
+                "--drift-threshold rides the adaptive controller; also pass --adaptive".into(),
+            );
+        }
+    }
+    if opts.flip_round.is_some() && opts.workload != WorkloadKind::PhaseShift {
+        return Err("--flip-round only applies to --workload phase_shift".into());
+    }
+    if (opts.zipf_s.is_some() || opts.session_len.is_some())
+        && opts.workload != WorkloadKind::Sessions
+    {
+        return Err("--zipf-s / --session-len only apply to --workload sessions".into());
+    }
+    if let Some(s) = opts.zipf_s {
+        if !s.is_finite() || s < 0.0 {
+            return Err(format!("--zipf-s {s} is not a nonnegative exponent"));
+        }
+    }
+    if opts.session_len == Some(0) {
+        return Err("--session-len 0 would serve empty sessions; use >= 1".into());
+    }
     if let TcmBackend::Sketch { width, depth } = opts.tcm_backend {
         if opts.tcm_fanout < 2 {
             return Err(
@@ -323,6 +383,7 @@ fn profiler_config(opts: &Options) -> ProfilerConfig {
         RateOpt::Trace => ProfilerConfig::ground_truth(),
     };
     config.adaptive_threshold = opts.adaptive;
+    config.drift_threshold = opts.drift_threshold;
     config.overhead_budget = opts.overhead_budget;
     config.oal_mailbox_capacity = opts.mailbox_capacity;
     if let Some(policy) = opts.shed_policy {
@@ -398,6 +459,60 @@ fn cmd_info() {
             );
         }
     }
+    println!("\nsuite extensions:");
+    for kind in [WorkloadKind::Lu, WorkloadKind::PhaseShift, WorkloadKind::Sessions] {
+        for preset in [WorkloadPreset::Paper, WorkloadPreset::Small] {
+            println!(
+                "  {:<13} {:<6} {:>14}  rounds {:>2}  {:<16}  {}",
+                kind.name(),
+                format!("{preset:?}").to_lowercase(),
+                kind.data_set(preset),
+                kind.rounds(preset),
+                kind.granularity(),
+                kind.object_size()
+            );
+        }
+    }
+}
+
+/// The effective phase-shift config: preset at `--scale`, `--flip-round` override.
+fn phase_cfg(opts: &Options) -> jessy::workloads::phase_shift::PhaseShiftConfig {
+    use jessy::workloads::phase_shift::PhaseShiftConfig;
+    let mut cfg = match opts.scale {
+        WorkloadPreset::Paper => PhaseShiftConfig::paper(),
+        WorkloadPreset::Small => PhaseShiftConfig::small(),
+    };
+    if let Some(f) = opts.flip_round {
+        cfg.flip_round = f;
+    }
+    cfg
+}
+
+/// The effective sessions config: preset at `--scale`, skew/length overrides.
+fn sessions_cfg(opts: &Options) -> jessy::workloads::sessions::SessionsConfig {
+    use jessy::workloads::sessions::SessionsConfig;
+    let mut cfg = match opts.scale {
+        WorkloadPreset::Paper => SessionsConfig::paper(),
+        WorkloadPreset::Small => SessionsConfig::small(),
+    };
+    if let Some(s) = opts.zipf_s {
+        cfg.zipf_s = s;
+    }
+    if let Some(l) = opts.session_len {
+        cfg.ops_per_session = l;
+    }
+    cfg
+}
+
+/// Run the selected workload, honoring the drift-era per-workload overrides.
+fn run_workload(cluster: &mut Cluster, opts: &Options) -> RunReport {
+    match opts.workload {
+        WorkloadKind::PhaseShift => {
+            jessy::workloads::phase_shift::run_on(cluster, phase_cfg(opts))
+        }
+        WorkloadKind::Sessions => jessy::workloads::sessions::run_on(cluster, sessions_cfg(opts)),
+        _ => opts.workload.run_on(cluster, opts.scale),
+    }
 }
 
 fn cmd_run(opts: &Options) {
@@ -410,7 +525,7 @@ fn cmd_run(opts: &Options) {
         opts.threads,
         opts.rate
     );
-    let report = opts.workload.run_on(&mut cluster, opts.scale);
+    let report = run_workload(&mut cluster, opts);
     if let Some(sink) = &sink {
         export_journal(opts, sink);
     }
@@ -448,10 +563,25 @@ fn cmd_run(opts: &Options) {
                 master.budget_degrades, master.budget_over_rounds
             );
         }
+        if master.drift_reactivations > 0 {
+            println!("drift reactivations : {:>12}", master.drift_reactivations);
+        }
+        if opts.workload == WorkloadKind::PhaseShift {
+            let cfg = phase_cfg(opts);
+            println!(
+                "re-convergence lag  : {:>12} rounds after the flip (round {})",
+                jessy::workloads::phase_shift::reconvergence_lag(&report, cfg.flip_round),
+                cfg.flip_round
+            );
+        }
         for ch in &master.rate_changes {
             println!(
-                "  rate change: {} -> {} (round {}, distance {:.3})",
-                ch.class_name, ch.new_rate, ch.round, ch.relative_distance
+                "  rate change: {} -> {} (round {}, distance {:.3}{})",
+                ch.class_name,
+                ch.new_rate,
+                ch.round,
+                ch.relative_distance,
+                if ch.drift { ", drift" } else { "" }
             );
         }
         for m in &master.planned_migrations {
@@ -505,6 +635,48 @@ fn cmd_run(opts: &Options) {
         println!("\nthread correlation map:");
         print!("{}", master.tcm.ascii_heatmap());
     }
+    if let Some(sink) = &sink {
+        let events = sink.sorted_events();
+        let spans = jessy::obs::drift_spans(&events);
+        if !spans.is_empty() {
+            println!("\ndrift spans (journal):");
+            for s in &spans {
+                match s.lag() {
+                    Some(lag) => println!(
+                        "  {} drifted at round {} (distance {:.3}), re-converged after {} rounds",
+                        s.class, s.drift_round, s.relative_distance, lag
+                    ),
+                    None => println!(
+                        "  {} drifted at round {} (distance {:.3}), never re-converged",
+                        s.class, s.drift_round, s.relative_distance
+                    ),
+                }
+            }
+        }
+        let waste = jessy::obs::analyze_waste(&events);
+        if !waste.classes.is_empty() {
+            println!("\nper-class waste (journal):");
+            println!("  class     faults     fault KB   replicas  dup fetch     dup KB  false-inv");
+            for c in &waste.classes {
+                println!(
+                    "  {:>5} {:>10} {:>12.1} {:>10} {:>10} {:>10.1} {:>10}",
+                    c.class,
+                    c.faults,
+                    c.fault_bytes as f64 / 1024.0,
+                    c.replica_objects,
+                    c.duplicate_fetches,
+                    c.duplicate_bytes as f64 / 1024.0,
+                    c.false_invalid_traps
+                );
+            }
+            println!(
+                "  totals: {:.1} KB faulted, {:.1} KB duplicate refetches, {} false-invalid traps",
+                waste.total_fault_bytes as f64 / 1024.0,
+                waste.total_duplicate_bytes as f64 / 1024.0,
+                waste.total_false_invalid_traps
+            );
+        }
+    }
 }
 
 fn cmd_heatmap(opts: &Options) {
@@ -542,9 +714,12 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: jessy-cli <run|heatmap|info> [--workload sor|bh|water]");
+            eprintln!("usage: jessy-cli <run|heatmap|info> [--workload sor|bh|water|lu|phase_shift|sessions]");
             eprintln!("       [--nodes N] [--threads T] [--rate off|1x|4x|full|trace]");
             eprintln!("       [--scale paper|small] [--adaptive THRESHOLD]");
+            eprintln!("       [--drift-threshold D (un-freeze converged classes on drift; needs --adaptive)]");
+            eprintln!("       [--flip-round R (phase_shift: when the sharing graph flips)]");
+            eprintln!("       [--zipf-s S] [--session-len OPS (sessions: skew and session length)]");
             eprintln!("       [--rebalance ROUNDS (plan placement after this many TCM rounds; needs >= 2 nodes)]");
             eprintln!("       [--rebalance-every K (keep re-planning every K rounds)]");
             eprintln!("       [--cooldown-rounds C] [--migration-budget-bytes B (per-epoch cap)]");
@@ -715,6 +890,58 @@ mod tests {
             "sketch needs the tree"
         );
         assert!(parse_args(&args("run --tcm-backend sketch:0,4 --tcm-fanout 2")).is_err());
+    }
+
+    #[test]
+    fn parses_drift_era_workload_flags() {
+        let o = parse_args(&args(
+            "run -w phase_shift --adaptive 0.1 --drift-threshold 0.3 --flip-round 6",
+        ))
+        .unwrap();
+        assert_eq!(o.workload, WorkloadKind::PhaseShift);
+        assert_eq!(o.drift_threshold, Some(0.3));
+        assert_eq!(o.flip_round, Some(6));
+        let o = parse_args(&args("run -w sessions --zipf-s 1.2 --session-len 32")).unwrap();
+        assert_eq!(o.workload, WorkloadKind::Sessions);
+        assert_eq!(o.zipf_s, Some(1.2));
+        assert_eq!(o.session_len, Some(32));
+        // Spellings.
+        assert_eq!(
+            parse_args(&args("run -w phase-shift")).unwrap().workload,
+            WorkloadKind::PhaseShift
+        );
+        assert_eq!(
+            parse_args(&args("run -w zipf")).unwrap().workload,
+            WorkloadKind::Sessions
+        );
+    }
+
+    #[test]
+    fn rejects_bad_drift_era_input() {
+        assert!(
+            parse_args(&args("run -w phase_shift --drift-threshold 0.3")).is_err(),
+            "drift watching without the adaptive controller"
+        );
+        assert!(
+            parse_args(&args("run -w phase_shift --adaptive 0.1 --drift-threshold 0")).is_err(),
+            "zero drift threshold"
+        );
+        assert!(
+            parse_args(&args("run -w sor --flip-round 6")).is_err(),
+            "flip round on a non-flipping workload"
+        );
+        assert!(
+            parse_args(&args("run -w sor --zipf-s 1.1")).is_err(),
+            "zipf skew outside sessions"
+        );
+        assert!(
+            parse_args(&args("run -w sessions --zipf-s -1")).is_err(),
+            "negative skew"
+        );
+        assert!(
+            parse_args(&args("run -w sessions --session-len 0")).is_err(),
+            "empty sessions"
+        );
     }
 
     #[test]

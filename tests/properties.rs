@@ -779,6 +779,7 @@ proptest! {
                 new_rate: "4X".to_string(),
                 relative_distance: threshold * 1.5,
                 resampled_objects: raw.len(),
+                drift: epoch % 2 == 1,
             }],
             skipped: vec![SkippedRateChange { round: epoch + 1, coverage: threshold }],
             planned_migrations: vec![PlannedMigration {

@@ -30,6 +30,16 @@ JESSY_SCALE=small cargo bench -p jessy-bench --bench overhead_frontier
 echo "==> placement smoke (mid-run migration recovers the scattered gap, headless N=1024 plan)"
 JESSY_SCALE=small cargo bench -p jessy-bench --bench placement
 
+echo "==> phase_adapt smoke (drift re-activation vs frozen baseline, no-flip identity)"
+JESSY_SCALE=small cargo bench -p jessy-bench --bench phase_adapt
+
+echo "==> sessions smoke (Zipf catalog run + journal waste mining via the CLI)"
+SESS_DIR=$(mktemp -d)
+./target/release/jessy-cli run -w sessions --scale small --nodes 4 --threads 8 --rate 1x \
+  --adaptive 0.1 --drift-threshold 0.3 --journal "$SESS_DIR/sessions.jsonl" > /dev/null
+test -s "$SESS_DIR/sessions.jsonl"
+rm -rf "$SESS_DIR"
+
 echo "==> observability smoke (multi-thread journal bit-identity + trace export)"
 OBS_DIR=$(mktemp -d)
 ./target/release/jessy-cli run -w sor --scale small --nodes 2 --threads 4 --rate 4x \
@@ -49,6 +59,7 @@ echo "==> chaos seed matrix (fault determinism must not depend on one seed)"
 for seed in 1 7 42 1337 31337 99999; do
   echo "--- JESSY_CHAOS_SEED=$seed"
   JESSY_CHAOS_SEED=$seed cargo test -p jessy-runtime --test chaos -q
+  JESSY_CHAOS_SEED=$seed cargo test -p jessy --test drift -q phase_flip_inside
 done
 
 echo "==> scale soak smoke (10k cooperative threads, time-compressed)"
